@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks: raw engine throughput per evaluation model
+//! and plan, on a fixed synthetic sequence workload. These are the
+//! engine-side counterpart of Figures 4/6 at micro scale.
+
+use cep_bench::env::{ExperimentEnv, Scale};
+use cep_bench::runner::{plan_pattern, Algo};
+use cep_core::engine::{run_to_completion, Engine, EngineConfig};
+use cep_nfa::NfaEngine;
+use cep_optimizer::{OrderAlgorithm, TreeAlgorithm};
+use cep_streamgen::PatternSetKind;
+use cep_tree::TreeEngine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_env() -> ExperimentEnv {
+    let mut scale = Scale::quick();
+    scale.duration_ms = 20_000;
+    scale.per_size = 1;
+    scale.sizes = 4..=4;
+    ExperimentEnv::setup(scale)
+}
+
+fn engines(c: &mut Criterion) {
+    let env = bench_env();
+    let pattern = &env.pattern_set(PatternSetKind::Sequence)[0].pattern;
+    let mut group = c.benchmark_group("engine_micro");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (name, algo) in [
+        ("nfa_trivial", Algo::Order(OrderAlgorithm::Trivial)),
+        ("nfa_dp_ld", Algo::Order(OrderAlgorithm::DpLd)),
+        ("tree_zstream", Algo::Tree(TreeAlgorithm::ZStream)),
+        ("tree_dp_b", Algo::Tree(TreeAlgorithm::DpB)),
+    ] {
+        let planned = plan_pattern(pattern, &env, algo, 0.0).expect("planning succeeds");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (cp, _, plan) = &planned.branches[0];
+                let mut engine: Box<dyn Engine> = match plan {
+                    cep_bench::runner::BranchPlan::Order(p) => Box::new(
+                        NfaEngine::new(cp.clone(), p.clone(), EngineConfig::default()).unwrap(),
+                    ),
+                    cep_bench::runner::BranchPlan::Tree(p) => Box::new(
+                        TreeEngine::new(cp.clone(), p.clone(), EngineConfig::default()).unwrap(),
+                    ),
+                };
+                let r = run_to_completion(engine.as_mut(), env.stream(), false);
+                black_box(r.match_count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark backing Figures 4/5: full plan+run cycles per
+//! pattern category for the flagship algorithm of each family (native CPG
+//! baseline vs best adapted JQPG method).
+
+use cep_bench::env::{ExperimentEnv, Scale};
+use cep_bench::runner::{plan_and_run, Algo};
+use cep_core::engine::EngineConfig;
+use cep_optimizer::{OrderAlgorithm, TreeAlgorithm};
+use cep_streamgen::PatternSetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn pattern_types(c: &mut Criterion) {
+    let mut scale = Scale::quick();
+    scale.duration_ms = 10_000;
+    scale.per_size = 1;
+    scale.sizes = 4..=4;
+    let env = ExperimentEnv::setup(scale);
+    let cfg = EngineConfig {
+        max_kleene_events: 8,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig04_05_pattern_types");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let algos = [
+        ("EFREQ", Algo::Order(OrderAlgorithm::EFreq)),
+        ("DP-LD", Algo::Order(OrderAlgorithm::DpLd)),
+        ("ZSTREAM", Algo::Tree(TreeAlgorithm::ZStream)),
+        ("DP-B", Algo::Tree(TreeAlgorithm::DpB)),
+    ];
+    for kind in PatternSetKind::all() {
+        let pattern = env.pattern_set(kind)[0].pattern.clone();
+        for (name, algo) in algos {
+            group.bench_with_input(
+                BenchmarkId::new(name, kind.to_string()),
+                &pattern,
+                |b, p| b.iter(|| black_box(plan_and_run(p, &env, algo, 0.0, &cfg).unwrap().matches)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pattern_types);
+criterion_main!(benches);

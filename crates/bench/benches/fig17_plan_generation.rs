@@ -1,0 +1,59 @@
+//! Criterion benchmark for Figure 17(b): plan-generation time by algorithm
+//! and pattern size. The paper's headline: DP methods blow up exponentially
+//! (50+ hours at n = 22 for DP-B) while the heuristics stay sub-second.
+
+use cep_bench::env::{ExperimentEnv, Scale};
+use cep_core::compile::CompiledPattern;
+use cep_optimizer::{OrderAlgorithm, Planner, TreeAlgorithm};
+use cep_streamgen::{
+    analytic_measured_stats, analytic_selectivities, generate_pattern, PatternSetKind,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn plan_generation(c: &mut Criterion) {
+    let mut scale = Scale::quick();
+    scale.duration_ms = 1_000; // planning only; the stream is irrelevant
+    let env = ExperimentEnv::setup(scale);
+    let planner = Planner::default();
+    let measured = analytic_measured_stats(&env.gen);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut group = c.benchmark_group("fig17_plan_generation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for size in [4usize, 8, 12, 16] {
+        let pattern =
+            generate_pattern(PatternSetKind::Sequence, size, &env.gen, &env.workload, &mut rng)
+                .unwrap()
+                .pattern;
+        let cp = CompiledPattern::compile_single(&pattern).unwrap();
+        let sels = analytic_selectivities(&cp, &env.gen);
+        let stats = planner.stats_for(&cp, &measured, &sels).unwrap();
+        group.bench_with_input(BenchmarkId::new("GREEDY", size), &size, |b, _| {
+            b.iter(|| black_box(planner.plan_order(&cp, &stats, OrderAlgorithm::Greedy)))
+        });
+        group.bench_with_input(BenchmarkId::new("II-GREEDY", size), &size, |b, _| {
+            b.iter(|| black_box(planner.plan_order(&cp, &stats, OrderAlgorithm::IIGreedy)))
+        });
+        group.bench_with_input(BenchmarkId::new("DP-LD", size), &size, |b, _| {
+            b.iter(|| black_box(planner.plan_order(&cp, &stats, OrderAlgorithm::DpLd)))
+        });
+        group.bench_with_input(BenchmarkId::new("ZSTREAM", size), &size, |b, _| {
+            b.iter(|| black_box(planner.plan_tree(&cp, &stats, TreeAlgorithm::ZStream)))
+        });
+        if size <= 16 {
+            group.bench_with_input(BenchmarkId::new("DP-B", size), &size, |b, _| {
+                b.iter(|| black_box(planner.plan_tree(&cp, &stats, TreeAlgorithm::DpB)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, plan_generation);
+criterion_main!(benches);

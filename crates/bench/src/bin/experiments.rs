@@ -1,0 +1,119 @@
+//! Experiment harness CLI: regenerates the figures of Section 7.3.
+//!
+//! ```text
+//! experiments <subcommand> [--full] [--seed N] [--per-size N] [--duration-ms N]
+//!
+//! subcommands:
+//!   pattern-types          Figures 4 & 5
+//!   by-size --set <kind>   Figures 6..15 (kind: sequence|negation|conjunction|kleene|disjunction)
+//!   cost-validation        Figure 16
+//!   large-patterns         Figure 17 (planning only)
+//!   latency-tradeoff       Figure 18
+//!   selection-strategies   Figure 19
+//!   all                    everything above
+//! ```
+
+use cep_bench::env::{ExperimentEnv, Scale};
+use cep_bench::figures;
+use cep_streamgen::PatternSetKind;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <pattern-types|by-size|cost-validation|large-patterns|\
+         latency-tradeoff|selection-strategies|all> [--set KIND] [--full] [--seed N] \
+         [--per-size N] [--duration-ms N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_kind(s: &str) -> PatternSetKind {
+    match s {
+        "sequence" => PatternSetKind::Sequence,
+        "negation" => PatternSetKind::Negation,
+        "conjunction" => PatternSetKind::Conjunction,
+        "kleene" | "iteration" => PatternSetKind::Kleene,
+        "disjunction" | "composite" => PatternSetKind::Disjunction,
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let mut scale = Scale::quick();
+    let mut set: Option<PatternSetKind> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::full(),
+            "--set" => {
+                i += 1;
+                set = Some(parse_kind(args.get(i).map(String::as_str).unwrap_or("")));
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--per-size" => {
+                i += 1;
+                scale.per_size = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--duration-ms" => {
+                i += 1;
+                scale.duration_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "# CEP join-optimization experiments (seed {}, {} symbols, {} ms stream)",
+        scale.seed, scale.symbols, scale.duration_ms
+    )
+    .ok();
+    let env = ExperimentEnv::setup(scale);
+    let result = match cmd.as_str() {
+        "pattern-types" => figures::pattern_types(&env, &mut out),
+        "by-size" => figures::by_size(&env, set.unwrap_or(PatternSetKind::Sequence), &mut out),
+        "cost-validation" => figures::cost_validation(&env, &mut out),
+        "large-patterns" => figures::large_patterns(&env, 22, 3, &mut out),
+        "latency-tradeoff" => figures::latency_tradeoff(&env, &mut out),
+        "selection-strategies" => figures::selection_strategies(&env, &mut out),
+        "all" => figures::pattern_types(&env, &mut out)
+            .and_then(|_| {
+                for kind in PatternSetKind::all() {
+                    figures::by_size(&env, kind, &mut out)?;
+                }
+                Ok(())
+            })
+            .and_then(|_| figures::cost_validation(&env, &mut out))
+            .and_then(|_| figures::large_patterns(&env, 22, 3, &mut out))
+            .and_then(|_| figures::latency_tradeoff(&env, &mut out))
+            .and_then(|_| figures::selection_strategies(&env, &mut out)),
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

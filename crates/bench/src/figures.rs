@@ -1,0 +1,523 @@
+//! Experiment drivers regenerating every figure of Section 7.3.
+//!
+//! Each function prints the same rows/series as the corresponding paper
+//! figure (absolute numbers differ — synthetic stream, different hardware —
+//! but the comparative shape is the deliverable; see `EXPERIMENTS.md`).
+
+use crate::env::ExperimentEnv;
+use crate::report::{bytes, si, Table};
+use crate::runner::{
+    geometric_mean, mean, plan_and_run, plan_pattern, Algo, RunOutcome,
+};
+use cep_core::engine::EngineConfig;
+use cep_core::selection::SelectionStrategy;
+use cep_optimizer::{OrderAlgorithm, TreeAlgorithm};
+use cep_streamgen::{generate_pattern, PatternSetKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+
+/// The paper's order-based algorithm set (Section 7.1).
+pub fn order_algos() -> Vec<Algo> {
+    OrderAlgorithm::paper_set().into_iter().map(Algo::Order).collect()
+}
+
+/// The paper's tree-based algorithm set (Section 7.1).
+pub fn tree_algos() -> Vec<Algo> {
+    TreeAlgorithm::paper_set().into_iter().map(Algo::Tree).collect()
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        // Power-set semantics is exponential by design; the cap bounds the
+        // per-accumulator set size identically for every plan under test.
+        max_kleene_events: 6,
+        ..Default::default()
+    }
+}
+
+/// Runs one pattern set under one algorithm; returns `(size, outcome)` per
+/// pattern (failed plans — e.g. DP beyond its size cap — are skipped).
+fn run_set(
+    env: &ExperimentEnv,
+    kind: PatternSetKind,
+    algo: Algo,
+    alpha: f64,
+) -> Vec<(usize, RunOutcome)> {
+    let cfg = engine_config();
+    env.pattern_set(kind)
+        .iter()
+        .filter_map(|gp| {
+            plan_and_run(&gp.pattern, env, algo, alpha, &cfg)
+                .ok()
+                .map(|o| (gp.size, o))
+        })
+        .collect()
+}
+
+/// Figures 4 and 5: mean throughput and peak memory per pattern category,
+/// for the order-based and tree-based algorithm families.
+pub fn pattern_types(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "== Figures 4 & 5: throughput and memory by pattern type ==")?;
+    writeln!(
+        out,
+        "(streams: {} events; {} patterns per category)",
+        env.stream().len(),
+        env.pattern_set(PatternSetKind::Sequence).len()
+    )?;
+    let kinds = PatternSetKind::all();
+    for (family, algos) in [("order-based (Fig 4a/5a)", order_algos()),
+                            ("tree-based (Fig 4b/5b)", tree_algos())] {
+        let mut header = vec!["algorithm".to_string()];
+        header.extend(kinds.iter().map(|k| k.to_string()));
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut tput = Table::new(&hdr);
+        let mut mem = Table::new(&hdr);
+        for &algo in &algos {
+            let mut trow = vec![algo.to_string()];
+            let mut mrow = vec![algo.to_string()];
+            for &kind in &kinds {
+                let results = run_set(env, kind, algo, 0.0);
+                let th: Vec<f64> = results.iter().map(|(_, o)| o.throughput_eps).collect();
+                let mb: Vec<f64> =
+                    results.iter().map(|(_, o)| o.peak_memory_bytes as f64).collect();
+                trow.push(si(geometric_mean(&th)));
+                mrow.push(bytes(mean(&mb) as usize));
+            }
+            tput.row(trow);
+            mem.row(mrow);
+        }
+        writeln!(out, "\n-- {family}: throughput (events/s, higher is better)")?;
+        write!(out, "{}", tput.render())?;
+        writeln!(out, "\n-- {family}: peak memory (lower is better)")?;
+        write!(out, "{}", mem.render())?;
+    }
+    Ok(())
+}
+
+/// Figures 6–15: throughput and memory as a function of pattern size, for
+/// one category (sequence -> Fig 6/7, negation -> 8/9, conjunction -> 10/11,
+/// kleene -> 12/13, disjunction -> 14/15).
+pub fn by_size(
+    env: &ExperimentEnv,
+    kind: PatternSetKind,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let fig = match kind {
+        PatternSetKind::Sequence => "6/7",
+        PatternSetKind::Negation => "8/9",
+        PatternSetKind::Conjunction => "10/11",
+        PatternSetKind::Kleene => "12/13",
+        PatternSetKind::Disjunction => "14/15",
+    };
+    writeln!(out, "== Figures {fig}: {kind} patterns by size ==")?;
+    let sizes: Vec<usize> = env.scale.sizes.clone().collect();
+    for (family, algos) in [("order-based", order_algos()), ("tree-based", tree_algos())] {
+        let mut header = vec!["algorithm".to_string()];
+        header.extend(sizes.iter().map(|s| format!("n={s}")));
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut tput = Table::new(&hdr);
+        let mut mem = Table::new(&hdr);
+        for &algo in &algos {
+            let results = run_set(env, kind, algo, 0.0);
+            let mut trow = vec![algo.to_string()];
+            let mut mrow = vec![algo.to_string()];
+            for &s in &sizes {
+                let th: Vec<f64> = results
+                    .iter()
+                    .filter(|(sz, _)| *sz == s)
+                    .map(|(_, o)| o.throughput_eps)
+                    .collect();
+                let mb: Vec<f64> = results
+                    .iter()
+                    .filter(|(sz, _)| *sz == s)
+                    .map(|(_, o)| o.peak_memory_bytes as f64)
+                    .collect();
+                trow.push(si(geometric_mean(&th)));
+                mrow.push(bytes(mean(&mb) as usize));
+            }
+            tput.row(trow);
+            mem.row(mrow);
+        }
+        writeln!(out, "\n-- {family}: throughput (events/s)")?;
+        write!(out, "{}", tput.render())?;
+        writeln!(out, "\n-- {family}: peak memory")?;
+        write!(out, "{}", mem.render())?;
+    }
+    Ok(())
+}
+
+/// Figure 16: throughput and memory as functions of the plan cost computed
+/// by `Cost_ord` / `Cost_tree`, over a mixed bag of plans; reports the
+/// fitted relationships (throughput ≈ k / cost^c, memory ≈ linear).
+pub fn cost_validation(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "== Figure 16: metrics vs plan cost ==")?;
+    let kinds = [
+        PatternSetKind::Sequence,
+        PatternSetKind::Conjunction,
+        PatternSetKind::Negation,
+    ];
+    for (family, algos) in [
+        (
+            "order-based plans",
+            vec![
+                Algo::Order(OrderAlgorithm::Trivial),
+                Algo::Order(OrderAlgorithm::EFreq),
+                Algo::Order(OrderAlgorithm::Greedy),
+                Algo::Order(OrderAlgorithm::DpLd),
+            ],
+        ),
+        (
+            "tree-based plans",
+            vec![
+                Algo::Tree(TreeAlgorithm::ZStream),
+                Algo::Tree(TreeAlgorithm::ZStreamOrd),
+                Algo::Tree(TreeAlgorithm::DpB),
+            ],
+        ),
+    ] {
+        let mut samples: Vec<(f64, f64, f64)> = Vec::new(); // (cost, tput, mem)
+        for &kind in &kinds {
+            for &algo in &algos {
+                for (_, o) in run_set(env, kind, algo, 0.0) {
+                    if o.plan_cost > 0.0 && o.throughput_eps > 0.0 {
+                        samples.push((
+                            o.plan_cost,
+                            o.throughput_eps,
+                            o.peak_memory_bytes as f64,
+                        ));
+                    }
+                }
+            }
+        }
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let shown = samples.len().min(20);
+        let stride = (samples.len() / shown.max(1)).max(1);
+        let mut t = Table::new(&["plan cost", "throughput (e/s)", "peak memory"]);
+        for s in samples.iter().step_by(stride) {
+            t.row(vec![si(s.0), si(s.1), bytes(s.2 as usize)]);
+        }
+        // Fit log(tput) = a - c*log(cost).
+        let logs: Vec<(f64, f64)> = samples
+            .iter()
+            .map(|(c, t, _)| (c.ln(), t.ln()))
+            .collect();
+        let c_exp = -linear_slope(&logs);
+        // Memory-vs-cost monotonicity (rank correlation).
+        let mem_corr = rank_correlation(
+            &samples.iter().map(|s| s.0).collect::<Vec<_>>(),
+            &samples.iter().map(|s| s.2).collect::<Vec<_>>(),
+        );
+        writeln!(out, "\n-- {family} ({} plans, subsampled below)", samples.len())?;
+        write!(out, "{}", t.render())?;
+        writeln!(
+            out,
+            "fit: throughput ~ 1/cost^c with c = {c_exp:.2}  (paper: c >= 1)"
+        )?;
+        writeln!(
+            out,
+            "memory-vs-cost Spearman correlation = {mem_corr:.2}  (paper: ~linear, positive)"
+        )?;
+    }
+    Ok(())
+}
+
+fn linear_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let var: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    if var == 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
+fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut r = vec![0.0; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            r[i] = rank as f64;
+        }
+        r
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let pts: Vec<(f64, f64)> = ra.into_iter().zip(rb).collect();
+    let n = pts.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let va: f64 = pts.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    let vb: f64 = pts.iter().map(|p| (p.1 - my).powi(2)).sum();
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Figure 17: (a) normalized plan cost vs EFREQ and (b) plan-generation
+/// time, for large sequence patterns (planning only, no execution).
+pub fn large_patterns(
+    env: &ExperimentEnv,
+    max_size: usize,
+    per_size: usize,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    writeln!(out, "== Figure 17: large-pattern plan quality and planning time ==")?;
+    let sizes: Vec<usize> = [3usize, 6, 9, 12, 15, 18, 20, 22]
+        .into_iter()
+        .filter(|&s| s <= max_size && s <= env.gen.type_ids.len())
+        .collect();
+    let algos: Vec<Algo> = vec![
+        Algo::Order(OrderAlgorithm::Greedy),
+        Algo::Order(OrderAlgorithm::IIRandom { restarts: 10, seed: 0xCEB }),
+        Algo::Order(OrderAlgorithm::IIGreedy),
+        Algo::Order(OrderAlgorithm::DpLd),
+        Algo::Tree(TreeAlgorithm::ZStream),
+        Algo::Tree(TreeAlgorithm::ZStreamOrd),
+        Algo::Tree(TreeAlgorithm::DpB),
+    ];
+    let mut header = vec!["algorithm".to_string()];
+    header.extend(sizes.iter().map(|s| format!("n={s}")));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut cost_table = Table::new(&hdr);
+    let mut time_table = Table::new(&hdr);
+    let mut rng = StdRng::seed_from_u64(env.scale.seed ^ 0xF16);
+    // Pre-generate patterns per size so every algorithm sees the same ones.
+    let mut patterns: Vec<(usize, Vec<cep_core::pattern::Pattern>)> = Vec::new();
+    for &s in &sizes {
+        let ps = (0..per_size)
+            .map(|_| {
+                generate_pattern(PatternSetKind::Sequence, s, &env.gen, &env.workload, &mut rng)
+                    .expect("generation fits symbol count")
+                    .pattern
+            })
+            .collect();
+        patterns.push((s, ps));
+    }
+    // Baseline: EFREQ cost per pattern (order model; tree algorithms are
+    // normalized against EFREQ's left-deep tree).
+    for &algo in &algos {
+        let mut crow = vec![algo.to_string()];
+        let mut trow = vec![algo.to_string()];
+        for (_, ps) in &patterns {
+            let mut ratios = Vec::new();
+            let mut times = Vec::new();
+            for p in ps {
+                let base = match algo {
+                    Algo::Order(_) => plan_pattern(p, env, Algo::Order(OrderAlgorithm::EFreq), 0.0),
+                    Algo::Tree(_) => {
+                        // EFREQ leaf order as a left-deep tree: ZStream over
+                        // the EFREQ order degenerate case is not directly
+                        // expressible; use ZStream native as the tree
+                        // baseline (the empirically worst tree method).
+                        plan_pattern(p, env, Algo::Tree(TreeAlgorithm::ZStream), 0.0)
+                    }
+                };
+                let Ok(base) = base else { continue };
+                // Planning can fail when the size exceeds an algorithm's cap.
+                if let Ok(planned) = plan_pattern(p, env, algo, 0.0) {
+                    if planned.plan_cost > 0.0 {
+                        ratios.push(base.plan_cost / planned.plan_cost);
+                    }
+                    times.push(planned.plan_time_s);
+                }
+            }
+            if ratios.is_empty() {
+                crow.push("-".into());
+                trow.push("-".into());
+            } else {
+                crow.push(format!("{:.2}x", geometric_mean(&ratios)));
+                trow.push(format!("{:.2}ms", mean(&times) * 1e3));
+            }
+        }
+        cost_table.row(crow);
+        time_table.row(trow);
+    }
+    writeln!(
+        out,
+        "\n-- Fig 17(a): normalized plan cost (baseline / algorithm; higher is better)"
+    )?;
+    writeln!(
+        out,
+        "   order algorithms vs EFREQ, tree algorithms vs ZSTREAM; '-' = beyond size cap"
+    )?;
+    write!(out, "{}", cost_table.render())?;
+    writeln!(out, "\n-- Fig 17(b): mean plan-generation time")?;
+    write!(out, "{}", time_table.render())?;
+    Ok(())
+}
+
+/// Figure 18: throughput vs latency for the 6 JQPG algorithms under
+/// α ∈ {0, 0.5, 1}.
+pub fn latency_tradeoff(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "== Figure 18: throughput vs latency (alpha sweep) ==")?;
+    let algos: Vec<Algo> = vec![
+        Algo::Order(OrderAlgorithm::Greedy),
+        Algo::Order(OrderAlgorithm::IIRandom { restarts: 10, seed: 0xCEB }),
+        Algo::Order(OrderAlgorithm::IIGreedy),
+        Algo::Order(OrderAlgorithm::DpLd),
+        Algo::Tree(TreeAlgorithm::ZStreamOrd),
+        Algo::Tree(TreeAlgorithm::DpB),
+    ];
+    let mut t = Table::new(&[
+        "algorithm",
+        "alpha",
+        "throughput (e/s)",
+        "avg latency (ms)",
+    ]);
+    for &algo in &algos {
+        for alpha in [0.0, 0.5, 1.0] {
+            let results = run_set(env, PatternSetKind::Sequence, algo, alpha);
+            let th: Vec<f64> = results.iter().map(|(_, o)| o.throughput_eps).collect();
+            let lat: Vec<f64> = results.iter().map(|(_, o)| o.avg_latency_ms).collect();
+            t.row(vec![
+                algo.to_string(),
+                format!("{alpha}"),
+                si(geometric_mean(&th)),
+                format!("{:.4}", mean(&lat)),
+            ]);
+        }
+    }
+    write!(out, "{}", t.render())?;
+    writeln!(
+        out,
+        "(expected shape: higher alpha lowers latency at some throughput cost)"
+    )?;
+    Ok(())
+}
+
+/// Figure 19: throughput under the three selection-strategy regimes.
+pub fn selection_strategies(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "== Figure 19: selection strategies (sequence set) ==")?;
+    let strategies = [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::SkipTillNextMatch,
+        SelectionStrategy::StrictContiguity,
+    ];
+    for (family, algos) in [("order-based (Fig 19a)", order_algos()),
+                            ("tree-based (Fig 19b)", tree_algos())] {
+        let mut header = vec!["algorithm".to_string()];
+        header.extend(strategies.iter().map(|s| s.to_string()));
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&hdr);
+        for &algo in &algos {
+            let mut row = vec![algo.to_string()];
+            for &strategy in &strategies {
+                let cfg = engine_config();
+                let set = env.pattern_set(PatternSetKind::Sequence);
+                let mut th = Vec::new();
+                for gp in &set {
+                    let mut p = gp.pattern.clone();
+                    p.strategy = strategy;
+                    if let Ok(o) = plan_and_run(&p, env, algo, 0.0, &cfg) {
+                        th.push(o.throughput_eps);
+                    }
+                }
+                row.push(si(geometric_mean(&th)));
+            }
+            t.row(row);
+        }
+        writeln!(out, "\n-- {family}: throughput (events/s, log-scale in the paper)")?;
+        write!(out, "{}", t.render())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    fn micro_env() -> ExperimentEnv {
+        let mut s = Scale::quick();
+        s.duration_ms = 6_000;
+        s.window_ms = 2_500;
+        s.per_size = 1;
+        s.sizes = 3..=3;
+        ExperimentEnv::setup(s)
+    }
+
+    #[test]
+    fn pattern_types_runs_and_prints() {
+        let env = micro_env();
+        let mut buf = Vec::new();
+        pattern_types(&env, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Figures 4 & 5"));
+        assert!(s.contains("TRIVIAL"));
+        assert!(s.contains("DP-B"));
+    }
+
+    #[test]
+    fn by_size_runs_for_every_category() {
+        let env = micro_env();
+        for kind in PatternSetKind::all() {
+            let mut buf = Vec::new();
+            by_size(&env, kind, &mut buf).unwrap();
+            assert!(!buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn cost_validation_reports_fit() {
+        let env = micro_env();
+        let mut buf = Vec::new();
+        cost_validation(&env, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("throughput ~ 1/cost^c"));
+    }
+
+    #[test]
+    fn large_patterns_skips_over_cap_sizes() {
+        let env = micro_env();
+        let mut buf = Vec::new();
+        large_patterns(&env, 20, 1, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Fig 17(a)"));
+        // DP-B is capped at 18: the n=20 cell must be '-'.
+        let dpb_line = s.lines().find(|l| l.trim_start().starts_with("DP-B")).unwrap();
+        assert!(dpb_line.contains('-'));
+    }
+
+    #[test]
+    fn latency_tradeoff_prints_alpha_rows() {
+        let env = micro_env();
+        let mut buf = Vec::new();
+        latency_tradeoff(&env, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.matches("DP-LD").count(), 3, "one row per alpha");
+    }
+
+    #[test]
+    fn strategies_prints_all_three() {
+        let env = micro_env();
+        let mut buf = Vec::new();
+        selection_strategies(&env, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("skip-till-any-match"));
+        assert!(s.contains("skip-till-next-match"));
+        assert!(s.contains("strict-contiguity"));
+    }
+
+    #[test]
+    fn rank_correlation_detects_monotone() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 9.0, 100.0];
+        assert!((rank_correlation(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [100.0, 9.0, 4.0, 2.0];
+        assert!((rank_correlation(&a, &c) + 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,22 @@
+//! # cep-bench
+//!
+//! Benchmark harness regenerating every table and figure of Section 7 of
+//! *Join Query Optimization Techniques for CEP Applications* (Kolchinsky &
+//! Schuster, VLDB 2018). See `DESIGN.md` §4 for the figure-to-target index
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! * [`env`] — stream/workload setup at configurable [`env::Scale`]s;
+//! * [`runner`] — plan-then-execute machinery over both engines;
+//! * [`figures`] — one driver per paper figure;
+//! * `benches/` — Criterion micro/meso benchmarks (engine throughput,
+//!   planning time).
+//!
+//! CLI: `cargo run --release -p cep-bench --bin experiments -- all`.
+
+
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod figures;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,121 @@
+//! Plain-text table rendering for the experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                let _ = write!(line, " {:<w$} ", cells[i], w = widths[i]);
+                if i + 1 < ncols {
+                    line.push('|');
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human-friendly magnitude formatting: `12.3k`, `4.56M`, etc.
+pub fn si(v: f64) -> String {
+    let (value, suffix) = if v.abs() >= 1e9 {
+        (v / 1e9, "G")
+    } else if v.abs() >= 1e6 {
+        (v / 1e6, "M")
+    } else if v.abs() >= 1e3 {
+        (v / 1e3, "k")
+    } else {
+        (v, "")
+    };
+    if value.abs() >= 100.0 || suffix.is_empty() && value.fract() == 0.0 {
+        format!("{value:.0}{suffix}")
+    } else if value.abs() >= 10.0 {
+        format!("{value:.1}{suffix}")
+    } else {
+        format!("{value:.2}{suffix}")
+    }
+}
+
+/// Bytes with binary-ish SI formatting.
+pub fn bytes(v: usize) -> String {
+    format!("{}B", si(v as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["algo", "throughput"]);
+        t.row(vec!["TRIVIAL".into(), "1.2k".into()]);
+        t.row(vec!["DP-B".into(), "999".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("algo"));
+        assert!(lines[2].starts_with(" TRIVIAL"));
+        // all lines same width
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(si(950.0), "950");
+        assert_eq!(si(12_300.0), "12.3k");
+        assert_eq!(si(4_560_000.0), "4.56M");
+        assert_eq!(si(2_000_000_000.0), "2.00G");
+    }
+}

@@ -1,0 +1,307 @@
+//! The engine abstraction shared by the NFA, tree, and naive evaluators.
+
+use crate::matches::Match;
+use crate::metrics::EngineMetrics;
+use crate::stream::EventStream;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Runtime knobs common to all engines.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Upper bound on the number of events a single Kleene element may
+    /// accumulate per partial match. The power-set semantics of Section 5.2
+    /// is exponential by design; this cap keeps pathological inputs from
+    /// exhausting memory. Matches the naive oracle's cap so equivalence
+    /// tests remain exact.
+    pub max_kleene_events: usize,
+    /// Prune window-expired state every `prune_every` events.
+    pub prune_every: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_kleene_events: 16,
+            prune_every: 64,
+        }
+    }
+}
+
+/// A pattern evaluation engine.
+///
+/// Engines consume a ts-ordered stream one event at a time and append
+/// detected matches to `out`. [`Engine::flush`] signals end-of-stream,
+/// releasing matches whose emission was deferred (trailing negations).
+pub trait Engine {
+    /// Processes one event, appending any matches it completes.
+    fn process(&mut self, event: &crate::event::EventRef, out: &mut Vec<Match>);
+
+    /// Signals end-of-stream; releases deferred matches.
+    fn flush(&mut self, out: &mut Vec<Match>);
+
+    /// Runtime metrics collected so far.
+    fn metrics(&self) -> &EngineMetrics;
+
+    /// Mutable access for the harness (timing is recorded externally).
+    fn metrics_mut(&mut self) -> &mut EngineMetrics;
+
+    /// Engine kind, for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Result of driving an engine over a complete stream.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Detected matches (empty when `collect_matches` was false).
+    pub matches: Vec<Match>,
+    /// Number of matches detected (tracked even when not collected).
+    pub match_count: u64,
+    /// Final metrics snapshot.
+    pub metrics: EngineMetrics,
+}
+
+/// Drives `engine` over `stream`, recording wall time and per-match
+/// latency. With `collect_matches == false` matches are counted and
+/// discarded, keeping harness memory flat on large runs.
+pub fn run_to_completion(
+    engine: &mut dyn Engine,
+    stream: &EventStream,
+    collect_matches: bool,
+) -> RunResult {
+    let mut matches = Vec::new();
+    let mut scratch = Vec::new();
+    let mut match_count = 0u64;
+    let start = Instant::now();
+    for event in stream {
+        let ev_start = Instant::now();
+        engine.process(event, &mut scratch);
+        if !scratch.is_empty() {
+            let latency = ev_start.elapsed().as_nanos() as u64;
+            let m = engine.metrics_mut();
+            m.match_latency_ns_total += latency * scratch.len() as u64;
+            match_count += scratch.len() as u64;
+            if collect_matches {
+                matches.append(&mut scratch);
+            } else {
+                scratch.clear();
+            }
+        }
+    }
+    let flush_start = Instant::now();
+    engine.flush(&mut scratch);
+    if !scratch.is_empty() {
+        let latency = flush_start.elapsed().as_nanos() as u64;
+        let m = engine.metrics_mut();
+        m.match_latency_ns_total += latency * scratch.len() as u64;
+        match_count += scratch.len() as u64;
+        if collect_matches {
+            matches.append(&mut scratch);
+        } else {
+            scratch.clear();
+        }
+    }
+    let wall = start.elapsed().as_nanos() as u64;
+    engine.metrics_mut().wall_time_ns += wall;
+    RunResult {
+        matches,
+        match_count,
+        metrics: engine.metrics().clone(),
+    }
+}
+
+/// Evaluates several engines (one per DNF branch of a nested pattern) as a
+/// unit, returning the union of their matches (Section 5.4).
+///
+/// Duplicate matches — possible when branches overlap — are suppressed via
+/// match signatures, remembered for one window length.
+pub struct MultiEngine {
+    engines: Vec<Box<dyn Engine>>,
+    window: u64,
+    seen: HashMap<Vec<(usize, Vec<u64>)>, u64>,
+    metrics: EngineMetrics,
+    name: &'static str,
+}
+
+impl MultiEngine {
+    /// Wraps a set of branch engines sharing one pattern window.
+    pub fn new(engines: Vec<Box<dyn Engine>>, window: u64) -> MultiEngine {
+        assert!(!engines.is_empty(), "MultiEngine needs >= 1 branch engine");
+        MultiEngine {
+            engines,
+            window,
+            seen: HashMap::new(),
+            metrics: EngineMetrics::new(),
+            name: "multi",
+        }
+    }
+
+    /// Number of branch engines.
+    pub fn branches(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn dedup(&mut self, staged: Vec<Match>, out: &mut Vec<Match>) {
+        for m in staged {
+            let sig = m.signature();
+            let ts = m.max_ts();
+            if self.seen.insert(sig, ts).is_none() {
+                out.push(m);
+            }
+        }
+    }
+
+    fn refresh_metrics(&mut self) {
+        let mut agg = EngineMetrics::new();
+        agg.events_processed = self.metrics.events_processed;
+        agg.wall_time_ns = self.metrics.wall_time_ns;
+        agg.match_latency_ns_total = self.metrics.match_latency_ns_total;
+        for e in &self.engines {
+            agg.absorb(e.metrics());
+        }
+        // Deduplication may have dropped some emissions: count our own.
+        agg.matches_emitted = self.metrics.matches_emitted;
+        self.metrics = agg;
+    }
+}
+
+impl Engine for MultiEngine {
+    fn process(&mut self, event: &crate::event::EventRef, out: &mut Vec<Match>) {
+        self.metrics.events_processed += 1;
+        let mut staged = Vec::new();
+        for e in &mut self.engines {
+            e.process(event, &mut staged);
+        }
+        let before = out.len();
+        self.dedup(staged, out);
+        self.metrics.matches_emitted += (out.len() - before) as u64;
+        // Forget signatures that can no longer recur (outside the window).
+        if self.metrics.events_processed.is_multiple_of(256) {
+            let horizon = event.ts.saturating_sub(self.window);
+            self.seen.retain(|_, &mut ts| ts >= horizon);
+        }
+        self.refresh_metrics();
+    }
+
+    fn flush(&mut self, out: &mut Vec<Match>) {
+        let mut staged = Vec::new();
+        for e in &mut self.engines {
+            e.flush(&mut staged);
+        }
+        let before = out.len();
+        self.dedup(staged, out);
+        self.metrics.matches_emitted += (out.len() - before) as u64;
+        self.refresh_metrics();
+    }
+
+    fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventRef, TypeId};
+    use crate::matches::Binding;
+    use std::sync::Arc;
+
+    /// Emits a fixed match whenever it sees type 0.
+    struct StubEngine {
+        metrics: EngineMetrics,
+        sig_seq: u64,
+    }
+
+    impl StubEngine {
+        fn new(sig_seq: u64) -> Self {
+            StubEngine {
+                metrics: EngineMetrics::new(),
+                sig_seq,
+            }
+        }
+    }
+
+    impl Engine for StubEngine {
+        fn process(&mut self, event: &EventRef, out: &mut Vec<Match>) {
+            self.metrics.events_processed += 1;
+            if event.type_id == TypeId(0) {
+                let mut e = Event::new(TypeId(0), event.ts, vec![]);
+                e.seq = self.sig_seq;
+                out.push(Match {
+                    bindings: vec![(0, Binding::One(Arc::new(e)))],
+                    last_ts: event.ts,
+                    emitted_at: event.ts,
+                });
+                self.metrics.matches_emitted += 1;
+            }
+        }
+        fn flush(&mut self, _out: &mut Vec<Match>) {}
+        fn metrics(&self) -> &EngineMetrics {
+            &self.metrics
+        }
+        fn metrics_mut(&mut self) -> &mut EngineMetrics {
+            &mut self.metrics
+        }
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+    }
+
+    fn ev(tid: u32, ts: u64) -> EventRef {
+        Arc::new(Event::new(TypeId(tid), ts, vec![]))
+    }
+
+    #[test]
+    fn run_to_completion_times_and_counts() {
+        let mut e = StubEngine::new(0);
+        let stream = vec![ev(0, 1), ev(1, 2), ev(0, 3)];
+        let r = run_to_completion(&mut e, &stream, true);
+        assert_eq!(r.match_count, 2);
+        assert_eq!(r.matches.len(), 2);
+        assert_eq!(r.metrics.events_processed, 3);
+        assert!(r.metrics.throughput_eps() > 0.0);
+    }
+
+    #[test]
+    fn run_without_collection_still_counts() {
+        let mut e = StubEngine::new(0);
+        let stream = vec![ev(0, 1), ev(0, 2)];
+        let r = run_to_completion(&mut e, &stream, false);
+        assert_eq!(r.match_count, 2);
+        assert!(r.matches.is_empty());
+    }
+
+    #[test]
+    fn multi_engine_dedups_identical_matches() {
+        // Two branches emitting the same signature: only one survives.
+        let me = MultiEngine::new(
+            vec![Box::new(StubEngine::new(7)), Box::new(StubEngine::new(7))],
+            10,
+        );
+        let mut me = me;
+        let mut out = Vec::new();
+        me.process(&ev(0, 1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(me.branches(), 2);
+    }
+
+    #[test]
+    fn multi_engine_unions_distinct_matches() {
+        let mut me = MultiEngine::new(
+            vec![Box::new(StubEngine::new(1)), Box::new(StubEngine::new(2))],
+            10,
+        );
+        let mut out = Vec::new();
+        me.process(&ev(0, 1), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(me.metrics().matches_emitted, 2);
+    }
+}

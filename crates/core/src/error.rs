@@ -1,0 +1,63 @@
+//! Error type shared across the CEP stack.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing schemas, patterns, plans, or parsing
+/// pattern specifications.
+///
+/// Runtime event processing is infallible by design: malformed inputs are
+/// rejected at construction time, so engines never need error paths on the
+/// hot per-event code path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CepError {
+    /// Invalid schema or catalog operation.
+    Schema(String),
+    /// Structurally invalid pattern (e.g., NOT applied to a composite).
+    Pattern(String),
+    /// Invalid evaluation plan for the given pattern.
+    Plan(String),
+    /// Pattern-specification parse error with position information.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset in the input where the error was detected.
+        offset: usize,
+    },
+    /// Missing or inconsistent statistics for plan generation.
+    Stats(String),
+}
+
+impl fmt::Display for CepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CepError::Schema(m) => write!(f, "schema error: {m}"),
+            CepError::Pattern(m) => write!(f, "pattern error: {m}"),
+            CepError::Plan(m) => write!(f, "plan error: {m}"),
+            CepError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            CepError::Stats(m) => write!(f, "statistics error: {m}"),
+        }
+    }
+}
+
+impl Error for CepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CepError::Schema("x".into()).to_string().contains("schema"));
+        assert!(CepError::Pattern("x".into()).to_string().contains("pattern"));
+        assert!(CepError::Plan("x".into()).to_string().contains("plan"));
+        assert!(CepError::Stats("x".into()).to_string().contains("statistics"));
+        let p = CepError::Parse {
+            message: "bad token".into(),
+            offset: 17,
+        };
+        assert!(p.to_string().contains("17"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Primitive events.
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of an event type, assigned by [`crate::schema::Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// Logical occurrence timestamp, in milliseconds.
+pub type Timestamp = u64;
+
+/// A primitive event: one data item of the input stream.
+///
+/// Besides the schema-declared attribute tuple, every event carries:
+///
+/// * `ts` — the occurrence timestamp (streams are ordered by it),
+/// * `seq` — a global serial number reflecting stream position, used by the
+///   strict-contiguity selection strategy (Section 6.2 of the paper augments
+///   events with exactly this attribute) and to give events a total identity,
+/// * `partition` / `part_seq` — the partition id and the per-partition serial
+///   number used by the partition-contiguity strategy.
+///
+/// Engines hold events behind [`Arc`], so partial matches share them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event type.
+    pub type_id: TypeId,
+    /// Occurrence timestamp (ms).
+    pub ts: Timestamp,
+    /// Global serial number in the stream (0-based, strictly increasing).
+    pub seq: u64,
+    /// Partition identifier (for partition contiguity); 0 if unused.
+    pub partition: u32,
+    /// Serial number within the partition (0-based, strictly increasing).
+    pub part_seq: u64,
+    /// Attribute values, positionally matching the type's schema.
+    pub attrs: Vec<Value>,
+}
+
+impl Event {
+    /// Creates an event with unassigned stream coordinates (`seq`,
+    /// `partition`, `part_seq` all zero). Use
+    /// [`StreamBuilder`](crate::stream::StreamBuilder) to assign them.
+    pub fn new(type_id: TypeId, ts: Timestamp, attrs: Vec<Value>) -> Self {
+        Event {
+            type_id,
+            ts,
+            seq: 0,
+            partition: 0,
+            part_seq: 0,
+            attrs,
+        }
+    }
+
+    /// Attribute by index, if present.
+    pub fn attr(&self, idx: usize) -> Option<&Value> {
+        self.attrs.get(idx)
+    }
+
+    /// Rough in-memory footprint of the event, used for the memory metric.
+    pub fn estimated_size_bytes(&self) -> usize {
+        std::mem::size_of::<Event>() + self.attrs.len() * std::mem::size_of::<Value>()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}@{}#{}(", self.type_id.0, self.ts, self.seq)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Shared handle to an event, as stored in buffers and partial matches.
+pub type EventRef = Arc<Event>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_access() {
+        let e = Event::new(TypeId(1), 10, vec![Value::Int(5), Value::Float(1.5)]);
+        assert_eq!(e.attr(0), Some(&Value::Int(5)));
+        assert_eq!(e.attr(2), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = Event::new(TypeId(3), 42, vec![Value::Int(1)]);
+        assert_eq!(e.to_string(), "T3@42#0(1)");
+    }
+
+    #[test]
+    fn size_estimate_scales_with_attrs() {
+        let small = Event::new(TypeId(0), 0, vec![]);
+        let big = Event::new(TypeId(0), 0, vec![Value::Int(0); 8]);
+        assert!(big.estimated_size_bytes() > small.estimated_size_bytes());
+    }
+}

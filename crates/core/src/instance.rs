@@ -1,0 +1,520 @@
+//! Partial-match instances and extension/merge compatibility checks,
+//! shared by the order-based (NFA) and tree-based engines.
+
+use crate::compile::CompiledPattern;
+use crate::event::{EventRef, Timestamp};
+use crate::matches::Binding;
+use crate::metrics::EngineMetrics;
+use crate::selection::SelectionStrategy;
+use std::collections::HashSet;
+
+/// A partial match progressing through the NFA chain.
+///
+/// `bindings` is indexed by *element index* of the compiled pattern (not by
+/// plan step), so predicate checks can address elements directly.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Bindings per element; `None` until the element's plan step runs.
+    pub bindings: Vec<Option<Binding>>,
+    /// Minimum bound timestamp (`u64::MAX` while empty).
+    pub min_ts: Timestamp,
+    /// Maximum bound timestamp (0 while empty).
+    pub max_ts: Timestamp,
+    /// Minimum bound serial number (`u64::MAX` while empty).
+    pub min_seq: u64,
+    /// Maximum bound serial number (0 while empty).
+    pub max_seq: u64,
+    /// Partition of the first bound event (partition contiguity).
+    pub partition: Option<u32>,
+    /// Number of bound events (Kleene sets count their members).
+    pub event_count: usize,
+    /// For an instance waiting at a Kleene state: the smallest serial number
+    /// the accumulator may take next. Enumerates each subset exactly once.
+    pub kl_gate: u64,
+}
+
+impl Instance {
+    /// Fresh empty instance for a pattern of `n` elements.
+    pub fn empty(n: usize) -> Instance {
+        Instance {
+            bindings: vec![None; n],
+            min_ts: Timestamp::MAX,
+            max_ts: 0,
+            min_seq: u64::MAX,
+            max_seq: 0,
+            partition: None,
+            event_count: 0,
+            kl_gate: 0,
+        }
+    }
+
+    /// Whether `seq` is already bound somewhere in this instance.
+    pub fn contains_seq(&self, seq: u64) -> bool {
+        self.bindings
+            .iter()
+            .flatten()
+            .flat_map(|b| b.events())
+            .any(|e| e.seq == seq)
+    }
+
+    /// Whether any bound event was consumed (skip-till-next-match kill).
+    pub fn intersects(&self, consumed: &HashSet<u64>) -> bool {
+        self.bindings
+            .iter()
+            .flatten()
+            .flat_map(|b| b.events())
+            .any(|e| consumed.contains(&e.seq))
+    }
+
+    fn absorb_event_extents(&mut self, e: &EventRef) {
+        self.min_ts = self.min_ts.min(e.ts);
+        self.max_ts = self.max_ts.max(e.ts);
+        self.min_seq = self.min_seq.min(e.seq);
+        self.max_seq = self.max_seq.max(e.seq);
+        self.partition.get_or_insert(e.partition);
+        self.event_count += 1;
+    }
+
+    /// Clone with `event` bound at non-Kleene element `elem`.
+    pub fn with_single(&self, elem: usize, event: EventRef) -> Instance {
+        let mut inst = self.clone();
+        inst.absorb_event_extents(&event);
+        inst.bindings[elem] = Some(Binding::One(event));
+        inst.kl_gate = 0;
+        inst
+    }
+
+    /// Clone with `event` appended to the Kleene accumulator of `elem`.
+    pub fn with_kleene(&self, elem: usize, event: EventRef) -> Instance {
+        let mut inst = self.clone();
+        let gate = event.seq + 1;
+        inst.absorb_event_extents(&event);
+        match &mut inst.bindings[elem] {
+            Some(Binding::Many(es)) => es.push(event),
+            slot @ None => *slot = Some(Binding::Many(vec![event])),
+            Some(Binding::One(_)) => unreachable!("Kleene element bound as single"),
+        }
+        inst.kl_gate = gate;
+        inst
+    }
+
+    /// Size of the Kleene accumulator at `elem` (0 when unbound).
+    pub fn kleene_len(&self, elem: usize) -> usize {
+        match &self.bindings[elem] {
+            Some(Binding::Many(es)) => es.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the instance has expired: nothing arriving at or after the
+    /// watermark can complete it inside the window.
+    pub fn expired(&self, watermark: Timestamp, window: u64) -> bool {
+        self.event_count > 0 && self.min_ts + window < watermark
+    }
+}
+
+/// Checks whether `event` can bind at `elem` given the instance's current
+/// bindings: distinctness, filters, pairwise predicates, temporal
+/// precedence, window, and selection-strategy feasibility.
+///
+/// `metrics` counts predicate evaluations.
+pub fn compatible(
+    cp: &CompiledPattern,
+    inst: &Instance,
+    elem: usize,
+    event: &EventRef,
+    consumed: &HashSet<u64>,
+    metrics: &mut EngineMetrics,
+) -> bool {
+    if cp.strategy.consumes() && consumed.contains(&event.seq) {
+        return false;
+    }
+    if inst.contains_seq(event.seq) {
+        return false;
+    }
+    // Window feasibility.
+    if inst.event_count > 0 {
+        let lo = inst.min_ts.min(event.ts);
+        let hi = inst.max_ts.max(event.ts);
+        if hi - lo > cp.window {
+            return false;
+        }
+    }
+    // Filters.
+    for &pi in cp.filters_of(elem) {
+        metrics.predicate_evaluations += 1;
+        if !cp.predicates[pi].eval_single(cp.elements[elem].position, event) {
+            return false;
+        }
+    }
+    // Pairwise predicates and precedence against bound elements.
+    let pos = cp.elements[elem].position;
+    for (j, binding) in inst.bindings.iter().enumerate() {
+        let Some(binding) = binding else { continue };
+        if j != elem {
+            if cp.must_precede(elem, j) && event.ts >= binding.min_ts() {
+                return false;
+            }
+            if cp.must_precede(j, elem) && binding.max_ts() >= event.ts {
+                return false;
+            }
+        }
+        let pos_j = cp.elements[j].position;
+        for &pi in cp.predicates_between(elem, j) {
+            let p = &cp.predicates[pi];
+            for other in binding.events() {
+                metrics.predicate_evaluations += 1;
+                if !p.eval_pair(pos, event, pos_j, other) {
+                    return false;
+                }
+            }
+        }
+    }
+    // Kleene self-consistency: the new member must respect precedence and
+    // window against the accumulator it joins (already covered: the
+    // accumulator is part of `bindings[elem]`, and elem vs elem precedence
+    // never holds). Nothing further to check.
+
+    // Selection strategies: span feasibility and partition pinning.
+    match cp.strategy {
+        SelectionStrategy::StrictContiguity
+            if !cp.has_kleene() => {
+                let span = inst.max_seq.max(event.seq) - inst.min_seq.min(event.seq);
+                if inst.event_count > 0 && span as usize >= cp.n() {
+                    return false;
+                }
+            }
+        SelectionStrategy::PartitionContiguity => {
+            if let Some(p) = inst.partition {
+                if p != event.partition {
+                    return false;
+                }
+            }
+        }
+        _ => {}
+    }
+    true
+}
+
+/// Checks whether two instances over *disjoint element sets* (sibling
+/// subtrees of a tree plan) can merge: distinct events, window, temporal
+/// precedence, cross predicates, and selection-strategy feasibility.
+pub fn merge_compatible(
+    cp: &CompiledPattern,
+    left: &Instance,
+    right: &Instance,
+    consumed: &HashSet<u64>,
+    metrics: &mut EngineMetrics,
+) -> bool {
+    // Window over the union.
+    let lo = left.min_ts.min(right.min_ts);
+    let hi = left.max_ts.max(right.max_ts);
+    if left.event_count > 0 && right.event_count > 0 && hi - lo > cp.window {
+        return false;
+    }
+    if cp.strategy.consumes() && (left.intersects(consumed) || right.intersects(consumed)) {
+        return false;
+    }
+    // Event distinctness across the two sides.
+    for b in right.bindings.iter().flatten() {
+        for e in b.events() {
+            if left.contains_seq(e.seq) {
+                return false;
+            }
+        }
+    }
+    // Precedence and predicates between every bound pair across sides.
+    for (i, bi) in left.bindings.iter().enumerate() {
+        let Some(bi) = bi else { continue };
+        for (j, bj) in right.bindings.iter().enumerate() {
+            let Some(bj) = bj else { continue };
+            if cp.must_precede(i, j) && bi.max_ts() >= bj.min_ts() {
+                return false;
+            }
+            if cp.must_precede(j, i) && bj.max_ts() >= bi.min_ts() {
+                return false;
+            }
+            let pos_i = cp.elements[i].position;
+            let pos_j = cp.elements[j].position;
+            for &pi in cp.predicates_between(i, j) {
+                let p = &cp.predicates[pi];
+                for x in bi.events() {
+                    for y in bj.events() {
+                        metrics.predicate_evaluations += 1;
+                        if !p.eval_pair(pos_i, x, pos_j, y) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Strategy feasibility.
+    match cp.strategy {
+        SelectionStrategy::StrictContiguity
+            if !cp.has_kleene() => {
+                let span = left.max_seq.max(right.max_seq) - left.min_seq.min(right.min_seq);
+                if span as usize >= cp.n() {
+                    return false;
+                }
+            }
+        SelectionStrategy::PartitionContiguity => {
+            if let (Some(a), Some(b)) = (left.partition, right.partition) {
+                if a != b {
+                    return false;
+                }
+            }
+        }
+        _ => {}
+    }
+    true
+}
+
+impl Instance {
+    /// Merges two instances over disjoint element sets (no compatibility
+    /// checks — call [`merge_compatible`] first).
+    pub fn merge(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for (i, b) in other.bindings.iter().enumerate() {
+            if let Some(b) = b {
+                debug_assert!(out.bindings[i].is_none(), "element bound on both sides");
+                out.bindings[i] = Some(b.clone());
+            }
+        }
+        out.min_ts = self.min_ts.min(other.min_ts);
+        out.max_ts = self.max_ts.max(other.max_ts);
+        out.min_seq = self.min_seq.min(other.min_seq);
+        out.max_seq = self.max_seq.max(other.max_seq);
+        out.partition = self.partition.or(other.partition);
+        out.event_count = self.event_count + other.event_count;
+        out.kl_gate = 0;
+        out
+    }
+}
+
+/// Exact contiguity validation at completion time (the incremental span
+/// check is only a feasibility filter).
+pub fn contiguity_ok(cp: &CompiledPattern, inst: &Instance) -> bool {
+    if !cp.strategy.contiguous() {
+        return true;
+    }
+    let mut events: Vec<&EventRef> = inst
+        .bindings
+        .iter()
+        .flatten()
+        .flat_map(|b| b.events())
+        .collect();
+    events.sort_by_key(|e| e.seq);
+    events
+        .windows(2)
+        .all(|w| cp.strategy.neighbours_ok(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, TypeId};
+    use crate::pattern::PatternBuilder;
+    use crate::predicate::{CmpOp, Predicate};
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn ev(tid: u32, ts: u64, seq: u64, x: i64) -> EventRef {
+        let mut e = Event::new(TypeId(tid), ts, vec![Value::Int(x)]);
+        e.seq = seq;
+        Arc::new(e)
+    }
+
+    fn cp_seq2() -> CompiledPattern {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_binding_updates_extents() {
+        let i = Instance::empty(2).with_single(0, ev(0, 5, 3, 1));
+        assert_eq!(i.min_ts, 5);
+        assert_eq!(i.max_ts, 5);
+        assert_eq!(i.event_count, 1);
+        assert!(i.contains_seq(3));
+        assert!(!i.contains_seq(4));
+    }
+
+    #[test]
+    fn compatibility_respects_predicates_and_order() {
+        let cp = cp_seq2();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let i = Instance::empty(2).with_single(0, ev(0, 5, 0, 10));
+        // c later with bigger x: ok.
+        assert!(compatible(&cp, &i, 1, &ev(1, 6, 1, 20), &consumed, &mut m));
+        // c later with smaller x: predicate fails.
+        assert!(!compatible(&cp, &i, 1, &ev(1, 6, 1, 5), &consumed, &mut m));
+        // c earlier: precedence fails.
+        assert!(!compatible(&cp, &i, 1, &ev(1, 4, 1, 20), &consumed, &mut m));
+        // c too late: window fails.
+        assert!(!compatible(&cp, &i, 1, &ev(1, 16, 1, 20), &consumed, &mut m));
+        assert!(m.predicate_evaluations > 0);
+    }
+
+    #[test]
+    fn distinctness_blocks_same_event() {
+        // Same seq at both positions is rejected even with matching types.
+        let mut b = PatternBuilder::new(10);
+        let a1 = b.event(TypeId(0), "a1");
+        let a2 = b.event(TypeId(0), "a2");
+        let cp = CompiledPattern::compile_single(&b.and([a1, a2]).unwrap()).unwrap();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let e = ev(0, 5, 7, 0);
+        let i = Instance::empty(2).with_single(0, e.clone());
+        assert!(!compatible(&cp, &i, 1, &e, &consumed, &mut m));
+    }
+
+    #[test]
+    fn consumed_events_rejected_under_next_match() {
+        let mut b = PatternBuilder::new(10);
+        b.strategy(SelectionStrategy::SkipTillNextMatch);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "c");
+        let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        let mut m = EngineMetrics::new();
+        let mut consumed = HashSet::new();
+        consumed.insert(1);
+        let i = Instance::empty(2).with_single(0, ev(0, 5, 0, 0));
+        assert!(!compatible(&cp, &i, 1, &ev(1, 6, 1, 0), &consumed, &mut m));
+    }
+
+    #[test]
+    fn kleene_accumulator_grows_with_gate() {
+        let i = Instance::empty(2);
+        let i1 = i.with_kleene(1, ev(1, 2, 4, 0));
+        assert_eq!(i1.kl_gate, 5);
+        assert_eq!(i1.kleene_len(1), 1);
+        let i2 = i1.with_kleene(1, ev(1, 3, 9, 0));
+        assert_eq!(i2.kl_gate, 10);
+        assert_eq!(i2.kleene_len(1), 2);
+        assert_eq!(i2.event_count, 2);
+    }
+
+    #[test]
+    fn expiry_is_window_relative() {
+        let i = Instance::empty(1).with_single(0, ev(0, 100, 0, 0));
+        assert!(!i.expired(105, 10));
+        assert!(!i.expired(110, 10));
+        assert!(i.expired(111, 10));
+        assert!(!Instance::empty(1).expired(1000, 10)); // empty never expires
+    }
+
+    #[test]
+    fn strict_span_feasibility() {
+        let mut b = PatternBuilder::new(10);
+        b.strategy(SelectionStrategy::StrictContiguity);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "c");
+        let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let i = Instance::empty(2).with_single(0, ev(0, 1, 0, 0));
+        // seq 1 adjacent: feasible; seq 5 leaves an unfillable gap.
+        assert!(compatible(&cp, &i, 1, &ev(1, 2, 1, 0), &consumed, &mut m));
+        assert!(!compatible(&cp, &i, 1, &ev(1, 2, 5, 0), &consumed, &mut m));
+    }
+
+    #[test]
+    fn partition_pinning() {
+        let mut b = PatternBuilder::new(10);
+        b.strategy(SelectionStrategy::PartitionContiguity);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "c");
+        let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let mut e0 = Event::new(TypeId(0), 1, vec![Value::Int(0)]);
+        e0.partition = 3;
+        let i = Instance::empty(2).with_single(0, Arc::new(e0));
+        let mut e1 = Event::new(TypeId(1), 2, vec![Value::Int(0)]);
+        e1.seq = 1;
+        e1.partition = 4;
+        assert!(!compatible(&cp, &i, 1, &Arc::new(e1), &consumed, &mut m));
+    }
+
+    #[test]
+    fn merge_combines_disjoint_sides() {
+        let cp = cp_seq2();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let left = Instance::empty(2).with_single(0, ev(0, 1, 0, 1));
+        let right = Instance::empty(2).with_single(1, ev(1, 2, 1, 9));
+        assert!(merge_compatible(&cp, &left, &right, &consumed, &mut m));
+        let merged = left.merge(&right);
+        assert_eq!(merged.event_count, 2);
+        assert_eq!(merged.min_ts, 1);
+        assert_eq!(merged.max_ts, 2);
+        assert!(merged.bindings.iter().all(|b| b.is_some()));
+    }
+
+    #[test]
+    fn merge_rejects_order_violation() {
+        let cp = cp_seq2();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let left = Instance::empty(2).with_single(0, ev(0, 5, 1, 1));
+        let right = Instance::empty(2).with_single(1, ev(1, 2, 0, 9));
+        assert!(!merge_compatible(&cp, &left, &right, &consumed, &mut m));
+    }
+
+    #[test]
+    fn merge_rejects_cross_predicate_violation() {
+        let cp = cp_seq2();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let left = Instance::empty(2).with_single(0, ev(0, 1, 0, 9));
+        let right = Instance::empty(2).with_single(1, ev(1, 2, 1, 1));
+        assert!(!merge_compatible(&cp, &left, &right, &consumed, &mut m));
+    }
+
+    #[test]
+    fn merge_rejects_shared_event() {
+        let mut b = PatternBuilder::new(10);
+        let a1 = b.event(TypeId(0), "a1");
+        let a2 = b.event(TypeId(0), "a2");
+        let cp = CompiledPattern::compile_single(&b.and([a1, a2]).unwrap()).unwrap();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let e = ev(0, 1, 7, 0);
+        let left = Instance::empty(2).with_single(0, e.clone());
+        let right = Instance::empty(2).with_single(1, e);
+        assert!(!merge_compatible(&cp, &left, &right, &consumed, &mut m));
+    }
+
+    #[test]
+    fn merge_rejects_window_violation() {
+        let cp = cp_seq2();
+        let mut m = EngineMetrics::new();
+        let consumed = HashSet::new();
+        let left = Instance::empty(2).with_single(0, ev(0, 1, 0, 1));
+        let right = Instance::empty(2).with_single(1, ev(1, 50, 1, 9));
+        assert!(!merge_compatible(&cp, &left, &right, &consumed, &mut m));
+    }
+
+    #[test]
+    fn contiguity_final_check() {
+        let mut b = PatternBuilder::new(10);
+        b.strategy(SelectionStrategy::StrictContiguity);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "c");
+        let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        let good = Instance::empty(2)
+            .with_single(0, ev(0, 1, 0, 0))
+            .with_single(1, ev(1, 2, 1, 0));
+        assert!(contiguity_ok(&cp, &good));
+        let bad = Instance::empty(2)
+            .with_single(0, ev(0, 1, 0, 0))
+            .with_single(1, ev(1, 2, 2, 0));
+        assert!(!contiguity_ok(&cp, &bad));
+    }
+}

@@ -1,0 +1,144 @@
+//! Engine runtime metrics: the measurement side of Section 7.2.
+
+/// Counters collected by an engine while processing a stream.
+///
+/// * **Throughput** is primitive events processed per second of engine wall
+///   time.
+/// * **Memory** is the peak of live partial matches plus buffered events,
+///   with a byte estimate — the harness's robust analogue of the paper's
+///   peak-RSS measurement.
+/// * **Latency** sums, per emitted match, the wall time between the start
+///   of processing of the event that completed the match and its emission
+///   (deferred emissions add the deferral processing time).
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Total events offered to the engine.
+    pub events_processed: u64,
+    /// Events of types that participate in the pattern.
+    pub events_relevant: u64,
+    /// Full matches emitted.
+    pub matches_emitted: u64,
+    /// Partial matches (instances) ever created.
+    pub partial_matches_created: u64,
+    /// Currently live partial matches.
+    pub live_partial_matches: usize,
+    /// Peak of live partial matches.
+    pub peak_partial_matches: usize,
+    /// Currently buffered events.
+    pub buffered_events: usize,
+    /// Peak of buffered events.
+    pub peak_buffered_events: usize,
+    /// Peak estimated bytes of (partial matches + buffers).
+    pub peak_memory_bytes: usize,
+    /// Predicate evaluations performed.
+    pub predicate_evaluations: u64,
+    /// Total wall time spent inside the engine, in nanoseconds (set by
+    /// [`crate::engine::run_to_completion`]).
+    pub wall_time_ns: u64,
+    /// Summed per-match detection latency in nanoseconds.
+    pub match_latency_ns_total: u64,
+}
+
+/// Estimated bytes per live partial match (bindings vector + bookkeeping).
+pub const PARTIAL_MATCH_BYTES: usize = 96;
+/// Estimated bytes per buffered event (Arc + shared payload share).
+pub const BUFFERED_EVENT_BYTES: usize = 72;
+
+impl EngineMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the current live object counts, updating the peaks.
+    pub fn record_live(&mut self, partial_matches: usize, buffered_events: usize) {
+        self.live_partial_matches = partial_matches;
+        self.buffered_events = buffered_events;
+        self.peak_partial_matches = self.peak_partial_matches.max(partial_matches);
+        self.peak_buffered_events = self.peak_buffered_events.max(buffered_events);
+        let bytes =
+            partial_matches * PARTIAL_MATCH_BYTES + buffered_events * BUFFERED_EVENT_BYTES;
+        self.peak_memory_bytes = self.peak_memory_bytes.max(bytes);
+    }
+
+    /// Events per second of engine wall time; 0 before any timing.
+    pub fn throughput_eps(&self) -> f64 {
+        if self.wall_time_ns == 0 {
+            return 0.0;
+        }
+        self.events_processed as f64 / (self.wall_time_ns as f64 / 1e9)
+    }
+
+    /// Mean per-match detection latency in milliseconds.
+    pub fn avg_latency_ms(&self) -> f64 {
+        if self.matches_emitted == 0 {
+            return 0.0;
+        }
+        self.match_latency_ns_total as f64 / self.matches_emitted as f64 / 1e6
+    }
+
+    /// Merges counters from another engine (used by multi-plan evaluation).
+    pub fn absorb(&mut self, other: &EngineMetrics) {
+        self.events_relevant += other.events_relevant;
+        self.matches_emitted += other.matches_emitted;
+        self.partial_matches_created += other.partial_matches_created;
+        self.live_partial_matches += other.live_partial_matches;
+        self.peak_partial_matches += other.peak_partial_matches;
+        self.buffered_events += other.buffered_events;
+        self.peak_buffered_events += other.peak_buffered_events;
+        self.peak_memory_bytes += other.peak_memory_bytes;
+        self.predicate_evaluations += other.predicate_evaluations;
+        self.match_latency_ns_total += other.match_latency_ns_total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_are_monotone() {
+        let mut m = EngineMetrics::new();
+        m.record_live(5, 10);
+        m.record_live(2, 3);
+        assert_eq!(m.live_partial_matches, 2);
+        assert_eq!(m.peak_partial_matches, 5);
+        assert_eq!(m.peak_buffered_events, 10);
+        assert!(m.peak_memory_bytes >= 5 * PARTIAL_MATCH_BYTES);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let mut m = EngineMetrics::new();
+        m.events_processed = 1000;
+        m.wall_time_ns = 500_000_000; // 0.5 s
+        assert!((m.throughput_eps() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = EngineMetrics::new();
+        assert_eq!(m.throughput_eps(), 0.0);
+        assert_eq!(m.avg_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn latency_average() {
+        let mut m = EngineMetrics::new();
+        m.matches_emitted = 4;
+        m.match_latency_ns_total = 8_000_000; // 8 ms total
+        assert!((m.avg_latency_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = EngineMetrics::new();
+        a.matches_emitted = 1;
+        let mut b = EngineMetrics::new();
+        b.matches_emitted = 2;
+        b.peak_partial_matches = 7;
+        a.absorb(&b);
+        assert_eq!(a.matches_emitted, 3);
+        assert_eq!(a.peak_partial_matches, 7);
+    }
+}

@@ -1,0 +1,535 @@
+//! CEP pattern language (Section 2.1 of the paper).
+//!
+//! A [`Pattern`] combines an operator tree over primitive events
+//! ([`PatternExpr`]), a conjunction of pairwise [`Predicate`]s, a time
+//! window, and a [`SelectionStrategy`]. Following the paper's taxonomy:
+//!
+//! * **simple** patterns have a single n-ary operator and at most one unary
+//!   operator (`NOT`/`KL`) per primitive event;
+//! * **pure** patterns contain no unary operators;
+//! * **nested** patterns may combine several n-ary operators (e.g., a
+//!   disjunction of sequences) and are handled by DNF decomposition
+//!   (Section 5.4, implemented in [`crate::compile`]).
+
+use crate::error::CepError;
+use crate::event::TypeId;
+use crate::predicate::Predicate;
+use crate::selection::SelectionStrategy;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Operator tree of a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternExpr {
+    /// A primitive event to be matched.
+    Event {
+        /// Unique position of this primitive event within the pattern;
+        /// predicates reference events by position.
+        position: usize,
+        /// The event type accepted at this position.
+        event_type: TypeId,
+        /// Variable name from the specification (e.g. `a` in `A a`).
+        name: String,
+    },
+    /// Negation: the wrapped primitive event must *not* occur (Section 5.3).
+    Not(Box<PatternExpr>),
+    /// Kleene closure: one or more occurrences of the wrapped primitive
+    /// event (Section 5.2).
+    Kleene(Box<PatternExpr>),
+    /// Temporally ordered conjunction.
+    Seq(Vec<PatternExpr>),
+    /// Unordered conjunction.
+    And(Vec<PatternExpr>),
+    /// Disjunction.
+    Or(Vec<PatternExpr>),
+}
+
+impl PatternExpr {
+    /// The position of this node if it is a primitive event (possibly
+    /// wrapped in a unary operator).
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            PatternExpr::Event { position, .. } => Some(*position),
+            PatternExpr::Not(inner) | PatternExpr::Kleene(inner) => inner.position(),
+            _ => None,
+        }
+    }
+
+    /// Whether this node is a primitive event, possibly under a unary
+    /// operator.
+    pub fn is_primitive(&self) -> bool {
+        match self {
+            PatternExpr::Event { .. } => true,
+            PatternExpr::Not(inner) | PatternExpr::Kleene(inner) => {
+                matches!(**inner, PatternExpr::Event { .. })
+            }
+            _ => false,
+        }
+    }
+
+    /// Collects `(position, event_type, negated, kleene)` for every primitive
+    /// event in the expression, in specification order.
+    pub fn primitives(&self) -> Vec<PrimitiveInfo> {
+        let mut out = Vec::new();
+        self.collect(&mut out, false, false);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<PrimitiveInfo>, negated: bool, kleene: bool) {
+        match self {
+            PatternExpr::Event {
+                position,
+                event_type,
+                name,
+            } => out.push(PrimitiveInfo {
+                position: *position,
+                event_type: *event_type,
+                name: name.clone(),
+                negated,
+                kleene,
+            }),
+            PatternExpr::Not(inner) => inner.collect(out, true, kleene),
+            PatternExpr::Kleene(inner) => inner.collect(out, negated, true),
+            PatternExpr::Seq(children) | PatternExpr::And(children) | PatternExpr::Or(children) => {
+                for c in children {
+                    c.collect(out, negated, kleene);
+                }
+            }
+        }
+    }
+
+    /// Whether the expression contains an `OR` operator.
+    pub fn contains_or(&self) -> bool {
+        match self {
+            PatternExpr::Or(_) => true,
+            PatternExpr::Event { .. } => false,
+            PatternExpr::Not(i) | PatternExpr::Kleene(i) => i.contains_or(),
+            PatternExpr::Seq(cs) | PatternExpr::And(cs) => cs.iter().any(|c| c.contains_or()),
+        }
+    }
+
+    fn validate(&self, seen: &mut HashSet<usize>) -> Result<(), CepError> {
+        match self {
+            PatternExpr::Event { position, .. } => {
+                if !seen.insert(*position) {
+                    return Err(CepError::Pattern(format!(
+                        "position {position} used more than once"
+                    )));
+                }
+                Ok(())
+            }
+            PatternExpr::Not(inner) => match **inner {
+                PatternExpr::Event { .. } => inner.validate(seen),
+                _ => Err(CepError::Pattern(
+                    "NOT may only be applied to a primitive event".into(),
+                )),
+            },
+            PatternExpr::Kleene(inner) => match **inner {
+                PatternExpr::Event { .. } => inner.validate(seen),
+                _ => Err(CepError::Pattern(
+                    "KL may only be applied to a primitive event".into(),
+                )),
+            },
+            PatternExpr::Seq(children) | PatternExpr::And(children) | PatternExpr::Or(children) => {
+                if children.is_empty() {
+                    return Err(CepError::Pattern("n-ary operator with no operands".into()));
+                }
+                for c in children {
+                    c.validate(seen)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for PatternExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, op: &str, cs: &[PatternExpr]) -> fmt::Result {
+            write!(f, "{op}(")?;
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            f.write_str(")")
+        }
+        match self {
+            PatternExpr::Event {
+                position, name, ..
+            } => write!(f, "{name}#{position}"),
+            PatternExpr::Not(i) => write!(f, "NOT({i})"),
+            PatternExpr::Kleene(i) => write!(f, "KL({i})"),
+            PatternExpr::Seq(cs) => list(f, "SEQ", cs),
+            PatternExpr::And(cs) => list(f, "AND", cs),
+            PatternExpr::Or(cs) => list(f, "OR", cs),
+        }
+    }
+}
+
+/// Summary of one primitive event occurrence inside a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimitiveInfo {
+    /// Unique pattern position.
+    pub position: usize,
+    /// Accepted event type.
+    pub event_type: TypeId,
+    /// Variable name.
+    pub name: String,
+    /// Wrapped in `NOT`.
+    pub negated: bool,
+    /// Wrapped in `KL`.
+    pub kleene: bool,
+}
+
+/// A complete pattern specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Operator tree.
+    pub expr: PatternExpr,
+    /// Conjunction of pairwise predicates (the `WHERE` clause).
+    pub predicates: Vec<Predicate>,
+    /// Time window `W` in milliseconds (the `WITHIN` clause): the maximal
+    /// allowed timestamp difference between any two events of a match.
+    pub window: u64,
+    /// Event selection strategy.
+    pub strategy: SelectionStrategy,
+}
+
+impl Pattern {
+    /// Validates pattern structure and predicate references.
+    pub fn validate(&self) -> Result<(), CepError> {
+        if self.window == 0 {
+            return Err(CepError::Pattern("time window must be positive".into()));
+        }
+        let mut seen = HashSet::new();
+        self.expr.validate(&mut seen)?;
+        for p in &self.predicates {
+            let (a, b) = p.position_pair();
+            if a != usize::MAX && !seen.contains(&a) {
+                return Err(CepError::Pattern(format!(
+                    "predicate {p} references unknown position {a}"
+                )));
+            }
+            if let Some(b) = b {
+                if !seen.contains(&b) {
+                    return Err(CepError::Pattern(format!(
+                        "predicate {p} references unknown position {b}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All primitive events of the pattern, in specification order.
+    pub fn primitives(&self) -> Vec<PrimitiveInfo> {
+        self.expr.primitives()
+    }
+
+    /// Number of primitive events (the paper's "pattern size").
+    pub fn size(&self) -> usize {
+        self.primitives().len()
+    }
+
+    /// Whether the pattern is *simple*: a single n-ary operator over
+    /// (possibly unary-wrapped) primitive events.
+    pub fn is_simple(&self) -> bool {
+        match &self.expr {
+            PatternExpr::Seq(cs) | PatternExpr::And(cs) | PatternExpr::Or(cs) => {
+                cs.iter().all(|c| c.is_primitive())
+            }
+            e => e.is_primitive(),
+        }
+    }
+
+    /// Whether the pattern is *pure*: simple and without unary operators.
+    pub fn is_pure(&self) -> bool {
+        self.is_simple() && self.primitives().iter().all(|p| !p.negated && !p.kleene)
+    }
+
+    /// Predicates that reference position `pos`.
+    pub fn predicates_on(&self, pos: usize) -> impl Iterator<Item = &Predicate> {
+        self.predicates.iter().filter(move |p| p.references(pos))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PATTERN {}", self.expr)?;
+        if !self.predicates.is_empty() {
+            f.write_str(" WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        write!(f, " WITHIN {}", self.window)
+    }
+}
+
+/// Handle to a primitive event allocated by [`PatternBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ev {
+    /// Pattern position of this event.
+    pub position: usize,
+    /// Event type accepted at the position.
+    pub event_type: TypeId,
+}
+
+impl Ev {
+    /// The position, for use in [`Predicate`] constructors.
+    pub fn pos(self) -> usize {
+        self.position
+    }
+}
+
+/// Incremental pattern construction with automatic position assignment.
+///
+/// ```
+/// use cep_core::pattern::{PatternBuilder, PatternExpr};
+/// use cep_core::predicate::{CmpOp, Predicate};
+/// use cep_core::event::TypeId;
+///
+/// let mut b = PatternBuilder::new(20 * 60 * 1000); // 20-minute window
+/// let m = b.event(TypeId(0), "m");
+/// let g = b.event(TypeId(1), "g");
+/// let i = b.event(TypeId(2), "i");
+/// b.predicate(Predicate::attr_cmp(m.pos(), 1, CmpOp::Lt, g.pos(), 1));
+/// let pattern = b.and([m, g, i]).unwrap();
+/// assert!(pattern.is_pure());
+/// ```
+#[derive(Debug)]
+pub struct PatternBuilder {
+    next_position: usize,
+    names: Vec<String>,
+    predicates: Vec<Predicate>,
+    window: u64,
+    strategy: SelectionStrategy,
+}
+
+impl PatternBuilder {
+    /// Starts a pattern with the given time window (ms).
+    pub fn new(window: u64) -> Self {
+        PatternBuilder {
+            next_position: 0,
+            names: Vec::new(),
+            predicates: Vec::new(),
+            window,
+            strategy: SelectionStrategy::default(),
+        }
+    }
+
+    /// Sets the selection strategy (default: skip-till-any-match).
+    pub fn strategy(&mut self, strategy: SelectionStrategy) -> &mut Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Allocates a primitive event with a fresh position.
+    pub fn event(&mut self, event_type: TypeId, name: &str) -> Ev {
+        let position = self.next_position;
+        self.next_position += 1;
+        self.names.push(name.to_owned());
+        Ev {
+            position,
+            event_type,
+        }
+    }
+
+    /// Adds a predicate to the `WHERE` conjunction.
+    pub fn predicate(&mut self, p: Predicate) -> &mut Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Expression node for a plain event handle.
+    pub fn expr(&self, ev: Ev) -> PatternExpr {
+        PatternExpr::Event {
+            position: ev.position,
+            event_type: ev.event_type,
+            name: self.names[ev.position].clone(),
+        }
+    }
+
+    /// Expression node negating an event.
+    pub fn not(&self, ev: Ev) -> PatternExpr {
+        PatternExpr::Not(Box::new(self.expr(ev)))
+    }
+
+    /// Expression node applying Kleene closure to an event.
+    pub fn kleene(&self, ev: Ev) -> PatternExpr {
+        PatternExpr::Kleene(Box::new(self.expr(ev)))
+    }
+
+    /// Finishes the pattern with an arbitrary expression tree.
+    pub fn finish(self, expr: PatternExpr) -> Result<Pattern, CepError> {
+        let p = Pattern {
+            expr,
+            predicates: self.predicates,
+            window: self.window,
+            strategy: self.strategy,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Finishes as `SEQ` over plain event handles.
+    pub fn seq(self, events: impl IntoIterator<Item = Ev>) -> Result<Pattern, CepError> {
+        let children: Vec<_> = events.into_iter().map(|e| self.expr(e)).collect();
+        self.finish(PatternExpr::Seq(children))
+    }
+
+    /// Finishes as `SEQ` over arbitrary expression nodes (for `NOT`/`KL`).
+    pub fn seq_exprs(
+        self,
+        children: impl IntoIterator<Item = PatternExpr>,
+    ) -> Result<Pattern, CepError> {
+        self.finish(PatternExpr::Seq(children.into_iter().collect()))
+    }
+
+    /// Finishes as `AND` over plain event handles.
+    pub fn and(self, events: impl IntoIterator<Item = Ev>) -> Result<Pattern, CepError> {
+        let children: Vec<_> = events.into_iter().map(|e| self.expr(e)).collect();
+        self.finish(PatternExpr::And(children))
+    }
+
+    /// Finishes as `AND` over arbitrary expression nodes.
+    pub fn and_exprs(
+        self,
+        children: impl IntoIterator<Item = PatternExpr>,
+    ) -> Result<Pattern, CepError> {
+        self.finish(PatternExpr::And(children.into_iter().collect()))
+    }
+
+    /// Finishes as `OR` over arbitrary expression nodes.
+    pub fn or_exprs(
+        self,
+        children: impl IntoIterator<Item = PatternExpr>,
+    ) -> Result<Pattern, CepError> {
+        self.finish(PatternExpr::Or(children.into_iter().collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn t(i: u32) -> TypeId {
+        TypeId(i)
+    }
+
+    #[test]
+    fn builder_assigns_positions() {
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        assert_eq!(a.pos(), 0);
+        assert_eq!(c.pos(), 1);
+        let p = b.seq([a, c]).unwrap();
+        assert_eq!(p.size(), 2);
+        assert!(p.is_pure());
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn negation_and_kleene_classification() {
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(t(0), "a");
+        let n = b.event(t(1), "n");
+        let k = b.event(t(2), "k");
+        let a_e = b.expr(a);
+        let n_e = b.not(n);
+        let k_e = b.kleene(k);
+        let p = b.seq_exprs([a_e, n_e, k_e]).unwrap();
+        assert!(p.is_simple());
+        assert!(!p.is_pure());
+        let prims = p.primitives();
+        assert!(prims[1].negated && !prims[1].kleene);
+        assert!(prims[2].kleene && !prims[2].negated);
+    }
+
+    #[test]
+    fn nested_pattern_detection() {
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let d = b.event(t(2), "d");
+        let a_e = b.expr(a);
+        let or = PatternExpr::Or(vec![b.expr(c), b.expr(d)]);
+        let p = b.and_exprs([a_e, or]).unwrap();
+        assert!(!p.is_simple());
+        assert!(p.expr.contains_or());
+        assert_eq!(p.size(), 3);
+    }
+
+    #[test]
+    fn predicate_reference_validation() {
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, 7, 0));
+        assert!(b.seq([a, c]).is_err());
+    }
+
+    #[test]
+    fn not_over_composite_rejected() {
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let inner = PatternExpr::And(vec![b.expr(a), b.expr(c)]);
+        assert!(b.finish(PatternExpr::Not(Box::new(inner))).is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let mut b = PatternBuilder::new(0);
+        let a = b.event(t(0), "a");
+        assert!(b.seq([a]).is_err());
+    }
+
+    #[test]
+    fn empty_nary_rejected() {
+        let b = PatternBuilder::new(10);
+        assert!(b.finish(PatternExpr::Seq(vec![])).is_err());
+    }
+
+    #[test]
+    fn duplicate_position_rejected() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let e1 = b.expr(a);
+        let e2 = b.expr(a);
+        assert!(b.finish(PatternExpr::And(vec![e1, e2])).is_err());
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        let p = b.seq([a, c]).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("SEQ"));
+        assert!(s.contains("WITHIN 10"));
+        assert!(s.contains("WHERE"));
+    }
+
+    #[test]
+    fn predicates_on_filters_by_position() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let d = b.event(t(2), "d");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        b.predicate(Predicate::attr_cmp(c.pos(), 0, CmpOp::Lt, d.pos(), 0));
+        let p = b.seq([a, c, d]).unwrap();
+        assert_eq!(p.predicates_on(0).count(), 1);
+        assert_eq!(p.predicates_on(1).count(), 2);
+    }
+}

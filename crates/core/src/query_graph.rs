@@ -1,0 +1,235 @@
+//! Query graphs and topology detection (Section 4.3).
+//!
+//! The query graph of a pattern has one vertex per positive element and an
+//! edge wherever a *real* predicate links two elements (temporal-order
+//! constraints from the SEQ→AND rewrite are not edges: they exist between
+//! every pair and carry no structure). Topology classes matter because the
+//! paper cites polynomial-time JQPG algorithms for acyclic graphs (IK/KBZ,
+//! applicable thanks to the ASI property proven in Appendix A) and notes
+//! empirical results for stars and chains.
+
+use crate::stats::PatternStats;
+
+/// Topology class of a query graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// No edges at all (pure cross product).
+    EdgeFree,
+    /// Connected, acyclic, every vertex degree <= 2 (a path).
+    Chain,
+    /// Connected, acyclic, one center adjacent to all others.
+    Star,
+    /// Connected and acyclic, but neither chain nor star.
+    Tree,
+    /// Acyclic but disconnected (a forest with >= 2 components with edges,
+    /// or isolated vertices plus edges).
+    Forest,
+    /// Every pair of vertices is linked.
+    Clique,
+    /// Contains a cycle but is not a clique.
+    Cyclic,
+}
+
+/// Undirected query graph over pattern elements.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    n: usize,
+    adj: Vec<Vec<bool>>,
+}
+
+impl QueryGraph {
+    /// Builds the graph from pattern statistics using the explicit-predicate
+    /// edges.
+    pub fn from_stats(stats: &PatternStats) -> QueryGraph {
+        let n = stats.n();
+        let adj = (0..n)
+            .map(|i| (0..n).map(|j| i != j && stats.explicit_pair[i][j]).collect())
+            .collect();
+        QueryGraph { n, adj }
+    }
+
+    /// Builds a graph from an explicit edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> QueryGraph {
+        let mut adj = vec![vec![false; n]; n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n && a != b, "invalid edge ({a},{b})");
+            adj[a][b] = true;
+            adj[b][a] = true;
+        }
+        QueryGraph { n, adj }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether vertices `i` and `j` are adjacent.
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.adj[i][j]
+    }
+
+    /// Degree of vertex `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].iter().filter(|&&b| b).count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        (0..self.n).map(|i| self.degree(i)).sum::<usize>() / 2
+    }
+
+    /// Neighbours of vertex `i`.
+    pub fn neighbours(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[i]
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(j, _)| j)
+    }
+
+    /// Connected components (vertex lists).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut out = Vec::new();
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = vec![s];
+            seen[s] = true;
+            let mut stack = vec![s];
+            while let Some(v) = stack.pop() {
+                for u in self.neighbours(v) {
+                    if !seen[u] {
+                        seen[u] = true;
+                        comp.push(u);
+                        stack.push(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Whether the graph contains a cycle.
+    pub fn is_cyclic(&self) -> bool {
+        // A forest has exactly n - #components edges.
+        self.edge_count() > self.n - self.components().len()
+    }
+
+    /// Whether the graph is connected and acyclic.
+    pub fn is_tree(&self) -> bool {
+        self.components().len() == 1 && !self.is_cyclic()
+    }
+
+    /// Whether the graph is acyclic (possibly disconnected).
+    pub fn is_forest(&self) -> bool {
+        !self.is_cyclic()
+    }
+
+    /// Classifies the topology (Section 4.3 query types).
+    pub fn topology(&self) -> Topology {
+        let m = self.edge_count();
+        if m == 0 {
+            return Topology::EdgeFree;
+        }
+        if self.n >= 3 && m == self.n * (self.n - 1) / 2 {
+            return Topology::Clique;
+        }
+        if self.is_cyclic() {
+            return Topology::Cyclic;
+        }
+        if self.components().len() > 1 {
+            return Topology::Forest;
+        }
+        // Connected tree: chain / star / general tree.
+        let max_deg = (0..self.n).map(|i| self.degree(i)).max().unwrap_or(0);
+        if max_deg <= 2 {
+            return Topology::Chain;
+        }
+        if (0..self.n).any(|c| self.degree(c) == self.n - 1) {
+            return Topology::Star;
+        }
+        Topology::Tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_detection() {
+        let g = QueryGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.topology(), Topology::Chain);
+        assert!(g.is_tree());
+        assert!(!g.is_cyclic());
+    }
+
+    #[test]
+    fn star_detection() {
+        let g = QueryGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.topology(), Topology::Star);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn general_tree_detection() {
+        // A "broom": path 0-1-2 with extra leaves 3,4 on vertex 2 and 5 on 1.
+        let g = QueryGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (1, 5)]);
+        assert_eq!(g.topology(), Topology::Tree);
+    }
+
+    #[test]
+    fn clique_and_cycle_detection() {
+        let clique = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(clique.topology(), Topology::Clique);
+        let cyc = QueryGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(cyc.topology(), Topology::Cyclic);
+        assert!(cyc.is_cyclic());
+    }
+
+    #[test]
+    fn forest_and_edge_free() {
+        let forest = QueryGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(forest.topology(), Topology::Forest);
+        assert!(forest.is_forest());
+        assert!(!forest.is_tree());
+        let empty = QueryGraph::from_edges(3, &[]);
+        assert_eq!(empty.topology(), Topology::EdgeFree);
+        assert_eq!(empty.components().len(), 3);
+    }
+
+    #[test]
+    fn two_vertex_chain() {
+        let g = QueryGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(g.topology(), Topology::Chain);
+    }
+
+    #[test]
+    fn from_stats_uses_explicit_edges_only() {
+        let stats = PatternStats::synthetic(
+            1.0,
+            vec![1.0, 1.0, 1.0],
+            vec![
+                vec![1.0, 0.3, 1.0],
+                vec![0.3, 1.0, 1.0],
+                vec![1.0, 1.0, 1.0],
+            ],
+        );
+        let g = QueryGraph::from_stats(&stats);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn components_enumeration() {
+        let g = QueryGraph::from_edges(5, &[(0, 1), (3, 4)]);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+}

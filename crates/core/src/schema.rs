@@ -1,0 +1,191 @@
+//! Event type schemas and the type catalog.
+
+use crate::error::CepError;
+use crate::event::TypeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Kind of an attribute value (see [`crate::value::Value`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// String.
+    Str,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Bool => "bool",
+            ValueKind::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Declaration of a single event attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Attribute name, unique within its schema.
+    pub name: String,
+    /// Declared kind.
+    pub kind: ValueKind,
+}
+
+/// Schema of one primitive event type.
+///
+/// The paper assumes every primitive event has a well-defined type
+/// (Section 2.1); a schema declares the attribute tuple carried by events of
+/// that type. The occurrence timestamp and stream serial number are intrinsic
+/// to every event and are not part of the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSchema {
+    /// Identifier assigned by the catalog.
+    pub type_id: TypeId,
+    /// Human-readable type name (e.g., a stock ticker).
+    pub name: String,
+    /// Declared attributes, addressed by index in events.
+    pub attributes: Vec<AttributeDef>,
+}
+
+impl EventSchema {
+    /// Index of the attribute named `name`, if declared.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+}
+
+/// Registry of event types known to a CEP deployment.
+///
+/// Types are registered once and addressed by [`TypeId`] thereafter; all
+/// pattern and engine code paths work with ids, never names.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    schemas: Vec<EventSchema>,
+    by_name: HashMap<String, TypeId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new event type and returns its id.
+    ///
+    /// # Errors
+    /// Returns [`CepError::Schema`] if the name is already registered or an
+    /// attribute name is duplicated.
+    pub fn add_type(
+        &mut self,
+        name: &str,
+        attributes: &[(&str, ValueKind)],
+    ) -> Result<TypeId, CepError> {
+        if self.by_name.contains_key(name) {
+            return Err(CepError::Schema(format!(
+                "event type {name:?} already registered"
+            )));
+        }
+        for (i, (a, _)) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|(b, _)| a == b) {
+                return Err(CepError::Schema(format!(
+                    "duplicate attribute {a:?} in event type {name:?}"
+                )));
+            }
+        }
+        let type_id = TypeId(self.schemas.len() as u32);
+        self.schemas.push(EventSchema {
+            type_id,
+            name: name.to_owned(),
+            attributes: attributes
+                .iter()
+                .map(|(n, k)| AttributeDef {
+                    name: (*n).to_owned(),
+                    kind: *k,
+                })
+                .collect(),
+        });
+        self.by_name.insert(name.to_owned(), type_id);
+        Ok(type_id)
+    }
+
+    /// Looks up a type id by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Schema of a registered type.
+    pub fn schema(&self, id: TypeId) -> Option<&EventSchema> {
+        self.schemas.get(id.0 as usize)
+    }
+
+    /// Name of a registered type, or `"?<id>"` if unknown.
+    pub fn type_name(&self, id: TypeId) -> String {
+        self.schema(id)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| format!("?{}", id.0))
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Iterates over all registered schemas.
+    pub fn iter(&self) -> impl Iterator<Item = &EventSchema> {
+        self.schemas.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        let a = cat
+            .add_type("MSFT", &[("price", ValueKind::Float), ("difference", ValueKind::Float)])
+            .unwrap();
+        let b = cat.add_type("GOOG", &[("price", ValueKind::Float)]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(cat.type_id("MSFT"), Some(a));
+        assert_eq!(cat.schema(a).unwrap().attr_index("difference"), Some(1));
+        assert_eq!(cat.schema(b).unwrap().attr_index("difference"), None);
+        assert_eq!(cat.type_name(a), "MSFT");
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_type("A", &[]).unwrap();
+        assert!(cat.add_type("A", &[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat.add_type("A", &[("x", ValueKind::Int), ("x", ValueKind::Int)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_type_name() {
+        let cat = Catalog::new();
+        assert_eq!(cat.type_name(TypeId(9)), "?9");
+        assert!(cat.is_empty());
+    }
+}

@@ -1,0 +1,474 @@
+//! Statistics: arrival rates and predicate selectivities (Sections 4.1, 6.3).
+//!
+//! Plan generation consumes a [`PatternStats`]: per-element arrival rates
+//! and a pairwise selectivity matrix for one [`CompiledPattern`]. It is
+//! built from type-level [`MeasuredStats`] plus per-predicate selectivities,
+//! applying the Section 5 planning transforms:
+//!
+//! * Kleene elements get the power-set rate `r' = 2^{rW}/W` (Section 5.2);
+//! * each temporal precedence constraint contributes selectivity 0.5 (the
+//!   SEQ→AND rewrite of Section 5.1, under pairwise independence).
+
+use crate::compile::CompiledPattern;
+use crate::error::CepError;
+use crate::event::{EventRef, TypeId};
+use crate::predicate::Predicate;
+use std::collections::HashMap;
+
+/// Options controlling the statistics transforms.
+#[derive(Debug, Clone)]
+pub struct StatsOptions {
+    /// Selectivity assigned to each pairwise temporal-order constraint
+    /// introduced by the SEQ→AND rewrite. 0.5 models uniformly random
+    /// arrival order.
+    pub temporal_selectivity: f64,
+    /// Cap on the exponent of the Kleene rate transform `2^{rW}`; keeps the
+    /// cost arithmetic inside `f64` range while preserving the "enormous
+    /// rate" effect the transform is designed to have.
+    pub kleene_exponent_cap: f64,
+}
+
+impl Default for StatsOptions {
+    fn default() -> Self {
+        StatsOptions {
+            temporal_selectivity: 0.5,
+            kleene_exponent_cap: 100.0,
+        }
+    }
+}
+
+/// Type-level statistics measured from a stream.
+#[derive(Debug, Clone, Default)]
+pub struct MeasuredStats {
+    /// Observed stream duration in milliseconds.
+    pub duration_ms: u64,
+    /// Event counts per type.
+    pub type_counts: HashMap<TypeId, u64>,
+}
+
+impl MeasuredStats {
+    /// Measures arrival rates over a ts-ordered stream.
+    pub fn measure(stream: &[EventRef]) -> MeasuredStats {
+        let mut type_counts: HashMap<TypeId, u64> = HashMap::new();
+        for e in stream {
+            *type_counts.entry(e.type_id).or_insert(0) += 1;
+        }
+        let duration_ms = match (stream.first(), stream.last()) {
+            (Some(f), Some(l)) => (l.ts - f.ts).max(1),
+            _ => 1,
+        };
+        MeasuredStats {
+            duration_ms,
+            type_counts,
+        }
+    }
+
+    /// Arrival rate of a type in events per millisecond.
+    pub fn rate(&self, type_id: TypeId) -> f64 {
+        *self.type_counts.get(&type_id).unwrap_or(&0) as f64 / self.duration_ms as f64
+    }
+
+    /// Overrides the rate of a type (events per millisecond). Useful when
+    /// rates are known analytically (e.g., from a generator spec).
+    pub fn set_rate(&mut self, type_id: TypeId, rate_per_ms: f64) {
+        self.duration_ms = self.duration_ms.max(1_000_000);
+        self.type_counts
+            .insert(type_id, (rate_per_ms * self.duration_ms as f64).round() as u64);
+    }
+}
+
+/// Estimates the selectivity of each predicate by sampling event pairs.
+///
+/// For a binary predicate between types `A` and `B`, up to
+/// `max_pairs` pairs are drawn from the stream's events of those types by
+/// striding; the estimate is the fraction of satisfying pairs. Unary
+/// predicates use per-event evaluation. Predicates whose types have no
+/// events default to selectivity 1.0 (no information, per the paper's
+/// `f_{i,j} = 1` convention).
+pub fn estimate_selectivities(
+    stream: &[EventRef],
+    cp: &CompiledPattern,
+    max_pairs: usize,
+) -> Vec<f64> {
+    // Collect a bounded sample of events per referenced position's type.
+    let mut by_type: HashMap<TypeId, Vec<&EventRef>> = HashMap::new();
+    for e in stream {
+        if cp.uses_type(e.type_id) {
+            by_type.entry(e.type_id).or_default().push(e);
+        }
+    }
+    let pos_type = |pos: usize| -> Option<TypeId> {
+        cp.elements
+            .iter()
+            .find(|e| e.position == pos)
+            .map(|e| e.event_type)
+            .or_else(|| {
+                cp.negated
+                    .iter()
+                    .find(|n| n.position == pos)
+                    .map(|n| n.event_type)
+            })
+    };
+    cp.predicates
+        .iter()
+        .map(|p| estimate_one(p, &pos_type, &by_type, max_pairs))
+        .collect()
+}
+
+fn estimate_one(
+    p: &Predicate,
+    pos_type: &impl Fn(usize) -> Option<TypeId>,
+    by_type: &HashMap<TypeId, Vec<&EventRef>>,
+    max_pairs: usize,
+) -> f64 {
+    let (a, b) = p.position_pair();
+    if a == usize::MAX {
+        return 1.0;
+    }
+    let Some(ta) = pos_type(a) else { return 1.0 };
+    let empty = Vec::new();
+    let eva = by_type.get(&ta).unwrap_or(&empty);
+    if eva.is_empty() {
+        return 1.0;
+    }
+    match b {
+        None => {
+            let step = (eva.len() / max_pairs.max(1)).max(1);
+            let sample: Vec<_> = eva.iter().step_by(step).collect();
+            let hits = sample.iter().filter(|e| p.eval_single(a, e)).count();
+            hits as f64 / sample.len() as f64
+        }
+        Some(b) => {
+            let Some(tb) = pos_type(b) else { return 1.0 };
+            let evb = by_type.get(&tb).unwrap_or(&empty);
+            if evb.is_empty() {
+                return 1.0;
+            }
+            // Stride both sides so the pair count stays near max_pairs.
+            let budget = (max_pairs as f64).sqrt().ceil() as usize;
+            let sa = (eva.len() / budget.max(1)).max(1);
+            let sb = (evb.len() / budget.max(1)).max(1);
+            let mut total = 0usize;
+            let mut hits = 0usize;
+            for ea in eva.iter().step_by(sa) {
+                for eb in evb.iter().step_by(sb) {
+                    if ea.seq == eb.seq {
+                        continue; // same event cannot bind two positions
+                    }
+                    total += 1;
+                    if p.eval_pair(a, ea, b, eb) {
+                        hits += 1;
+                    }
+                }
+            }
+            if total == 0 {
+                1.0
+            } else {
+                hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// Per-pattern statistics consumed by cost models and plan generators.
+#[derive(Debug, Clone)]
+pub struct PatternStats {
+    /// Window length in milliseconds.
+    pub window_ms: f64,
+    /// Arrival rate per positive element (events per millisecond), with the
+    /// Kleene transform already applied.
+    pub rates: Vec<f64>,
+    /// Symmetric selectivity matrix; `sel[i][i]` is the product of filter
+    /// selectivities of element `i`.
+    pub sel: Vec<Vec<f64>>,
+    /// Whether a *real* (non-temporal) predicate links elements `i` and `j`;
+    /// used for query-graph topology detection (Section 4.3).
+    pub explicit_pair: Vec<Vec<bool>>,
+}
+
+impl PatternStats {
+    /// Builds statistics for a compiled pattern.
+    ///
+    /// `pred_sel[i]` is the selectivity of `cp.predicates[i]`; rates come
+    /// from `measured`.
+    pub fn build(
+        cp: &CompiledPattern,
+        measured: &MeasuredStats,
+        pred_sel: &[f64],
+        opts: &StatsOptions,
+    ) -> Result<PatternStats, CepError> {
+        if pred_sel.len() != cp.predicates.len() {
+            return Err(CepError::Stats(format!(
+                "{} selectivities supplied for {} predicates",
+                pred_sel.len(),
+                cp.predicates.len()
+            )));
+        }
+        let n = cp.n();
+        let w = cp.window as f64;
+        let mut rates = Vec::with_capacity(n);
+        for e in &cp.elements {
+            let r = measured.rate(e.event_type);
+            let r = if e.kleene {
+                // Section 5.2: the power-set type T' has rate 2^{rW}/W.
+                let exponent = (r * w).min(opts.kleene_exponent_cap);
+                exponent.exp2() / w
+            } else {
+                r
+            };
+            rates.push(r);
+        }
+        let mut sel = vec![vec![1.0; n]; n];
+        let mut explicit_pair = vec![vec![false; n]; n];
+        for i in 0..n {
+            for &pi in cp.filters_of(i) {
+                sel[i][i] *= pred_sel[pi];
+            }
+            for j in (i + 1)..n {
+                let mut s = 1.0;
+                for &pi in cp.predicates_between(i, j) {
+                    s *= pred_sel[pi];
+                    explicit_pair[i][j] = true;
+                    explicit_pair[j][i] = true;
+                }
+                if cp.must_precede(i, j) || cp.must_precede(j, i) {
+                    s *= opts.temporal_selectivity;
+                }
+                sel[i][j] = s;
+                sel[j][i] = s;
+            }
+        }
+        Ok(PatternStats {
+            window_ms: w,
+            rates,
+            sel,
+            explicit_pair,
+        })
+    }
+
+    /// Synthetic statistics, mostly for tests and planning-only experiments:
+    /// `rates[i]` in events/ms and an explicit selectivity matrix.
+    pub fn synthetic(window_ms: f64, rates: Vec<f64>, sel: Vec<Vec<f64>>) -> PatternStats {
+        let n = rates.len();
+        assert_eq!(sel.len(), n, "selectivity matrix must be n x n");
+        let explicit_pair = (0..n)
+            .map(|i| (0..n).map(|j| i != j && sel[i][j] < 1.0).collect())
+            .collect();
+        PatternStats {
+            window_ms,
+            rates,
+            sel,
+            explicit_pair,
+        }
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Expected number of events of element `i` inside a window (`W·r_i`).
+    pub fn count_in_window(&self, i: usize) -> f64 {
+        self.window_ms * self.rates[i]
+    }
+
+    /// Expected number of coexisting partial matches over an element set
+    /// under skip-till-any-match (Section 4.1):
+    /// `Π_i (W·r_i·sel_ii) · Π_{i<j} sel_ij`.
+    pub fn pm_of_set(&self, set: &[usize]) -> f64 {
+        let mut pm = 1.0;
+        for (a, &i) in set.iter().enumerate() {
+            pm *= self.count_in_window(i) * self.sel[i][i];
+            for &j in &set[..a] {
+                pm *= self.sel[i][j];
+            }
+        }
+        pm
+    }
+
+    /// Expected number of coexisting partial matches over an element set
+    /// under skip-till-next-match (Section 6.2):
+    /// `W·min_i r_i · Π_{i<=j} sel_ij`.
+    pub fn pm_next_of_set(&self, set: &[usize]) -> f64 {
+        let min_rate = set
+            .iter()
+            .map(|&i| self.rates[i])
+            .fold(f64::INFINITY, f64::min);
+        if !min_rate.is_finite() {
+            return 0.0;
+        }
+        let mut pm = self.window_ms * min_rate;
+        for (a, &i) in set.iter().enumerate() {
+            pm *= self.sel[i][i];
+            for &j in &set[..a] {
+                pm *= self.sel[i][j];
+            }
+        }
+        pm
+    }
+
+    /// Product of selectivities between two disjoint element sets
+    /// (`SEL_LR` of Section 4.2).
+    pub fn cross_sel(&self, left: &[usize], right: &[usize]) -> f64 {
+        let mut s = 1.0;
+        for &i in left {
+            for &j in right {
+                s *= self.sel[i][j];
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::pattern::PatternBuilder;
+    use crate::predicate::CmpOp;
+    use crate::value::Value;
+
+    fn t(i: u32) -> TypeId {
+        TypeId(i)
+    }
+
+    fn stream_ab() -> Vec<EventRef> {
+        // Type 0 at every ms (x = ts), type 1 every 2 ms (x = ts/2).
+        let mut b = crate::stream::StreamBuilder::new();
+        for ts in 0..1000u64 {
+            b.push(Event::new(t(0), ts, vec![Value::Int(ts as i64)]));
+            if ts % 2 == 0 {
+                b.push(Event::new(t(1), ts, vec![Value::Int((ts / 2) as i64)]));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn measured_rates() {
+        let s = stream_ab();
+        let m = MeasuredStats::measure(&s);
+        assert!((m.rate(t(0)) - 1.0).abs() < 0.01);
+        assert!((m.rate(t(1)) - 0.5).abs() < 0.01);
+        assert_eq!(m.rate(t(9)), 0.0);
+    }
+
+    #[test]
+    fn selectivity_estimation_half() {
+        // P(a.x < b.x) with a.x ~ U(0,1000), b.x ~ U(0,500) is ~0.25.
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        let s = stream_ab();
+        let sel = estimate_selectivities(&s, &cp, 10_000);
+        assert_eq!(sel.len(), 1);
+        assert!((sel[0] - 0.25).abs() < 0.05, "estimated {}", sel[0]);
+    }
+
+    #[test]
+    fn pattern_stats_sequence_applies_temporal_selectivity() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        let mut m = MeasuredStats::default();
+        m.set_rate(t(0), 1.0);
+        m.set_rate(t(1), 2.0);
+        let st = PatternStats::build(&cp, &m, &[], &StatsOptions::default()).unwrap();
+        assert!((st.sel[0][1] - 0.5).abs() < 1e-12);
+        assert!((st.count_in_window(0) - 10.0).abs() < 1e-9);
+        assert!((st.count_in_window(1) - 20.0).abs() < 1e-9);
+        // PM over both: 10 * 20 * 0.5 = 100.
+        assert!((st.pm_of_set(&[0, 1]) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kleene_rate_transform() {
+        // Paper example (Section 5.2): rate 5 events/s = 0.5/ms over a
+        // 10-second window gives r' = 2^{rW}/W per ms.
+        let mut b = PatternBuilder::new(10_000);
+        let a = b.event(t(0), "a");
+        let k = b.event(t(1), "k");
+        let ae = b.expr(a);
+        let ke = b.kleene(k);
+        let p = b.and_exprs([ae, ke]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let mut m = MeasuredStats::default();
+        m.set_rate(t(0), 0.005);
+        m.set_rate(t(1), 0.005);
+        let opts = StatsOptions {
+            kleene_exponent_cap: 60.0,
+            ..Default::default()
+        };
+        let st = PatternStats::build(&cp, &m, &[], &opts).unwrap();
+        // rW = 50 -> 2^50 / 10000 per ms.
+        let expect = 50f64.exp2() / 10_000.0;
+        assert!((st.rates[1] - expect).abs() / expect < 1e-9);
+        // The cap kicks in for huge exponents.
+        let opts_capped = StatsOptions {
+            kleene_exponent_cap: 10.0,
+            ..Default::default()
+        };
+        let st2 = PatternStats::build(&cp, &m, &[], &opts_capped).unwrap();
+        assert!(st2.rates[1] < st.rates[1]);
+    }
+
+    #[test]
+    fn pm_next_uses_min_rate() {
+        let st = PatternStats::synthetic(
+            10.0,
+            vec![1.0, 3.0],
+            vec![vec![1.0, 0.5], vec![0.5, 1.0]],
+        );
+        // min rate 1.0 => 10 * 1.0 * 0.5.
+        assert!((st.pm_next_of_set(&[0, 1]) - 5.0).abs() < 1e-12);
+        assert!(st.pm_next_of_set(&[0, 1]) <= st.pm_of_set(&[0, 1]));
+    }
+
+    #[test]
+    fn cross_sel_multiplies_pairs() {
+        let st = PatternStats::synthetic(
+            1.0,
+            vec![1.0, 1.0, 1.0],
+            vec![
+                vec![1.0, 0.5, 0.2],
+                vec![0.5, 1.0, 1.0],
+                vec![0.2, 1.0, 1.0],
+            ],
+        );
+        assert!((st.cross_sel(&[0], &[1, 2]) - 0.1).abs() < 1e-12);
+        assert!((st.cross_sel(&[1], &[2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_selectivity_count_rejected() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        let m = MeasuredStats::default();
+        assert!(PatternStats::build(&cp, &m, &[], &StatsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn explicit_pair_tracks_real_predicates_only() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let d = b.event(t(2), "d");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        let cp = CompiledPattern::compile_single(&b.seq([a, c, d]).unwrap()).unwrap();
+        let mut m = MeasuredStats::default();
+        for i in 0..3 {
+            m.set_rate(t(i), 1.0);
+        }
+        let st = PatternStats::build(&cp, &m, &[0.3], &StatsOptions::default()).unwrap();
+        assert!(st.explicit_pair[0][1]);
+        assert!(!st.explicit_pair[1][2]); // only temporal
+        assert!((st.sel[1][2] - 0.5).abs() < 1e-12);
+        assert!((st.sel[0][1] - 0.15).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Event streams and stream assembly.
+
+use crate::event::{Event, EventRef, Timestamp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An in-memory event stream, ordered by timestamp.
+pub type EventStream = Vec<EventRef>;
+
+/// Assembles an [`EventStream`], assigning stream coordinates.
+///
+/// The builder assigns the global serial number `seq`, and the per-partition
+/// serial number `part_seq` used by the partition-contiguity strategy.
+/// Events must be pushed in non-decreasing timestamp order; this is asserted
+/// because both engines and the cost models assume ts-ordered streams.
+#[derive(Debug, Default)]
+pub struct StreamBuilder {
+    events: EventStream,
+    partition_counters: HashMap<u32, u64>,
+    last_ts: Timestamp,
+}
+
+impl StreamBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event to partition 0.
+    pub fn push(&mut self, event: Event) -> &mut Self {
+        self.push_partitioned(event, 0)
+    }
+
+    /// Appends an event to the given partition.
+    ///
+    /// # Panics
+    /// Panics if the event's timestamp is smaller than the previous event's;
+    /// CEP input streams are ordered by occurrence time.
+    pub fn push_partitioned(&mut self, mut event: Event, partition: u32) -> &mut Self {
+        assert!(
+            event.ts >= self.last_ts,
+            "stream must be pushed in non-decreasing ts order ({} < {})",
+            event.ts,
+            self.last_ts
+        );
+        self.last_ts = event.ts;
+        event.seq = self.events.len() as u64;
+        event.partition = partition;
+        let ctr = self.partition_counters.entry(partition).or_insert(0);
+        event.part_seq = *ctr;
+        *ctr += 1;
+        self.events.push(Arc::new(event));
+        self
+    }
+
+    /// Number of events pushed so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes the stream.
+    pub fn build(self) -> EventStream {
+        self.events
+    }
+}
+
+/// Merges several ts-ordered streams into one, reassigning stream
+/// coordinates. Ties are broken by input index, keeping merges deterministic.
+pub fn merge_streams(streams: Vec<EventStream>) -> EventStream {
+    let mut cursors: Vec<usize> = vec![0; streams.len()];
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut out = StreamBuilder::new();
+    for _ in 0..total {
+        let mut best: Option<(usize, Timestamp)> = None;
+        for (i, s) in streams.iter().enumerate() {
+            if let Some(e) = s.get(cursors[i]) {
+                if best.is_none_or(|(_, bts)| e.ts < bts) {
+                    best = Some((i, e.ts));
+                }
+            }
+        }
+        let (i, _) = best.expect("cursor accounting");
+        let ev = (*streams[i][cursors[i]]).clone();
+        let partition = ev.partition;
+        out.push_partitioned(ev, partition);
+        cursors[i] += 1;
+    }
+    out.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TypeId;
+
+    fn ev(ts: u64) -> Event {
+        Event::new(TypeId(0), ts, vec![])
+    }
+
+    #[test]
+    fn seq_numbers_are_assigned() {
+        let mut b = StreamBuilder::new();
+        b.push(ev(1)).push(ev(2)).push(ev(2));
+        let s = b.build();
+        assert_eq!(s.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partition_seq_numbers_are_per_partition() {
+        let mut b = StreamBuilder::new();
+        b.push_partitioned(ev(1), 7);
+        b.push_partitioned(ev(2), 8);
+        b.push_partitioned(ev(3), 7);
+        let s = b.build();
+        assert_eq!(s[0].part_seq, 0);
+        assert_eq!(s[1].part_seq, 0);
+        assert_eq!(s[2].part_seq, 1);
+        assert_eq!(s[2].partition, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing ts order")]
+    fn out_of_order_push_panics() {
+        let mut b = StreamBuilder::new();
+        b.push(ev(5)).push(ev(4));
+    }
+
+    #[test]
+    fn merge_is_ordered_and_renumbered() {
+        let mut a = StreamBuilder::new();
+        a.push(ev(1)).push(ev(5));
+        let mut b = StreamBuilder::new();
+        b.push(ev(2)).push(ev(3));
+        let merged = merge_streams(vec![a.build(), b.build()]);
+        let ts: Vec<u64> = merged.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![1, 2, 3, 5]);
+        let seqs: Vec<u64> = merged.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn builder_len_tracking() {
+        let mut b = StreamBuilder::new();
+        assert!(b.is_empty());
+        b.push(ev(0));
+        assert_eq!(b.len(), 1);
+    }
+}

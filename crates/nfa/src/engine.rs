@@ -1,0 +1,374 @@
+//! The lazy chain NFA engine (Section 2.2, after [28, 29]).
+//!
+//! Given an [`OrderPlan`] `O` over the positive elements of a
+//! [`CompiledPattern`], the engine maintains a chain of `n + 1` states.
+//! An instance at state `k` has bound the first `k` elements of `O` and
+//! waits for element `O[k]`. Out-of-order processing is achieved by
+//! buffering: every participating event is appended to a per-type buffer;
+//! an instance *entering* state `k` performs a catch-up scan over the
+//! buffer, while events arriving later are *delivered* to the instances
+//! already waiting at the state. Together these consider every
+//! (instance, event) pair exactly once — the invariant that makes the NFA
+//! results identical to the naive oracle.
+
+use cep_core::buffer::TypeBuffers;
+use cep_core::instance::{compatible, contiguity_ok, Instance};
+use cep_core::compile::CompiledPattern;
+use cep_core::engine::{Engine, EngineConfig};
+use cep_core::error::CepError;
+use cep_core::event::{EventRef, Timestamp};
+use cep_core::matches::Match;
+use cep_core::metrics::EngineMetrics;
+use cep_core::negation::DeferredStore;
+use cep_core::plan::OrderPlan;
+use std::collections::HashSet;
+
+/// Order-based (lazy NFA) evaluation engine.
+pub struct NfaEngine {
+    cp: CompiledPattern,
+    order: Vec<usize>,
+    cfg: EngineConfig,
+    /// `states[k]`: instances waiting for element `order[k]`.
+    states: Vec<Vec<Instance>>,
+    buffers: TypeBuffers,
+    deferred: DeferredStore,
+    consumed: HashSet<u64>,
+    watermark: Timestamp,
+    events_since_prune: u64,
+    metrics: EngineMetrics,
+}
+
+impl NfaEngine {
+    /// Builds an engine for one compiled pattern branch and an order plan.
+    pub fn new(
+        cp: CompiledPattern,
+        plan: OrderPlan,
+        cfg: EngineConfig,
+    ) -> Result<NfaEngine, CepError> {
+        plan.validate(&cp)?;
+        let n = cp.n();
+        Ok(NfaEngine {
+            cp,
+            order: plan.order().to_vec(),
+            cfg,
+            states: vec![Vec::new(); n],
+            buffers: TypeBuffers::new(),
+            deferred: DeferredStore::new(),
+            consumed: HashSet::new(),
+            watermark: 0,
+            events_since_prune: 0,
+            metrics: EngineMetrics::new(),
+        })
+    }
+
+    /// Convenience constructor with the trivial (specification-order) plan.
+    pub fn with_trivial_plan(cp: CompiledPattern, cfg: EngineConfig) -> NfaEngine {
+        let plan = OrderPlan::trivial(&cp);
+        NfaEngine::new(cp, plan, cfg).expect("trivial plan always fits")
+    }
+
+    /// The plan order driving this engine.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    fn live_instances(&self) -> usize {
+        self.states.iter().map(|s| s.len()).sum::<usize>() + self.deferred.len()
+    }
+
+    fn emit(&mut self, m: Match, out: &mut Vec<Match>) {
+        if self.cp.strategy.consumes() {
+            if m.events().any(|e| self.consumed.contains(&e.seq)) {
+                return;
+            }
+            for e in m.events() {
+                self.consumed.insert(e.seq);
+            }
+            // Kill partial matches that used now-consumed events.
+            let consumed = &self.consumed;
+            for state in &mut self.states {
+                state.retain(|i| !i.intersects(consumed));
+            }
+        }
+        self.metrics.matches_emitted += 1;
+        out.push(m);
+    }
+
+    fn release_deferred(&mut self, watermark: Timestamp, out: &mut Vec<Match>) {
+        if self.cp.negated.is_empty() {
+            return;
+        }
+        let mut ready = Vec::new();
+        self.deferred.drain_ready(watermark, &mut ready);
+        for m in ready {
+            self.emit(m, out);
+        }
+    }
+
+    fn finalize(&mut self, inst: Instance, out: &mut Vec<Match>) {
+        if !contiguity_ok(&self.cp, &inst) {
+            return;
+        }
+        if self.cp.strategy.consumes() && inst.intersects(&self.consumed) {
+            return;
+        }
+        let m = Match {
+            bindings: inst
+                .bindings
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    (
+                        self.cp.elements[i].position,
+                        b.expect("finalize requires all elements bound"),
+                    )
+                })
+                .collect(),
+            last_ts: inst.max_ts,
+            emitted_at: self.watermark,
+        };
+        if self.cp.negated.is_empty() {
+            self.emit(m, out);
+            return;
+        }
+        if let Some(m) = self
+            .deferred
+            .admit(&self.cp, m, self.watermark, &self.buffers)
+        {
+            self.emit(m, out);
+        }
+    }
+
+    /// Instance enters state `k`: register it and catch up on the buffer.
+    fn enter(&mut self, inst: Instance, k: usize, out: &mut Vec<Match>) {
+        if k == self.order.len() {
+            self.finalize(inst, out);
+            return;
+        }
+        self.metrics.partial_matches_created += 1;
+        let elem = self.order[k];
+        if self.cp.elements[elem].kleene {
+            self.enter_kleene(inst, k, out);
+        } else {
+            self.enter_single(inst, k, out);
+        }
+    }
+
+    fn candidates(&self, elem: usize) -> Vec<EventRef> {
+        self.buffers
+            .iter_type(self.cp.elements[elem].event_type)
+            .cloned()
+            .collect()
+    }
+
+    fn enter_single(&mut self, inst: Instance, k: usize, out: &mut Vec<Match>) {
+        let elem = self.order[k];
+        for c in self.candidates(elem) {
+            if !compatible(&self.cp, &inst, elem, &c, &self.consumed, &mut self.metrics) {
+                continue;
+            }
+            let advanced = inst.with_single(elem, c);
+            if self.cp.strategy.forks() {
+                self.enter(advanced, k + 1, out);
+            } else {
+                // Non-forking: take the first match and leave this state.
+                self.enter(advanced, k + 1, out);
+                return;
+            }
+        }
+        self.states[k].push(inst);
+    }
+
+    /// Kleene state entry: the instance waits with an empty accumulator and
+    /// every buffered candidate spawns subset growth (each non-empty
+    /// accumulator also forks a closed copy that advances).
+    fn enter_kleene(&mut self, inst: Instance, k: usize, out: &mut Vec<Match>) {
+        if self.cp.strategy.forks() {
+            self.kleene_grow(&inst, k, out);
+            self.states[k].push(inst);
+        } else {
+            // Non-forking strategies: greedy singleton set (see crate docs).
+            let elem = self.order[k];
+            for c in self.candidates(elem) {
+                if compatible(&self.cp, &inst, elem, &c, &self.consumed, &mut self.metrics) {
+                    let advanced = inst.with_kleene(elem, c);
+                    self.enter(advanced, k + 1, out);
+                    return;
+                }
+            }
+            self.states[k].push(inst);
+        }
+    }
+
+    /// Recursively grows `base`'s accumulator with buffered events newer
+    /// than its gate. Every grown accumulator is (a) kept waiting at state
+    /// `k` and (b) closed into state `k + 1`.
+    fn kleene_grow(&mut self, base: &Instance, k: usize, out: &mut Vec<Match>) {
+        let elem = self.order[k];
+        if base.kleene_len(elem) >= self.cfg.max_kleene_events {
+            return;
+        }
+        for c in self.candidates(elem) {
+            if c.seq < base.kl_gate {
+                continue;
+            }
+            if !compatible(&self.cp, base, elem, &c, &self.consumed, &mut self.metrics) {
+                continue;
+            }
+            let grown = base.with_kleene(elem, c);
+            self.metrics.partial_matches_created += 1;
+            self.enter(grown.clone(), k + 1, out);
+            self.kleene_grow(&grown, k, out);
+            self.states[k].push(grown);
+        }
+    }
+
+    /// Delivers a fresh event to the instances already waiting at state `k`.
+    fn deliver(&mut self, k: usize, event: &EventRef, out: &mut Vec<Match>) {
+        let elem = self.order[k];
+        if self.cp.elements[elem].event_type != event.type_id {
+            return;
+        }
+        let kleene = self.cp.elements[elem].kleene;
+        let forks = self.cp.strategy.forks();
+        let len = self.states[k].len();
+        let mut idx = 0;
+        let mut visited = 0;
+        while visited < len && idx < self.states[k].len() {
+            let inst = &self.states[k][idx];
+            if kleene {
+                let ok = event.seq >= inst.kl_gate
+                    && inst.kleene_len(elem) < self.cfg.max_kleene_events
+                    && compatible(&self.cp, inst, elem, event, &self.consumed, &mut self.metrics);
+                if ok {
+                    let grown = self.states[k][idx].with_kleene(elem, event.clone());
+                    self.metrics.partial_matches_created += 1;
+                    if forks {
+                        self.enter(grown.clone(), k + 1, out);
+                        self.states[k].push(grown);
+                    } else {
+                        self.states[k].swap_remove(idx);
+                        self.enter(grown, k + 1, out);
+                        visited += 1;
+                        continue; // swap_remove moved a new element to idx
+                    }
+                }
+            } else {
+                let ok =
+                    compatible(&self.cp, inst, elem, event, &self.consumed, &mut self.metrics);
+                if ok {
+                    let advanced = self.states[k][idx].with_single(elem, event.clone());
+                    if forks {
+                        self.enter(advanced, k + 1, out);
+                    } else {
+                        self.states[k].swap_remove(idx);
+                        self.enter(advanced, k + 1, out);
+                        visited += 1;
+                        continue;
+                    }
+                }
+            }
+            idx += 1;
+            visited += 1;
+        }
+    }
+
+    fn prune(&mut self) {
+        let watermark = self.watermark;
+        let window = self.cp.window;
+        self.buffers.prune(watermark, window);
+        for state in &mut self.states {
+            state.retain(|i| !i.expired(watermark, window));
+        }
+        if self.cp.strategy.consumes() {
+            // Consumed serial numbers older than the window can't recur.
+            let horizon = watermark.saturating_sub(window);
+            // Events are seq-ordered by ts only loosely; conservatively keep
+            // everything unless the set grows large.
+            if self.consumed.len() > 100_000 {
+                let _ = horizon;
+                self.consumed.clear();
+            }
+        }
+    }
+}
+
+impl Engine for NfaEngine {
+    fn process(&mut self, event: &EventRef, out: &mut Vec<Match>) {
+        self.metrics.events_processed += 1;
+        self.watermark = self.watermark.max(event.ts);
+        let watermark = self.watermark;
+        self.release_deferred(watermark, out);
+        if !self.cp.negated.is_empty() {
+            self.deferred.on_event(&self.cp, event);
+        }
+        self.events_since_prune += 1;
+        if self.events_since_prune >= self.cfg.prune_every {
+            self.events_since_prune = 0;
+            self.prune();
+        }
+        if !self.cp.uses_type(event.type_id) {
+            return;
+        }
+        self.metrics.events_relevant += 1;
+        self.buffers.push(event.clone());
+        // Deliveries, deepest state first so instances created while
+        // processing this event are never delivered the event again (their
+        // entry scans already saw it in the buffer).
+        for k in (0..self.order.len()).rev() {
+            self.deliver(k, event, out);
+        }
+        // Virtual initial state: the first plan element starts instances.
+        let first = self.order[0];
+        if self.cp.elements[first].event_type == event.type_id {
+            let root = Instance::empty(self.cp.n());
+            if self.cp.elements[first].kleene {
+                if compatible(
+                    &self.cp,
+                    &root,
+                    first,
+                    event,
+                    &self.consumed,
+                    &mut self.metrics,
+                ) {
+                    let seeded = root.with_kleene(first, event.clone());
+                    self.metrics.partial_matches_created += 1;
+                    if self.cp.strategy.forks() {
+                        self.enter(seeded.clone(), 1, out);
+                        self.states[0].push(seeded);
+                    } else {
+                        self.enter(seeded, 1, out);
+                    }
+                }
+            } else if compatible(
+                &self.cp,
+                &root,
+                first,
+                event,
+                &self.consumed,
+                &mut self.metrics,
+            ) {
+                let seeded = root.with_single(first, event.clone());
+                self.enter(seeded, 1, out);
+            }
+        }
+        self.metrics
+            .record_live(self.live_instances(), self.buffers.len());
+    }
+
+    fn flush(&mut self, out: &mut Vec<Match>) {
+        self.release_deferred(Timestamp::MAX, out);
+    }
+
+    fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        "nfa"
+    }
+}

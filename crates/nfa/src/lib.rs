@@ -1,0 +1,381 @@
+//! # cep-nfa
+//!
+//! Order-based CEP evaluation: a lazy chain NFA with out-of-order plan
+//! support, after Kolchinsky et al. [28, 29] as used in Section 2.2 of
+//! *Join Query Optimization Techniques for CEP Applications* (VLDB 2018).
+//!
+//! The engine follows an [`OrderPlan`](cep_core::plan::OrderPlan): a chain
+//! of states, one per positive pattern element, in an arbitrary
+//! user-supplied order. Events arriving before their state is reached are
+//! buffered; instances entering a state catch up from the buffer. All four
+//! selection strategies of Section 6.2 are supported:
+//!
+//! * **skip-till-any-match** — full forking semantics;
+//! * **skip-till-next-match** — non-forking advancement plus event
+//!   consumption on emission (an event joins at most one match). Kleene
+//!   elements take the greedy singleton set under this strategy;
+//! * **strict / partition contiguity** — serial-number adjacency enforced
+//!   incrementally (span feasibility) and exactly at completion.
+//!
+//! Negations are checked at the earliest decidable point and deferred past
+//! the window end for trailing negations (shared semantics with the tree
+//! engine and the naive oracle, see [`cep_core::negation`]).
+
+
+#![warn(missing_docs)]
+
+mod engine;
+
+pub use cep_core::instance::Instance;
+pub use engine::NfaEngine;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::compile::CompiledPattern;
+    use cep_core::engine::{run_to_completion, EngineConfig};
+    use cep_core::event::{Event, TypeId};
+    use cep_core::matches::{validate_match, Match};
+    use cep_core::naive::NaiveEngine;
+    use cep_core::pattern::{Pattern, PatternBuilder};
+    use cep_core::plan::OrderPlan;
+    use cep_core::predicate::{CmpOp, Predicate};
+    use cep_core::selection::SelectionStrategy;
+    use cep_core::stream::StreamBuilder;
+    use cep_core::value::Value;
+
+    fn t(i: u32) -> TypeId {
+        TypeId(i)
+    }
+
+    fn ev(tid: u32, ts: u64, x: i64) -> Event {
+        Event::new(t(tid), ts, vec![Value::Int(x)])
+    }
+
+    fn stream(events: Vec<Event>) -> Vec<cep_core::event::EventRef> {
+        let mut b = StreamBuilder::new();
+        for e in events {
+            b.push(e);
+        }
+        b.build()
+    }
+
+    fn signatures(ms: &[Match]) -> Vec<Vec<(usize, Vec<u64>)>> {
+        let mut sigs: Vec<_> = ms.iter().map(|m| m.signature()).collect();
+        sigs.sort();
+        sigs
+    }
+
+    /// Runs the NFA under every possible plan order and asserts identical
+    /// results to the naive oracle.
+    fn assert_all_orders_match_oracle(pattern: &Pattern, events: Vec<Event>) {
+        let cp = CompiledPattern::compile_single(pattern).unwrap();
+        let s = stream(events);
+        let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
+        let expected = signatures(&run_to_completion(&mut oracle, &s, true).matches);
+        let n = cp.n();
+        for order in permutations(n) {
+            let plan = OrderPlan::new(order.clone()).unwrap();
+            let mut engine =
+                NfaEngine::new(cp.clone(), plan, EngineConfig::default()).unwrap();
+            let r = run_to_completion(&mut engine, &s, true);
+            for m in &r.matches {
+                validate_match(&cp, m).unwrap();
+            }
+            assert_eq!(
+                signatures(&r.matches),
+                expected,
+                "order {order:?} disagrees with oracle"
+            );
+        }
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        fn rec(rest: Vec<usize>, acc: Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if rest.is_empty() {
+                out.push(acc);
+                return;
+            }
+            for (i, &x) in rest.iter().enumerate() {
+                let mut rest2 = rest.clone();
+                rest2.remove(i);
+                let mut acc2 = acc.clone();
+                acc2.push(x);
+                rec(rest2, acc2, out);
+            }
+        }
+        let mut out = Vec::new();
+        rec((0..n).collect(), Vec::new(), &mut out);
+        out
+    }
+
+    #[test]
+    fn sequence_all_orders_match_oracle() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let d = b.event(t(2), "d");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, d.pos(), 0));
+        let p = b.seq([a, c, d]).unwrap();
+        let events = vec![
+            ev(0, 1, 3),
+            ev(1, 2, 0),
+            ev(0, 3, 7),
+            ev(2, 4, 5),
+            ev(1, 5, 0),
+            ev(2, 6, 9),
+            ev(0, 7, 1),
+            ev(2, 8, 2),
+        ];
+        assert_all_orders_match_oracle(&p, events);
+    }
+
+    #[test]
+    fn conjunction_all_orders_match_oracle() {
+        let mut b = PatternBuilder::new(6);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let d = b.event(t(2), "d");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Le, c.pos(), 0));
+        let p = b.and([a, c, d]).unwrap();
+        let events = vec![
+            ev(2, 1, 0),
+            ev(1, 2, 4),
+            ev(0, 3, 4),
+            ev(1, 4, 1),
+            ev(0, 5, 9),
+            ev(2, 6, 0),
+            ev(0, 7, 0),
+        ];
+        assert_all_orders_match_oracle(&p, events);
+    }
+
+    #[test]
+    fn duplicate_types_all_orders_match_oracle() {
+        // SEQ(A a1, A a2) — same type at two positions.
+        let mut b = PatternBuilder::new(10);
+        let a1 = b.event(t(0), "a1");
+        let a2 = b.event(t(0), "a2");
+        let p = b.seq([a1, a2]).unwrap();
+        let events = vec![ev(0, 1, 0), ev(0, 2, 0), ev(0, 3, 0)];
+        assert_all_orders_match_oracle(&p, events);
+    }
+
+    #[test]
+    fn negation_all_orders_match_oracle() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let nb = b.event(t(1), "nb");
+        let c = b.event(t(2), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, nb.pos(), 0));
+        let ae = b.expr(a);
+        let ne = b.not(nb);
+        let ce = b.expr(c);
+        let p = b.seq_exprs([ae, ne, ce]).unwrap();
+        let events = vec![
+            ev(0, 1, 1),
+            ev(1, 2, 1), // kills matches of a@1
+            ev(0, 3, 2),
+            ev(2, 4, 0),
+            ev(1, 5, 2), // after c: harmless for (a@3, c@4)
+            ev(2, 6, 0),
+        ];
+        assert_all_orders_match_oracle(&p, events);
+    }
+
+    #[test]
+    fn trailing_negation_all_orders_match_oracle() {
+        let mut b = PatternBuilder::new(5);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let nb = b.event(t(2), "nb");
+        let ae = b.expr(a);
+        let ce = b.expr(c);
+        let ne = b.not(nb);
+        let p = b.seq_exprs([ae, ce, ne]).unwrap();
+        let events = vec![
+            ev(0, 1, 0),
+            ev(1, 2, 0),
+            ev(2, 3, 0), // kills (a@1, c@2)
+            ev(0, 10, 0),
+            ev(1, 11, 0), // survives: no later nb within window
+        ];
+        assert_all_orders_match_oracle(&p, events);
+    }
+
+    #[test]
+    fn kleene_all_orders_match_oracle() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let k = b.event(t(1), "k");
+        let c = b.event(t(2), "c");
+        let ae = b.expr(a);
+        let ke = b.kleene(k);
+        let ce = b.expr(c);
+        let p = b.seq_exprs([ae, ke, ce]).unwrap();
+        let events = vec![
+            ev(0, 1, 0),
+            ev(1, 2, 0),
+            ev(1, 3, 0),
+            ev(2, 4, 0),
+            ev(1, 5, 0),
+            ev(2, 6, 0),
+        ];
+        assert_all_orders_match_oracle(&p, events);
+    }
+
+    #[test]
+    fn kleene_first_element_in_plan() {
+        // KL(B) ordered first by the plan exercises virtual-state seeding.
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let k = b.event(t(1), "k");
+        let ae = b.expr(a);
+        let ke = b.kleene(k);
+        let p = b.seq_exprs([ae, ke]).unwrap();
+        assert_all_orders_match_oracle(
+            &p,
+            vec![ev(0, 1, 0), ev(1, 2, 0), ev(1, 3, 0), ev(0, 4, 0), ev(1, 5, 0)],
+        );
+    }
+
+    #[test]
+    fn strict_contiguity_all_orders_match_oracle() {
+        let mut b = PatternBuilder::new(10);
+        b.strategy(SelectionStrategy::StrictContiguity);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let p = b.seq([a, c]).unwrap();
+        let events = vec![
+            ev(0, 1, 0),
+            ev(1, 2, 0), // adjacent: match
+            ev(0, 3, 0),
+            ev(2, 4, 0), // irrelevant type still breaks contiguity
+            ev(1, 5, 0),
+        ];
+        assert_all_orders_match_oracle(&p, events);
+    }
+
+    #[test]
+    fn next_match_consumes_and_is_disjoint() {
+        let mut b = PatternBuilder::new(10);
+        b.strategy(SelectionStrategy::SkipTillNextMatch);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let p = b.seq([a, c]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let s = stream(vec![ev(0, 1, 0), ev(0, 2, 0), ev(1, 3, 0), ev(1, 4, 0)]);
+        let mut engine = NfaEngine::new(
+            cp.clone(),
+            OrderPlan::trivial(&cp),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let r = run_to_completion(&mut engine, &s, true);
+        // Events must be disjoint across matches.
+        let mut used = std::collections::HashSet::new();
+        for m in &r.matches {
+            for e in m.events() {
+                assert!(used.insert(e.seq), "event reused under next-match");
+            }
+            validate_match(&cp, m).unwrap();
+        }
+        assert_eq!(r.matches.len(), 2);
+    }
+
+    #[test]
+    fn window_pruning_bounds_state() {
+        let mut b = PatternBuilder::new(5);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let p = b.seq([a, c]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let mut events = Vec::new();
+        for i in 0..2000u64 {
+            events.push(ev(0, i * 3, 0));
+        }
+        let s = stream(events);
+        let mut engine = NfaEngine::new(
+            cp.clone(),
+            OrderPlan::trivial(&cp),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let r = run_to_completion(&mut engine, &s, true);
+        // Only ~2 events fit a window; peaks must stay tiny, not O(stream).
+        assert!(
+            r.metrics.peak_partial_matches < 70,
+            "{}",
+            r.metrics.peak_partial_matches
+        );
+        assert!(r.metrics.peak_buffered_events < 70);
+        assert!(r.matches.is_empty());
+    }
+
+    #[test]
+    fn rare_last_plan_creates_fewer_instances() {
+        // The intro's four-cameras effect: putting the rare type first
+        // creates fewer partial matches than the trivial order.
+        let mut b = PatternBuilder::new(1000);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let d = b.event(t(2), "d");
+        let p = b.seq([a, c, d]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let mut events = Vec::new();
+        // a, c frequent; d rare (every 10th round).
+        for i in 0..200u64 {
+            events.push(ev(0, i * 5, 0));
+            events.push(ev(1, i * 5 + 1, 0));
+            if i % 10 == 0 {
+                events.push(ev(2, i * 5 + 2, 0));
+            }
+        }
+        let s = stream(events);
+        let trivial = {
+            let mut e = NfaEngine::new(
+                cp.clone(),
+                OrderPlan::trivial(&cp),
+                EngineConfig::default(),
+            )
+            .unwrap();
+            run_to_completion(&mut e, &s, true)
+        };
+        let lazy = {
+            let plan = OrderPlan::new(vec![2, 0, 1]).unwrap();
+            let mut e = NfaEngine::new(cp.clone(), plan, EngineConfig::default()).unwrap();
+            run_to_completion(&mut e, &s, true)
+        };
+        assert_eq!(
+            signatures(&trivial.matches),
+            signatures(&lazy.matches),
+            "plans must agree on results"
+        );
+        assert!(
+            lazy.metrics.peak_partial_matches < trivial.metrics.peak_partial_matches,
+            "lazy {} vs trivial {}",
+            lazy.metrics.peak_partial_matches,
+            trivial.metrics.peak_partial_matches
+        );
+    }
+
+    #[test]
+    fn irrelevant_types_are_skipped_cheaply() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let p = b.seq([a, c]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let s = stream(vec![ev(7, 1, 0), ev(8, 2, 0), ev(0, 3, 0), ev(1, 4, 0)]);
+        let mut engine = NfaEngine::new(
+            cp.clone(),
+            OrderPlan::trivial(&cp),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let r = run_to_completion(&mut engine, &s, true);
+        assert_eq!(r.metrics.events_processed, 4);
+        assert_eq!(r.metrics.events_relevant, 2);
+        assert_eq!(r.matches.len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Lightweight adaptivity hook (Section 6.3).
+//!
+//! The paper defers full adaptive CEP to its companion work [27]; what plan
+//! generation needs from the runtime is (a) fresh arrival-rate estimates
+//! and (b) a signal that the statistics have drifted far enough from the
+//! ones the current plan was built with. [`StatsMonitor`] provides both
+//! over a sliding horizon; callers re-plan when [`StatsMonitor::drifted`]
+//! fires (see the `adaptive_replanning` example in the repository root).
+
+use cep_core::event::{EventRef, Timestamp, TypeId};
+use std::collections::{HashMap, VecDeque};
+
+/// Sliding-horizon arrival-rate monitor with drift detection.
+#[derive(Debug, Clone)]
+pub struct StatsMonitor {
+    horizon_ms: u64,
+    threshold: f64,
+    events: VecDeque<(TypeId, Timestamp)>,
+    counts: HashMap<TypeId, u64>,
+    baseline: HashMap<TypeId, f64>,
+    watermark: Timestamp,
+}
+
+impl StatsMonitor {
+    /// Creates a monitor keeping `horizon_ms` of history; `threshold` is
+    /// the relative rate deviation that counts as drift (e.g. 0.5 = ±50%).
+    pub fn new(horizon_ms: u64, threshold: f64) -> StatsMonitor {
+        assert!(horizon_ms > 0, "horizon must be positive");
+        assert!(threshold > 0.0, "threshold must be positive");
+        StatsMonitor {
+            horizon_ms,
+            threshold,
+            events: VecDeque::new(),
+            counts: HashMap::new(),
+            baseline: HashMap::new(),
+            watermark: 0,
+        }
+    }
+
+    /// Feeds one stream event.
+    pub fn observe(&mut self, e: &EventRef) {
+        self.watermark = self.watermark.max(e.ts);
+        self.events.push_back((e.type_id, e.ts));
+        *self.counts.entry(e.type_id).or_insert(0) += 1;
+        let horizon_start = self.watermark.saturating_sub(self.horizon_ms);
+        while let Some(&(ty, ts)) = self.events.front() {
+            if ts < horizon_start {
+                self.events.pop_front();
+                if let Some(c) = self.counts.get_mut(&ty) {
+                    *c -= 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current rate estimate for a type, in events per millisecond.
+    pub fn rate(&self, ty: TypeId) -> f64 {
+        let span = self
+            .horizon_ms
+            .min(self.watermark.max(1))
+            .max(1) as f64;
+        *self.counts.get(&ty).unwrap_or(&0) as f64 / span
+    }
+
+    /// Snapshot of all current rates.
+    pub fn rates(&self) -> HashMap<TypeId, f64> {
+        self.counts
+            .keys()
+            .map(|&ty| (ty, self.rate(ty)))
+            .collect()
+    }
+
+    /// Freezes the current rates as the baseline the active plan was built
+    /// with.
+    pub fn rebaseline(&mut self) {
+        self.baseline = self.rates();
+    }
+
+    /// Whether any observed type's rate deviates from the baseline by more
+    /// than the threshold (relative). Types absent from the baseline count
+    /// as drifted once seen.
+    pub fn drifted(&self) -> bool {
+        for &ty in self.counts.keys() {
+            let now = self.rate(ty);
+            match self.baseline.get(&ty) {
+                Some(&base) if base > 0.0 => {
+                    if (now - base).abs() / base > self.threshold {
+                        return true;
+                    }
+                }
+                Some(_) | None => {
+                    if now > 0.0 && !self.baseline.contains_key(&ty) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::event::Event;
+    use std::sync::Arc;
+
+    fn ev(ty: u32, ts: u64) -> EventRef {
+        Arc::new(Event::new(TypeId(ty), ts, vec![]))
+    }
+
+    #[test]
+    fn rates_track_sliding_horizon() {
+        let mut m = StatsMonitor::new(100, 0.5);
+        for ts in 0..100u64 {
+            m.observe(&ev(0, ts));
+        }
+        let dense = m.rate(TypeId(0));
+        assert!(dense > 0.9, "{dense}");
+        // Go quiet: rate must fall as the horizon slides.
+        for ts in (200..400u64).step_by(50) {
+            m.observe(&ev(1, ts));
+        }
+        assert!(m.rate(TypeId(0)) < 0.1);
+    }
+
+    #[test]
+    fn drift_detection_after_rate_change() {
+        let mut m = StatsMonitor::new(100, 0.5);
+        for ts in 0..100u64 {
+            m.observe(&ev(0, ts)); // 1 event/ms
+        }
+        m.rebaseline();
+        assert!(!m.drifted(), "no drift right after rebaseline");
+        // Rate collapses to 0.1/ms.
+        for ts in (100..300u64).step_by(10) {
+            m.observe(&ev(0, ts));
+        }
+        assert!(m.drifted());
+        m.rebaseline();
+        assert!(!m.drifted());
+    }
+
+    #[test]
+    fn new_type_counts_as_drift() {
+        let mut m = StatsMonitor::new(100, 0.5);
+        for ts in 0..50u64 {
+            m.observe(&ev(0, ts));
+        }
+        m.rebaseline();
+        for ts in 50..60u64 {
+            m.observe(&ev(7, ts));
+        }
+        assert!(m.drifted());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        StatsMonitor::new(0, 0.5);
+    }
+}

@@ -1,0 +1,344 @@
+//! IK/KBZ rank-based polynomial ordering for acyclic query graphs
+//! (Section 4.3; Ibaraki & Kameda [24], Krishnamurthy et al. [31]).
+//!
+//! `Cost_ord` has the ASI property (Appendix A of the paper), so for
+//! patterns whose *explicit* query graph is a forest the optimal
+//! cross-product-free order can be found in polynomial time: root the
+//! precedence tree, linearize subtrees into rank-ascending chains of
+//! compound nodes, and merge. As the paper notes, excluding cross products
+//! means the result can be worse than the DP-LD global optimum — the
+//! algorithm is exact *within* its search space and `O(n² log n)` overall
+//! (all roots tried).
+//!
+//! Applicability (checked by [`kbz_order`], which returns `None` otherwise):
+//! skip-till-any-match cost model, no latency term, no temporal-order
+//! constraints (pure conjunctive patterns), and a forest query graph.
+
+use cep_core::cost::{cost_ord, CostModel};
+use cep_core::query_graph::QueryGraph;
+use cep_core::selection::SelectionStrategy;
+use cep_core::stats::PatternStats;
+use std::collections::VecDeque;
+
+/// A compound node: a fixed subsequence of elements with aggregated
+/// cardinality product `t` and cost contribution `c`.
+#[derive(Debug, Clone)]
+struct Compound {
+    members: Vec<usize>,
+    t: f64,
+    c: f64,
+}
+
+impl Compound {
+    fn single(elem: usize, parent: Option<usize>, stats: &PatternStats) -> Compound {
+        let mut t = stats.count_in_window(elem) * stats.sel[elem][elem];
+        if let Some(p) = parent {
+            t *= stats.sel[elem][p];
+        }
+        Compound {
+            members: vec![elem],
+            t,
+            c: t,
+        }
+    }
+
+    /// The ASI rank `(T(s) − 1) / C(s)` (Appendix A).
+    fn rank(&self) -> f64 {
+        if self.c <= f64::EPSILON {
+            return f64::NEG_INFINITY;
+        }
+        (self.t - 1.0) / self.c
+    }
+
+    fn merge(mut self, other: Compound) -> Compound {
+        self.c += self.t * other.c;
+        self.t *= other.t;
+        self.members.extend(other.members);
+        self
+    }
+}
+
+/// Merges two rank-ascending chains, preserving intra-chain order.
+fn merge_chains(a: VecDeque<Compound>, b: VecDeque<Compound>) -> VecDeque<Compound> {
+    let mut a = a;
+    let mut b = b;
+    let mut out = VecDeque::with_capacity(a.len() + b.len());
+    while !a.is_empty() && !b.is_empty() {
+        if a.front().unwrap().rank() <= b.front().unwrap().rank() {
+            out.push_back(a.pop_front().unwrap());
+        } else {
+            out.push_back(b.pop_front().unwrap());
+        }
+    }
+    out.extend(a);
+    out.extend(b);
+    out
+}
+
+/// Linearizes the subtree rooted at `v`: returns a rank-ascending chain
+/// whose head contains `v`.
+fn linearize(
+    v: usize,
+    parent: Option<usize>,
+    graph: &QueryGraph,
+    stats: &PatternStats,
+) -> VecDeque<Compound> {
+    let mut merged: VecDeque<Compound> = VecDeque::new();
+    for c in graph.neighbours(v) {
+        if Some(c) == parent {
+            continue;
+        }
+        let sub = linearize(c, Some(v), graph, stats);
+        merged = merge_chains(merged, sub);
+    }
+    // Normalize: `v` precedes everything in `merged`; absorb heads whose
+    // rank is below `v`'s (the ASI exchange argument makes them inseparable).
+    let mut head = Compound::single(v, parent, stats);
+    while let Some(first) = merged.front() {
+        if head.rank() > first.rank() {
+            let first = merged.pop_front().expect("front checked");
+            head = head.merge(first);
+        } else {
+            break;
+        }
+    }
+    let mut out = VecDeque::with_capacity(merged.len() + 1);
+    out.push_back(head);
+    out.extend(merged);
+    out
+}
+
+fn flatten(chain: &VecDeque<Compound>) -> Vec<usize> {
+    chain.iter().flat_map(|c| c.members.iter().copied()).collect()
+}
+
+/// KBZ plan generation. Returns `None` when the preconditions do not hold
+/// (callers fall back to a general-purpose algorithm).
+pub fn kbz_order(stats: &PatternStats, cm: &CostModel) -> Option<Vec<usize>> {
+    if cm.strategy != SelectionStrategy::SkipTillAnyMatch || cm.alpha != 0.0 {
+        return None;
+    }
+    let n = stats.n();
+    // No hidden (temporal) selectivities: every sel < 1 pair must be an
+    // explicit predicate edge.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if stats.sel[i][j] < 1.0 && !stats.explicit_pair[i][j] {
+                return None;
+            }
+        }
+    }
+    let graph = QueryGraph::from_stats(stats);
+    if !graph.is_forest() {
+        return None;
+    }
+    let mut chains: Vec<VecDeque<Compound>> = Vec::new();
+    for comp in graph.components() {
+        if comp.len() == 1 {
+            let mut c = VecDeque::new();
+            c.push_back(Compound::single(comp[0], None, stats));
+            chains.push(c);
+            continue;
+        }
+        // Try every root; keep the cheapest linearization.
+        let mut best: Option<(f64, VecDeque<Compound>)> = None;
+        for &root in &comp {
+            let chain = linearize(root, None, &graph, stats);
+            let order = flatten(&chain);
+            let cost = cost_ord(stats, &order);
+            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                best = Some((cost, chain));
+            }
+        }
+        chains.push(best.expect("component non-empty").1);
+    }
+    // Independent components interleave optimally by rank as well.
+    let mut merged: VecDeque<Compound> = VecDeque::new();
+    for chain in chains {
+        merged = merge_chains(merged, chain);
+    }
+    Some(flatten(&merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star query: element 0 joined to 1, 2, 3.
+    fn star_stats() -> PatternStats {
+        PatternStats::synthetic(
+            10.0,
+            vec![0.5, 3.0, 0.2, 1.0],
+            vec![
+                vec![1.0, 0.3, 0.9, 0.05],
+                vec![0.3, 1.0, 1.0, 1.0],
+                vec![0.9, 1.0, 1.0, 1.0],
+                vec![0.05, 1.0, 1.0, 1.0],
+            ],
+        )
+    }
+
+    /// Chain query: 0 - 1 - 2 - 3.
+    fn chain_stats() -> PatternStats {
+        PatternStats::synthetic(
+            10.0,
+            vec![2.0, 0.1, 1.5, 0.4],
+            vec![
+                vec![1.0, 0.2, 1.0, 1.0],
+                vec![0.2, 1.0, 0.6, 1.0],
+                vec![1.0, 0.6, 1.0, 0.1],
+                vec![1.0, 1.0, 0.1, 1.0],
+            ],
+        )
+    }
+
+    /// Minimum cost over all cross-product-free ("connected-prefix") orders
+    /// of a single-component query.
+    fn best_connected_order_cost(stats: &PatternStats, graph: &QueryGraph) -> f64 {
+        fn rec(
+            stats: &PatternStats,
+            graph: &QueryGraph,
+            order: &mut Vec<usize>,
+            used: &mut Vec<bool>,
+            best: &mut f64,
+        ) {
+            let n = stats.n();
+            if order.len() == n {
+                *best = best.min(cost_ord(stats, order));
+                return;
+            }
+            for cand in 0..n {
+                if used[cand] {
+                    continue;
+                }
+                if !order.is_empty() && !order.iter().any(|&p| graph.has_edge(p, cand)) {
+                    continue; // would be a cross product
+                }
+                used[cand] = true;
+                order.push(cand);
+                rec(stats, graph, order, used, best);
+                order.pop();
+                used[cand] = false;
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(
+            stats,
+            graph,
+            &mut Vec::new(),
+            &mut vec![false; stats.n()],
+            &mut best,
+        );
+        best
+    }
+
+    #[test]
+    fn kbz_exact_on_star_query() {
+        let s = star_stats();
+        let cm = CostModel::throughput();
+        let order = kbz_order(&s, &cm).expect("star is acyclic");
+        let g = QueryGraph::from_stats(&s);
+        let best = best_connected_order_cost(&s, &g);
+        let got = cost_ord(&s, &order);
+        assert!((got - best).abs() <= 1e-9 * best.max(1.0), "{got} vs {best}");
+    }
+
+    #[test]
+    fn kbz_exact_on_chain_query() {
+        let s = chain_stats();
+        let cm = CostModel::throughput();
+        let order = kbz_order(&s, &cm).expect("chain is acyclic");
+        let g = QueryGraph::from_stats(&s);
+        let best = best_connected_order_cost(&s, &g);
+        let got = cost_ord(&s, &order);
+        assert!((got - best).abs() <= 1e-9 * best.max(1.0), "{got} vs {best}");
+    }
+
+    #[test]
+    fn kbz_exact_on_random_trees() {
+        // Deterministic pseudo-random tree queries of size 6.
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..20 {
+            let n = 6;
+            let mut sel = vec![vec![1.0; n]; n];
+            // Random tree: attach vertex i to a random earlier vertex.
+            #[allow(clippy::needless_range_loop)]
+            for i in 1..n {
+                let p = (next() * i as f64) as usize;
+                let s = 0.05 + 0.9 * next();
+                sel[i][p] = s;
+                sel[p][i] = s;
+            }
+            let rates: Vec<f64> = (0..n).map(|_| 0.05 + 3.0 * next()).collect();
+            let stats = PatternStats::synthetic(10.0, rates, sel);
+            let cm = CostModel::throughput();
+            let order = kbz_order(&stats, &cm).expect("tree is acyclic");
+            let g = QueryGraph::from_stats(&stats);
+            let best = best_connected_order_cost(&stats, &g);
+            let got = cost_ord(&stats, &order);
+            assert!(
+                (got - best).abs() <= 1e-6 * best.max(1.0),
+                "{got} vs {best} (order {order:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn kbz_refuses_cyclic_graphs() {
+        let s = PatternStats::synthetic(
+            10.0,
+            vec![1.0, 1.0, 1.0],
+            vec![
+                vec![1.0, 0.5, 0.5],
+                vec![0.5, 1.0, 0.5],
+                vec![0.5, 0.5, 1.0],
+            ],
+        );
+        assert!(kbz_order(&s, &CostModel::throughput()).is_none());
+    }
+
+    #[test]
+    fn kbz_refuses_sequences_and_next_match() {
+        // Temporal-only selectivity (sel < 1 without explicit edge).
+        let mut s = PatternStats::synthetic(
+            10.0,
+            vec![1.0, 1.0],
+            vec![vec![1.0, 0.5], vec![0.5, 1.0]],
+        );
+        s.explicit_pair[0][1] = false;
+        s.explicit_pair[1][0] = false;
+        assert!(kbz_order(&s, &CostModel::throughput()).is_none());
+        // Next-match model unsupported.
+        let s2 = star_stats();
+        let cm = CostModel {
+            strategy: SelectionStrategy::SkipTillNextMatch,
+            ..Default::default()
+        };
+        assert!(kbz_order(&s2, &cm).is_none());
+    }
+
+    #[test]
+    fn kbz_handles_forests_with_isolated_vertices() {
+        // Components {0,1} and {2}; 2 is rare so it should go first.
+        let s = PatternStats::synthetic(
+            10.0,
+            vec![2.0, 1.0, 0.01],
+            vec![
+                vec![1.0, 0.5, 1.0],
+                vec![0.5, 1.0, 1.0],
+                vec![1.0, 1.0, 1.0],
+            ],
+        );
+        let order = kbz_order(&s, &CostModel::throughput()).unwrap();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(order[0], 2, "rare isolated element should lead: {order:?}");
+    }
+}

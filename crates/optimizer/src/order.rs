@@ -1,0 +1,262 @@
+//! Order-based plan generation: the native CPG baselines (TRIVIAL, EFREQ)
+//! and the greedy / local-search JQPG adaptations (Section 7.1).
+
+use cep_core::cost::CostModel;
+use cep_core::stats::PatternStats;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// TRIVIAL: the specification order (the strategy of SASE / Cayuga).
+pub fn trivial_order(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// EFREQ: ascending arrival frequency (the strategy of PB-CED and the lazy
+/// NFA of [29]). Selectivities are ignored — the weakness the JQPG methods
+/// exploit.
+pub fn efreq_order(stats: &PatternStats) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..stats.n()).collect();
+    order.sort_by(|&a, &b| {
+        stats.rates[a]
+            .partial_cmp(&stats.rates[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// GREEDY [47]: stepwise construction, each step appending the element that
+/// minimizes the cost increase of the extended prefix (intermediate-result
+/// size plus, when configured, the latency term).
+pub fn greedy_order(stats: &PatternStats, cm: &CostModel) -> Vec<usize> {
+    let n = stats.n();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (idx, &cand) in remaining.iter().enumerate() {
+            order.push(cand);
+            let cost = cm.order_cost(stats, &order);
+            order.pop();
+            if best.is_none_or(|(bc, _, _)| cost < bc) {
+                best = Some((cost, idx, cand));
+            }
+        }
+        let (_, idx, cand) = best.expect("non-empty remaining");
+        remaining.swap_remove(idx);
+        order.push(cand);
+    }
+    order
+}
+
+/// One iterative-improvement descent [47]: applies the best improving
+/// `swap` or `cycle` move until a local minimum is reached.
+pub fn ii_descent(stats: &PatternStats, cm: &CostModel, start: Vec<usize>) -> (Vec<usize>, f64) {
+    let n = start.len();
+    let mut order = start;
+    let mut cost = cm.order_cost(stats, &order);
+    loop {
+        let mut best_move: Option<(f64, Vec<usize>)> = None;
+        // swap moves.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                order.swap(i, j);
+                let c = cm.order_cost(stats, &order);
+                if c < cost && best_move.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                    best_move = Some((c, order.clone()));
+                }
+                order.swap(i, j);
+            }
+        }
+        // cycle moves (rotate three positions).
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    let saved = (order[i], order[j], order[k]);
+                    order[i] = saved.2;
+                    order[j] = saved.0;
+                    order[k] = saved.1;
+                    let c = cm.order_cost(stats, &order);
+                    if c < cost && best_move.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                        best_move = Some((c, order.clone()));
+                    }
+                    order[i] = saved.0;
+                    order[j] = saved.1;
+                    order[k] = saved.2;
+                }
+            }
+        }
+        match best_move {
+            Some((c, o)) => {
+                cost = c;
+                order = o;
+            }
+            None => return (order, cost),
+        }
+    }
+}
+
+/// II-RANDOM [47]: iterative improvement from random starting points.
+pub fn ii_random_order(
+    stats: &PatternStats,
+    cm: &CostModel,
+    restarts: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let n = stats.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for _ in 0..restarts.max(1) {
+        let mut start: Vec<usize> = (0..n).collect();
+        start.shuffle(&mut rng);
+        let (order, cost) = ii_descent(stats, cm, start);
+        if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+            best = Some((cost, order));
+        }
+    }
+    best.expect("at least one restart").1
+}
+
+/// II-GREEDY [47]: iterative improvement seeded with the greedy order.
+pub fn ii_greedy_order(stats: &PatternStats, cm: &CostModel) -> Vec<usize> {
+    let start = greedy_order(stats, cm);
+    ii_descent(stats, cm, start).0
+}
+
+/// A uniformly random order (ablation baseline).
+pub fn random_order(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::cost::cost_ord;
+
+    fn stats() -> PatternStats {
+        PatternStats::synthetic(
+            10.0,
+            vec![4.0, 1.0, 0.05, 2.0],
+            vec![
+                vec![1.0, 0.5, 1.0, 1.0],
+                vec![0.5, 1.0, 0.2, 1.0],
+                vec![1.0, 0.2, 1.0, 0.7],
+                vec![1.0, 1.0, 0.7, 1.0],
+            ],
+        )
+    }
+
+    fn exhaustive_best(stats: &PatternStats, cm: &CostModel) -> f64 {
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            fn rec(rest: Vec<usize>, acc: Vec<usize>, out: &mut Vec<Vec<usize>>) {
+                if rest.is_empty() {
+                    out.push(acc);
+                    return;
+                }
+                for (i, &x) in rest.iter().enumerate() {
+                    let mut r = rest.clone();
+                    r.remove(i);
+                    let mut a = acc.clone();
+                    a.push(x);
+                    rec(r, a, out);
+                }
+            }
+            let mut out = Vec::new();
+            rec((0..n).collect(), Vec::new(), &mut out);
+            out
+        }
+        perms(stats.n())
+            .into_iter()
+            .map(|o| cm.order_cost(stats, &o))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn trivial_is_identity() {
+        assert_eq!(trivial_order(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn efreq_sorts_by_rate() {
+        let s = stats();
+        assert_eq!(efreq_order(&s), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn greedy_improves_on_trivial() {
+        let s = stats();
+        let cm = CostModel::throughput();
+        let g = greedy_order(&s, &cm);
+        assert!(cost_ord(&s, &g) <= cost_ord(&s, &trivial_order(4)));
+    }
+
+    #[test]
+    fn greedy_starts_with_cheapest_singleton() {
+        let s = stats();
+        let cm = CostModel::throughput();
+        assert_eq!(greedy_order(&s, &cm)[0], 2); // rarest element
+    }
+
+    #[test]
+    fn ii_descent_never_worsens() {
+        let s = stats();
+        let cm = CostModel::throughput();
+        let start = vec![0, 1, 2, 3];
+        let (order, cost) = ii_descent(&s, &cm, start.clone());
+        assert!(cost <= cm.order_cost(&s, &start));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "result must stay a permutation");
+    }
+
+    #[test]
+    fn ii_random_finds_global_optimum_on_small_instance() {
+        let s = stats();
+        let cm = CostModel::throughput();
+        let best = exhaustive_best(&s, &cm);
+        let order = ii_random_order(&s, &cm, 10, 42);
+        let cost = cm.order_cost(&s, &order);
+        assert!((cost - best).abs() <= 1e-9 * best.max(1.0), "{cost} vs {best}");
+    }
+
+    #[test]
+    fn ii_greedy_no_worse_than_greedy() {
+        let s = stats();
+        let cm = CostModel::throughput();
+        let g = cm.order_cost(&s, &greedy_order(&s, &cm));
+        let ig = cm.order_cost(&s, &ii_greedy_order(&s, &cm));
+        assert!(ig <= g + 1e-12);
+    }
+
+    #[test]
+    fn ii_random_is_deterministic_per_seed() {
+        let s = stats();
+        let cm = CostModel::throughput();
+        let a = ii_random_order(&s, &cm, 3, 7);
+        let b = ii_random_order(&s, &cm, 3, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_alpha_pulls_last_element_late() {
+        // With a large alpha and element 3 as the latency anchor, local
+        // search schedules 3 at the end. (GREEDY may not: the latency
+        // penalty of placing the anchor early only materializes at later
+        // steps, and greedy is myopic — one of the reasons the paper pairs
+        // it with iterative improvement.)
+        let s = stats();
+        let cm = CostModel::throughput()
+            .with_alpha(1e6)
+            .with_latency_last(Some(3));
+        let ii = ii_greedy_order(&s, &cm);
+        assert_eq!(*ii.last().unwrap(), 3, "{ii:?}");
+        let iir = ii_random_order(&s, &cm, 5, 3);
+        assert_eq!(*iir.last().unwrap(), 3, "{iir:?}");
+        // And the II result can only improve on greedy's cost.
+        let g = greedy_order(&s, &cm);
+        assert!(cm.order_cost(&s, &ii) <= cm.order_cost(&s, &g) + 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Output profiler (Section 6.1).
+//!
+//! Conjunction patterns have no statically known "last" event type, so the
+//! latency cost model cannot pick its anchor a priori. The paper proposes
+//! profiling the emitted matches: record which element arrived temporally
+//! last in each full match and, once enough evidence accumulates, feed the
+//! most frequent last element to `Cost_lat` as the anchor.
+
+use cep_core::compile::CompiledPattern;
+use cep_core::matches::Match;
+
+/// Records the temporal-arrival-order statistics of emitted matches.
+#[derive(Debug, Clone)]
+pub struct OutputProfiler {
+    counts: Vec<u64>,
+    total: u64,
+    min_samples: u64,
+}
+
+impl OutputProfiler {
+    /// Creates a profiler for a pattern of `n` elements; an anchor is
+    /// reported only after `min_samples` matches.
+    pub fn new(n: usize, min_samples: u64) -> OutputProfiler {
+        OutputProfiler {
+            counts: vec![0; n],
+            total: 0,
+            min_samples,
+        }
+    }
+
+    /// Records one emitted match.
+    pub fn observe(&mut self, cp: &CompiledPattern, m: &Match) {
+        debug_assert_eq!(m.bindings.len(), cp.n());
+        let mut last = 0usize;
+        let mut last_ts = 0;
+        for (i, (_, b)) in m.bindings.iter().enumerate() {
+            let ts = b.max_ts();
+            if ts >= last_ts {
+                last_ts = ts;
+                last = i;
+            }
+        }
+        self.counts[last] += 1;
+        self.total += 1;
+    }
+
+    /// Number of matches observed.
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// The element most frequently arriving last, once enough samples
+    /// exist.
+    pub fn anchor(&self) -> Option<usize> {
+        if self.total < self.min_samples {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+    }
+
+    /// Empirical probability that element `i` arrives last.
+    pub fn probability(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::event::{Event, TypeId};
+    use cep_core::matches::Binding;
+    use cep_core::pattern::PatternBuilder;
+    use std::sync::Arc;
+
+    fn cp_and2() -> CompiledPattern {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "c");
+        CompiledPattern::compile_single(&b.and([a, c]).unwrap()).unwrap()
+    }
+
+    fn mk(ts0: u64, ts1: u64) -> Match {
+        let mut e0 = Event::new(TypeId(0), ts0, vec![]);
+        e0.seq = ts0;
+        let mut e1 = Event::new(TypeId(1), ts1, vec![]);
+        e1.seq = ts1;
+        Match {
+            bindings: vec![
+                (0, Binding::One(Arc::new(e0))),
+                (1, Binding::One(Arc::new(e1))),
+            ],
+            last_ts: ts0.max(ts1),
+            emitted_at: ts0.max(ts1),
+        }
+    }
+
+    #[test]
+    fn no_anchor_before_min_samples() {
+        let cp = cp_and2();
+        let mut p = OutputProfiler::new(2, 3);
+        p.observe(&cp, &mk(1, 2));
+        p.observe(&cp, &mk(3, 4));
+        assert_eq!(p.anchor(), None);
+        assert_eq!(p.samples(), 2);
+    }
+
+    #[test]
+    fn anchor_is_most_frequent_last_element() {
+        let cp = cp_and2();
+        let mut p = OutputProfiler::new(2, 3);
+        p.observe(&cp, &mk(1, 2)); // element 1 last
+        p.observe(&cp, &mk(3, 4)); // element 1 last
+        p.observe(&cp, &mk(6, 5)); // element 0 last
+        assert_eq!(p.anchor(), Some(1));
+        assert!((p.probability(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.probability(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

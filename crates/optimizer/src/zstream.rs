@@ -1,0 +1,227 @@
+//! ZSTREAM plan generation [35] and its greedy-ordered variant.
+//!
+//! ZStream's native algorithm chooses the optimal tree *topology* over a
+//! fixed left-to-right sequence of leaves — an interval dynamic program,
+//! `O(n³)`. Because it cannot reorder leaves, it misses plans such as
+//! Figure 3(c) of the paper; ZSTREAM-ORD closes part of the gap by first
+//! ordering the leaves with the greedy JQPG heuristic (Section 7.1).
+
+use crate::masks::{SubsetTables, MAX_DP_ELEMENTS};
+use crate::order::greedy_order;
+use cep_core::cost::CostModel;
+use cep_core::error::CepError;
+use cep_core::plan::TreeNode;
+use cep_core::stats::PatternStats;
+
+/// ZSTREAM: optimal tree over the given (fixed) leaf order.
+pub fn zstream_tree(
+    stats: &PatternStats,
+    cm: &CostModel,
+    leaf_order: &[usize],
+) -> Result<TreeNode, CepError> {
+    let n = leaf_order.len();
+    if n == 0 {
+        return Err(CepError::Plan("empty pattern".into()));
+    }
+    if n > MAX_DP_ELEMENTS {
+        return Err(CepError::Plan(format!(
+            "ZStream interval DP supports at most {MAX_DP_ELEMENTS} leaves, got {n}"
+        )));
+    }
+    let tables = SubsetTables::build(stats, cm.strategy);
+    // Interval masks.
+    let mut interval_mask = vec![vec![0usize; n]; n];
+    #[allow(clippy::needless_range_loop)] // triangular table fill: index form is clearest
+    for i in 0..n {
+        let mut m = 0usize;
+        for j in i..n {
+            m |= 1 << leaf_order[j];
+            interval_mask[i][j] = m;
+        }
+    }
+    let anchor_bit = cm.latency_last.map(|a| 1usize << a);
+    let mut dp = vec![vec![f64::INFINITY; n]; n];
+    let mut choice = vec![vec![0usize; n]; n];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        dp[i][i] = tables.pm_tree[1 << leaf_order[i]];
+    }
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len - 1;
+            let pm = tables.pm_tree[interval_mask[i][j]];
+            let mut best = f64::INFINITY;
+            let mut best_k = i;
+            for k in i..j {
+                let mut cost = dp[i][k] + dp[k + 1][j] + pm;
+                if let Some(abit) = anchor_bit {
+                    let left = interval_mask[i][k];
+                    let right = interval_mask[k + 1][j];
+                    if left & abit != 0 {
+                        cost += cm.alpha * tables.pm_tree[right];
+                    } else if right & abit != 0 {
+                        cost += cm.alpha * tables.pm_tree[left];
+                    }
+                }
+                if cost < best {
+                    best = cost;
+                    best_k = k;
+                }
+            }
+            dp[i][j] = best;
+            choice[i][j] = best_k;
+        }
+    }
+    fn rebuild(i: usize, j: usize, leaf_order: &[usize], choice: &[Vec<usize>]) -> TreeNode {
+        if i == j {
+            return TreeNode::Leaf(leaf_order[i]);
+        }
+        let k = choice[i][j];
+        TreeNode::join(
+            rebuild(i, k, leaf_order, choice),
+            rebuild(k + 1, j, leaf_order, choice),
+        )
+    }
+    Ok(rebuild(0, n - 1, leaf_order, &choice))
+}
+
+/// ZSTREAM with the specification leaf order (the paper's native baseline).
+pub fn zstream_native(stats: &PatternStats, cm: &CostModel) -> Result<TreeNode, CepError> {
+    let order: Vec<usize> = (0..stats.n()).collect();
+    zstream_tree(stats, cm, &order)
+}
+
+/// ZSTREAM-ORD: greedy leaf ordering, then the interval DP.
+pub fn zstream_ordered(stats: &PatternStats, cm: &CostModel) -> Result<TreeNode, CepError> {
+    let order = greedy_order(stats, cm);
+    zstream_tree(stats, cm, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::dp_bushy_tree;
+
+    /// Figure 3's instance: SEQ(A,B,C), equal rates, highly selective
+    /// predicate between A and C only.
+    fn figure3_stats() -> PatternStats {
+        let sel_ac = 0.01;
+        let temporal = 0.5;
+        PatternStats::synthetic(
+            10.0,
+            vec![1.0, 1.0, 1.0],
+            vec![
+                vec![1.0, temporal, sel_ac * temporal],
+                vec![temporal, 1.0, temporal],
+                vec![sel_ac * temporal, temporal, 1.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn zstream_misses_optimal_tree_dp_b_finds_it() {
+        // The paper's Figure 3: ZStream, unable to reorder leaves, cannot
+        // produce ((A C) B); DP-B can.
+        let s = figure3_stats();
+        let cm = CostModel::throughput();
+        let z = zstream_native(&s, &cm).unwrap();
+        let b = dp_bushy_tree(&s, &cm).unwrap();
+        let z_cost = cm.tree_cost(&s, &z);
+        let b_cost = cm.tree_cost(&s, &b);
+        assert!(
+            b_cost < z_cost,
+            "DP-B ({b_cost}) must beat order-bound ZStream ({z_cost})"
+        );
+        // The optimal tree joins A and C first.
+        let expected = TreeNode::join(
+            TreeNode::join(TreeNode::Leaf(0), TreeNode::Leaf(2)),
+            TreeNode::Leaf(1),
+        );
+        assert!((cm.tree_cost(&s, &expected) - b_cost).abs() <= 1e-9 * b_cost);
+    }
+
+    #[test]
+    fn zstream_is_optimal_among_fixed_order_trees() {
+        // For n=4 compare against brute force over trees preserving the
+        // leaf order.
+        let s = PatternStats::synthetic(
+            10.0,
+            vec![2.0, 0.5, 1.0, 0.2],
+            vec![
+                vec![1.0, 0.4, 1.0, 1.0],
+                vec![0.4, 1.0, 0.9, 1.0],
+                vec![1.0, 0.9, 1.0, 0.3],
+                vec![1.0, 1.0, 0.3, 1.0],
+            ],
+        );
+        let cm = CostModel::throughput();
+        fn shapes(leaves: &[usize]) -> Vec<TreeNode> {
+            if leaves.len() == 1 {
+                return vec![TreeNode::Leaf(leaves[0])];
+            }
+            let mut out = Vec::new();
+            for split in 1..leaves.len() {
+                for l in shapes(&leaves[..split]) {
+                    for r in shapes(&leaves[split..]) {
+                        out.push(TreeNode::join(l.clone(), r));
+                    }
+                }
+            }
+            out
+        }
+        let best = shapes(&[0, 1, 2, 3])
+            .into_iter()
+            .map(|t| cm.tree_cost(&s, &t))
+            .fold(f64::INFINITY, f64::min);
+        let z = zstream_native(&s, &cm).unwrap();
+        let zc = cm.tree_cost(&s, &z);
+        assert!((zc - best).abs() <= 1e-9 * best.max(1.0), "{zc} vs {best}");
+        assert_eq!(z.leaves(), vec![0, 1, 2, 3], "leaf order must be kept");
+    }
+
+    #[test]
+    fn zstream_ordered_no_worse_than_native_on_fig3() {
+        let s = figure3_stats();
+        let cm = CostModel::throughput();
+        let native = cm.tree_cost(&s, &zstream_native(&s, &cm).unwrap());
+        let ordered = cm.tree_cost(&s, &zstream_ordered(&s, &cm).unwrap());
+        assert!(ordered <= native + 1e-9);
+    }
+
+    #[test]
+    fn latency_anchor_respected() {
+        let s = figure3_stats();
+        let cm = CostModel::throughput()
+            .with_alpha(0.5)
+            .with_latency_last(Some(2));
+        fn shapes(leaves: &[usize]) -> Vec<TreeNode> {
+            if leaves.len() == 1 {
+                return vec![TreeNode::Leaf(leaves[0])];
+            }
+            let mut out = Vec::new();
+            for split in 1..leaves.len() {
+                for l in shapes(&leaves[..split]) {
+                    for r in shapes(&leaves[split..]) {
+                        out.push(TreeNode::join(l.clone(), r));
+                    }
+                }
+            }
+            out
+        }
+        let best = shapes(&[0, 1, 2])
+            .into_iter()
+            .map(|t| cm.tree_cost(&s, &t))
+            .fold(f64::INFINITY, f64::min);
+        let z = zstream_native(&s, &cm).unwrap();
+        let zc = cm.tree_cost(&s, &z);
+        assert!((zc - best).abs() <= 1e-9 * best.max(1.0));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let s = PatternStats::synthetic(10.0, vec![1.0], vec![vec![1.0]]);
+        let cm = CostModel::throughput();
+        let z = zstream_native(&s, &cm).unwrap();
+        assert_eq!(z, TreeNode::Leaf(0));
+    }
+}

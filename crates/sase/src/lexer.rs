@@ -1,0 +1,324 @@
+//! Tokenizer for the SASE-style pattern specification language.
+
+use cep_core::error::CepError;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// Comparison operator.
+    Cmp(cep_core::predicate::CmpOp),
+    /// End of input.
+    Eof,
+}
+
+/// Token stream with single-token lookahead.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    peeked: Option<(Token, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Lexer<'a> {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            peeked: None,
+        }
+    }
+
+    /// Current byte offset (for error reporting).
+    pub fn offset(&self) -> usize {
+        self.peeked
+            .as_ref()
+            .map(|(_, o)| *o)
+            .unwrap_or(self.pos)
+    }
+
+    fn error(&self, message: impl Into<String>, offset: usize) -> CepError {
+        CepError::Parse {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                // Line comment.
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn lex(&mut self) -> Result<(Token, usize), CepError> {
+        use cep_core::predicate::CmpOp;
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.bytes.len() {
+            return Ok((Token::Eof, start));
+        }
+        let b = self.bytes[self.pos];
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Token::Cmp(CmpOp::Le)
+                } else {
+                    Token::Cmp(CmpOp::Lt)
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Token::Cmp(CmpOp::Ge)
+                } else {
+                    Token::Cmp(CmpOp::Gt)
+                }
+            }
+            b'=' => {
+                self.pos += 1;
+                if self.bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                }
+                Token::Cmp(CmpOp::Eq)
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Token::Cmp(CmpOp::Ne)
+                } else {
+                    return Err(self.error("expected '=' after '!'", start));
+                }
+            }
+            b'0'..=b'9' => {
+                while self.pos < self.bytes.len()
+                    && (self.bytes[self.pos].is_ascii_digit() || self.bytes[self.pos] == b'.')
+                {
+                    // A dot is part of the number only when followed by a
+                    // digit (so `3.x` never occurs: attrs follow idents).
+                    if self.bytes[self.pos] == b'.'
+                        && !self
+                            .bytes
+                            .get(self.pos + 1)
+                            .is_some_and(|c| c.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = &self.input[start..self.pos];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| self.error(format!("invalid number {text:?}"), start))?;
+                Token::Number(v)
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                while self.pos < self.bytes.len()
+                    && (self.bytes[self.pos].is_ascii_alphanumeric()
+                        || self.bytes[self.pos] == b'_'
+                        || self.bytes[self.pos] == b'-')
+                {
+                    self.pos += 1;
+                }
+                Token::Ident(self.input[start..self.pos].to_owned())
+            }
+            other => {
+                return Err(self.error(
+                    format!("unexpected character {:?}", other as char),
+                    start,
+                ))
+            }
+        };
+        Ok((tok, start))
+    }
+
+    /// Returns the next token without consuming it.
+    pub fn peek(&mut self) -> Result<&Token, CepError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lex()?);
+        }
+        Ok(&self.peeked.as_ref().expect("just set").0)
+    }
+
+    /// Consumes and returns the next token and its offset.
+    pub fn next(&mut self) -> Result<(Token, usize), CepError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lex(),
+        }
+    }
+
+    /// Consumes the next token, requiring it to equal `expected`.
+    pub fn expect(&mut self, expected: &Token, what: &str) -> Result<(), CepError> {
+        let (tok, off) = self.next()?;
+        if &tok == expected {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {tok:?}"), off))
+        }
+    }
+
+    /// Consumes an identifier token.
+    pub fn expect_ident(&mut self, what: &str) -> Result<(String, usize), CepError> {
+        let (tok, off) = self.next()?;
+        match tok {
+            Token::Ident(s) => Ok((s, off)),
+            other => Err(self.error(format!("expected {what}, found {other:?}"), off)),
+        }
+    }
+
+    /// Whether the next token is the (case-insensitive) keyword `kw`;
+    /// consumes it when it is.
+    pub fn eat_keyword(&mut self, kw: &str) -> Result<bool, CepError> {
+        if let Token::Ident(s) = self.peek()? {
+            if s.eq_ignore_ascii_case(kw) {
+                self.next()?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::predicate::CmpOp;
+
+    fn all_tokens(s: &str) -> Vec<Token> {
+        let mut lx = Lexer::new(s);
+        let mut out = Vec::new();
+        loop {
+            let (t, _) = lx.next().unwrap();
+            if t == Token::Eof {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = all_tokens("SEQ(A a, B b)");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SEQ".into()),
+                Token::LParen,
+                Token::Ident("A".into()),
+                Token::Ident("a".into()),
+                Token::Comma,
+                Token::Ident("B".into()),
+                Token::Ident("b".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = all_tokens("< <= == = != >= >");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Cmp(CmpOp::Lt),
+                Token::Cmp(CmpOp::Le),
+                Token::Cmp(CmpOp::Eq),
+                Token::Cmp(CmpOp::Eq),
+                Token::Cmp(CmpOp::Ne),
+                Token::Cmp(CmpOp::Ge),
+                Token::Cmp(CmpOp::Gt),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_attribute_dots() {
+        // `a.price < 3.5`: the first dot is an attribute access, the second
+        // part of a number.
+        let toks = all_tokens("a.price < 3.5");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("price".into()),
+                Token::Cmp(CmpOp::Lt),
+                Token::Number(3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = all_tokens("SEQ # trailing comment\n (");
+        assert_eq!(
+            toks,
+            vec![Token::Ident("SEQ".into()), Token::LParen]
+        );
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let mut lx = Lexer::new("abc $");
+        lx.next().unwrap();
+        let err = lx.next().unwrap_err();
+        match err {
+            CepError::Parse { offset, .. } => assert_eq!(offset, 4),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyword_matching_is_case_insensitive() {
+        let mut lx = Lexer::new("where WITHIN");
+        assert!(lx.eat_keyword("WHERE").unwrap());
+        assert!(!lx.eat_keyword("WHERE").unwrap());
+        assert!(lx.eat_keyword("within").unwrap());
+    }
+}

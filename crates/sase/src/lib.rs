@@ -1,0 +1,25 @@
+//! # cep-sase
+//!
+//! Parser for the SASE-style pattern specification language used throughout
+//! *Join Query Optimization Techniques for CEP Applications* (VLDB 2018),
+//! e.g. the paper's "four cameras" pattern:
+//!
+//! ```text
+//! PATTERN SEQ(A a, B b, C c, D d)
+//! WHERE (a.vehicleID == b.vehicleID AND b.vehicleID == c.vehicleID
+//!        AND c.vehicleID == d.vehicleID)
+//! WITHIN 10 s
+//! ```
+//!
+//! Extensions over the paper's fragment: nested operators inside the
+//! `PATTERN` clause (`AND(A a, OR(C c, D d))`), duration units in
+//! `WITHIN`, `a.ts` timestamp operands, and an optional `STRATEGY` clause
+//! selecting the Section 6.2 event selection strategy.
+
+
+#![warn(missing_docs)]
+
+mod lexer;
+mod parser;
+
+pub use parser::parse_pattern;

@@ -1,0 +1,26 @@
+//! # cep-streamgen
+//!
+//! Synthetic substrate for the Section 7 experiments of Kolchinsky &
+//! Schuster (VLDB 2018): a NASDAQ-like stock-update stream generator
+//! ([`stock`]) and the five-category pattern workload generator
+//! ([`workload`]).
+//!
+//! The real dataset (eoddata.com NASDAQ dump) is not redistributable; see
+//! `DESIGN.md` §3 for why this substitution preserves the evaluated
+//! behaviour: the optimizer consumes only arrival rates and predicate
+//! selectivities, both of which the generator reproduces (with closed-form
+//! ground truth) over the paper's measured ranges.
+
+
+#![warn(missing_docs)]
+
+pub mod stock;
+pub mod workload;
+
+pub use stock::{
+    GeneratedStream, StockConfig, StockStreamGenerator, SymbolSpec, ATTR_DIFFERENCE, ATTR_PRICE,
+};
+pub use workload::{
+    analytic_measured_stats, analytic_selectivities, generate_pattern, generate_set,
+    GeneratedPattern, PatternSetKind, WorkloadConfig,
+};

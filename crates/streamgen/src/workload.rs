@@ -1,0 +1,497 @@
+//! Pattern-set (workload) generator for the Section 7 experiments.
+//!
+//! The paper evaluates five pattern sets — pure sequences, sequences with a
+//! negated event, conjunctions, sequences with a Kleene-closed event, and
+//! disjunctions of three sequences — with sizes 3–7 and roughly
+//! `size / 2` predicates comparing `difference` attributes of the involved
+//! stock types (Section 7.2). This module reproduces those sets over the
+//! synthetic stock catalog, deterministically per seed.
+
+use crate::stock::{GeneratedStream, ATTR_DIFFERENCE};
+use cep_core::compile::CompiledPattern;
+use cep_core::error::CepError;
+use cep_core::event::TypeId;
+use cep_core::pattern::{Pattern, PatternBuilder, PatternExpr};
+use cep_core::predicate::{CmpOp, Operand, Predicate};
+use cep_core::stats::MeasuredStats;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The five evaluated pattern categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternSetKind {
+    /// Pure sequences.
+    Sequence,
+    /// Sequences with one negated event.
+    Negation,
+    /// Pure conjunctions.
+    Conjunction,
+    /// Sequences with one Kleene-closed event ("iteration" in the figures).
+    Kleene,
+    /// Disjunctions of three sequences ("composite" patterns).
+    Disjunction,
+}
+
+impl PatternSetKind {
+    /// All five categories, in the paper's presentation order.
+    pub fn all() -> [PatternSetKind; 5] {
+        [
+            PatternSetKind::Sequence,
+            PatternSetKind::Negation,
+            PatternSetKind::Conjunction,
+            PatternSetKind::Kleene,
+            PatternSetKind::Disjunction,
+        ]
+    }
+}
+
+impl fmt::Display for PatternSetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PatternSetKind::Sequence => "sequence",
+            PatternSetKind::Negation => "negation",
+            PatternSetKind::Conjunction => "conjunction",
+            PatternSetKind::Kleene => "kleene",
+            PatternSetKind::Disjunction => "disjunction",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Pattern time window in milliseconds (the paper uses 20 minutes).
+    pub window_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            window_ms: 20 * 60 * 1000,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated pattern with its category and size annotation.
+#[derive(Debug, Clone)]
+pub struct GeneratedPattern {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Category.
+    pub kind: PatternSetKind,
+    /// Size (number of participating events per conjunctive branch).
+    pub size: usize,
+}
+
+/// Generates one pattern of the given category and size over the stream's
+/// symbols.
+///
+/// Interpretation notes (the paper leaves these implicit):
+/// * `size` counts the primitive events of a conjunctive branch; negation
+///   patterns have `size` events of which one (non-boundary when possible)
+///   is negated;
+/// * Kleene patterns place the KL operator on the lowest-rate chosen
+///   symbol — the power-set semantics makes high-rate KL elements
+///   intractable for *any* engine (the `2^{rW}` of Section 5.2);
+/// * disjunction patterns are `OR`s of three sequences of `size` events
+///   each, over disjoint symbol sets.
+pub fn generate_pattern(
+    kind: PatternSetKind,
+    size: usize,
+    gen: &GeneratedStream,
+    cfg: &WorkloadConfig,
+    rng: &mut StdRng,
+) -> Result<GeneratedPattern, CepError> {
+    assert!(size >= 2, "pattern size must be at least 2");
+    let need = match kind {
+        PatternSetKind::Disjunction => 3 * size,
+        _ => size,
+    };
+    assert!(
+        gen.type_ids.len() >= need,
+        "workload needs {need} symbols, stream has {}",
+        gen.type_ids.len()
+    );
+    let mut symbol_idx: Vec<usize> = (0..gen.type_ids.len()).collect();
+    symbol_idx.shuffle(rng);
+    symbol_idx.truncate(need);
+
+    let mut b = PatternBuilder::new(cfg.window_ms);
+    let pattern = match kind {
+        PatternSetKind::Sequence | PatternSetKind::Conjunction => {
+            let evs: Vec<_> = symbol_idx
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| b.event(gen.type_ids[s], &format!("e{i}")))
+                .collect();
+            add_difference_predicates(&mut b, &evs.iter().map(|e| e.pos()).collect::<Vec<_>>(), size / 2, rng);
+            if kind == PatternSetKind::Sequence {
+                b.seq(evs)?
+            } else {
+                b.and(evs)?
+            }
+        }
+        PatternSetKind::Negation => {
+            let evs: Vec<_> = symbol_idx
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| b.event(gen.type_ids[s], &format!("e{i}")))
+                .collect();
+            // Negate a middle event; predicates link positive events only.
+            let neg_slot = if size > 2 { 1 + rng.gen_range(0..(size - 2)) } else { 1 };
+            let positive_pos: Vec<usize> = evs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != neg_slot)
+                .map(|(_, e)| e.pos())
+                .collect();
+            add_difference_predicates(&mut b, &positive_pos, (size - 1) / 2, rng);
+            let exprs: Vec<PatternExpr> = evs
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| {
+                    if i == neg_slot {
+                        b.not(e)
+                    } else {
+                        b.expr(e)
+                    }
+                })
+                .collect();
+            b.seq_exprs(exprs)?
+        }
+        PatternSetKind::Kleene => {
+            // Put the KL operator on the *globally* rarest symbol: the
+            // power-set semantics stores 2^{W·r} partial matches
+            // (Section 5.2), so any non-rare KL type is intractable for
+            // every engine and plan alike.
+            let rarest = (0..gen.symbols.len())
+                .min_by(|&a, &b| {
+                    gen.symbols[a]
+                        .rate_per_sec
+                        .partial_cmp(&gen.symbols[b].rate_per_sec)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty symbols");
+            let mut symbol_idx = symbol_idx;
+            if !symbol_idx.contains(&rarest) {
+                symbol_idx[0] = rarest;
+            }
+            let kl_slot = if size > 2 { 1 + rng.gen_range(0..(size - 2)) } else { 1 };
+            let mut ordered = symbol_idx.clone();
+            let rarest_pos = ordered.iter().position(|&s| s == rarest).expect("chosen");
+            ordered.swap(kl_slot, rarest_pos);
+            let evs: Vec<_> = ordered
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| b.event(gen.type_ids[s], &format!("e{i}")))
+                .collect();
+            let non_kl: Vec<usize> = evs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != kl_slot)
+                .map(|(_, e)| e.pos())
+                .collect();
+            add_difference_predicates(&mut b, &non_kl, (size - 1) / 2, rng);
+            let exprs: Vec<PatternExpr> = evs
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| {
+                    if i == kl_slot {
+                        b.kleene(e)
+                    } else {
+                        b.expr(e)
+                    }
+                })
+                .collect();
+            b.seq_exprs(exprs)?
+        }
+        PatternSetKind::Disjunction => {
+            let mut branches = Vec::with_capacity(3);
+            for br in 0..3 {
+                let slice = &symbol_idx[br * size..(br + 1) * size];
+                let evs: Vec<_> = slice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| b.event(gen.type_ids[s], &format!("b{br}e{i}")))
+                    .collect();
+                add_difference_predicates(
+                    &mut b,
+                    &evs.iter().map(|e| e.pos()).collect::<Vec<_>>(),
+                    size / 2,
+                    rng,
+                );
+                branches.push(PatternExpr::Seq(evs.iter().map(|&e| b.expr(e)).collect()));
+            }
+            b.or_exprs(branches)?
+        }
+    };
+    Ok(GeneratedPattern {
+        pattern,
+        kind,
+        size,
+    })
+}
+
+/// Adds `count` random `difference`-comparison predicates between distinct
+/// position pairs.
+fn add_difference_predicates(
+    b: &mut PatternBuilder,
+    positions: &[usize],
+    count: usize,
+    rng: &mut StdRng,
+) {
+    if positions.len() < 2 {
+        return;
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (i, &p) in positions.iter().enumerate() {
+        for &q in &positions[i + 1..] {
+            pairs.push((p, q));
+        }
+    }
+    pairs.shuffle(rng);
+    for &(p, q) in pairs.iter().take(count) {
+        let (l, r) = if rng.gen_bool(0.5) { (p, q) } else { (q, p) };
+        b.predicate(Predicate::attr_cmp(
+            l,
+            ATTR_DIFFERENCE,
+            CmpOp::Lt,
+            r,
+            ATTR_DIFFERENCE,
+        ));
+    }
+}
+
+/// Generates a full pattern set: `per_size` patterns for each size in
+/// `sizes` (the paper: sizes 3..=7, 100 patterns each).
+pub fn generate_set(
+    kind: PatternSetKind,
+    sizes: std::ops::RangeInclusive<usize>,
+    per_size: usize,
+    gen: &GeneratedStream,
+    cfg: &WorkloadConfig,
+) -> Result<Vec<GeneratedPattern>, CepError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (kind as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut out = Vec::new();
+    for size in sizes {
+        for _ in 0..per_size {
+            out.push(generate_pattern(kind, size, gen, cfg, &mut rng)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Analytic per-predicate selectivities for a compiled pattern over the
+/// generated stock stream (closed-form Gaussian comparison, no sampling).
+pub fn analytic_selectivities(cp: &CompiledPattern, gen: &GeneratedStream) -> Vec<f64> {
+    let spec_of = |ty: TypeId| {
+        gen.type_ids
+            .iter()
+            .position(|&t| t == ty)
+            .map(|i| &gen.symbols[i])
+    };
+    let type_of_pos = |pos: usize| {
+        cp.elements
+            .iter()
+            .find(|e| e.position == pos)
+            .map(|e| e.event_type)
+            .or_else(|| {
+                cp.negated
+                    .iter()
+                    .find(|n| n.position == pos)
+                    .map(|n| n.event_type)
+            })
+    };
+    cp.predicates
+        .iter()
+        .map(|p| {
+            // Only `difference < difference` predicates are generated.
+            let (Operand::Attr {
+                position: pa,
+                attr: ATTR_DIFFERENCE,
+            }, Operand::Attr {
+                position: pb,
+                attr: ATTR_DIFFERENCE,
+            }) = (&p.left, &p.right)
+            else {
+                return 1.0;
+            };
+            let (Some(ta), Some(tb)) = (type_of_pos(*pa), type_of_pos(*pb)) else {
+                return 1.0;
+            };
+            let (Some(sa), Some(sb)) = (spec_of(ta), spec_of(tb)) else {
+                return 1.0;
+            };
+            match p.op {
+                CmpOp::Lt | CmpOp::Le => sa.lt_selectivity(sb),
+                CmpOp::Gt | CmpOp::Ge => sb.lt_selectivity(sa),
+                _ => 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Analytic type-level statistics (exact configured rates instead of
+/// measured ones).
+pub fn analytic_measured_stats(gen: &GeneratedStream) -> MeasuredStats {
+    let mut m = MeasuredStats::default();
+    for (i, s) in gen.symbols.iter().enumerate() {
+        m.set_rate(gen.type_ids[i], s.rate_per_ms());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock::{StockConfig, StockStreamGenerator};
+    use cep_core::schema::Catalog;
+
+    fn fixture() -> GeneratedStream {
+        let cfg = StockConfig::nasdaq_like(25, 2_000, 0.2, 11);
+        let mut cat = Catalog::new();
+        StockStreamGenerator::generate(&cfg, &mut cat).unwrap()
+    }
+
+    #[test]
+    fn sequence_patterns_are_pure_sequences() {
+        let gen = fixture();
+        let cfg = WorkloadConfig {
+            window_ms: 5_000,
+            seed: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for size in 3..=7 {
+            let gp = generate_pattern(PatternSetKind::Sequence, size, &gen, &cfg, &mut rng)
+                .unwrap();
+            assert!(gp.pattern.is_pure());
+            assert_eq!(gp.pattern.size(), size);
+            assert_eq!(gp.pattern.predicates.len(), size / 2);
+            let cp = CompiledPattern::compile_single(&gp.pattern).unwrap();
+            assert_eq!(cp.op, cep_core::compile::NaryOp::Seq);
+        }
+    }
+
+    #[test]
+    fn negation_patterns_have_one_negated_event() {
+        let gen = fixture();
+        let cfg = WorkloadConfig::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gp =
+            generate_pattern(PatternSetKind::Negation, 5, &gen, &cfg, &mut rng).unwrap();
+        let prims = gp.pattern.primitives();
+        assert_eq!(prims.iter().filter(|p| p.negated).count(), 1);
+        assert_eq!(prims.len(), 5);
+        // The negated event is never first or last in the sequence.
+        let neg_idx = prims.iter().position(|p| p.negated).unwrap();
+        assert!(neg_idx > 0 && neg_idx < 4);
+    }
+
+    #[test]
+    fn kleene_patterns_use_rarest_symbol() {
+        let gen = fixture();
+        let cfg = WorkloadConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gp = generate_pattern(PatternSetKind::Kleene, 4, &gen, &cfg, &mut rng).unwrap();
+        let prims = gp.pattern.primitives();
+        let kl = prims.iter().find(|p| p.kleene).expect("one KL event");
+        // The KL symbol must have the minimum rate among chosen symbols.
+        let rate_of = |ty: TypeId| {
+            let i = gen.type_ids.iter().position(|&t| t == ty).unwrap();
+            gen.symbols[i].rate_per_sec
+        };
+        let min_rate = prims
+            .iter()
+            .map(|p| rate_of(p.event_type))
+            .fold(f64::INFINITY, f64::min);
+        assert!((rate_of(kl.event_type) - min_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunction_patterns_have_three_branches() {
+        let gen = fixture();
+        let cfg = WorkloadConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let gp =
+            generate_pattern(PatternSetKind::Disjunction, 3, &gen, &cfg, &mut rng).unwrap();
+        let cps = CompiledPattern::compile(&gp.pattern).unwrap();
+        assert_eq!(cps.len(), 3);
+        for cp in &cps {
+            assert_eq!(cp.n(), 3);
+        }
+    }
+
+    #[test]
+    fn sets_are_deterministic_and_sized() {
+        let gen = fixture();
+        let cfg = WorkloadConfig {
+            window_ms: 5_000,
+            seed: 9,
+        };
+        let s1 = generate_set(PatternSetKind::Sequence, 3..=5, 4, &gen, &cfg).unwrap();
+        let s2 = generate_set(PatternSetKind::Sequence, 3..=5, 4, &gen, &cfg).unwrap();
+        assert_eq!(s1.len(), 12);
+        assert_eq!(
+            format!("{}", s1[5].pattern),
+            format!("{}", s2[5].pattern),
+            "same seed must give identical patterns"
+        );
+    }
+
+    #[test]
+    fn analytic_selectivities_are_probabilities() {
+        let gen = fixture();
+        let cfg = WorkloadConfig::default();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let gp =
+                generate_pattern(PatternSetKind::Conjunction, 6, &gen, &cfg, &mut rng).unwrap();
+            let cp = CompiledPattern::compile_single(&gp.pattern).unwrap();
+            let sels = analytic_selectivities(&cp, &gen);
+            assert_eq!(sels.len(), cp.predicates.len());
+            assert!(sels.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn analytic_stats_reproduce_configured_rates() {
+        let gen = fixture();
+        let m = analytic_measured_stats(&gen);
+        for (i, s) in gen.symbols.iter().enumerate() {
+            let r = m.rate(gen.type_ids[i]);
+            assert!(
+                (r - s.rate_per_ms()).abs() < 1e-6,
+                "type {i}: {r} vs {}",
+                s.rate_per_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_selectivity_agrees_with_sampled() {
+        use cep_core::stats::estimate_selectivities;
+        // Longer stream than the shared fixture: sampling needs hundreds of
+        // events per symbol for a stable estimate.
+        let scfg = StockConfig::nasdaq_like(8, 60_000, 0.5, 23);
+        let mut cat = Catalog::new();
+        let gen = StockStreamGenerator::generate(&scfg, &mut cat).unwrap();
+        let cfg = WorkloadConfig {
+            window_ms: 5_000,
+            seed: 21,
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        let gp = generate_pattern(PatternSetKind::Conjunction, 4, &gen, &cfg, &mut rng).unwrap();
+        let cp = CompiledPattern::compile_single(&gp.pattern).unwrap();
+        let analytic = analytic_selectivities(&cp, &gen);
+        let sampled = estimate_selectivities(&gen.stream, &cp, 20_000);
+        for (a, s) in analytic.iter().zip(&sampled) {
+            assert!((a - s).abs() < 0.12, "analytic {a} vs sampled {s}");
+        }
+    }
+}

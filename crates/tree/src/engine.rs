@@ -1,0 +1,324 @@
+//! The instance-based tree engine (Section 2.3, after ZStream [35]).
+//!
+//! The engine follows a [`TreePlan`]: events are routed to the leaves, and
+//! partial matches climb towards the root. Per the paper's modification of
+//! ZStream from batch iteration to arbitrary time windows, a separate
+//! instance is kept for every currently viable partial match: whenever a
+//! new instance is created at a node, it is combined with the instances
+//! stored at the *sibling* node, producing new instances at the parent —
+//! a symmetric-join discipline that counts every pair exactly once.
+
+use cep_core::buffer::TypeBuffers;
+use cep_core::compile::CompiledPattern;
+use cep_core::engine::{Engine, EngineConfig};
+use cep_core::error::CepError;
+use cep_core::event::{EventRef, Timestamp};
+use cep_core::instance::{compatible, contiguity_ok, merge_compatible, Instance};
+use cep_core::matches::Match;
+use cep_core::metrics::EngineMetrics;
+use cep_core::negation::DeferredStore;
+use cep_core::plan::{TreeNode, TreePlan};
+use std::collections::HashSet;
+
+/// A flattened tree-plan node.
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { elem: usize },
+    Internal { left: usize, right: usize },
+}
+
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    kind: NodeKind,
+    parent: Option<usize>,
+    sibling: Option<usize>,
+}
+
+/// Tree-based (ZStream-style) evaluation engine.
+pub struct TreeEngine {
+    cp: CompiledPattern,
+    cfg: EngineConfig,
+    nodes: Vec<NodeSpec>,
+    root: usize,
+    /// Instances stored at each node, within the window.
+    stores: Vec<Vec<Instance>>,
+    /// Buffered events of negated types (for negation checks only; positive
+    /// events live in the leaf stores).
+    buffers: TypeBuffers,
+    deferred: DeferredStore,
+    consumed: HashSet<u64>,
+    watermark: Timestamp,
+    events_since_prune: u64,
+    metrics: EngineMetrics,
+}
+
+impl TreeEngine {
+    /// Builds an engine for one compiled pattern branch and a tree plan.
+    pub fn new(cp: CompiledPattern, plan: TreePlan, cfg: EngineConfig) -> Result<TreeEngine, CepError> {
+        plan.validate(&cp)?;
+        let mut nodes = Vec::new();
+        let root = flatten(&plan.root, &mut nodes);
+        // Fill parent/sibling links.
+        for i in 0..nodes.len() {
+            if let NodeKind::Internal { left, right } = nodes[i].kind {
+                nodes[left].parent = Some(i);
+                nodes[left].sibling = Some(right);
+                nodes[right].parent = Some(i);
+                nodes[right].sibling = Some(left);
+            }
+        }
+        let stores = vec![Vec::new(); nodes.len()];
+        Ok(TreeEngine {
+            cp,
+            cfg,
+            nodes,
+            root,
+            stores,
+            buffers: TypeBuffers::new(),
+            deferred: DeferredStore::new(),
+            consumed: HashSet::new(),
+            watermark: 0,
+            events_since_prune: 0,
+            metrics: EngineMetrics::new(),
+        })
+    }
+
+    /// Convenience constructor using the left-deep tree over specification
+    /// order.
+    pub fn with_trivial_plan(cp: CompiledPattern, cfg: EngineConfig) -> TreeEngine {
+        let plan = TreePlan::left_deep(&cep_core::plan::OrderPlan::trivial(&cp));
+        TreeEngine::new(cp, plan, cfg).expect("trivial plan always fits")
+    }
+
+    fn live_instances(&self) -> usize {
+        self.stores.iter().map(|s| s.len()).sum::<usize>() + self.deferred.len()
+    }
+
+    fn emit(&mut self, m: Match, out: &mut Vec<Match>) {
+        if self.cp.strategy.consumes() {
+            if m.events().any(|e| self.consumed.contains(&e.seq)) {
+                return;
+            }
+            for e in m.events() {
+                self.consumed.insert(e.seq);
+            }
+            let consumed = &self.consumed;
+            for store in &mut self.stores {
+                store.retain(|i| !i.intersects(consumed));
+            }
+        }
+        self.metrics.matches_emitted += 1;
+        out.push(m);
+    }
+
+    fn release_deferred(&mut self, watermark: Timestamp, out: &mut Vec<Match>) {
+        if self.cp.negated.is_empty() {
+            return;
+        }
+        let mut ready = Vec::new();
+        self.deferred.drain_ready(watermark, &mut ready);
+        for m in ready {
+            self.emit(m, out);
+        }
+    }
+
+    fn finalize(&mut self, inst: Instance, out: &mut Vec<Match>) {
+        if !contiguity_ok(&self.cp, &inst) {
+            return;
+        }
+        let m = Match {
+            bindings: inst
+                .bindings
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    (
+                        self.cp.elements[i].position,
+                        b.expect("root instances bind every element"),
+                    )
+                })
+                .collect(),
+            last_ts: inst.max_ts,
+            emitted_at: self.watermark,
+        };
+        if self.cp.negated.is_empty() {
+            self.emit(m, out);
+            return;
+        }
+        if let Some(m) = self
+            .deferred
+            .admit(&self.cp, m, self.watermark, &self.buffers)
+        {
+            self.emit(m, out);
+        }
+    }
+
+    /// A freshly created instance at `node` combines with the sibling store
+    /// and recurses upward; at the root it becomes a match.
+    fn propagate(&mut self, node: usize, inst: Instance, out: &mut Vec<Match>) {
+        self.metrics.partial_matches_created += 1;
+        if node == self.root {
+            // Root instances are full matches; nothing joins against them.
+            self.finalize(inst, out);
+            return;
+        }
+        let parent = self.nodes[node].parent.expect("non-root has a parent");
+        let sibling = self.nodes[node].sibling.expect("non-root has a sibling");
+        self.stores[node].push(inst.clone());
+        // Symmetric join with the sibling's current store: every (new, old)
+        // pair is considered exactly once, at the newer side's creation.
+        let merged: Vec<Instance> = {
+            let cp = &self.cp;
+            let consumed = &self.consumed;
+            let metrics = &mut self.metrics;
+            self.stores[sibling]
+                .iter()
+                .filter(|s| merge_compatible(cp, &inst, s, consumed, metrics))
+                .map(|s| inst.merge(s))
+                .collect()
+        };
+        for m in merged {
+            self.propagate(parent, m, out);
+        }
+    }
+
+    /// Handles an event arriving at a leaf.
+    fn leaf_arrival(&mut self, leaf: usize, event: &EventRef, out: &mut Vec<Match>) {
+        let elem = match self.nodes[leaf].kind {
+            NodeKind::Leaf { elem } => elem,
+            NodeKind::Internal { .. } => unreachable!("leaf_arrival on internal node"),
+        };
+        let empty = Instance::empty(self.cp.n());
+        if !compatible(
+            &self.cp,
+            &empty,
+            elem,
+            event,
+            &self.consumed,
+            &mut self.metrics,
+        ) {
+            return;
+        }
+        if self.cp.elements[elem].kleene {
+            // Grow every stored accumulator (gated by serial number so each
+            // subset appears exactly once), then seed the singleton set.
+            let grown: Vec<Instance> = {
+                let cp = &self.cp;
+                let cfg = &self.cfg;
+                let consumed = &self.consumed;
+                let metrics = &mut self.metrics;
+                self.stores[leaf]
+                    .iter()
+                    .filter(|i| {
+                        event.seq >= i.kl_gate
+                            && i.kleene_len(elem) < cfg.max_kleene_events
+                            && compatible(cp, i, elem, event, consumed, metrics)
+                    })
+                    .map(|i| i.with_kleene(elem, event.clone()))
+                    .collect()
+            };
+            for g in grown {
+                self.propagate(leaf, g, out);
+            }
+            let seed = empty.with_kleene(elem, event.clone());
+            self.propagate(leaf, seed, out);
+        } else {
+            let seed = empty.with_single(elem, event.clone());
+            self.propagate(leaf, seed, out);
+        }
+    }
+
+    fn prune(&mut self) {
+        let watermark = self.watermark;
+        let window = self.cp.window;
+        self.buffers.prune(watermark, window);
+        for store in &mut self.stores {
+            store.retain(|i| !i.expired(watermark, window));
+        }
+        if self.cp.strategy.consumes() && self.consumed.len() > 100_000 {
+            self.consumed.clear();
+        }
+    }
+}
+
+fn flatten(node: &TreeNode, out: &mut Vec<NodeSpec>) -> usize {
+    match node {
+        TreeNode::Leaf(elem) => {
+            out.push(NodeSpec {
+                kind: NodeKind::Leaf { elem: *elem },
+                parent: None,
+                sibling: None,
+            });
+            out.len() - 1
+        }
+        TreeNode::Node(l, r) => {
+            let li = flatten(l, out);
+            let ri = flatten(r, out);
+            out.push(NodeSpec {
+                kind: NodeKind::Internal { left: li, right: ri },
+                parent: None,
+                sibling: None,
+            });
+            out.len() - 1
+        }
+    }
+}
+
+impl Engine for TreeEngine {
+    fn process(&mut self, event: &EventRef, out: &mut Vec<Match>) {
+        self.metrics.events_processed += 1;
+        self.watermark = self.watermark.max(event.ts);
+        let watermark = self.watermark;
+        self.release_deferred(watermark, out);
+        if !self.cp.negated.is_empty() {
+            self.deferred.on_event(&self.cp, event);
+            if self.cp.negated_of_type(event.type_id).next().is_some() {
+                self.buffers.push(event.clone());
+            }
+        }
+        self.events_since_prune += 1;
+        if self.events_since_prune >= self.cfg.prune_every {
+            self.events_since_prune = 0;
+            self.prune();
+        }
+        if !self.cp.uses_type(event.type_id) {
+            return;
+        }
+        self.metrics.events_relevant += 1;
+        // Route to every leaf accepting this type.
+        let leaves: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n.kind {
+                NodeKind::Leaf { elem }
+                    if self.cp.elements[elem].event_type == event.type_id =>
+                {
+                    Some(i)
+                }
+                _ => None,
+            })
+            .collect();
+        for leaf in leaves {
+            self.leaf_arrival(leaf, event, out);
+        }
+        self.metrics
+            .record_live(self.live_instances(), self.buffers.len());
+    }
+
+    fn flush(&mut self, out: &mut Vec<Match>) {
+        self.release_deferred(Timestamp::MAX, out);
+    }
+
+    fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+}

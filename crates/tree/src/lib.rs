@@ -1,0 +1,27 @@
+//! # cep-tree
+//!
+//! Tree-based CEP evaluation after ZStream (Mei & Madden [35]), modified —
+//! as in Section 2.3 of *Join Query Optimization Techniques for CEP
+//! Applications* (VLDB 2018) — from a batch-iterator design to an
+//! instance-based design supporting arbitrary time windows.
+//!
+//! The engine follows a [`TreePlan`](cep_core::plan::TreePlan): primitive
+//! events enter at leaves, partial matches are combined at internal nodes
+//! when both children have compatible instances, and full matches surface
+//! at the root. Unlike the NFA, no single processing order is imposed: any
+//! arrival order is handled by the symmetric join at each node.
+//!
+//! Strategy support mirrors `cep-nfa` with one documented difference:
+//! under skip-till-next-match the tree engine realizes single-use events
+//! by consumption alone (matches stay disjoint, but intermediate instances
+//! may still fork before the first emission claims their events).
+
+
+#![warn(missing_docs)]
+
+mod engine;
+
+pub use engine::TreeEngine;
+
+#[cfg(test)]
+mod tests;

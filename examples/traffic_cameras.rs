@@ -1,0 +1,77 @@
+//! The paper's introductory example (Section 1, Figure 1): four traffic
+//! cameras A → B → C → D report sightings of vehicles; camera D is
+//! malfunctioning and transmits only one frame for every ten from the
+//! others. Detecting SEQ(A, B, C, D) with the trivial NFA creates a partial
+//! match for every prefix; the lazy (out-of-order) plan waits for the rare
+//! D first — same matches, far fewer partial matches.
+//!
+//! Run with `cargo run --release --example traffic_cameras`.
+
+use cep::core::compile::CompiledPattern;
+use cep::core::engine::{run_to_completion, EngineConfig};
+use cep::core::event::Event;
+use cep::core::plan::OrderPlan;
+use cep::core::schema::{Catalog, ValueKind};
+use cep::core::stream::StreamBuilder;
+use cep::core::value::Value;
+use cep::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Camera reading types, each with the spotted vehicle id.
+    let mut catalog = Catalog::new();
+    let cams: Vec<_> = ["A", "B", "C", "D"]
+        .iter()
+        .map(|n| catalog.add_type(n, &[("vehicleID", ValueKind::Int)]).unwrap())
+        .collect();
+
+    // The pattern from the paper, in SASE syntax.
+    let pattern = parse_pattern(
+        "PATTERN SEQ(A a, B b, C c, D d)
+         WHERE (a.vehicleID == b.vehicleID AND b.vehicleID == c.vehicleID
+                AND c.vehicleID == d.vehicleID)
+         WITHIN 60 s",
+        &catalog,
+    )
+    .unwrap();
+
+    // Simulate the road: vehicles pass every camera in order; camera D
+    // only transmits 1 of 10 frames.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut sb = StreamBuilder::new();
+    let mut ts = 0u64;
+    for vehicle in 0..400i64 {
+        for (i, &cam) in cams.iter().enumerate() {
+            ts += rng.gen_range(20..120);
+            let transmits = i < 3 || vehicle % 10 == 0;
+            if transmits {
+                sb.push(Event::new(cam, ts, vec![Value::Int(vehicle)]));
+            }
+        }
+    }
+    let stream = sb.build();
+    println!("camera stream: {} readings", stream.len());
+
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+
+    // Figure 1(a): the trivial in-order NFA.
+    let trivial = OrderPlan::trivial(&cp);
+    // Figure 1(b): the lazy NFA that waits for the rare D first, then
+    // walks the equality chain backwards (d=c, c=b, b=a) so every step is
+    // constrained by a predicate.
+    let lazy = OrderPlan::new(vec![3, 2, 1, 0]).unwrap();
+
+    for (name, plan) in [("in-order NFA (Fig 1a)", trivial), ("lazy NFA (Fig 1b)", lazy)] {
+        let mut engine =
+            NfaEngine::new(cp.clone(), plan.clone(), EngineConfig::default()).unwrap();
+        let r = run_to_completion(&mut engine, &stream, false);
+        println!(
+            "{name:>22} plan {plan}: {} matches, {:>6} partial matches created, peak {:>4}",
+            r.match_count,
+            r.metrics.partial_matches_created,
+            r.metrics.peak_partial_matches,
+        );
+    }
+    println!("(same matches; the reordered plan is the cheapest of all 4! orders — Section 1)");
+}

@@ -1,0 +1,126 @@
+//! # cep
+//!
+//! A complex event processing (CEP) stack with join-query-optimization-based
+//! plan generation — a from-scratch Rust implementation of Kolchinsky &
+//! Schuster, *Join Query Optimization Techniques for Complex Event
+//! Processing Applications* (VLDB 2018, arXiv:1801.09413).
+//!
+//! ## Crates
+//!
+//! * [`core`] (`cep-core`) — events, patterns, predicates, evaluation
+//!   plans, cost models, statistics, and the naive oracle engine.
+//! * [`nfa`] (`cep-nfa`) — the order-based (lazy chain NFA) engine.
+//! * [`tree`] (`cep-tree`) — the tree-based (ZStream-style) engine.
+//! * [`optimizer`] (`cep-optimizer`) — TRIVIAL/EFREQ (native CPG) and
+//!   GREEDY/II/DP/KBZ/ZSTREAM (adapted JQPG) plan generation.
+//! * [`sase`] (`cep-sase`) — parser for SASE-style pattern specifications.
+//! * [`streamgen`] (`cep-streamgen`) — synthetic stock streams and the
+//!   paper's five-category workloads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cep::prelude::*;
+//! use cep::core::engine::run_to_completion;
+//!
+//! // Catalog and stream (synthetic stock updates).
+//! let config = StockConfig::nasdaq_like(8, 30_000, 0.5, 42);
+//! let mut catalog = cep::core::schema::Catalog::new();
+//! let generated = StockStreamGenerator::generate(&config, &mut catalog).unwrap();
+//!
+//! // A pattern in SASE syntax.
+//! let pattern = parse_pattern(
+//!     "PATTERN SEQ(S0000 a, S0001 b) WHERE a.difference < b.difference WITHIN 5 s",
+//!     &catalog,
+//! ).unwrap();
+//!
+//! // Plan with an adapted join algorithm and run the NFA engine.
+//! let mut engine = cep::build_nfa_engine(
+//!     &pattern,
+//!     &generated,
+//!     OrderAlgorithm::DpLd,
+//!     Default::default(),
+//! ).unwrap();
+//! let result = run_to_completion(engine.as_mut(), &generated.stream, true);
+//! println!("{} matches", result.match_count);
+//! ```
+
+
+#![warn(missing_docs)]
+
+pub use cep_core as core;
+pub use cep_nfa as nfa;
+pub use cep_optimizer as optimizer;
+pub use cep_sase as sase;
+pub use cep_streamgen as streamgen;
+pub use cep_tree as tree;
+
+use cep_core::compile::CompiledPattern;
+use cep_core::engine::{Engine, EngineConfig, MultiEngine};
+use cep_core::error::CepError;
+use cep_core::pattern::Pattern;
+use cep_nfa::NfaEngine;
+use cep_optimizer::{OrderAlgorithm, Planner, TreeAlgorithm};
+use cep_streamgen::{analytic_measured_stats, analytic_selectivities, GeneratedStream};
+use cep_tree::TreeEngine;
+
+/// Commonly used items, re-exported for `use cep::prelude::*`.
+pub mod prelude {
+    pub use cep_core::prelude::*;
+    pub use cep_nfa::NfaEngine;
+    pub use cep_optimizer::planner::{LatencyAnchor, Planner, PlannerConfig};
+    pub use cep_optimizer::{OrderAlgorithm, TreeAlgorithm};
+    pub use cep_sase::parse_pattern;
+    pub use cep_streamgen::{PatternSetKind, StockConfig, StockStreamGenerator};
+    pub use cep_tree::TreeEngine;
+}
+
+/// Builds an order-based (NFA) engine for `pattern`, planning every DNF
+/// branch with `algorithm` using the generated stream's analytic
+/// statistics. Disjunctions produce a [`MultiEngine`] internally.
+pub fn build_nfa_engine(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: OrderAlgorithm,
+    config: EngineConfig,
+) -> Result<Box<dyn Engine>, CepError> {
+    let planner = Planner::default();
+    let measured = analytic_measured_stats(gen);
+    let branches = CompiledPattern::compile(pattern)?;
+    let mut engines: Vec<Box<dyn Engine>> = Vec::with_capacity(branches.len());
+    for cp in branches {
+        let sels = analytic_selectivities(&cp, gen);
+        let stats = planner.stats_for(&cp, &measured, &sels)?;
+        let plan = planner.plan_order(&cp, &stats, algorithm)?;
+        engines.push(Box::new(NfaEngine::new(cp, plan, config.clone())?));
+    }
+    Ok(if engines.len() == 1 {
+        engines.pop().expect("one engine")
+    } else {
+        Box::new(MultiEngine::new(engines, pattern.window))
+    })
+}
+
+/// Builds a tree-based engine for `pattern` (see [`build_nfa_engine`]).
+pub fn build_tree_engine(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: TreeAlgorithm,
+    config: EngineConfig,
+) -> Result<Box<dyn Engine>, CepError> {
+    let planner = Planner::default();
+    let measured = analytic_measured_stats(gen);
+    let branches = CompiledPattern::compile(pattern)?;
+    let mut engines: Vec<Box<dyn Engine>> = Vec::with_capacity(branches.len());
+    for cp in branches {
+        let sels = analytic_selectivities(&cp, gen);
+        let stats = planner.stats_for(&cp, &measured, &sels)?;
+        let plan = planner.plan_tree(&cp, &stats, algorithm)?;
+        engines.push(Box::new(TreeEngine::new(cp, plan, config.clone())?));
+    }
+    Ok(if engines.len() == 1 {
+        engines.pop().expect("one engine")
+    } else {
+        Box::new(MultiEngine::new(engines, pattern.window))
+    })
+}

@@ -1,0 +1,328 @@
+//! Property-based cross-engine equivalence: for random patterns and random
+//! streams, the lazy NFA (under a random order plan), the tree engine
+//! (under a random tree plan), and the naive exhaustive oracle must emit
+//! exactly the same set of matches. This is the load-bearing correctness
+//! property behind the whole evaluation — Section 2.2's claim that "all
+//! (n!) NFAs track the exact same pattern", extended to tree plans.
+
+use cep::core::compile::CompiledPattern;
+use cep::core::engine::{run_to_completion, EngineConfig};
+use cep::core::event::{Event, TypeId};
+use cep::core::matches::{validate_match, Match};
+use cep::core::naive::NaiveEngine;
+use cep::core::pattern::{Pattern, PatternBuilder, PatternExpr};
+use cep::core::plan::{OrderPlan, TreeNode, TreePlan};
+use cep::core::predicate::{CmpOp, Predicate};
+use cep::core::stream::StreamBuilder;
+use cep::core::value::Value;
+use cep::nfa::NfaEngine;
+use cep::tree::TreeEngine;
+use proptest::prelude::*;
+
+/// Random pattern description drawn by proptest.
+#[derive(Debug, Clone)]
+struct PatternSpec {
+    is_seq: bool,
+    /// Per element: event type (0..4), negated?, kleene?
+    elements: Vec<(u32, u8)>, // flag: 0 plain, 1 not, 2 kleene
+    /// Predicates between element indices: (i, j, op).
+    predicates: Vec<(usize, usize, u8)>,
+    window: u64,
+}
+
+fn op_of(code: u8) -> CmpOp {
+    match code % 4 {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Ne,
+        _ => CmpOp::Gt,
+    }
+}
+
+fn build_pattern(spec: &PatternSpec) -> Option<Pattern> {
+    let mut b = PatternBuilder::new(spec.window);
+    let evs: Vec<_> = spec
+        .elements
+        .iter()
+        .enumerate()
+        .map(|(i, (t, _))| b.event(TypeId(*t), &format!("e{i}")))
+        .collect();
+    for &(i, j, opc) in &spec.predicates {
+        let (i, j) = (i % evs.len(), j % evs.len());
+        if i == j {
+            continue;
+        }
+        // Predicates only between non-negated elements (negated predicates
+        // are exercised separately).
+        if spec.elements[i].1 == 1 || spec.elements[j].1 == 1 {
+            continue;
+        }
+        b.predicate(Predicate::attr_cmp(evs[i].pos(), 0, op_of(opc), evs[j].pos(), 0));
+    }
+    let exprs: Vec<PatternExpr> = evs
+        .iter()
+        .zip(&spec.elements)
+        .map(|(&e, (_, flag))| match flag {
+            1 => b.not(e),
+            2 => b.kleene(e),
+            _ => b.expr(e),
+        })
+        .collect();
+    let result = if spec.is_seq {
+        b.seq_exprs(exprs)
+    } else {
+        b.and_exprs(exprs)
+    };
+    result.ok().filter(|p| {
+        // Need at least one positive element.
+        p.primitives().iter().any(|pr| !pr.negated)
+    })
+}
+
+fn build_stream(raw: &[(u32, u8, i8)]) -> Vec<cep::core::event::EventRef> {
+    let mut sb = StreamBuilder::new();
+    let mut ts = 0u64;
+    for &(tid, dt, x) in raw {
+        ts += (dt % 4) as u64;
+        sb.push(Event::new(TypeId(tid % 5), ts, vec![Value::Int(x as i64)]));
+    }
+    sb.build()
+}
+
+fn signatures(ms: &[Match]) -> Vec<Vec<(usize, Vec<u64>)>> {
+    let mut sigs: Vec<_> = ms.iter().map(|m| m.signature()).collect();
+    sigs.sort();
+    sigs
+}
+
+/// Deterministic "random" plan choices derived from a seed.
+fn order_from_seed(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+fn tree_from_order(order: &[usize], seed: u64) -> TreeNode {
+    // Random binary tree over the given leaf order.
+    fn rec(leaves: &[usize], s: &mut u64) -> TreeNode {
+        if leaves.len() == 1 {
+            return TreeNode::Leaf(leaves[0]);
+        }
+        *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let split = 1 + ((*s >> 33) as usize % (leaves.len() - 1));
+        TreeNode::join(rec(&leaves[..split], s), rec(&leaves[split..], s))
+    }
+    let mut s = seed | 1;
+    rec(order, &mut s)
+}
+
+fn check_equivalence(spec: PatternSpec, raw_stream: Vec<(u32, u8, i8)>, seed: u64) {
+    let Some(pattern) = build_pattern(&spec) else {
+        return; // structurally degenerate draw
+    };
+    let Ok(cp) = CompiledPattern::compile_single(&pattern) else {
+        return;
+    };
+    let stream = build_stream(&raw_stream);
+    let cfg = EngineConfig {
+        max_kleene_events: 4,
+        ..Default::default()
+    };
+    let mut oracle = NaiveEngine::new(cp.clone(), cfg.clone());
+    let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
+
+    let order = order_from_seed(cp.n(), seed);
+    let plan = OrderPlan::new(order.clone()).expect("permutation");
+    let mut nfa = NfaEngine::new(cp.clone(), plan, cfg.clone()).expect("valid plan");
+    let nfa_matches = run_to_completion(&mut nfa, &stream, true).matches;
+    for m in &nfa_matches {
+        validate_match(&cp, m).expect("NFA emitted an invalid match");
+    }
+    assert_eq!(
+        signatures(&nfa_matches),
+        expected,
+        "NFA(order {order:?}) disagrees with oracle for {pattern}"
+    );
+
+    let tree = TreePlan::new(tree_from_order(&order, seed ^ 0xABCD)).expect("valid tree");
+    let mut te = TreeEngine::new(cp.clone(), tree.clone(), cfg).expect("valid plan");
+    let tree_matches = run_to_completion(&mut te, &stream, true).matches;
+    for m in &tree_matches {
+        validate_match(&cp, m).expect("tree emitted an invalid match");
+    }
+    assert_eq!(
+        signatures(&tree_matches),
+        expected,
+        "Tree({tree}) disagrees with oracle for {pattern}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pure_patterns_equivalent(
+        is_seq in any::<bool>(),
+        types in prop::collection::vec(0u32..4, 2..=4),
+        preds in prop::collection::vec((0usize..4, 0usize..4, 0u8..8), 0..=3),
+        raw in prop::collection::vec((0u32..5, 0u8..4, -3i8..4), 10..=45),
+        seed in any::<u64>(),
+        window in 4u64..14,
+    ) {
+        let spec = PatternSpec {
+            is_seq,
+            elements: types.into_iter().map(|t| (t, 0)).collect(),
+            predicates: preds,
+            window,
+        };
+        check_equivalence(spec, raw, seed);
+    }
+
+    #[test]
+    fn negation_patterns_equivalent(
+        is_seq in any::<bool>(),
+        types in prop::collection::vec(0u32..4, 3..=4),
+        neg_at in 0usize..4,
+        raw in prop::collection::vec((0u32..5, 0u8..4, -3i8..4), 10..=35),
+        seed in any::<u64>(),
+        window in 4u64..12,
+    ) {
+        let mut elements: Vec<(u32, u8)> = types.into_iter().map(|t| (t, 0)).collect();
+        let k = neg_at % elements.len();
+        elements[k].1 = 1;
+        let spec = PatternSpec { is_seq, elements, predicates: vec![], window };
+        check_equivalence(spec, raw, seed);
+    }
+
+    #[test]
+    fn kleene_patterns_equivalent(
+        is_seq in any::<bool>(),
+        types in prop::collection::vec(0u32..4, 2..=3),
+        kl_at in 0usize..3,
+        preds in prop::collection::vec((0usize..3, 0usize..3, 0u8..8), 0..=2),
+        raw in prop::collection::vec((0u32..5, 1u8..4, -3i8..4), 8..=25),
+        seed in any::<u64>(),
+        window in 4u64..10,
+    ) {
+        let mut elements: Vec<(u32, u8)> = types.into_iter().map(|t| (t, 0)).collect();
+        let k = kl_at % elements.len();
+        elements[k].1 = 2;
+        let spec = PatternSpec { is_seq, elements, predicates: preds, window };
+        check_equivalence(spec, raw, seed);
+    }
+
+    #[test]
+    fn contiguity_patterns_equivalent(
+        types in prop::collection::vec(0u32..3, 2..=3),
+        raw in prop::collection::vec((0u32..4, 0u8..3, -3i8..4), 10..=30),
+        seed in any::<u64>(),
+    ) {
+        let Some(mut pattern) = build_pattern(&PatternSpec {
+            is_seq: true,
+            elements: types.into_iter().map(|t| (t, 0)).collect(),
+            predicates: vec![],
+            window: 8,
+        }) else { return Ok(()); };
+        pattern.strategy = cep::core::selection::SelectionStrategy::StrictContiguity;
+        let cp = CompiledPattern::compile_single(&pattern).unwrap();
+        let stream = build_stream(&raw);
+        let cfg = EngineConfig::default();
+        let mut oracle = NaiveEngine::new(cp.clone(), cfg.clone());
+        let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
+        let order = order_from_seed(cp.n(), seed);
+        let mut nfa = NfaEngine::new(
+            cp.clone(),
+            OrderPlan::new(order.clone()).unwrap(),
+            cfg.clone(),
+        ).unwrap();
+        prop_assert_eq!(
+            signatures(&run_to_completion(&mut nfa, &stream, true).matches),
+            expected.clone()
+        );
+        let tree = TreePlan::new(tree_from_order(&order, seed)).unwrap();
+        let mut te = TreeEngine::new(cp, tree, cfg).unwrap();
+        prop_assert_eq!(
+            signatures(&run_to_completion(&mut te, &stream, true).matches),
+            expected
+        );
+    }
+}
+
+/// Regression fixture: the paper's four-camera pattern on a crafted stream,
+/// checked across all 24 plan orders and a bushy tree.
+#[test]
+fn four_cameras_all_plans_agree() {
+    let mut b = PatternBuilder::new(50);
+    let a = b.event(TypeId(0), "a");
+    let bb = b.event(TypeId(1), "b");
+    let c = b.event(TypeId(2), "c");
+    let d = b.event(TypeId(3), "d");
+    for (x, y) in [(a, bb), (bb, c), (c, d)] {
+        b.predicate(Predicate::attr_cmp(x.pos(), 0, CmpOp::Eq, y.pos(), 0));
+    }
+    let pattern = b.seq([a, bb, c, d]).unwrap();
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+
+    let mut sb = StreamBuilder::new();
+    let mut ts = 0;
+    for vehicle in 0..6i64 {
+        for cam in 0..4u32 {
+            ts += 2;
+            if cam < 3 || vehicle % 2 == 0 {
+                sb.push(Event::new(TypeId(cam), ts, vec![Value::Int(vehicle)]));
+            }
+        }
+    }
+    let stream = sb.build();
+    let cfg = EngineConfig::default();
+    let mut oracle = NaiveEngine::new(cp.clone(), cfg.clone());
+    let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
+    assert!(!expected.is_empty(), "fixture must produce matches");
+
+    // All 24 orders.
+    for p0 in 0..4usize {
+        for p1 in 0..4usize {
+            for p2 in 0..4usize {
+                let mut order = vec![p0, p1, p2];
+                order.dedup();
+                let mut full: Vec<usize> = Vec::new();
+                for x in [p0, p1, p2] {
+                    if !full.contains(&x) {
+                        full.push(x);
+                    }
+                }
+                for x in 0..4 {
+                    if !full.contains(&x) {
+                        full.push(x);
+                    }
+                }
+                let plan = OrderPlan::new(full).unwrap();
+                let mut e = NfaEngine::new(cp.clone(), plan, cfg.clone()).unwrap();
+                assert_eq!(
+                    signatures(&run_to_completion(&mut e, &stream, true).matches),
+                    expected
+                );
+            }
+        }
+    }
+    // A bushy tree plan.
+    let tree = TreePlan::new(TreeNode::join(
+        TreeNode::join(TreeNode::Leaf(3), TreeNode::Leaf(2)),
+        TreeNode::join(TreeNode::Leaf(1), TreeNode::Leaf(0)),
+    ))
+    .unwrap();
+    let mut te = TreeEngine::new(cp, tree, cfg).unwrap();
+    assert_eq!(
+        signatures(&run_to_completion(&mut te, &stream, true).matches),
+        expected
+    );
+}
