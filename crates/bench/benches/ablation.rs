@@ -35,9 +35,15 @@ fn ii_seeding(c: &mut Criterion) {
     let planner = Planner::default();
     let measured = analytic_measured_stats(&env.gen);
     let mut rng = StdRng::seed_from_u64(3);
-    let pattern = generate_pattern(PatternSetKind::Sequence, 10, &env.gen, &env.workload, &mut rng)
-        .unwrap()
-        .pattern;
+    let pattern = generate_pattern(
+        PatternSetKind::Sequence,
+        10,
+        &env.gen,
+        &env.workload,
+        &mut rng,
+    )
+    .unwrap()
+    .pattern;
     let cp = CompiledPattern::compile_single(&pattern).unwrap();
     let sels = analytic_selectivities(&cp, &env.gen);
     let stats = planner.stats_for(&cp, &measured, &sels).unwrap();
@@ -104,9 +110,15 @@ fn temporal_selectivity(c: &mut Criterion) {
     let env = ablation_env();
     let measured = analytic_measured_stats(&env.gen);
     let mut rng = StdRng::seed_from_u64(19);
-    let pattern = generate_pattern(PatternSetKind::Sequence, 7, &env.gen, &env.workload, &mut rng)
-        .unwrap()
-        .pattern;
+    let pattern = generate_pattern(
+        PatternSetKind::Sequence,
+        7,
+        &env.gen,
+        &env.workload,
+        &mut rng,
+    )
+    .unwrap()
+    .pattern;
     let cp = CompiledPattern::compile_single(&pattern).unwrap();
     let mut group = c.benchmark_group("ablation_temporal_selectivity");
     group
@@ -123,13 +135,9 @@ fn temporal_selectivity(c: &mut Criterion) {
         });
         let sels = analytic_selectivities(&cp, &env.gen);
         let stats: PatternStats = planner.stats_for(&cp, &measured, &sels).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("DP-LD", format!("{ts}")),
-            &ts,
-            |b, _| {
-                b.iter(|| black_box(planner.plan_order(&cp, &stats, OrderAlgorithm::DpLd)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("DP-LD", format!("{ts}")), &ts, |b, _| {
+            b.iter(|| black_box(planner.plan_order(&cp, &stats, OrderAlgorithm::DpLd)))
+        });
     }
     group.finish();
 }

@@ -38,7 +38,9 @@ fn pattern_types(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(name, kind.to_string()),
                 &pattern,
-                |b, p| b.iter(|| black_box(plan_and_run(p, &env, algo, 0.0, &cfg).unwrap().matches)),
+                |b, p| {
+                    b.iter(|| black_box(plan_and_run(p, &env, algo, 0.0, &cfg).unwrap().matches))
+                },
             );
         }
     }

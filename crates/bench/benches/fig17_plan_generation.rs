@@ -27,10 +27,15 @@ fn plan_generation(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     for size in [4usize, 8, 12, 16] {
-        let pattern =
-            generate_pattern(PatternSetKind::Sequence, size, &env.gen, &env.workload, &mut rng)
-                .unwrap()
-                .pattern;
+        let pattern = generate_pattern(
+            PatternSetKind::Sequence,
+            size,
+            &env.gen,
+            &env.workload,
+            &mut rng,
+        )
+        .unwrap()
+        .pattern;
         let cp = CompiledPattern::compile_single(&pattern).unwrap();
         let sels = analytic_selectivities(&cp, &env.gen);
         let stats = planner.stats_for(&cp, &measured, &sels).unwrap();

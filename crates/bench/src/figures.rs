@@ -6,9 +6,7 @@
 
 use crate::env::ExperimentEnv;
 use crate::report::{bytes, si, Table};
-use crate::runner::{
-    geometric_mean, mean, plan_and_run, plan_pattern, Algo, RunOutcome,
-};
+use crate::runner::{geometric_mean, mean, plan_and_run, plan_pattern, Algo, RunOutcome};
 use cep_core::engine::EngineConfig;
 use cep_core::selection::SelectionStrategy;
 use cep_optimizer::{OrderAlgorithm, TreeAlgorithm};
@@ -19,12 +17,18 @@ use std::io::Write;
 
 /// The paper's order-based algorithm set (Section 7.1).
 pub fn order_algos() -> Vec<Algo> {
-    OrderAlgorithm::paper_set().into_iter().map(Algo::Order).collect()
+    OrderAlgorithm::paper_set()
+        .into_iter()
+        .map(Algo::Order)
+        .collect()
 }
 
 /// The paper's tree-based algorithm set (Section 7.1).
 pub fn tree_algos() -> Vec<Algo> {
-    TreeAlgorithm::paper_set().into_iter().map(Algo::Tree).collect()
+    TreeAlgorithm::paper_set()
+        .into_iter()
+        .map(Algo::Tree)
+        .collect()
 }
 
 fn engine_config() -> EngineConfig {
@@ -58,7 +62,10 @@ fn run_set(
 /// Figures 4 and 5: mean throughput and peak memory per pattern category,
 /// for the order-based and tree-based algorithm families.
 pub fn pattern_types(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "== Figures 4 & 5: throughput and memory by pattern type ==")?;
+    writeln!(
+        out,
+        "== Figures 4 & 5: throughput and memory by pattern type =="
+    )?;
     writeln!(
         out,
         "(streams: {} events; {} patterns per category)",
@@ -66,8 +73,10 @@ pub fn pattern_types(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Resul
         env.pattern_set(PatternSetKind::Sequence).len()
     )?;
     let kinds = PatternSetKind::all();
-    for (family, algos) in [("order-based (Fig 4a/5a)", order_algos()),
-                            ("tree-based (Fig 4b/5b)", tree_algos())] {
+    for (family, algos) in [
+        ("order-based (Fig 4a/5a)", order_algos()),
+        ("tree-based (Fig 4b/5b)", tree_algos()),
+    ] {
         let mut header = vec!["algorithm".to_string()];
         header.extend(kinds.iter().map(|k| k.to_string()));
         let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -79,15 +88,20 @@ pub fn pattern_types(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Resul
             for &kind in &kinds {
                 let results = run_set(env, kind, algo, 0.0);
                 let th: Vec<f64> = results.iter().map(|(_, o)| o.throughput_eps).collect();
-                let mb: Vec<f64> =
-                    results.iter().map(|(_, o)| o.peak_memory_bytes as f64).collect();
+                let mb: Vec<f64> = results
+                    .iter()
+                    .map(|(_, o)| o.peak_memory_bytes as f64)
+                    .collect();
                 trow.push(si(geometric_mean(&th)));
                 mrow.push(bytes(mean(&mb) as usize));
             }
             tput.row(trow);
             mem.row(mrow);
         }
-        writeln!(out, "\n-- {family}: throughput (events/s, higher is better)")?;
+        writeln!(
+            out,
+            "\n-- {family}: throughput (events/s, higher is better)"
+        )?;
         write!(out, "{}", tput.render())?;
         writeln!(out, "\n-- {family}: peak memory (lower is better)")?;
         write!(out, "{}", mem.render())?;
@@ -181,11 +195,7 @@ pub fn cost_validation(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Res
             for &algo in &algos {
                 for (_, o) in run_set(env, kind, algo, 0.0) {
                     if o.plan_cost > 0.0 && o.throughput_eps > 0.0 {
-                        samples.push((
-                            o.plan_cost,
-                            o.throughput_eps,
-                            o.peak_memory_bytes as f64,
-                        ));
+                        samples.push((o.plan_cost, o.throughput_eps, o.peak_memory_bytes as f64));
                     }
                 }
             }
@@ -198,17 +208,18 @@ pub fn cost_validation(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Res
             t.row(vec![si(s.0), si(s.1), bytes(s.2 as usize)]);
         }
         // Fit log(tput) = a - c*log(cost).
-        let logs: Vec<(f64, f64)> = samples
-            .iter()
-            .map(|(c, t, _)| (c.ln(), t.ln()))
-            .collect();
+        let logs: Vec<(f64, f64)> = samples.iter().map(|(c, t, _)| (c.ln(), t.ln())).collect();
         let c_exp = -linear_slope(&logs);
         // Memory-vs-cost monotonicity (rank correlation).
         let mem_corr = rank_correlation(
             &samples.iter().map(|s| s.0).collect::<Vec<_>>(),
             &samples.iter().map(|s| s.2).collect::<Vec<_>>(),
         );
-        writeln!(out, "\n-- {family} ({} plans, subsampled below)", samples.len())?;
+        writeln!(
+            out,
+            "\n-- {family} ({} plans, subsampled below)",
+            samples.len()
+        )?;
         write!(out, "{}", t.render())?;
         writeln!(
             out,
@@ -275,14 +286,20 @@ pub fn large_patterns(
     per_size: usize,
     out: &mut dyn Write,
 ) -> std::io::Result<()> {
-    writeln!(out, "== Figure 17: large-pattern plan quality and planning time ==")?;
+    writeln!(
+        out,
+        "== Figure 17: large-pattern plan quality and planning time =="
+    )?;
     let sizes: Vec<usize> = [3usize, 6, 9, 12, 15, 18, 20, 22]
         .into_iter()
         .filter(|&s| s <= max_size && s <= env.gen.type_ids.len())
         .collect();
     let algos: Vec<Algo> = vec![
         Algo::Order(OrderAlgorithm::Greedy),
-        Algo::Order(OrderAlgorithm::IIRandom { restarts: 10, seed: 0xCEB }),
+        Algo::Order(OrderAlgorithm::IIRandom {
+            restarts: 10,
+            seed: 0xCEB,
+        }),
         Algo::Order(OrderAlgorithm::IIGreedy),
         Algo::Order(OrderAlgorithm::DpLd),
         Algo::Tree(TreeAlgorithm::ZStream),
@@ -300,9 +317,15 @@ pub fn large_patterns(
     for &s in &sizes {
         let ps = (0..per_size)
             .map(|_| {
-                generate_pattern(PatternSetKind::Sequence, s, &env.gen, &env.workload, &mut rng)
-                    .expect("generation fits symbol count")
-                    .pattern
+                generate_pattern(
+                    PatternSetKind::Sequence,
+                    s,
+                    &env.gen,
+                    &env.workload,
+                    &mut rng,
+                )
+                .expect("generation fits symbol count")
+                .pattern
             })
             .collect();
         patterns.push((s, ps));
@@ -366,18 +389,16 @@ pub fn latency_tradeoff(env: &ExperimentEnv, out: &mut dyn Write) -> std::io::Re
     writeln!(out, "== Figure 18: throughput vs latency (alpha sweep) ==")?;
     let algos: Vec<Algo> = vec![
         Algo::Order(OrderAlgorithm::Greedy),
-        Algo::Order(OrderAlgorithm::IIRandom { restarts: 10, seed: 0xCEB }),
+        Algo::Order(OrderAlgorithm::IIRandom {
+            restarts: 10,
+            seed: 0xCEB,
+        }),
         Algo::Order(OrderAlgorithm::IIGreedy),
         Algo::Order(OrderAlgorithm::DpLd),
         Algo::Tree(TreeAlgorithm::ZStreamOrd),
         Algo::Tree(TreeAlgorithm::DpB),
     ];
-    let mut t = Table::new(&[
-        "algorithm",
-        "alpha",
-        "throughput (e/s)",
-        "avg latency (ms)",
-    ]);
+    let mut t = Table::new(&["algorithm", "alpha", "throughput (e/s)", "avg latency (ms)"]);
     for &algo in &algos {
         for alpha in [0.0, 0.5, 1.0] {
             let results = run_set(env, PatternSetKind::Sequence, algo, alpha);
@@ -407,8 +428,10 @@ pub fn selection_strategies(env: &ExperimentEnv, out: &mut dyn Write) -> std::io
         SelectionStrategy::SkipTillNextMatch,
         SelectionStrategy::StrictContiguity,
     ];
-    for (family, algos) in [("order-based (Fig 19a)", order_algos()),
-                            ("tree-based (Fig 19b)", tree_algos())] {
+    for (family, algos) in [
+        ("order-based (Fig 19a)", order_algos()),
+        ("tree-based (Fig 19b)", tree_algos()),
+    ] {
         let mut header = vec!["algorithm".to_string()];
         header.extend(strategies.iter().map(|s| s.to_string()));
         let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -430,7 +453,10 @@ pub fn selection_strategies(env: &ExperimentEnv, out: &mut dyn Write) -> std::io
             }
             t.row(row);
         }
-        writeln!(out, "\n-- {family}: throughput (events/s, log-scale in the paper)")?;
+        writeln!(
+            out,
+            "\n-- {family}: throughput (events/s, log-scale in the paper)"
+        )?;
         write!(out, "{}", t.render())?;
     }
     Ok(())
@@ -488,7 +514,10 @@ mod tests {
         let s = String::from_utf8(buf).unwrap();
         assert!(s.contains("Fig 17(a)"));
         // DP-B is capped at 18: the n=20 cell must be '-'.
-        let dpb_line = s.lines().find(|l| l.trim_start().starts_with("DP-B")).unwrap();
+        let dpb_line = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("DP-B"))
+            .unwrap();
         assert!(dpb_line.contains('-'));
     }
 

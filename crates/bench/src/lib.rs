@@ -13,7 +13,6 @@
 //!
 //! CLI: `cargo run --release -p cep-bench --bin experiments -- all`.
 
-
 #![warn(missing_docs)]
 
 pub mod env;

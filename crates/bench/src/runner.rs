@@ -122,12 +122,8 @@ pub fn execute(
     let mut engines: Vec<Box<dyn Engine>> = Vec::with_capacity(planned.branches.len());
     for (cp, _, plan) in &planned.branches {
         let e: Box<dyn Engine> = match plan {
-            BranchPlan::Order(p) => {
-                Box::new(NfaEngine::new(cp.clone(), p.clone(), cfg.clone())?)
-            }
-            BranchPlan::Tree(p) => {
-                Box::new(TreeEngine::new(cp.clone(), p.clone(), cfg.clone())?)
-            }
+            BranchPlan::Order(p) => Box::new(NfaEngine::new(cp.clone(), p.clone(), cfg.clone())?),
+            BranchPlan::Tree(p) => Box::new(TreeEngine::new(cp.clone(), p.clone(), cfg.clone())?),
         };
         engines.push(e);
     }

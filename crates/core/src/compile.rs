@@ -195,8 +195,13 @@ impl CompiledPattern {
                 ));
             }
         }
-        let total_order = (0..n).all(|i| (0..n).all(|j| i == j || precedes[i][j] || precedes[j][i]));
-        let op = if total_order && n > 0 { NaryOp::Seq } else { NaryOp::And };
+        let total_order =
+            (0..n).all(|i| (0..n).all(|j| i == j || precedes[i][j] || precedes[j][i]));
+        let op = if total_order && n > 0 {
+            NaryOp::Seq
+        } else {
+            NaryOp::And
+        };
 
         // Keep elements sorted so that for Seq patterns index order equals
         // temporal order (stable for And patterns).
@@ -211,7 +216,11 @@ impl CompiledPattern {
             }
         });
         let elements: Vec<Element> = order.iter().map(|&i| elements[i].clone()).collect();
-        let remap: HashMap<usize, usize> = order.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: HashMap<usize, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let mut precedes2 = vec![vec![false; n]; n];
         for i in 0..n {
             for j in 0..n {

@@ -145,7 +145,12 @@ pub fn cost_tree(stats: &PatternStats, tree: &TreeNode) -> f64 {
 /// model.
 pub fn cost_tree_next(stats: &PatternStats, tree: &TreeNode) -> f64 {
     let mut total = 0.0;
-    cost_tree_rec(stats, tree, SelectionStrategy::SkipTillNextMatch, &mut total);
+    cost_tree_rec(
+        stats,
+        tree,
+        SelectionStrategy::SkipTillNextMatch,
+        &mut total,
+    );
     total
 }
 

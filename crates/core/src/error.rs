@@ -51,9 +51,13 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(CepError::Schema("x".into()).to_string().contains("schema"));
-        assert!(CepError::Pattern("x".into()).to_string().contains("pattern"));
+        assert!(CepError::Pattern("x".into())
+            .to_string()
+            .contains("pattern"));
         assert!(CepError::Plan("x".into()).to_string().contains("plan"));
-        assert!(CepError::Stats("x".into()).to_string().contains("statistics"));
+        assert!(CepError::Stats("x".into())
+            .to_string()
+            .contains("statistics"));
         let p = CepError::Parse {
             message: "bad token".into(),
             offset: 17,

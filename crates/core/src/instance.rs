@@ -177,13 +177,12 @@ pub fn compatible(
 
     // Selection strategies: span feasibility and partition pinning.
     match cp.strategy {
-        SelectionStrategy::StrictContiguity
-            if !cp.has_kleene() => {
-                let span = inst.max_seq.max(event.seq) - inst.min_seq.min(event.seq);
-                if inst.event_count > 0 && span as usize >= cp.n() {
-                    return false;
-                }
+        SelectionStrategy::StrictContiguity if !cp.has_kleene() => {
+            let span = inst.max_seq.max(event.seq) - inst.min_seq.min(event.seq);
+            if inst.event_count > 0 && span as usize >= cp.n() {
+                return false;
             }
+        }
         SelectionStrategy::PartitionContiguity => {
             if let Some(p) = inst.partition {
                 if p != event.partition {
@@ -251,13 +250,12 @@ pub fn merge_compatible(
     }
     // Strategy feasibility.
     match cp.strategy {
-        SelectionStrategy::StrictContiguity
-            if !cp.has_kleene() => {
-                let span = left.max_seq.max(right.max_seq) - left.min_seq.min(right.min_seq);
-                if span as usize >= cp.n() {
-                    return false;
-                }
+        SelectionStrategy::StrictContiguity if !cp.has_kleene() => {
+            let span = left.max_seq.max(right.max_seq) - left.min_seq.min(right.min_seq);
+            if span as usize >= cp.n() {
+                return false;
             }
+        }
         SelectionStrategy::PartitionContiguity => {
             if let (Some(a), Some(b)) = (left.partition, right.partition) {
                 if a != b {
@@ -356,7 +354,14 @@ mod tests {
         // c earlier: precedence fails.
         assert!(!compatible(&cp, &i, 1, &ev(1, 4, 1, 20), &consumed, &mut m));
         // c too late: window fails.
-        assert!(!compatible(&cp, &i, 1, &ev(1, 16, 1, 20), &consumed, &mut m));
+        assert!(!compatible(
+            &cp,
+            &i,
+            1,
+            &ev(1, 16, 1, 20),
+            &consumed,
+            &mut m
+        ));
         assert!(m.predicate_evaluations > 0);
     }
 

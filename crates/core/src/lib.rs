@@ -20,7 +20,6 @@
 //! * and a [`naive`] exhaustive oracle used as the semantic ground truth in
 //!   tests.
 
-
 #![warn(missing_docs)]
 
 pub mod buffer;

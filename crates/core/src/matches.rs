@@ -39,12 +39,18 @@ impl Binding {
 
     /// Minimum timestamp among bound events.
     pub fn min_ts(&self) -> Timestamp {
-        self.events().map(|e| e.ts).min().expect("non-empty binding")
+        self.events()
+            .map(|e| e.ts)
+            .min()
+            .expect("non-empty binding")
     }
 
     /// Maximum timestamp among bound events.
     pub fn max_ts(&self) -> Timestamp {
-        self.events().map(|e| e.ts).max().expect("non-empty binding")
+        self.events()
+            .map(|e| e.ts)
+            .max()
+            .expect("non-empty binding")
     }
 }
 
@@ -333,10 +339,7 @@ mod tests {
         e2.type_id = TypeId(1);
         e2.ts = 2;
         // Same seq bound twice.
-        let m = mk(vec![
-            (0, Binding::One(e)),
-            (1, Binding::One(Arc::new(e2))),
-        ]);
+        let m = mk(vec![(0, Binding::One(e)), (1, Binding::One(Arc::new(e2)))]);
         assert!(validate_match(&cp, &m)
             .unwrap_err()
             .contains("two positions"));

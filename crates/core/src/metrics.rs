@@ -56,8 +56,7 @@ impl EngineMetrics {
         self.buffered_events = buffered_events;
         self.peak_partial_matches = self.peak_partial_matches.max(partial_matches);
         self.peak_buffered_events = self.peak_buffered_events.max(buffered_events);
-        let bytes =
-            partial_matches * PARTIAL_MATCH_BYTES + buffered_events * BUFFERED_EVENT_BYTES;
+        let bytes = partial_matches * PARTIAL_MATCH_BYTES + buffered_events * BUFFERED_EVENT_BYTES;
         self.peak_memory_bytes = self.peak_memory_bytes.max(bytes);
     }
 

@@ -72,7 +72,10 @@ impl NaiveEngine {
         for m in found {
             if let Some(m) = self
                 .deferred
-                .admit(&self.cp, m, self.watermark, &self.buffers) { self.emit(m, out) }
+                .admit(&self.cp, m, self.watermark, &self.buffers)
+            {
+                self.emit(m, out)
+            }
         }
     }
 
@@ -127,7 +130,16 @@ impl NaiveEngine {
             // Enumerate non-empty subsets in seq order, capped.
             let cap = self.cfg.max_kleene_events;
             let mut subset: Vec<EventRef> = Vec::new();
-            self.kleene_subsets(elem, newest, &candidates, 0, &mut subset, bindings, found, cap);
+            self.kleene_subsets(
+                elem,
+                newest,
+                &candidates,
+                0,
+                &mut subset,
+                bindings,
+                found,
+                cap,
+            );
         } else {
             for c in candidates {
                 bindings[elem] = Some(Binding::One(c));
@@ -195,12 +207,7 @@ impl Engine for NaiveEngine {
         }
         self.metrics.events_relevant += 1;
         self.buffers.push(event.clone());
-        if self
-            .cp
-            .elements_of_type(event.type_id)
-            .next()
-            .is_some()
-        {
+        if self.cp.elements_of_type(event.type_id).next().is_some() {
             self.enumerate(event, out);
         }
         self.metrics
@@ -259,10 +266,7 @@ mod tests {
         let a = b.event(t(0), "a");
         let c = b.event(t(1), "c");
         let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
-        let ms = run(
-            cp,
-            vec![ev(0, 1, 0), ev(1, 2, 0), ev(0, 3, 0), ev(1, 4, 0)],
-        );
+        let ms = run(cp, vec![ev(0, 1, 0), ev(1, 2, 0), ev(0, 3, 0), ev(1, 4, 0)]);
         // (a@1,c@2), (a@1,c@4), (a@3,c@4).
         assert_eq!(ms.len(), 3);
     }
@@ -321,10 +325,7 @@ mod tests {
         let p = b.seq_exprs([ae, ne, ce]).unwrap();
         let cp = CompiledPattern::compile_single(&p).unwrap();
         // B between A and C kills it; B outside does not.
-        let ms = run(
-            cp.clone(),
-            vec![ev(0, 1, 0), ev(1, 2, 0), ev(2, 3, 0)],
-        );
+        let ms = run(cp.clone(), vec![ev(0, 1, 0), ev(1, 2, 0), ev(2, 3, 0)]);
         assert!(ms.is_empty());
         let ms = run(cp, vec![ev(1, 0, 0), ev(0, 1, 0), ev(2, 3, 0)]);
         assert_eq!(ms.len(), 1);
@@ -357,10 +358,7 @@ mod tests {
         let p = b.seq_exprs([ae, ke]).unwrap();
         let cp = CompiledPattern::compile_single(&p).unwrap();
         // a then 3 k's: 2^3 - 1 = 7 subset matches.
-        let ms = run(
-            cp,
-            vec![ev(0, 1, 0), ev(1, 2, 0), ev(1, 3, 0), ev(1, 4, 0)],
-        );
+        let ms = run(cp, vec![ev(0, 1, 0), ev(1, 2, 0), ev(1, 3, 0), ev(1, 4, 0)]);
         assert_eq!(ms.len(), 7);
     }
 

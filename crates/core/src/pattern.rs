@@ -156,9 +156,7 @@ impl fmt::Display for PatternExpr {
             f.write_str(")")
         }
         match self {
-            PatternExpr::Event {
-                position, name, ..
-            } => write!(f, "{name}#{position}"),
+            PatternExpr::Event { position, name, .. } => write!(f, "{name}#{position}"),
             PatternExpr::Not(i) => write!(f, "NOT({i})"),
             PatternExpr::Kleene(i) => write!(f, "KL({i})"),
             PatternExpr::Seq(cs) => list(f, "SEQ", cs),

@@ -285,7 +285,14 @@ mod tests {
 
     #[test]
     fn op_flip_roundtrip() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ] {
             assert_eq!(op.flip().flip(), op);
         }
         // a < b  ⇔  b > a

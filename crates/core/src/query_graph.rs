@@ -43,7 +43,11 @@ impl QueryGraph {
     pub fn from_stats(stats: &PatternStats) -> QueryGraph {
         let n = stats.n();
         let adj = (0..n)
-            .map(|i| (0..n).map(|j| i != j && stats.explicit_pair[i][j]).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| i != j && stats.explicit_pair[i][j])
+                    .collect()
+            })
             .collect();
         QueryGraph { n, adj }
     }

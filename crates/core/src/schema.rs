@@ -157,9 +157,17 @@ mod tests {
     fn register_and_lookup() {
         let mut cat = Catalog::new();
         let a = cat
-            .add_type("MSFT", &[("price", ValueKind::Float), ("difference", ValueKind::Float)])
+            .add_type(
+                "MSFT",
+                &[
+                    ("price", ValueKind::Float),
+                    ("difference", ValueKind::Float),
+                ],
+            )
             .unwrap();
-        let b = cat.add_type("GOOG", &[("price", ValueKind::Float)]).unwrap();
+        let b = cat
+            .add_type("GOOG", &[("price", ValueKind::Float)])
+            .unwrap();
         assert_ne!(a, b);
         assert_eq!(cat.type_id("MSFT"), Some(a));
         assert_eq!(cat.schema(a).unwrap().attr_index("difference"), Some(1));

@@ -72,8 +72,10 @@ impl MeasuredStats {
     /// rates are known analytically (e.g., from a generator spec).
     pub fn set_rate(&mut self, type_id: TypeId, rate_per_ms: f64) {
         self.duration_ms = self.duration_ms.max(1_000_000);
-        self.type_counts
-            .insert(type_id, (rate_per_ms * self.duration_ms as f64).round() as u64);
+        self.type_counts.insert(
+            type_id,
+            (rate_per_ms * self.duration_ms as f64).round() as u64,
+        );
     }
 }
 
@@ -417,11 +419,8 @@ mod tests {
 
     #[test]
     fn pm_next_uses_min_rate() {
-        let st = PatternStats::synthetic(
-            10.0,
-            vec![1.0, 3.0],
-            vec![vec![1.0, 0.5], vec![0.5, 1.0]],
-        );
+        let st =
+            PatternStats::synthetic(10.0, vec![1.0, 3.0], vec![vec![1.0, 0.5], vec![0.5, 1.0]]);
         // min rate 1.0 => 10 * 1.0 * 0.5.
         assert!((st.pm_next_of_set(&[0, 1]) - 5.0).abs() < 1e-12);
         assert!(st.pm_next_of_set(&[0, 1]) <= st.pm_of_set(&[0, 1]));

@@ -12,11 +12,11 @@
 //! results identical to the naive oracle.
 
 use cep_core::buffer::TypeBuffers;
-use cep_core::instance::{compatible, contiguity_ok, Instance};
 use cep_core::compile::CompiledPattern;
 use cep_core::engine::{Engine, EngineConfig};
 use cep_core::error::CepError;
 use cep_core::event::{EventRef, Timestamp};
+use cep_core::instance::{compatible, contiguity_ok, Instance};
 use cep_core::matches::Match;
 use cep_core::metrics::EngineMetrics;
 use cep_core::negation::DeferredStore;
@@ -239,7 +239,14 @@ impl NfaEngine {
             if kleene {
                 let ok = event.seq >= inst.kl_gate
                     && inst.kleene_len(elem) < self.cfg.max_kleene_events
-                    && compatible(&self.cp, inst, elem, event, &self.consumed, &mut self.metrics);
+                    && compatible(
+                        &self.cp,
+                        inst,
+                        elem,
+                        event,
+                        &self.consumed,
+                        &mut self.metrics,
+                    );
                 if ok {
                     let grown = self.states[k][idx].with_kleene(elem, event.clone());
                     self.metrics.partial_matches_created += 1;
@@ -254,8 +261,14 @@ impl NfaEngine {
                     }
                 }
             } else {
-                let ok =
-                    compatible(&self.cp, inst, elem, event, &self.consumed, &mut self.metrics);
+                let ok = compatible(
+                    &self.cp,
+                    inst,
+                    elem,
+                    event,
+                    &self.consumed,
+                    &mut self.metrics,
+                );
                 if ok {
                     let advanced = self.states[k][idx].with_single(elem, event.clone());
                     if forks {

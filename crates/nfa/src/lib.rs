@@ -21,7 +21,6 @@
 //! the window end for trailing negations (shared semantics with the tree
 //! engine and the naive oracle, see [`cep_core::negation`]).
 
-
 #![warn(missing_docs)]
 
 mod engine;
@@ -76,8 +75,7 @@ mod tests {
         let n = cp.n();
         for order in permutations(n) {
             let plan = OrderPlan::new(order.clone()).unwrap();
-            let mut engine =
-                NfaEngine::new(cp.clone(), plan, EngineConfig::default()).unwrap();
+            let mut engine = NfaEngine::new(cp.clone(), plan, EngineConfig::default()).unwrap();
             let r = run_to_completion(&mut engine, &s, true);
             for m in &r.matches {
                 validate_match(&cp, m).unwrap();
@@ -235,7 +233,13 @@ mod tests {
         let p = b.seq_exprs([ae, ke]).unwrap();
         assert_all_orders_match_oracle(
             &p,
-            vec![ev(0, 1, 0), ev(1, 2, 0), ev(1, 3, 0), ev(0, 4, 0), ev(1, 5, 0)],
+            vec![
+                ev(0, 1, 0),
+                ev(1, 2, 0),
+                ev(1, 3, 0),
+                ev(0, 4, 0),
+                ev(1, 5, 0),
+            ],
         );
     }
 
@@ -265,12 +269,8 @@ mod tests {
         let p = b.seq([a, c]).unwrap();
         let cp = CompiledPattern::compile_single(&p).unwrap();
         let s = stream(vec![ev(0, 1, 0), ev(0, 2, 0), ev(1, 3, 0), ev(1, 4, 0)]);
-        let mut engine = NfaEngine::new(
-            cp.clone(),
-            OrderPlan::trivial(&cp),
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut engine =
+            NfaEngine::new(cp.clone(), OrderPlan::trivial(&cp), EngineConfig::default()).unwrap();
         let r = run_to_completion(&mut engine, &s, true);
         // Events must be disjoint across matches.
         let mut used = std::collections::HashSet::new();
@@ -295,12 +295,8 @@ mod tests {
             events.push(ev(0, i * 3, 0));
         }
         let s = stream(events);
-        let mut engine = NfaEngine::new(
-            cp.clone(),
-            OrderPlan::trivial(&cp),
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut engine =
+            NfaEngine::new(cp.clone(), OrderPlan::trivial(&cp), EngineConfig::default()).unwrap();
         let r = run_to_completion(&mut engine, &s, true);
         // Only ~2 events fit a window; peaks must stay tiny, not O(stream).
         assert!(
@@ -333,12 +329,9 @@ mod tests {
         }
         let s = stream(events);
         let trivial = {
-            let mut e = NfaEngine::new(
-                cp.clone(),
-                OrderPlan::trivial(&cp),
-                EngineConfig::default(),
-            )
-            .unwrap();
+            let mut e =
+                NfaEngine::new(cp.clone(), OrderPlan::trivial(&cp), EngineConfig::default())
+                    .unwrap();
             run_to_completion(&mut e, &s, true)
         };
         let lazy = {
@@ -367,12 +360,8 @@ mod tests {
         let p = b.seq([a, c]).unwrap();
         let cp = CompiledPattern::compile_single(&p).unwrap();
         let s = stream(vec![ev(7, 1, 0), ev(8, 2, 0), ev(0, 3, 0), ev(1, 4, 0)]);
-        let mut engine = NfaEngine::new(
-            cp.clone(),
-            OrderPlan::trivial(&cp),
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut engine =
+            NfaEngine::new(cp.clone(), OrderPlan::trivial(&cp), EngineConfig::default()).unwrap();
         let r = run_to_completion(&mut engine, &s, true);
         assert_eq!(r.metrics.events_processed, 4);
         assert_eq!(r.metrics.events_relevant, 2);

@@ -57,19 +57,13 @@ impl StatsMonitor {
 
     /// Current rate estimate for a type, in events per millisecond.
     pub fn rate(&self, ty: TypeId) -> f64 {
-        let span = self
-            .horizon_ms
-            .min(self.watermark.max(1))
-            .max(1) as f64;
+        let span = self.horizon_ms.min(self.watermark.max(1)).max(1) as f64;
         *self.counts.get(&ty).unwrap_or(&0) as f64 / span
     }
 
     /// Snapshot of all current rates.
     pub fn rates(&self) -> HashMap<TypeId, f64> {
-        self.counts
-            .keys()
-            .map(|&ty| (ty, self.rate(ty)))
-            .collect()
+        self.counts.keys().map(|&ty| (ty, self.rate(ty))).collect()
     }
 
     /// Freezes the current rates as the baseline the active plan was built

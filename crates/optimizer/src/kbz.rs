@@ -109,7 +109,10 @@ fn linearize(
 }
 
 fn flatten(chain: &VecDeque<Compound>) -> Vec<usize> {
-    chain.iter().flat_map(|c| c.members.iter().copied()).collect()
+    chain
+        .iter()
+        .flat_map(|c| c.members.iter().copied())
+        .collect()
 }
 
 /// KBZ plan generation. Returns `None` when the preconditions do not hold
@@ -240,7 +243,10 @@ mod tests {
         let g = QueryGraph::from_stats(&s);
         let best = best_connected_order_cost(&s, &g);
         let got = cost_ord(&s, &order);
-        assert!((got - best).abs() <= 1e-9 * best.max(1.0), "{got} vs {best}");
+        assert!(
+            (got - best).abs() <= 1e-9 * best.max(1.0),
+            "{got} vs {best}"
+        );
     }
 
     #[test]
@@ -251,7 +257,10 @@ mod tests {
         let g = QueryGraph::from_stats(&s);
         let best = best_connected_order_cost(&s, &g);
         let got = cost_ord(&s, &order);
-        assert!((got - best).abs() <= 1e-9 * best.max(1.0), "{got} vs {best}");
+        assert!(
+            (got - best).abs() <= 1e-9 * best.max(1.0),
+            "{got} vs {best}"
+        );
     }
 
     #[test]
@@ -306,11 +315,8 @@ mod tests {
     #[test]
     fn kbz_refuses_sequences_and_next_match() {
         // Temporal-only selectivity (sel < 1 without explicit edge).
-        let mut s = PatternStats::synthetic(
-            10.0,
-            vec![1.0, 1.0],
-            vec![vec![1.0, 0.5], vec![0.5, 1.0]],
-        );
+        let mut s =
+            PatternStats::synthetic(10.0, vec![1.0, 1.0], vec![vec![1.0, 0.5], vec![0.5, 1.0]]);
         s.explicit_pair[0][1] = false;
         s.explicit_pair[1][0] = false;
         assert!(kbz_order(&s, &CostModel::throughput()).is_none());

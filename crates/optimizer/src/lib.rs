@@ -23,7 +23,6 @@
 //! facade, [`profiler`] the Section 6.1 output profiler, and [`adaptive`]
 //! the Section 6.3 statistics monitor.
 
-
 #![warn(missing_docs)]
 
 pub mod adaptive;

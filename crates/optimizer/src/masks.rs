@@ -153,7 +153,9 @@ mod tests {
             TreeNode::join(TreeNode::Leaf(0), TreeNode::Leaf(1)),
             TreeNode::Leaf(2),
         );
-        let total = t.pm_tree[0b001] + t.pm_tree[0b010] + t.pm_tree[0b011]
+        let total = t.pm_tree[0b001]
+            + t.pm_tree[0b010]
+            + t.pm_tree[0b011]
             + t.pm_tree[0b100]
             + t.pm_tree[0b111];
         let direct = cost_tree(&s, &tree);

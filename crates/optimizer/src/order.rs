@@ -219,7 +219,10 @@ mod tests {
         let best = exhaustive_best(&s, &cm);
         let order = ii_random_order(&s, &cm, 10, 42);
         let cost = cm.order_cost(&s, &order);
-        assert!((cost - best).abs() <= 1e-9 * best.max(1.0), "{cost} vs {best}");
+        assert!(
+            (cost - best).abs() <= 1e-9 * best.max(1.0),
+            "{cost} vs {best}"
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@
 
 use crate::dp::{dp_bushy_tree, dp_left_deep_order};
 use crate::kbz::kbz_order;
-use crate::order::{
-    efreq_order, greedy_order, ii_greedy_order, ii_random_order, trivial_order,
-};
+use crate::order::{efreq_order, greedy_order, ii_greedy_order, ii_random_order, trivial_order};
 use crate::zstream::{zstream_native, zstream_ordered};
 use crate::{OrderAlgorithm, TreeAlgorithm};
 use cep_core::compile::CompiledPattern;
@@ -263,16 +261,10 @@ mod tests {
             anchor: LatencyAnchor::Disabled,
             ..Default::default()
         });
-        let a = p0
-            .plan_order(&cp, &stats, OrderAlgorithm::DpLd)
-            .unwrap();
-        let b = p1
-            .plan_order(&cp, &stats, OrderAlgorithm::DpLd)
-            .unwrap();
+        let a = p0.plan_order(&cp, &stats, OrderAlgorithm::DpLd).unwrap();
+        let b = p1.plan_order(&cp, &stats, OrderAlgorithm::DpLd).unwrap();
         let cm = CostModel::throughput();
-        assert!(
-            (cm.order_plan_cost(&stats, &a) - cm.order_plan_cost(&stats, &b)).abs() < 1e-9
-        );
+        assert!((cm.order_plan_cost(&stats, &a) - cm.order_plan_cost(&stats, &b)).abs() < 1e-9);
     }
 
     #[test]
@@ -283,6 +275,8 @@ mod tests {
         assert!(planner
             .plan_order(&cp, &bad, OrderAlgorithm::Trivial)
             .is_err());
-        assert!(planner.plan_tree(&cp, &bad, TreeAlgorithm::ZStream).is_err());
+        assert!(planner
+            .plan_tree(&cp, &bad, TreeAlgorithm::ZStream)
+            .is_err());
     }
 }

@@ -46,10 +46,7 @@ impl<'a> Lexer<'a> {
 
     /// Current byte offset (for error reporting).
     pub fn offset(&self) -> usize {
-        self.peeked
-            .as_ref()
-            .map(|(_, o)| *o)
-            .unwrap_or(self.pos)
+        self.peeked.as_ref().map(|(_, o)| *o).unwrap_or(self.pos)
     }
 
     fn error(&self, message: impl Into<String>, offset: usize) -> CepError {
@@ -167,10 +164,7 @@ impl<'a> Lexer<'a> {
                 Token::Ident(self.input[start..self.pos].to_owned())
             }
             other => {
-                return Err(self.error(
-                    format!("unexpected character {:?}", other as char),
-                    start,
-                ))
+                return Err(self.error(format!("unexpected character {:?}", other as char), start))
             }
         };
         Ok((tok, start))
@@ -297,10 +291,7 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let toks = all_tokens("SEQ # trailing comment\n (");
-        assert_eq!(
-            toks,
-            vec![Token::Ident("SEQ".into()), Token::LParen]
-        );
+        assert_eq!(toks, vec![Token::Ident("SEQ".into()), Token::LParen]);
     }
 
     #[test]

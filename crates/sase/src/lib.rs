@@ -16,7 +16,6 @@
 //! `WITHIN`, `a.ts` timestamp operands, and an optional `STRATEGY` clause
 //! selecting the Section 6.2 event selection strategy.
 
-
 #![warn(missing_docs)]
 
 mod lexer;

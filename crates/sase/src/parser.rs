@@ -152,13 +152,8 @@ impl<'a> Parser<'a> {
         }
         let position = self.next_position;
         self.next_position += 1;
-        self.vars.insert(
-            var.clone(),
-            EventDecl {
-                position,
-                type_id,
-            },
-        );
+        self.vars
+            .insert(var.clone(), EventDecl { position, type_id });
         Ok(PatternExpr::Event {
             position,
             event_type: type_id,
@@ -188,7 +183,10 @@ impl<'a> Parser<'a> {
         let left = self.parse_operand()?;
         let (tok, off) = self.lx.next()?;
         let Token::Cmp(op) = tok else {
-            return Err(self.err(format!("expected a comparison operator, found {tok:?}"), off));
+            return Err(self.err(
+                format!("expected a comparison operator, found {tok:?}"),
+                off,
+            ));
         };
         let right = self.parse_operand()?;
         Ok(Predicate { left, op, right })
@@ -228,10 +226,7 @@ impl<'a> Parser<'a> {
                     .expect("declared types exist in catalog");
                 let Some(attr) = schema.attr_index(&attr_name) else {
                     return Err(self.err(
-                        format!(
-                            "type {:?} has no attribute {attr_name:?}",
-                            schema.name
-                        ),
+                        format!("type {:?} has no attribute {attr_name:?}", schema.name),
                         aoff,
                     ));
                 };
@@ -334,11 +329,7 @@ mod tests {
     #[test]
     fn parses_nested_disjunction() {
         let cat = catalog();
-        let p = parse_pattern(
-            "PATTERN AND(MSFT m, OR(GOOG g, INTC i)) WITHIN 100",
-            &cat,
-        )
-        .unwrap();
+        let p = parse_pattern("PATTERN AND(MSFT m, OR(GOOG g, INTC i)) WITHIN 100", &cat).unwrap();
         assert!(!p.is_simple());
         assert!(p.expr.contains_or());
     }
@@ -354,10 +345,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.predicates.len(), 3);
-        assert!(matches!(
-            p.predicates[1].left,
-            Operand::Ts { position: 0 }
-        ));
+        assert!(matches!(p.predicates[1].left, Operand::Ts { position: 0 }));
         assert!(matches!(
             p.predicates[0].right,
             Operand::Const(Value::Float(_))
@@ -430,9 +418,11 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         let cat = catalog();
-        let err =
-            parse_pattern("PATTERN SEQ(MSFT m, GOOG g) WITHIN 10 garbage garbage", &cat)
-                .unwrap_err();
+        let err = parse_pattern(
+            "PATTERN SEQ(MSFT m, GOOG g) WITHIN 10 garbage garbage",
+            &cat,
+        )
+        .unwrap_err();
         assert!(matches!(err, CepError::Parse { .. }));
     }
 
@@ -453,11 +443,7 @@ mod tests {
             ("WITHIN 1 h", 3_600_000),
             ("WITHIN 250 ms", 250),
         ] {
-            let p = parse_pattern(
-                &format!("PATTERN SEQ(MSFT m, GOOG g) {spec}"),
-                &cat,
-            )
-            .unwrap();
+            let p = parse_pattern(&format!("PATTERN SEQ(MSFT m, GOOG g) {spec}"), &cat).unwrap();
             assert_eq!(p.window, expect, "{spec}");
         }
     }

@@ -11,7 +11,6 @@
 //! selectivities, both of which the generator reproduces (with closed-form
 //! ground truth) over the paper's measured ranges.
 
-
 #![warn(missing_docs)]
 
 pub mod stock;

@@ -130,7 +130,12 @@ pub fn generate_pattern(
                 .enumerate()
                 .map(|(i, &s)| b.event(gen.type_ids[s], &format!("e{i}")))
                 .collect();
-            add_difference_predicates(&mut b, &evs.iter().map(|e| e.pos()).collect::<Vec<_>>(), size / 2, rng);
+            add_difference_predicates(
+                &mut b,
+                &evs.iter().map(|e| e.pos()).collect::<Vec<_>>(),
+                size / 2,
+                rng,
+            );
             if kind == PatternSetKind::Sequence {
                 b.seq(evs)?
             } else {
@@ -144,7 +149,11 @@ pub fn generate_pattern(
                 .map(|(i, &s)| b.event(gen.type_ids[s], &format!("e{i}")))
                 .collect();
             // Negate a middle event; predicates link positive events only.
-            let neg_slot = if size > 2 { 1 + rng.gen_range(0..(size - 2)) } else { 1 };
+            let neg_slot = if size > 2 {
+                1 + rng.gen_range(0..(size - 2))
+            } else {
+                1
+            };
             let positive_pos: Vec<usize> = evs
                 .iter()
                 .enumerate()
@@ -155,13 +164,7 @@ pub fn generate_pattern(
             let exprs: Vec<PatternExpr> = evs
                 .iter()
                 .enumerate()
-                .map(|(i, &e)| {
-                    if i == neg_slot {
-                        b.not(e)
-                    } else {
-                        b.expr(e)
-                    }
-                })
+                .map(|(i, &e)| if i == neg_slot { b.not(e) } else { b.expr(e) })
                 .collect();
             b.seq_exprs(exprs)?
         }
@@ -182,7 +185,11 @@ pub fn generate_pattern(
             if !symbol_idx.contains(&rarest) {
                 symbol_idx[0] = rarest;
             }
-            let kl_slot = if size > 2 { 1 + rng.gen_range(0..(size - 2)) } else { 1 };
+            let kl_slot = if size > 2 {
+                1 + rng.gen_range(0..(size - 2))
+            } else {
+                1
+            };
             let mut ordered = symbol_idx.clone();
             let rarest_pos = ordered.iter().position(|&s| s == rarest).expect("chosen");
             ordered.swap(kl_slot, rarest_pos);
@@ -201,13 +208,7 @@ pub fn generate_pattern(
             let exprs: Vec<PatternExpr> = evs
                 .iter()
                 .enumerate()
-                .map(|(i, &e)| {
-                    if i == kl_slot {
-                        b.kleene(e)
-                    } else {
-                        b.expr(e)
-                    }
-                })
+                .map(|(i, &e)| if i == kl_slot { b.kleene(e) } else { b.expr(e) })
                 .collect();
             b.seq_exprs(exprs)?
         }
@@ -312,13 +313,16 @@ pub fn analytic_selectivities(cp: &CompiledPattern, gen: &GeneratedStream) -> Ve
         .iter()
         .map(|p| {
             // Only `difference < difference` predicates are generated.
-            let (Operand::Attr {
-                position: pa,
-                attr: ATTR_DIFFERENCE,
-            }, Operand::Attr {
-                position: pb,
-                attr: ATTR_DIFFERENCE,
-            }) = (&p.left, &p.right)
+            let (
+                Operand::Attr {
+                    position: pa,
+                    attr: ATTR_DIFFERENCE,
+                },
+                Operand::Attr {
+                    position: pb,
+                    attr: ATTR_DIFFERENCE,
+                },
+            ) = (&p.left, &p.right)
             else {
                 return 1.0;
             };
@@ -368,8 +372,8 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(1);
         for size in 3..=7 {
-            let gp = generate_pattern(PatternSetKind::Sequence, size, &gen, &cfg, &mut rng)
-                .unwrap();
+            let gp =
+                generate_pattern(PatternSetKind::Sequence, size, &gen, &cfg, &mut rng).unwrap();
             assert!(gp.pattern.is_pure());
             assert_eq!(gp.pattern.size(), size);
             assert_eq!(gp.pattern.predicates.len(), size / 2);
@@ -383,8 +387,7 @@ mod tests {
         let gen = fixture();
         let cfg = WorkloadConfig::default();
         let mut rng = StdRng::seed_from_u64(2);
-        let gp =
-            generate_pattern(PatternSetKind::Negation, 5, &gen, &cfg, &mut rng).unwrap();
+        let gp = generate_pattern(PatternSetKind::Negation, 5, &gen, &cfg, &mut rng).unwrap();
         let prims = gp.pattern.primitives();
         assert_eq!(prims.iter().filter(|p| p.negated).count(), 1);
         assert_eq!(prims.len(), 5);
@@ -418,8 +421,7 @@ mod tests {
         let gen = fixture();
         let cfg = WorkloadConfig::default();
         let mut rng = StdRng::seed_from_u64(7);
-        let gp =
-            generate_pattern(PatternSetKind::Disjunction, 3, &gen, &cfg, &mut rng).unwrap();
+        let gp = generate_pattern(PatternSetKind::Disjunction, 3, &gen, &cfg, &mut rng).unwrap();
         let cps = CompiledPattern::compile(&gp.pattern).unwrap();
         assert_eq!(cps.len(), 3);
         for cp in &cps {

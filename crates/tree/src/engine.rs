@@ -54,7 +54,11 @@ pub struct TreeEngine {
 
 impl TreeEngine {
     /// Builds an engine for one compiled pattern branch and a tree plan.
-    pub fn new(cp: CompiledPattern, plan: TreePlan, cfg: EngineConfig) -> Result<TreeEngine, CepError> {
+    pub fn new(
+        cp: CompiledPattern,
+        plan: TreePlan,
+        cfg: EngineConfig,
+    ) -> Result<TreeEngine, CepError> {
         plan.validate(&cp)?;
         let mut nodes = Vec::new();
         let root = flatten(&plan.root, &mut nodes);
@@ -255,7 +259,10 @@ fn flatten(node: &TreeNode, out: &mut Vec<NodeSpec>) -> usize {
             let li = flatten(l, out);
             let ri = flatten(r, out);
             out.push(NodeSpec {
-                kind: NodeKind::Internal { left: li, right: ri },
+                kind: NodeKind::Internal {
+                    left: li,
+                    right: ri,
+                },
                 parent: None,
                 sibling: None,
             });
@@ -291,9 +298,7 @@ impl Engine for TreeEngine {
             .iter()
             .enumerate()
             .filter_map(|(i, n)| match n.kind {
-                NodeKind::Leaf { elem }
-                    if self.cp.elements[elem].event_type == event.type_id =>
-                {
+                NodeKind::Leaf { elem } if self.cp.elements[elem].event_type == event.type_id => {
                     Some(i)
                 }
                 _ => None,

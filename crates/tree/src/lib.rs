@@ -16,7 +16,6 @@
 //! by consumption alone (matches stay disjoint, but intermediate instances
 //! may still fork before the first emission claims their events).
 
-
 #![warn(missing_docs)]
 
 mod engine;

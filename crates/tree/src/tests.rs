@@ -287,7 +287,10 @@ fn nfa_and_tree_agree_on_random_streams() {
     let mut te = TreeEngine::new(cp.clone(), tree, EngineConfig::default()).unwrap();
     let tree_res = run_to_completion(&mut te, &s, true);
     assert_eq!(signatures(&nfa_res.matches), signatures(&tree_res.matches));
-    assert!(!nfa_res.matches.is_empty(), "fixture should produce matches");
+    assert!(
+        !nfa_res.matches.is_empty(),
+        "fixture should produce matches"
+    );
 }
 
 #[test]

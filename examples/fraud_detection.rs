@@ -17,13 +17,19 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let mut catalog = Catalog::new();
     let small = catalog
-        .add_type("SmallTxn", &[("account", ValueKind::Int), ("amount", ValueKind::Float)])
+        .add_type(
+            "SmallTxn",
+            &[("account", ValueKind::Int), ("amount", ValueKind::Float)],
+        )
         .unwrap();
     let verify = catalog
         .add_type("Verify", &[("account", ValueKind::Int)])
         .unwrap();
     let withdraw = catalog
-        .add_type("Withdrawal", &[("account", ValueKind::Int), ("amount", ValueKind::Float)])
+        .add_type(
+            "Withdrawal",
+            &[("account", ValueKind::Int), ("amount", ValueKind::Float)],
+        )
         .unwrap();
 
     // One or more small transactions on the same account, no verification
@@ -49,19 +55,44 @@ fn main() {
     };
     // Background noise on account 0.
     for _ in 0..20 {
-        push(&mut sb, &mut ts, small, vec![Value::Int(0), Value::Float(25.0)]);
+        push(
+            &mut sb,
+            &mut ts,
+            small,
+            vec![Value::Int(0), Value::Float(25.0)],
+        );
     }
     // Fraud shape on account 1: probes then a big withdrawal.
     for _ in 0..3 {
-        push(&mut sb, &mut ts, small, vec![Value::Int(1), Value::Float(9.99)]);
+        push(
+            &mut sb,
+            &mut ts,
+            small,
+            vec![Value::Int(1), Value::Float(9.99)],
+        );
     }
-    push(&mut sb, &mut ts, withdraw, vec![Value::Int(1), Value::Float(900.0)]);
+    push(
+        &mut sb,
+        &mut ts,
+        withdraw,
+        vec![Value::Int(1), Value::Float(900.0)],
+    );
     // Legitimate shape on account 2: probes, re-verification, withdrawal.
     for _ in 0..3 {
-        push(&mut sb, &mut ts, small, vec![Value::Int(2), Value::Float(12.0)]);
+        push(
+            &mut sb,
+            &mut ts,
+            small,
+            vec![Value::Int(2), Value::Float(12.0)],
+        );
     }
     push(&mut sb, &mut ts, verify, vec![Value::Int(2)]);
-    push(&mut sb, &mut ts, withdraw, vec![Value::Int(2), Value::Float(800.0)]);
+    push(
+        &mut sb,
+        &mut ts,
+        withdraw,
+        vec![Value::Int(2), Value::Float(800.0)],
+    );
     let stream = sb.build();
     println!("transaction stream: {} events", stream.len());
 

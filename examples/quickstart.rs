@@ -30,9 +30,8 @@ fn main() {
     // 3. Plan + run with the trivial (specification-order) plan and with
     //    the exhaustive left-deep DP adapted from join optimization.
     for algo in [OrderAlgorithm::Trivial, OrderAlgorithm::DpLd] {
-        let mut engine =
-            cep::build_nfa_engine(&pattern, &generated, algo, EngineConfig::default())
-                .expect("engine construction");
+        let mut engine = cep::build_nfa_engine(&pattern, &generated, algo, EngineConfig::default())
+            .expect("engine construction");
         let result = run_to_completion(engine.as_mut(), &generated.stream, true);
         println!(
             "{algo:>8}: {} matches, {:.0} events/s, peak {} partial matches",

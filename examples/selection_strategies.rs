@@ -51,9 +51,13 @@ fn main() {
         let cm = CostModel::for_pattern(&cp);
         let cost = cm.order_plan_cost(&stats, &plan);
 
-        let mut engine =
-            cep::build_nfa_engine(&pattern, &generated, OrderAlgorithm::DpLd, EngineConfig::default())
-                .unwrap();
+        let mut engine = cep::build_nfa_engine(
+            &pattern,
+            &generated,
+            OrderAlgorithm::DpLd,
+            EngineConfig::default(),
+        )
+        .unwrap();
         let r = run_to_completion(engine.as_mut(), &generated.stream, true);
         println!(
             "{:<22} {:>9} {:>12.0} {:>14} {:>12.2}",

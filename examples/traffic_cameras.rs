@@ -23,7 +23,11 @@ fn main() {
     let mut catalog = Catalog::new();
     let cams: Vec<_> = ["A", "B", "C", "D"]
         .iter()
-        .map(|n| catalog.add_type(n, &[("vehicleID", ValueKind::Int)]).unwrap())
+        .map(|n| {
+            catalog
+                .add_type(n, &[("vehicleID", ValueKind::Int)])
+                .unwrap()
+        })
         .collect();
 
     // The pattern from the paper, in SASE syntax.
@@ -62,15 +66,15 @@ fn main() {
     // constrained by a predicate.
     let lazy = OrderPlan::new(vec![3, 2, 1, 0]).unwrap();
 
-    for (name, plan) in [("in-order NFA (Fig 1a)", trivial), ("lazy NFA (Fig 1b)", lazy)] {
-        let mut engine =
-            NfaEngine::new(cp.clone(), plan.clone(), EngineConfig::default()).unwrap();
+    for (name, plan) in [
+        ("in-order NFA (Fig 1a)", trivial),
+        ("lazy NFA (Fig 1b)", lazy),
+    ] {
+        let mut engine = NfaEngine::new(cp.clone(), plan.clone(), EngineConfig::default()).unwrap();
         let r = run_to_completion(&mut engine, &stream, false);
         println!(
             "{name:>22} plan {plan}: {} matches, {:>6} partial matches created, peak {:>4}",
-            r.match_count,
-            r.metrics.partial_matches_created,
-            r.metrics.peak_partial_matches,
+            r.match_count, r.metrics.partial_matches_created, r.metrics.peak_partial_matches,
         );
     }
     println!("(same matches; the reordered plan is the cheapest of all 4! orders — Section 1)");

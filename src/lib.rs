@@ -45,7 +45,6 @@
 //! println!("{} matches", result.match_count);
 //! ```
 
-
 #![warn(missing_docs)]
 
 pub use cep_core as core;

@@ -106,11 +106,7 @@ fn disjunction_equals_union_of_branches() {
 #[test]
 fn next_match_is_disjoint_and_any_match_is_superset() {
     let (catalog, gen) = setup(41);
-    let any = parse_pattern(
-        "PATTERN SEQ(S0001 a, S0003 b) WITHIN 4 s",
-        &catalog,
-    )
-    .unwrap();
+    let any = parse_pattern("PATTERN SEQ(S0001 a, S0003 b) WITHIN 4 s", &catalog).unwrap();
     let mut next = any.clone();
     next.strategy = SelectionStrategy::SkipTillNextMatch;
 
@@ -118,8 +114,7 @@ fn next_match_is_disjoint_and_any_match_is_superset() {
         cep::build_nfa_engine(&any, &gen, OrderAlgorithm::DpLd, EngineConfig::default()).unwrap();
     let r_any = run_to_completion(e_any.as_mut(), &gen.stream, true);
     let mut e_next =
-        cep::build_nfa_engine(&next, &gen, OrderAlgorithm::DpLd, EngineConfig::default())
-            .unwrap();
+        cep::build_nfa_engine(&next, &gen, OrderAlgorithm::DpLd, EngineConfig::default()).unwrap();
     let r_next = run_to_completion(e_next.as_mut(), &gen.stream, true);
 
     // Next-match: disjoint events, and no more matches than any-match.
@@ -149,20 +144,31 @@ fn partition_contiguity_on_partitioned_stream() {
         &catalog,
     )
     .unwrap();
-    let mut engine =
-        cep::build_nfa_engine(&cross, &gen, OrderAlgorithm::Trivial, EngineConfig::default())
-            .unwrap();
+    let mut engine = cep::build_nfa_engine(
+        &cross,
+        &gen,
+        OrderAlgorithm::Trivial,
+        EngineConfig::default(),
+    )
+    .unwrap();
     let r = run_to_completion(engine.as_mut(), &gen.stream, true);
-    assert_eq!(r.match_count, 0, "different symbols live in different partitions");
+    assert_eq!(
+        r.match_count, 0,
+        "different symbols live in different partitions"
+    );
 
     let same = parse_pattern(
         "PATTERN SEQ(S0001 a, S0001 b) WITHIN 60 s STRATEGY partition",
         &catalog,
     )
     .unwrap();
-    let mut engine =
-        cep::build_nfa_engine(&same, &gen, OrderAlgorithm::Trivial, EngineConfig::default())
-            .unwrap();
+    let mut engine = cep::build_nfa_engine(
+        &same,
+        &gen,
+        OrderAlgorithm::Trivial,
+        EngineConfig::default(),
+    )
+    .unwrap();
     let r = run_to_completion(engine.as_mut(), &gen.stream, true);
     assert!(
         r.match_count > 0,

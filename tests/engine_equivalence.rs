@@ -57,7 +57,13 @@ fn build_pattern(spec: &PatternSpec) -> Option<Pattern> {
         if spec.elements[i].1 == 1 || spec.elements[j].1 == 1 {
             continue;
         }
-        b.predicate(Predicate::attr_cmp(evs[i].pos(), 0, op_of(opc), evs[j].pos(), 0));
+        b.predicate(Predicate::attr_cmp(
+            evs[i].pos(),
+            0,
+            op_of(opc),
+            evs[j].pos(),
+            0,
+        ));
     }
     let exprs: Vec<PatternExpr> = evs
         .iter()
@@ -100,7 +106,9 @@ fn order_from_seed(n: usize, seed: u64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..n).collect();
     let mut s = seed | 1;
     for i in (1..n).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (s >> 33) as usize % (i + 1);
         order.swap(i, j);
     }
@@ -113,7 +121,9 @@ fn tree_from_order(order: &[usize], seed: u64) -> TreeNode {
         if leaves.len() == 1 {
             return TreeNode::Leaf(leaves[0]);
         }
-        *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let split = 1 + ((*s >> 33) as usize % (leaves.len() - 1));
         TreeNode::join(rec(&leaves[..split], s), rec(&leaves[split..], s))
     }

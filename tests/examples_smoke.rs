@@ -1,0 +1,414 @@
+//! Smoke tests pinning the core path of every `examples/*.rs` to a small
+//! deterministic seeded stream, so the examples cannot silently rot: each
+//! test mirrors its example's pattern and stream shape (scaled down to
+//! stay fast under `cargo test`) and asserts the pipeline still produces
+//! matches (or, for the adaptivity demo, still triggers a re-plan).
+
+use cep::core::compile::CompiledPattern;
+use cep::core::engine::{run_to_completion, EngineConfig};
+use cep::core::event::Event;
+use cep::core::plan::OrderPlan;
+use cep::core::schema::{Catalog, ValueKind};
+use cep::core::selection::SelectionStrategy;
+use cep::core::stats::{MeasuredStats, PatternStats, StatsOptions};
+use cep::core::stream::StreamBuilder;
+use cep::core::value::Value;
+use cep::optimizer::StatsMonitor;
+use cep::prelude::*;
+use cep::streamgen::{analytic_measured_stats, analytic_selectivities, SymbolSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `examples/quickstart.rs`: the three-stock sequence pattern matches on a
+/// seeded NASDAQ-like stream under both the trivial and the DP-LD plan,
+/// and both plans agree.
+#[test]
+fn quickstart_core_path_matches() {
+    let config = StockConfig::nasdaq_like(10, 8_000, 0.5, 7);
+    let mut catalog = cep::core::schema::Catalog::new();
+    let generated = StockStreamGenerator::generate(&config, &mut catalog).unwrap();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(S0000 a, S0001 b, S0003 c)
+         WHERE (a.difference < b.difference AND c.difference > 0)
+         WITHIN 10 s",
+        &catalog,
+    )
+    .unwrap();
+
+    let mut counts = Vec::new();
+    for algo in [OrderAlgorithm::Trivial, OrderAlgorithm::DpLd] {
+        let mut engine =
+            cep::build_nfa_engine(&pattern, &generated, algo, EngineConfig::default()).unwrap();
+        let result = run_to_completion(engine.as_mut(), &generated.stream, false);
+        counts.push(result.match_count);
+    }
+    assert!(counts[0] >= 1, "quickstart pattern must match");
+    assert_eq!(counts[0], counts[1], "plans must agree on the match set");
+}
+
+/// `examples/fraud_detection.rs`: the KL + NOT pattern fires on the
+/// fraudulent account, both engines agree, and the re-verified account
+/// never alerts.
+#[test]
+fn fraud_detection_core_path_matches() {
+    let mut catalog = Catalog::new();
+    let small = catalog
+        .add_type(
+            "SmallTxn",
+            &[("account", ValueKind::Int), ("amount", ValueKind::Float)],
+        )
+        .unwrap();
+    let verify = catalog
+        .add_type("Verify", &[("account", ValueKind::Int)])
+        .unwrap();
+    let withdraw = catalog
+        .add_type(
+            "Withdrawal",
+            &[("account", ValueKind::Int), ("amount", ValueKind::Float)],
+        )
+        .unwrap();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(KL(SmallTxn s), NOT(Verify v), Withdrawal w)
+         WHERE (s.account == w.account AND v.account == w.account
+                AND s.amount < 50 AND w.amount >= 500)
+         WITHIN 30 s",
+        &catalog,
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut sb = StreamBuilder::new();
+    let mut ts = 0u64;
+    let mut push = |sb: &mut StreamBuilder, ts: &mut u64, ty, attrs: Vec<Value>| {
+        *ts += rng.gen_range(100..800);
+        sb.push(Event::new(ty, *ts, attrs));
+    };
+    // Fewer noise/probe events than the example: the Kleene closure is
+    // exponential in same-account small transactions, and this must stay
+    // fast in debug builds.
+    for _ in 0..5 {
+        push(
+            &mut sb,
+            &mut ts,
+            small,
+            vec![Value::Int(0), Value::Float(25.0)],
+        );
+    }
+    for _ in 0..2 {
+        push(
+            &mut sb,
+            &mut ts,
+            small,
+            vec![Value::Int(1), Value::Float(9.99)],
+        );
+    }
+    push(
+        &mut sb,
+        &mut ts,
+        withdraw,
+        vec![Value::Int(1), Value::Float(900.0)],
+    );
+    for _ in 0..2 {
+        push(
+            &mut sb,
+            &mut ts,
+            small,
+            vec![Value::Int(2), Value::Float(12.0)],
+        );
+    }
+    push(&mut sb, &mut ts, verify, vec![Value::Int(2)]);
+    push(
+        &mut sb,
+        &mut ts,
+        withdraw,
+        vec![Value::Int(2), Value::Float(800.0)],
+    );
+    let stream = sb.build();
+
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let cfg = EngineConfig {
+        max_kleene_events: 8,
+        ..Default::default()
+    };
+    let mut nfa = NfaEngine::with_trivial_plan(cp.clone(), cfg.clone());
+    let nfa_result = run_to_completion(&mut nfa, &stream, true);
+    let mut tree = TreeEngine::with_trivial_plan(cp, cfg);
+    let tree_result = run_to_completion(&mut tree, &stream, true);
+
+    assert!(nfa_result.match_count >= 1, "fraud pattern must alert");
+    assert_eq!(nfa_result.match_count, tree_result.match_count);
+    assert!(
+        nfa_result.matches.iter().all(|m| {
+            m.events()
+                .all(|e| e.attr(0) == Some(&Value::Int(1)) || e.attr(0).is_none())
+        }),
+        "only the fraudulent account may alert"
+    );
+}
+
+/// `examples/stock_correlation.rs`: every order algorithm and every tree
+/// algorithm plans the conjunction pattern and all agree on a non-empty
+/// match count.
+#[test]
+fn stock_correlation_core_path_matches() {
+    let config = StockConfig {
+        symbols: vec![
+            SymbolSpec {
+                name: "MSFT".into(),
+                rate_per_sec: 8.0,
+                start_price: 410.0,
+                drift: 0.05,
+                volatility: 0.8,
+            },
+            SymbolSpec {
+                name: "GOOG".into(),
+                rate_per_sec: 3.0,
+                start_price: 175.0,
+                drift: 0.4,
+                volatility: 0.6,
+            },
+            SymbolSpec {
+                name: "INTC".into(),
+                rate_per_sec: 0.5,
+                start_price: 31.0,
+                drift: -0.2,
+                volatility: 0.5,
+            },
+        ],
+        duration_ms: 30_000,
+        seed: 2024,
+    };
+    let mut catalog = cep::core::schema::Catalog::new();
+    let generated = StockStreamGenerator::generate(&config, &mut catalog).unwrap();
+    let pattern = parse_pattern(
+        "PATTERN AND(MSFT m, GOOG g, INTC i)
+         WHERE (m.difference < g.difference AND i.difference > 0.3)
+         WITHIN 5 s",
+        &catalog,
+    )
+    .unwrap();
+
+    let planner = Planner::default();
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let measured = analytic_measured_stats(&generated);
+    let sels = analytic_selectivities(&cp, &generated);
+    let stats = planner.stats_for(&cp, &measured, &sels).unwrap();
+
+    let mut counts = Vec::new();
+    for algo in [
+        OrderAlgorithm::Trivial,
+        OrderAlgorithm::EFreq,
+        OrderAlgorithm::Greedy,
+        OrderAlgorithm::IIGreedy,
+        OrderAlgorithm::DpLd,
+        OrderAlgorithm::Kbz,
+    ] {
+        planner.plan_order(&cp, &stats, algo).unwrap();
+        let mut engine =
+            cep::build_nfa_engine(&pattern, &generated, algo, EngineConfig::default()).unwrap();
+        counts.push(run_to_completion(engine.as_mut(), &generated.stream, false).match_count);
+    }
+    for algo in [
+        TreeAlgorithm::ZStream,
+        TreeAlgorithm::ZStreamOrd,
+        TreeAlgorithm::DpB,
+    ] {
+        planner.plan_tree(&cp, &stats, algo).unwrap();
+        let mut engine =
+            cep::build_tree_engine(&pattern, &generated, algo, EngineConfig::default()).unwrap();
+        counts.push(run_to_completion(engine.as_mut(), &generated.stream, false).match_count);
+    }
+    assert!(counts[0] >= 1, "correlation pattern must match");
+    assert!(
+        counts.iter().all(|&c| c == counts[0]),
+        "all plan algorithms must agree: {counts:?}"
+    );
+}
+
+/// `examples/traffic_cameras.rs`: the in-order and lazy NFA plans agree on
+/// the match set and the lazy plan creates strictly fewer partial matches.
+#[test]
+fn traffic_cameras_core_path_matches() {
+    let mut catalog = Catalog::new();
+    let cams: Vec<_> = ["A", "B", "C", "D"]
+        .iter()
+        .map(|n| {
+            catalog
+                .add_type(n, &[("vehicleID", ValueKind::Int)])
+                .unwrap()
+        })
+        .collect();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(A a, B b, C c, D d)
+         WHERE (a.vehicleID == b.vehicleID AND b.vehicleID == c.vehicleID
+                AND c.vehicleID == d.vehicleID)
+         WITHIN 60 s",
+        &catalog,
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut sb = StreamBuilder::new();
+    let mut ts = 0u64;
+    for vehicle in 0..150i64 {
+        for (i, &cam) in cams.iter().enumerate() {
+            ts += rng.gen_range(20..120);
+            if i < 3 || vehicle % 10 == 0 {
+                sb.push(Event::new(cam, ts, vec![Value::Int(vehicle)]));
+            }
+        }
+    }
+    let stream = sb.build();
+
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let trivial = OrderPlan::trivial(&cp);
+    let lazy = OrderPlan::new(vec![3, 2, 1, 0]).unwrap();
+
+    let run = |plan: OrderPlan| {
+        let mut engine = NfaEngine::new(cp.clone(), plan, EngineConfig::default()).unwrap();
+        let r = run_to_completion(&mut engine, &stream, false);
+        (r.match_count, r.metrics.partial_matches_created)
+    };
+    let (trivial_matches, trivial_partials) = run(trivial);
+    let (lazy_matches, lazy_partials) = run(lazy);
+    assert!(trivial_matches >= 1, "camera pattern must match");
+    assert_eq!(trivial_matches, lazy_matches);
+    assert!(
+        lazy_partials < trivial_partials,
+        "waiting for the rare camera D must create fewer partial matches \
+         ({lazy_partials} vs {trivial_partials})"
+    );
+}
+
+/// `examples/selection_strategies.rs`: each selection strategy upholds its
+/// invariant on the same pattern, and the permissive strategies match.
+#[test]
+fn selection_strategies_core_path_matches() {
+    let config = StockConfig::nasdaq_like(8, 20_000, 0.5, 77);
+    let mut catalog = cep::core::schema::Catalog::new();
+    let generated = StockStreamGenerator::generate(&config, &mut catalog).unwrap();
+    let base = parse_pattern(
+        "PATTERN SEQ(S0000 a, S0002 b, S0005 c)
+         WHERE (a.difference < b.difference)
+         WITHIN 6 s",
+        &catalog,
+    )
+    .unwrap();
+
+    let mut any_match_count = 0;
+    let mut next_match_count = 0;
+    for strategy in [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::SkipTillNextMatch,
+        SelectionStrategy::StrictContiguity,
+        SelectionStrategy::PartitionContiguity,
+    ] {
+        let mut pattern = base.clone();
+        pattern.strategy = strategy;
+        let mut engine = cep::build_nfa_engine(
+            &pattern,
+            &generated,
+            OrderAlgorithm::DpLd,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let r = run_to_completion(engine.as_mut(), &generated.stream, true);
+        match strategy {
+            SelectionStrategy::SkipTillAnyMatch => any_match_count = r.match_count,
+            SelectionStrategy::SkipTillNextMatch => {
+                next_match_count = r.match_count;
+                let mut used = std::collections::HashSet::new();
+                for m in &r.matches {
+                    for e in m.events() {
+                        assert!(used.insert(e.seq), "next-match events are single-use");
+                    }
+                }
+            }
+            SelectionStrategy::StrictContiguity => {
+                for m in &r.matches {
+                    let mut seqs: Vec<u64> = m.events().map(|e| e.seq).collect();
+                    seqs.sort_unstable();
+                    assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+                }
+            }
+            SelectionStrategy::PartitionContiguity => {
+                assert_eq!(
+                    r.match_count, 0,
+                    "cross-symbol patterns cannot be partition-contiguous"
+                );
+            }
+        }
+    }
+    assert!(any_match_count >= 1, "any-match must find matches");
+    assert!(next_match_count >= 1, "next-match must find matches");
+    assert!(
+        next_match_count <= any_match_count,
+        "consuming events cannot increase the match count"
+    );
+}
+
+/// `examples/adaptive_replanning.rs`: flipping the arrival rates halfway
+/// through the stream drifts the monitored statistics enough to trigger at
+/// least one re-plan, and the new plan differs from the old one.
+#[test]
+fn adaptive_replanning_core_path_replans() {
+    let mut catalog = Catalog::new();
+    let ta = catalog.add_type("S-A", &[("x", ValueKind::Int)]).unwrap();
+    let tb = catalog.add_type("S-B", &[("x", ValueKind::Int)]).unwrap();
+    let tc = catalog.add_type("S-C", &[("x", ValueKind::Int)]).unwrap();
+    let pattern = parse_pattern("PATTERN SEQ(S-A a, S-B b, S-C c) WITHIN 2 s", &catalog).unwrap();
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+
+    let mut sb = StreamBuilder::new();
+    for phase in 0..2u64 {
+        let (ra, rc) = if phase == 0 { (10, 1) } else { (1, 10) };
+        let base = phase * 30_000;
+        for i in 0..30_000u64 {
+            let ts = base + i;
+            if i % (1000 / ra) == 0 {
+                sb.push(Event::new(ta, ts, vec![Value::Int(0)]));
+            }
+            if i % 500 == 0 {
+                sb.push(Event::new(tb, ts, vec![Value::Int(0)]));
+            }
+            if i % (1000 / rc) == 0 {
+                sb.push(Event::new(tc, ts, vec![Value::Int(0)]));
+            }
+        }
+    }
+    let stream = sb.build();
+
+    let planner = Planner::default();
+    let plan_for = |rates: &MeasuredStats| {
+        let stats = PatternStats::build(&cp, rates, &[], &StatsOptions::default()).unwrap();
+        planner
+            .plan_order(&cp, &stats, OrderAlgorithm::DpLd)
+            .unwrap()
+    };
+
+    let mut monitor = StatsMonitor::new(10_000, 0.8);
+    let mut measured = MeasuredStats::default();
+    measured.set_rate(ta, 0.010);
+    measured.set_rate(tb, 0.002);
+    measured.set_rate(tc, 0.001);
+    let mut plan = plan_for(&measured);
+    monitor.rebaseline();
+
+    let mut replans = 0;
+    for (i, e) in stream.iter().enumerate() {
+        monitor.observe(e);
+        if i % 50 == 0 && i > 0 && monitor.drifted() {
+            let mut fresh = MeasuredStats::default();
+            for (ty, rate) in monitor.rates() {
+                fresh.set_rate(ty, rate);
+            }
+            let new_plan = plan_for(&fresh);
+            if new_plan != plan {
+                replans += 1;
+                plan = new_plan;
+            }
+            monitor.rebaseline();
+        }
+    }
+    assert!(replans >= 1, "the rate flip must trigger a re-plan");
+}

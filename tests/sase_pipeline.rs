@@ -75,7 +75,12 @@ fn and_is_order_insensitive() {
 fn or_branches_union() {
     let (n, t) = run_both(
         "PATTERN OR(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 10",
-        vec![(0, 1, 0, 0.0), (1, 2, 0, 0.0), (2, 3, 0, 0.0), (3, 4, 0, 0.0)],
+        vec![
+            (0, 1, 0, 0.0),
+            (1, 2, 0, 0.0),
+            (2, 3, 0, 0.0),
+            (3, 4, 0, 0.0),
+        ],
     );
     assert_eq!((n, t), (2, 2));
 }

@@ -76,12 +76,8 @@ fn next_match_greedy_takes_earliest_pairs_in_order_plans() {
     let c = b.event(t(1), "c");
     let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
     let s = stream(vec![ev(0, 1, 0), ev(0, 2, 0), ev(1, 3, 0), ev(1, 4, 0)]);
-    let mut nfa = NfaEngine::new(
-        cp.clone(),
-        OrderPlan::trivial(&cp),
-        EngineConfig::default(),
-    )
-    .unwrap();
+    let mut nfa =
+        NfaEngine::new(cp.clone(), OrderPlan::trivial(&cp), EngineConfig::default()).unwrap();
     let r = run_to_completion(&mut nfa, &s, true);
     assert_eq!(r.match_count, 2);
     let sigs: Vec<_> = r.matches.iter().map(|m| m.signature()).collect();
@@ -113,18 +109,11 @@ fn next_match_under_negation_consumes_only_emitted() {
         ev(0, 5, 0),
         ev(2, 6, 0),
     ]);
-    let mut nfa = NfaEngine::new(
-        cp.clone(),
-        OrderPlan::trivial(&cp),
-        EngineConfig::default(),
-    )
-    .unwrap();
+    let mut nfa =
+        NfaEngine::new(cp.clone(), OrderPlan::trivial(&cp), EngineConfig::default()).unwrap();
     let r = run_to_completion(&mut nfa, &s, true);
     assert_eq!(r.match_count, 1);
-    assert_eq!(
-        r.matches[0].signature(),
-        vec![(0, vec![4]), (2, vec![5])]
-    );
+    assert_eq!(r.matches[0].signature(), vec![(0, vec![4]), (2, vec![5])]);
 }
 
 #[test]
@@ -215,9 +204,14 @@ fn metrics_are_populated_consistently() {
     let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
     let s = stream(vec![ev(0, 1, 0), ev(1, 2, 0), ev(0, 3, 0), ev(1, 4, 1)]);
     for engine in [
-        Box::new(NfaEngine::with_trivial_plan(cp.clone(), EngineConfig::default()))
-            as Box<dyn Engine>,
-        Box::new(TreeEngine::with_trivial_plan(cp.clone(), EngineConfig::default())),
+        Box::new(NfaEngine::with_trivial_plan(
+            cp.clone(),
+            EngineConfig::default(),
+        )) as Box<dyn Engine>,
+        Box::new(TreeEngine::with_trivial_plan(
+            cp.clone(),
+            EngineConfig::default(),
+        )),
         Box::new(NaiveEngine::new(cp.clone(), EngineConfig::default())),
     ] {
         let mut engine = engine;
@@ -254,7 +248,10 @@ fn kleene_under_contiguity_validates_exactly() {
         .map(|m| m.signature())
         .collect();
     assert_eq!(expected.len(), 1);
-    assert_eq!(expected[0], vec![(0, vec![0]), (1, vec![1, 2]), (2, vec![3])]);
+    assert_eq!(
+        expected[0],
+        vec![(0, vec![0]), (1, vec![1, 2]), (2, vec![3])]
+    );
     let mut nfa = NfaEngine::with_trivial_plan(cp.clone(), EngineConfig::default());
     let got: Vec<_> = run_to_completion(&mut nfa, &s, true)
         .matches

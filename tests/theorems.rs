@@ -7,9 +7,7 @@
 //! * **Appendix A** — the ASI property of `Cost_ord` and `Cost_lat_ord`:
 //!   `C(a·u·v·b) <= C(a·v·u·b)  ⇔  rank(u) <= rank(v)`.
 
-use cep::core::cost::{
-    cost_bj, cost_lat_ord, cost_ldj, cost_ord, cost_tree, reduce_to_join,
-};
+use cep::core::cost::{cost_bj, cost_lat_ord, cost_ldj, cost_ord, cost_tree, reduce_to_join};
 use cep::core::plan::TreeNode;
 use cep::core::stats::PatternStats;
 use proptest::prelude::*;

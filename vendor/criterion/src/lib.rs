@@ -1,0 +1,320 @@
+//! Offline, dependency-free subset of the `criterion` benchmark API.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! implements the surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `bench_function` / `bench_with_input` / `finish`),
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It performs a simple warm-up plus timed
+//! sample loop and prints mean wall time per iteration — no statistics,
+//! plots, or baseline storage.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so user code can use `criterion::black_box` if desired.
+pub use std::hint::black_box;
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else if self.function.is_empty() {
+            self.parameter.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Runs the closure under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly for the configured budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once),
+        // tracking iterations so we can estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let warm_elapsed = loop {
+            black_box(routine());
+            warm_iters += 1;
+            let e = warm_start.elapsed();
+            if e >= self.warm_up_time {
+                break e;
+            }
+        };
+        // Plan the measured iteration count up front from the warm-up
+        // estimate, so the measured loop contains no clock reads — a
+        // per-iteration `Instant::elapsed()` would dominate the timing of
+        // sub-microsecond routines. Like real criterion, the measurement
+        // budget decides the iteration count (fast routines amortize one
+        // Instant pair over many calls) and `sample_size` is the floor,
+        // so slow routines still get that many measured calls.
+        let est_per_iter = warm_elapsed.as_secs_f64() / warm_iters as f64;
+        let budget_iters = if est_per_iter > 0.0 {
+            (self.measurement_time.as_secs_f64() / est_per_iter) as u64
+        } else {
+            u64::MAX
+        };
+        let planned = budget_iters.clamp(self.sample_size.max(1) as u64, 100_000_000);
+        let start = Instant::now();
+        for _ in 0..planned {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = planned;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iterations == 0 {
+            // The bench closure never called `iter()`; there is nothing
+            // to report (and 0/0 would print NaN).
+            println!("bench: {label:<48} skipped (iter() not called)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iterations as f64;
+        println!(
+            "bench: {label:<48} {:>12.3} µs/iter ({} iters)",
+            per_iter * 1e6,
+            self.iterations
+        );
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, label));
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label();
+        self.run_one(label, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label();
+        self.run_one(label, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+}
+
+/// Units for [`BenchmarkGroup::throughput`]; accepted but unused.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples for subsequent groups.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the default measurement budget for subsequent groups.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, warm_up_time, measurement_time) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            warm_up_time,
+            measurement_time,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.run_one(String::new(), |b| f(b));
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test` pass harness flags (e.g.
+            // `--bench`); this shim runs everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+}
