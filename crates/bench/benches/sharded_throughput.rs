@@ -1,0 +1,60 @@
+//! Criterion bench: sharded-runtime throughput sweeping 1/2/4/8 worker
+//! shards over a partition-replicated stock workload (plus the
+//! single-threaded engine as the serial baseline).
+//!
+//! The query equates the `replica` attribute across all positions, so it
+//! is partition-local: every shard count detects the identical match set
+//! (asserted inside the measured closure — the check is O(1) on counts),
+//! and the sweep isolates the runtime's parallel speedup.
+
+use cep_bench::env::replicated_stock_workload;
+use cep_core::engine::{run_to_completion, Engine, EngineConfig};
+use cep_nfa::NfaEngine;
+use cep_shard::{RoutingPolicy, ShardedRuntime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sharded(c: &mut Criterion) {
+    let (gen, cp) = replicated_stock_workload(20_000, 0.5, 0xCE9, 8, 5_000);
+    let factory = {
+        let cp = cp;
+        move || {
+            Box::new(NfaEngine::with_trivial_plan(
+                cp.clone(),
+                EngineConfig::default(),
+            )) as Box<dyn Engine>
+        }
+    };
+    let expected = {
+        let mut engine = factory();
+        run_to_completion(engine.as_mut(), &gen.stream, false).match_count
+    };
+    let mut group = c.benchmark_group("sharded_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut engine = factory();
+            let r = run_to_completion(engine.as_mut(), &gen.stream, false);
+            assert_eq!(r.match_count, expected);
+            black_box(r.match_count)
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        let runtime = ShardedRuntime::with_shards(shards);
+        group.bench_function(format!("shards_{shards}"), |b| {
+            b.iter(|| {
+                let r = runtime.run(&factory, &gen.stream, RoutingPolicy::Partition, false);
+                assert_eq!(r.match_count, expected, "sharding must stay exact");
+                black_box(r.match_count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sharded);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Experiment harness CLI: regenerates the figures of Section 7.3.
 //!
 //! ```text
-//! experiments <subcommand> [--full] [--seed N] [--per-size N] [--duration-ms N]
+//! experiments <subcommand> [--full] [--seed N] [--per-size N] [--duration-ms N] [--shards N]
 //!
 //! subcommands:
 //!   pattern-types          Figures 4 & 5
@@ -10,6 +10,7 @@
 //!   large-patterns         Figure 17 (planning only)
 //!   latency-tradeoff       Figure 18
 //!   selection-strategies   Figure 19
+//!   sharded-scaling        beyond the paper: cep-shard worker sweep (1..=--shards)
 //!   all                    everything above
 //! ```
 
@@ -22,8 +23,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <pattern-types|by-size|cost-validation|large-patterns|\
-         latency-tradeoff|selection-strategies|all> [--set KIND] [--full] [--seed N] \
-         [--per-size N] [--duration-ms N]"
+         latency-tradeoff|selection-strategies|sharded-scaling|all> [--set KIND] [--full] \
+         [--seed N] [--per-size N] [--duration-ms N] [--shards N]"
     );
     std::process::exit(2)
 }
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
     let cmd = args[0].clone();
     let mut scale = Scale::quick();
     let mut set: Option<PatternSetKind> = None;
+    let mut shards = 8usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -76,6 +78,14 @@ fn main() -> ExitCode {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
@@ -96,6 +106,7 @@ fn main() -> ExitCode {
         "large-patterns" => figures::large_patterns(&env, 22, 3, &mut out),
         "latency-tradeoff" => figures::latency_tradeoff(&env, &mut out),
         "selection-strategies" => figures::selection_strategies(&env, &mut out),
+        "sharded-scaling" => figures::sharded_scaling(&env, shards, &mut out),
         "all" => figures::pattern_types(&env, &mut out)
             .and_then(|_| {
                 for kind in PatternSetKind::all() {
@@ -106,7 +117,8 @@ fn main() -> ExitCode {
             .and_then(|_| figures::cost_validation(&env, &mut out))
             .and_then(|_| figures::large_patterns(&env, 22, 3, &mut out))
             .and_then(|_| figures::latency_tradeoff(&env, &mut out))
-            .and_then(|_| figures::selection_strategies(&env, &mut out)),
+            .and_then(|_| figures::selection_strategies(&env, &mut out))
+            .and_then(|_| figures::sharded_scaling(&env, shards, &mut out)),
         _ => usage(),
     };
     match result {

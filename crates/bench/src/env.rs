@@ -124,6 +124,37 @@ impl ExperimentEnv {
     }
 }
 
+/// Partition-replicated stock workload shared by the sharded-scaling
+/// surfaces (`figures::sharded_scaling`, `benches/sharded_throughput.rs`):
+/// `replicas` decorrelated copies of a 4-symbol stock stream, plus the
+/// partition-local `SEQ` query that equates `replica` across all
+/// positions — the shape for which sharded evaluation is exact.
+pub fn replicated_stock_workload(
+    duration_ms: u64,
+    rate_scale: f64,
+    seed: u64,
+    replicas: u32,
+    window_ms: u64,
+) -> (GeneratedStream, cep_core::compile::CompiledPattern) {
+    let cfg = StockConfig::nasdaq_like(4, duration_ms, rate_scale, seed);
+    let mut catalog = Catalog::new();
+    let gen = StockStreamGenerator::generate_replicated(&cfg, replicas, &mut catalog)
+        .expect("fresh catalog accepts all symbols");
+    let pattern = cep_sase::parse_pattern(
+        &format!(
+            "PATTERN SEQ(S0000 a, S0001 b, S0002 c)
+             WHERE (a.replica == b.replica AND b.replica == c.replica
+                    AND a.difference < b.difference)
+             WITHIN {window_ms} ms"
+        ),
+        &catalog,
+    )
+    .expect("pattern parses against the replicated catalog");
+    let cp = cep_core::compile::CompiledPattern::compile_single(&pattern)
+        .expect("pure conjunctive pattern");
+    (gen, cp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -462,6 +462,96 @@ pub fn selection_strategies(env: &ExperimentEnv, out: &mut dyn Write) -> std::io
     Ok(())
 }
 
+/// Sharded scaling (beyond the paper; the ROADMAP's scale-out direction):
+/// end-to-end throughput of `cep_shard`'s worker-pool runtime over a
+/// partition-replicated stock stream, sweeping the shard count in powers of
+/// two up to `max_shards`.
+///
+/// The query equates the `replica` attribute across all positions, so it is
+/// partition-local: every shard count — including the single-threaded
+/// baseline — must detect the identical match set, which this driver
+/// asserts while measuring.
+pub fn sharded_scaling(
+    env: &ExperimentEnv,
+    max_shards: usize,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    use crate::env::replicated_stock_workload;
+    use cep_core::engine::{run_to_completion, Engine};
+    use cep_nfa::NfaEngine;
+    use cep_shard::{RoutingPolicy, ShardedRuntime};
+
+    writeln!(
+        out,
+        "== Sharded scaling: worker shards over a partition-replicated stock stream =="
+    )?;
+    let replicas = (max_shards.max(8)) as u32;
+    let (gen, cp) = replicated_stock_workload(
+        env.scale.duration_ms,
+        env.scale.rate_scale,
+        env.scale.seed ^ 0x5AD,
+        replicas,
+        env.scale.window_ms,
+    );
+    let factory = {
+        let cp = cp;
+        move || {
+            Box::new(NfaEngine::with_trivial_plan(cp.clone(), engine_config())) as Box<dyn Engine>
+        }
+    };
+    writeln!(
+        out,
+        "({} events, {} replicas, window {} ms)",
+        gen.stream.len(),
+        replicas,
+        env.scale.window_ms
+    )?;
+    let mut engine = factory();
+    let base = run_to_completion(engine.as_mut(), &gen.stream, false);
+    let base_eps = base.metrics.throughput_eps();
+    let mut t = Table::new(&["shards", "throughput (e/s)", "speedup", "matches"]);
+    t.row(vec![
+        "serial".into(),
+        si(base_eps),
+        "1.00x".into(),
+        base.match_count.to_string(),
+    ]);
+    // Powers of two up to the requested count, always ending exactly on
+    // it (so `--shards 6` really measures 6 shards).
+    let mut sweep = Vec::new();
+    let mut s = 1;
+    while s < max_shards {
+        sweep.push(s);
+        s *= 2;
+    }
+    sweep.push(max_shards);
+    for shards in sweep {
+        let r = ShardedRuntime::with_shards(shards).run(
+            &factory,
+            &gen.stream,
+            RoutingPolicy::Partition,
+            false,
+        );
+        assert_eq!(
+            r.match_count, base.match_count,
+            "partition-local query must be exact under sharding"
+        );
+        let eps = r.metrics.throughput_eps();
+        t.row(vec![
+            shards.to_string(),
+            si(eps),
+            format!("{:.2}x", eps / base_eps),
+            r.match_count.to_string(),
+        ]);
+    }
+    write!(out, "{}", t.render())?;
+    writeln!(
+        out,
+        "(identical match counts per row: the deterministic-merge guarantee)"
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,6 +629,17 @@ mod tests {
         assert!(s.contains("skip-till-any-match"));
         assert!(s.contains("skip-till-next-match"));
         assert!(s.contains("strict-contiguity"));
+    }
+
+    #[test]
+    fn sharded_scaling_prints_equal_match_counts() {
+        let env = micro_env();
+        let mut buf = Vec::new();
+        sharded_scaling(&env, 4, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Sharded scaling"));
+        assert!(s.contains("speedup"));
+        assert!(s.contains("serial"));
     }
 
     #[test]

@@ -50,6 +50,28 @@ pub trait Engine {
     fn name(&self) -> &'static str;
 }
 
+/// Builds fresh engine instances from a shared, already-compiled plan.
+///
+/// A factory is the unit of work handed to parallel runtimes such as
+/// `cep-shard`: one factory is shared (by reference) across worker threads
+/// and each worker builds and exclusively owns its private engine, so the
+/// engines themselves never cross a thread boundary. Pattern and plan data
+/// in this workspace is immutable after planning, which is why `Send +
+/// Sync` on the factory suffices.
+pub trait EngineFactory: Send + Sync {
+    /// Builds a fresh engine positioned at stream start.
+    fn build(&self) -> Box<dyn Engine>;
+}
+
+impl<F> EngineFactory for F
+where
+    F: Fn() -> Box<dyn Engine> + Send + Sync,
+{
+    fn build(&self) -> Box<dyn Engine> {
+        self()
+    }
+}
+
 /// Result of driving an engine over a complete stream.
 #[derive(Debug)]
 pub struct RunResult {
@@ -277,6 +299,18 @@ mod tests {
         let r = run_to_completion(&mut e, &stream, false);
         assert_eq!(r.match_count, 2);
         assert!(r.matches.is_empty());
+    }
+
+    #[test]
+    fn closure_factories_build_independent_engines() {
+        let factory = || Box::new(StubEngine::new(0)) as Box<dyn Engine>;
+        let f: &dyn EngineFactory = &factory;
+        let mut a = f.build();
+        let b = f.build();
+        let mut out = Vec::new();
+        a.process(&ev(0, 1), &mut out);
+        assert_eq!(a.metrics().events_processed, 1);
+        assert_eq!(b.metrics().events_processed, 0, "engines are independent");
     }
 
     #[test]

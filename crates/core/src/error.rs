@@ -26,6 +26,17 @@ pub enum CepError {
     },
     /// Missing or inconsistent statistics for plan generation.
     Stats(String),
+    /// An event was pushed into a stream builder behind its watermark.
+    ///
+    /// Streams are ordered by occurrence time; routing layers that feed a
+    /// builder from multiple sources surface their misuse through this
+    /// variant (see [`crate::stream::StreamBuilder::try_push_partitioned`]).
+    OutOfOrder {
+        /// Timestamp of the offending event.
+        ts: u64,
+        /// The builder's watermark (largest timestamp accepted so far).
+        last_ts: u64,
+    },
 }
 
 impl fmt::Display for CepError {
@@ -38,6 +49,11 @@ impl fmt::Display for CepError {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             CepError::Stats(m) => write!(f, "statistics error: {m}"),
+            CepError::OutOfOrder { ts, last_ts } => write!(
+                f,
+                "out-of-order push: event ts {ts} is behind watermark {last_ts}; \
+                 streams must be pushed in non-decreasing ts order"
+            ),
         }
     }
 }
@@ -63,5 +79,10 @@ mod tests {
             offset: 17,
         };
         assert!(p.to_string().contains("17"));
+        let o = CepError::OutOfOrder { ts: 3, last_ts: 9 };
+        let s = o.to_string();
+        assert!(s.contains("ts 3"));
+        assert!(s.contains("watermark 9"));
+        assert!(s.contains("non-decreasing ts order"));
     }
 }

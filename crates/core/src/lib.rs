@@ -47,7 +47,7 @@ pub mod value;
 pub mod prelude {
     pub use crate::compile::{CompiledPattern, Element, NaryOp, NegatedElement};
     pub use crate::cost::CostModel;
-    pub use crate::engine::{run_to_completion, Engine, EngineConfig, RunResult};
+    pub use crate::engine::{run_to_completion, Engine, EngineConfig, EngineFactory, RunResult};
     pub use crate::error::CepError;
     pub use crate::event::{Event, Timestamp, TypeId};
     pub use crate::matches::{Binding, Match};

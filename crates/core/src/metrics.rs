@@ -76,6 +76,31 @@ impl EngineMetrics {
         self.match_latency_ns_total as f64 / self.matches_emitted as f64 / 1e6
     }
 
+    /// Merges counters from a *concurrently* executed engine (a parallel
+    /// shard) into `self`.
+    ///
+    /// Contrast with [`absorb`](EngineMetrics::absorb), which combines
+    /// engines sharing one thread and therefore *sums* live/peak state:
+    /// shards run side by side on disjoint slices of the stream, so
+    /// counters and latency sums add, peaks take the per-shard maximum
+    /// (the honest per-worker bound — summing would claim a simultaneous
+    /// peak that never has to occur), and wall time takes the maximum
+    /// (overlapping execution, not sequential).
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.events_processed += other.events_processed;
+        self.events_relevant += other.events_relevant;
+        self.matches_emitted += other.matches_emitted;
+        self.partial_matches_created += other.partial_matches_created;
+        self.live_partial_matches += other.live_partial_matches;
+        self.peak_partial_matches = self.peak_partial_matches.max(other.peak_partial_matches);
+        self.buffered_events += other.buffered_events;
+        self.peak_buffered_events = self.peak_buffered_events.max(other.peak_buffered_events);
+        self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
+        self.predicate_evaluations += other.predicate_evaluations;
+        self.wall_time_ns = self.wall_time_ns.max(other.wall_time_ns);
+        self.match_latency_ns_total += other.match_latency_ns_total;
+    }
+
     /// Merges counters from another engine (used by multi-plan evaluation).
     pub fn absorb(&mut self, other: &EngineMetrics) {
         self.events_relevant += other.events_relevant;
@@ -127,6 +152,55 @@ mod tests {
         m.matches_emitted = 4;
         m.match_latency_ns_total = 8_000_000; // 8 ms total
         assert!((m.avg_latency_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peaks() {
+        let mut a = EngineMetrics::new();
+        a.events_processed = 100;
+        a.matches_emitted = 3;
+        a.partial_matches_created = 40;
+        a.predicate_evaluations = 70;
+        a.peak_partial_matches = 9;
+        a.peak_buffered_events = 20;
+        a.peak_memory_bytes = 4000;
+        a.wall_time_ns = 1_000;
+        a.match_latency_ns_total = 500;
+        let mut b = EngineMetrics::new();
+        b.events_processed = 50;
+        b.matches_emitted = 2;
+        b.partial_matches_created = 10;
+        b.predicate_evaluations = 30;
+        b.peak_partial_matches = 4;
+        b.peak_buffered_events = 33;
+        b.peak_memory_bytes = 2500;
+        b.wall_time_ns = 3_000;
+        b.match_latency_ns_total = 700;
+        a.merge(&b);
+        // Counters and latency sums add across shards.
+        assert_eq!(a.events_processed, 150);
+        assert_eq!(a.matches_emitted, 5);
+        assert_eq!(a.partial_matches_created, 50);
+        assert_eq!(a.predicate_evaluations, 100);
+        assert_eq!(a.match_latency_ns_total, 1_200);
+        // Peaks and wall time take the per-shard maximum.
+        assert_eq!(a.peak_partial_matches, 9);
+        assert_eq!(a.peak_buffered_events, 33);
+        assert_eq!(a.peak_memory_bytes, 4000);
+        assert_eq!(a.wall_time_ns, 3_000);
+    }
+
+    #[test]
+    fn merge_with_zeroed_is_identity_on_counters() {
+        let mut a = EngineMetrics::new();
+        a.events_processed = 7;
+        a.peak_partial_matches = 2;
+        a.wall_time_ns = 10;
+        let before = a.clone();
+        a.merge(&EngineMetrics::new());
+        assert_eq!(a.events_processed, before.events_processed);
+        assert_eq!(a.peak_partial_matches, before.peak_partial_matches);
+        assert_eq!(a.wall_time_ns, before.wall_time_ns);
     }
 
     #[test]

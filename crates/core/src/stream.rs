@@ -1,5 +1,6 @@
 //! Event streams and stream assembly.
 
+use crate::error::CepError;
 use crate::event::{Event, EventRef, Timestamp};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,6 +28,10 @@ impl StreamBuilder {
     }
 
     /// Appends an event to partition 0.
+    ///
+    /// # Panics
+    /// Panics on out-of-order timestamps; see [`StreamBuilder::try_push`]
+    /// for the fallible variant and the ordering contract.
     pub fn push(&mut self, event: Event) -> &mut Self {
         self.push_partitioned(event, 0)
     }
@@ -35,14 +40,46 @@ impl StreamBuilder {
     ///
     /// # Panics
     /// Panics if the event's timestamp is smaller than the previous event's;
-    /// CEP input streams are ordered by occurrence time.
-    pub fn push_partitioned(&mut self, mut event: Event, partition: u32) -> &mut Self {
-        assert!(
-            event.ts >= self.last_ts,
-            "stream must be pushed in non-decreasing ts order ({} < {})",
-            event.ts,
-            self.last_ts
-        );
+    /// CEP input streams are ordered by occurrence time. Use
+    /// [`StreamBuilder::try_push_partitioned`] to surface the violation as a
+    /// [`CepError::OutOfOrder`] instead (e.g. when assembling a stream from
+    /// a router or other untrusted source).
+    pub fn push_partitioned(&mut self, event: Event, partition: u32) -> &mut Self {
+        if let Err(e) = self.try_push_partitioned(event, partition) {
+            panic!("{e}");
+        }
+        self
+    }
+
+    /// Fallibly appends an event to partition 0; see
+    /// [`StreamBuilder::try_push_partitioned`].
+    pub fn try_push(&mut self, event: Event) -> Result<&mut Self, CepError> {
+        self.try_push_partitioned(event, 0)
+    }
+
+    /// Fallibly appends an event to the given partition.
+    ///
+    /// # Ordering contract
+    ///
+    /// Events must be pushed in non-decreasing `ts` order *globally*, not
+    /// merely within each partition: the builder assigns the global serial
+    /// number `seq` from arrival order, and engines, cost models, and the
+    /// contiguity strategies all assume `ts`-ordered, `seq`-monotone
+    /// streams. An event behind the watermark (the largest timestamp
+    /// accepted so far) is rejected with [`CepError::OutOfOrder`] and the
+    /// builder is left unchanged — equal timestamps are fine and keep their
+    /// arrival order.
+    pub fn try_push_partitioned(
+        &mut self,
+        mut event: Event,
+        partition: u32,
+    ) -> Result<&mut Self, CepError> {
+        if event.ts < self.last_ts {
+            return Err(CepError::OutOfOrder {
+                ts: event.ts,
+                last_ts: self.last_ts,
+            });
+        }
         self.last_ts = event.ts;
         event.seq = self.events.len() as u64;
         event.partition = partition;
@@ -50,7 +87,7 @@ impl StreamBuilder {
         event.part_seq = *ctr;
         *ctr += 1;
         self.events.push(Arc::new(event));
-        self
+        Ok(self)
     }
 
     /// Number of events pushed so far.
@@ -128,6 +165,32 @@ mod tests {
     fn out_of_order_push_panics() {
         let mut b = StreamBuilder::new();
         b.push(ev(5)).push(ev(4));
+    }
+
+    #[test]
+    fn out_of_order_try_push_errors_and_leaves_builder_unchanged() {
+        let mut b = StreamBuilder::new();
+        b.try_push(ev(5)).unwrap();
+        let err = b.try_push(ev(4)).unwrap_err();
+        assert_eq!(err, CepError::OutOfOrder { ts: 4, last_ts: 5 });
+        // The rejected event left no trace: coordinates keep advancing as if
+        // it was never offered.
+        b.try_push(ev(5)).unwrap();
+        let s = b.build();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(s[1].part_seq, 1);
+    }
+
+    #[test]
+    fn try_push_partitioned_accepts_equal_timestamps() {
+        let mut b = StreamBuilder::new();
+        b.try_push_partitioned(ev(3), 1).unwrap();
+        b.try_push_partitioned(ev(3), 2).unwrap();
+        let s = b.build();
+        assert_eq!(s[0].partition, 1);
+        assert_eq!(s[1].partition, 2);
+        assert_eq!(s[1].part_seq, 0);
     }
 
     #[test]

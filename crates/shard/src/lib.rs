@@ -1,0 +1,58 @@
+//! # cep-shard
+//!
+//! Sharded / partitioned parallel evaluation for the CEP engines, in the
+//! spirit of multi-way stream-join scale-out (Dossinger & Michel,
+//! arXiv:2104.07742): a [`ShardRouter`] assigns each input event to one of
+//! `N` worker shards, every worker owns a private engine built from a
+//! shared compiled plan (any [`cep_core::engine::EngineFactory`] — lazy
+//! NFA, ZStream tree, a `MultiEngine` over DNF branches, or the naive
+//! oracle), and per-shard outputs are combined by a deterministic merge.
+//!
+//! ## Semantics and the determinism guarantee
+//!
+//! Routing *splits* the stream, so a shard only detects matches whose
+//! events all landed on it. Sharded evaluation is therefore **exact** —
+//! equal to the single-threaded engine on the unsplit stream, for *any*
+//! shard count — precisely when the query is **partition-local**:
+//!
+//! * every match's events share one routing key (all pattern positions are
+//!   linked by key-equality predicates, the classic per-account /
+//!   per-vehicle / per-session CEP query), routed with
+//!   [`RoutingPolicy::HashAttr`] on that key or
+//!   [`RoutingPolicy::Partition`] when the key is the partition id; or
+//! * the pattern runs under
+//!   [`SelectionStrategy::PartitionContiguity`](cep_core::selection::SelectionStrategy),
+//!   which *by definition* confines matches to one partition — partition
+//!   routing then keeps every partition whole on a single shard.
+//!
+//! Under those conditions — and under the three *exact* selection
+//! strategies (skip-till-any-match, strict contiguity, partition
+//! contiguity) — the merged output of [`ShardedRuntime::run`] is the
+//! single-threaded result vector in [`canonical_sort`] order: same
+//! `Match` values, same order, whether it ran on 1 shard or 16.
+//! Skip-till-next-match is excluded from the exactness guarantee: its
+//! greedy, non-forking advancement binds the first candidate of *any*
+//! key, so its choices depend on how partitions interleave (the strategy
+//! is already plan-dependent single-threaded). A sharded next-match run
+//! is still deterministic per configuration, its matches valid and
+//! event-disjoint across all shards, but bindings may differ from the
+//! global greedy run's. [`RoutingPolicy::RoundRobin`] offers no exactness
+//! for multi-element patterns (it splits key groups); it is exact only
+//! for single-element (filter) patterns and otherwise serves as a
+//! raw-throughput upper bound.
+//!
+//! Workers communicate over bounded [`std::sync::mpsc`] channels carrying
+//! event *batches*: batching amortizes the per-send synchronization, and
+//! the bound applies backpressure to the router instead of letting queues
+//! grow without limit.
+
+#![warn(missing_docs)]
+
+mod router;
+mod runtime;
+
+pub use router::{hash_value, RoutingPolicy, ShardRouter};
+pub use runtime::{canonical_sort, ShardConfig, ShardStats, ShardedRunResult, ShardedRuntime};
+
+#[cfg(test)]
+mod tests;

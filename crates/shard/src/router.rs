@@ -1,0 +1,190 @@
+//! Routing policies: how input events map onto worker shards.
+
+use cep_core::event::Event;
+use cep_core::value::Value;
+
+/// How the [`ShardRouter`] assigns events to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Hash the attribute at this index: events sharing a key value always
+    /// land on the same shard, making sharding exact for queries whose
+    /// predicates equate the key across all pattern positions. Events
+    /// missing the attribute route to shard 0.
+    HashAttr(usize),
+    /// Pass `event.partition` through (`partition % shards`): every
+    /// partition stays whole on one shard, making sharding exact for
+    /// partition-local queries (partition-contiguity, or predicates keyed
+    /// by an attribute that coincides with the partition id).
+    Partition,
+    /// Cycle through shards. Balances perfectly but splits key groups, so
+    /// it is exact only for single-element (filter) patterns; use it for
+    /// stateless workloads or as a raw-throughput upper bound.
+    RoundRobin,
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingPolicy::HashAttr(i) => write!(f, "hash-attr({i})"),
+            RoutingPolicy::Partition => f.write_str("partition"),
+            RoutingPolicy::RoundRobin => f.write_str("round-robin"),
+        }
+    }
+}
+
+/// Maps stream events onto `shards` worker indices under a
+/// [`RoutingPolicy`]. Routing is deterministic: the same stream under the
+/// same policy and shard count always yields the same assignment
+/// (round-robin state advances per routed event).
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: usize,
+    policy: RoutingPolicy,
+    rr_next: usize,
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` workers (at least 1).
+    pub fn new(shards: usize, policy: RoutingPolicy) -> ShardRouter {
+        assert!(shards >= 1, "need at least one shard");
+        ShardRouter {
+            shards,
+            policy,
+            rr_next: 0,
+        }
+    }
+
+    /// Number of shards routed across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Shard index for `event`.
+    pub fn route(&mut self, event: &Event) -> usize {
+        match self.policy {
+            RoutingPolicy::HashAttr(idx) => match event.attr(idx) {
+                Some(v) => (hash_value(v) % self.shards as u64) as usize,
+                None => 0,
+            },
+            RoutingPolicy::Partition => event.partition as usize % self.shards,
+            RoutingPolicy::RoundRobin => {
+                let s = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.shards;
+                s
+            }
+        }
+    }
+}
+
+/// Deterministic 64-bit FNV-1a hash of an attribute value, stable across
+/// processes and runs (unlike `std`'s `RandomState`). Numeric kinds hash
+/// their representation, not their numeric value, so `Int(2)` and
+/// `Float(2.0)` may land on different shards — key attributes should use
+/// one kind consistently. `-0.0` is normalized to `0.0`.
+pub fn hash_value(v: &Value) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match v {
+        Value::Int(i) => {
+            eat(&[0x01]);
+            eat(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            let f = if *f == 0.0 { 0.0 } else { *f };
+            eat(&[0x02]);
+            eat(&f.to_bits().to_le_bytes());
+        }
+        Value::Bool(b) => eat(&[0x03, *b as u8]),
+        Value::Str(s) => {
+            eat(&[0x04]);
+            eat(s.as_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::event::TypeId;
+
+    fn keyed(key: i64, partition: u32) -> Event {
+        let mut e = Event::new(TypeId(0), 0, vec![Value::Int(key)]);
+        e.partition = partition;
+        e
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_key_stable() {
+        let mut r1 = ShardRouter::new(4, RoutingPolicy::HashAttr(0));
+        let mut r2 = ShardRouter::new(4, RoutingPolicy::HashAttr(0));
+        for key in 0..100 {
+            let s = r1.route(&keyed(key, 0));
+            assert!(s < 4);
+            assert_eq!(s, r2.route(&keyed(key, 0)), "same key, same shard");
+            assert_eq!(s, r1.route(&keyed(key, 7)), "partition is ignored");
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_keys() {
+        let mut r = ShardRouter::new(4, RoutingPolicy::HashAttr(0));
+        let mut used = std::collections::HashSet::new();
+        for key in 0..64 {
+            used.insert(r.route(&keyed(key, 0)));
+        }
+        assert_eq!(used.len(), 4, "64 keys must reach all 4 shards");
+    }
+
+    #[test]
+    fn missing_attribute_routes_to_shard_zero() {
+        let mut r = ShardRouter::new(4, RoutingPolicy::HashAttr(3));
+        assert_eq!(r.route(&keyed(42, 0)), 0);
+    }
+
+    #[test]
+    fn partition_routing_is_modular() {
+        let mut r = ShardRouter::new(3, RoutingPolicy::Partition);
+        assert_eq!(r.route(&keyed(0, 0)), 0);
+        assert_eq!(r.route(&keyed(0, 4)), 1);
+        assert_eq!(r.route(&keyed(0, 5)), 2);
+        assert_eq!(r.route(&keyed(0, 6)), 0);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = ShardRouter::new(3, RoutingPolicy::RoundRobin);
+        let got: Vec<usize> = (0..7).map(|_| r.route(&keyed(0, 0))).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn hash_value_distinguishes_kinds_and_normalizes_zero() {
+        assert_ne!(hash_value(&Value::Int(1)), hash_value(&Value::Bool(true)));
+        assert_ne!(hash_value(&Value::Int(2)), hash_value(&Value::Float(2.0)));
+        assert_eq!(
+            hash_value(&Value::Float(0.0)),
+            hash_value(&Value::Float(-0.0))
+        );
+        assert_eq!(
+            hash_value(&Value::from("k1")),
+            hash_value(&Value::from("k1"))
+        );
+        assert_ne!(
+            hash_value(&Value::from("k1")),
+            hash_value(&Value::from("k2"))
+        );
+    }
+}

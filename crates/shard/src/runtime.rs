@@ -1,0 +1,263 @@
+//! The sharded worker-pool runtime and its deterministic merge.
+
+use crate::router::{RoutingPolicy, ShardRouter};
+use cep_core::engine::EngineFactory;
+use cep_core::event::EventRef;
+use cep_core::matches::Match;
+use cep_core::metrics::EngineMetrics;
+use cep_core::stream::EventStream;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker-pool knobs.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of worker shards (each owns one engine on one thread).
+    pub shards: usize,
+    /// Events per channel message. Batching amortizes the per-send
+    /// synchronization cost; 1 degenerates to an event-at-a-time pipeline.
+    pub batch_size: usize,
+    /// Bound of each worker's input queue, in batches. A full queue blocks
+    /// the router (backpressure) instead of buffering without limit.
+    pub queue_batches: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            batch_size: 256,
+            queue_batches: 4,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Default configuration with an explicit shard count.
+    pub fn with_shards(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            ..Default::default()
+        }
+    }
+}
+
+/// One shard's slice of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Events routed to this shard.
+    pub events_routed: u64,
+    /// Matches this shard's engine emitted.
+    pub match_count: u64,
+    /// The shard engine's final metrics; `wall_time_ns` is the shard's
+    /// *busy* time (processing only, excluding waits on the input queue).
+    pub metrics: EngineMetrics,
+}
+
+/// Result of a sharded run.
+#[derive(Debug)]
+pub struct ShardedRunResult {
+    /// Merged matches in [`canonical_sort`] order (empty when
+    /// `collect_matches` was false).
+    pub matches: Vec<Match>,
+    /// Total matches across shards (tracked even when not collected).
+    pub match_count: u64,
+    /// Aggregated metrics: per-shard metrics combined with
+    /// [`EngineMetrics::merge`], with `wall_time_ns` replaced by the whole
+    /// run's wall time (routing included), so
+    /// [`throughput_eps`](EngineMetrics::throughput_eps) reports end-to-end
+    /// parallel throughput.
+    pub metrics: EngineMetrics,
+    /// Per-shard breakdown, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// Runs any [`EngineFactory`]'s engines across a pool of worker shards.
+///
+/// The calling thread routes and batches events; each worker thread builds
+/// a private engine from the shared factory and processes its slice in
+/// stream order (routing preserves the relative order of the events a
+/// shard receives, so every shard still sees a ts-ordered stream).
+#[derive(Debug, Clone, Default)]
+pub struct ShardedRuntime {
+    config: ShardConfig,
+}
+
+struct ShardOutcome {
+    matches: Vec<Match>,
+    match_count: u64,
+    events_routed: u64,
+    metrics: EngineMetrics,
+}
+
+impl ShardedRuntime {
+    /// Runtime with explicit configuration.
+    pub fn new(config: ShardConfig) -> ShardedRuntime {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.batch_size >= 1, "batch size must be positive");
+        assert!(config.queue_batches >= 1, "queue bound must be positive");
+        ShardedRuntime { config }
+    }
+
+    /// Runtime with `shards` workers and default batching.
+    pub fn with_shards(shards: usize) -> ShardedRuntime {
+        ShardedRuntime::new(ShardConfig::with_shards(shards))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// Drives `stream` through `self.config.shards` workers, each running a
+    /// fresh engine from `factory`, and merges the results
+    /// deterministically. With `collect_matches == false`, matches are
+    /// counted and discarded shard-side, keeping memory flat on large runs.
+    ///
+    /// See the crate docs for when the merged output is exactly the
+    /// single-threaded result (partition-local queries) — the merge order
+    /// itself is deterministic for any query and any shard count.
+    pub fn run(
+        &self,
+        factory: &dyn EngineFactory,
+        stream: &EventStream,
+        policy: RoutingPolicy,
+        collect_matches: bool,
+    ) -> ShardedRunResult {
+        let shards = self.config.shards;
+        let batch_size = self.config.batch_size;
+        let start = Instant::now();
+        let mut router = ShardRouter::new(shards, policy);
+        let mut txs: Vec<SyncSender<Vec<EventRef>>> = Vec::with_capacity(shards);
+        let mut rxs: Vec<Receiver<Vec<EventRef>>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel(self.config.queue_batches);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .map(|rx| s.spawn(move || worker(factory, rx, collect_matches)))
+                .collect();
+            let mut batches: Vec<Vec<EventRef>> = (0..shards)
+                .map(|_| Vec::with_capacity(batch_size))
+                .collect();
+            for event in stream {
+                let shard = router.route(event);
+                batches[shard].push(Arc::clone(event));
+                if batches[shard].len() >= batch_size {
+                    let full =
+                        std::mem::replace(&mut batches[shard], Vec::with_capacity(batch_size));
+                    // A send only fails if the worker died; its panic
+                    // resurfaces at join below.
+                    let _ = txs[shard].send(full);
+                }
+            }
+            for (shard, batch) in batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    let _ = txs[shard].send(batch);
+                }
+            }
+            drop(txs); // close the channels: workers flush and return
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let wall = start.elapsed().as_nanos() as u64;
+        let mut metrics = EngineMetrics::new();
+        let mut matches = Vec::new();
+        let mut match_count = 0;
+        let mut per_shard = Vec::with_capacity(shards);
+        for (shard, mut o) in outcomes.into_iter().enumerate() {
+            metrics.merge(&o.metrics);
+            match_count += o.match_count;
+            matches.append(&mut o.matches);
+            per_shard.push(ShardStats {
+                shard,
+                events_routed: o.events_routed,
+                match_count: o.match_count,
+                metrics: o.metrics,
+            });
+        }
+        metrics.wall_time_ns = wall;
+        canonical_sort(&mut matches);
+        ShardedRunResult {
+            matches,
+            match_count,
+            metrics,
+            per_shard,
+        }
+    }
+}
+
+/// One worker: builds its engine, drains its queue batch by batch, flushes
+/// on channel close. Latency accounting mirrors
+/// [`run_to_completion`](cep_core::engine::run_to_completion).
+fn worker(
+    factory: &dyn EngineFactory,
+    rx: Receiver<Vec<EventRef>>,
+    collect_matches: bool,
+) -> ShardOutcome {
+    let mut engine = factory.build();
+    let mut matches = Vec::new();
+    let mut scratch = Vec::new();
+    let mut match_count = 0u64;
+    let mut events_routed = 0u64;
+    let mut busy_ns = 0u64;
+    let drain = |engine: &mut Box<dyn cep_core::engine::Engine>,
+                 scratch: &mut Vec<Match>,
+                 matches: &mut Vec<Match>,
+                 latency_start: Instant| {
+        if scratch.is_empty() {
+            return 0u64;
+        }
+        let latency = latency_start.elapsed().as_nanos() as u64;
+        let emitted = scratch.len() as u64;
+        engine.metrics_mut().match_latency_ns_total += latency * emitted;
+        if collect_matches {
+            matches.append(scratch);
+        } else {
+            scratch.clear();
+        }
+        emitted
+    };
+    while let Ok(batch) = rx.recv() {
+        let batch_start = Instant::now();
+        for event in &batch {
+            let ev_start = Instant::now();
+            engine.process(event, &mut scratch);
+            match_count += drain(&mut engine, &mut scratch, &mut matches, ev_start);
+        }
+        events_routed += batch.len() as u64;
+        busy_ns += batch_start.elapsed().as_nanos() as u64;
+    }
+    let flush_start = Instant::now();
+    engine.flush(&mut scratch);
+    match_count += drain(&mut engine, &mut scratch, &mut matches, flush_start);
+    busy_ns += flush_start.elapsed().as_nanos() as u64;
+    engine.metrics_mut().wall_time_ns += busy_ns;
+    ShardOutcome {
+        matches,
+        match_count,
+        events_routed,
+        metrics: engine.metrics().clone(),
+    }
+}
+
+/// Sorts matches into the canonical deterministic order used to merge
+/// per-shard outputs: by emission watermark, then by the timestamp of the
+/// last contributing event, then by the bound `(position, serial numbers)`
+/// signature. The key identifies a match completely, so the order is total
+/// and independent of shard count — applying this sort to a
+/// single-threaded engine's output yields exactly what a sharded run
+/// returns whenever the query is partition-local.
+pub fn canonical_sort(matches: &mut [Match]) {
+    matches.sort_by_cached_key(|m| (m.emitted_at, m.last_ts, m.signature()));
+}

@@ -1,0 +1,334 @@
+//! Equivalence and determinism tests for the sharded runtime, following
+//! the naive-oracle harness pattern of `crates/tree/src/tests.rs`: the
+//! single-threaded engine (and, for plan-independent strategies, the naive
+//! oracle) is the ground truth the parallel runtime must reproduce.
+
+use crate::{canonical_sort, RoutingPolicy, ShardConfig, ShardedRuntime};
+use cep_core::compile::CompiledPattern;
+use cep_core::engine::{run_to_completion, Engine, EngineConfig, EngineFactory};
+use cep_core::event::{Event, TypeId};
+use cep_core::matches::Match;
+use cep_core::naive::NaiveEngine;
+use cep_core::pattern::{Pattern, PatternBuilder};
+use cep_core::predicate::{CmpOp, Predicate};
+use cep_core::selection::SelectionStrategy;
+use cep_core::stream::{EventStream, StreamBuilder};
+use cep_core::value::Value;
+use cep_nfa::NfaEngine;
+use cep_tree::TreeEngine;
+use proptest::prelude::*;
+
+fn t(i: u32) -> TypeId {
+    TypeId(i)
+}
+
+/// An event whose attribute 0 is the routing key; partition mirrors it.
+fn keyed_stream(events: Vec<(u32, u64, i64)>) -> EventStream {
+    let mut b = StreamBuilder::new();
+    for (tid, ts, key) in events {
+        b.push_partitioned(Event::new(t(tid), ts, vec![Value::Int(key)]), key as u32);
+    }
+    b.build()
+}
+
+/// `SEQ` of `n` types whose predicates equate attribute 0 across all
+/// positions — the partition-keyed query shape sharding is exact for.
+fn keyed_seq(n: usize, window: u64, strategy: SelectionStrategy) -> Pattern {
+    let mut b = PatternBuilder::new(window);
+    b.strategy(strategy);
+    let evs: Vec<_> = (0..n)
+        .map(|i| b.event(t(i as u32), &format!("e{i}")))
+        .collect();
+    for w in evs.windows(2) {
+        b.predicate(Predicate::attr_cmp(w[0].pos(), 0, CmpOp::Eq, w[1].pos(), 0));
+    }
+    b.seq(evs).unwrap()
+}
+
+fn nfa_factory(cp: CompiledPattern) -> impl EngineFactory {
+    move || {
+        Box::new(NfaEngine::with_trivial_plan(
+            cp.clone(),
+            EngineConfig::default(),
+        )) as Box<dyn Engine>
+    }
+}
+
+fn tree_factory(cp: CompiledPattern) -> impl EngineFactory {
+    move || {
+        Box::new(TreeEngine::with_trivial_plan(
+            cp.clone(),
+            EngineConfig::default(),
+        )) as Box<dyn Engine>
+    }
+}
+
+/// Single-threaded ground truth for a factory, in canonical merge order.
+fn single_threaded(factory: &dyn EngineFactory, stream: &EventStream) -> Vec<Match> {
+    let mut engine = factory.build();
+    let mut matches = run_to_completion(engine.as_mut(), stream, true).matches;
+    canonical_sort(&mut matches);
+    matches
+}
+
+/// Deterministic pseudo-random keyed workload (same LCG as the tree tests).
+fn lcg_workload(len: u64, types: u32, keys: i64, seed: u64) -> Vec<(u32, u64, i64)> {
+    let mut state = seed;
+    let mut ts = 0u64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let tid = ((state >> 33) % types as u64) as u32;
+            let key = ((state >> 20) % keys as u64) as i64;
+            ts += (state >> 50) % 3;
+            (tid, ts, key)
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_equals_single_threaded_for_every_exact_strategy() {
+    let stream = keyed_stream(lcg_workload(160, 3, 4, 0xC0FFEE));
+    for strategy in [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::StrictContiguity,
+        SelectionStrategy::PartitionContiguity,
+    ] {
+        let cp = CompiledPattern::compile_single(&keyed_seq(3, 12, strategy)).unwrap();
+        let factory = nfa_factory(cp);
+        let expected = single_threaded(&factory, &stream);
+        for policy in [RoutingPolicy::Partition, RoutingPolicy::HashAttr(0)] {
+            for shards in [1, 2, 3, 4] {
+                let r = ShardedRuntime::with_shards(shards).run(&factory, &stream, policy, true);
+                assert_eq!(
+                    r.matches, expected,
+                    "{strategy} under {policy} with {shards} shards diverged"
+                );
+                assert_eq!(r.match_count, expected.len() as u64);
+            }
+        }
+    }
+}
+
+/// Skip-till-next-match is *greedy*: an empty instance binds the first
+/// candidate event of any key, so its binding choices depend on how
+/// partitions interleave — they are interleaving-dependent even
+/// single-threaded (the strategy is already plan-dependent in the paper).
+/// Sharding therefore preserves next-match's per-shard greedy semantics,
+/// not the global run's exact bindings; what must survive is validity,
+/// event-disjointness across all shards, and per-configuration determinism.
+#[test]
+fn next_match_sharded_runs_are_valid_disjoint_and_deterministic() {
+    use cep_core::matches::validate_match;
+    let stream = keyed_stream(lcg_workload(160, 3, 4, 0xC0FFEE));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 12, SelectionStrategy::SkipTillNextMatch))
+            .unwrap();
+    let factory = nfa_factory(cp.clone());
+    for shards in [1, 2, 4] {
+        let r = ShardedRuntime::with_shards(shards).run(
+            &factory,
+            &stream,
+            RoutingPolicy::Partition,
+            true,
+        );
+        assert!(!r.matches.is_empty(), "fixture should produce matches");
+        let mut used = std::collections::HashSet::new();
+        for m in &r.matches {
+            validate_match(&cp, m).unwrap();
+            for e in m.events() {
+                assert!(used.insert(e.seq), "event reused across shards");
+            }
+        }
+        let again = ShardedRuntime::with_shards(shards).run(
+            &factory,
+            &stream,
+            RoutingPolicy::Partition,
+            true,
+        );
+        assert_eq!(r.matches, again.matches, "repeat runs must be identical");
+    }
+}
+
+#[test]
+fn any_match_sharded_run_agrees_with_naive_oracle() {
+    let stream = keyed_stream(lcg_workload(100, 3, 3, 0xBEEF));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
+    let mut expected = run_to_completion(&mut oracle, &stream, true).matches;
+    canonical_sort(&mut expected);
+    assert!(!expected.is_empty(), "fixture should produce matches");
+    let r = ShardedRuntime::with_shards(4).run(
+        &nfa_factory(cp),
+        &stream,
+        RoutingPolicy::Partition,
+        true,
+    );
+    assert_eq!(
+        r.matches.iter().map(|m| m.signature()).collect::<Vec<_>>(),
+        expected.iter().map(|m| m.signature()).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn shard_count_does_not_change_results() {
+    let stream = keyed_stream(lcg_workload(200, 3, 8, 7));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 15, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp);
+    let base =
+        ShardedRuntime::with_shards(1).run(&factory, &stream, RoutingPolicy::Partition, true);
+    assert!(!base.matches.is_empty(), "fixture should produce matches");
+    for shards in [2, 4, 8] {
+        let r = ShardedRuntime::with_shards(shards).run(
+            &factory,
+            &stream,
+            RoutingPolicy::Partition,
+            true,
+        );
+        assert_eq!(r.matches, base.matches, "{shards} shards diverged");
+    }
+    // Repeat runs are bit-identical too.
+    let again =
+        ShardedRuntime::with_shards(4).run(&factory, &stream, RoutingPolicy::Partition, true);
+    assert_eq!(again.matches, base.matches);
+}
+
+#[test]
+fn tiny_batches_and_queues_only_change_plumbing() {
+    let stream = keyed_stream(lcg_workload(120, 3, 4, 99));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp);
+    let expected = single_threaded(&factory, &stream);
+    let runtime = ShardedRuntime::new(ShardConfig {
+        shards: 3,
+        batch_size: 1,
+        queue_batches: 1,
+    });
+    let r = runtime.run(&factory, &stream, RoutingPolicy::HashAttr(0), true);
+    assert_eq!(r.matches, expected);
+}
+
+#[test]
+fn metrics_are_aggregated_across_shards() {
+    let stream = keyed_stream(lcg_workload(150, 3, 4, 5));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp);
+    let r = ShardedRuntime::with_shards(4).run(&factory, &stream, RoutingPolicy::Partition, true);
+    assert_eq!(r.metrics.events_processed, stream.len() as u64);
+    assert_eq!(
+        r.per_shard.iter().map(|s| s.events_routed).sum::<u64>(),
+        stream.len() as u64
+    );
+    assert_eq!(
+        r.per_shard.iter().map(|s| s.match_count).sum::<u64>(),
+        r.match_count
+    );
+    assert_eq!(r.match_count, r.matches.len() as u64);
+    assert!(r.metrics.wall_time_ns > 0);
+    assert!(r.metrics.throughput_eps() > 0.0);
+    // Peaks are per-shard maxima, not sums.
+    let peak = r
+        .per_shard
+        .iter()
+        .map(|s| s.metrics.peak_partial_matches)
+        .max()
+        .unwrap();
+    assert_eq!(r.metrics.peak_partial_matches, peak);
+}
+
+#[test]
+fn uncollected_runs_still_count_matches() {
+    let stream = keyed_stream(lcg_workload(150, 3, 4, 5));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp);
+    let collected =
+        ShardedRuntime::with_shards(2).run(&factory, &stream, RoutingPolicy::Partition, true);
+    let counted =
+        ShardedRuntime::with_shards(2).run(&factory, &stream, RoutingPolicy::Partition, false);
+    assert!(counted.matches.is_empty());
+    assert_eq!(counted.match_count, collected.match_count);
+}
+
+#[test]
+fn round_robin_is_exact_for_filter_patterns() {
+    // Single-element pattern: no joins, so splitting key groups is harmless.
+    let mut b = PatternBuilder::new(10);
+    let a = b.event(t(0), "a");
+    b.predicate(Predicate::attr_const(a.pos(), 0, CmpOp::Ge, Value::Int(3)));
+    let p = b.seq([a]).unwrap();
+    let cp = CompiledPattern::compile_single(&p).unwrap();
+    let stream = keyed_stream(lcg_workload(120, 2, 6, 11));
+    let factory = nfa_factory(cp);
+    let expected = single_threaded(&factory, &stream);
+    assert!(!expected.is_empty());
+    let r = ShardedRuntime::with_shards(4).run(&factory, &stream, RoutingPolicy::RoundRobin, true);
+    assert_eq!(r.matches, expected);
+}
+
+#[test]
+fn empty_stream_yields_empty_result() {
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(2, 10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let r = ShardedRuntime::with_shards(4).run(
+        &nfa_factory(cp),
+        &Vec::new(),
+        RoutingPolicy::Partition,
+        true,
+    );
+    assert!(r.matches.is_empty());
+    assert_eq!(r.match_count, 0);
+    assert_eq!(r.metrics.events_processed, 0);
+}
+
+proptest! {
+    /// The tentpole equivalence property: for random partitioned keyed
+    /// workloads, all three exact selection strategies, both exact routing
+    /// policies, and both engine families, the sharded match set equals the
+    /// single-threaded engine's. (Skip-till-next-match is greedy and
+    /// interleaving-dependent; see
+    /// `next_match_sharded_runs_are_valid_disjoint_and_deterministic`.)
+    #[test]
+    fn sharded_equals_single_threaded_on_random_workloads(
+        raw in prop::collection::vec((0u32..3, 0u64..3, 0i64..4), 1..70),
+        shards in 1usize..5,
+        strategy_idx in 0usize..3,
+        policy_idx in 0usize..2,
+    ) {
+        let strategy = [
+            SelectionStrategy::SkipTillAnyMatch,
+            SelectionStrategy::StrictContiguity,
+            SelectionStrategy::PartitionContiguity,
+        ][strategy_idx];
+        let policy = [RoutingPolicy::Partition, RoutingPolicy::HashAttr(0)][policy_idx];
+        let mut ts = 0u64;
+        let events: Vec<(u32, u64, i64)> = raw
+            .into_iter()
+            .map(|(tid, dt, key)| {
+                ts += dt;
+                (tid, ts, key)
+            })
+            .collect();
+        let stream = keyed_stream(events);
+        let cp = CompiledPattern::compile_single(&keyed_seq(3, 10, strategy)).unwrap();
+        let runtime = ShardedRuntime::with_shards(shards);
+        let nfa = nfa_factory(cp.clone());
+        let r = runtime.run(&nfa, &stream, policy, true);
+        prop_assert_eq!(r.matches, single_threaded(&nfa, &stream));
+        let tree = tree_factory(cp);
+        let r = runtime.run(&tree, &stream, policy, true);
+        prop_assert_eq!(r.matches, single_threaded(&tree, &stream));
+    }
+}

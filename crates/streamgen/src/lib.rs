@@ -18,6 +18,7 @@ pub mod workload;
 
 pub use stock::{
     GeneratedStream, StockConfig, StockStreamGenerator, SymbolSpec, ATTR_DIFFERENCE, ATTR_PRICE,
+    ATTR_REPLICA,
 };
 pub use workload::{
     analytic_measured_stats, analytic_selectivities, generate_pattern, generate_set,

@@ -29,6 +29,9 @@ use rand::{Rng, SeedableRng};
 pub const ATTR_PRICE: usize = 0;
 /// Attribute index of `difference` (current minus previous price).
 pub const ATTR_DIFFERENCE: usize = 1;
+/// Attribute index of `replica` in partition-replicated stock schemas
+/// (see [`StockStreamGenerator::generate_replicated`]).
+pub const ATTR_REPLICA: usize = 2;
 
 /// One stock symbol's generation parameters.
 #[derive(Debug, Clone)]
@@ -137,6 +140,9 @@ pub struct GeneratedStream {
     pub type_ids: Vec<TypeId>,
     /// The symbol specs (for analytic statistics).
     pub symbols: Vec<SymbolSpec>,
+    /// Number of interleaved partition replicas; 1 for plain generation.
+    /// Per-type arrival rates scale linearly with this factor.
+    pub replicas: u32,
 }
 
 impl StockStreamGenerator {
@@ -158,42 +164,117 @@ impl StockStreamGenerator {
             )?;
             type_ids.push(id);
         }
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        // Draw all arrivals, then merge by timestamp.
-        let mut arrivals: Vec<(u64, usize)> = Vec::new();
-        for (i, s) in config.symbols.iter().enumerate() {
-            let rate_ms = s.rate_per_ms();
-            if rate_ms <= 0.0 {
-                continue;
-            }
-            let mut t = 0.0f64;
-            loop {
-                // Exponential inter-arrival via inverse transform.
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                t += -u.ln() / rate_ms;
-                if t >= config.duration_ms as f64 {
-                    break;
-                }
-                arrivals.push((t as u64, i));
+        let mut builder = StreamBuilder::new();
+        for (i, event) in synthesize(config, config.seed, &type_ids) {
+            builder.push_partitioned(event, i as u32);
+        }
+        Ok(GeneratedStream {
+            stream: builder.build(),
+            type_ids,
+            symbols: config.symbols.clone(),
+            replicas: 1,
+        })
+    }
+
+    /// Generates `replicas` statistically identical copies of the configured
+    /// stock stream (same symbol specs, decorrelated seeds), interleaves
+    /// them by timestamp, and tags every event with its replica: partition
+    /// id and a third `replica` attribute ([`ATTR_REPLICA`]).
+    ///
+    /// This is the substrate for sharded evaluation experiments: each
+    /// replica is an independent sub-market, so a query whose predicates
+    /// equate `replica` across all positions (or that runs under partition
+    /// contiguity) is *partition-local* — every match lies inside one
+    /// replica — and a partition-routed sharded run detects exactly the
+    /// single-threaded match set, for any shard count.
+    pub fn generate_replicated(
+        config: &StockConfig,
+        replicas: u32,
+        catalog: &mut Catalog,
+    ) -> Result<GeneratedStream, CepError> {
+        assert!(replicas >= 1, "need at least one replica");
+        let mut type_ids = Vec::with_capacity(config.symbols.len());
+        for s in &config.symbols {
+            let id = catalog.add_type(
+                &s.name,
+                &[
+                    ("price", ValueKind::Float),
+                    ("difference", ValueKind::Float),
+                    ("replica", ValueKind::Int),
+                ],
+            )?;
+            type_ids.push(id);
+        }
+        // Tagged events from every replica, concatenated in replica order,
+        // then stably sorted: within one replica the synthesized order is
+        // preserved, and equal-ts events across replicas order by replica.
+        let mut tagged: Vec<(u32, Event)> = Vec::new();
+        for r in 0..replicas {
+            let seed = config
+                .seed
+                .wrapping_add((r as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            for (_, mut event) in synthesize(config, seed, &type_ids) {
+                event.attrs.push(Value::Int(r as i64));
+                tagged.push((r, event));
             }
         }
-        arrivals.sort_unstable();
-        // Gaussian walk per symbol (Box–Muller).
-        let mut prices: Vec<f64> = config.symbols.iter().map(|s| s.start_price).collect();
+        tagged.sort_by_key(|(_, e)| e.ts);
         let mut builder = StreamBuilder::new();
-        let mut spare: Option<f64> = None;
-        let mut next_gauss = |rng: &mut StdRng| -> f64 {
-            if let Some(z) = spare.take() {
-                return z;
+        for (r, event) in tagged {
+            builder.push_partitioned(event, r);
+        }
+        Ok(GeneratedStream {
+            stream: builder.build(),
+            type_ids,
+            symbols: config.symbols.clone(),
+            replicas,
+        })
+    }
+}
+
+/// Synthesizes one stock stream: Poisson arrivals per symbol merged by
+/// timestamp, with a Gaussian price-difference walk per symbol. Returns
+/// `(symbol index, event)` pairs in `ts` order, without stream coordinates;
+/// events carry the `(price, difference)` attributes only (the caller
+/// appends extras).
+fn synthesize(config: &StockConfig, seed: u64, type_ids: &[TypeId]) -> Vec<(usize, Event)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Draw all arrivals, then merge by timestamp.
+    let mut arrivals: Vec<(u64, usize)> = Vec::new();
+    for (i, s) in config.symbols.iter().enumerate() {
+        let rate_ms = s.rate_per_ms();
+        if rate_ms <= 0.0 {
+            continue;
+        }
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival via inverse transform.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate_ms;
+            if t >= config.duration_ms as f64 {
+                break;
             }
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let r = (-2.0 * u1.ln()).sqrt();
-            let theta = 2.0 * std::f64::consts::PI * u2;
-            spare = Some(r * theta.sin());
-            r * theta.cos()
-        };
-        for (ts, i) in arrivals {
+            arrivals.push((t as u64, i));
+        }
+    }
+    arrivals.sort_unstable();
+    // Gaussian walk per symbol (Box–Muller).
+    let mut prices: Vec<f64> = config.symbols.iter().map(|s| s.start_price).collect();
+    let mut spare: Option<f64> = None;
+    let mut next_gauss = |rng: &mut StdRng| -> f64 {
+        if let Some(z) = spare.take() {
+            return z;
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        spare = Some(r * theta.sin());
+        r * theta.cos()
+    };
+    arrivals
+        .into_iter()
+        .map(|(ts, i)| {
             let spec = &config.symbols[i];
             let diff = spec.drift + spec.volatility * next_gauss(&mut rng);
             prices[i] = (prices[i] + diff).max(0.01);
@@ -202,14 +283,9 @@ impl StockStreamGenerator {
                 ts,
                 vec![Value::Float(prices[i]), Value::Float(diff)],
             );
-            builder.push_partitioned(event, i as u32);
-        }
-        Ok(GeneratedStream {
-            stream: builder.build(),
-            type_ids,
-            symbols: config.symbols.clone(),
+            (i, event)
         })
-    }
+        .collect()
 }
 
 #[cfg(test)]
@@ -330,6 +406,47 @@ mod tests {
         // Should roughly cover the paper's 0.002..0.88 spread.
         assert!(lo < 0.05, "min selectivity {lo}");
         assert!(hi > 0.8, "max selectivity {hi}");
+    }
+
+    #[test]
+    fn replicated_stream_interleaves_partitions() {
+        let mut cat = Catalog::new();
+        let g = StockStreamGenerator::generate_replicated(&small_config(), 4, &mut cat).unwrap();
+        assert_eq!(g.replicas, 4);
+        // Schema gained the replica attribute.
+        assert!(g.stream.iter().all(|e| e.attrs.len() == 3));
+        // Partition == replica attribute, and all four replicas are present.
+        let mut seen = std::collections::HashSet::new();
+        for e in &g.stream {
+            assert_eq!(e.attrs[ATTR_REPLICA], Value::Int(e.partition as i64));
+            seen.insert(e.partition);
+        }
+        assert_eq!(seen.len(), 4);
+        // Globally ts-ordered with monotone seq.
+        for w in g.stream.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+            assert!(w[0].seq < w[1].seq);
+        }
+        // Replicas are decorrelated copies of the same process: roughly
+        // equal event counts, not identical streams.
+        let count = |p: u32| g.stream.iter().filter(|e| e.partition == p).count();
+        let (c0, c1) = (count(0), count(1));
+        assert!(c0 > 0 && c1 > 0);
+        assert!((c0 as f64 - c1 as f64).abs() < 0.5 * c0 as f64);
+    }
+
+    #[test]
+    fn replicated_generation_is_deterministic_per_seed() {
+        let mut c1 = Catalog::new();
+        let mut c2 = Catalog::new();
+        let g1 = StockStreamGenerator::generate_replicated(&small_config(), 3, &mut c1).unwrap();
+        let g2 = StockStreamGenerator::generate_replicated(&small_config(), 3, &mut c2).unwrap();
+        assert_eq!(g1.stream.len(), g2.stream.len());
+        for (a, b) in g1.stream.iter().zip(&g2.stream) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.partition, b.partition);
+            assert_eq!(a.attrs, b.attrs);
+        }
     }
 
     #[test]

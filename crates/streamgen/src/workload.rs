@@ -342,11 +342,12 @@ pub fn analytic_selectivities(cp: &CompiledPattern, gen: &GeneratedStream) -> Ve
 }
 
 /// Analytic type-level statistics (exact configured rates instead of
-/// measured ones).
+/// measured ones). Partition-replicated streams interleave `replicas`
+/// independent copies, so each type's arrival rate scales accordingly.
 pub fn analytic_measured_stats(gen: &GeneratedStream) -> MeasuredStats {
     let mut m = MeasuredStats::default();
     for (i, s) in gen.symbols.iter().enumerate() {
-        m.set_rate(gen.type_ids[i], s.rate_per_ms());
+        m.set_rate(gen.type_ids[i], s.rate_per_ms() * gen.replicas as f64);
     }
     m
 }

@@ -51,13 +51,15 @@ pub use cep_core as core;
 pub use cep_nfa as nfa;
 pub use cep_optimizer as optimizer;
 pub use cep_sase as sase;
+pub use cep_shard as shard;
 pub use cep_streamgen as streamgen;
 pub use cep_tree as tree;
 
 use cep_core::compile::CompiledPattern;
-use cep_core::engine::{Engine, EngineConfig, MultiEngine};
+use cep_core::engine::{Engine, EngineConfig, EngineFactory, MultiEngine};
 use cep_core::error::CepError;
 use cep_core::pattern::Pattern;
+use cep_core::plan::{OrderPlan, TreePlan};
 use cep_nfa::NfaEngine;
 use cep_optimizer::{OrderAlgorithm, Planner, TreeAlgorithm};
 use cep_streamgen::{analytic_measured_stats, analytic_selectivities, GeneratedStream};
@@ -70,8 +72,110 @@ pub mod prelude {
     pub use cep_optimizer::planner::{LatencyAnchor, Planner, PlannerConfig};
     pub use cep_optimizer::{OrderAlgorithm, TreeAlgorithm};
     pub use cep_sase::parse_pattern;
+    pub use cep_shard::{RoutingPolicy, ShardConfig, ShardedRuntime};
     pub use cep_streamgen::{PatternSetKind, StockConfig, StockStreamGenerator};
     pub use cep_tree::TreeEngine;
+}
+
+/// Per-branch evaluation plans shared by the engines a factory stamps out.
+enum BranchPlans {
+    Order(Vec<(CompiledPattern, OrderPlan)>),
+    Tree(Vec<(CompiledPattern, TreePlan)>),
+}
+
+/// An [`EngineFactory`] over pre-validated branch plans: plan once, build
+/// fresh engines any number of times (one per worker shard, typically).
+/// Disjunctions build a [`MultiEngine`] over the DNF branches, exactly as
+/// [`build_nfa_engine`] / [`build_tree_engine`] do.
+struct PlannedFactory {
+    branches: BranchPlans,
+    window: u64,
+    config: EngineConfig,
+}
+
+impl EngineFactory for PlannedFactory {
+    fn build(&self) -> Box<dyn Engine> {
+        // `PlannedFactory` is only ever constructed with plans the planner
+        // produced for these very compiled patterns, so engine
+        // construction cannot fail.
+        let mut engines: Vec<Box<dyn Engine>> = match &self.branches {
+            BranchPlans::Order(branches) => branches
+                .iter()
+                .map(|(cp, plan)| {
+                    Box::new(
+                        NfaEngine::new(cp.clone(), plan.clone(), self.config.clone())
+                            .expect("pre-validated plan"),
+                    ) as Box<dyn Engine>
+                })
+                .collect(),
+            BranchPlans::Tree(branches) => branches
+                .iter()
+                .map(|(cp, plan)| {
+                    Box::new(
+                        TreeEngine::new(cp.clone(), plan.clone(), self.config.clone())
+                            .expect("pre-validated plan"),
+                    ) as Box<dyn Engine>
+                })
+                .collect(),
+        };
+        if engines.len() == 1 {
+            engines.pop().expect("one engine")
+        } else {
+            Box::new(MultiEngine::new(engines, self.window))
+        }
+    }
+}
+
+/// Plans every DNF branch of `pattern` with `algorithm` (using the
+/// generated stream's analytic statistics) and returns a factory that
+/// stamps out order-based (NFA) engines for the result — the input a
+/// sharded runtime ([`cep_shard::ShardedRuntime`]) needs, where each
+/// worker builds its own engine from the shared plan.
+pub fn nfa_engine_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: OrderAlgorithm,
+    config: EngineConfig,
+) -> Result<Box<dyn EngineFactory>, CepError> {
+    let planner = Planner::default();
+    let measured = analytic_measured_stats(gen);
+    let compiled = CompiledPattern::compile(pattern)?;
+    let mut branches = Vec::with_capacity(compiled.len());
+    for cp in compiled {
+        let sels = analytic_selectivities(&cp, gen);
+        let stats = planner.stats_for(&cp, &measured, &sels)?;
+        let plan = planner.plan_order(&cp, &stats, algorithm)?;
+        branches.push((cp, plan));
+    }
+    Ok(Box::new(PlannedFactory {
+        branches: BranchPlans::Order(branches),
+        window: pattern.window,
+        config,
+    }))
+}
+
+/// Tree-based counterpart of [`nfa_engine_factory`].
+pub fn tree_engine_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: TreeAlgorithm,
+    config: EngineConfig,
+) -> Result<Box<dyn EngineFactory>, CepError> {
+    let planner = Planner::default();
+    let measured = analytic_measured_stats(gen);
+    let compiled = CompiledPattern::compile(pattern)?;
+    let mut branches = Vec::with_capacity(compiled.len());
+    for cp in compiled {
+        let sels = analytic_selectivities(&cp, gen);
+        let stats = planner.stats_for(&cp, &measured, &sels)?;
+        let plan = planner.plan_tree(&cp, &stats, algorithm)?;
+        branches.push((cp, plan));
+    }
+    Ok(Box::new(PlannedFactory {
+        branches: BranchPlans::Tree(branches),
+        window: pattern.window,
+        config,
+    }))
 }
 
 /// Builds an order-based (NFA) engine for `pattern`, planning every DNF
@@ -83,21 +187,7 @@ pub fn build_nfa_engine(
     algorithm: OrderAlgorithm,
     config: EngineConfig,
 ) -> Result<Box<dyn Engine>, CepError> {
-    let planner = Planner::default();
-    let measured = analytic_measured_stats(gen);
-    let branches = CompiledPattern::compile(pattern)?;
-    let mut engines: Vec<Box<dyn Engine>> = Vec::with_capacity(branches.len());
-    for cp in branches {
-        let sels = analytic_selectivities(&cp, gen);
-        let stats = planner.stats_for(&cp, &measured, &sels)?;
-        let plan = planner.plan_order(&cp, &stats, algorithm)?;
-        engines.push(Box::new(NfaEngine::new(cp, plan, config.clone())?));
-    }
-    Ok(if engines.len() == 1 {
-        engines.pop().expect("one engine")
-    } else {
-        Box::new(MultiEngine::new(engines, pattern.window))
-    })
+    Ok(nfa_engine_factory(pattern, gen, algorithm, config)?.build())
 }
 
 /// Builds a tree-based engine for `pattern` (see [`build_nfa_engine`]).
@@ -107,19 +197,5 @@ pub fn build_tree_engine(
     algorithm: TreeAlgorithm,
     config: EngineConfig,
 ) -> Result<Box<dyn Engine>, CepError> {
-    let planner = Planner::default();
-    let measured = analytic_measured_stats(gen);
-    let branches = CompiledPattern::compile(pattern)?;
-    let mut engines: Vec<Box<dyn Engine>> = Vec::with_capacity(branches.len());
-    for cp in branches {
-        let sels = analytic_selectivities(&cp, gen);
-        let stats = planner.stats_for(&cp, &measured, &sels)?;
-        let plan = planner.plan_tree(&cp, &stats, algorithm)?;
-        engines.push(Box::new(TreeEngine::new(cp, plan, config.clone())?));
-    }
-    Ok(if engines.len() == 1 {
-        engines.pop().expect("one engine")
-    } else {
-        Box::new(MultiEngine::new(engines, pattern.window))
-    })
+    Ok(tree_engine_factory(pattern, gen, algorithm, config)?.build())
 }

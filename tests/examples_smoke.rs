@@ -146,6 +146,98 @@ fn fraud_detection_core_path_matches() {
     );
 }
 
+/// `examples/sharded_fraud.rs`: on a pinned deterministic multi-account
+/// stream, the sharded runtime returns byte-identical match vectors to the
+/// single-threaded engine for 1 and 4 shards, under both hash-by-account
+/// and partition routing.
+#[test]
+fn sharded_fraud_core_path_matches() {
+    use cep::core::engine::{Engine, EngineFactory};
+    use cep::shard::canonical_sort;
+
+    let mut catalog = Catalog::new();
+    let small = catalog
+        .add_type(
+            "SmallTxn",
+            &[("account", ValueKind::Int), ("amount", ValueKind::Float)],
+        )
+        .unwrap();
+    let verify = catalog
+        .add_type("Verify", &[("account", ValueKind::Int)])
+        .unwrap();
+    let withdraw = catalog
+        .add_type(
+            "Withdrawal",
+            &[("account", ValueKind::Int), ("amount", ValueKind::Float)],
+        )
+        .unwrap();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(KL(SmallTxn s), NOT(Verify v), Withdrawal w)
+         WHERE (s.account == w.account AND v.account == w.account
+                AND s.amount < 50 AND w.amount >= 500)
+         WITHIN 30 s",
+        &catalog,
+    )
+    .unwrap();
+
+    // Fewer accounts than the example, staggered the same way so the
+    // Kleene power-set stays small in debug builds.
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut timeline: Vec<(u64, Event)> = Vec::new();
+    for account in 0..16i64 {
+        let fraudulent = account % 3 == 0;
+        let mut ts = account as u64 * 20_000 + rng.gen_range(0..5_000u64);
+        for _ in 0..2 {
+            ts += rng.gen_range(200..2_000);
+            timeline.push((
+                ts,
+                Event::new(small, ts, vec![Value::Int(account), Value::Float(9.99)]),
+            ));
+        }
+        if !fraudulent {
+            ts += rng.gen_range(200..2_000);
+            timeline.push((ts, Event::new(verify, ts, vec![Value::Int(account)])));
+        }
+        ts += rng.gen_range(200..2_000);
+        timeline.push((
+            ts,
+            Event::new(withdraw, ts, vec![Value::Int(account), Value::Float(900.0)]),
+        ));
+    }
+    timeline.sort_by_key(|(ts, _)| *ts);
+    let mut sb = StreamBuilder::new();
+    for (_, event) in timeline {
+        let account = match event.attr(0) {
+            Some(Value::Int(a)) => *a as u32,
+            _ => unreachable!(),
+        };
+        sb.push_partitioned(event, account);
+    }
+    let stream = sb.build();
+
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let cfg = EngineConfig {
+        max_kleene_events: 8,
+        ..Default::default()
+    };
+    let factory =
+        move || Box::new(NfaEngine::with_trivial_plan(cp.clone(), cfg.clone())) as Box<dyn Engine>;
+    let mut engine = EngineFactory::build(&factory);
+    let mut baseline = run_to_completion(engine.as_mut(), &stream, true);
+    canonical_sort(&mut baseline.matches);
+    assert!(baseline.match_count >= 1, "fraud pattern must alert");
+
+    for policy in [RoutingPolicy::HashAttr(0), RoutingPolicy::Partition] {
+        for shards in [1, 4] {
+            let r = ShardedRuntime::with_shards(shards).run(&factory, &stream, policy, true);
+            assert_eq!(
+                r.matches, baseline.matches,
+                "{policy} with {shards} shards must reproduce the single-threaded alerts"
+            );
+        }
+    }
+}
+
 /// `examples/stock_correlation.rs`: every order algorithm and every tree
 /// algorithm plans the conjunction pattern and all agree on a non-empty
 /// match count.
