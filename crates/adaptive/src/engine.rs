@@ -1,0 +1,389 @@
+//! The adaptive engine wrapper: drift detection, exact hot swap, replay.
+
+use cep_core::engine::{Engine, EngineFactory};
+use cep_core::event::{EventRef, Timestamp};
+use cep_core::matches::Match;
+use cep_core::metrics::EngineMetrics;
+use cep_core::stats::MeasuredStats;
+use cep_optimizer::StatsMonitor;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How often (in processed events) the aggregate metrics view is rebuilt
+/// from the active engine; keeps the per-event hot path free of the
+/// 17-field rebuild (the view is always refreshed at swap and flush).
+const REFRESH_EVERY: u64 = 64;
+
+/// Canonical match identity (see [`Match::signature`]).
+type Sig = Vec<(usize, Vec<u64>)>;
+
+/// Knobs of the detect → replan → swap loop.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Sliding horizon of the arrival-rate monitor, in stream milliseconds.
+    pub horizon_ms: u64,
+    /// Relative rate deviation that counts as drift (0.5 = ±50%).
+    pub drift_threshold: f64,
+    /// Drift is checked every `check_every` processed events. Checking per
+    /// event would put a map scan on the hot path for no benefit — rates
+    /// move on window timescales, not event timescales.
+    pub check_every: u64,
+    /// Minimum number of events between two swaps. A swap replays up to a
+    /// full window of events; the cooldown keeps a noisy boundary from
+    /// thrashing plan builds faster than they can pay off.
+    pub cooldown_events: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            horizon_ms: 10_000,
+            drift_threshold: 0.5,
+            check_every: 256,
+            cooldown_events: 1024,
+        }
+    }
+}
+
+/// Rebuilds evaluation plans from live rate estimates and stamps out
+/// engines for the current plan — the planning half of the adaptive loop.
+///
+/// [`AdaptiveEngine`] is generic over this trait rather than over a
+/// concrete engine type: what varies per deployment is not the engine
+/// (always a `Box<dyn Engine>` so order- and tree-based evaluators swap
+/// uniformly) but *how plans are rebuilt* — which algorithm, which
+/// selectivities, whether an output profiler feeds the latency anchor.
+/// See [`crate::PlanReplanner`] for the full planner-backed implementation.
+pub trait Replanner: Send {
+    /// Builds a fresh engine, positioned at stream start, from the current
+    /// plan.
+    fn build(&self) -> Box<dyn Engine>;
+
+    /// Re-derives the plan from fresh arrival-rate estimates. Returns
+    /// `true` when the plan changed (the caller then hot-swaps engines).
+    /// Implementations must keep the previous plan on planning errors —
+    /// a live engine never goes down because one replan failed.
+    fn replan(&mut self, rates: &MeasuredStats) -> bool;
+
+    /// Observes an emitted match (e.g. to feed an output profiler).
+    fn observe_match(&mut self, _m: &Match) {}
+
+    /// Whether the pattern's selection strategy consumes events on
+    /// emission (skip-till-next-match). When true, the adaptive wrapper
+    /// migrates consumption state across swaps: events bound by an emitted
+    /// match are remembered for one window and later emissions reusing
+    /// them are suppressed, keeping the output event-disjoint even though
+    /// a freshly swapped engine starts with no consumption memory.
+    fn consumes(&self) -> bool {
+        false
+    }
+}
+
+/// An [`Engine`] that replans itself while running.
+///
+/// See the crate docs for the swap protocol and the exactness guarantee.
+/// The wrapper retains the last pattern window of input events; on drift it
+/// builds a fresh engine from the replanner's new plan, replays the
+/// retained window into it, and suppresses replayed re-emissions through a
+/// signature dedup, so downstream consumers never see a duplicate or a gap.
+pub struct AdaptiveEngine<R: Replanner> {
+    inner: Box<dyn Engine>,
+    replanner: R,
+    monitor: StatsMonitor,
+    /// Window-bounded replay buffer: every event with
+    /// `ts ≥ watermark − window`, in arrival order.
+    retained: VecDeque<EventRef>,
+    /// Signatures of emitted matches, remembered for one window length
+    /// (everything a replay could re-emit), tagged with their max event ts.
+    /// An append-only deque — emissions are already in non-decreasing
+    /// watermark order — so normal operation pays one push per match; the
+    /// set a replay filters against is only materialized at swap time.
+    recent: VecDeque<(Timestamp, Sig)>,
+    /// Whether the replanner's strategy consumes events (cached).
+    consumes: bool,
+    /// Serial numbers of events consumed by emitted matches, remembered
+    /// for one window; only populated when [`Self::consumes`] is set (see
+    /// [`Replanner::consumes`]).
+    consumed: HashMap<u64, Timestamp>,
+    window: u64,
+    cfg: AdaptiveConfig,
+    /// Combined counters of engines retired by past swaps.
+    retired: EngineMetrics,
+    /// Aggregate metrics presented to callers; also stores this wrapper's
+    /// own counters (events, emissions, swap/replay accounting, timing).
+    metrics: EngineMetrics,
+    watermark: Timestamp,
+    events_since_swap: u64,
+}
+
+impl<R: Replanner> AdaptiveEngine<R> {
+    /// Wraps the replanner's current-plan engine; `window` is the pattern
+    /// window in stream milliseconds (bounds the retained replay buffer).
+    pub fn new(replanner: R, window: u64, cfg: AdaptiveConfig) -> AdaptiveEngine<R> {
+        assert!(cfg.check_every >= 1, "check_every must be positive");
+        let inner = replanner.build();
+        let consumes = replanner.consumes();
+        let monitor = StatsMonitor::new(cfg.horizon_ms, cfg.drift_threshold);
+        let events_since_swap = cfg.cooldown_events; // first swap is not throttled
+        AdaptiveEngine {
+            inner,
+            replanner,
+            monitor,
+            retained: VecDeque::new(),
+            recent: VecDeque::new(),
+            consumes,
+            consumed: HashMap::new(),
+            window,
+            cfg,
+            retired: EngineMetrics::new(),
+            metrics: EngineMetrics::new(),
+            watermark: 0,
+            events_since_swap,
+        }
+    }
+
+    /// The replanner (e.g. to inspect the current plan).
+    pub fn replanner(&self) -> &R {
+        &self.replanner
+    }
+
+    /// Plan swaps performed so far.
+    pub fn swaps(&self) -> u64 {
+        self.metrics.plan_swaps
+    }
+
+    /// Events currently held in the retained replay window.
+    pub fn retained_len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Records emissions (signature for future replay dedup; consumption
+    /// state for consuming strategies) and forwards them downstream. A
+    /// single engine never emits duplicates between swaps, so the normal
+    /// path only *appends* — membership is checked exclusively against the
+    /// swap-time snapshot in [`Self::swap`].
+    fn emit(&mut self, staged: Vec<Match>, out: &mut Vec<Match>) {
+        for m in staged {
+            if self.consumes {
+                // A freshly swapped engine has no memory of what its
+                // predecessor consumed; suppress emissions that would
+                // re-bind a consumed event and record the rest.
+                if m.events().any(|e| self.consumed.contains_key(&e.seq)) {
+                    continue;
+                }
+                for e in m.events() {
+                    self.consumed.insert(e.seq, e.ts);
+                }
+            }
+            self.recent.push_back((m.max_ts(), m.signature()));
+            self.replanner.observe_match(&m);
+            self.metrics.matches_emitted += 1;
+            out.push(m);
+        }
+    }
+
+    /// Folds a retired engine's counters into the sequential accumulator:
+    /// work counters add; live-state peaks take the maximum, because
+    /// retired engines and the active one run one after another on the
+    /// same thread (their peaks never coexist).
+    fn retire(&mut self, m: &EngineMetrics) {
+        self.retired.events_relevant += m.events_relevant;
+        self.retired.partial_matches_created += m.partial_matches_created;
+        self.retired.predicate_evaluations += m.predicate_evaluations;
+        self.retired.peak_partial_matches = self
+            .retired
+            .peak_partial_matches
+            .max(m.peak_partial_matches);
+        self.retired.peak_buffered_events = self
+            .retired
+            .peak_buffered_events
+            .max(m.peak_buffered_events);
+        self.retired.peak_memory_bytes = self.retired.peak_memory_bytes.max(m.peak_memory_bytes);
+    }
+
+    /// Rebuilds the aggregate metrics: this wrapper's own counters plus the
+    /// retired engines' accumulator plus the active engine's state.
+    fn refresh_metrics(&mut self) {
+        let mut agg = EngineMetrics::new();
+        agg.events_processed = self.metrics.events_processed;
+        agg.matches_emitted = self.metrics.matches_emitted;
+        agg.wall_time_ns = self.metrics.wall_time_ns;
+        agg.match_latency_ns_total = self.metrics.match_latency_ns_total;
+        agg.plan_swaps = self.metrics.plan_swaps;
+        agg.replayed_events = self.metrics.replayed_events;
+        agg.replay_time_ns = self.metrics.replay_time_ns;
+        agg.retained_events = self.retained.len();
+        agg.peak_retained_events = self.metrics.peak_retained_events.max(self.retained.len());
+        let inner = self.inner.metrics();
+        agg.events_relevant = self.retired.events_relevant + inner.events_relevant;
+        agg.partial_matches_created =
+            self.retired.partial_matches_created + inner.partial_matches_created;
+        agg.predicate_evaluations =
+            self.retired.predicate_evaluations + inner.predicate_evaluations;
+        agg.live_partial_matches = inner.live_partial_matches;
+        agg.buffered_events = inner.buffered_events;
+        agg.peak_partial_matches = self
+            .retired
+            .peak_partial_matches
+            .max(inner.peak_partial_matches);
+        agg.peak_buffered_events = self
+            .retired
+            .peak_buffered_events
+            .max(inner.peak_buffered_events);
+        agg.peak_memory_bytes = self.retired.peak_memory_bytes.max(inner.peak_memory_bytes);
+        self.metrics = agg;
+    }
+
+    /// Hot swap: build a fresh engine from the replanner's new plan, replay
+    /// the retained window, suppress re-emissions. The old engine is
+    /// dropped **without flushing**: anything it still held deferred (e.g.
+    /// matches awaiting a trailing-negation watermark) is reconstructed —
+    /// and still correctly gated by future events — inside the new engine,
+    /// whereas flushing would emit those matches as if the stream ended.
+    fn swap(&mut self, out: &mut Vec<Match>) {
+        let fresh = self.replanner.build();
+        let old = std::mem::replace(&mut self.inner, fresh);
+        self.retire(old.metrics());
+        drop(old);
+        let replay_start = Instant::now();
+        let mut staged = Vec::new();
+        for event in &self.retained {
+            self.inner.process(event, &mut staged);
+        }
+        self.metrics.replay_time_ns += replay_start.elapsed().as_nanos() as u64;
+        self.metrics.replayed_events += self.retained.len() as u64;
+        self.metrics.plan_swaps += 1;
+        self.events_since_swap = 0;
+        // Suppress replayed re-detections of matches already emitted
+        // pre-swap. For the exact strategies that is every replayed
+        // completion; emitting survivors keeps the wrapper conservative
+        // rather than silently dropping them.
+        let survivors: Vec<Match> = {
+            let seen: std::collections::HashSet<&Sig> =
+                self.recent.iter().map(|(_, sig)| sig).collect();
+            staged
+                .into_iter()
+                .filter(|m| !seen.contains(&m.signature()))
+                .collect()
+        };
+        self.emit(survivors, out);
+        self.refresh_metrics();
+    }
+
+    /// Periodic drift check; replans and swaps when warranted. Without a
+    /// baseline yet (first check), calibrates instead: adopts the measured
+    /// rates and replans once, so an engine bootstrapped from wrong a
+    /// priori statistics corrects itself within `check_every` events.
+    fn maybe_replan(&mut self, out: &mut Vec<Match>) {
+        if !self
+            .metrics
+            .events_processed
+            .is_multiple_of(self.cfg.check_every)
+            || self.events_since_swap < self.cfg.cooldown_events
+        {
+            return;
+        }
+        if self.monitor.has_baseline() && !self.monitor.drifted() {
+            return;
+        }
+        let mut rates = MeasuredStats::default();
+        for (ty, rate) in self.monitor.rates() {
+            rates.set_rate(ty, rate);
+        }
+        let changed = self.replanner.replan(&rates);
+        self.monitor.rebaseline();
+        if changed {
+            self.swap(out);
+        }
+    }
+}
+
+impl<R: Replanner> Engine for AdaptiveEngine<R> {
+    fn process(&mut self, event: &EventRef, out: &mut Vec<Match>) {
+        self.metrics.events_processed += 1;
+        self.events_since_swap = self.events_since_swap.saturating_add(1);
+        self.watermark = self.watermark.max(event.ts);
+        self.monitor.observe(event);
+        self.retained.push_back(Arc::clone(event));
+        // Evict strictly below `watermark − window`: an event exactly one
+        // window old can still share a match with an event at the
+        // watermark (span == window is within the pattern window).
+        let keep_from = self.watermark.saturating_sub(self.window);
+        while self.retained.front().is_some_and(|e| e.ts < keep_from) {
+            self.retained.pop_front();
+        }
+        // A replay can only re-emit matches whose events all lie in the
+        // retained window, so older signatures can never recur. Emissions
+        // are pushed in near-watermark order (deferred emissions lag by at
+        // most a window), so trimming the front is enough: a stale entry
+        // stuck behind a fresher one is over-retention, never a miss.
+        while self.recent.front().is_some_and(|(ts, _)| *ts < keep_from) {
+            self.recent.pop_front();
+        }
+        self.metrics.record_retained(self.retained.len());
+        let mut staged = Vec::new();
+        self.inner.process(event, &mut staged);
+        self.emit(staged, out);
+        if self.consumes && self.metrics.events_processed.is_multiple_of(REFRESH_EVERY) {
+            // Consumption marks on events older than the window can never
+            // be re-bound by a replay.
+            self.consumed.retain(|_, &mut ts| ts >= keep_from);
+        }
+        self.maybe_replan(out);
+        if self.metrics.events_processed.is_multiple_of(REFRESH_EVERY) {
+            self.refresh_metrics();
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<Match>) {
+        let mut staged = Vec::new();
+        self.inner.flush(&mut staged);
+        self.emit(staged, out);
+        self.refresh_metrics();
+    }
+
+    fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+/// Stamps out independent [`AdaptiveEngine`]s from a shared replanner
+/// prototype — the input a sharded runtime needs: each worker's engine
+/// clones the replanner and thereafter monitors, replans, and swaps on its
+/// *own* slice of the stream, entirely independently of its siblings.
+pub struct AdaptiveFactory<R: Replanner + Clone + Sync> {
+    replanner: R,
+    window: u64,
+    config: AdaptiveConfig,
+}
+
+impl<R: Replanner + Clone + Sync> AdaptiveFactory<R> {
+    /// Factory over a replanner prototype; see [`AdaptiveEngine::new`] for
+    /// the parameters.
+    pub fn new(replanner: R, window: u64, config: AdaptiveConfig) -> AdaptiveFactory<R> {
+        AdaptiveFactory {
+            replanner,
+            window,
+            config,
+        }
+    }
+}
+
+impl<R: Replanner + Clone + Sync + 'static> EngineFactory for AdaptiveFactory<R> {
+    fn build(&self) -> Box<dyn Engine> {
+        Box::new(AdaptiveEngine::new(
+            self.replanner.clone(),
+            self.window,
+            self.config.clone(),
+        ))
+    }
+}

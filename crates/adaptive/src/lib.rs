@@ -1,0 +1,66 @@
+//! # cep-adaptive
+//!
+//! Live plan swap with state migration: the detect → replan → swap loop
+//! the paper defers to its companion work (Section 6.3), closed inside a
+//! running engine. This is the adaptive direction of the streaming-join
+//! optimizers in the related work (Dossinger & Michel, arXiv:2104.07742,
+//! re-optimize join orders online; Idris et al., arXiv:1905.09848,
+//! maintain results under updates without recomputation).
+//!
+//! ## The protocol
+//!
+//! [`AdaptiveEngine`] wraps any plan-built engine and, per input event:
+//!
+//! 1. feeds a [`StatsMonitor`](cep_optimizer::StatsMonitor) (sliding-horizon
+//!    arrival rates + drift detection) and a **retained-event buffer**
+//!    holding exactly the last pattern window of the stream;
+//! 2. forwards the event to the active engine and routes its emissions
+//!    through a signature dedup keyed like the deterministic shard merge;
+//! 3. every `check_every` events, if the monitor reports drift, asks its
+//!    [`Replanner`] to rebuild the evaluation plan from the live rate
+//!    estimates. If the plan changed, the engine **hot-swaps**: a fresh
+//!    engine is built from the new plan, the retained window is replayed
+//!    into it, and the old engine is dropped *without flushing* (its
+//!    deferred state — e.g. matches pending a trailing-negation watermark —
+//!    is reconstructed exactly by the replay).
+//!
+//! ## Exactness
+//!
+//! Under the three *exact* selection strategies (skip-till-any-match,
+//! strict contiguity, partition contiguity) the merged output is
+//! **byte-identical** to a never-swapped engine's, for any swap schedule:
+//!
+//! * any match emitted after a swap at watermark `w` only binds events with
+//!   `ts ≥ w − window` (its last event has `ts ≥ w` and the pattern window
+//!   bounds the span), and the retained buffer holds every such event — the
+//!   new engine misses nothing;
+//! * matches the old engine already emitted are re-detected during replay
+//!   and suppressed by the dedup (signatures are remembered for one window
+//!   length, which covers everything a replay can re-emit);
+//! * match *content* is plan-independent for the exact strategies
+//!   (the plan changes cost, never the result set — the paper's Section 3
+//!   semantics), so swapping plans mid-stream cannot change the output.
+//!
+//! Skip-till-next-match is excluded, exactly as in `cep-shard`: its greedy
+//! binding choices depend on the consumption state accumulated under the
+//! old plan, which a swap rebuilds from the retained window only. The
+//! wrapper *does* migrate consumption state — events bound by emitted
+//! matches are remembered for one window, and post-swap emissions reusing
+//! them are suppressed — so swapped next-match runs remain valid,
+//! event-disjoint, and deterministic per configuration, but bindings may
+//! differ from a never-swapped run's.
+//!
+//! Every shard of a `cep-shard`-style worker pool can own its own
+//! `AdaptiveEngine` (via [`AdaptiveFactory`]): each worker then replans
+//! independently on the statistics of its slice of the stream.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod replanner;
+
+pub use engine::{AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, Replanner};
+pub use replanner::{PlanKind, PlanReplanner};
+
+#[cfg(test)]
+mod tests;

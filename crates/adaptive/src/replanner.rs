@@ -1,0 +1,262 @@
+//! The planner-backed [`Replanner`]: closes the `StatsMonitor` → planner
+//! loop with any order- or tree-based plan-generation algorithm, optionally
+//! anchoring the latency objective with the Section 6.1 output profiler.
+
+use crate::engine::Replanner;
+use cep_core::compile::CompiledPattern;
+use cep_core::engine::{Engine, EngineConfig, MultiEngine};
+use cep_core::error::CepError;
+use cep_core::matches::Match;
+use cep_core::plan::{OrderPlan, TreePlan};
+use cep_core::stats::MeasuredStats;
+use cep_nfa::NfaEngine;
+use cep_optimizer::planner::LatencyAnchor;
+use cep_optimizer::OutputProfiler;
+use cep_optimizer::{OrderAlgorithm, Planner, TreeAlgorithm};
+use cep_tree::TreeEngine;
+
+/// Matches a replan is based on before the output profiler may override
+/// the latency anchor (Section 6.1's "enough evidence" knob).
+const PROFILER_MIN_SAMPLES: u64 = 64;
+
+/// Default hysteresis of [`PlanReplanner`]: a candidate plan must predict
+/// at least this relative cost improvement over the incumbent (under the
+/// *same* fresh statistics) before a swap is worth its replay. Rate
+/// estimates from a sliding horizon are noisy — for rare types a handful
+/// of events move the estimate by tens of percent — and without a margin
+/// the planner flaps between near-tied orders, paying a full window replay
+/// for each flip.
+pub const DEFAULT_MIN_IMPROVEMENT: f64 = 0.2;
+
+/// Which plan family (and algorithm) the replanner regenerates.
+#[derive(Debug, Clone, Copy)]
+pub enum PlanKind {
+    /// Order-based plans evaluated by the lazy-NFA engine.
+    Order(OrderAlgorithm),
+    /// Tree-based plans evaluated by the ZStream-style engine.
+    Tree(TreeAlgorithm),
+}
+
+#[derive(Clone)]
+enum CurrentPlan {
+    Order(OrderPlan),
+    Tree(TreePlan),
+}
+
+#[derive(Clone)]
+struct Branch {
+    cp: CompiledPattern,
+    sels: Vec<f64>,
+    plan: CurrentPlan,
+}
+
+/// A [`Replanner`] that regenerates evaluation plans with a
+/// [`Planner`] whenever the adaptive loop hands it fresh rate estimates.
+///
+/// One instance covers every DNF branch of a pattern (multi-branch builds
+/// produce a [`MultiEngine`], exactly like the facade's static factories).
+/// Per-predicate selectivities are supplied once at construction — drift in
+/// *rates* is what plans are most sensitive to and what the runtime can
+/// observe cheaply; selectivity re-estimation would need match-level
+/// sampling and is out of scope here.
+///
+/// For single-branch patterns an [`OutputProfiler`] observes every emitted
+/// match; once it has seen [`PROFILER_MIN_SAMPLES`] of them, replans anchor
+/// the latency term of the cost objective on the element that empirically
+/// arrives last (only meaningful when the planner's `alpha > 0`).
+#[derive(Clone)]
+pub struct PlanReplanner {
+    planner: Planner,
+    kind: PlanKind,
+    engine_config: EngineConfig,
+    window: u64,
+    branches: Vec<Branch>,
+    profiler: OutputProfiler,
+    min_improvement: f64,
+}
+
+impl PlanReplanner {
+    /// Plans every branch against `initial` statistics and returns a
+    /// replanner holding those plans as current. `branches` pairs each
+    /// compiled DNF branch with the selectivity of each of its predicates.
+    pub fn new(
+        branches: Vec<(CompiledPattern, Vec<f64>)>,
+        initial: &MeasuredStats,
+        planner: Planner,
+        kind: PlanKind,
+        engine_config: EngineConfig,
+    ) -> Result<PlanReplanner, CepError> {
+        if branches.is_empty() {
+            return Err(CepError::Pattern("replanner needs >= 1 branch".into()));
+        }
+        let window = branches[0].0.window;
+        let n0 = branches[0].0.n();
+        let mut replanner = PlanReplanner {
+            planner,
+            kind,
+            engine_config,
+            window,
+            branches: Vec::with_capacity(branches.len()),
+            profiler: OutputProfiler::new(n0, PROFILER_MIN_SAMPLES),
+            min_improvement: DEFAULT_MIN_IMPROVEMENT,
+        };
+        for (cp, sels) in branches {
+            let plan = replanner.plan_branch(&cp, &sels, initial)?;
+            replanner.branches.push(Branch { cp, sels, plan });
+        }
+        Ok(replanner)
+    }
+
+    /// Plans one branch under the current planner configuration, with the
+    /// profiler's anchor substituted when it has enough evidence.
+    fn plan_branch(
+        &self,
+        cp: &CompiledPattern,
+        sels: &[f64],
+        measured: &MeasuredStats,
+    ) -> Result<CurrentPlan, CepError> {
+        let planner = self.anchored_planner();
+        let stats = planner.stats_for(cp, measured, sels)?;
+        Self::plan_with(&planner, cp, &stats, self.kind)
+    }
+
+    /// Plans one branch with an already-anchored planner and pre-built
+    /// statistics (the shared worker for [`Self::plan_branch`] and
+    /// [`Replanner::replan`]).
+    fn plan_with(
+        planner: &Planner,
+        cp: &CompiledPattern,
+        stats: &cep_core::stats::PatternStats,
+        kind: PlanKind,
+    ) -> Result<CurrentPlan, CepError> {
+        Ok(match kind {
+            PlanKind::Order(algo) => CurrentPlan::Order(planner.plan_order(cp, stats, algo)?),
+            PlanKind::Tree(algo) => CurrentPlan::Tree(planner.plan_tree(cp, stats, algo)?),
+        })
+    }
+
+    /// The planner to use right now: the configured one, with the latency
+    /// anchor overridden by the output profiler for single-branch patterns
+    /// once enough matches were observed.
+    fn anchored_planner(&self) -> Planner {
+        let mut planner = self.planner.clone();
+        if self.branches.len() <= 1 {
+            if let Some(anchor) = self.profiler.anchor() {
+                planner.config.anchor = LatencyAnchor::Element(anchor);
+            }
+        }
+        planner
+    }
+
+    /// Overrides the swap hysteresis (see [`DEFAULT_MIN_IMPROVEMENT`]);
+    /// 0.0 swaps on any strict cost improvement.
+    pub fn with_min_improvement(mut self, min_improvement: f64) -> PlanReplanner {
+        assert!(min_improvement >= 0.0, "improvement margin must be >= 0");
+        self.min_improvement = min_improvement;
+        self
+    }
+
+    /// Cost of a plan for one branch under the given statistics and cost
+    /// model.
+    fn plan_cost(
+        cm: &cep_core::cost::CostModel,
+        plan: &CurrentPlan,
+        stats: &cep_core::stats::PatternStats,
+    ) -> f64 {
+        match plan {
+            CurrentPlan::Order(p) => cm.order_plan_cost(stats, p),
+            CurrentPlan::Tree(p) => cm.tree_plan_cost(stats, p),
+        }
+    }
+
+    /// Human-readable rendering of the current plan(s), for logs and
+    /// examples.
+    pub fn describe(&self) -> String {
+        self.branches
+            .iter()
+            .map(|b| match &b.plan {
+                CurrentPlan::Order(p) => p.to_string(),
+                CurrentPlan::Tree(p) => p.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+impl Replanner for PlanReplanner {
+    fn build(&self) -> Box<dyn Engine> {
+        // Plans were produced by the planner for these very compiled
+        // patterns, so engine construction cannot fail (the same argument
+        // as the facade's static factories).
+        let mut engines: Vec<Box<dyn Engine>> = self
+            .branches
+            .iter()
+            .map(|b| match &b.plan {
+                CurrentPlan::Order(plan) => Box::new(
+                    NfaEngine::new(b.cp.clone(), plan.clone(), self.engine_config.clone())
+                        .expect("pre-validated plan"),
+                ) as Box<dyn Engine>,
+                CurrentPlan::Tree(plan) => Box::new(
+                    TreeEngine::new(b.cp.clone(), plan.clone(), self.engine_config.clone())
+                        .expect("pre-validated plan"),
+                ) as Box<dyn Engine>,
+            })
+            .collect();
+        if engines.len() == 1 {
+            engines.pop().expect("one engine")
+        } else {
+            Box::new(MultiEngine::new(engines, self.window))
+        }
+    }
+
+    fn replan(&mut self, rates: &MeasuredStats) -> bool {
+        // Plan all branches first: a planning failure on any branch keeps
+        // the engine on its current (complete) plan set. A branch only
+        // adopts a candidate that predicts a cost improvement beyond the
+        // hysteresis margin under the same fresh statistics.
+        let planner = self.anchored_planner();
+        let mut fresh = Vec::with_capacity(self.branches.len());
+        for b in &self.branches {
+            let stats = match planner.stats_for(&b.cp, rates, &b.sels) {
+                Ok(stats) => stats,
+                Err(_) => return false,
+            };
+            match Self::plan_with(&planner, &b.cp, &stats, self.kind) {
+                Ok(candidate) => {
+                    let cm = planner.cost_model(&b.cp);
+                    let current_cost = Self::plan_cost(&cm, &b.plan, &stats);
+                    let candidate_cost = Self::plan_cost(&cm, &candidate, &stats);
+                    let adopt = candidate_cost.is_finite()
+                        && candidate_cost < current_cost * (1.0 - self.min_improvement);
+                    fresh.push(if adopt { Some(candidate) } else { None });
+                }
+                Err(_) => return false,
+            }
+        }
+        let mut changed = false;
+        for (b, plan) in self.branches.iter_mut().zip(fresh) {
+            if let Some(plan) = plan {
+                let same = match (&b.plan, &plan) {
+                    (CurrentPlan::Order(old), CurrentPlan::Order(new)) => old == new,
+                    (CurrentPlan::Tree(old), CurrentPlan::Tree(new)) => old == new,
+                    _ => false,
+                };
+                if !same {
+                    b.plan = plan;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    fn observe_match(&mut self, m: &Match) {
+        if self.branches.len() == 1 && m.bindings.len() == self.branches[0].cp.n() {
+            self.profiler.observe(&self.branches[0].cp, m);
+        }
+    }
+
+    fn consumes(&self) -> bool {
+        self.branches.iter().any(|b| b.cp.strategy.consumes())
+    }
+}

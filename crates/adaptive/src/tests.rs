@@ -1,0 +1,421 @@
+//! Exactness and protocol tests for the adaptive runtime, following the
+//! naive-oracle / canonical-sort harness pattern of `cep-shard`: the
+//! never-swapped engine (and, for skip-till-any-match, the naive oracle)
+//! is the ground truth a swapping engine must reproduce byte-identically.
+
+use crate::{AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, PlanKind, PlanReplanner, Replanner};
+use cep_core::compile::CompiledPattern;
+use cep_core::engine::{run_to_completion, Engine, EngineConfig, EngineFactory};
+use cep_core::event::{Event, TypeId};
+use cep_core::matches::{validate_match, Match};
+use cep_core::naive::NaiveEngine;
+use cep_core::pattern::{Pattern, PatternBuilder};
+use cep_core::plan::{OrderPlan, TreePlan};
+use cep_core::selection::SelectionStrategy;
+use cep_core::stats::MeasuredStats;
+use cep_core::stream::{EventStream, StreamBuilder};
+use cep_nfa::NfaEngine;
+use cep_optimizer::{OrderAlgorithm, Planner};
+use cep_tree::TreeEngine;
+use proptest::prelude::*;
+
+fn t(i: u32) -> TypeId {
+    TypeId(i)
+}
+
+/// `SEQ` of `n` distinct types, no predicates.
+fn seq_pattern(n: usize, window: u64, strategy: SelectionStrategy) -> Pattern {
+    let mut b = PatternBuilder::new(window);
+    b.strategy(strategy);
+    let evs: Vec<_> = (0..n)
+        .map(|i| b.event(t(i as u32), &format!("e{i}")))
+        .collect();
+    b.seq(evs).unwrap()
+}
+
+/// Deterministic pseudo-random workload (the LCG of the shard tests).
+fn lcg_stream(len: u64, types: u32, seed: u64) -> EventStream {
+    let mut state = seed;
+    let mut ts = 0u64;
+    let mut b = StreamBuilder::new();
+    for _ in 0..len {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let tid = ((state >> 33) % types as u64) as u32;
+        ts += (state >> 50) % 3;
+        b.push(Event::new(t(tid), ts, vec![]));
+    }
+    b.build()
+}
+
+/// Two-phase stream: type 0 frequent / type 2 rare, flipping halfway.
+/// Type 1 is steady. Rates per ms are phase-dependent integers so drift is
+/// unambiguous.
+fn two_phase_stream(phase_ms: u64) -> EventStream {
+    let mut b = StreamBuilder::new();
+    for phase in 0..2u64 {
+        let (every_a, every_c) = if phase == 0 { (2, 40) } else { (40, 2) };
+        let base = phase * phase_ms;
+        for i in 0..phase_ms {
+            let ts = base + i;
+            if i % every_a == 0 {
+                b.push(Event::new(t(0), ts, vec![]));
+            }
+            if i % 10 == 0 {
+                b.push(Event::new(t(1), ts, vec![]));
+            }
+            if i % every_c == 0 {
+                b.push(Event::new(t(2), ts, vec![]));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Phase-1 statistics of [`two_phase_stream`].
+fn phase1_stats() -> MeasuredStats {
+    let mut m = MeasuredStats::default();
+    m.set_rate(t(0), 0.5);
+    m.set_rate(t(1), 0.1);
+    m.set_rate(t(2), 0.025);
+    m
+}
+
+/// An eager configuration: tiny horizon, hair-trigger threshold, frequent
+/// checks, no cooldown — maximizes swap pressure for protocol tests.
+fn eager(horizon_ms: u64) -> AdaptiveConfig {
+    AdaptiveConfig {
+        horizon_ms,
+        drift_threshold: 1e-6,
+        check_every: 4,
+        cooldown_events: 0,
+    }
+}
+
+/// A test replanner that alternates between two fixed plans on every
+/// replan call, reporting a change each time: guarantees swaps regardless
+/// of what the statistics say, isolating the swap/replay/dedup machinery
+/// from drift detection.
+#[derive(Clone)]
+struct FlipFlop {
+    cp: CompiledPattern,
+    orders: [OrderPlan; 2],
+    active: usize,
+    tree: bool,
+}
+
+impl FlipFlop {
+    fn new(cp: CompiledPattern, tree: bool) -> FlipFlop {
+        let n = cp.n();
+        let fwd = OrderPlan::new((0..n).collect()).unwrap();
+        let rev = OrderPlan::new((0..n).rev().collect()).unwrap();
+        FlipFlop {
+            cp,
+            orders: [fwd, rev],
+            active: 0,
+            tree,
+        }
+    }
+}
+
+impl Replanner for FlipFlop {
+    fn build(&self) -> Box<dyn Engine> {
+        let plan = &self.orders[self.active];
+        if self.tree {
+            Box::new(
+                TreeEngine::new(
+                    self.cp.clone(),
+                    TreePlan::left_deep(plan),
+                    EngineConfig::default(),
+                )
+                .unwrap(),
+            )
+        } else {
+            Box::new(
+                NfaEngine::new(self.cp.clone(), plan.clone(), EngineConfig::default()).unwrap(),
+            )
+        }
+    }
+
+    fn replan(&mut self, _rates: &MeasuredStats) -> bool {
+        self.active = 1 - self.active;
+        true
+    }
+
+    fn consumes(&self) -> bool {
+        self.cp.strategy.consumes()
+    }
+}
+
+/// Canonical ground-truth order shared with `cep_shard::canonical_sort`.
+fn canonical(mut matches: Vec<Match>) -> Vec<Match> {
+    matches.sort_by_cached_key(|m| (m.emitted_at, m.last_ts, m.signature()));
+    matches
+}
+
+fn run_engine(engine: &mut dyn Engine, stream: &EventStream) -> Vec<Match> {
+    canonical(run_to_completion(engine, stream, true).matches)
+}
+
+#[test]
+fn real_replanner_swaps_on_drift_and_output_is_byte_identical() {
+    let stream = two_phase_stream(4_000);
+    for strategy in [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::StrictContiguity,
+        SelectionStrategy::PartitionContiguity,
+    ] {
+        let cp = CompiledPattern::compile_single(&seq_pattern(3, 50, strategy)).unwrap();
+        let replanner = PlanReplanner::new(
+            vec![(cp, vec![])],
+            &phase1_stats(),
+            Planner::default(),
+            PlanKind::Order(OrderAlgorithm::DpLd),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let mut static_engine = replanner.build();
+        let expected = run_engine(static_engine.as_mut(), &stream);
+        let mut adaptive = AdaptiveEngine::new(
+            replanner,
+            50,
+            AdaptiveConfig {
+                horizon_ms: 500,
+                drift_threshold: 0.5,
+                check_every: 64,
+                cooldown_events: 128,
+            },
+        );
+        let got = run_engine(&mut adaptive, &stream);
+        assert_eq!(got, expected, "{strategy}: swapped output diverged");
+        if strategy == SelectionStrategy::SkipTillAnyMatch {
+            assert!(!expected.is_empty(), "fixture should produce matches");
+            assert!(
+                adaptive.swaps() >= 1,
+                "the rate flip must trigger at least one swap"
+            );
+            assert!(adaptive.metrics().replayed_events > 0);
+        }
+    }
+}
+
+#[test]
+fn forced_swaps_are_exact_for_both_engine_families() {
+    let stream = lcg_stream(300, 3, 0xADA971);
+    for strategy in [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::StrictContiguity,
+        SelectionStrategy::PartitionContiguity,
+    ] {
+        let cp = CompiledPattern::compile_single(&seq_pattern(3, 12, strategy)).unwrap();
+        for tree in [false, true] {
+            let replanner = FlipFlop::new(cp.clone(), tree);
+            let mut static_engine = replanner.build();
+            let expected = run_engine(static_engine.as_mut(), &stream);
+            let mut adaptive = AdaptiveEngine::new(replanner, 12, eager(50));
+            let got = run_engine(&mut adaptive, &stream);
+            assert!(
+                adaptive.swaps() >= 2,
+                "eager flip-flop must swap repeatedly, got {}",
+                adaptive.swaps()
+            );
+            assert_eq!(
+                got, expected,
+                "{strategy} (tree={tree}): forced swaps changed the output"
+            );
+        }
+    }
+}
+
+#[test]
+fn replayed_window_matches_are_never_emitted_twice() {
+    // Dense single-key stream: plenty of matches complete right before each
+    // swap, so every replay re-detects recently emitted matches.
+    let stream = lcg_stream(400, 3, 7);
+    let cp =
+        CompiledPattern::compile_single(&seq_pattern(3, 15, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let mut adaptive = AdaptiveEngine::new(FlipFlop::new(cp.clone(), false), 15, eager(60));
+    let got = run_to_completion(&mut adaptive, &stream, true).matches;
+    assert!(!got.is_empty());
+    assert!(adaptive.swaps() >= 2);
+    assert!(adaptive.metrics().replayed_events > 0);
+    let mut sigs = std::collections::HashSet::new();
+    for m in &got {
+        validate_match(&cp, m).unwrap();
+        assert!(
+            sigs.insert(m.signature()),
+            "duplicate emission of {m} after a swap replay"
+        );
+    }
+}
+
+#[test]
+fn next_match_swaps_stay_valid_disjoint_and_deterministic() {
+    let stream = lcg_stream(250, 3, 0xBEEF);
+    let cp =
+        CompiledPattern::compile_single(&seq_pattern(3, 12, SelectionStrategy::SkipTillNextMatch))
+            .unwrap();
+    let run = || {
+        let mut adaptive = AdaptiveEngine::new(FlipFlop::new(cp.clone(), false), 12, eager(50));
+        let matches = run_to_completion(&mut adaptive, &stream, true).matches;
+        (matches, adaptive.swaps())
+    };
+    let (matches, swaps) = run();
+    assert!(swaps >= 1);
+    assert!(!matches.is_empty(), "fixture should produce matches");
+    let mut used = std::collections::HashSet::new();
+    for m in &matches {
+        validate_match(&cp, m).unwrap();
+        for e in m.events() {
+            assert!(used.insert(e.seq), "event reused across a swap");
+        }
+    }
+    let (again, _) = run();
+    assert_eq!(matches, again, "repeat runs must be identical");
+}
+
+#[test]
+fn retained_buffer_is_window_bounded() {
+    let window = 20u64;
+    let cp = CompiledPattern::compile_single(&seq_pattern(
+        2,
+        window,
+        SelectionStrategy::SkipTillAnyMatch,
+    ))
+    .unwrap();
+    let mut adaptive = AdaptiveEngine::new(FlipFlop::new(cp, false), window, eager(50));
+    // One event per ms for 300 ms: the buffer must plateau at ~window+1
+    // events instead of growing with the stream.
+    let mut b = StreamBuilder::new();
+    for ts in 0..300u64 {
+        b.push(Event::new(t(ts as u32 % 2), ts, vec![]));
+    }
+    let stream = b.build();
+    let mut out = Vec::new();
+    for e in &stream {
+        adaptive.process(e, &mut out);
+        assert!(
+            adaptive.retained_len() as u64 <= window + 1,
+            "retained buffer exceeded the window bound"
+        );
+    }
+    let m = adaptive.metrics();
+    assert_eq!(m.retained_events, adaptive.retained_len());
+    assert!(m.peak_retained_events as u64 <= window + 1);
+    assert!(m.peak_retained_events > 0);
+    assert_eq!(m.events_processed, stream.len() as u64);
+    assert!(
+        m.replayed_events > m.plan_swaps,
+        "replays should re-process multiple events per swap"
+    );
+}
+
+#[test]
+fn calibration_replans_away_from_wrong_bootstrap_statistics() {
+    // Bootstrap the plan from statistics claiming type 2 is frequent and
+    // type 0 rare — the opposite of the stream. The first drift check has
+    // no baseline, so the engine must calibrate: replan from measured
+    // rates and swap to the correct order.
+    let mut wrong = MeasuredStats::default();
+    wrong.set_rate(t(0), 0.001);
+    wrong.set_rate(t(1), 0.1);
+    wrong.set_rate(t(2), 1.0);
+    let cp =
+        CompiledPattern::compile_single(&seq_pattern(3, 50, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let replanner = PlanReplanner::new(
+        vec![(cp, vec![])],
+        &wrong,
+        Planner::default(),
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let before = replanner.describe();
+    let mut static_engine = replanner.build();
+    // Phase 1 of the two-phase stream alone: stationary, but unlike the
+    // bootstrap statistics.
+    let stream: EventStream = two_phase_stream(2_000)
+        .into_iter()
+        .filter(|e| e.ts < 2_000)
+        .collect();
+    let expected = run_engine(static_engine.as_mut(), &stream);
+    let mut adaptive = AdaptiveEngine::new(
+        replanner,
+        50,
+        AdaptiveConfig {
+            horizon_ms: 500,
+            drift_threshold: 0.5,
+            check_every: 64,
+            cooldown_events: 64,
+        },
+    );
+    let got = run_engine(&mut adaptive, &stream);
+    assert_eq!(got, expected);
+    assert!(adaptive.swaps() >= 1, "calibration must swap");
+    assert_ne!(
+        adaptive.replanner().describe(),
+        before,
+        "the calibrated plan must differ from the bootstrap plan"
+    );
+}
+
+#[test]
+fn factory_builds_independent_adaptive_engines() {
+    let cp =
+        CompiledPattern::compile_single(&seq_pattern(2, 10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = AdaptiveFactory::new(FlipFlop::new(cp, false), 10, eager(50));
+    let f: &dyn EngineFactory = &factory;
+    let mut a = f.build();
+    let b = f.build();
+    let mut out = Vec::new();
+    a.process(&std::sync::Arc::new(Event::new(t(0), 1, vec![])), &mut out);
+    assert_eq!(a.metrics().events_processed, 1);
+    assert_eq!(b.metrics().events_processed, 0, "engines are independent");
+    assert_eq!(a.name(), "adaptive");
+}
+
+proptest! {
+    /// The tentpole property: on random workloads, a swapping engine —
+    /// forced to swap as aggressively as the protocol allows — emits
+    /// exactly what the never-swapped engine emits, for all three exact
+    /// selection strategies and both engine families, and exactly what the
+    /// naive oracle emits under skip-till-any-match.
+    #[test]
+    fn swapped_output_equals_static_on_random_workloads(
+        raw in prop::collection::vec((0u32..3, 0u64..3), 1..80),
+        strategy_idx in 0usize..3,
+        tree in any::<bool>(),
+    ) {
+        let strategy = [
+            SelectionStrategy::SkipTillAnyMatch,
+            SelectionStrategy::StrictContiguity,
+            SelectionStrategy::PartitionContiguity,
+        ][strategy_idx];
+        let mut ts = 0u64;
+        let mut b = StreamBuilder::new();
+        for (tid, dt) in raw {
+            ts += dt;
+            b.push(Event::new(t(tid), ts, vec![]));
+        }
+        let stream = b.build();
+        let cp = CompiledPattern::compile_single(&seq_pattern(3, 10, strategy)).unwrap();
+        let replanner = FlipFlop::new(cp.clone(), tree);
+        let mut static_engine = replanner.build();
+        let expected = run_engine(static_engine.as_mut(), &stream);
+        let mut adaptive = AdaptiveEngine::new(replanner, 10, eager(30));
+        let got = run_engine(&mut adaptive, &stream);
+        prop_assert_eq!(&got, &expected);
+        if strategy == SelectionStrategy::SkipTillAnyMatch {
+            let mut oracle = NaiveEngine::new(cp, EngineConfig::default());
+            let oracle_matches = run_engine(&mut oracle, &stream);
+            prop_assert_eq!(
+                got.iter().map(|m| m.signature()).collect::<Vec<_>>(),
+                oracle_matches.iter().map(|m| m.signature()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //!   latency-tradeoff       Figure 18
 //!   selection-strategies   Figure 19
 //!   sharded-scaling        beyond the paper: cep-shard worker sweep (1..=--shards)
+//!   adaptive-drift         beyond the paper: live plan swap vs static plans on a rate flip
 //!   all                    everything above
 //! ```
 
@@ -20,12 +21,12 @@ use cep_streamgen::PatternSetKind;
 use std::io::Write;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: experiments <pattern-types|by-size|cost-validation|large-patterns|\
+         latency-tradeoff|selection-strategies|sharded-scaling|adaptive-drift|all> \
+         [--set KIND] [--full] [--seed N] [--per-size N] [--duration-ms N] [--shards N]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: experiments <pattern-types|by-size|cost-validation|large-patterns|\
-         latency-tradeoff|selection-strategies|sharded-scaling|all> [--set KIND] [--full] \
-         [--seed N] [--per-size N] [--duration-ms N] [--shards N]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2)
 }
 
@@ -44,6 +45,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
     }
     let cmd = args[0].clone();
     let mut scale = Scale::quick();
@@ -107,6 +115,7 @@ fn main() -> ExitCode {
         "latency-tradeoff" => figures::latency_tradeoff(&env, &mut out),
         "selection-strategies" => figures::selection_strategies(&env, &mut out),
         "sharded-scaling" => figures::sharded_scaling(&env, shards, &mut out),
+        "adaptive-drift" => figures::adaptive_drift(&env, &mut out),
         "all" => figures::pattern_types(&env, &mut out)
             .and_then(|_| {
                 for kind in PatternSetKind::all() {
@@ -118,7 +127,8 @@ fn main() -> ExitCode {
             .and_then(|_| figures::large_patterns(&env, 22, 3, &mut out))
             .and_then(|_| figures::latency_tradeoff(&env, &mut out))
             .and_then(|_| figures::selection_strategies(&env, &mut out))
-            .and_then(|_| figures::sharded_scaling(&env, shards, &mut out)),
+            .and_then(|_| figures::sharded_scaling(&env, shards, &mut out))
+            .and_then(|_| figures::adaptive_drift(&env, &mut out)),
         _ => usage(),
     };
     match result {

@@ -155,6 +155,68 @@ pub fn replicated_stock_workload(
     (gen, cp)
 }
 
+/// Drifting stock workload shared by the adaptive surfaces
+/// (`figures::adaptive_drift`, `benches/adaptive_drift.rs`): three symbols
+/// where the frequent (AAA) and rare (CCC) types swap roles after
+/// `phase1_ms`, plus the `SEQ` query whose cheap evaluation order inverts
+/// with them. Returns the stream, the compiled pattern, and its
+/// per-predicate analytic selectivities.
+pub fn drifting_stock_workload(
+    phase1_ms: u64,
+    phase2_ms: u64,
+    seed: u64,
+    window_ms: u64,
+) -> (
+    cep_streamgen::DriftingStream,
+    cep_core::compile::CompiledPattern,
+    Vec<f64>,
+) {
+    use cep_streamgen::{generate_drifting, DriftPhase, SymbolSpec};
+    let spec = |name: &str, rate: f64, drift: f64| SymbolSpec {
+        name: name.into(),
+        rate_per_sec: rate,
+        start_price: 100.0,
+        drift,
+        volatility: 1.0,
+    };
+    // Widely separated drifts make the difference-comparison predicates
+    // selective (~0.08 each): the engines' work is dominated by partial-
+    // match maintenance — what the plan order controls — rather than by
+    // emitting a flood of matches.
+    let base = StockConfig {
+        symbols: vec![
+            spec("AAA", 20.0, 2.0),
+            spec("BBB", 4.0, 0.0),
+            spec("CCC", 1.0, -2.0),
+        ],
+        duration_ms: 0, // per-phase durations below
+        seed,
+    };
+    let phases = vec![
+        DriftPhase::new(phase1_ms, vec![1.0, 1.0, 1.0]),
+        DriftPhase::new(phase2_ms, vec![0.05, 1.0, 20.0]),
+    ];
+    let mut catalog = Catalog::new();
+    let gen =
+        generate_drifting(&base, &phases, &mut catalog).expect("fresh catalog accepts all symbols");
+    let pattern = cep_sase::parse_pattern(
+        &format!(
+            "PATTERN SEQ(AAA a, BBB b, CCC c)
+             WHERE (a.difference < b.difference AND b.difference < c.difference)
+             WITHIN {window_ms} ms"
+        ),
+        &catalog,
+    )
+    .expect("pattern parses against the drifting catalog");
+    let cp = cep_core::compile::CompiledPattern::compile_single(&pattern)
+        .expect("pure conjunctive pattern");
+    let sels = vec![
+        base.symbols[0].lt_selectivity(&base.symbols[1]),
+        base.symbols[1].lt_selectivity(&base.symbols[2]),
+    ];
+    (gen, cp, sels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

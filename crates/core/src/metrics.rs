@@ -37,6 +37,18 @@ pub struct EngineMetrics {
     pub wall_time_ns: u64,
     /// Summed per-match detection latency in nanoseconds.
     pub match_latency_ns_total: u64,
+    /// Plan swaps performed by an adaptive wrapper (0 for static engines).
+    pub plan_swaps: u64,
+    /// Events re-processed from the retained window across all plan swaps
+    /// (the replay cost of adaptivity, in events).
+    pub replayed_events: u64,
+    /// Nanoseconds spent replaying retained events during plan swaps.
+    pub replay_time_ns: u64,
+    /// Events currently held in an adaptive wrapper's retained replay
+    /// window (0 for static engines).
+    pub retained_events: usize,
+    /// Peak of the retained replay window.
+    pub peak_retained_events: usize,
 }
 
 /// Estimated bytes per live partial match (bindings vector + bookkeeping).
@@ -58,6 +70,13 @@ impl EngineMetrics {
         self.peak_buffered_events = self.peak_buffered_events.max(buffered_events);
         let bytes = partial_matches * PARTIAL_MATCH_BYTES + buffered_events * BUFFERED_EVENT_BYTES;
         self.peak_memory_bytes = self.peak_memory_bytes.max(bytes);
+    }
+
+    /// Records the current size of an adaptive wrapper's retained replay
+    /// window, updating its peak.
+    pub fn record_retained(&mut self, retained: usize) {
+        self.retained_events = retained;
+        self.peak_retained_events = self.peak_retained_events.max(retained);
     }
 
     /// Events per second of engine wall time; 0 before any timing.
@@ -99,6 +118,11 @@ impl EngineMetrics {
         self.predicate_evaluations += other.predicate_evaluations;
         self.wall_time_ns = self.wall_time_ns.max(other.wall_time_ns);
         self.match_latency_ns_total += other.match_latency_ns_total;
+        self.plan_swaps += other.plan_swaps;
+        self.replayed_events += other.replayed_events;
+        self.replay_time_ns += other.replay_time_ns;
+        self.retained_events += other.retained_events;
+        self.peak_retained_events = self.peak_retained_events.max(other.peak_retained_events);
     }
 
     /// Merges counters from another engine (used by multi-plan evaluation).
@@ -113,6 +137,11 @@ impl EngineMetrics {
         self.peak_memory_bytes += other.peak_memory_bytes;
         self.predicate_evaluations += other.predicate_evaluations;
         self.match_latency_ns_total += other.match_latency_ns_total;
+        self.plan_swaps += other.plan_swaps;
+        self.replayed_events += other.replayed_events;
+        self.replay_time_ns += other.replay_time_ns;
+        self.retained_events += other.retained_events;
+        self.peak_retained_events += other.peak_retained_events;
     }
 }
 
@@ -176,6 +205,14 @@ mod tests {
         b.peak_memory_bytes = 2500;
         b.wall_time_ns = 3_000;
         b.match_latency_ns_total = 700;
+        a.plan_swaps = 1;
+        a.replayed_events = 20;
+        a.replay_time_ns = 111;
+        a.peak_retained_events = 12;
+        b.plan_swaps = 2;
+        b.replayed_events = 30;
+        b.replay_time_ns = 222;
+        b.peak_retained_events = 40;
         a.merge(&b);
         // Counters and latency sums add across shards.
         assert_eq!(a.events_processed, 150);
@@ -183,6 +220,12 @@ mod tests {
         assert_eq!(a.partial_matches_created, 50);
         assert_eq!(a.predicate_evaluations, 100);
         assert_eq!(a.match_latency_ns_total, 1_200);
+        // Adaptivity counters add too; the retained-window peak is a
+        // per-shard maximum like the other peaks.
+        assert_eq!(a.plan_swaps, 3);
+        assert_eq!(a.replayed_events, 50);
+        assert_eq!(a.replay_time_ns, 333);
+        assert_eq!(a.peak_retained_events, 40);
         // Peaks and wall time take the per-shard maximum.
         assert_eq!(a.peak_partial_matches, 9);
         assert_eq!(a.peak_buffered_events, 33);
@@ -196,11 +239,17 @@ mod tests {
         a.events_processed = 7;
         a.peak_partial_matches = 2;
         a.wall_time_ns = 10;
+        a.plan_swaps = 4;
+        a.replayed_events = 9;
+        a.peak_retained_events = 3;
         let before = a.clone();
         a.merge(&EngineMetrics::new());
         assert_eq!(a.events_processed, before.events_processed);
         assert_eq!(a.peak_partial_matches, before.peak_partial_matches);
         assert_eq!(a.wall_time_ns, before.wall_time_ns);
+        assert_eq!(a.plan_swaps, before.plan_swaps);
+        assert_eq!(a.replayed_events, before.replayed_events);
+        assert_eq!(a.peak_retained_events, before.peak_retained_events);
     }
 
     #[test]
@@ -210,8 +259,21 @@ mod tests {
         let mut b = EngineMetrics::new();
         b.matches_emitted = 2;
         b.peak_partial_matches = 7;
+        b.plan_swaps = 1;
+        b.replayed_events = 5;
         a.absorb(&b);
         assert_eq!(a.matches_emitted, 3);
         assert_eq!(a.peak_partial_matches, 7);
+        assert_eq!(a.plan_swaps, 1);
+        assert_eq!(a.replayed_events, 5);
+    }
+
+    #[test]
+    fn record_retained_tracks_peak() {
+        let mut m = EngineMetrics::new();
+        m.record_retained(8);
+        m.record_retained(3);
+        assert_eq!(m.retained_events, 3);
+        assert_eq!(m.peak_retained_events, 8);
     }
 }

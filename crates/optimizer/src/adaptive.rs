@@ -46,8 +46,15 @@ impl StatsMonitor {
         while let Some(&(ty, ts)) = self.events.front() {
             if ts < horizon_start {
                 self.events.pop_front();
+                // Drop entries that reach zero so `counts` only holds types
+                // alive inside the horizon: `rates()` / `drifted()` stay
+                // proportional to the live type set instead of scanning
+                // every type id ever observed.
                 if let Some(c) = self.counts.get_mut(&ty) {
                     *c -= 1;
+                    if *c == 0 {
+                        self.counts.remove(&ty);
+                    }
                 }
             } else {
                 break;
@@ -72,9 +79,19 @@ impl StatsMonitor {
         self.baseline = self.rates();
     }
 
+    /// Whether a baseline has been frozen yet. Adaptive runtimes use this
+    /// to distinguish "no reference point yet" (calibrate: adopt the
+    /// current rates, replan once) from genuine drift.
+    pub fn has_baseline(&self) -> bool {
+        !self.baseline.is_empty()
+    }
+
     /// Whether any observed type's rate deviates from the baseline by more
     /// than the threshold (relative). Types absent from the baseline count
-    /// as drifted once seen.
+    /// as drifted once seen, and a type whose rate collapsed to zero from a
+    /// positive baseline (its last event slid out of the horizon) counts as
+    /// drifted regardless of the threshold — a rate of 0 invalidates any
+    /// plan ordered around that type being present.
     pub fn drifted(&self) -> bool {
         for &ty in self.counts.keys() {
             let now = self.rate(ty);
@@ -91,7 +108,11 @@ impl StatsMonitor {
                 }
             }
         }
-        false
+        // Types that vanished entirely: present in the baseline with a
+        // positive rate but no longer in `counts` (eviction removed them).
+        self.baseline
+            .iter()
+            .any(|(ty, &base)| base > 0.0 && !self.counts.contains_key(ty))
     }
 }
 
@@ -154,5 +175,93 @@ mod tests {
     #[should_panic(expected = "horizon must be positive")]
     fn zero_horizon_rejected() {
         StatsMonitor::new(0, 0.5);
+    }
+
+    #[test]
+    fn dead_types_are_evicted_from_counts() {
+        let mut m = StatsMonitor::new(100, 0.5);
+        for ts in 0..50u64 {
+            m.observe(&ev(0, ts));
+        }
+        assert!(m.rates().contains_key(&TypeId(0)));
+        // Slide the horizon entirely past type 0 with a different type.
+        for ts in (300..500u64).step_by(25) {
+            m.observe(&ev(1, ts));
+        }
+        let rates = m.rates();
+        assert!(
+            !rates.contains_key(&TypeId(0)),
+            "zero-count type must be evicted, got {rates:?}"
+        );
+        assert_eq!(m.rate(TypeId(0)), 0.0);
+        assert!(rates.contains_key(&TypeId(1)));
+    }
+
+    #[test]
+    fn rate_collapse_to_zero_counts_as_drift() {
+        // Threshold 2.0: the relative check alone would never fire for a
+        // rate that merely halves — only the vanished-type rule can.
+        let mut m = StatsMonitor::new(100, 2.0);
+        for ts in 0..100u64 {
+            m.observe(&ev(0, ts));
+        }
+        m.rebaseline();
+        assert!(!m.drifted());
+        for ts in (300..500u64).step_by(25) {
+            m.observe(&ev(1, ts)); // type 1 is new AND type 0 vanished
+        }
+        assert!(m.drifted(), "vanished type must register as drift");
+        m.rebaseline();
+        assert!(!m.drifted(), "rebaseline adopts the new regime");
+    }
+
+    #[test]
+    fn watermark_ties_keep_boundary_events() {
+        let mut m = StatsMonitor::new(10, 0.5);
+        m.observe(&ev(0, 0));
+        m.observe(&ev(0, 10));
+        // horizon_start = 0: the ts-0 event sits exactly on the boundary
+        // and must still be counted (eviction is strictly `ts < start`).
+        assert_eq!(*m.rates().get(&TypeId(0)).unwrap(), 0.2);
+        // A tied watermark (same max ts again) must not evict it either.
+        m.observe(&ev(1, 10));
+        assert_eq!(*m.rates().get(&TypeId(0)).unwrap(), 0.2);
+        // One tick further and the ts-0 event falls out.
+        m.observe(&ev(1, 11));
+        assert_eq!(*m.rates().get(&TypeId(0)).unwrap(), 0.1);
+    }
+
+    #[test]
+    fn single_event_horizon() {
+        let mut m = StatsMonitor::new(1, 0.5);
+        m.observe(&ev(0, 5));
+        assert_eq!(m.rate(TypeId(0)), 1.0);
+        m.observe(&ev(1, 7));
+        // The horizon is one ms: only the newest event survives.
+        assert_eq!(m.rate(TypeId(0)), 0.0);
+        assert_eq!(m.rate(TypeId(1)), 1.0);
+        assert_eq!(m.rates().len(), 1);
+    }
+
+    #[test]
+    fn rebaseline_after_quiet_restarts_detection() {
+        let mut m = StatsMonitor::new(100, 0.5);
+        for ts in 0..100u64 {
+            m.observe(&ev(0, ts));
+        }
+        m.rebaseline();
+        // Quiet period: everything slides out.
+        for ts in (500..700u64).step_by(50) {
+            m.observe(&ev(1, ts));
+        }
+        assert!(m.drifted());
+        m.rebaseline();
+        assert!(!m.drifted(), "baseline now matches the quiet regime");
+        // The old type coming back is drift again relative to the quiet
+        // baseline (type 0 is no longer in the rebaselined map).
+        for ts in 700..750u64 {
+            m.observe(&ev(0, ts));
+        }
+        assert!(m.drifted());
     }
 }

@@ -45,6 +45,13 @@
 //! event *batches*: batching amortizes the per-send synchronization, and
 //! the bound applies backpressure to the router instead of letting queues
 //! grow without limit.
+//!
+//! Because workers accept *any* factory, they compose with the adaptive
+//! runtime: hand [`ShardedRuntime::run`] a `cep_adaptive::AdaptiveFactory`
+//! and every worker owns a self-replanning engine that monitors, replans,
+//! and hot-swaps on the statistics of its own slice of the stream — the
+//! sharded and adaptive exactness guarantees stack (tested in
+//! `src/tests.rs`).
 
 #![warn(missing_docs)]
 

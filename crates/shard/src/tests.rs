@@ -293,6 +293,89 @@ fn empty_stream_yields_empty_result() {
     assert_eq!(r.metrics.events_processed, 0);
 }
 
+/// Per-worker adaptivity: every shard owns an
+/// [`cep_adaptive::AdaptiveEngine`] and replans independently on the
+/// statistics of its own slice of the stream. For a partition-local query
+/// the combination of both exactness guarantees must hold at once — the
+/// sharded, swapping run reproduces the single-threaded, never-swapped
+/// engine byte for byte.
+#[test]
+fn sharded_adaptive_engines_replan_per_worker_and_stay_exact() {
+    use cep_adaptive::{AdaptiveConfig, AdaptiveFactory, PlanKind, PlanReplanner, Replanner};
+    use cep_core::stats::MeasuredStats;
+    use cep_optimizer::{OrderAlgorithm, Planner};
+
+    // Two-phase keyed workload: type 0 frequent / type 2 rare, flipping at
+    // the halfway point; keys cycle so every shard sees the same drift.
+    let mut events = Vec::new();
+    for phase in 0..2u64 {
+        let (every_a, every_c) = if phase == 0 { (1, 30) } else { (30, 1) };
+        let base = phase * 600;
+        for i in 0..600u64 {
+            let ts = base + i;
+            let key = (i % 4) as i64;
+            if i % every_a == 0 {
+                events.push((0u32, ts, key));
+            }
+            if i % 5 == 0 {
+                events.push((1u32, ts, (i / 5 % 4) as i64));
+            }
+            if i % every_c == 0 {
+                events.push((2u32, ts, (i / 7 % 4) as i64));
+            }
+        }
+    }
+    let stream = keyed_stream(events);
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let mut phase1 = MeasuredStats::default();
+    phase1.set_rate(t(0), 1.0);
+    phase1.set_rate(t(1), 0.2);
+    phase1.set_rate(t(2), 1.0 / 30.0);
+    let replanner = PlanReplanner::new(
+        vec![(cp, vec![1.0, 1.0])],
+        &phase1,
+        Planner::default(),
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    // Never-swapped single-threaded ground truth on the unsplit stream.
+    let mut static_engine = replanner.build();
+    let mut expected = run_to_completion(static_engine.as_mut(), &stream, true).matches;
+    canonical_sort(&mut expected);
+    assert!(!expected.is_empty(), "fixture should produce matches");
+    let factory = AdaptiveFactory::new(
+        replanner,
+        12,
+        AdaptiveConfig {
+            horizon_ms: 100,
+            drift_threshold: 0.5,
+            check_every: 32,
+            cooldown_events: 64,
+        },
+    );
+    for shards in [2, 4] {
+        let r = ShardedRuntime::with_shards(shards).run(
+            &factory,
+            &stream,
+            RoutingPolicy::Partition,
+            true,
+        );
+        assert_eq!(
+            r.matches, expected,
+            "{shards}-shard adaptive run diverged from the static baseline"
+        );
+        assert!(
+            r.metrics.plan_swaps >= shards as u64,
+            "every worker should replan on the flip (got {} swaps across {shards} shards)",
+            r.metrics.plan_swaps
+        );
+        assert!(r.metrics.replayed_events > 0, "swaps must replay state");
+    }
+}
+
 proptest! {
     /// The tentpole equivalence property: for random partitioned keyed
     /// workloads, all three exact selection strategies, both exact routing

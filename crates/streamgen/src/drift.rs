@@ -1,0 +1,257 @@
+//! Drifting-rate stock workloads: the substrate for adaptive-replanning
+//! experiments.
+//!
+//! A drifting stream concatenates several *phases*. Within a phase every
+//! symbol keeps a stationary Poisson arrival rate; at a phase boundary the
+//! rates jump — each phase scales the base symbol rates by its own
+//! multiplier vector. A plan generated for one phase's statistics can be
+//! arbitrarily poor in the next, which is exactly the situation a live
+//! plan swap (`cep-adaptive`) must detect and repair.
+
+use crate::stock::{synthesize, StockConfig, SymbolSpec};
+use cep_core::error::CepError;
+use cep_core::event::TypeId;
+use cep_core::schema::{Catalog, ValueKind};
+use cep_core::stats::MeasuredStats;
+use cep_core::stream::{EventStream, StreamBuilder};
+
+/// One stationary segment of a drifting stream.
+#[derive(Debug, Clone)]
+pub struct DriftPhase {
+    /// Segment length in milliseconds.
+    pub duration_ms: u64,
+    /// Per-symbol multiplier applied to the base configuration's rates for
+    /// the duration of this phase (same order as the symbols).
+    pub rate_multipliers: Vec<f64>,
+}
+
+impl DriftPhase {
+    /// A phase scaling every symbol's rate by the paired multiplier.
+    pub fn new(duration_ms: u64, rate_multipliers: Vec<f64>) -> DriftPhase {
+        DriftPhase {
+            duration_ms,
+            rate_multipliers,
+        }
+    }
+}
+
+/// A generated drifting stream plus the per-phase ground truth.
+pub struct DriftingStream {
+    /// The ts-ordered event stream across all phases.
+    pub stream: EventStream,
+    /// Type id per symbol (same order as the base config).
+    pub type_ids: Vec<TypeId>,
+    /// Base symbol specs (multiplier 1.0 rates).
+    pub symbols: Vec<SymbolSpec>,
+    /// The phase schedule.
+    pub phases: Vec<DriftPhase>,
+}
+
+impl DriftingStream {
+    /// Start timestamp (ms) of phase `i`.
+    pub fn phase_start_ms(&self, i: usize) -> u64 {
+        self.phases[..i].iter().map(|p| p.duration_ms).sum()
+    }
+
+    /// Timestamp of the first rate change — the drift point a static
+    /// initial plan is blind to.
+    pub fn drift_start_ms(&self) -> u64 {
+        self.phase_start_ms(1)
+    }
+
+    /// Exact type-level statistics of phase `i` (configured rates, no
+    /// sampling noise).
+    pub fn phase_stats(&self, i: usize) -> MeasuredStats {
+        let mut m = MeasuredStats::default();
+        for (s, (&ty, &mult)) in self
+            .symbols
+            .iter()
+            .zip(self.type_ids.iter().zip(&self.phases[i].rate_multipliers))
+        {
+            m.set_rate(ty, s.rate_per_ms() * mult);
+        }
+        m
+    }
+
+    /// Statistics of the first phase: what a bootstrap measurement sees.
+    pub fn initial_stats(&self) -> MeasuredStats {
+        self.phase_stats(0)
+    }
+
+    /// Statistics of the last phase: the post-drift regime an oracle
+    /// planner would have used.
+    pub fn final_stats(&self) -> MeasuredStats {
+        self.phase_stats(self.phases.len() - 1)
+    }
+}
+
+/// Generates a drifting stock stream: `base` provides the symbols (its
+/// `duration_ms` is ignored — each phase carries its own), `phases` the
+/// schedule. Event types are registered with the plain stock schema
+/// (`price`, `difference`); each symbol is its own partition, as in
+/// [`crate::StockStreamGenerator::generate`]. Deterministic per seed.
+pub fn generate_drifting(
+    base: &StockConfig,
+    phases: &[DriftPhase],
+    catalog: &mut Catalog,
+) -> Result<DriftingStream, CepError> {
+    assert!(!phases.is_empty(), "need at least one phase");
+    for (i, p) in phases.iter().enumerate() {
+        assert!(p.duration_ms > 0, "phase {i} has zero duration");
+        assert_eq!(
+            p.rate_multipliers.len(),
+            base.symbols.len(),
+            "phase {i} supplies {} multipliers for {} symbols",
+            p.rate_multipliers.len(),
+            base.symbols.len()
+        );
+    }
+    let mut type_ids = Vec::with_capacity(base.symbols.len());
+    for s in &base.symbols {
+        let id = catalog.add_type(
+            &s.name,
+            &[
+                ("price", ValueKind::Float),
+                ("difference", ValueKind::Float),
+            ],
+        )?;
+        type_ids.push(id);
+    }
+    let mut builder = StreamBuilder::new();
+    let mut offset = 0u64;
+    for (pi, phase) in phases.iter().enumerate() {
+        let scaled = StockConfig {
+            symbols: base
+                .symbols
+                .iter()
+                .zip(&phase.rate_multipliers)
+                .map(|(s, &mult)| SymbolSpec {
+                    rate_per_sec: s.rate_per_sec * mult,
+                    ..s.clone()
+                })
+                .collect(),
+            duration_ms: phase.duration_ms,
+            seed: base.seed,
+        };
+        let seed = base
+            .seed
+            .wrapping_add((pi as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+        for (i, mut event) in synthesize(&scaled, seed, &type_ids) {
+            event.ts += offset;
+            builder.push_partitioned(event, i as u32);
+        }
+        offset += phase.duration_ms;
+    }
+    Ok(DriftingStream {
+        stream: builder.build(),
+        type_ids,
+        symbols: base.symbols.clone(),
+        phases: phases.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> StockConfig {
+        StockConfig {
+            symbols: vec![
+                SymbolSpec {
+                    name: "AAA".into(),
+                    rate_per_sec: 20.0,
+                    start_price: 100.0,
+                    drift: 0.5,
+                    volatility: 1.0,
+                },
+                SymbolSpec {
+                    name: "BBB".into(),
+                    rate_per_sec: 4.0,
+                    start_price: 50.0,
+                    drift: -0.5,
+                    volatility: 1.0,
+                },
+                SymbolSpec {
+                    name: "CCC".into(),
+                    rate_per_sec: 1.0,
+                    start_price: 20.0,
+                    drift: 0.0,
+                    volatility: 0.8,
+                },
+            ],
+            duration_ms: 0, // ignored by drifting generation
+            seed: 11,
+        }
+    }
+
+    /// AAA and CCC swap roles at the halfway point; BBB is steady.
+    fn flip_phases(phase_ms: u64) -> Vec<DriftPhase> {
+        vec![
+            DriftPhase::new(phase_ms, vec![1.0, 1.0, 1.0]),
+            DriftPhase::new(phase_ms, vec![0.05, 1.0, 20.0]),
+        ]
+    }
+
+    #[test]
+    fn drifting_stream_is_ordered_and_phase_rates_flip() {
+        let mut cat = Catalog::new();
+        let d = generate_drifting(&base(), &flip_phases(30_000), &mut cat).unwrap();
+        assert_eq!(cat.len(), 3);
+        assert_eq!(d.drift_start_ms(), 30_000);
+        for w in d.stream.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+            assert!(w[0].seq < w[1].seq);
+        }
+        // Empirical rates per phase track the configured flip (Poisson
+        // noise allowed).
+        let count = |ty: TypeId, lo: u64, hi: u64| {
+            d.stream
+                .iter()
+                .filter(|e| e.type_id == ty && e.ts >= lo && e.ts < hi)
+                .count() as f64
+        };
+        let aaa_p1 = count(d.type_ids[0], 0, 30_000) / 30.0;
+        let aaa_p2 = count(d.type_ids[0], 30_000, 60_000) / 30.0;
+        let ccc_p1 = count(d.type_ids[2], 0, 30_000) / 30.0;
+        let ccc_p2 = count(d.type_ids[2], 30_000, 60_000) / 30.0;
+        assert!((aaa_p1 - 20.0).abs() < 4.0, "AAA phase 1: {aaa_p1}/s");
+        assert!(aaa_p2 < 3.0, "AAA phase 2: {aaa_p2}/s");
+        assert!(ccc_p1 < 3.0, "CCC phase 1: {ccc_p1}/s");
+        assert!((ccc_p2 - 20.0).abs() < 4.0, "CCC phase 2: {ccc_p2}/s");
+    }
+
+    #[test]
+    fn phase_stats_report_exact_configured_rates() {
+        let mut cat = Catalog::new();
+        let d = generate_drifting(&base(), &flip_phases(10_000), &mut cat).unwrap();
+        let p1 = d.initial_stats();
+        let p2 = d.final_stats();
+        assert!((p1.rate(d.type_ids[0]) - 0.020).abs() < 1e-9);
+        assert!((p1.rate(d.type_ids[2]) - 0.001).abs() < 1e-9);
+        assert!((p2.rate(d.type_ids[0]) - 0.001).abs() < 1e-9);
+        assert!((p2.rate(d.type_ids[2]) - 0.020).abs() < 1e-9);
+        // The steady symbol keeps its rate in both phases.
+        assert!((p1.rate(d.type_ids[1]) - p2.rate(d.type_ids[1])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drifting_generation_is_deterministic_per_seed() {
+        let mut c1 = Catalog::new();
+        let mut c2 = Catalog::new();
+        let d1 = generate_drifting(&base(), &flip_phases(5_000), &mut c1).unwrap();
+        let d2 = generate_drifting(&base(), &flip_phases(5_000), &mut c2).unwrap();
+        assert_eq!(d1.stream.len(), d2.stream.len());
+        for (a, b) in d1.stream.iter().zip(&d2.stream) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.type_id, b.type_id);
+            assert_eq!(a.attrs, b.attrs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multipliers")]
+    fn mismatched_multiplier_count_rejected() {
+        let mut cat = Catalog::new();
+        let _ = generate_drifting(&base(), &[DriftPhase::new(1_000, vec![1.0])], &mut cat);
+    }
+}

@@ -13,9 +13,11 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod stock;
 pub mod workload;
 
+pub use drift::{generate_drifting, DriftPhase, DriftingStream};
 pub use stock::{
     GeneratedStream, StockConfig, StockStreamGenerator, SymbolSpec, ATTR_DIFFERENCE, ATTR_PRICE,
     ATTR_REPLICA,

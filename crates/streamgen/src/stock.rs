@@ -237,7 +237,11 @@ impl StockStreamGenerator {
 /// `(symbol index, event)` pairs in `ts` order, without stream coordinates;
 /// events carry the `(price, difference)` attributes only (the caller
 /// appends extras).
-fn synthesize(config: &StockConfig, seed: u64, type_ids: &[TypeId]) -> Vec<(usize, Event)> {
+pub(crate) fn synthesize(
+    config: &StockConfig,
+    seed: u64,
+    type_ids: &[TypeId],
+) -> Vec<(usize, Event)> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Draw all arrivals, then merge by timestamp.
     let mut arrivals: Vec<(u64, usize)> = Vec::new();

@@ -1,97 +1,135 @@
-//! Adaptivity sketch (Section 6.3): monitor arrival-rate drift with a
-//! sliding window and regenerate the evaluation plan when the statistics
-//! the current plan was built with no longer hold.
+//! Live plan swap (the detect → replan → swap loop the paper's Section 6.3
+//! defers to companion work), running end to end: an `AdaptiveEngine`
+//! monitors arrival-rate drift, rebuilds its evaluation plan from live
+//! estimates, and hot-swaps engines mid-stream — replaying the retained
+//! pattern window into the fresh engine and deduplicating re-detections so
+//! the output is **byte-identical** to a never-swapped engine.
 //!
-//! The stream starts with S-A frequent and S-C rare; halfway through, the
-//! rates flip. A static plan ordered for phase 1 becomes poor in phase 2;
-//! the monitor detects the drift and a re-plan restores the cheap order.
+//! The stream starts with AAA frequent and CCC rare; halfway through, the
+//! rates flip. The initial plan (wait for rare CCC, then join backwards)
+//! becomes the worst order in phase 2; the adaptive engine detects the
+//! drift and swaps to the inverted plan, which a side-by-side static
+//! engine never does.
 //!
 //! Run with `cargo run --release --example adaptive_replanning`.
 
 use cep::core::compile::CompiledPattern;
-use cep::core::event::Event;
-use cep::core::schema::{Catalog, ValueKind};
-use cep::core::stats::{MeasuredStats, StatsOptions};
-use cep::core::stream::StreamBuilder;
-use cep::core::value::Value;
-use cep::optimizer::StatsMonitor;
+use cep::core::engine::{run_to_completion, Engine};
+use cep::core::matches::Match;
+use cep::core::schema::Catalog;
+use cep::core::selection::SelectionStrategy;
 use cep::prelude::*;
+use cep::shard::canonical_sort;
+use cep::streamgen::{generate_drifting, DriftPhase, StockConfig, SymbolSpec};
 
 fn main() {
+    // Three symbols: AAA frequent, BBB steady, CCC rare — until the flip.
+    let spec = |name: &str, rate: f64, drift: f64| SymbolSpec {
+        name: name.into(),
+        rate_per_sec: rate,
+        start_price: 100.0,
+        drift,
+        volatility: 1.0,
+    };
+    let base = StockConfig {
+        symbols: vec![
+            spec("AAA", 20.0, 2.0),
+            spec("BBB", 4.0, 0.0),
+            spec("CCC", 1.0, -2.0),
+        ],
+        duration_ms: 0, // per-phase durations below
+        seed: 0xADA,
+    };
+    let phases = vec![
+        DriftPhase::new(30_000, vec![1.0, 1.0, 1.0]),
+        DriftPhase::new(30_000, vec![0.05, 1.0, 20.0]),
+    ];
     let mut catalog = Catalog::new();
-    let ta = catalog.add_type("S-A", &[("x", ValueKind::Int)]).unwrap();
-    let tb = catalog.add_type("S-B", &[("x", ValueKind::Int)]).unwrap();
-    let tc = catalog.add_type("S-C", &[("x", ValueKind::Int)]).unwrap();
+    let gen = generate_drifting(&base, &phases, &mut catalog).unwrap();
+    println!(
+        "drifting stream: {} events, rates flip at {} ms",
+        gen.stream.len(),
+        gen.drift_start_ms()
+    );
 
-    let pattern = parse_pattern("PATTERN SEQ(S-A a, S-B b, S-C c) WITHIN 2 s", &catalog).unwrap();
-    let cp = CompiledPattern::compile_single(&pattern).unwrap();
-
-    // Phase 1: A at 10/s, B at 2/s, C at 0.5/s. Phase 2: rates of A and C swap.
-    let mut sb = StreamBuilder::new();
-    for phase in 0..2u64 {
-        let (ra, rc) = if phase == 0 { (10, 1) } else { (1, 10) };
-        let base = phase * 30_000;
-        for i in 0..30_000u64 {
-            let ts = base + i;
-            if i % (1000 / ra) == 0 {
-                sb.push(Event::new(ta, ts, vec![Value::Int(0)]));
-            }
-            if i % 500 == 0 {
-                sb.push(Event::new(tb, ts, vec![Value::Int(0)]));
-            }
-            if i % (1000 / rc) == 0 {
-                sb.push(Event::new(tc, ts, vec![Value::Int(0)]));
-            }
-        }
-    }
-    let stream = sb.build();
-    println!("two-phase stream: {} events", stream.len());
-
-    let planner = Planner::default();
-    let plan_for = |rates: &MeasuredStats| {
-        let stats =
-            cep::core::stats::PatternStats::build(&cp, rates, &[], &StatsOptions::default())
-                .unwrap();
-        planner
-            .plan_order(&cp, &stats, OrderAlgorithm::DpLd)
-            .unwrap()
+    let pattern = parse_pattern(
+        "PATTERN SEQ(AAA a, BBB b, CCC c)
+         WHERE (a.difference < b.difference AND b.difference < c.difference)
+         WITHIN 3 s",
+        &catalog,
+    )
+    .unwrap();
+    let sels = vec![
+        base.symbols[0].lt_selectivity(&base.symbols[1]),
+        base.symbols[1].lt_selectivity(&base.symbols[2]),
+    ];
+    let adaptive_cfg = AdaptiveConfig {
+        horizon_ms: 3_000,
+        drift_threshold: 0.5,
+        check_every: 32,
+        cooldown_events: 128,
     };
 
-    // Bootstrap plan from phase-1 rates.
-    let mut monitor = StatsMonitor::new(10_000, 0.8);
-    let mut measured = MeasuredStats::default();
-    measured.set_rate(ta, 0.010);
-    measured.set_rate(tb, 0.002);
-    measured.set_rate(tc, 0.001);
-    let mut plan = plan_for(&measured);
-    monitor.rebaseline();
-    println!("initial plan (phase-1 statistics): {plan}");
+    let run = |engine: &mut dyn Engine, stream| -> (Vec<Match>, u64) {
+        let r = run_to_completion(engine, stream, true);
+        let mut matches = r.matches;
+        canonical_sort(&mut matches);
+        (matches, r.metrics.partial_matches_created)
+    };
 
-    let mut replans = 0;
-    for (i, e) in stream.iter().enumerate() {
-        monitor.observe(e);
-        // Check for drift periodically, as a real deployment would.
-        if i % 50 == 0 && i > 0 && monitor.drifted() {
-            let mut fresh = MeasuredStats::default();
-            for (ty, rate) in monitor.rates() {
-                fresh.set_rate(ty, rate);
-            }
-            let new_plan = plan_for(&fresh);
-            if new_plan != plan {
-                replans += 1;
-                println!(
-                    "drift detected at event {i} (ts {}): replanning {plan} -> {new_plan}",
-                    e.ts
-                );
-                plan = new_plan;
-            }
-            monitor.rebaseline();
+    // The exactness guarantee: under every exact selection strategy, the
+    // swapping engine's output is byte-identical to the static engine's.
+    for strategy in [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::StrictContiguity,
+        SelectionStrategy::PartitionContiguity,
+    ] {
+        let mut p = pattern.clone();
+        p.strategy = strategy;
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let replanner = PlanReplanner::new(
+            vec![(cp, sels.clone())],
+            &gen.initial_stats(),
+            Planner::default(),
+            PlanKind::Order(OrderAlgorithm::DpLd),
+            Default::default(),
+        )
+        .unwrap();
+        let initial_plan = replanner.describe();
+        let mut static_engine = replanner.build();
+        let (expected, static_partials) = run(static_engine.as_mut(), &gen.stream);
+        let mut adaptive = AdaptiveEngine::new(replanner, p.window, adaptive_cfg.clone());
+        let (got, adaptive_partials) = run(&mut adaptive, &gen.stream);
+        assert_eq!(
+            got, expected,
+            "{strategy}: the swapped output must be byte-identical"
+        );
+        println!(
+            "\n[{strategy}] {} matches, byte-identical with and without swaps",
+            got.len()
+        );
+        if strategy == SelectionStrategy::SkipTillAnyMatch {
+            let m = adaptive.metrics();
+            println!("  initial plan : {initial_plan}");
+            println!("  final plan   : {}", adaptive.replanner().describe());
+            println!(
+                "  plan swaps   : {} ({} events replayed, {:.2} ms replay time)",
+                m.plan_swaps,
+                m.replayed_events,
+                m.replay_time_ns as f64 / 1e6
+            );
+            println!("  partial matches: static {static_partials} vs adaptive {adaptive_partials}");
+            assert!(m.plan_swaps >= 1, "the rate flip must trigger a swap");
+            assert_ne!(
+                adaptive.replanner().describe(),
+                initial_plan,
+                "the swap must adopt a different plan"
+            );
+            assert!(
+                adaptive_partials < static_partials,
+                "the swapped plan must do less work after the drift"
+            );
         }
     }
-    println!("replans triggered: {replans}");
-    assert!(replans >= 1, "the rate flip must trigger a re-plan");
-    println!(
-        "final plan starts with the now-rare type: {}",
-        plan.order()[0] == cp.elem_index(0).unwrap()
-    );
+    println!("\nadaptivity: detected drift, swapped plans, output provably unchanged");
 }

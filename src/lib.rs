@@ -14,8 +14,13 @@
 //! * [`optimizer`] (`cep-optimizer`) — TRIVIAL/EFREQ (native CPG) and
 //!   GREEDY/II/DP/KBZ/ZSTREAM (adapted JQPG) plan generation.
 //! * [`sase`] (`cep-sase`) — parser for SASE-style pattern specifications.
-//! * [`streamgen`] (`cep-streamgen`) — synthetic stock streams and the
-//!   paper's five-category workloads.
+//! * [`shard`] (`cep-shard`) — partitioned parallel runtime with a
+//!   deterministic merge.
+//! * [`adaptive`] (`cep-adaptive`) — live plan swap: drift-triggered
+//!   replanning with retained-window state migration.
+//! * [`streamgen`] (`cep-streamgen`) — synthetic stock streams (plain,
+//!   partition-replicated, and drifting-rate) and the paper's
+//!   five-category workloads.
 //!
 //! ## Quick start
 //!
@@ -47,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub use cep_adaptive as adaptive;
 pub use cep_core as core;
 pub use cep_nfa as nfa;
 pub use cep_optimizer as optimizer;
@@ -67,6 +73,9 @@ use cep_tree::TreeEngine;
 
 /// Commonly used items, re-exported for `use cep::prelude::*`.
 pub mod prelude {
+    pub use cep_adaptive::{
+        AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, PlanKind, PlanReplanner, Replanner,
+    };
     pub use cep_core::prelude::*;
     pub use cep_nfa::NfaEngine;
     pub use cep_optimizer::planner::{LatencyAnchor, Planner, PlannerConfig};
@@ -176,6 +185,72 @@ pub fn tree_engine_factory(
         window: pattern.window,
         config,
     }))
+}
+
+/// Compiles `pattern` and pairs each DNF branch with its analytic
+/// selectivities over the generated stream.
+fn compiled_branches(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+) -> Result<Vec<(CompiledPattern, Vec<f64>)>, CepError> {
+    Ok(CompiledPattern::compile(pattern)?
+        .into_iter()
+        .map(|cp| {
+            let sels = analytic_selectivities(&cp, gen);
+            (cp, sels)
+        })
+        .collect())
+}
+
+/// Adaptive counterpart of [`nfa_engine_factory`]: every engine the
+/// factory stamps out wraps its NFA engine in a
+/// [`cep_adaptive::AdaptiveEngine`] that monitors arrival-rate drift on
+/// its own input, replans with `algorithm` from live estimates, and
+/// hot-swaps plans with retained-window state migration. The initial plan
+/// comes from the generated stream's analytic statistics, exactly like the
+/// static factory's. Handing this factory to a
+/// [`cep_shard::ShardedRuntime`] gives per-shard independent replanning.
+pub fn adaptive_nfa_engine_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: OrderAlgorithm,
+    config: EngineConfig,
+    adaptive: cep_adaptive::AdaptiveConfig,
+) -> Result<Box<dyn EngineFactory>, CepError> {
+    let replanner = cep_adaptive::PlanReplanner::new(
+        compiled_branches(pattern, gen)?,
+        &analytic_measured_stats(gen),
+        Planner::default(),
+        cep_adaptive::PlanKind::Order(algorithm),
+        config,
+    )?;
+    Ok(Box::new(cep_adaptive::AdaptiveFactory::new(
+        replanner,
+        pattern.window,
+        adaptive,
+    )))
+}
+
+/// Tree-based counterpart of [`adaptive_nfa_engine_factory`].
+pub fn adaptive_tree_engine_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: TreeAlgorithm,
+    config: EngineConfig,
+    adaptive: cep_adaptive::AdaptiveConfig,
+) -> Result<Box<dyn EngineFactory>, CepError> {
+    let replanner = cep_adaptive::PlanReplanner::new(
+        compiled_branches(pattern, gen)?,
+        &analytic_measured_stats(gen),
+        Planner::default(),
+        cep_adaptive::PlanKind::Tree(algorithm),
+        config,
+    )?;
+    Ok(Box::new(cep_adaptive::AdaptiveFactory::new(
+        replanner,
+        pattern.window,
+        adaptive,
+    )))
 }
 
 /// Builds an order-based (NFA) engine for `pattern`, planning every DNF

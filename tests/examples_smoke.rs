@@ -2,7 +2,7 @@
 //! deterministic seeded stream, so the examples cannot silently rot: each
 //! test mirrors its example's pattern and stream shape (scaled down to
 //! stay fast under `cargo test`) and asserts the pipeline still produces
-//! matches (or, for the adaptivity demo, still triggers a re-plan).
+//! matches (or, for the adaptivity demo, still swaps plans exactly).
 
 use cep::core::compile::CompiledPattern;
 use cep::core::engine::{run_to_completion, EngineConfig};
@@ -10,10 +10,8 @@ use cep::core::event::Event;
 use cep::core::plan::OrderPlan;
 use cep::core::schema::{Catalog, ValueKind};
 use cep::core::selection::SelectionStrategy;
-use cep::core::stats::{MeasuredStats, PatternStats, StatsOptions};
 use cep::core::stream::StreamBuilder;
 use cep::core::value::Value;
-use cep::optimizer::StatsMonitor;
 use cep::prelude::*;
 use cep::streamgen::{analytic_measured_stats, analytic_selectivities, SymbolSpec};
 use rand::rngs::StdRng;
@@ -439,68 +437,174 @@ fn selection_strategies_core_path_matches() {
     );
 }
 
-/// `examples/adaptive_replanning.rs`: flipping the arrival rates halfway
-/// through the stream drifts the monitored statistics enough to trigger at
-/// least one re-plan, and the new plan differs from the old one.
+/// `examples/adaptive_replanning.rs`: on a drifting-rate stream whose
+/// frequent and rare types flip, the `AdaptiveEngine` swaps plans at least
+/// once, does measurably less work than the static engine, and its output
+/// stays byte-identical under every exact selection strategy.
 #[test]
-fn adaptive_replanning_core_path_replans() {
-    let mut catalog = Catalog::new();
-    let ta = catalog.add_type("S-A", &[("x", ValueKind::Int)]).unwrap();
-    let tb = catalog.add_type("S-B", &[("x", ValueKind::Int)]).unwrap();
-    let tc = catalog.add_type("S-C", &[("x", ValueKind::Int)]).unwrap();
-    let pattern = parse_pattern("PATTERN SEQ(S-A a, S-B b, S-C c) WITHIN 2 s", &catalog).unwrap();
-    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+fn adaptive_replanning_core_path_swaps_and_stays_exact() {
+    use cep::core::engine::Engine;
+    use cep::core::matches::Match;
+    use cep::shard::canonical_sort;
+    use cep::streamgen::{generate_drifting, DriftPhase, StockConfig};
 
-    let mut sb = StreamBuilder::new();
-    for phase in 0..2u64 {
-        let (ra, rc) = if phase == 0 { (10, 1) } else { (1, 10) };
-        let base = phase * 30_000;
-        for i in 0..30_000u64 {
-            let ts = base + i;
-            if i % (1000 / ra) == 0 {
-                sb.push(Event::new(ta, ts, vec![Value::Int(0)]));
-            }
-            if i % 500 == 0 {
-                sb.push(Event::new(tb, ts, vec![Value::Int(0)]));
-            }
-            if i % (1000 / rc) == 0 {
-                sb.push(Event::new(tc, ts, vec![Value::Int(0)]));
-            }
-        }
-    }
-    let stream = sb.build();
-
-    let planner = Planner::default();
-    let plan_for = |rates: &MeasuredStats| {
-        let stats = PatternStats::build(&cp, rates, &[], &StatsOptions::default()).unwrap();
-        planner
-            .plan_order(&cp, &stats, OrderAlgorithm::DpLd)
-            .unwrap()
+    let spec = |name: &str, rate: f64, drift: f64| SymbolSpec {
+        name: name.into(),
+        rate_per_sec: rate,
+        start_price: 100.0,
+        drift,
+        volatility: 1.0,
     };
+    // Milder drift separation than the example: at this scale the very
+    // selective predicates would leave the fixture matchless.
+    let base = StockConfig {
+        symbols: vec![
+            spec("AAA", 20.0, 0.5),
+            spec("BBB", 4.0, 0.0),
+            spec("CCC", 1.0, -0.5),
+        ],
+        duration_ms: 0,
+        seed: 0xADA,
+    };
+    // Shorter phases than the example so this stays fast in debug builds.
+    let phases = vec![
+        DriftPhase::new(8_000, vec![1.0, 1.0, 1.0]),
+        DriftPhase::new(8_000, vec![0.05, 1.0, 20.0]),
+    ];
+    let mut catalog = Catalog::new();
+    let gen = generate_drifting(&base, &phases, &mut catalog).unwrap();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(AAA a, BBB b, CCC c)
+         WHERE (a.difference < b.difference AND b.difference < c.difference)
+         WITHIN 2 s",
+        &catalog,
+    )
+    .unwrap();
+    let sels = vec![
+        base.symbols[0].lt_selectivity(&base.symbols[1]),
+        base.symbols[1].lt_selectivity(&base.symbols[2]),
+    ];
 
-    let mut monitor = StatsMonitor::new(10_000, 0.8);
-    let mut measured = MeasuredStats::default();
-    measured.set_rate(ta, 0.010);
-    measured.set_rate(tb, 0.002);
-    measured.set_rate(tc, 0.001);
-    let mut plan = plan_for(&measured);
-    monitor.rebaseline();
-
-    let mut replans = 0;
-    for (i, e) in stream.iter().enumerate() {
-        monitor.observe(e);
-        if i % 50 == 0 && i > 0 && monitor.drifted() {
-            let mut fresh = MeasuredStats::default();
-            for (ty, rate) in monitor.rates() {
-                fresh.set_rate(ty, rate);
-            }
-            let new_plan = plan_for(&fresh);
-            if new_plan != plan {
-                replans += 1;
-                plan = new_plan;
-            }
-            monitor.rebaseline();
+    let run = |engine: &mut dyn Engine| -> Vec<Match> {
+        let mut matches = run_to_completion(engine, &gen.stream, true).matches;
+        canonical_sort(&mut matches);
+        matches
+    };
+    for strategy in [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::StrictContiguity,
+        SelectionStrategy::PartitionContiguity,
+    ] {
+        let mut p = pattern.clone();
+        p.strategy = strategy;
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let replanner = PlanReplanner::new(
+            vec![(cp, sels.clone())],
+            &gen.initial_stats(),
+            Planner::default(),
+            PlanKind::Order(OrderAlgorithm::DpLd),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let initial_plan = replanner.describe();
+        let mut static_engine = replanner.build();
+        let expected = run(static_engine.as_mut());
+        let mut adaptive = AdaptiveEngine::new(
+            replanner,
+            p.window,
+            AdaptiveConfig {
+                horizon_ms: 2_000,
+                drift_threshold: 0.5,
+                check_every: 16,
+                cooldown_events: 32,
+            },
+        );
+        let got = run(&mut adaptive);
+        assert_eq!(got, expected, "{strategy}: swapped output diverged");
+        if strategy == SelectionStrategy::SkipTillAnyMatch {
+            assert!(!expected.is_empty(), "fixture should produce matches");
+            assert!(adaptive.swaps() >= 1, "the rate flip must trigger a swap");
+            assert_ne!(adaptive.replanner().describe(), initial_plan);
+            assert!(
+                adaptive.metrics().partial_matches_created
+                    < static_engine.metrics().partial_matches_created,
+                "the swapped plan must do less work after the drift"
+            );
         }
     }
-    assert!(replans >= 1, "the rate flip must trigger a re-plan");
+}
+
+/// The facade's adaptive factories: engines stamped out by
+/// `adaptive_nfa_engine_factory` / `adaptive_tree_engine_factory` agree
+/// byte for byte with the static factories' engines on a stationary
+/// stream (where calibration may swap, but the result set cannot change).
+#[test]
+fn adaptive_factories_agree_with_static_factories() {
+    use cep::core::matches::Match;
+    use cep::shard::canonical_sort;
+
+    let config = StockConfig::nasdaq_like(8, 10_000, 0.5, 21);
+    let mut catalog = Catalog::new();
+    let generated = StockStreamGenerator::generate(&config, &mut catalog).unwrap();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(S0000 a, S0002 b)
+         WHERE a.difference < b.difference
+         WITHIN 4 s",
+        &catalog,
+    )
+    .unwrap();
+    let adaptive_cfg = AdaptiveConfig {
+        horizon_ms: 2_000,
+        drift_threshold: 0.5,
+        check_every: 32,
+        cooldown_events: 64,
+    };
+    let run = |factory: &dyn cep::core::engine::EngineFactory| -> Vec<Match> {
+        let mut engine = factory.build();
+        let mut matches = run_to_completion(engine.as_mut(), &generated.stream, true).matches;
+        canonical_sort(&mut matches);
+        matches
+    };
+    let nfa_static = run(cep::nfa_engine_factory(
+        &pattern,
+        &generated,
+        OrderAlgorithm::DpLd,
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .as_ref());
+    assert!(!nfa_static.is_empty(), "fixture should produce matches");
+    let nfa_adaptive = run(cep::adaptive_nfa_engine_factory(
+        &pattern,
+        &generated,
+        OrderAlgorithm::DpLd,
+        EngineConfig::default(),
+        adaptive_cfg.clone(),
+    )
+    .unwrap()
+    .as_ref());
+    assert_eq!(nfa_adaptive, nfa_static);
+    let tree_static = run(cep::tree_engine_factory(
+        &pattern,
+        &generated,
+        TreeAlgorithm::DpB,
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .as_ref());
+    let tree_adaptive = run(cep::adaptive_tree_engine_factory(
+        &pattern,
+        &generated,
+        TreeAlgorithm::DpB,
+        EngineConfig::default(),
+        adaptive_cfg,
+    )
+    .unwrap()
+    .as_ref());
+    assert_eq!(tree_adaptive, tree_static);
+    assert_eq!(
+        nfa_adaptive.len(),
+        tree_adaptive.len(),
+        "engine families agree on the match count"
+    );
 }
