@@ -33,7 +33,20 @@ pub struct AdaptiveConfig {
     /// full window of events; the cooldown keeps a noisy boundary from
     /// thrashing plan builds faster than they can pay off.
     pub cooldown_events: u64,
+    /// Amortization horizon of the swap-cost gate, in pattern windows: a
+    /// candidate plan is only adopted when its predicted per-window savings
+    /// over this many windows exceed the predicted cost of replaying the
+    /// retained buffer under the new plan. Larger values swap more eagerly
+    /// (the regime is assumed to persist longer); `f64::INFINITY` disables
+    /// the gate, `0.0` suppresses every swap.
+    pub amortize_windows: f64,
 }
+
+/// Default [`AdaptiveConfig::amortize_windows`]: assume a fresh regime
+/// persists for at least this many pattern windows. With the default 20%
+/// cost hysteresis this gate only bites when the replay buffer is large
+/// relative to the predicted improvement.
+pub const DEFAULT_AMORTIZE_WINDOWS: f64 = 8.0;
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
@@ -42,8 +55,62 @@ impl Default for AdaptiveConfig {
             drift_threshold: 0.5,
             check_every: 256,
             cooldown_events: 1024,
+            amortize_windows: DEFAULT_AMORTIZE_WINDOWS,
         }
     }
+}
+
+/// How expensive an immediate hot swap would be, handed by the adaptive
+/// engine to [`Replanner::replan_amortized`] so plan adoption can weigh
+/// predicted savings against the replay bill.
+///
+/// Plan costs approximate per-window evaluation work, so both sides of the
+/// comparison live in the same unit: replaying the retained buffer under a
+/// candidate plan costs about `replay_fraction ×` the candidate's
+/// per-window cost, while switching saves
+/// `(current − candidate) × amortize_windows` over the horizon the new
+/// statistics are assumed to persist.
+#[derive(Debug, Clone, Copy)]
+pub struct SwapCost {
+    /// Retained replay buffer size as a fraction of the events expected in
+    /// one pattern window at current rates (clamped by the caller).
+    pub replay_fraction: f64,
+    /// Amortization horizon in pattern windows
+    /// (see [`AdaptiveConfig::amortize_windows`]).
+    pub amortize_windows: f64,
+}
+
+impl SwapCost {
+    /// A context that never suppresses a strictly better plan — the
+    /// pre-gating behaviour.
+    pub const IGNORE: SwapCost = SwapCost {
+        replay_fraction: 0.0,
+        amortize_windows: f64::INFINITY,
+    };
+
+    /// Whether switching from a plan costing `current` to one costing
+    /// `candidate` (per window, under the same statistics) pays for its
+    /// replay within the amortization horizon. Non-improvements never
+    /// amortize.
+    pub fn amortizes(&self, current: f64, candidate: f64) -> bool {
+        if !(candidate < current) {
+            return false;
+        }
+        (current - candidate) * self.amortize_windows > candidate * self.replay_fraction
+    }
+}
+
+/// Outcome of a gated replan attempt (see [`Replanner::replan_amortized`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanVerdict {
+    /// A better plan was adopted; the caller must hot-swap engines.
+    Swap,
+    /// No plan change (no candidate beat the incumbent by the margin).
+    Keep,
+    /// A better plan exists but its predicted savings do not amortize the
+    /// replay cost yet; the incumbent plan stays and the caller counts a
+    /// suppressed swap.
+    Suppressed,
 }
 
 /// Rebuilds evaluation plans from live rate estimates and stamps out
@@ -65,6 +132,41 @@ pub trait Replanner: Send {
     /// Implementations must keep the previous plan on planning errors —
     /// a live engine never goes down because one replan failed.
     fn replan(&mut self, rates: &MeasuredStats) -> bool;
+
+    /// Swap-cost-aware replan: like [`Self::replan`], but the caller also
+    /// supplies how expensive the resulting hot swap would be, so an
+    /// implementation can decline a better-but-not-better-enough plan
+    /// ([`ReplanVerdict::Suppressed`]) instead of forcing a replay that
+    /// will not pay for itself. The default ignores the context and
+    /// delegates to `replan`.
+    fn replan_amortized(&mut self, rates: &MeasuredStats, swap: &SwapCost) -> ReplanVerdict {
+        let _ = swap;
+        if self.replan(rates) {
+            ReplanVerdict::Swap
+        } else {
+            ReplanVerdict::Keep
+        }
+    }
+
+    /// Observes one input event *before* it reaches the engine — the hook
+    /// selectivity re-estimation rides on (see
+    /// [`crate::PlanReplanner::with_selectivity_monitoring`]). Default:
+    /// no-op.
+    fn observe_event(&mut self, _e: &EventRef) {}
+
+    /// Whether statistics beyond arrival rates (e.g. predicate
+    /// selectivities) have drifted from what the current plan assumes. The
+    /// adaptive engine attempts a replan when *either* this or its own
+    /// rate monitor fires. Default: `false` (rates are the only signal).
+    fn stats_drifted(&self) -> bool {
+        false
+    }
+
+    /// Events absorbed by the implementation's selectivity monitoring so
+    /// far (surfaced as [`EngineMetrics::selectivity_samples`]). Default 0.
+    fn selectivity_samples(&self) -> u64 {
+        0
+    }
 
     /// Observes an emitted match (e.g. to feed an output profiler).
     fn observe_match(&mut self, _m: &Match) {}
@@ -213,6 +315,8 @@ impl<R: Replanner> AdaptiveEngine<R> {
         agg.plan_swaps = self.metrics.plan_swaps;
         agg.replayed_events = self.metrics.replayed_events;
         agg.replay_time_ns = self.metrics.replay_time_ns;
+        agg.suppressed_swaps = self.metrics.suppressed_swaps;
+        agg.selectivity_samples = self.replanner.selectivity_samples();
         agg.retained_events = self.retained.len();
         agg.peak_retained_events = self.metrics.peak_retained_events.max(self.retained.len());
         let inner = self.inner.metrics();
@@ -275,6 +379,14 @@ impl<R: Replanner> AdaptiveEngine<R> {
     /// baseline yet (first check), calibrates instead: adopts the measured
     /// rates and replans once, so an engine bootstrapped from wrong a
     /// priori statistics corrects itself within `check_every` events.
+    ///
+    /// A replan is attempted when the *rate* monitor reports drift **or**
+    /// the replanner's own statistics monitoring
+    /// ([`Replanner::stats_drifted`], e.g. selectivity re-estimation) does.
+    /// Adoption is swap-cost-aware: the replanner receives the predicted
+    /// replay bill and may suppress a swap whose savings would not amortize
+    /// it ([`ReplanVerdict::Suppressed`]); suppressed attempts leave every
+    /// baseline in place so the pending drift retries at the next check.
     fn maybe_replan(&mut self, out: &mut Vec<Match>) {
         if !self
             .metrics
@@ -284,17 +396,36 @@ impl<R: Replanner> AdaptiveEngine<R> {
         {
             return;
         }
-        if self.monitor.has_baseline() && !self.monitor.drifted() {
+        if self.monitor.has_baseline() && !self.monitor.drifted() && !self.replanner.stats_drifted()
+        {
             return;
         }
         let mut rates = MeasuredStats::default();
+        let mut expected_window_events = 0.0;
         for (ty, rate) in self.monitor.rates() {
             rates.set_rate(ty, rate);
+            expected_window_events += rate * self.window as f64;
         }
-        let changed = self.replanner.replan(&rates);
-        self.monitor.rebaseline();
-        if changed {
-            self.swap(out);
+        let replay_fraction = if expected_window_events > 0.0 {
+            // Clamped: a rate estimate collapsing to near zero must not
+            // turn a window-bounded buffer into an unbounded bill.
+            (self.retained.len() as f64 / expected_window_events).min(4.0)
+        } else {
+            1.0
+        };
+        let swap_cost = SwapCost {
+            replay_fraction,
+            amortize_windows: self.cfg.amortize_windows,
+        };
+        match self.replanner.replan_amortized(&rates, &swap_cost) {
+            ReplanVerdict::Swap => {
+                self.monitor.rebaseline();
+                self.swap(out);
+            }
+            ReplanVerdict::Keep => self.monitor.rebaseline(),
+            ReplanVerdict::Suppressed => {
+                self.metrics.suppressed_swaps += 1;
+            }
         }
     }
 }
@@ -305,6 +436,7 @@ impl<R: Replanner> Engine for AdaptiveEngine<R> {
         self.events_since_swap = self.events_since_swap.saturating_add(1);
         self.watermark = self.watermark.max(event.ts);
         self.monitor.observe(event);
+        self.replanner.observe_event(event);
         self.retained.push_back(Arc::clone(event));
         // Evict strictly below `watermark − window`: an event exactly one
         // window old can still share a match with an event at the

@@ -59,7 +59,10 @@
 pub mod engine;
 pub mod replanner;
 
-pub use engine::{AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, Replanner};
+pub use engine::{
+    AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, ReplanVerdict, Replanner, SwapCost,
+    DEFAULT_AMORTIZE_WINDOWS,
+};
 pub use replanner::{PlanKind, PlanReplanner};
 
 #[cfg(test)]

@@ -2,17 +2,18 @@
 //! loop with any order- or tree-based plan-generation algorithm, optionally
 //! anchoring the latency objective with the Section 6.1 output profiler.
 
-use crate::engine::Replanner;
+use crate::engine::{ReplanVerdict, Replanner, SwapCost};
 use cep_core::compile::CompiledPattern;
 use cep_core::engine::{Engine, EngineConfig, MultiEngine};
 use cep_core::error::CepError;
+use cep_core::event::EventRef;
 use cep_core::matches::Match;
 use cep_core::plan::{OrderPlan, TreePlan};
-use cep_core::stats::MeasuredStats;
+use cep_core::stats::{MeasuredStats, PatternStats};
 use cep_nfa::NfaEngine;
 use cep_optimizer::planner::LatencyAnchor;
 use cep_optimizer::OutputProfiler;
-use cep_optimizer::{OrderAlgorithm, Planner, TreeAlgorithm};
+use cep_optimizer::{OrderAlgorithm, Planner, SelectivityMonitor, TreeAlgorithm};
 use cep_tree::TreeEngine;
 
 /// Matches a replan is based on before the output profiler may override
@@ -46,8 +47,16 @@ enum CurrentPlan {
 #[derive(Clone)]
 struct Branch {
     cp: CompiledPattern,
+    /// Per-predicate selectivities the current plan was built with;
+    /// refreshed from the selectivity monitor when monitoring is enabled.
     sels: Vec<f64>,
     plan: CurrentPlan,
+    /// Cached statistics, rebuilt **in place** on every replan
+    /// ([`PatternStats::update`]) so the hot loop never reallocates the
+    /// rate vector or selectivity matrix.
+    stats: PatternStats,
+    /// Live selectivity re-estimation for this branch, when enabled.
+    monitor: Option<SelectivityMonitor>,
 }
 
 /// A [`Replanner`] that regenerates evaluation plans with a
@@ -55,10 +64,12 @@ struct Branch {
 ///
 /// One instance covers every DNF branch of a pattern (multi-branch builds
 /// produce a [`MultiEngine`], exactly like the facade's static factories).
-/// Per-predicate selectivities are supplied once at construction — drift in
-/// *rates* is what plans are most sensitive to and what the runtime can
-/// observe cheaply; selectivity re-estimation would need match-level
-/// sampling and is out of scope here.
+/// Per-predicate selectivities are supplied at construction; with
+/// [`with_selectivity_monitoring`](Self::with_selectivity_monitoring) they
+/// are additionally **re-estimated online** from sampled event pairs over
+/// a sliding horizon, so replans see fresh *rates and selectivities* — a
+/// stream whose correlations shift while its rates stay flat still
+/// triggers a plan change.
 ///
 /// For single-branch patterns an [`OutputProfiler`] observes every emitted
 /// match; once it has seen [`PROFILER_MIN_SAMPLES`] of them, replans anchor
@@ -101,10 +112,53 @@ impl PlanReplanner {
             min_improvement: DEFAULT_MIN_IMPROVEMENT,
         };
         for (cp, sels) in branches {
-            let plan = replanner.plan_branch(&cp, &sels, initial)?;
-            replanner.branches.push(Branch { cp, sels, plan });
+            let (plan, stats) = replanner.plan_branch(&cp, &sels, initial)?;
+            replanner.branches.push(Branch {
+                cp,
+                sels,
+                plan,
+                stats,
+                monitor: None,
+            });
         }
         Ok(replanner)
+    }
+
+    /// Enables online selectivity re-estimation: every branch gets a
+    /// [`SelectivityMonitor`] seeded with its construction-time
+    /// selectivities as baseline, retaining `horizon_ms` of relevant
+    /// events and sampling up to `max_pairs` event pairs per estimate.
+    /// `threshold` is the relative deviation that counts as selectivity
+    /// drift. Replans then use the monitor's fresh estimates (once warmed
+    /// up) instead of the frozen construction-time values.
+    pub fn with_selectivity_monitoring(
+        mut self,
+        horizon_ms: u64,
+        threshold: f64,
+        max_pairs: usize,
+    ) -> PlanReplanner {
+        for b in &mut self.branches {
+            b.monitor = Some(SelectivityMonitor::new(
+                b.cp.clone(),
+                b.sels.clone(),
+                horizon_ms,
+                threshold,
+                max_pairs,
+            ));
+        }
+        self
+    }
+
+    /// Overrides the warm-up threshold of every selectivity monitor (the
+    /// retained-event count below which estimates are not acted on).
+    /// No-op unless
+    /// [`with_selectivity_monitoring`](Self::with_selectivity_monitoring)
+    /// was called first.
+    pub fn with_selectivity_min_events(mut self, min_events: usize) -> PlanReplanner {
+        for b in &mut self.branches {
+            b.monitor = b.monitor.take().map(|m| m.with_min_events(min_events));
+        }
+        self
     }
 
     /// Plans one branch under the current planner configuration, with the
@@ -114,10 +168,11 @@ impl PlanReplanner {
         cp: &CompiledPattern,
         sels: &[f64],
         measured: &MeasuredStats,
-    ) -> Result<CurrentPlan, CepError> {
+    ) -> Result<(CurrentPlan, PatternStats), CepError> {
         let planner = self.anchored_planner();
         let stats = planner.stats_for(cp, measured, sels)?;
-        Self::plan_with(&planner, cp, &stats, self.kind)
+        let plan = Self::plan_with(&planner, cp, &stats, self.kind)?;
+        Ok((plan, stats))
     }
 
     /// Plans one branch with an already-anchored planner and pre-built
@@ -210,44 +265,122 @@ impl Replanner for PlanReplanner {
     }
 
     fn replan(&mut self, rates: &MeasuredStats) -> bool {
+        self.replan_amortized(rates, &SwapCost::IGNORE) == ReplanVerdict::Swap
+    }
+
+    fn replan_amortized(&mut self, rates: &MeasuredStats, swap: &SwapCost) -> ReplanVerdict {
         // Plan all branches first: a planning failure on any branch keeps
         // the engine on its current (complete) plan set. A branch only
-        // adopts a candidate that predicts a cost improvement beyond the
-        // hysteresis margin under the same fresh statistics.
+        // adopts a candidate that (a) predicts a cost improvement beyond
+        // the hysteresis margin under the same fresh statistics and
+        // (b) whose improvement amortizes the replay bill in `swap`.
         let planner = self.anchored_planner();
-        let mut fresh = Vec::with_capacity(self.branches.len());
-        for b in &self.branches {
-            let stats = match planner.stats_for(&b.cp, rates, &b.sels) {
-                Ok(stats) => stats,
-                Err(_) => return false,
+        struct Candidacy {
+            /// A candidate beating the incumbent by the hysteresis margin.
+            better: Option<CurrentPlan>,
+            /// Whether that candidate's improvement amortizes the replay.
+            amortizes: bool,
+            /// The estimates the decision was costed with, if any.
+            fresh_sels: Option<Vec<f64>>,
+        }
+        let mut candidacies = Vec::with_capacity(self.branches.len());
+        for b in &mut self.branches {
+            // Fresh selectivities: the monitor's live estimates once it has
+            // seen enough events, the construction-time values otherwise.
+            // Sampled once here and reused for the baseline below.
+            let fresh_sels = match &b.monitor {
+                Some(m) if m.warmed_up() => Some(m.estimates()),
+                _ => None,
             };
-            match Self::plan_with(&planner, &b.cp, &stats, self.kind) {
+            let sels = fresh_sels.as_deref().unwrap_or(&b.sels);
+            // Incremental statistics rebuild: rates + selectivities are
+            // re-derived in place, no reallocation.
+            if b.stats
+                .update(&b.cp, rates, sels, &planner.config.stats_options)
+                .is_err()
+            {
+                return ReplanVerdict::Keep;
+            }
+            match Self::plan_with(&planner, &b.cp, &b.stats, self.kind) {
                 Ok(candidate) => {
                     let cm = planner.cost_model(&b.cp);
-                    let current_cost = Self::plan_cost(&cm, &b.plan, &stats);
-                    let candidate_cost = Self::plan_cost(&cm, &candidate, &stats);
-                    let adopt = candidate_cost.is_finite()
+                    let current_cost = Self::plan_cost(&cm, &b.plan, &b.stats);
+                    let candidate_cost = Self::plan_cost(&cm, &candidate, &b.stats);
+                    let improves = candidate_cost.is_finite()
                         && candidate_cost < current_cost * (1.0 - self.min_improvement);
-                    fresh.push(if adopt { Some(candidate) } else { None });
+                    let differs = improves
+                        && !match (&b.plan, &candidate) {
+                            (CurrentPlan::Order(old), CurrentPlan::Order(new)) => old == new,
+                            (CurrentPlan::Tree(old), CurrentPlan::Tree(new)) => old == new,
+                            _ => false,
+                        };
+                    candidacies.push(Candidacy {
+                        amortizes: differs && swap.amortizes(current_cost, candidate_cost),
+                        better: differs.then_some(candidate),
+                        fresh_sels,
+                    });
                 }
-                Err(_) => return false,
+                Err(_) => return ReplanVerdict::Keep,
             }
         }
-        let mut changed = false;
-        for (b, plan) in self.branches.iter_mut().zip(fresh) {
-            if let Some(plan) = plan {
-                let same = match (&b.plan, &plan) {
-                    (CurrentPlan::Order(old), CurrentPlan::Order(new)) => old == new,
-                    (CurrentPlan::Tree(old), CurrentPlan::Tree(new)) => old == new,
-                    _ => false,
-                };
-                if !same {
-                    b.plan = plan;
-                    changed = true;
-                }
+        // The replay bill is paid once for the whole engine, so the gate is
+        // engine-level: swap as soon as *any* branch's improvement
+        // amortizes it — and then adopt *every* branch's better plan, the
+        // marginal cost of riding along is zero. Only when no branch can
+        // justify the replay on its own is the whole attempt suppressed.
+        let any_amortizes = candidacies.iter().any(|c| c.amortizes);
+        let any_better = candidacies.iter().any(|c| c.better.is_some());
+        if any_better && !any_amortizes {
+            // Suppressed: keep every incumbent plan AND baseline, so the
+            // pending drift re-fires and the swap is retried once it
+            // amortizes (or the regime changes again).
+            return ReplanVerdict::Suppressed;
+        }
+        for (b, c) in self.branches.iter_mut().zip(candidacies) {
+            if let Some(plan) = c.better {
+                b.plan = plan;
+            }
+            // The decision (adopt or keep) was costed under `fresh_sels`
+            // when the monitor had them: make those the branch's reference
+            // point — plan description *and* drift baseline — without
+            // re-sampling. Before warm-up `fresh_sels` is `None` and the
+            // construction-time baseline is preserved: an early
+            // calibration replan must not overwrite supplied
+            // selectivities with defaults estimated from too few events.
+            if let (Some(m), Some(fresh)) = (&mut b.monitor, c.fresh_sels) {
+                m.set_baseline(fresh.clone());
+                b.sels = fresh;
             }
         }
-        changed
+        if any_better {
+            ReplanVerdict::Swap
+        } else {
+            ReplanVerdict::Keep
+        }
+    }
+
+    fn observe_event(&mut self, e: &EventRef) {
+        for b in &mut self.branches {
+            if let Some(m) = &mut b.monitor {
+                m.observe(e);
+            }
+        }
+    }
+
+    fn stats_drifted(&self) -> bool {
+        self.branches
+            .iter()
+            .any(|b| b.monitor.as_ref().is_some_and(|m| m.drifted()))
+    }
+
+    fn selectivity_samples(&self) -> u64 {
+        // Branch monitors all observe the same input stream; report the
+        // widest branch's absorption rather than double-counting.
+        self.branches
+            .iter()
+            .filter_map(|b| b.monitor.as_ref().map(|m| m.samples()))
+            .max()
+            .unwrap_or(0)
     }
 
     fn observe_match(&mut self, m: &Match) {

@@ -3,7 +3,9 @@
 //! never-swapped engine (and, for skip-till-any-match, the naive oracle)
 //! is the ground truth a swapping engine must reproduce byte-identically.
 
-use crate::{AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, PlanKind, PlanReplanner, Replanner};
+use crate::{
+    AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, PlanKind, PlanReplanner, Replanner, SwapCost,
+};
 use cep_core::compile::CompiledPattern;
 use cep_core::engine::{run_to_completion, Engine, EngineConfig, EngineFactory};
 use cep_core::event::{Event, TypeId};
@@ -11,9 +13,11 @@ use cep_core::matches::{validate_match, Match};
 use cep_core::naive::NaiveEngine;
 use cep_core::pattern::{Pattern, PatternBuilder};
 use cep_core::plan::{OrderPlan, TreePlan};
+use cep_core::predicate::{CmpOp, Predicate};
 use cep_core::selection::SelectionStrategy;
 use cep_core::stats::MeasuredStats;
 use cep_core::stream::{EventStream, StreamBuilder};
+use cep_core::value::Value;
 use cep_nfa::NfaEngine;
 use cep_optimizer::{OrderAlgorithm, Planner};
 use cep_tree::TreeEngine;
@@ -90,6 +94,7 @@ fn eager(horizon_ms: u64) -> AdaptiveConfig {
         drift_threshold: 1e-6,
         check_every: 4,
         cooldown_events: 0,
+        ..AdaptiveConfig::default()
     }
 }
 
@@ -185,6 +190,7 @@ fn real_replanner_swaps_on_drift_and_output_is_byte_identical() {
                 drift_threshold: 0.5,
                 check_every: 64,
                 cooldown_events: 128,
+                ..AdaptiveConfig::default()
             },
         );
         let got = run_engine(&mut adaptive, &stream);
@@ -350,6 +356,7 @@ fn calibration_replans_away_from_wrong_bootstrap_statistics() {
             drift_threshold: 0.5,
             check_every: 64,
             cooldown_events: 64,
+            ..AdaptiveConfig::default()
         },
     );
     let got = run_engine(&mut adaptive, &stream);
@@ -360,6 +367,270 @@ fn calibration_replans_away_from_wrong_bootstrap_statistics() {
         before,
         "the calibrated plan must differ from the bootstrap plan"
     );
+}
+
+/// `SEQ(T0 a, T1 b, T2 c)` with `a.x < b.x` and `a.x < c.x`: the
+/// correlation-drift fixture. Which of the two predicates is selective
+/// decides whether the cheap evaluation order starts with `c` or `b`.
+fn correlation_pattern(window: u64, strategy: SelectionStrategy) -> Pattern {
+    let mut b = PatternBuilder::new(window);
+    b.strategy(strategy);
+    let a = b.event(t(0), "a");
+    let bb = b.event(t(1), "b");
+    let c = b.event(t(2), "c");
+    b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, bb.pos(), 0));
+    b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+    b.seq([a, bb, c]).unwrap()
+}
+
+/// Two-phase stream whose arrival rates are **identical in both phases**
+/// (type 0 every ms, types 1 and 2 every 4 ms) while the correlations
+/// flip: `a.x` cycles 0..100; in phase 1 `b.x = 95` (so `a.x < b.x`
+/// passes 95% of the time) and `c.x = 5` (5%); phase 2 swaps the two.
+/// A rate monitor is blind to the change by construction.
+fn correlation_flip_stream(phase_ms: u64) -> EventStream {
+    let mut b = StreamBuilder::new();
+    for phase in 0..2u64 {
+        let (bx, cx) = if phase == 0 { (95, 5) } else { (5, 95) };
+        let base = phase * phase_ms;
+        for i in 0..phase_ms {
+            let ts = base + i;
+            b.push(Event::new(t(0), ts, vec![Value::Int((i % 100) as i64)]));
+            if i % 4 == 1 {
+                b.push(Event::new(t(1), ts, vec![Value::Int(bx)]));
+            }
+            if i % 4 == 3 {
+                b.push(Event::new(t(2), ts, vec![Value::Int(cx)]));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Exact phase-1 statistics of [`correlation_flip_stream`] (also exact for
+/// phase 2: the rates never change).
+fn correlation_stats() -> MeasuredStats {
+    let mut m = MeasuredStats::default();
+    m.set_rate(t(0), 1.0);
+    m.set_rate(t(1), 0.25);
+    m.set_rate(t(2), 0.25);
+    m
+}
+
+/// Phase-1 selectivities of the two predicates of
+/// [`correlation_pattern`] over [`correlation_flip_stream`].
+const CORRELATION_PHASE1_SELS: [f64; 2] = [0.95, 0.05];
+
+fn correlation_replanner(strategy: SelectionStrategy) -> PlanReplanner {
+    let cp = CompiledPattern::compile_single(&correlation_pattern(100, strategy)).unwrap();
+    PlanReplanner::new(
+        vec![(cp, CORRELATION_PHASE1_SELS.to_vec())],
+        &correlation_stats(),
+        Planner::default(),
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        EngineConfig::default(),
+    )
+    .unwrap()
+}
+
+fn correlation_config() -> AdaptiveConfig {
+    AdaptiveConfig {
+        horizon_ms: 400,
+        drift_threshold: 0.5,
+        check_every: 64,
+        cooldown_events: 128,
+        ..AdaptiveConfig::default()
+    }
+}
+
+#[test]
+fn selectivity_drift_swaps_only_with_monitoring_and_stays_exact() {
+    let stream = correlation_flip_stream(1_000);
+    for strategy in [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::StrictContiguity,
+        SelectionStrategy::PartitionContiguity,
+    ] {
+        let replanner = correlation_replanner(strategy);
+        let mut static_engine = replanner.build();
+        let expected = run_engine(static_engine.as_mut(), &stream);
+
+        // Rate-only adaptivity: the rates are flat, so the monitor never
+        // reports drift and the stale plan is kept for the whole stream.
+        let mut rate_only = AdaptiveEngine::new(replanner.clone(), 100, correlation_config());
+        let got = run_engine(&mut rate_only, &stream);
+        assert_eq!(got, expected, "{strategy}: rate-only output diverged");
+        assert_eq!(
+            rate_only.swaps(),
+            0,
+            "{strategy}: constant rates must not trigger a rate-driven swap"
+        );
+
+        // Full adaptivity: the selectivity monitor sees the pass-rate flip
+        // and replans from fresh rates *and* selectivities.
+        let full_replanner = replanner
+            .with_selectivity_monitoring(400, 0.5, 256)
+            .with_selectivity_min_events(32);
+        let mut full = AdaptiveEngine::new(full_replanner, 100, correlation_config());
+        let got = run_engine(&mut full, &stream);
+        assert_eq!(got, expected, "{strategy}: full-adaptive output diverged");
+        assert!(
+            full.swaps() >= 1,
+            "{strategy}: the correlation flip must trigger a swap (got {})",
+            full.swaps()
+        );
+        let m = full.metrics();
+        assert!(m.selectivity_samples > 0, "monitor must absorb samples");
+        assert!(m.replayed_events > 0, "a swap must replay retained state");
+        if strategy == SelectionStrategy::SkipTillAnyMatch {
+            assert!(!expected.is_empty(), "fixture should produce matches");
+        }
+    }
+}
+
+#[test]
+fn selectivity_swapped_run_agrees_with_naive_oracle() {
+    // A smaller instance of the correlation flip (the oracle is
+    // exponential in live subsets, so the full fixture is out of reach):
+    // the swapping engine must still agree with the exhaustive baseline.
+    let stream: EventStream = correlation_flip_stream(360)
+        .into_iter()
+        .filter(|e| e.ts % 2 == 0 || e.type_id != t(0))
+        .collect();
+    let cp = CompiledPattern::compile_single(&correlation_pattern(
+        60,
+        SelectionStrategy::SkipTillAnyMatch,
+    ))
+    .unwrap();
+    let replanner = PlanReplanner::new(
+        vec![(cp.clone(), CORRELATION_PHASE1_SELS.to_vec())],
+        &correlation_stats(),
+        Planner::default(),
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .with_selectivity_monitoring(200, 0.5, 128)
+    .with_selectivity_min_events(16);
+    let mut adaptive = AdaptiveEngine::new(
+        replanner,
+        60,
+        AdaptiveConfig {
+            horizon_ms: 200,
+            drift_threshold: 0.5,
+            check_every: 16,
+            cooldown_events: 32,
+            ..AdaptiveConfig::default()
+        },
+    );
+    let got = run_engine(&mut adaptive, &stream);
+    let mut oracle = NaiveEngine::new(cp, EngineConfig::default());
+    let oracle_matches = run_engine(&mut oracle, &stream);
+    assert!(!oracle_matches.is_empty(), "fixture should produce matches");
+    assert_eq!(
+        got.iter().map(|m| m.signature()).collect::<Vec<_>>(),
+        oracle_matches
+            .iter()
+            .map(|m| m.signature())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn early_replan_does_not_corrupt_the_selectivity_baseline() {
+    use std::sync::Arc;
+    // A replan that fires before the selectivity monitor is warmed up
+    // (e.g. the engine's calibration pass) must preserve the supplied
+    // baseline: the monitor has only seen types 0 and 1, so re-estimating
+    // now would default the a<c predicate to 1.0 — overwriting the real
+    // 0.05 and making the later, fully warmed estimates look like drift.
+    let mut replanner = correlation_replanner(SelectionStrategy::SkipTillAnyMatch)
+        .with_selectivity_monitoring(400, 0.5, 256)
+        .with_selectivity_min_events(150);
+    let mut seq = 0u64;
+    let mut feed = |r: &mut PlanReplanner, ty: u32, ts: u64, v: i64| {
+        let mut e = Event::new(t(ty), ts, vec![Value::Int(v)]);
+        e.seq = seq;
+        seq += 1;
+        r.observe_event(&Arc::new(e));
+    };
+    for i in 0..40u64 {
+        feed(&mut replanner, 0, i, (i % 100) as i64);
+        feed(&mut replanner, 1, i, 95);
+    }
+    replanner.replan_amortized(&correlation_stats(), &SwapCost::IGNORE);
+    // Finish warming up under the *original* phase-1 correlations.
+    for i in 40..200u64 {
+        feed(&mut replanner, 0, i, (i % 100) as i64);
+        if i % 4 == 1 {
+            feed(&mut replanner, 1, i, 95);
+        }
+        if i % 4 == 3 {
+            feed(&mut replanner, 2, i, 5);
+        }
+    }
+    assert!(
+        !replanner.stats_drifted(),
+        "stationary correlations reported as drift: the pre-warm-up \
+         replan corrupted the baseline"
+    );
+}
+
+#[test]
+fn non_amortized_swap_is_suppressed_with_output_unchanged() {
+    let stream = correlation_flip_stream(2_000);
+    let replanner = correlation_replanner(SelectionStrategy::SkipTillAnyMatch);
+    let mut static_engine = replanner.build();
+    let expected = run_engine(static_engine.as_mut(), &stream);
+    let before = replanner.describe();
+    // An amortization horizon of zero windows means no replay can ever pay
+    // for itself: the monitor keeps reporting drift, the replanner keeps
+    // finding the better plan, and the gate keeps declining it.
+    let cfg = AdaptiveConfig {
+        amortize_windows: 0.0,
+        ..correlation_config()
+    };
+    let full_replanner = replanner
+        .with_selectivity_monitoring(400, 0.5, 256)
+        .with_selectivity_min_events(32);
+    let mut engine = AdaptiveEngine::new(full_replanner, 100, cfg);
+    let got = run_engine(&mut engine, &stream);
+    assert_eq!(got, expected, "suppressed swaps must not change the output");
+    assert_eq!(engine.swaps(), 0, "every swap must have been suppressed");
+    let m = engine.metrics();
+    assert!(
+        m.suppressed_swaps >= 1,
+        "the gate must have declined at least one beneficial swap"
+    );
+    assert_eq!(m.replayed_events, 0, "no swap, no replay");
+    assert_eq!(
+        engine.replanner().describe(),
+        before,
+        "the incumbent plan must survive suppression"
+    );
+}
+
+#[test]
+fn swap_cost_amortization_arithmetic() {
+    let gate = SwapCost {
+        replay_fraction: 1.0,
+        amortize_windows: 8.0,
+    };
+    // Savings of 5/window over 8 windows (40) beat a replay bill of ~5.
+    assert!(gate.amortizes(10.0, 5.0));
+    // A 1% improvement cannot pay a full-window replay within 8 windows.
+    assert!(!gate.amortizes(10.0, 9.9));
+    // Non-improvements never amortize, under any horizon.
+    assert!(!gate.amortizes(5.0, 5.0));
+    assert!(!SwapCost::IGNORE.amortizes(5.0, 5.0));
+    // The IGNORE context adopts any strict improvement.
+    assert!(SwapCost::IGNORE.amortizes(5.0, 4.999));
+    // A zero horizon suppresses everything.
+    let never = SwapCost {
+        replay_fraction: 0.0,
+        amortize_windows: 0.0,
+    };
+    assert!(!never.amortizes(10.0, 1.0));
 }
 
 #[test]

@@ -39,6 +39,7 @@ fn adaptive_drift(c: &mut Criterion) {
         drift_threshold: 0.5,
         check_every: 32,
         cooldown_events: 128,
+        ..AdaptiveConfig::default()
     };
     let expected = {
         let mut engine = initial.build();

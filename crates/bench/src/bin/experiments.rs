@@ -12,6 +12,7 @@
 //!   selection-strategies   Figure 19
 //!   sharded-scaling        beyond the paper: cep-shard worker sweep (1..=--shards)
 //!   adaptive-drift         beyond the paper: live plan swap vs static plans on a rate flip
+//!   selectivity-drift      beyond the paper: selectivity re-estimation on a correlation flip
 //!   all                    everything above
 //! ```
 
@@ -22,7 +23,8 @@ use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: experiments <pattern-types|by-size|cost-validation|large-patterns|\
-         latency-tradeoff|selection-strategies|sharded-scaling|adaptive-drift|all> \
+         latency-tradeoff|selection-strategies|sharded-scaling|adaptive-drift|\
+         selectivity-drift|all> \
          [--set KIND] [--full] [--seed N] [--per-size N] [--duration-ms N] [--shards N]";
 
 fn usage() -> ! {
@@ -116,6 +118,7 @@ fn main() -> ExitCode {
         "selection-strategies" => figures::selection_strategies(&env, &mut out),
         "sharded-scaling" => figures::sharded_scaling(&env, shards, &mut out),
         "adaptive-drift" => figures::adaptive_drift(&env, &mut out),
+        "selectivity-drift" => figures::selectivity_drift(&env, &mut out),
         "all" => figures::pattern_types(&env, &mut out)
             .and_then(|_| {
                 for kind in PatternSetKind::all() {
@@ -128,7 +131,8 @@ fn main() -> ExitCode {
             .and_then(|_| figures::latency_tradeoff(&env, &mut out))
             .and_then(|_| figures::selection_strategies(&env, &mut out))
             .and_then(|_| figures::sharded_scaling(&env, shards, &mut out))
-            .and_then(|_| figures::adaptive_drift(&env, &mut out)),
+            .and_then(|_| figures::adaptive_drift(&env, &mut out))
+            .and_then(|_| figures::selectivity_drift(&env, &mut out)),
         _ => usage(),
     };
     match result {

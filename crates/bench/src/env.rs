@@ -217,9 +217,82 @@ pub fn drifting_stock_workload(
     (gen, cp, sels)
 }
 
+/// Selectivity-drifting stock workload shared by the selectivity-adaptive
+/// surfaces (`figures::selectivity_drift`, `benches/selectivity_drift.rs`):
+/// three symbols whose arrival rates never change, but whose difference
+/// drifts swap after `phase1_ms` so the selective predicate moves from
+/// `a.difference < c.difference` (phase 1, ~0.05) to
+/// `a.difference < b.difference` (phase 2) — flipping the cheap evaluation
+/// order while a rate monitor sees nothing. Returns the stream, the
+/// compiled pattern, its phase-1 (bootstrap) selectivities, and its
+/// phase-2 (oracle) selectivities.
+pub fn selectivity_drift_workload(
+    phase1_ms: u64,
+    phase2_ms: u64,
+    seed: u64,
+    window_ms: u64,
+) -> (
+    cep_streamgen::SelectivityDriftStream,
+    cep_core::compile::CompiledPattern,
+    Vec<f64>,
+    Vec<f64>,
+) {
+    use cep_streamgen::{generate_selectivity_drifting, SelectivityPhase, SymbolSpec};
+    let spec = |name: &str, rate: f64| SymbolSpec {
+        name: name.into(),
+        rate_per_sec: rate,
+        start_price: 100.0,
+        drift: 0.0, // per-phase drifts below
+        volatility: 1.0,
+    };
+    let base = StockConfig {
+        symbols: vec![spec("AAA", 20.0), spec("BBB", 5.0), spec("CCC", 5.0)],
+        duration_ms: 0, // per-phase durations below
+        seed,
+    };
+    // Drift separation 2.33 over a pair volatility of √2 puts each
+    // selectivity at ~0.05 on the tight side and ~0.95 on the loose side.
+    let phases = vec![
+        SelectivityPhase::new(phase1_ms, vec![0.0, 2.33, -2.33]),
+        SelectivityPhase::new(phase2_ms, vec![0.0, -2.33, 2.33]),
+    ];
+    let mut catalog = Catalog::new();
+    let gen = generate_selectivity_drifting(&base, &phases, &mut catalog)
+        .expect("fresh catalog accepts all symbols");
+    let pattern = cep_sase::parse_pattern(
+        &format!(
+            "PATTERN SEQ(AAA a, BBB b, CCC c)
+             WHERE (a.difference < b.difference AND a.difference < c.difference)
+             WITHIN {window_ms} ms"
+        ),
+        &catalog,
+    )
+    .expect("pattern parses against the drifting catalog");
+    let cp = cep_core::compile::CompiledPattern::compile_single(&pattern)
+        .expect("pure conjunctive pattern");
+    let initial_sels = vec![
+        gen.phase_lt_selectivity(0, 0, 1),
+        gen.phase_lt_selectivity(0, 0, 2),
+    ];
+    let oracle_sels = vec![
+        gen.phase_lt_selectivity(1, 0, 1),
+        gen.phase_lt_selectivity(1, 0, 2),
+    ];
+    (gen, cp, initial_sels, oracle_sels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn selectivity_workload_flips_the_selective_predicate() {
+        let (gen, cp, initial, oracle) = selectivity_drift_workload(3_000, 3_000, 7, 1_500);
+        assert!(!gen.stream.is_empty());
+        assert_eq!(cp.predicates.len(), 2);
+        assert!(initial[0] > 0.9 && initial[1] < 0.1, "{initial:?}");
+        assert!(oracle[0] < 0.1 && oracle[1] > 0.9, "{oracle:?}");
+    }
 
     #[test]
     fn quick_env_sets_up() {

@@ -49,6 +49,13 @@ pub struct EngineMetrics {
     pub retained_events: usize,
     /// Peak of the retained replay window.
     pub peak_retained_events: usize,
+    /// Events absorbed by an adaptive wrapper's selectivity monitor (0
+    /// when selectivity re-estimation is disabled or for static engines).
+    pub selectivity_samples: u64,
+    /// Plan swaps an adaptive wrapper declined because the predicted
+    /// savings over the amortization horizon would not pay for the replay
+    /// (a cheaper plan existed, but switching to it was not worth it yet).
+    pub suppressed_swaps: u64,
 }
 
 /// Estimated bytes per live partial match (bindings vector + bookkeeping).
@@ -123,6 +130,8 @@ impl EngineMetrics {
         self.replay_time_ns += other.replay_time_ns;
         self.retained_events += other.retained_events;
         self.peak_retained_events = self.peak_retained_events.max(other.peak_retained_events);
+        self.selectivity_samples += other.selectivity_samples;
+        self.suppressed_swaps += other.suppressed_swaps;
     }
 
     /// Merges counters from another engine (used by multi-plan evaluation).
@@ -142,6 +151,8 @@ impl EngineMetrics {
         self.replay_time_ns += other.replay_time_ns;
         self.retained_events += other.retained_events;
         self.peak_retained_events += other.peak_retained_events;
+        self.selectivity_samples += other.selectivity_samples;
+        self.suppressed_swaps += other.suppressed_swaps;
     }
 }
 
@@ -209,10 +220,14 @@ mod tests {
         a.replayed_events = 20;
         a.replay_time_ns = 111;
         a.peak_retained_events = 12;
+        a.selectivity_samples = 9;
+        a.suppressed_swaps = 1;
         b.plan_swaps = 2;
         b.replayed_events = 30;
         b.replay_time_ns = 222;
         b.peak_retained_events = 40;
+        b.selectivity_samples = 11;
+        b.suppressed_swaps = 2;
         a.merge(&b);
         // Counters and latency sums add across shards.
         assert_eq!(a.events_processed, 150);
@@ -226,6 +241,8 @@ mod tests {
         assert_eq!(a.replayed_events, 50);
         assert_eq!(a.replay_time_ns, 333);
         assert_eq!(a.peak_retained_events, 40);
+        assert_eq!(a.selectivity_samples, 20);
+        assert_eq!(a.suppressed_swaps, 3);
         // Peaks and wall time take the per-shard maximum.
         assert_eq!(a.peak_partial_matches, 9);
         assert_eq!(a.peak_buffered_events, 33);
@@ -261,11 +278,15 @@ mod tests {
         b.peak_partial_matches = 7;
         b.plan_swaps = 1;
         b.replayed_events = 5;
+        b.selectivity_samples = 4;
+        b.suppressed_swaps = 2;
         a.absorb(&b);
         assert_eq!(a.matches_emitted, 3);
         assert_eq!(a.peak_partial_matches, 7);
         assert_eq!(a.plan_swaps, 1);
         assert_eq!(a.replayed_events, 5);
+        assert_eq!(a.selectivity_samples, 4);
+        assert_eq!(a.suppressed_swaps, 2);
     }
 
     #[test]

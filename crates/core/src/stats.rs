@@ -64,8 +64,13 @@ impl MeasuredStats {
     }
 
     /// Arrival rate of a type in events per millisecond.
+    ///
+    /// A default-constructed (or otherwise empty-window) instance has
+    /// `duration_ms == 0`; the duration is clamped to one millisecond so
+    /// unknown types report a rate of `0.0` instead of `NaN` (`0/0`) and
+    /// counted types stay finite.
     pub fn rate(&self, type_id: TypeId) -> f64 {
-        *self.type_counts.get(&type_id).unwrap_or(&0) as f64 / self.duration_ms as f64
+        *self.type_counts.get(&type_id).unwrap_or(&0) as f64 / self.duration_ms.max(1) as f64
     }
 
     /// Overrides the rate of a type (events per millisecond). Useful when
@@ -92,9 +97,21 @@ pub fn estimate_selectivities(
     cp: &CompiledPattern,
     max_pairs: usize,
 ) -> Vec<f64> {
+    estimate_selectivities_iter(stream, cp, max_pairs)
+}
+
+/// Iterator-accepting form of [`estimate_selectivities`], for callers whose
+/// event window is not contiguous in memory (e.g. a sliding-horizon ring
+/// buffer): the events are bucketed by type in one pass without first
+/// copying them into a slice.
+pub fn estimate_selectivities_iter<'a>(
+    events: impl IntoIterator<Item = &'a EventRef>,
+    cp: &CompiledPattern,
+    max_pairs: usize,
+) -> Vec<f64> {
     // Collect a bounded sample of events per referenced position's type.
     let mut by_type: HashMap<TypeId, Vec<&EventRef>> = HashMap::new();
-    for e in stream {
+    for e in events {
         if cp.uses_type(e.type_id) {
             by_type.entry(e.type_id).or_default().push(e);
         }
@@ -199,6 +216,28 @@ impl PatternStats {
         pred_sel: &[f64],
         opts: &StatsOptions,
     ) -> Result<PatternStats, CepError> {
+        let n = cp.n();
+        let mut stats = PatternStats {
+            window_ms: cp.window as f64,
+            rates: vec![0.0; n],
+            sel: vec![vec![1.0; n]; n],
+            explicit_pair: vec![vec![false; n]; n],
+        };
+        stats.update(cp, measured, pred_sel, opts)?;
+        Ok(stats)
+    }
+
+    /// Rebuilds these statistics **in place** from fresh measurements: the
+    /// incremental path of the adaptive loop, which re-derives rates and
+    /// selectivities every drift check without reallocating the matrices.
+    /// `self` must have been built for a pattern of the same arity.
+    pub fn update(
+        &mut self,
+        cp: &CompiledPattern,
+        measured: &MeasuredStats,
+        pred_sel: &[f64],
+        opts: &StatsOptions,
+    ) -> Result<(), CepError> {
         if pred_sel.len() != cp.predicates.len() {
             return Err(CepError::Stats(format!(
                 "{} selectivities supplied for {} predicates",
@@ -207,45 +246,46 @@ impl PatternStats {
             )));
         }
         let n = cp.n();
+        if self.rates.len() != n {
+            return Err(CepError::Stats(format!(
+                "statistics were built for {} elements, pattern has {n}",
+                self.rates.len()
+            )));
+        }
         let w = cp.window as f64;
-        let mut rates = Vec::with_capacity(n);
-        for e in &cp.elements {
+        self.window_ms = w;
+        for (slot, e) in self.rates.iter_mut().zip(&cp.elements) {
             let r = measured.rate(e.event_type);
-            let r = if e.kleene {
+            *slot = if e.kleene {
                 // Section 5.2: the power-set type T' has rate 2^{rW}/W.
                 let exponent = (r * w).min(opts.kleene_exponent_cap);
                 exponent.exp2() / w
             } else {
                 r
             };
-            rates.push(r);
         }
-        let mut sel = vec![vec![1.0; n]; n];
-        let mut explicit_pair = vec![vec![false; n]; n];
         for i in 0..n {
+            self.sel[i][i] = 1.0;
             for &pi in cp.filters_of(i) {
-                sel[i][i] *= pred_sel[pi];
+                self.sel[i][i] *= pred_sel[pi];
             }
             for j in (i + 1)..n {
                 let mut s = 1.0;
+                let mut explicit = false;
                 for &pi in cp.predicates_between(i, j) {
                     s *= pred_sel[pi];
-                    explicit_pair[i][j] = true;
-                    explicit_pair[j][i] = true;
+                    explicit = true;
                 }
                 if cp.must_precede(i, j) || cp.must_precede(j, i) {
                     s *= opts.temporal_selectivity;
                 }
-                sel[i][j] = s;
-                sel[j][i] = s;
+                self.sel[i][j] = s;
+                self.sel[j][i] = s;
+                self.explicit_pair[i][j] = explicit;
+                self.explicit_pair[j][i] = explicit;
             }
         }
-        Ok(PatternStats {
-            window_ms: w,
-            rates,
-            sel,
-            explicit_pair,
-        })
+        Ok(())
     }
 
     /// Synthetic statistics, mostly for tests and planning-only experiments:
@@ -450,6 +490,93 @@ mod tests {
         let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
         let m = MeasuredStats::default();
         assert!(PatternStats::build(&cp, &m, &[], &StatsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_window_rates_default_to_zero_not_nan() {
+        // A default-constructed MeasuredStats has duration 0: every rate —
+        // known or unknown type — must come back 0.0, never NaN or inf.
+        let m = MeasuredStats::default();
+        assert_eq!(m.rate(t(0)), 0.0);
+        assert_eq!(m.rate(t(999)), 0.0);
+        // Same for a measurement over an empty stream.
+        let empty = MeasuredStats::measure(&[]);
+        assert_eq!(empty.rate(t(0)), 0.0);
+        assert!(empty.rate(t(0)).is_finite());
+        // A nonzero count with a zero duration (hand-assembled) stays
+        // finite too.
+        let mut degenerate = MeasuredStats::default();
+        degenerate.type_counts.insert(t(1), 5);
+        assert!(degenerate.rate(t(1)).is_finite());
+        assert_eq!(degenerate.rate(t(1)), 5.0);
+    }
+
+    #[test]
+    fn selectivity_estimation_defaults_on_empty_and_unknown_inputs() {
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        b.predicate(Predicate::attr_const(a.pos(), 0, CmpOp::Ge, Value::Int(0)));
+        let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        // Empty stream: no information, every predicate defaults to 1.0.
+        let sels = estimate_selectivities(&[], &cp, 100);
+        assert_eq!(sels, vec![1.0, 1.0]);
+        // Stream with only one of the two referenced types: the pairwise
+        // predicate still defaults to 1.0, the unary one is measurable.
+        let mut sb = crate::stream::StreamBuilder::new();
+        for ts in 0..10u64 {
+            sb.push(Event::new(t(0), ts, vec![Value::Int(ts as i64)]));
+        }
+        let partial = sb.build();
+        let sels = estimate_selectivities(&partial, &cp, 100);
+        assert_eq!(sels[0], 1.0, "pair with an absent type defaults to 1.0");
+        assert_eq!(sels[1], 1.0, "x >= 0 holds for every sampled event");
+        // A zero pair budget must not divide by zero: estimates stay
+        // finite probabilities.
+        let full = stream_ab();
+        for s in estimate_selectivities(&full, &cp, 0) {
+            assert!(s.is_finite());
+            assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range");
+        }
+    }
+
+    #[test]
+    fn update_rebuilds_in_place_and_matches_build() {
+        let mut b = PatternBuilder::new(10);
+        let a = b.event(t(0), "a");
+        let c = b.event(t(1), "c");
+        let d = b.event(t(2), "d");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        let cp = CompiledPattern::compile_single(&b.seq([a, c, d]).unwrap()).unwrap();
+        let opts = StatsOptions::default();
+        let mut m1 = MeasuredStats::default();
+        for i in 0..3 {
+            m1.set_rate(t(i), 1.0 + i as f64);
+        }
+        let mut st = PatternStats::build(&cp, &m1, &[0.3], &opts).unwrap();
+        // Fresh measurements and selectivities: the in-place update must
+        // produce exactly what a fresh build produces.
+        let mut m2 = MeasuredStats::default();
+        for i in 0..3 {
+            m2.set_rate(t(i), 5.0 - i as f64);
+        }
+        st.update(&cp, &m2, &[0.9], &opts).unwrap();
+        let fresh = PatternStats::build(&cp, &m2, &[0.9], &opts).unwrap();
+        assert_eq!(st.rates, fresh.rates);
+        assert_eq!(st.sel, fresh.sel);
+        assert_eq!(st.explicit_pair, fresh.explicit_pair);
+        assert_eq!(st.window_ms, fresh.window_ms);
+        // Updating back recovers the original values (no residue from the
+        // in-place multiply-accumulate).
+        st.update(&cp, &m1, &[0.3], &opts).unwrap();
+        let original = PatternStats::build(&cp, &m1, &[0.3], &opts).unwrap();
+        assert_eq!(st.sel, original.sel);
+        assert_eq!(st.rates, original.rates);
+        // Arity and selectivity-count mismatches are rejected.
+        assert!(st.update(&cp, &m1, &[], &opts).is_err());
+        let mut wrong = PatternStats::synthetic(1.0, vec![1.0], vec![vec![1.0]]);
+        assert!(wrong.update(&cp, &m1, &[0.3], &opts).is_err());
     }
 
     #[test]

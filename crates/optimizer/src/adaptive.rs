@@ -1,4 +1,4 @@
-//! Lightweight adaptivity hook (Section 6.3).
+//! Lightweight adaptivity hooks (Section 6.3).
 //!
 //! The paper defers full adaptive CEP to its companion work [27]; what plan
 //! generation needs from the runtime is (a) fresh arrival-rate estimates
@@ -6,8 +6,19 @@
 //! ones the current plan was built with. [`StatsMonitor`] provides both
 //! over a sliding horizon; callers re-plan when [`StatsMonitor::drifted`]
 //! fires (see the `adaptive_replanning` example in the repository root).
+//!
+//! Rates are only half of the cost model, though: plan choice is equally
+//! driven by predicate *selectivities*, and a stream whose correlations
+//! shift while its rates stay flat leaves `StatsMonitor` blind.
+//! [`SelectivityMonitor`] covers that axis — it retains the pattern's
+//! relevant events over the same kind of sliding horizon, re-estimates
+//! per-predicate pass rates by pair sampling
+//! ([`cep_core::stats::estimate_selectivities`]), and reports drift
+//! against the selectivities the active plan was built with.
 
+use cep_core::compile::CompiledPattern;
 use cep_core::event::{EventRef, Timestamp, TypeId};
+use cep_core::stats::estimate_selectivities_iter;
 use std::collections::{HashMap, VecDeque};
 
 /// Sliding-horizon arrival-rate monitor with drift detection.
@@ -113,6 +124,157 @@ impl StatsMonitor {
         self.baseline
             .iter()
             .any(|(ty, &base)| base > 0.0 && !self.counts.contains_key(ty))
+    }
+}
+
+/// Relative-deviation floor for selectivity drift: deviations are measured
+/// against `max(baseline, floor)` so near-zero baselines do not turn
+/// sampling noise into infinite relative drift.
+const SELECTIVITY_FLOOR: f64 = 0.05;
+
+/// Default number of retained relevant events before drift may fire;
+/// pair-sampled estimates over fewer events are too noisy to act on.
+const DEFAULT_MIN_EVENTS: usize = 64;
+
+/// Sliding-horizon predicate-selectivity monitor with drift detection —
+/// the selectivity sibling of [`StatsMonitor`].
+///
+/// The monitor retains the last `horizon_ms` of events whose types the
+/// pattern references and estimates each predicate's selectivity by
+/// striding sampled event pairs through it, exactly like the offline
+/// [`cep_core::stats::estimate_selectivities`] bootstrap. Its baseline
+/// starts as the
+/// selectivities the initial plan was built with, so drift is always
+/// "relative to what the active plan assumes".
+#[derive(Debug, Clone)]
+pub struct SelectivityMonitor {
+    cp: CompiledPattern,
+    horizon_ms: u64,
+    threshold: f64,
+    max_pairs: usize,
+    min_events: usize,
+    buffer: VecDeque<EventRef>,
+    baseline: Vec<f64>,
+    watermark: Timestamp,
+    samples: u64,
+}
+
+impl SelectivityMonitor {
+    /// Creates a monitor for one compiled pattern. `initial` is the
+    /// per-predicate selectivity vector the current plan was built with
+    /// (the starting baseline); `threshold` is the relative deviation that
+    /// counts as drift (e.g. 0.5 = ±50%); `max_pairs` bounds the sampling
+    /// work per estimate.
+    pub fn new(
+        cp: CompiledPattern,
+        initial: Vec<f64>,
+        horizon_ms: u64,
+        threshold: f64,
+        max_pairs: usize,
+    ) -> SelectivityMonitor {
+        assert!(horizon_ms > 0, "horizon must be positive");
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert_eq!(
+            initial.len(),
+            cp.predicates.len(),
+            "one baseline selectivity per predicate"
+        );
+        SelectivityMonitor {
+            cp,
+            horizon_ms,
+            threshold,
+            max_pairs: max_pairs.max(1),
+            min_events: DEFAULT_MIN_EVENTS,
+            buffer: VecDeque::new(),
+            baseline: initial,
+            watermark: 0,
+            samples: 0,
+        }
+    }
+
+    /// Overrides the minimum number of retained relevant events before
+    /// [`Self::drifted`] may fire (default 64). Tests use small values.
+    pub fn with_min_events(mut self, min_events: usize) -> SelectivityMonitor {
+        self.min_events = min_events;
+        self
+    }
+
+    /// Feeds one stream event; events of types the pattern does not
+    /// reference are ignored (and not counted as samples).
+    pub fn observe(&mut self, e: &EventRef) {
+        self.watermark = self.watermark.max(e.ts);
+        if self.cp.uses_type(e.type_id) {
+            self.buffer.push_back(e.clone());
+            self.samples += 1;
+        }
+        let horizon_start = self.watermark.saturating_sub(self.horizon_ms);
+        while self.buffer.front().is_some_and(|e| e.ts < horizon_start) {
+            self.buffer.pop_front();
+        }
+    }
+
+    /// Fresh per-predicate selectivity estimates over the retained
+    /// horizon. Predicates whose types have no retained events default to
+    /// 1.0, mirroring the offline estimator. One bucketing pass over the
+    /// ring buffer, no copy, up to `max_pairs` predicate evaluations.
+    pub fn estimates(&self) -> Vec<f64> {
+        estimate_selectivities_iter(self.buffer.iter(), &self.cp, self.max_pairs)
+    }
+
+    /// The baseline selectivities the active plan was built with.
+    pub fn baseline(&self) -> &[f64] {
+        &self.baseline
+    }
+
+    /// Total relevant events ever absorbed (the `selectivity_samples`
+    /// metric of adaptive wrappers).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Events currently retained inside the horizon.
+    pub fn retained_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether enough evidence has accumulated for [`Self::drifted`] and
+    /// [`Self::estimates`] to be meaningful.
+    pub fn warmed_up(&self) -> bool {
+        self.buffer.len() >= self.min_events
+    }
+
+    /// Adopts the current estimates as the new baseline (call after a
+    /// replan) and returns them.
+    pub fn rebaseline(&mut self) -> Vec<f64> {
+        let fresh = self.estimates();
+        self.set_baseline(fresh.clone());
+        fresh
+    }
+
+    /// Replaces the baseline with selectivities the caller already has —
+    /// typically the estimates a replan was just costed with, so the
+    /// baseline adopts them without paying for a second sampling pass.
+    pub fn set_baseline(&mut self, sels: Vec<f64>) {
+        assert_eq!(
+            sels.len(),
+            self.cp.predicates.len(),
+            "one baseline selectivity per predicate"
+        );
+        self.baseline = sels;
+    }
+
+    /// Whether any predicate's estimated selectivity deviates from the
+    /// baseline by more than the threshold, relative to
+    /// `max(baseline, 0.05)`. Always `false` before the monitor is
+    /// [warmed up](Self::warmed_up), and for patterns without predicates.
+    pub fn drifted(&self) -> bool {
+        if !self.warmed_up() || self.baseline.is_empty() {
+            return false;
+        }
+        self.estimates()
+            .iter()
+            .zip(&self.baseline)
+            .any(|(&now, &base)| (now - base).abs() / base.max(SELECTIVITY_FLOOR) > self.threshold)
     }
 }
 
@@ -241,6 +403,91 @@ mod tests {
         assert_eq!(m.rate(TypeId(0)), 0.0);
         assert_eq!(m.rate(TypeId(1)), 1.0);
         assert_eq!(m.rates().len(), 1);
+    }
+
+    use cep_core::pattern::PatternBuilder;
+    use cep_core::predicate::{CmpOp, Predicate};
+    use cep_core::value::Value;
+
+    /// `SEQ(T0 a, T1 b)` with `a.x < b.x`.
+    fn lt_pattern() -> CompiledPattern {
+        let mut b = PatternBuilder::new(1_000);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "b");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+        CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap()
+    }
+
+    /// Event with distinct stream coordinates (the estimator skips
+    /// same-`seq` pairs, so seqs must differ as they do in real streams).
+    fn vev(ty: u32, ts: u64, x: i64) -> EventRef {
+        let mut e = Event::new(TypeId(ty), ts, vec![Value::Int(x)]);
+        e.seq = ts;
+        Arc::new(e)
+    }
+
+    /// Interleaved T0/T1 events with the given attribute values.
+    fn feed(m: &mut SelectivityMonitor, ts0: u64, n: u64, x_a: i64, x_b: i64) {
+        for i in 0..n {
+            m.observe(&vev(0, ts0 + 2 * i, x_a));
+            m.observe(&vev(1, ts0 + 2 * i + 1, x_b));
+        }
+    }
+
+    #[test]
+    fn selectivity_monitor_tracks_pass_rate_flip() {
+        let cp = lt_pattern();
+        // Baseline: the predicate always passes (a.x=1 < b.x=2).
+        let mut m = SelectivityMonitor::new(cp, vec![1.0], 500, 0.5, 256).with_min_events(16);
+        feed(&mut m, 0, 100, 1, 2);
+        assert!(m.warmed_up());
+        let est = m.estimates();
+        assert!((est[0] - 1.0).abs() < 1e-9, "estimated {est:?}");
+        assert!(!m.drifted(), "estimates match the baseline");
+        // Correlation flips while both rates stay identical: the predicate
+        // now never passes, which must register as drift.
+        feed(&mut m, 1_000, 100, 3, 2);
+        assert!((m.estimates()[0]).abs() < 1e-9);
+        assert!(m.drifted(), "pass-rate collapse must count as drift");
+        let adopted = m.rebaseline();
+        assert!((adopted[0]).abs() < 1e-9);
+        assert!(!m.drifted(), "rebaseline adopts the new correlation");
+    }
+
+    #[test]
+    fn selectivity_monitor_is_horizon_bounded_and_counts_samples() {
+        let cp = lt_pattern();
+        let mut m = SelectivityMonitor::new(cp, vec![0.5], 100, 0.5, 64).with_min_events(8);
+        feed(&mut m, 0, 50, 1, 2);
+        // Irrelevant types are ignored entirely.
+        m.observe(&vev(7, 99, 0));
+        assert_eq!(m.samples(), 100);
+        // Events slide out with the horizon: retained length is bounded.
+        feed(&mut m, 10_000, 30, 1, 2);
+        assert_eq!(m.samples(), 160);
+        assert!(
+            m.retained_len() <= 102,
+            "horizon must bound the buffer, got {}",
+            m.retained_len()
+        );
+    }
+
+    #[test]
+    fn selectivity_monitor_needs_warmup_and_predicates() {
+        let cp = lt_pattern();
+        // Far from warmed up: even a flagrant mismatch must not fire.
+        let mut m = SelectivityMonitor::new(cp, vec![1.0], 500, 0.5, 64).with_min_events(1_000);
+        feed(&mut m, 0, 20, 3, 2);
+        assert!(!m.drifted(), "below min_events the monitor stays quiet");
+        // A predicate-free pattern has nothing to drift on.
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "b");
+        let plain = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+        let mut m = SelectivityMonitor::new(plain, vec![], 500, 0.5, 64).with_min_events(1);
+        feed(&mut m, 0, 20, 1, 2);
+        assert!(!m.drifted());
+        assert!(m.estimates().is_empty());
     }
 
     #[test]

@@ -136,6 +136,6 @@ impl fmt::Display for TreeAlgorithm {
     }
 }
 
-pub use adaptive::StatsMonitor;
+pub use adaptive::{SelectivityMonitor, StatsMonitor};
 pub use planner::{LatencyAnchor, Planner, PlannerConfig};
 pub use profiler::OutputProfiler;

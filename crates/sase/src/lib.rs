@@ -20,5 +20,10 @@
 
 mod lexer;
 mod parser;
+mod pretty;
 
 pub use parser::parse_pattern;
+pub use pretty::pretty_pattern;
+
+#[cfg(test)]
+mod roundtrip_tests;

@@ -1,0 +1,339 @@
+//! Pretty-printer: renders a [`Pattern`] back into the SASE specification
+//! language, the inverse of [`crate::parse_pattern`].
+//!
+//! The printer guarantees **round-trip fidelity**: for any pattern it
+//! accepts, `parse_pattern(&pretty_pattern(p, cat)?, cat)` reconstructs a
+//! structurally equal pattern. Patterns the surface language cannot
+//! express are rejected rather than silently misprinted:
+//!
+//! * constants the lexer has no literal for (negative numbers, strings,
+//!   floats with integral value — those re-parse as `Int`);
+//! * attributes literally named `ts` (the spelling `var.ts` is reserved
+//!   for the occurrence timestamp);
+//! * unary operators over anything but a primitive event;
+//! * variable or type names that are not plain identifiers, collide with
+//!   a keyword (`PATTERN`, `SEQ`, …, `true`), or repeat across variables
+//!   — the printed spec would fail or change meaning on re-parse.
+
+use cep_core::error::CepError;
+use cep_core::pattern::{Pattern, PatternExpr};
+use cep_core::predicate::Operand;
+use cep_core::schema::Catalog;
+use cep_core::selection::SelectionStrategy;
+use cep_core::value::Value;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Words the grammar claims for itself: a variable or type spelled like
+/// one would be consumed as structure (or a literal) on re-parse.
+const RESERVED: [&str; 11] = [
+    "PATTERN", "SEQ", "AND", "OR", "NOT", "KL", "WHERE", "WITHIN", "STRATEGY", "TRUE", "FALSE",
+];
+
+/// Whether `name` re-lexes as exactly one identifier token and none of the
+/// grammar's (case-insensitive) keywords.
+fn printable_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    let head_ok = bytes
+        .next()
+        .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_');
+    head_ok
+        && name
+            .bytes()
+            .skip(1)
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        && !RESERVED.iter().any(|kw| name.eq_ignore_ascii_case(kw))
+}
+
+/// Renders `pattern` as a SASE specification string that re-parses (under
+/// the same catalog) to a structurally equal pattern.
+pub fn pretty_pattern(pattern: &Pattern, catalog: &Catalog) -> Result<String, CepError> {
+    // Variable name and type per position, for operand rendering; the
+    // names must survive re-lexing, and variables must be unique (the
+    // parser rejects a twice-declared variable).
+    let mut vars: HashMap<usize, (String, cep_core::event::TypeId)> = HashMap::new();
+    let mut seen_names: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let primitives = pattern.primitives();
+    for p in &primitives {
+        if !printable_name(&p.name) {
+            return Err(CepError::Pattern(format!(
+                "variable {:?} is not expressible as a SASE identifier",
+                p.name
+            )));
+        }
+        if !seen_names.insert(&p.name) {
+            return Err(CepError::Pattern(format!(
+                "variable {:?} is declared more than once; the printed spec \
+                 would not re-parse",
+                p.name
+            )));
+        }
+        vars.insert(p.position, (p.name.clone(), p.event_type));
+    }
+    let mut out = String::from("PATTERN ");
+    render_expr(&pattern.expr, catalog, &mut out)?;
+    if !pattern.predicates.is_empty() {
+        out.push_str(" WHERE ");
+        for (i, p) in pattern.predicates.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" AND ");
+            }
+            render_operand(&p.left, catalog, &vars, &mut out)?;
+            write!(out, " {} ", p.op).expect("writing to String cannot fail");
+            render_operand(&p.right, catalog, &vars, &mut out)?;
+        }
+    }
+    write!(out, " WITHIN {} ms", pattern.window).expect("writing to String cannot fail");
+    let strategy = match pattern.strategy {
+        SelectionStrategy::SkipTillAnyMatch => "skip-till-any-match",
+        SelectionStrategy::SkipTillNextMatch => "skip-till-next-match",
+        SelectionStrategy::StrictContiguity => "strict-contiguity",
+        SelectionStrategy::PartitionContiguity => "partition-contiguity",
+    };
+    write!(out, " STRATEGY {strategy}").expect("writing to String cannot fail");
+    Ok(out)
+}
+
+fn type_name(catalog: &Catalog, ty: cep_core::event::TypeId) -> Result<String, CepError> {
+    let name = catalog
+        .schema(ty)
+        .map(|s| s.name.clone())
+        .ok_or_else(|| CepError::Pattern(format!("type {ty:?} is not in the catalog")))?;
+    if !printable_name(&name) {
+        return Err(CepError::Pattern(format!(
+            "type name {name:?} is not expressible as a SASE identifier"
+        )));
+    }
+    Ok(name)
+}
+
+fn render_expr(expr: &PatternExpr, catalog: &Catalog, out: &mut String) -> Result<(), CepError> {
+    match expr {
+        PatternExpr::Event {
+            event_type, name, ..
+        } => {
+            write!(out, "{} {name}", type_name(catalog, *event_type)?)
+                .expect("writing to String cannot fail");
+            Ok(())
+        }
+        PatternExpr::Not(inner) | PatternExpr::Kleene(inner) => {
+            let op = if matches!(expr, PatternExpr::Not(_)) {
+                "NOT"
+            } else {
+                "KL"
+            };
+            if !matches!(**inner, PatternExpr::Event { .. }) {
+                return Err(CepError::Pattern(format!(
+                    "{op} over a non-primitive expression is not expressible in SASE syntax"
+                )));
+            }
+            out.push_str(op);
+            out.push('(');
+            render_expr(inner, catalog, out)?;
+            out.push(')');
+            Ok(())
+        }
+        PatternExpr::Seq(children) | PatternExpr::And(children) | PatternExpr::Or(children) => {
+            out.push_str(match expr {
+                PatternExpr::Seq(_) => "SEQ",
+                PatternExpr::And(_) => "AND",
+                _ => "OR",
+            });
+            out.push('(');
+            for (i, c) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_expr(c, catalog, out)?;
+            }
+            out.push(')');
+            Ok(())
+        }
+    }
+}
+
+fn render_operand(
+    operand: &Operand,
+    catalog: &Catalog,
+    vars: &HashMap<usize, (String, cep_core::event::TypeId)>,
+    out: &mut String,
+) -> Result<(), CepError> {
+    let var_of = |position: usize| {
+        vars.get(&position).ok_or_else(|| {
+            CepError::Pattern(format!("operand references undeclared position {position}"))
+        })
+    };
+    match operand {
+        Operand::Ts { position } => {
+            let (var, _) = var_of(*position)?;
+            write!(out, "{var}.ts").expect("writing to String cannot fail");
+            Ok(())
+        }
+        Operand::Attr { position, attr } => {
+            let (var, ty) = var_of(*position)?;
+            let schema = catalog
+                .schema(*ty)
+                .ok_or_else(|| CepError::Pattern(format!("type {ty:?} is not in the catalog")))?;
+            let Some(def) = schema.attributes.get(*attr) else {
+                return Err(CepError::Pattern(format!(
+                    "type {:?} has no attribute index {attr}",
+                    schema.name
+                )));
+            };
+            if def.name == "ts" {
+                return Err(CepError::Pattern(
+                    "attribute named \"ts\" shadows the timestamp operand and cannot be \
+                     printed unambiguously"
+                        .into(),
+                ));
+            }
+            write!(out, "{var}.{}", def.name).expect("writing to String cannot fail");
+            Ok(())
+        }
+        Operand::Const(v) => {
+            match v {
+                Value::Int(n) if *n >= 0 => {
+                    write!(out, "{n}").expect("writing to String cannot fail")
+                }
+                Value::Int(n) => {
+                    return Err(CepError::Pattern(format!(
+                        "negative literal {n} has no SASE spelling"
+                    )))
+                }
+                Value::Float(x) if x.fract() != 0.0 && x.is_finite() && *x > 0.0 => {
+                    write!(out, "{x}").expect("writing to String cannot fail")
+                }
+                Value::Float(x) => {
+                    return Err(CepError::Pattern(format!(
+                        "float literal {x} would not re-parse as a float"
+                    )))
+                }
+                Value::Bool(b) => write!(out, "{b}").expect("writing to String cannot fail"),
+                other => {
+                    return Err(CepError::Pattern(format!(
+                        "literal {other} has no SASE spelling"
+                    )))
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_pattern;
+    use cep_core::predicate::{CmpOp, Predicate};
+    use cep_core::schema::ValueKind;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["T0", "T1", "T2", "T3"] {
+            cat.add_type(name, &[("x", ValueKind::Int), ("y", ValueKind::Float)])
+                .unwrap();
+        }
+        cat
+    }
+
+    #[test]
+    fn fixed_point_on_a_hand_written_spec() {
+        let cat = catalog();
+        let spec = "PATTERN SEQ(T0 a, NOT(T1 b), KL(T2 c), AND(T3 d, T0 e))
+                    WHERE a.x < c.x AND d.y >= 2.5 AND a.ts < d.ts AND c.x != 7
+                    WITHIN 1500 ms STRATEGY skip-till-next-match";
+        let p1 = parse_pattern(spec, &cat).unwrap();
+        let printed = pretty_pattern(&p1, &cat).unwrap();
+        let p2 = parse_pattern(&printed, &cat).unwrap();
+        assert_eq!(p1, p2, "printed spec:\n{printed}");
+        assert_eq!(printed, pretty_pattern(&p2, &cat).unwrap());
+    }
+
+    #[test]
+    fn unrepresentable_literals_are_rejected() {
+        let cat = catalog();
+        let base = parse_pattern("PATTERN SEQ(T0 a, T1 b) WITHIN 10", &cat).unwrap();
+        for bad in [
+            Value::Int(-3),
+            Value::Float(2.0),
+            Value::from("string"),
+            Value::Float(f64::NAN),
+        ] {
+            let mut p = base.clone();
+            p.predicates
+                .push(Predicate::attr_const(0, 0, CmpOp::Eq, bad.clone()));
+            assert!(
+                pretty_pattern(&p, &cat).is_err(),
+                "literal {bad} must be rejected as unprintable"
+            );
+        }
+        // The representable spellings of the same shapes round-trip.
+        let mut p = base.clone();
+        p.predicates
+            .push(Predicate::attr_const(0, 0, CmpOp::Eq, Value::Int(3)));
+        p.predicates
+            .push(Predicate::attr_const(1, 1, CmpOp::Gt, Value::Float(2.5)));
+        let printed = pretty_pattern(&p, &cat).unwrap();
+        assert_eq!(parse_pattern(&printed, &cat).unwrap(), p);
+    }
+
+    #[test]
+    fn unprintable_names_are_rejected() {
+        use cep_core::event::TypeId;
+        use cep_core::pattern::PatternExpr;
+        use cep_core::selection::SelectionStrategy;
+        let cat = catalog();
+        let pattern_with_vars = |names: [&str; 2]| Pattern {
+            expr: PatternExpr::Seq(
+                names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| PatternExpr::Event {
+                        position: i,
+                        event_type: TypeId(i as u32),
+                        name: (*n).to_string(),
+                    })
+                    .collect(),
+            ),
+            predicates: vec![],
+            window: 10,
+            strategy: SelectionStrategy::SkipTillAnyMatch,
+        };
+        // Duplicate variables, keyword collisions (any case), and
+        // non-identifier spellings all refuse to print...
+        for bad in [
+            ["a", "a"],
+            ["true", "b"],
+            ["a", "WHERE"],
+            ["a", "my var"],
+            ["1x", "b"],
+            ["a", ""],
+        ] {
+            assert!(
+                pretty_pattern(&pattern_with_vars(bad), &cat).is_err(),
+                "variables {bad:?} must be rejected as unprintable"
+            );
+        }
+        // ...while ordinary identifiers round-trip.
+        let ok = pattern_with_vars(["a_1", "b-2"]);
+        let printed = pretty_pattern(&ok, &cat).unwrap();
+        assert_eq!(parse_pattern(&printed, &cat).unwrap(), ok);
+        // A catalog type whose name collides with a keyword is rejected.
+        let mut kw_cat = Catalog::new();
+        kw_cat.add_type("NOT", &[("x", ValueKind::Int)]).unwrap();
+        kw_cat.add_type("T1", &[("x", ValueKind::Int)]).unwrap();
+        let p = pattern_with_vars(["a", "b"]);
+        assert!(pretty_pattern(&p, &kw_cat).is_err());
+    }
+
+    #[test]
+    fn ts_named_attribute_is_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_type("E", &[("ts", ValueKind::Int)]).unwrap();
+        cat.add_type("F", &[("x", ValueKind::Int)]).unwrap();
+        let mut p = parse_pattern("PATTERN SEQ(E a, F b) WITHIN 10", &cat).unwrap();
+        p.predicates
+            .push(Predicate::attr_const(0, 0, CmpOp::Eq, Value::Int(1)));
+        assert!(pretty_pattern(&p, &cat).is_err());
+    }
+}

@@ -293,6 +293,82 @@ fn empty_stream_yields_empty_result() {
     assert_eq!(r.metrics.events_processed, 0);
 }
 
+#[test]
+fn single_event_stream_is_routed_and_matched() {
+    // A one-element pattern over a one-event stream: the smallest possible
+    // sharded run must still produce the match, on every policy.
+    let mut b = PatternBuilder::new(10);
+    let a = b.event(t(0), "a");
+    let p = b.seq([a]).unwrap();
+    let cp = CompiledPattern::compile_single(&p).unwrap();
+    let stream = keyed_stream(vec![(0, 5, 2)]);
+    let factory = nfa_factory(cp);
+    let expected = single_threaded(&factory, &stream);
+    assert_eq!(expected.len(), 1);
+    for policy in [
+        RoutingPolicy::Partition,
+        RoutingPolicy::HashAttr(0),
+        RoutingPolicy::RoundRobin,
+    ] {
+        let r = ShardedRuntime::with_shards(4).run(&factory, &stream, policy, true);
+        assert_eq!(r.matches, expected, "{policy} lost the only event");
+        assert_eq!(r.metrics.events_processed, 1);
+        assert_eq!(
+            r.per_shard.iter().map(|s| s.events_routed).sum::<u64>(),
+            1,
+            "{policy} must route the event exactly once"
+        );
+    }
+}
+
+#[test]
+fn more_shards_than_events_is_exact() {
+    // 8 shards, 3 events: most workers never see input and must still
+    // start, drain, flush, and merge cleanly.
+    let stream = keyed_stream(vec![(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp);
+    let expected = single_threaded(&factory, &stream);
+    assert_eq!(expected.len(), 1, "fixture is one complete match");
+    for policy in [RoutingPolicy::Partition, RoutingPolicy::HashAttr(0)] {
+        let r = ShardedRuntime::with_shards(8).run(&factory, &stream, policy, true);
+        assert_eq!(r.matches, expected, "{policy} diverged with idle shards");
+        assert_eq!(r.metrics.events_processed, 3);
+    }
+}
+
+#[test]
+fn sixteen_shard_replays_are_deterministic() {
+    // The widest configuration the runtime is expected to see in tests:
+    // repeat the identical 16-shard run and require bit-identical output
+    // (merge order included), for both engine families.
+    let stream = keyed_stream(lcg_workload(300, 3, 16, 0x516));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 14, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let nfa = nfa_factory(cp.clone());
+    let tree = tree_factory(cp);
+    let expected_nfa = single_threaded(&nfa, &stream);
+    assert!(!expected_nfa.is_empty(), "fixture should produce matches");
+    let mut previous: Option<Vec<Match>> = None;
+    for replay in 0..3 {
+        let r = ShardedRuntime::with_shards(16).run(&nfa, &stream, RoutingPolicy::Partition, true);
+        assert_eq!(r.matches, expected_nfa, "replay {replay} diverged");
+        if let Some(prev) = &previous {
+            assert_eq!(&r.matches, prev, "replay {replay} not bit-identical");
+        }
+        previous = Some(r.matches);
+    }
+    let r = ShardedRuntime::with_shards(16).run(&tree, &stream, RoutingPolicy::Partition, true);
+    assert_eq!(
+        r.matches,
+        single_threaded(&tree, &stream),
+        "tree family diverged at 16 shards"
+    );
+}
+
 /// Per-worker adaptivity: every shard owns an
 /// [`cep_adaptive::AdaptiveEngine`] and replans independently on the
 /// statistics of its own slice of the stream. For a partition-local query
@@ -354,6 +430,7 @@ fn sharded_adaptive_engines_replan_per_worker_and_stay_exact() {
             drift_threshold: 0.5,
             check_every: 32,
             cooldown_events: 64,
+            ..AdaptiveConfig::default()
         },
     );
     for shards in [2, 4] {
@@ -371,6 +448,120 @@ fn sharded_adaptive_engines_replan_per_worker_and_stay_exact() {
             r.metrics.plan_swaps >= shards as u64,
             "every worker should replan on the flip (got {} swaps across {shards} shards)",
             r.metrics.plan_swaps
+        );
+        assert!(r.metrics.replayed_events > 0, "swaps must replay state");
+    }
+}
+
+/// Per-shard **selectivity** adaptivity: every worker owns an
+/// `AdaptiveEngine` whose replanner re-estimates predicate selectivities
+/// on its own slice. The workload keeps all arrival rates flat and flips
+/// only the value correlations, so a swap can *only* come from the
+/// selectivity monitors — and the sharded, swapping run must still equal
+/// the single-threaded, never-swapped engine byte for byte.
+#[test]
+fn sharded_selectivity_monitors_replan_per_worker_and_stay_exact() {
+    use cep_adaptive::{AdaptiveConfig, AdaptiveFactory, PlanKind, PlanReplanner, Replanner};
+    use cep_core::stats::MeasuredStats;
+    use cep_optimizer::{OrderAlgorithm, Planner};
+
+    // Events carry (key, value); keys cycle over 4 partitions — with the
+    // strides chosen so every key regularly receives all three types — and
+    // every shard sees the same correlation flip at the halfway point.
+    let mut b = StreamBuilder::new();
+    for phase in 0..2u64 {
+        let (bv, cv) = if phase == 0 { (95, 5) } else { (5, 95) };
+        let base = phase * 800;
+        for i in 0..800u64 {
+            let ts = base + i;
+            let push = |b: &mut StreamBuilder, tid: u32, key: i64, v: i64| {
+                b.push_partitioned(
+                    Event::new(t(tid), ts, vec![Value::Int(key), Value::Int(v)]),
+                    key as u32,
+                );
+            };
+            push(&mut b, 0, (i % 4) as i64, (i % 100) as i64);
+            if i % 4 == 1 {
+                push(&mut b, 1, ((i / 4) % 4) as i64, bv);
+            }
+            if i % 4 == 3 {
+                push(&mut b, 2, ((i / 4) % 4) as i64, cv);
+            }
+        }
+    }
+    let stream = b.build();
+    // SEQ(a, b, c): key equality across positions (partition-local) plus
+    // the two value predicates whose selectivities flip.
+    let mut pb = PatternBuilder::new(60);
+    let evs: Vec<_> = (0..3).map(|i| pb.event(t(i), &format!("e{i}"))).collect();
+    for w in evs.windows(2) {
+        pb.predicate(Predicate::attr_cmp(w[0].pos(), 0, CmpOp::Eq, w[1].pos(), 0));
+    }
+    pb.predicate(Predicate::attr_cmp(
+        evs[0].pos(),
+        1,
+        CmpOp::Lt,
+        evs[1].pos(),
+        1,
+    ));
+    pb.predicate(Predicate::attr_cmp(
+        evs[0].pos(),
+        1,
+        CmpOp::Lt,
+        evs[2].pos(),
+        1,
+    ));
+    let cp = CompiledPattern::compile_single(&pb.seq(evs).unwrap()).unwrap();
+    let mut rates = MeasuredStats::default();
+    rates.set_rate(t(0), 1.0);
+    rates.set_rate(t(1), 0.25);
+    rates.set_rate(t(2), 0.25);
+    // Key equality is 1-in-4; the value predicates start at 0.95 / 0.05.
+    let replanner = PlanReplanner::new(
+        vec![(cp, vec![0.25, 0.25, 0.95, 0.05])],
+        &rates,
+        Planner::default(),
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .with_selectivity_monitoring(300, 0.5, 256)
+    .with_selectivity_min_events(24);
+    let mut static_engine = replanner.build();
+    let mut expected = run_to_completion(static_engine.as_mut(), &stream, true).matches;
+    canonical_sort(&mut expected);
+    assert!(!expected.is_empty(), "fixture should produce matches");
+    let factory = AdaptiveFactory::new(
+        replanner,
+        60,
+        AdaptiveConfig {
+            horizon_ms: 300,
+            drift_threshold: 0.5,
+            check_every: 32,
+            cooldown_events: 64,
+            ..AdaptiveConfig::default()
+        },
+    );
+    for shards in [2, 4] {
+        let r = ShardedRuntime::with_shards(shards).run(
+            &factory,
+            &stream,
+            RoutingPolicy::Partition,
+            true,
+        );
+        assert_eq!(
+            r.matches, expected,
+            "{shards}-shard selectivity-adaptive run diverged"
+        );
+        assert!(
+            r.metrics.plan_swaps >= shards as u64,
+            "every worker should swap on the correlation flip \
+             (got {} swaps across {shards} shards)",
+            r.metrics.plan_swaps
+        );
+        assert!(
+            r.metrics.selectivity_samples > 0,
+            "per-shard monitors must absorb samples"
         );
         assert!(r.metrics.replayed_events > 0, "swaps must replay state");
     }

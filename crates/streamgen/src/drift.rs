@@ -1,12 +1,20 @@
-//! Drifting-rate stock workloads: the substrate for adaptive-replanning
+//! Drifting stock workloads: the substrate for adaptive-replanning
 //! experiments.
 //!
-//! A drifting stream concatenates several *phases*. Within a phase every
-//! symbol keeps a stationary Poisson arrival rate; at a phase boundary the
-//! rates jump — each phase scales the base symbol rates by its own
-//! multiplier vector. A plan generated for one phase's statistics can be
-//! arbitrarily poor in the next, which is exactly the situation a live
-//! plan swap (`cep-adaptive`) must detect and repair.
+//! A drifting stream concatenates several *phases*. Two axes can drift:
+//!
+//! * **Rates** ([`generate_drifting`]): within a phase every symbol keeps
+//!   a stationary Poisson arrival rate; at a phase boundary the rates
+//!   jump — each phase scales the base symbol rates by its own multiplier
+//!   vector. A plan generated for one phase's statistics can be
+//!   arbitrarily poor in the next, which is exactly the situation a live
+//!   plan swap (`cep-adaptive`) must detect and repair.
+//! * **Correlations** ([`generate_selectivity_drifting`]): rates stay
+//!   exactly constant, but each phase overrides the symbols' Gaussian
+//!   difference drifts, so pairwise `a.difference < b.difference`
+//!   selectivities shift. A rate monitor is blind to this by
+//!   construction — only selectivity re-estimation can trigger the
+//!   replan.
 
 use crate::stock::{synthesize, StockConfig, SymbolSpec};
 use cep_core::error::CepError;
@@ -150,6 +158,146 @@ pub fn generate_drifting(
     })
 }
 
+/// One stationary segment of a selectivity-drifting stream: arrival rates
+/// are untouched, the Gaussian `difference` drifts are replaced.
+#[derive(Debug, Clone)]
+pub struct SelectivityPhase {
+    /// Segment length in milliseconds.
+    pub duration_ms: u64,
+    /// Per-symbol replacement for [`SymbolSpec::drift`] during this phase
+    /// (same order as the symbols). Volatilities and rates are untouched,
+    /// so only pairwise difference-comparison selectivities move.
+    pub drifts: Vec<f64>,
+}
+
+impl SelectivityPhase {
+    /// A phase overriding every symbol's difference drift.
+    pub fn new(duration_ms: u64, drifts: Vec<f64>) -> SelectivityPhase {
+        SelectivityPhase {
+            duration_ms,
+            drifts,
+        }
+    }
+}
+
+/// A generated selectivity-drifting stream plus per-phase ground truth.
+pub struct SelectivityDriftStream {
+    /// The ts-ordered event stream across all phases.
+    pub stream: EventStream,
+    /// Type id per symbol (same order as the base config).
+    pub type_ids: Vec<TypeId>,
+    /// Base symbol specs (the rates are valid for *every* phase).
+    pub symbols: Vec<SymbolSpec>,
+    /// The phase schedule.
+    pub phases: Vec<SelectivityPhase>,
+}
+
+impl SelectivityDriftStream {
+    /// Start timestamp (ms) of phase `i`.
+    pub fn phase_start_ms(&self, i: usize) -> u64 {
+        self.phases[..i].iter().map(|p| p.duration_ms).sum()
+    }
+
+    /// Timestamp of the first correlation change — the drift point a rate
+    /// monitor cannot see.
+    pub fn drift_start_ms(&self) -> u64 {
+        self.phase_start_ms(1)
+    }
+
+    /// Exact type-level statistics — identical for every phase, because
+    /// only correlations drift.
+    pub fn stats(&self) -> MeasuredStats {
+        let mut m = MeasuredStats::default();
+        for (s, &ty) in self.symbols.iter().zip(&self.type_ids) {
+            m.set_rate(ty, s.rate_per_ms());
+        }
+        m
+    }
+
+    /// The symbol specs as they behave during phase `i` (base specs with
+    /// the phase's drifts substituted) — the input for closed-form
+    /// selectivities via [`SymbolSpec::lt_selectivity`].
+    pub fn phase_symbols(&self, i: usize) -> Vec<SymbolSpec> {
+        self.symbols
+            .iter()
+            .zip(&self.phases[i].drifts)
+            .map(|(s, &drift)| SymbolSpec { drift, ..s.clone() })
+            .collect()
+    }
+
+    /// Closed-form selectivity of `symbol a .difference < symbol b
+    /// .difference` during phase `i`.
+    pub fn phase_lt_selectivity(&self, i: usize, a: usize, b: usize) -> f64 {
+        let symbols = self.phase_symbols(i);
+        symbols[a].lt_selectivity(&symbols[b])
+    }
+}
+
+/// Generates a selectivity-drifting stock stream: `base` provides the
+/// symbols and their (phase-invariant) rates; each phase substitutes its
+/// own difference drifts. Event types are registered with the plain stock
+/// schema (`price`, `difference`); each symbol is its own partition, as in
+/// [`crate::StockStreamGenerator::generate`]. Deterministic per seed.
+pub fn generate_selectivity_drifting(
+    base: &StockConfig,
+    phases: &[SelectivityPhase],
+    catalog: &mut Catalog,
+) -> Result<SelectivityDriftStream, CepError> {
+    assert!(!phases.is_empty(), "need at least one phase");
+    for (i, p) in phases.iter().enumerate() {
+        assert!(p.duration_ms > 0, "phase {i} has zero duration");
+        assert_eq!(
+            p.drifts.len(),
+            base.symbols.len(),
+            "phase {i} supplies {} drifts for {} symbols",
+            p.drifts.len(),
+            base.symbols.len()
+        );
+    }
+    let mut type_ids = Vec::with_capacity(base.symbols.len());
+    for s in &base.symbols {
+        let id = catalog.add_type(
+            &s.name,
+            &[
+                ("price", ValueKind::Float),
+                ("difference", ValueKind::Float),
+            ],
+        )?;
+        type_ids.push(id);
+    }
+    let mut builder = StreamBuilder::new();
+    let mut offset = 0u64;
+    for (pi, phase) in phases.iter().enumerate() {
+        let shifted = StockConfig {
+            symbols: base
+                .symbols
+                .iter()
+                .zip(&phase.drifts)
+                .map(|(s, &drift)| SymbolSpec { drift, ..s.clone() })
+                .collect(),
+            duration_ms: phase.duration_ms,
+            seed: base.seed,
+        };
+        // Same per-phase seed decorrelation as `generate_drifting`, with a
+        // distinct stride so rate- and selectivity-drift streams from one
+        // base seed differ.
+        let seed = base
+            .seed
+            .wrapping_add((pi as u64 + 1).wrapping_mul(0xD1B54A32D192ED03));
+        for (i, mut event) in synthesize(&shifted, seed, &type_ids) {
+            event.ts += offset;
+            builder.push_partitioned(event, i as u32);
+        }
+        offset += phase.duration_ms;
+    }
+    Ok(SelectivityDriftStream {
+        stream: builder.build(),
+        type_ids,
+        symbols: base.symbols.clone(),
+        phases: phases.to_vec(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +401,96 @@ mod tests {
     fn mismatched_multiplier_count_rejected() {
         let mut cat = Catalog::new();
         let _ = generate_drifting(&base(), &[DriftPhase::new(1_000, vec![1.0])], &mut cat);
+    }
+
+    /// AAA's and CCC's difference drifts swap at the halfway point; BBB is
+    /// steady. Rates never change.
+    fn sel_flip_phases(phase_ms: u64) -> Vec<SelectivityPhase> {
+        vec![
+            SelectivityPhase::new(phase_ms, vec![2.0, 0.0, -2.0]),
+            SelectivityPhase::new(phase_ms, vec![-2.0, 0.0, 2.0]),
+        ]
+    }
+
+    #[test]
+    fn selectivity_drift_keeps_rates_flat_and_flips_correlations() {
+        let mut cat = Catalog::new();
+        let d = generate_selectivity_drifting(&base(), &sel_flip_phases(30_000), &mut cat).unwrap();
+        assert_eq!(cat.len(), 3);
+        assert_eq!(d.drift_start_ms(), 30_000);
+        for w in d.stream.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+            assert!(w[0].seq < w[1].seq);
+        }
+        // Arrival rates are phase-invariant (Poisson noise allowed).
+        let count = |ty: TypeId, lo: u64, hi: u64| {
+            d.stream
+                .iter()
+                .filter(|e| e.type_id == ty && e.ts >= lo && e.ts < hi)
+                .count() as f64
+        };
+        for (i, expect_per_sec) in [(0usize, 20.0), (1, 4.0), (2, 1.0)] {
+            let p1 = count(d.type_ids[i], 0, 30_000) / 30.0;
+            let p2 = count(d.type_ids[i], 30_000, 60_000) / 30.0;
+            let tol = 1.5 + expect_per_sec * 0.25;
+            assert!((p1 - expect_per_sec).abs() < tol, "symbol {i} p1: {p1}/s");
+            assert!((p2 - expect_per_sec).abs() < tol, "symbol {i} p2: {p2}/s");
+        }
+        // Empirical P(AAA.diff < CCC.diff) flips between phases.
+        let diffs = |i: usize, lo: u64, hi: u64| -> Vec<f64> {
+            d.stream
+                .iter()
+                .filter(|e| e.type_id == d.type_ids[i] && e.ts >= lo && e.ts < hi)
+                .filter_map(|e| e.attrs[crate::stock::ATTR_DIFFERENCE].as_f64())
+                .collect()
+        };
+        let frac_lt = |a: &[f64], b: &[f64]| {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for (i, &x) in a.iter().enumerate() {
+                let y = b[i % b.len()];
+                total += 1;
+                if x < y {
+                    hits += 1;
+                }
+            }
+            hits as f64 / total.max(1) as f64
+        };
+        let p1 = frac_lt(&diffs(0, 0, 30_000), &diffs(2, 0, 30_000));
+        let p2 = frac_lt(&diffs(0, 30_000, 60_000), &diffs(2, 30_000, 60_000));
+        assert!(p1 < 0.1, "phase 1 AAA<CCC should be rare: {p1}");
+        assert!(p2 > 0.9, "phase 2 AAA<CCC should dominate: {p2}");
+        // Closed-form ground truth agrees.
+        assert!(d.phase_lt_selectivity(0, 0, 2) < 0.05);
+        assert!(d.phase_lt_selectivity(1, 0, 2) > 0.95);
+        // The stats helper reports the (phase-invariant) configured rates.
+        let m = d.stats();
+        assert!((m.rate(d.type_ids[0]) - 0.020).abs() < 1e-9);
+        assert!((m.rate(d.type_ids[2]) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_drifting_generation_is_deterministic_per_seed() {
+        let mut c1 = Catalog::new();
+        let mut c2 = Catalog::new();
+        let d1 = generate_selectivity_drifting(&base(), &sel_flip_phases(5_000), &mut c1).unwrap();
+        let d2 = generate_selectivity_drifting(&base(), &sel_flip_phases(5_000), &mut c2).unwrap();
+        assert_eq!(d1.stream.len(), d2.stream.len());
+        for (a, b) in d1.stream.iter().zip(&d2.stream) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.type_id, b.type_id);
+            assert_eq!(a.attrs, b.attrs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drifts")]
+    fn mismatched_drift_count_rejected() {
+        let mut cat = Catalog::new();
+        let _ = generate_selectivity_drifting(
+            &base(),
+            &[SelectivityPhase::new(1_000, vec![1.0])],
+            &mut cat,
+        );
     }
 }

@@ -17,7 +17,10 @@ pub mod drift;
 pub mod stock;
 pub mod workload;
 
-pub use drift::{generate_drifting, DriftPhase, DriftingStream};
+pub use drift::{
+    generate_drifting, generate_selectivity_drifting, DriftPhase, DriftingStream,
+    SelectivityDriftStream, SelectivityPhase,
+};
 pub use stock::{
     GeneratedStream, StockConfig, StockStreamGenerator, SymbolSpec, ATTR_DIFFERENCE, ATTR_PRICE,
     ATTR_REPLICA,

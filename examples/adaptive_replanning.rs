@@ -68,6 +68,7 @@ fn main() {
         drift_threshold: 0.5,
         check_every: 32,
         cooldown_events: 128,
+        ..AdaptiveConfig::default()
     };
 
     let run = |engine: &mut dyn Engine, stream| -> (Vec<Match>, u64) {

@@ -16,11 +16,12 @@
 //! * [`sase`] (`cep-sase`) — parser for SASE-style pattern specifications.
 //! * [`shard`] (`cep-shard`) — partitioned parallel runtime with a
 //!   deterministic merge.
-//! * [`adaptive`] (`cep-adaptive`) — live plan swap: drift-triggered
-//!   replanning with retained-window state migration.
+//! * [`adaptive`] (`cep-adaptive`) — live plan swap: rate- and
+//!   selectivity-drift-triggered replanning with swap-cost amortization
+//!   and retained-window state migration.
 //! * [`streamgen`] (`cep-streamgen`) — synthetic stock streams (plain,
-//!   partition-replicated, and drifting-rate) and the paper's
-//!   five-category workloads.
+//!   partition-replicated, drifting-rate, and drifting-selectivity) and
+//!   the paper's five-category workloads.
 //!
 //! ## Quick start
 //!
@@ -74,13 +75,14 @@ use cep_tree::TreeEngine;
 /// Commonly used items, re-exported for `use cep::prelude::*`.
 pub mod prelude {
     pub use cep_adaptive::{
-        AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, PlanKind, PlanReplanner, Replanner,
+        AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, PlanKind, PlanReplanner, ReplanVerdict,
+        Replanner, SwapCost,
     };
     pub use cep_core::prelude::*;
     pub use cep_nfa::NfaEngine;
     pub use cep_optimizer::planner::{LatencyAnchor, Planner, PlannerConfig};
-    pub use cep_optimizer::{OrderAlgorithm, TreeAlgorithm};
-    pub use cep_sase::parse_pattern;
+    pub use cep_optimizer::{OrderAlgorithm, SelectivityMonitor, StatsMonitor, TreeAlgorithm};
+    pub use cep_sase::{parse_pattern, pretty_pattern};
     pub use cep_shard::{RoutingPolicy, ShardConfig, ShardedRuntime};
     pub use cep_streamgen::{PatternSetKind, StockConfig, StockStreamGenerator};
     pub use cep_tree::TreeEngine;
@@ -202,6 +204,43 @@ fn compiled_branches(
         .collect())
 }
 
+/// Event pairs the full-adaptive factories' selectivity monitors sample
+/// per estimate.
+const SELECTIVITY_MAX_PAIRS: usize = 512;
+
+/// Shared construction site of the four adaptive factories: a
+/// [`cep_adaptive::PlanReplanner`] over the pattern's DNF branches and the
+/// generated stream's analytic statistics, optionally with online
+/// selectivity monitoring, wrapped in an [`cep_adaptive::AdaptiveFactory`].
+fn adaptive_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    kind: cep_adaptive::PlanKind,
+    config: EngineConfig,
+    adaptive: cep_adaptive::AdaptiveConfig,
+    monitor_selectivities: bool,
+) -> Result<Box<dyn EngineFactory>, CepError> {
+    let mut replanner = cep_adaptive::PlanReplanner::new(
+        compiled_branches(pattern, gen)?,
+        &analytic_measured_stats(gen),
+        Planner::default(),
+        kind,
+        config,
+    )?;
+    if monitor_selectivities {
+        replanner = replanner.with_selectivity_monitoring(
+            adaptive.horizon_ms,
+            adaptive.drift_threshold,
+            SELECTIVITY_MAX_PAIRS,
+        );
+    }
+    Ok(Box::new(cep_adaptive::AdaptiveFactory::new(
+        replanner,
+        pattern.window,
+        adaptive,
+    )))
+}
+
 /// Adaptive counterpart of [`nfa_engine_factory`]: every engine the
 /// factory stamps out wraps its NFA engine in a
 /// [`cep_adaptive::AdaptiveEngine`] that monitors arrival-rate drift on
@@ -217,18 +256,8 @@ pub fn adaptive_nfa_engine_factory(
     config: EngineConfig,
     adaptive: cep_adaptive::AdaptiveConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let replanner = cep_adaptive::PlanReplanner::new(
-        compiled_branches(pattern, gen)?,
-        &analytic_measured_stats(gen),
-        Planner::default(),
-        cep_adaptive::PlanKind::Order(algorithm),
-        config,
-    )?;
-    Ok(Box::new(cep_adaptive::AdaptiveFactory::new(
-        replanner,
-        pattern.window,
-        adaptive,
-    )))
+    let kind = cep_adaptive::PlanKind::Order(algorithm);
+    adaptive_factory(pattern, gen, kind, config, adaptive, false)
 }
 
 /// Tree-based counterpart of [`adaptive_nfa_engine_factory`].
@@ -239,18 +268,37 @@ pub fn adaptive_tree_engine_factory(
     config: EngineConfig,
     adaptive: cep_adaptive::AdaptiveConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let replanner = cep_adaptive::PlanReplanner::new(
-        compiled_branches(pattern, gen)?,
-        &analytic_measured_stats(gen),
-        Planner::default(),
-        cep_adaptive::PlanKind::Tree(algorithm),
-        config,
-    )?;
-    Ok(Box::new(cep_adaptive::AdaptiveFactory::new(
-        replanner,
-        pattern.window,
-        adaptive,
-    )))
+    let kind = cep_adaptive::PlanKind::Tree(algorithm);
+    adaptive_factory(pattern, gen, kind, config, adaptive, false)
+}
+
+/// *Fully* adaptive counterpart of [`adaptive_nfa_engine_factory`]: the
+/// stamped-out engines additionally re-estimate predicate selectivities
+/// online (sampling event pairs over the drift horizon), so a stream whose
+/// correlations shift while its arrival rates stay flat — invisible to the
+/// rate-only monitor — still triggers a replan. Swaps remain
+/// swap-cost-gated per [`cep_adaptive::AdaptiveConfig::amortize_windows`].
+pub fn full_adaptive_nfa_engine_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: OrderAlgorithm,
+    config: EngineConfig,
+    adaptive: cep_adaptive::AdaptiveConfig,
+) -> Result<Box<dyn EngineFactory>, CepError> {
+    let kind = cep_adaptive::PlanKind::Order(algorithm);
+    adaptive_factory(pattern, gen, kind, config, adaptive, true)
+}
+
+/// Tree-based counterpart of [`full_adaptive_nfa_engine_factory`].
+pub fn full_adaptive_tree_engine_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: TreeAlgorithm,
+    config: EngineConfig,
+    adaptive: cep_adaptive::AdaptiveConfig,
+) -> Result<Box<dyn EngineFactory>, CepError> {
+    let kind = cep_adaptive::PlanKind::Tree(algorithm);
+    adaptive_factory(pattern, gen, kind, config, adaptive, true)
 }
 
 /// Builds an order-based (NFA) engine for `pattern`, planning every DNF

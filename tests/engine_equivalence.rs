@@ -132,9 +132,24 @@ fn tree_from_order(order: &[usize], seed: u64) -> TreeNode {
 }
 
 fn check_equivalence(spec: PatternSpec, raw_stream: Vec<(u32, u8, i8)>, seed: u64) {
-    let Some(pattern) = build_pattern(&spec) else {
+    check_equivalence_under(
+        spec,
+        raw_stream,
+        seed,
+        cep::core::selection::SelectionStrategy::SkipTillAnyMatch,
+    );
+}
+
+fn check_equivalence_under(
+    spec: PatternSpec,
+    raw_stream: Vec<(u32, u8, i8)>,
+    seed: u64,
+    strategy: cep::core::selection::SelectionStrategy,
+) {
+    let Some(mut pattern) = build_pattern(&spec) else {
         return; // structurally degenerate draw
     };
+    pattern.strategy = strategy;
     let Ok(cp) = CompiledPattern::compile_single(&pattern) else {
         return;
     };
@@ -264,6 +279,54 @@ proptest! {
             signatures(&run_to_completion(&mut te, &stream, true).matches),
             expected
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    /// The randomized differential sweep: queries drawn with negation and
+    /// Kleene operators (possibly both), random predicates, and random
+    /// windows, checked under **all three exact selection strategies** —
+    /// 64 cases × 3 strategies = 192 query evaluations per run, each
+    /// asserting NFA (random order plan), tree (random tree plan), and the
+    /// naive exhaustive oracle emit identical match sets.
+    #[test]
+    fn mixed_negation_kleene_equivalent_under_all_exact_strategies(
+        is_seq in any::<bool>(),
+        types in prop::collection::vec(0u32..4, 3..=4),
+        neg_at in 0usize..4,
+        kl_at in 0usize..4,
+        with_neg in any::<bool>(),
+        with_kl in any::<bool>(),
+        preds in prop::collection::vec((0usize..4, 0usize..4, 0u8..8), 0..=2),
+        raw in prop::collection::vec((0u32..5, 1u8..4, -3i8..4), 8..=28),
+        seed in any::<u64>(),
+        window in 4u64..10,
+    ) {
+        let mut elements: Vec<(u32, u8)> = types.into_iter().map(|t| (t, 0)).collect();
+        if with_neg {
+            let k = neg_at % elements.len();
+            elements[k].1 = 1;
+        }
+        if with_kl {
+            let k = kl_at % elements.len();
+            if elements[k].1 == 0 {
+                elements[k].1 = 2;
+            }
+        }
+        let spec = PatternSpec { is_seq, elements, predicates: preds, window };
+        for strategy in [
+            cep::core::selection::SelectionStrategy::SkipTillAnyMatch,
+            cep::core::selection::SelectionStrategy::StrictContiguity,
+            cep::core::selection::SelectionStrategy::PartitionContiguity,
+        ] {
+            check_equivalence_under(spec.clone(), raw.clone(), seed, strategy);
+        }
     }
 }
 

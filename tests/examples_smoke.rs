@@ -517,6 +517,7 @@ fn adaptive_replanning_core_path_swaps_and_stays_exact() {
                 drift_threshold: 0.5,
                 check_every: 16,
                 cooldown_events: 32,
+                ..AdaptiveConfig::default()
             },
         );
         let got = run(&mut adaptive);
@@ -558,6 +559,7 @@ fn adaptive_factories_agree_with_static_factories() {
         drift_threshold: 0.5,
         check_every: 32,
         cooldown_events: 64,
+        ..AdaptiveConfig::default()
     };
     let run = |factory: &dyn cep::core::engine::EngineFactory| -> Vec<Match> {
         let mut engine = factory.build();
@@ -607,4 +609,75 @@ fn adaptive_factories_agree_with_static_factories() {
         tree_adaptive.len(),
         "engine families agree on the match count"
     );
+}
+
+/// The facade's *full*-adaptive factories (online selectivity
+/// re-estimation on top of rate monitoring): on a stationary stream their
+/// engines agree byte for byte with the static factories' — re-estimated
+/// selectivities may refine the plan, never the result set.
+#[test]
+fn full_adaptive_factories_agree_with_static_factories() {
+    use cep::core::matches::Match;
+    use cep::shard::canonical_sort;
+
+    let config = StockConfig::nasdaq_like(8, 10_000, 0.5, 21);
+    let mut catalog = Catalog::new();
+    let generated = StockStreamGenerator::generate(&config, &mut catalog).unwrap();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(S0000 a, S0002 b)
+         WHERE a.difference < b.difference
+         WITHIN 4 s",
+        &catalog,
+    )
+    .unwrap();
+    let adaptive_cfg = AdaptiveConfig {
+        horizon_ms: 2_000,
+        drift_threshold: 0.5,
+        check_every: 32,
+        cooldown_events: 64,
+        ..AdaptiveConfig::default()
+    };
+    let run = |factory: &dyn cep::core::engine::EngineFactory| -> Vec<Match> {
+        let mut engine = factory.build();
+        let mut matches = run_to_completion(engine.as_mut(), &generated.stream, true).matches;
+        canonical_sort(&mut matches);
+        matches
+    };
+    let nfa_static = run(cep::nfa_engine_factory(
+        &pattern,
+        &generated,
+        OrderAlgorithm::DpLd,
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .as_ref());
+    assert!(!nfa_static.is_empty(), "fixture should produce matches");
+    let nfa_full = run(cep::full_adaptive_nfa_engine_factory(
+        &pattern,
+        &generated,
+        OrderAlgorithm::DpLd,
+        EngineConfig::default(),
+        adaptive_cfg.clone(),
+    )
+    .unwrap()
+    .as_ref());
+    assert_eq!(nfa_full, nfa_static);
+    let tree_static = run(cep::tree_engine_factory(
+        &pattern,
+        &generated,
+        TreeAlgorithm::DpB,
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .as_ref());
+    let tree_full = run(cep::full_adaptive_tree_engine_factory(
+        &pattern,
+        &generated,
+        TreeAlgorithm::DpB,
+        EngineConfig::default(),
+        adaptive_cfg,
+    )
+    .unwrap()
+    .as_ref());
+    assert_eq!(tree_full, tree_static);
 }
