@@ -93,7 +93,7 @@ impl SwapCost {
     /// replay within the amortization horizon. Non-improvements never
     /// amortize.
     pub fn amortizes(&self, current: f64, candidate: f64) -> bool {
-        if !(candidate < current) {
+        if candidate.partial_cmp(&current) != Some(std::cmp::Ordering::Less) {
             return false;
         }
         (current - candidate) * self.amortize_windows > candidate * self.replay_fraction

@@ -1,0 +1,71 @@
+//! Criterion bench: replicate-join sharding on a **cross-partition**
+//! workload — stock updates correlated by account but partitioned by
+//! symbol, the shape split-only routing cannot serve exactly.
+//!
+//! Sweeps 1/2/4/8 worker shards under `RoutingPolicy::ReplicateJoin`
+//! against the single-threaded engine as the serial baseline. The
+//! replicate-join merge must produce the identical match count at every
+//! shard count (asserted inside the measured closure — an O(1) check), so
+//! the sweep isolates the parallel speedup *net of* the broadcast
+//! overhead of the replicated low-rate side.
+
+use cep_bench::env::cross_key_stock_workload;
+use cep_core::engine::{run_to_completion, Engine, EngineConfig};
+use cep_core::partition::QueryPartitioner;
+use cep_core::stats::MeasuredStats;
+use cep_nfa::NfaEngine;
+use cep_shard::{RoutingPolicy, ShardedRuntime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cross_partition(c: &mut Criterion) {
+    let (gen, cp) = cross_key_stock_workload(60_000, 1.0, 0xC0A, 128, 5_000);
+    let stats = MeasuredStats::measure(&gen.stream);
+    let spec = QueryPartitioner::analyze_measured(std::slice::from_ref(&cp), &stats)
+        .expect("cross-key query partitions");
+    let policy = RoutingPolicy::ReplicateJoin(Arc::new(spec));
+    let factory = {
+        move || {
+            Box::new(NfaEngine::with_trivial_plan(
+                cp.clone(),
+                EngineConfig::default(),
+            )) as Box<dyn Engine>
+        }
+    };
+    let expected = {
+        let mut engine = factory();
+        run_to_completion(engine.as_mut(), &gen.stream, false).match_count
+    };
+    let mut group = c.benchmark_group("cross_partition");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut engine = factory();
+            let r = run_to_completion(engine.as_mut(), &gen.stream, false);
+            assert_eq!(r.match_count, expected);
+            black_box(r.match_count)
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        let runtime = ShardedRuntime::with_shards(shards);
+        group.bench_function(format!("replicate_join_shards_{shards}"), |b| {
+            b.iter(|| {
+                let r = runtime.run(&factory, &gen.stream, policy.clone(), false);
+                assert_eq!(
+                    r.match_count, expected,
+                    "replicate-join must stay exact across partitions"
+                );
+                black_box(r.match_count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cross_partition);
+criterion_main!(benches);

@@ -18,7 +18,6 @@ use std::time::Duration;
 fn sharded(c: &mut Criterion) {
     let (gen, cp) = replicated_stock_workload(20_000, 0.5, 0xCE9, 8, 5_000);
     let factory = {
-        let cp = cp;
         move || {
             Box::new(NfaEngine::with_trivial_plan(
                 cp.clone(),

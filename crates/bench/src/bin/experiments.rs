@@ -13,7 +13,10 @@
 //!   sharded-scaling        beyond the paper: cep-shard worker sweep (1..=--shards)
 //!   adaptive-drift         beyond the paper: live plan swap vs static plans on a rate flip
 //!   selectivity-drift      beyond the paper: selectivity re-estimation on a correlation flip
+//!   cross-partition        beyond the paper: replicate-join sharding on a cross-key workload
 //!   all                    everything above
+//!   bench-smoke            CI gate: quick deterministic scenario counts vs a committed
+//!                          baseline [--out PATH] [--baseline PATH] [--write-baseline]
 //! ```
 
 use cep_bench::env::{ExperimentEnv, Scale};
@@ -24,8 +27,9 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: experiments <pattern-types|by-size|cost-validation|large-patterns|\
          latency-tradeoff|selection-strategies|sharded-scaling|adaptive-drift|\
-         selectivity-drift|all> \
-         [--set KIND] [--full] [--seed N] [--per-size N] [--duration-ms N] [--shards N]";
+         selectivity-drift|cross-partition|all|bench-smoke> \
+         [--set KIND] [--full] [--seed N] [--per-size N] [--duration-ms N] [--shards N] \
+         [--out PATH] [--baseline PATH] [--write-baseline]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -56,6 +60,9 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let cmd = args[0].clone();
+    if cmd == "bench-smoke" {
+        return bench_smoke(&args[1..]);
+    }
     let mut scale = Scale::quick();
     let mut set: Option<PatternSetKind> = None;
     let mut shards = 8usize;
@@ -119,6 +126,7 @@ fn main() -> ExitCode {
         "sharded-scaling" => figures::sharded_scaling(&env, shards, &mut out),
         "adaptive-drift" => figures::adaptive_drift(&env, &mut out),
         "selectivity-drift" => figures::selectivity_drift(&env, &mut out),
+        "cross-partition" => figures::cross_partition(&env, shards, &mut out),
         "all" => figures::pattern_types(&env, &mut out)
             .and_then(|_| {
                 for kind in PatternSetKind::all() {
@@ -132,13 +140,49 @@ fn main() -> ExitCode {
             .and_then(|_| figures::selection_strategies(&env, &mut out))
             .and_then(|_| figures::sharded_scaling(&env, shards, &mut out))
             .and_then(|_| figures::adaptive_drift(&env, &mut out))
-            .and_then(|_| figures::selectivity_drift(&env, &mut out)),
+            .and_then(|_| figures::selectivity_drift(&env, &mut out))
+            .and_then(|_| figures::cross_partition(&env, shards, &mut out)),
         _ => usage(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The CI bench-regression gate (see [`cep_bench::smoke`]): run the quick
+/// deterministic scenarios, write the full report, and fail on any count
+/// divergence from the committed baseline.
+fn bench_smoke(args: &[String]) -> ExitCode {
+    let mut out_path = "BENCH_PR5.json".to_string();
+    let mut baseline_path = "ci/bench_baseline.json".to_string();
+    let mut write_baseline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--write-baseline" => write_baseline = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let stdout = std::io::stdout();
+    let mut log = stdout.lock();
+    writeln!(log, "# bench-smoke gate (deterministic quick scenarios)").ok();
+    match cep_bench::smoke::run(&out_path, &baseline_path, write_baseline, &mut log) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
             ExitCode::FAILURE
         }
     }

@@ -155,6 +155,55 @@ pub fn replicated_stock_workload(
     (gen, cp)
 }
 
+/// Cross-key stock workload shared by the cross-partition surfaces
+/// (`figures::cross_partition`, `benches/cross_partition.rs`, the
+/// `bench-smoke` gate): stock updates over `accounts` trading accounts
+/// where the stream is partitioned by *symbol* but the query correlates by
+/// *account* — the shape PR 2's split-only routing silently gets wrong.
+/// The query joins the two high-rate symbols on `account` and compares
+/// against the rare third symbol without any key, so a
+/// `QueryPartitioner` hashes S0000/S0001 by account and replicates the
+/// low-rate S0002 to every shard.
+pub fn cross_key_stock_workload(
+    duration_ms: u64,
+    rate_scale: f64,
+    seed: u64,
+    accounts: u32,
+    window_ms: u64,
+) -> (GeneratedStream, cep_core::compile::CompiledPattern) {
+    let spec = |name: &str, rate: f64, drift: f64| cep_streamgen::SymbolSpec {
+        name: name.into(),
+        rate_per_sec: rate * rate_scale,
+        start_price: 100.0,
+        drift,
+        volatility: 1.0,
+    };
+    let cfg = StockConfig {
+        symbols: vec![
+            spec("S0000", 25.0, 0.4),
+            spec("S0001", 20.0, 0.0),
+            spec("S0002", 2.0, -0.4),
+        ],
+        duration_ms,
+        seed,
+    };
+    let mut catalog = Catalog::new();
+    let gen = StockStreamGenerator::generate_cross_key(&cfg, accounts, &mut catalog)
+        .expect("fresh catalog accepts all symbols");
+    let pattern = cep_sase::parse_pattern(
+        &format!(
+            "PATTERN SEQ(S0000 a, S0001 b, S0002 c)
+             WHERE (a.account == b.account AND a.difference < c.difference)
+             WITHIN {window_ms} ms"
+        ),
+        &catalog,
+    )
+    .expect("pattern parses against the cross-key catalog");
+    let cp = cep_core::compile::CompiledPattern::compile_single(&pattern)
+        .expect("pure conjunctive pattern");
+    (gen, cp)
+}
+
 /// Drifting stock workload shared by the adaptive surfaces
 /// (`figures::adaptive_drift`, `benches/adaptive_drift.rs`): three symbols
 /// where the frequent (AAA) and rare (CCC) types swap roles after
@@ -292,6 +341,32 @@ mod tests {
         assert_eq!(cp.predicates.len(), 2);
         assert!(initial[0] > 0.9 && initial[1] < 0.1, "{initial:?}");
         assert!(oracle[0] < 0.1 && oracle[1] > 0.9, "{oracle:?}");
+    }
+
+    #[test]
+    fn cross_key_workload_partitions_the_high_rate_side() {
+        use cep_core::partition::{QueryPartitioner, TypeDisposition};
+        let (gen, cp) = cross_key_stock_workload(5_000, 0.5, 7, 8, 1_000);
+        assert!(!gen.stream.is_empty());
+        let stats = cep_core::stats::MeasuredStats::measure(&gen.stream);
+        let spec = QueryPartitioner::analyze_measured(std::slice::from_ref(&cp), &stats).unwrap();
+        assert_eq!(
+            spec.disposition(gen.type_ids[0]),
+            Some(TypeDisposition::Partitioned {
+                attr: cep_streamgen::ATTR_ACCOUNT
+            })
+        );
+        assert_eq!(
+            spec.disposition(gen.type_ids[1]),
+            Some(TypeDisposition::Partitioned {
+                attr: cep_streamgen::ATTR_ACCOUNT
+            })
+        );
+        assert_eq!(
+            spec.disposition(gen.type_ids[2]),
+            Some(TypeDisposition::Replicated),
+            "the rare unkeyed symbol is the broadcast side"
+        );
     }
 
     #[test]

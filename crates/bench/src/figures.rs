@@ -494,7 +494,6 @@ pub fn sharded_scaling(
         env.scale.window_ms,
     );
     let factory = {
-        let cp = cp;
         move || {
             Box::new(NfaEngine::with_trivial_plan(cp.clone(), engine_config())) as Box<dyn Engine>
         }
@@ -548,6 +547,126 @@ pub fn sharded_scaling(
     writeln!(
         out,
         "(identical match counts per row: the deterministic-merge guarantee)"
+    )?;
+    Ok(())
+}
+
+/// Cross-partition scaling (beyond the paper; the ROADMAP's replicate-join
+/// direction): end-to-end throughput of replicate-join sharding on a
+/// workload whose **correlation attribute is not the partition
+/// attribute** — accounts correlate stock updates that are partitioned by
+/// symbol. Split-only routing is rejected for this query
+/// (`ShardRouter::for_query`); the replicate-join policy hashes the two
+/// high-rate account-keyed symbols and broadcasts the rare unkeyed one,
+/// and every shard count must reproduce the serial match set exactly
+/// (asserted while measuring).
+pub fn cross_partition(
+    env: &ExperimentEnv,
+    max_shards: usize,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    use crate::env::cross_key_stock_workload;
+    use cep_core::engine::{run_to_completion, Engine};
+    use cep_core::partition::QueryPartitioner;
+    use cep_core::stats::MeasuredStats;
+    use cep_nfa::NfaEngine;
+    use cep_shard::{RoutingPolicy, ShardedRuntime};
+    use std::sync::Arc;
+
+    writeln!(
+        out,
+        "== Cross-partition scaling: replicate-join over an account-correlated, \
+         symbol-partitioned stock stream =="
+    )?;
+    let accounts = 64;
+    // The workload's symbol rates are absolute (25/20/2 events/s); the
+    // scale's rate multiplier is tuned for 30-symbol figure sweeps, so
+    // lift it here to keep the 3-symbol stream meaningfully loaded.
+    let rate_scale = (env.scale.rate_scale * 16.0).min(1.0);
+    let (gen, cp) = cross_key_stock_workload(
+        env.scale.duration_ms,
+        rate_scale,
+        env.scale.seed ^ 0xC0A,
+        accounts,
+        env.scale.window_ms,
+    );
+    let stats = MeasuredStats::measure(&gen.stream);
+    let spec = QueryPartitioner::analyze_measured(std::slice::from_ref(&cp), &stats)
+        .expect("cross-key query partitions");
+    writeln!(
+        out,
+        "({} events, {accounts} accounts, window {} ms, spec {spec})",
+        gen.stream.len(),
+        env.scale.window_ms
+    )?;
+    let factory = {
+        let cp = cp.clone();
+        move || {
+            Box::new(NfaEngine::with_trivial_plan(cp.clone(), engine_config())) as Box<dyn Engine>
+        }
+    };
+    // The routing guard: split-only policies are rejected for this query.
+    let branches = std::slice::from_ref(&cp);
+    let rejected = ShardedRuntime::with_shards(2)
+        .run_query(
+            &factory,
+            &gen.stream,
+            RoutingPolicy::Partition,
+            branches,
+            false,
+        )
+        .expect_err("partition routing must be rejected for cross-key queries");
+    writeln!(out, "split-only routing rejected: {rejected}")?;
+    let mut engine = factory();
+    let base = run_to_completion(engine.as_mut(), &gen.stream, false);
+    let base_eps = base.metrics.throughput_eps();
+    let mut t = Table::new(&[
+        "shards",
+        "throughput (e/s)",
+        "speedup",
+        "matches",
+        "replicated",
+        "dedup hits",
+    ]);
+    t.row(vec![
+        "serial".into(),
+        si(base_eps),
+        "1.00x".into(),
+        base.match_count.to_string(),
+        "0".into(),
+        "0".into(),
+    ]);
+    let mut sweep = Vec::new();
+    let mut s = 1;
+    while s < max_shards {
+        sweep.push(s);
+        s *= 2;
+    }
+    sweep.push(max_shards);
+    let policy = RoutingPolicy::ReplicateJoin(Arc::new(spec));
+    for shards in sweep {
+        let r = ShardedRuntime::with_shards(shards)
+            .run_query(&factory, &gen.stream, policy.clone(), branches, false)
+            .expect("replicate-join policy is sound for this query");
+        assert_eq!(
+            r.match_count, base.match_count,
+            "replicate-join must be exact at {shards} shards"
+        );
+        let eps = r.metrics.throughput_eps();
+        t.row(vec![
+            shards.to_string(),
+            si(eps),
+            format!("{:.2}x", eps / base_eps),
+            r.match_count.to_string(),
+            r.metrics.replicated_events.to_string(),
+            r.metrics.dedup_hits.to_string(),
+        ]);
+    }
+    write!(out, "{}", t.render())?;
+    writeln!(
+        out,
+        "(identical match counts per row: cross-partition exactness via \
+         replicate-join + signature dedup)"
     )?;
     Ok(())
 }

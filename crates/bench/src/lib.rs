@@ -8,6 +8,7 @@
 //! * [`env`] — stream/workload setup at configurable [`env::Scale`]s;
 //! * [`runner`] — plan-then-execute machinery over both engines;
 //! * [`figures`] — one driver per paper figure;
+//! * [`smoke`] — the CI bench-regression gate (`BENCH_PR5.json`);
 //! * `benches/` — Criterion micro/meso benchmarks (engine throughput,
 //!   planning time).
 //!
@@ -19,3 +20,4 @@ pub mod env;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod smoke;

@@ -1,0 +1,339 @@
+//! The CI bench-regression gate (`experiments bench-smoke`).
+//!
+//! Runs a reduced-scale version of each "beyond the paper" scenario —
+//! sharded-scaling, adaptive-drift, selectivity-drift, cross-partition —
+//! and reports, per scenario, its wall time plus a set of **deterministic
+//! output counts** (match counts, plan swaps, dedup hits, …). Every
+//! workload is seeded and every engine is deterministic, so the counts are
+//! machine-independent; wall times are recorded for trajectory only and
+//! never gated on.
+//!
+//! CI calls [`run`] with a committed baseline file: the current counts are
+//! serialized to the same canonical JSON as the baseline and compared
+//! *textually* — any divergence (a lost match, a missing swap, a dedup
+//! regression) fails the job, while timing noise cannot. The full report
+//! (counts + wall times) is written to `BENCH_PR5.json` as a build
+//! artifact.
+
+use crate::env::{
+    cross_key_stock_workload, drifting_stock_workload, replicated_stock_workload,
+    selectivity_drift_workload,
+};
+use cep_core::engine::{run_to_completion, Engine, EngineConfig};
+use cep_nfa::NfaEngine;
+use cep_shard::{RoutingPolicy, ShardedRuntime};
+use std::io::Write;
+use std::time::Instant;
+
+/// One scenario's gate data: deterministic counts plus an informational
+/// wall time.
+pub struct ScenarioReport {
+    /// Scenario name (stable key in the JSON output).
+    pub name: &'static str,
+    /// Wall time of the whole scenario in milliseconds (trajectory only).
+    pub wall_ms: f64,
+    /// Deterministic `(key, value)` output counts, in emission order.
+    pub counts: Vec<(&'static str, u64)>,
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        max_kleene_events: 6,
+        ..Default::default()
+    }
+}
+
+fn timed(name: &'static str, f: impl FnOnce() -> Vec<(&'static str, u64)>) -> ScenarioReport {
+    let start = Instant::now();
+    let counts = f();
+    ScenarioReport {
+        name,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        counts,
+    }
+}
+
+fn sharded_scaling() -> ScenarioReport {
+    timed("sharded-scaling", || {
+        let (gen, cp) = replicated_stock_workload(4_000, 0.5, 0xCE9, 8, 1_500);
+        let factory = {
+            move || {
+                Box::new(NfaEngine::with_trivial_plan(cp.clone(), engine_config()))
+                    as Box<dyn Engine>
+            }
+        };
+        let mut engine = factory();
+        let serial = run_to_completion(engine.as_mut(), &gen.stream, false).match_count;
+        let mut counts = vec![("serial", serial)];
+        for shards in [2usize, 4] {
+            let r = ShardedRuntime::with_shards(shards).run(
+                &factory,
+                &gen.stream,
+                RoutingPolicy::Partition,
+                false,
+            );
+            counts.push((
+                if shards == 2 { "shards2" } else { "shards4" },
+                r.match_count,
+            ));
+        }
+        counts
+    })
+}
+
+fn adaptive_drift() -> ScenarioReport {
+    use cep_adaptive::{AdaptiveConfig, AdaptiveEngine, PlanKind, PlanReplanner, Replanner};
+    use cep_optimizer::{OrderAlgorithm, Planner};
+    timed("adaptive-drift", || {
+        let window_ms = 3_000;
+        let (gen, cp, sels) = drifting_stock_workload(5_000, 20_000, 0xCE9, window_ms);
+        let replanner = PlanReplanner::new(
+            vec![(cp, sels)],
+            &gen.initial_stats(),
+            Planner::default(),
+            PlanKind::Order(OrderAlgorithm::DpLd),
+            engine_config(),
+        )
+        .expect("selectivities match the pattern's predicates");
+        let mut static_engine = replanner.build();
+        let static_matches =
+            run_to_completion(static_engine.as_mut(), &gen.stream, false).match_count;
+        let mut adaptive = AdaptiveEngine::new(
+            replanner,
+            window_ms,
+            AdaptiveConfig {
+                horizon_ms: window_ms,
+                drift_threshold: 0.5,
+                check_every: 32,
+                cooldown_events: 128,
+                ..AdaptiveConfig::default()
+            },
+        );
+        let adaptive_matches = run_to_completion(&mut adaptive, &gen.stream, false).match_count;
+        vec![
+            ("static_matches", static_matches),
+            ("adaptive_matches", adaptive_matches),
+            ("plan_swaps", adaptive.swaps()),
+        ]
+    })
+}
+
+fn selectivity_drift() -> ScenarioReport {
+    use cep_adaptive::{AdaptiveConfig, AdaptiveEngine, PlanKind, PlanReplanner, Replanner};
+    use cep_optimizer::{OrderAlgorithm, Planner};
+    timed("selectivity-drift", || {
+        let window_ms = 2_500;
+        let (gen, cp, initial_sels, _) = selectivity_drift_workload(8_000, 8_000, 0x5E1, window_ms);
+        let replanner = || {
+            PlanReplanner::new(
+                vec![(cp.clone(), initial_sels.clone())],
+                &gen.stats(),
+                Planner::default(),
+                PlanKind::Order(OrderAlgorithm::DpLd),
+                engine_config(),
+            )
+            .expect("selectivities match the pattern's predicates")
+        };
+        let mut static_engine = replanner().build();
+        let static_matches =
+            run_to_completion(static_engine.as_mut(), &gen.stream, false).match_count;
+        let mut full = AdaptiveEngine::new(
+            replanner().with_selectivity_monitoring(window_ms, 0.5, 512),
+            window_ms,
+            AdaptiveConfig {
+                horizon_ms: window_ms,
+                drift_threshold: 0.5,
+                check_every: 32,
+                cooldown_events: 128,
+                ..AdaptiveConfig::default()
+            },
+        );
+        let full_matches = run_to_completion(&mut full, &gen.stream, false).match_count;
+        vec![
+            ("static_matches", static_matches),
+            ("full_adaptive_matches", full_matches),
+            ("plan_swaps", full.swaps()),
+        ]
+    })
+}
+
+fn cross_partition() -> ScenarioReport {
+    use cep_core::partition::QueryPartitioner;
+    use cep_core::stats::MeasuredStats;
+    use std::sync::Arc;
+    timed("cross-partition", || {
+        let (gen, cp) = cross_key_stock_workload(12_000, 0.5, 0xC0A, 32, 2_000);
+        let stats = MeasuredStats::measure(&gen.stream);
+        let spec = QueryPartitioner::analyze_measured(std::slice::from_ref(&cp), &stats)
+            .expect("cross-key query partitions");
+        let factory = {
+            let cp = cp.clone();
+            move || {
+                Box::new(NfaEngine::with_trivial_plan(cp.clone(), engine_config()))
+                    as Box<dyn Engine>
+            }
+        };
+        let mut engine = factory();
+        let serial = run_to_completion(engine.as_mut(), &gen.stream, false).match_count;
+        let policy = RoutingPolicy::ReplicateJoin(Arc::new(spec));
+        let mut counts = vec![("serial", serial)];
+        for shards in [2usize, 4] {
+            let r = ShardedRuntime::with_shards(shards).run(
+                &factory,
+                &gen.stream,
+                policy.clone(),
+                false,
+            );
+            if shards == 2 {
+                counts.push(("shards2", r.match_count));
+                counts.push(("replicated2", r.metrics.replicated_events));
+                counts.push(("dedup2", r.metrics.dedup_hits));
+            } else {
+                counts.push(("shards4", r.match_count));
+                counts.push(("replicated4", r.metrics.replicated_events));
+                counts.push(("dedup4", r.metrics.dedup_hits));
+            }
+        }
+        counts
+    })
+}
+
+/// Runs all gate scenarios at the fixed quick scale.
+pub fn run_all() -> Vec<ScenarioReport> {
+    vec![
+        sharded_scaling(),
+        adaptive_drift(),
+        selectivity_drift(),
+        cross_partition(),
+    ]
+}
+
+/// Canonical counts-only JSON — the committed baseline format. Stable key
+/// order, no whitespace variation: textual equality means count equality.
+pub fn counts_json(reports: &[ScenarioReport]) -> String {
+    let mut s = String::from("{\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str(&format!("  \"{}\": {{", r.name));
+        for (j, (k, v)) in r.counts.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": {v}"));
+        }
+        s.push_str(if i + 1 < reports.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Full report JSON (counts + wall times) written to `BENCH_PR5.json`.
+pub fn full_json(reports: &[ScenarioReport]) -> String {
+    let mut s = String::from("{\n  \"scenarios\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"counts\": {{",
+            r.name, r.wall_ms
+        ));
+        for (j, (k, v)) in r.counts.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": {v}"));
+        }
+        s.push_str(if i + 1 < reports.len() {
+            "}},\n"
+        } else {
+            "}}\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Drives the gate end to end: run the scenarios, write the full report to
+/// `out_path`, and — unless `write_baseline` — compare the canonical
+/// counts against the committed baseline at `baseline_path`, returning
+/// `Err` (for a non-zero exit) on any divergence. With `write_baseline`
+/// the baseline file is (re)generated instead of checked.
+pub fn run(
+    out_path: &str,
+    baseline_path: &str,
+    write_baseline: bool,
+    log: &mut dyn Write,
+) -> Result<(), String> {
+    let reports = run_all();
+    for r in &reports {
+        writeln!(log, "{}: {:.0} ms, counts:", r.name, r.wall_ms).ok();
+        for (k, v) in &r.counts {
+            writeln!(log, "    {k} = {v}").ok();
+        }
+    }
+    std::fs::write(out_path, full_json(&reports))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    writeln!(log, "wrote {out_path}").ok();
+    let current = counts_json(&reports);
+    if write_baseline {
+        std::fs::write(baseline_path, &current)
+            .map_err(|e| format!("cannot write {baseline_path}: {e}"))?;
+        writeln!(log, "wrote baseline {baseline_path}").ok();
+        return Ok(());
+    }
+    let committed = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    if committed == current {
+        writeln!(log, "bench-smoke counts match the committed baseline").ok();
+        Ok(())
+    } else {
+        Err(format!(
+            "bench-smoke output counts diverged from the committed baseline \
+             {baseline_path}.\n--- committed ---\n{committed}\n--- current ---\n{current}\
+             \nIf the change is intentional, regenerate with \
+             `experiments bench-smoke --write-baseline`."
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_json_is_canonical() {
+        let reports = vec![
+            ScenarioReport {
+                name: "a",
+                wall_ms: 1.0,
+                counts: vec![("x", 1), ("y", 2)],
+            },
+            ScenarioReport {
+                name: "b",
+                wall_ms: 2.0,
+                counts: vec![("z", 3)],
+            },
+        ];
+        assert_eq!(
+            counts_json(&reports),
+            "{\n  \"a\": {\"x\": 1, \"y\": 2},\n  \"b\": {\"z\": 3}\n}\n"
+        );
+        let full = full_json(&reports);
+        assert!(full.contains("\"name\": \"a\""));
+        assert!(full.contains("\"wall_ms\""));
+        assert!(full.contains("\"z\": 3"));
+    }
+
+    /// The gate's core premise: identical seeds produce identical counts.
+    #[test]
+    fn scenario_counts_are_deterministic() {
+        let a = cross_partition();
+        let b = cross_partition();
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.counts[0].0, "serial");
+        // Replicate-join exactness inside the scenario itself.
+        let serial = a.counts[0].1;
+        assert!(a
+            .counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("shards"))
+            .all(|&(_, v)| v == serial));
+    }
+}

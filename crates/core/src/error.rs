@@ -37,6 +37,11 @@ pub enum CepError {
         /// The builder's watermark (largest timestamp accepted so far).
         last_ts: u64,
     },
+    /// A sharded routing policy that would lose or duplicate matches for
+    /// the given query (e.g. hash routing a query whose correlation
+    /// attribute is not the routing attribute). The message points at the
+    /// sound alternative — usually the replicate-join policy.
+    Routing(String),
 }
 
 impl fmt::Display for CepError {
@@ -54,6 +59,7 @@ impl fmt::Display for CepError {
                 "out-of-order push: event ts {ts} is behind watermark {last_ts}; \
                  streams must be pushed in non-decreasing ts order"
             ),
+            CepError::Routing(m) => write!(f, "routing error: {m}"),
         }
     }
 }
@@ -79,6 +85,9 @@ mod tests {
             offset: 17,
         };
         assert!(p.to_string().contains("17"));
+        assert!(CepError::Routing("x".into())
+            .to_string()
+            .contains("routing"));
         let o = CepError::OutOfOrder { ts: 3, last_ts: 9 };
         let s = o.to_string();
         assert!(s.contains("ts 3"));

@@ -15,6 +15,7 @@
 //! * order-based and tree-based evaluation plans ([`plan`]),
 //! * the cost models of Sections 3, 4 and 6 ([`cost`]),
 //! * statistics acquisition ([`stats`]) and the query graph ([`query_graph`]),
+//! * replicate-join partition analysis for sharded execution ([`partition`]),
 //! * runtime support shared by engines: matches ([`matches`]), negation
 //!   intervals ([`negation`]), metrics ([`metrics`]), the [`engine`] trait,
 //! * and a [`naive`] exhaustive oracle used as the semantic ground truth in
@@ -33,6 +34,7 @@ pub mod matches;
 pub mod metrics;
 pub mod naive;
 pub mod negation;
+pub mod partition;
 pub mod pattern;
 pub mod plan;
 pub mod predicate;
@@ -52,6 +54,7 @@ pub mod prelude {
     pub use crate::event::{Event, Timestamp, TypeId};
     pub use crate::matches::{Binding, Match};
     pub use crate::metrics::EngineMetrics;
+    pub use crate::partition::{PartitionSpec, QueryPartitioner, TypeDisposition};
     pub use crate::pattern::{Pattern, PatternBuilder, PatternExpr};
     pub use crate::plan::{OrderPlan, TreeNode, TreePlan};
     pub use crate::predicate::{CmpOp, Operand, Predicate};

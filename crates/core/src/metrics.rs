@@ -56,6 +56,16 @@ pub struct EngineMetrics {
     /// savings over the amortization horizon would not pay for the replay
     /// (a cheaper plan existed, but switching to it was not worth it yet).
     pub suppressed_swaps: u64,
+    /// Extra event deliveries created by replicate-join broadcast routing:
+    /// each event fanned out to all `N` shards adds `N − 1` here, so
+    /// `events_processed == stream length + replicated_events` for a
+    /// sharded run (0 for single-shard, non-replicating, or unsharded
+    /// runs).
+    pub replicated_events: u64,
+    /// Duplicate matches suppressed by a sharded merge's signature dedup
+    /// (a match with no partitioned event is detected by every shard; all
+    /// copies beyond the first count here).
+    pub dedup_hits: u64,
 }
 
 /// Estimated bytes per live partial match (bindings vector + bookkeeping).
@@ -132,6 +142,8 @@ impl EngineMetrics {
         self.peak_retained_events = self.peak_retained_events.max(other.peak_retained_events);
         self.selectivity_samples += other.selectivity_samples;
         self.suppressed_swaps += other.suppressed_swaps;
+        self.replicated_events += other.replicated_events;
+        self.dedup_hits += other.dedup_hits;
     }
 
     /// Merges counters from another engine (used by multi-plan evaluation).
@@ -153,6 +165,8 @@ impl EngineMetrics {
         self.peak_retained_events += other.peak_retained_events;
         self.selectivity_samples += other.selectivity_samples;
         self.suppressed_swaps += other.suppressed_swaps;
+        self.replicated_events += other.replicated_events;
+        self.dedup_hits += other.dedup_hits;
     }
 }
 
@@ -296,5 +310,111 @@ mod tests {
         m.record_retained(3);
         assert_eq!(m.retained_events, 3);
         assert_eq!(m.peak_retained_events, 8);
+    }
+
+    /// Every field set to a distinct value derived from `base`. Written as
+    /// a full struct literal on purpose: adding a field to
+    /// [`EngineMetrics`] breaks this helper until the merge/absorb
+    /// coverage tests below are extended to the new counter — which is
+    /// exactly when `merge`/`absorb` themselves must be extended too.
+    fn filled(base: u64) -> EngineMetrics {
+        EngineMetrics {
+            events_processed: base + 1,
+            events_relevant: base + 2,
+            matches_emitted: base + 3,
+            partial_matches_created: base + 4,
+            live_partial_matches: (base + 5) as usize,
+            peak_partial_matches: (base + 6) as usize,
+            buffered_events: (base + 7) as usize,
+            peak_buffered_events: (base + 8) as usize,
+            peak_memory_bytes: (base + 9) as usize,
+            predicate_evaluations: base + 10,
+            wall_time_ns: base + 11,
+            match_latency_ns_total: base + 12,
+            plan_swaps: base + 13,
+            replayed_events: base + 14,
+            replay_time_ns: base + 15,
+            retained_events: (base + 16) as usize,
+            peak_retained_events: (base + 17) as usize,
+            selectivity_samples: base + 18,
+            suppressed_swaps: base + 19,
+            replicated_events: base + 20,
+            dedup_hits: base + 21,
+        }
+    }
+
+    /// Number of fields `filled` covers; the canary below cross-checks it
+    /// against the struct itself via its Debug rendering.
+    const FIELD_COUNT: usize = 21;
+
+    #[test]
+    fn debug_field_count_matches_coverage() {
+        // `{:?}` renders one `name: value` pair per field and the values
+        // are plain integers, so counting ": " occurrences counts fields.
+        let rendered = format!("{:?}", EngineMetrics::new());
+        assert_eq!(
+            rendered.matches(": ").count(),
+            FIELD_COUNT,
+            "EngineMetrics gained or lost a field; update filled() and the \
+             merge/absorb coverage tests: {rendered}"
+        );
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        let mut a = filled(0);
+        a.merge(&filled(1000));
+        // Counters and latency sums add across shards...
+        assert_eq!(a.events_processed, 1002);
+        assert_eq!(a.events_relevant, 1004);
+        assert_eq!(a.matches_emitted, 1006);
+        assert_eq!(a.partial_matches_created, 1008);
+        assert_eq!(a.live_partial_matches, 1010);
+        assert_eq!(a.buffered_events, 1014);
+        assert_eq!(a.predicate_evaluations, 1020);
+        assert_eq!(a.match_latency_ns_total, 1024);
+        assert_eq!(a.plan_swaps, 1026);
+        assert_eq!(a.replayed_events, 1028);
+        assert_eq!(a.replay_time_ns, 1030);
+        assert_eq!(a.retained_events, 1032);
+        assert_eq!(a.selectivity_samples, 1036);
+        assert_eq!(a.suppressed_swaps, 1038);
+        assert_eq!(a.replicated_events, 1040);
+        assert_eq!(a.dedup_hits, 1042);
+        // ...peaks and wall time take the per-shard maximum.
+        assert_eq!(a.peak_partial_matches, 1006);
+        assert_eq!(a.peak_buffered_events, 1008);
+        assert_eq!(a.peak_memory_bytes, 1009);
+        assert_eq!(a.wall_time_ns, 1011);
+        assert_eq!(a.peak_retained_events, 1017);
+    }
+
+    #[test]
+    fn absorb_covers_every_field() {
+        let mut a = filled(0);
+        a.absorb(&filled(1000));
+        // Same-thread combination: everything sums, including peaks...
+        assert_eq!(a.events_relevant, 1004);
+        assert_eq!(a.matches_emitted, 1006);
+        assert_eq!(a.partial_matches_created, 1008);
+        assert_eq!(a.live_partial_matches, 1010);
+        assert_eq!(a.peak_partial_matches, 1012);
+        assert_eq!(a.buffered_events, 1014);
+        assert_eq!(a.peak_buffered_events, 1016);
+        assert_eq!(a.peak_memory_bytes, 1018);
+        assert_eq!(a.predicate_evaluations, 1020);
+        assert_eq!(a.match_latency_ns_total, 1024);
+        assert_eq!(a.plan_swaps, 1026);
+        assert_eq!(a.replayed_events, 1028);
+        assert_eq!(a.replay_time_ns, 1030);
+        assert_eq!(a.retained_events, 1032);
+        assert_eq!(a.peak_retained_events, 1034);
+        assert_eq!(a.selectivity_samples, 1036);
+        assert_eq!(a.suppressed_swaps, 1038);
+        assert_eq!(a.replicated_events, 1040);
+        assert_eq!(a.dedup_hits, 1042);
+        // ...except the harness-owned totals, which stay the caller's.
+        assert_eq!(a.events_processed, 1);
+        assert_eq!(a.wall_time_ns, 11);
     }
 }

@@ -125,6 +125,19 @@ impl StatsMonitor {
             .iter()
             .any(|(ty, &base)| base > 0.0 && !self.counts.contains_key(ty))
     }
+
+    /// Replicate-join partition spec for a sharded deployment of `branches`,
+    /// derived from this monitor's *live* rate estimates
+    /// ([`cep_core::partition::QueryPartitioner::analyze`]): the
+    /// highest-rate key component stays partitioned, the low-rate
+    /// remainder is replicated. Re-derive after drift to let the
+    /// replicated side follow the rates.
+    pub fn partition_spec(
+        &self,
+        branches: &[CompiledPattern],
+    ) -> Result<cep_core::partition::PartitionSpec, cep_core::error::CepError> {
+        cep_core::partition::QueryPartitioner::analyze(branches, |ty| self.rate(ty))
+    }
 }
 
 /// Relative-deviation floor for selectivity drift: deviations are measured
@@ -488,6 +501,62 @@ mod tests {
         feed(&mut m, 0, 20, 1, 2);
         assert!(!m.drifted());
         assert!(m.estimates().is_empty());
+    }
+
+    #[test]
+    fn partition_spec_follows_live_rates() {
+        use cep_core::partition::TypeDisposition;
+        use cep_core::predicate::{CmpOp, Predicate};
+
+        // Two disjoint key components — (T0, T1) and (T2, T3) — so the
+        // monitor's live rates decide which side stays partitioned.
+        let branch = || {
+            let mut b = cep_core::pattern::PatternBuilder::new(100);
+            let a = b.event(TypeId(0), "a");
+            let bb = b.event(TypeId(1), "b");
+            let c = b.event(TypeId(2), "c");
+            let d = b.event(TypeId(3), "d");
+            b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, bb.pos(), 0));
+            b.predicate(Predicate::attr_cmp(c.pos(), 0, CmpOp::Eq, d.pos(), 0));
+            CompiledPattern::compile_single(&b.seq([a, bb, c, d]).unwrap()).unwrap()
+        };
+        let mut m = StatsMonitor::new(1_000, 0.5);
+        for ts in 0..500u64 {
+            m.observe(&ev(0, ts));
+            m.observe(&ev(1, ts));
+            if ts % 50 == 0 {
+                m.observe(&ev(2, ts));
+                m.observe(&ev(3, ts));
+            }
+        }
+        let spec = m.partition_spec(&[branch()]).unwrap();
+        assert_eq!(
+            spec.disposition(TypeId(0)),
+            Some(TypeDisposition::Partitioned { attr: 0 })
+        );
+        assert_eq!(
+            spec.disposition(TypeId(2)),
+            Some(TypeDisposition::Replicated),
+            "the low-rate component is the replicated side"
+        );
+        // Flip the rates: the spec follows.
+        for ts in 1_500..2_000u64 {
+            m.observe(&ev(2, ts));
+            m.observe(&ev(3, ts));
+            if ts % 50 == 0 {
+                m.observe(&ev(0, ts));
+                m.observe(&ev(1, ts));
+            }
+        }
+        let spec = m.partition_spec(&[branch()]).unwrap();
+        assert_eq!(
+            spec.disposition(TypeId(0)),
+            Some(TypeDisposition::Replicated)
+        );
+        assert_eq!(
+            spec.disposition(TypeId(2)),
+            Some(TypeDisposition::Partitioned { attr: 0 })
+        );
     }
 
     #[test]

@@ -138,7 +138,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 256,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     /// parse ∘ pretty is the identity on generated patterns, and pretty is
@@ -190,7 +189,7 @@ fn generator_rarely_rejects() {
     for top_op in 0..3u8 {
         for flags in 0..27u32 {
             let elements = (0..3)
-                .map(|i| (i as u32, ((flags / 3u32.pow(i)) % 3) as u8))
+                .map(|i| (i, ((flags / 3u32.pow(i)) % 3) as u8))
                 .collect();
             let spec = Spec {
                 top_op,

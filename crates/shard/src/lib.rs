@@ -13,17 +13,29 @@
 //! Routing *splits* the stream, so a shard only detects matches whose
 //! events all landed on it. Sharded evaluation is therefore **exact** —
 //! equal to the single-threaded engine on the unsplit stream, for *any*
-//! shard count — precisely when the query is **partition-local**:
+//! shard count — in two regimes:
 //!
-//! * every match's events share one routing key (all pattern positions are
+//! * **partition-local queries** under the split-only policies:
+//!   every match's events share one routing key (all pattern positions
 //!   linked by key-equality predicates, the classic per-account /
 //!   per-vehicle / per-session CEP query), routed with
 //!   [`RoutingPolicy::HashAttr`] on that key or
-//!   [`RoutingPolicy::Partition`] when the key is the partition id; or
-//! * the pattern runs under
+//!   [`RoutingPolicy::Partition`] when the key is the partition id; or a
+//!   pattern under
 //!   [`SelectionStrategy::PartitionContiguity`](cep_core::selection::SelectionStrategy),
-//!   which *by definition* confines matches to one partition — partition
-//!   routing then keeps every partition whole on a single shard.
+//!   which *by definition* confines matches to one partition.
+//! * **arbitrary (cross-partition) queries** under
+//!   [`RoutingPolicy::ReplicateJoin`]: a
+//!   [`QueryPartitioner`](cep_core::partition::QueryPartitioner) analyzes
+//!   the query's equality predicates and classifies each event type as
+//!   *partitioned* (hashed by its join-key attribute — kept for the
+//!   high-rate side) or *replicated* (broadcast to every shard — the
+//!   low-rate side), so every match is complete on the shard its key
+//!   hashes to. Matches binding no partitioned event are detected by all
+//!   shards; the merge deduplicates them by signature, keeping the
+//!   canonically first copy ([`cep_core::metrics::EngineMetrics`] reports
+//!   the broadcast overhead as `replicated_events` and the suppressed
+//!   duplicates as `dedup_hits`).
 //!
 //! Under those conditions — and under the three *exact* selection
 //! strategies (skip-till-any-match, strict contiguity, partition
@@ -39,7 +51,24 @@
 //! global greedy run's. [`RoutingPolicy::RoundRobin`] offers no exactness
 //! for multi-element patterns (it splits key groups); it is exact only
 //! for single-element (filter) patterns and otherwise serves as a
-//! raw-throughput upper bound.
+//! raw-throughput upper bound. One caveat applies to *mid-stream deferred*
+//! emissions (trailing negations, negation inside conjunctions): their
+//! `emitted_at` watermark is taken from the emitting engine's own input,
+//! which under split routing can lag the unsplit stream's — bindings and
+//! match sets are still exact, end-of-stream flushes included.
+//!
+//! [`ShardRouter::for_query`] (and [`ShardedRuntime::run_query`]) check a
+//! policy against the compiled query and reject combinations they cannot
+//! prove sound with a typed
+//! [`CepError::Routing`](cep_core::error::CepError) — hash-routing a
+//! query whose correlation attribute does not key every element used to
+//! silently drop cross-shard matches; now it points at the replicate-join
+//! policy instead. [`RoutingPolicy::Partition`] passes the check only for
+//! partition-contiguity queries: whether a key-linked query's key mirrors
+//! the partition id is a *stream* property no query analysis can see, so
+//! key-partitioned deployments should hash the key explicitly
+//! ([`RoutingPolicy::HashAttr`], which is verified) or opt out via the
+//! unchecked [`ShardRouter::new`] / [`ShardedRuntime::run`] path.
 //!
 //! Workers communicate over bounded [`std::sync::mpsc`] channels carrying
 //! event *batches*: batching amortizes the per-send synchronization, and
@@ -58,7 +87,7 @@
 mod router;
 mod runtime;
 
-pub use router::{hash_value, RoutingPolicy, ShardRouter};
+pub use router::{hash_value, RouteTarget, RoutingPolicy, ShardRouter};
 pub use runtime::{canonical_sort, ShardConfig, ShardStats, ShardedRunResult, ShardedRuntime};
 
 #[cfg(test)]

@@ -1,10 +1,14 @@
 //! Routing policies: how input events map onto worker shards.
 
+use cep_core::compile::CompiledPattern;
+use cep_core::error::CepError;
 use cep_core::event::Event;
+use cep_core::partition::{partition_local_on, PartitionSpec, TypeDisposition};
 use cep_core::value::Value;
+use std::sync::Arc;
 
 /// How the [`ShardRouter`] assigns events to shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RoutingPolicy {
     /// Hash the attribute at this index: events sharing a key value always
     /// land on the same shard, making sharding exact for queries whose
@@ -20,6 +24,17 @@ pub enum RoutingPolicy {
     /// it is exact only for single-element (filter) patterns; use it for
     /// stateless workloads or as a raw-throughput upper bound.
     RoundRobin,
+    /// Replicate-join routing for cross-partition queries (Dossinger &
+    /// Michel, arXiv:2104.07742): each event type is either *partitioned*
+    /// (hashed by its join-key attribute from the spec) or *replicated*
+    /// (broadcast to every shard), per the
+    /// [`PartitionSpec`] a
+    /// [`QueryPartitioner`](cep_core::partition::QueryPartitioner)
+    /// derived from the query. Exact for any query the spec is sound for,
+    /// at any shard count, with duplicate suppression handled by the
+    /// merge. Types outside the spec (irrelevant to the query) route by
+    /// `partition % shards`.
+    ReplicateJoin(Arc<PartitionSpec>),
 }
 
 impl std::fmt::Display for RoutingPolicy {
@@ -28,8 +43,18 @@ impl std::fmt::Display for RoutingPolicy {
             RoutingPolicy::HashAttr(i) => write!(f, "hash-attr({i})"),
             RoutingPolicy::Partition => f.write_str("partition"),
             RoutingPolicy::RoundRobin => f.write_str("round-robin"),
+            RoutingPolicy::ReplicateJoin(spec) => write!(f, "replicate-join{spec}"),
         }
     }
+}
+
+/// Where one event goes: a single shard, or every shard (broadcast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTarget {
+    /// Deliver to exactly this shard index.
+    One(usize),
+    /// Deliver a copy to every shard (replicated event types).
+    All,
 }
 
 /// Maps stream events onto `shards` worker indices under a
@@ -45,6 +70,10 @@ pub struct ShardRouter {
 
 impl ShardRouter {
     /// Creates a router over `shards` workers (at least 1).
+    ///
+    /// This constructor performs no query analysis; use
+    /// [`ShardRouter::for_query`] to have the policy checked against the
+    /// query it will route for.
     pub fn new(shards: usize, policy: RoutingPolicy) -> ShardRouter {
         assert!(shards >= 1, "need at least one shard");
         ShardRouter {
@@ -54,29 +83,137 @@ impl ShardRouter {
         }
     }
 
+    /// Creates a router after verifying that `policy` is *sound* for the
+    /// compiled query it will route: every match must be fully detectable
+    /// on at least one shard, with duplicates limited to what the merge
+    /// deduplicates.
+    ///
+    /// * [`RoutingPolicy::HashAttr`] requires the query to be
+    ///   partition-local on that attribute (every element of every branch
+    ///   equality-linked on it);
+    /// * [`RoutingPolicy::Partition`] requires partition-contiguity
+    ///   semantics — the only case where the query *itself* guarantees
+    ///   that matches never cross partitions. A key-linked query may well
+    ///   be exact under partition routing too, but only if the key
+    ///   mirrors `event.partition`, which is a property of the *stream*
+    ///   that no query analysis can verify — such deployments should hash
+    ///   the key explicitly ([`RoutingPolicy::HashAttr`], which *is*
+    ///   verified) or use the unchecked [`ShardRouter::new`] path
+    ///   deliberately;
+    /// * [`RoutingPolicy::RoundRobin`] requires single-element (filter)
+    ///   branches without negation;
+    /// * [`RoutingPolicy::ReplicateJoin`] validates the spec against the
+    ///   branches ([`PartitionSpec::validate`]).
+    ///
+    /// # Errors
+    /// Returns [`CepError::Routing`] describing the unsound combination
+    /// and pointing at the replicate-join policy where it applies.
+    pub fn for_query(
+        shards: usize,
+        policy: RoutingPolicy,
+        branches: &[CompiledPattern],
+    ) -> Result<ShardRouter, CepError> {
+        if branches.is_empty() {
+            return Err(CepError::Routing(
+                "cannot validate a routing policy against zero pattern branches".into(),
+            ));
+        }
+        match &policy {
+            RoutingPolicy::HashAttr(attr) => {
+                partition_local_on(branches, *attr).map_err(|e| {
+                    CepError::Routing(format!(
+                        "hash-attr({attr}) would lose cross-shard matches: {e}; \
+                         route this query with RoutingPolicy::ReplicateJoin \
+                         (see cep_core::partition::QueryPartitioner)"
+                    ))
+                })?;
+            }
+            RoutingPolicy::Partition => {
+                let contiguous = branches.iter().all(|cp| {
+                    cp.strategy == cep_core::selection::SelectionStrategy::PartitionContiguity
+                });
+                if !contiguous {
+                    return Err(CepError::Routing(
+                        "partition routing is only verifiably exact for \
+                         partition-contiguity queries; whether a key-linked query's \
+                         key mirrors the partition id is a stream property this \
+                         check cannot see. Hash the join key explicitly with \
+                         RoutingPolicy::HashAttr, route cross-partition queries \
+                         with RoutingPolicy::ReplicateJoin (see \
+                         cep_core::partition::QueryPartitioner), or use the \
+                         unchecked ShardRouter::new if the stream is known to be \
+                         partitioned by the key"
+                            .into(),
+                    ));
+                }
+            }
+            RoutingPolicy::RoundRobin => {
+                if branches
+                    .iter()
+                    .any(|cp| cp.n() != 1 || !cp.negated.is_empty())
+                {
+                    return Err(CepError::Routing(
+                        "round-robin routing splits key groups and is only exact for \
+                         single-element filter patterns; use ReplicateJoin for \
+                         multi-element queries"
+                            .into(),
+                    ));
+                }
+            }
+            RoutingPolicy::ReplicateJoin(spec) => spec.validate(branches)?,
+        }
+        Ok(ShardRouter::new(shards, policy))
+    }
+
     /// Number of shards routed across.
     pub fn shards(&self) -> usize {
         self.shards
     }
 
     /// The active policy.
-    pub fn policy(&self) -> RoutingPolicy {
-        self.policy
+    pub fn policy(&self) -> &RoutingPolicy {
+        &self.policy
     }
 
-    /// Shard index for `event`.
+    /// Shard index for `event` under a single-target policy.
+    ///
+    /// # Panics
+    /// Panics for [`RoutingPolicy::ReplicateJoin`], whose replicated types
+    /// broadcast to every shard — use [`ShardRouter::route_target`].
     pub fn route(&mut self, event: &Event) -> usize {
-        match self.policy {
-            RoutingPolicy::HashAttr(idx) => match event.attr(idx) {
-                Some(v) => (hash_value(v) % self.shards as u64) as usize,
-                None => 0,
+        match self.route_target(event) {
+            RouteTarget::One(s) => s,
+            RouteTarget::All => {
+                panic!("route() called for a broadcast event; use route_target()")
+            }
+        }
+    }
+
+    /// Destination of `event`: one shard, or all of them.
+    pub fn route_target(&mut self, event: &Event) -> RouteTarget {
+        let one = |s: usize| RouteTarget::One(s);
+        match &self.policy {
+            RoutingPolicy::HashAttr(idx) => match event.attr(*idx) {
+                Some(v) => one((hash_value(v) % self.shards as u64) as usize),
+                None => one(0),
             },
-            RoutingPolicy::Partition => event.partition as usize % self.shards,
+            RoutingPolicy::Partition => one(event.partition as usize % self.shards),
             RoutingPolicy::RoundRobin => {
                 let s = self.rr_next;
                 self.rr_next = (self.rr_next + 1) % self.shards;
-                s
+                one(s)
             }
+            RoutingPolicy::ReplicateJoin(spec) => match spec.disposition(event.type_id) {
+                Some(TypeDisposition::Replicated) => RouteTarget::All,
+                Some(TypeDisposition::Partitioned { attr }) => match event.attr(attr) {
+                    Some(v) => one((hash_value(v) % self.shards as u64) as usize),
+                    None => one(0),
+                },
+                // Types the query never references cannot affect its
+                // matches; spread them by partition id so they are still
+                // processed exactly once.
+                None => one(event.partition as usize % self.shards),
+            },
         }
     }
 }
@@ -119,6 +256,8 @@ pub fn hash_value(v: &Value) -> u64 {
 mod tests {
     use super::*;
     use cep_core::event::TypeId;
+    use cep_core::pattern::PatternBuilder;
+    use cep_core::predicate::{CmpOp, Predicate};
 
     fn keyed(key: i64, partition: u32) -> Event {
         let mut e = Event::new(TypeId(0), 0, vec![Value::Int(key)]);
@@ -186,5 +325,132 @@ mod tests {
             hash_value(&Value::from("k1")),
             hash_value(&Value::from("k2"))
         );
+    }
+
+    fn spec_partitioned_and_replicated() -> Arc<PartitionSpec> {
+        Arc::new(PartitionSpec::new([
+            (TypeId(0), TypeDisposition::Partitioned { attr: 0 }),
+            (TypeId(1), TypeDisposition::Replicated),
+        ]))
+    }
+
+    #[test]
+    fn replicate_join_broadcasts_replicated_types_only() {
+        let mut r = ShardRouter::new(
+            4,
+            RoutingPolicy::ReplicateJoin(spec_partitioned_and_replicated()),
+        );
+        // Partitioned type: consistent single-shard hash on the key attr.
+        let t0 = keyed(7, 0);
+        let RouteTarget::One(s) = r.route_target(&t0) else {
+            panic!("partitioned type must not broadcast");
+        };
+        assert_eq!(r.route_target(&t0), RouteTarget::One(s));
+        // Replicated type: broadcast.
+        let mut t1 = keyed(7, 0);
+        t1.type_id = TypeId(1);
+        assert_eq!(r.route_target(&t1), RouteTarget::All);
+        // Irrelevant type: routed once, by partition id.
+        let mut t9 = keyed(7, 6);
+        t9.type_id = TypeId(9);
+        assert_eq!(r.route_target(&t9), RouteTarget::One(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "route_target")]
+    fn route_panics_on_broadcast() {
+        let mut r = ShardRouter::new(
+            4,
+            RoutingPolicy::ReplicateJoin(spec_partitioned_and_replicated()),
+        );
+        let mut e = keyed(7, 0);
+        e.type_id = TypeId(1);
+        r.route(&e);
+    }
+
+    /// SEQ(A a, B b, C c) with a.0 == b.0 — C is unkeyed, so plain hash
+    /// routing on attribute 0 is unsound.
+    fn cross_key_branches() -> Vec<CompiledPattern> {
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(TypeId(0), "a");
+        let bb = b.event(TypeId(1), "b");
+        let c = b.event(TypeId(2), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, bb.pos(), 0));
+        CompiledPattern::compile(&b.seq([a, bb, c]).unwrap()).unwrap()
+    }
+
+    /// Regression for the silent-wrong-answer bug: hash routing a query
+    /// whose correlation attribute does not cover every element used to be
+    /// accepted and silently dropped cross-shard matches. `for_query` now
+    /// rejects it with a typed error pointing at replicate-join.
+    #[test]
+    fn for_query_rejects_partition_local_routing_of_cross_key_queries() {
+        let branches = cross_key_branches();
+        for policy in [RoutingPolicy::HashAttr(0), RoutingPolicy::Partition] {
+            let err = ShardRouter::for_query(4, policy.clone(), &branches).unwrap_err();
+            let CepError::Routing(msg) = &err else {
+                panic!("{policy} must fail with CepError::Routing, got {err}");
+            };
+            assert!(
+                msg.contains("ReplicateJoin"),
+                "{policy} error must point at the replicate-join policy: {msg}"
+            );
+        }
+        let err = ShardRouter::for_query(4, RoutingPolicy::RoundRobin, &branches).unwrap_err();
+        assert!(matches!(err, CepError::Routing(_)));
+    }
+
+    #[test]
+    fn for_query_accepts_sound_combinations() {
+        // Fully keyed query: hash routing on the key attribute is fine.
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, c.pos(), 0));
+        let keyed = CompiledPattern::compile(&b.seq([a, c]).unwrap()).unwrap();
+        assert!(ShardRouter::for_query(4, RoutingPolicy::HashAttr(0), &keyed).is_ok());
+        // ...but not hash routing on a different attribute, and not
+        // partition routing: whether the key mirrors the partition id is a
+        // stream property the query-only check cannot verify.
+        assert!(ShardRouter::for_query(4, RoutingPolicy::HashAttr(1), &keyed).is_err());
+        assert!(ShardRouter::for_query(4, RoutingPolicy::Partition, &keyed).is_err());
+
+        // The cross-key query is accepted under a sound replicate-join spec.
+        let branches = cross_key_branches();
+        let spec = cep_core::partition::QueryPartitioner::analyze(&branches, |_| 1.0).unwrap();
+        assert!(
+            ShardRouter::for_query(4, RoutingPolicy::ReplicateJoin(Arc::new(spec)), &branches)
+                .is_ok()
+        );
+        // ...and rejected under an unsound hand-built one.
+        let bad = PartitionSpec::new([
+            (TypeId(0), TypeDisposition::Partitioned { attr: 0 }),
+            (TypeId(1), TypeDisposition::Partitioned { attr: 0 }),
+            (TypeId(2), TypeDisposition::Partitioned { attr: 0 }),
+        ]);
+        assert!(
+            ShardRouter::for_query(4, RoutingPolicy::ReplicateJoin(Arc::new(bad)), &branches)
+                .is_err()
+        );
+
+        // Single-element filter patterns may round-robin.
+        let mut b = PatternBuilder::new(100);
+        let a = b.event(TypeId(0), "a");
+        let filter = CompiledPattern::compile(&b.seq([a]).unwrap()).unwrap();
+        assert!(ShardRouter::for_query(4, RoutingPolicy::RoundRobin, &filter).is_ok());
+    }
+
+    #[test]
+    fn for_query_accepts_partition_routing_for_partition_contiguity() {
+        use cep_core::selection::SelectionStrategy;
+        // No key predicates at all, but partition contiguity confines
+        // matches to one partition by definition.
+        let mut b = PatternBuilder::new(100);
+        b.strategy(SelectionStrategy::PartitionContiguity);
+        let a = b.event(TypeId(0), "a");
+        let c = b.event(TypeId(1), "c");
+        let branches = CompiledPattern::compile(&b.seq([a, c]).unwrap()).unwrap();
+        assert!(ShardRouter::for_query(4, RoutingPolicy::Partition, &branches).is_ok());
+        assert!(ShardRouter::for_query(4, RoutingPolicy::HashAttr(0), &branches).is_err());
     }
 }

@@ -1,11 +1,15 @@
-//! The sharded worker-pool runtime and its deterministic merge.
+//! The sharded worker-pool runtime and its deterministic, dedup-aware
+//! merge.
 
-use crate::router::{RoutingPolicy, ShardRouter};
+use crate::router::{RouteTarget, RoutingPolicy, ShardRouter};
+use cep_core::compile::CompiledPattern;
 use cep_core::engine::EngineFactory;
+use cep_core::error::CepError;
 use cep_core::event::EventRef;
 use cep_core::matches::Match;
 use cep_core::metrics::EngineMetrics;
 use cep_core::stream::EventStream;
+use std::collections::HashSet;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
@@ -50,9 +54,14 @@ impl ShardConfig {
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
-    /// Events routed to this shard.
+    /// Events routed to this shard (under replicate-join routing,
+    /// broadcast events count once per receiving shard).
     pub events_routed: u64,
-    /// Matches this shard's engine emitted.
+    /// Matches this shard's engine emitted. Under replicate-join routing a
+    /// match without partitioned events is emitted by *every* shard, so
+    /// these raw per-shard counts may sum to more than the merged
+    /// [`ShardedRunResult::match_count`] (the difference is
+    /// [`EngineMetrics::dedup_hits`]).
     pub match_count: u64,
     /// The shard engine's final metrics; `wall_time_ns` is the shard's
     /// *busy* time (processing only, excluding waits on the input queue).
@@ -63,9 +72,11 @@ pub struct ShardStats {
 #[derive(Debug)]
 pub struct ShardedRunResult {
     /// Merged matches in [`canonical_sort`] order (empty when
-    /// `collect_matches` was false).
+    /// `collect_matches` was false), with cross-shard duplicates removed
+    /// under replicate-join routing.
     pub matches: Vec<Match>,
-    /// Total matches across shards (tracked even when not collected).
+    /// Distinct matches across shards (tracked even when not collected;
+    /// duplicates from replicated-only matches are already subtracted).
     pub match_count: u64,
     /// Aggregated metrics: per-shard metrics combined with
     /// [`EngineMetrics::merge`], with `wall_time_ns` replaced by the whole
@@ -119,9 +130,21 @@ impl ShardedRuntime {
     /// deterministically. With `collect_matches == false`, matches are
     /// counted and discarded shard-side, keeping memory flat on large runs.
     ///
+    /// Under [`RoutingPolicy::ReplicateJoin`], replicated event types are
+    /// broadcast to every worker (the extra deliveries are counted in the
+    /// merged metrics' [`EngineMetrics::replicated_events`]) and the merge
+    /// suppresses cross-shard duplicate matches by signature, keeping the
+    /// first occurrence in canonical order ([`EngineMetrics::dedup_hits`]
+    /// counts the rest). Duplicates only arise for matches that bind no
+    /// partitioned event, which every shard detects; keeping the
+    /// canonically first copy reproduces the single-threaded engine's
+    /// emission exactly. Deduplication needs signatures, so replicate-join
+    /// runs buffer matches shard-side even when `collect_matches` is
+    /// false (they are dropped after counting).
+    ///
     /// See the crate docs for when the merged output is exactly the
-    /// single-threaded result (partition-local queries) — the merge order
-    /// itself is deterministic for any query and any shard count.
+    /// single-threaded result — the merge order itself is deterministic
+    /// for any query and any shard count.
     pub fn run(
         &self,
         factory: &dyn EngineFactory,
@@ -131,6 +154,14 @@ impl ShardedRuntime {
     ) -> ShardedRunResult {
         let shards = self.config.shards;
         let batch_size = self.config.batch_size;
+        // Replicated-only matches surface on every shard; merging must
+        // dedup them, which requires seeing the matches. A spec with no
+        // replicated types broadcasts nothing and cannot duplicate, so it
+        // keeps the flat-memory count-and-discard path.
+        let dedup = shards > 1
+            && matches!(&policy, RoutingPolicy::ReplicateJoin(spec)
+                if !spec.is_fully_partitioned());
+        let collect_in_workers = collect_matches || dedup;
         let start = Instant::now();
         let mut router = ShardRouter::new(shards, policy);
         let mut txs: Vec<SyncSender<Vec<EventRef>>> = Vec::with_capacity(shards);
@@ -140,16 +171,16 @@ impl ShardedRuntime {
             txs.push(tx);
             rxs.push(rx);
         }
+        let mut replicated_extra = 0u64;
         let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
             let handles: Vec<_> = rxs
                 .into_iter()
-                .map(|rx| s.spawn(move || worker(factory, rx, collect_matches)))
+                .map(|rx| s.spawn(move || worker(factory, rx, collect_in_workers)))
                 .collect();
             let mut batches: Vec<Vec<EventRef>> = (0..shards)
                 .map(|_| Vec::with_capacity(batch_size))
                 .collect();
-            for event in stream {
-                let shard = router.route(event);
+            let push = |shard: usize, event: &EventRef, batches: &mut Vec<Vec<EventRef>>| {
                 batches[shard].push(Arc::clone(event));
                 if batches[shard].len() >= batch_size {
                     let full =
@@ -157,6 +188,17 @@ impl ShardedRuntime {
                     // A send only fails if the worker died; its panic
                     // resurfaces at join below.
                     let _ = txs[shard].send(full);
+                }
+            };
+            for event in stream {
+                match router.route_target(event) {
+                    RouteTarget::One(shard) => push(shard, event, &mut batches),
+                    RouteTarget::All => {
+                        replicated_extra += shards as u64 - 1;
+                        for shard in 0..shards {
+                            push(shard, event, &mut batches);
+                        }
+                    }
                 }
             }
             for (shard, batch) in batches.into_iter().enumerate() {
@@ -187,13 +229,42 @@ impl ShardedRuntime {
             });
         }
         metrics.wall_time_ns = wall;
+        metrics.replicated_events = replicated_extra;
         canonical_sort(&mut matches);
+        if dedup {
+            let before = matches.len();
+            let mut seen = HashSet::with_capacity(before);
+            matches.retain(|m| seen.insert(m.signature()));
+            metrics.dedup_hits = (before - matches.len()) as u64;
+            match_count = matches.len() as u64;
+            if !collect_matches {
+                matches.clear();
+            }
+        }
         ShardedRunResult {
             matches,
             match_count,
             metrics,
             per_shard,
         }
+    }
+
+    /// [`run`](ShardedRuntime::run) with the routing policy first checked
+    /// against the compiled query it routes for
+    /// ([`ShardRouter::for_query`]): unsound combinations — e.g. hash
+    /// routing a query whose correlation attribute does not key every
+    /// element — fail with [`CepError::Routing`] instead of silently
+    /// losing cross-shard matches.
+    pub fn run_query(
+        &self,
+        factory: &dyn EngineFactory,
+        stream: &EventStream,
+        policy: RoutingPolicy,
+        branches: &[CompiledPattern],
+        collect_matches: bool,
+    ) -> Result<ShardedRunResult, CepError> {
+        ShardRouter::for_query(self.config.shards, policy.clone(), branches)?;
+        Ok(self.run(factory, stream, policy, collect_matches))
     }
 }
 

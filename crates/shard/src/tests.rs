@@ -101,7 +101,12 @@ fn sharded_equals_single_threaded_for_every_exact_strategy() {
         let expected = single_threaded(&factory, &stream);
         for policy in [RoutingPolicy::Partition, RoutingPolicy::HashAttr(0)] {
             for shards in [1, 2, 3, 4] {
-                let r = ShardedRuntime::with_shards(shards).run(&factory, &stream, policy, true);
+                let r = ShardedRuntime::with_shards(shards).run(
+                    &factory,
+                    &stream,
+                    policy.clone(),
+                    true,
+                );
                 assert_eq!(
                     r.matches, expected,
                     "{strategy} under {policy} with {shards} shards diverged"
@@ -310,7 +315,7 @@ fn single_event_stream_is_routed_and_matched() {
         RoutingPolicy::HashAttr(0),
         RoutingPolicy::RoundRobin,
     ] {
-        let r = ShardedRuntime::with_shards(4).run(&factory, &stream, policy, true);
+        let r = ShardedRuntime::with_shards(4).run(&factory, &stream, policy.clone(), true);
         assert_eq!(r.matches, expected, "{policy} lost the only event");
         assert_eq!(r.metrics.events_processed, 1);
         assert_eq!(
@@ -333,7 +338,7 @@ fn more_shards_than_events_is_exact() {
     let expected = single_threaded(&factory, &stream);
     assert_eq!(expected.len(), 1, "fixture is one complete match");
     for policy in [RoutingPolicy::Partition, RoutingPolicy::HashAttr(0)] {
-        let r = ShardedRuntime::with_shards(8).run(&factory, &stream, policy, true);
+        let r = ShardedRuntime::with_shards(8).run(&factory, &stream, policy.clone(), true);
         assert_eq!(r.matches, expected, "{policy} diverged with idle shards");
         assert_eq!(r.metrics.events_processed, 3);
     }
@@ -586,7 +591,7 @@ proptest! {
             SelectionStrategy::StrictContiguity,
             SelectionStrategy::PartitionContiguity,
         ][strategy_idx];
-        let policy = [RoutingPolicy::Partition, RoutingPolicy::HashAttr(0)][policy_idx];
+        let policy = [RoutingPolicy::Partition, RoutingPolicy::HashAttr(0)][policy_idx].clone();
         let mut ts = 0u64;
         let events: Vec<(u32, u64, i64)> = raw
             .into_iter()
@@ -599,7 +604,430 @@ proptest! {
         let cp = CompiledPattern::compile_single(&keyed_seq(3, 10, strategy)).unwrap();
         let runtime = ShardedRuntime::with_shards(shards);
         let nfa = nfa_factory(cp.clone());
-        let r = runtime.run(&nfa, &stream, policy, true);
+        let r = runtime.run(&nfa, &stream, policy.clone(), true);
+        prop_assert_eq!(r.matches, single_threaded(&nfa, &stream));
+        let tree = tree_factory(cp);
+        let r = runtime.run(&tree, &stream, policy, true);
+        prop_assert_eq!(r.matches, single_threaded(&tree, &stream));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replicate-join: cross-partition queries (correlation attr != partition
+// attr) must reproduce the single-threaded engine byte for byte at any
+// shard count, with cross-shard duplicates suppressed by the merge.
+// ---------------------------------------------------------------------------
+
+use cep_core::partition::{QueryPartitioner, TypeDisposition};
+use std::sync::Arc as StdArc;
+
+/// An event whose attribute 0 is the *correlation* key and attribute 1 the
+/// *channel*; the stream partition mirrors the channel, NOT the key — the
+/// cross-partition shape plain hash/partition routing gets wrong.
+fn cross_key_stream(events: Vec<(u32, u64, i64, i64)>) -> EventStream {
+    let mut b = StreamBuilder::new();
+    for (tid, ts, key, chan) in events {
+        b.push_partitioned(
+            Event::new(t(tid), ts, vec![Value::Int(key), Value::Int(chan)]),
+            chan as u32,
+        );
+    }
+    b.build()
+}
+
+/// `SEQ(A a, B b, C c)` with `a.0 == b.0` only: A and B are key-linked
+/// (partitioned), C is unkeyed (must be replicated for exactness).
+fn cross_key_seq(window: u64, strategy: SelectionStrategy) -> Pattern {
+    let mut b = PatternBuilder::new(window);
+    b.strategy(strategy);
+    let a = b.event(t(0), "a");
+    let bb = b.event(t(1), "b");
+    let c = b.event(t(2), "c");
+    b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, bb.pos(), 0));
+    b.seq([a, bb, c]).unwrap()
+}
+
+fn replicate_join_policy(cp: &CompiledPattern) -> RoutingPolicy {
+    let spec = QueryPartitioner::analyze(std::slice::from_ref(cp), |_| 1.0).unwrap();
+    RoutingPolicy::ReplicateJoin(StdArc::new(spec))
+}
+
+/// Deterministic cross-key workload: key and channel drawn independently,
+/// so key groups straddle channels (and therefore shards under any
+/// split-only policy).
+fn lcg_cross_key_workload(len: u64, keys: i64, chans: i64, seed: u64) -> Vec<(u32, u64, i64, i64)> {
+    let mut state = seed;
+    let mut ts = 0u64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let tid = ((state >> 33) % 3) as u32;
+            let key = ((state >> 20) % keys as u64) as i64;
+            let chan = ((state >> 45) % chans as u64) as i64;
+            ts += (state >> 50) % 3;
+            (tid, ts, key, chan)
+        })
+        .collect()
+}
+
+/// The acceptance-criterion sweep: shard counts {1, 2, 4, 8, 16}, all
+/// three exact strategies, both engine families — byte-identical to the
+/// single-threaded engine on a cross-partition query.
+#[test]
+fn replicate_join_equals_single_threaded_for_every_exact_strategy() {
+    let stream = cross_key_stream(lcg_cross_key_workload(160, 4, 5, 0xCA11));
+    for strategy in [
+        SelectionStrategy::SkipTillAnyMatch,
+        SelectionStrategy::StrictContiguity,
+        SelectionStrategy::PartitionContiguity,
+    ] {
+        let cp = CompiledPattern::compile_single(&cross_key_seq(12, strategy)).unwrap();
+        let policy = replicate_join_policy(&cp);
+        let nfa = nfa_factory(cp.clone());
+        let tree = tree_factory(cp);
+        let expected_nfa = single_threaded(&nfa, &stream);
+        let expected_tree = single_threaded(&tree, &stream);
+        for shards in [1usize, 2, 4, 8, 16] {
+            let r = ShardedRuntime::with_shards(shards).run(&nfa, &stream, policy.clone(), true);
+            assert_eq!(
+                r.matches, expected_nfa,
+                "nfa {strategy} with {shards} shards diverged"
+            );
+            assert_eq!(r.match_count, expected_nfa.len() as u64);
+            let r = ShardedRuntime::with_shards(shards).run(&tree, &stream, policy.clone(), true);
+            assert_eq!(
+                r.matches, expected_tree,
+                "tree {strategy} with {shards} shards diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn replicate_join_agrees_with_naive_oracle() {
+    let stream = cross_key_stream(lcg_cross_key_workload(110, 3, 4, 0xFACE));
+    let cp =
+        CompiledPattern::compile_single(&cross_key_seq(10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
+    let mut expected = run_to_completion(&mut oracle, &stream, true).matches;
+    canonical_sort(&mut expected);
+    assert!(!expected.is_empty(), "fixture should produce matches");
+    let policy = replicate_join_policy(&cp);
+    let r = ShardedRuntime::with_shards(4).run(&nfa_factory(cp), &stream, policy, true);
+    assert_eq!(
+        r.matches.iter().map(|m| m.signature()).collect::<Vec<_>>(),
+        expected.iter().map(|m| m.signature()).collect::<Vec<_>>(),
+    );
+}
+
+/// The classic wrong-answer shape the replicate-join layer exists for:
+/// split-only routing silently loses every cross-shard match, while
+/// replicate-join recovers the full single-threaded match set.
+#[test]
+fn replicate_join_recovers_matches_split_routing_loses() {
+    let stream = cross_key_stream(lcg_cross_key_workload(200, 4, 7, 0x90DD));
+    let cp =
+        CompiledPattern::compile_single(&cross_key_seq(12, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp.clone());
+    let expected = single_threaded(&factory, &stream);
+    assert!(!expected.is_empty(), "fixture should produce matches");
+    // Partition routing splits correlation groups across channels: wrong.
+    let lossy =
+        ShardedRuntime::with_shards(4).run(&factory, &stream, RoutingPolicy::Partition, true);
+    assert!(
+        lossy.matches.len() < expected.len(),
+        "fixture must actually exercise cross-partition correlation \
+         ({} lossy vs {} expected)",
+        lossy.matches.len(),
+        expected.len()
+    );
+    // Replicate-join recovers exactness.
+    let exact =
+        ShardedRuntime::with_shards(4).run(&factory, &stream, replicate_join_policy(&cp), true);
+    assert_eq!(exact.matches, expected);
+    // And run_query refuses the lossy policy outright.
+    let err = ShardedRuntime::with_shards(4)
+        .run_query(
+            &factory,
+            &stream,
+            RoutingPolicy::Partition,
+            std::slice::from_ref(&cp),
+            true,
+        )
+        .unwrap_err();
+    assert!(matches!(err, cep_core::error::CepError::Routing(_)));
+    let ok = ShardedRuntime::with_shards(4)
+        .run_query(
+            &factory,
+            &stream,
+            replicate_join_policy(&cp),
+            std::slice::from_ref(&cp),
+            true,
+        )
+        .unwrap();
+    assert_eq!(ok.matches, expected);
+}
+
+/// A query with no equality structure replicates everything: every shard
+/// detects every match and the merge must collapse them to exactly the
+/// single-threaded result, counting the suppressed copies.
+#[test]
+fn replicated_only_matches_are_deduplicated() {
+    let stream = cross_key_stream(lcg_cross_key_workload(60, 3, 4, 0xD0D0));
+    let mut b = PatternBuilder::new(8);
+    let a = b.event(t(0), "a");
+    let c = b.event(t(1), "c");
+    b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Lt, c.pos(), 0));
+    let cp = CompiledPattern::compile_single(&b.seq([a, c]).unwrap()).unwrap();
+    let spec = QueryPartitioner::analyze(std::slice::from_ref(&cp), |_| 1.0).unwrap();
+    assert!(spec.is_fully_replicated(), "no keys: everything broadcast");
+    let factory = nfa_factory(cp);
+    let expected = single_threaded(&factory, &stream);
+    assert!(!expected.is_empty(), "fixture should produce matches");
+    for shards in [2usize, 4] {
+        let r = ShardedRuntime::with_shards(shards).run(
+            &factory,
+            &stream,
+            RoutingPolicy::ReplicateJoin(StdArc::new(spec.clone())),
+            true,
+        );
+        assert_eq!(r.matches, expected, "{shards} shards diverged");
+        assert_eq!(
+            r.metrics.dedup_hits,
+            (shards as u64 - 1) * expected.len() as u64,
+            "every shard re-detects every replicated-only match"
+        );
+        assert_eq!(
+            r.per_shard.iter().map(|s| s.match_count).sum::<u64>(),
+            shards as u64 * expected.len() as u64
+        );
+    }
+}
+
+#[test]
+fn replicate_join_metrics_account_for_broadcast() {
+    let events = lcg_cross_key_workload(150, 4, 5, 0xB00);
+    let replicated_sources = events.iter().filter(|(tid, ..)| *tid == 2).count() as u64;
+    let stream = cross_key_stream(events);
+    let cp =
+        CompiledPattern::compile_single(&cross_key_seq(10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp.clone());
+    let shards = 4;
+    let r = ShardedRuntime::with_shards(shards).run(
+        &factory,
+        &stream,
+        replicate_join_policy(&cp),
+        true,
+    );
+    assert_eq!(
+        r.metrics.replicated_events,
+        replicated_sources * (shards as u64 - 1),
+        "each broadcast event adds shards-1 extra deliveries"
+    );
+    assert_eq!(
+        r.metrics.events_processed,
+        stream.len() as u64 + r.metrics.replicated_events,
+        "engines see the stream plus the broadcast copies"
+    );
+    assert_eq!(
+        r.per_shard.iter().map(|s| s.events_routed).sum::<u64>(),
+        stream.len() as u64 + r.metrics.replicated_events
+    );
+    // A 1-shard replicate-join run broadcasts nothing extra.
+    let r1 =
+        ShardedRuntime::with_shards(1).run(&factory, &stream, replicate_join_policy(&cp), true);
+    assert_eq!(r1.metrics.replicated_events, 0);
+    assert_eq!(r1.metrics.dedup_hits, 0);
+}
+
+#[test]
+fn replicate_join_uncollected_runs_count_distinct_matches() {
+    let stream = cross_key_stream(lcg_cross_key_workload(140, 3, 5, 0xC0DE));
+    let cp =
+        CompiledPattern::compile_single(&cross_key_seq(10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp.clone());
+    let policy = replicate_join_policy(&cp);
+    let collected = ShardedRuntime::with_shards(4).run(&factory, &stream, policy.clone(), true);
+    let counted = ShardedRuntime::with_shards(4).run(&factory, &stream, policy, false);
+    assert!(counted.matches.is_empty());
+    assert_eq!(
+        counted.match_count, collected.match_count,
+        "uncollected counts must already be deduplicated"
+    );
+    assert_eq!(counted.metrics.dedup_hits, collected.metrics.dedup_hits);
+}
+
+/// Negation under replicate-join, both ways the partitioner can classify
+/// the negated type: key-linked (partitioned with the match key) and
+/// unkeyed (broadcast so no shard misses a forbidding event).
+#[test]
+fn replicate_join_with_internal_negation_stays_exact() {
+    for keyed_negation in [true, false] {
+        let mut b = PatternBuilder::new(14);
+        let a = b.event(t(0), "a");
+        let n = b.event(t(1), "n");
+        let c = b.event(t(2), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, c.pos(), 0));
+        if keyed_negation {
+            b.predicate(Predicate::attr_cmp(n.pos(), 0, CmpOp::Eq, a.pos(), 0));
+        }
+        let ae = b.expr(a);
+        let ne = b.not(n);
+        let ce = b.expr(c);
+        let p = b.seq_exprs([ae, ne, ce]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let spec = QueryPartitioner::analyze(std::slice::from_ref(&cp), |_| 1.0).unwrap();
+        assert_eq!(
+            spec.disposition(t(1)),
+            Some(if keyed_negation {
+                TypeDisposition::Partitioned { attr: 0 }
+            } else {
+                TypeDisposition::Replicated
+            })
+        );
+        let stream = cross_key_stream(lcg_cross_key_workload(
+            150,
+            3,
+            4,
+            0x707 + keyed_negation as u64,
+        ));
+        let factory = nfa_factory(cp);
+        let expected = single_threaded(&factory, &stream);
+        assert!(
+            !expected.is_empty(),
+            "fixture should survive some negations (keyed={keyed_negation})"
+        );
+        for shards in [2usize, 4, 8] {
+            let r = ShardedRuntime::with_shards(shards).run(
+                &factory,
+                &stream,
+                RoutingPolicy::ReplicateJoin(StdArc::new(spec.clone())),
+                true,
+            );
+            assert_eq!(
+                r.matches, expected,
+                "negation (keyed={keyed_negation}) diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+/// A fully keyed query under replicate-join routing broadcasts nothing,
+/// so the runtime must keep the flat-memory count-and-discard path (no
+/// shard-side match buffering for dedup) while still counting exactly.
+#[test]
+fn fully_partitioned_replicate_join_keeps_count_and_discard_path() {
+    let stream = keyed_stream(lcg_workload(150, 3, 4, 0xFA57));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let spec = QueryPartitioner::analyze(std::slice::from_ref(&cp), |_| 1.0).unwrap();
+    assert!(
+        spec.is_fully_partitioned(),
+        "keyed query: nothing to broadcast"
+    );
+    let factory = nfa_factory(cp);
+    let expected = single_threaded(&factory, &stream);
+    assert!(!expected.is_empty(), "fixture should produce matches");
+    let policy = RoutingPolicy::ReplicateJoin(StdArc::new(spec));
+    let collected = ShardedRuntime::with_shards(4).run(&factory, &stream, policy.clone(), true);
+    assert_eq!(collected.matches, expected);
+    let counted = ShardedRuntime::with_shards(4).run(&factory, &stream, policy, false);
+    assert!(counted.matches.is_empty());
+    assert_eq!(counted.match_count, expected.len() as u64);
+    assert_eq!(counted.metrics.replicated_events, 0);
+    assert_eq!(counted.metrics.dedup_hits, 0);
+    // Without dedup buffering, per-shard counts sum to the total exactly.
+    assert_eq!(
+        counted.per_shard.iter().map(|s| s.match_count).sum::<u64>(),
+        counted.match_count
+    );
+}
+
+/// Regression for the unsound positive-bridging-through-negation spec:
+/// `a.0 == n.0` and `n.0 == c.0` under NOT(N) must not be treated as
+/// `a.0 == c.0` — matches may bind different keys for A and C (whenever no
+/// violating N exists), so C has to be replicated, and the sharded run
+/// must still reproduce the single-threaded match set exactly.
+#[test]
+fn negation_bridged_positives_stay_exact_under_replicate_join() {
+    let mut b = PatternBuilder::new(14);
+    let a = b.event(t(0), "a");
+    let n = b.event(t(1), "n");
+    let c = b.event(t(2), "c");
+    b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, n.pos(), 0));
+    b.predicate(Predicate::attr_cmp(n.pos(), 0, CmpOp::Eq, c.pos(), 0));
+    let ae = b.expr(a);
+    let ne = b.not(n);
+    let ce = b.expr(c);
+    let p = b.seq_exprs([ae, ne, ce]).unwrap();
+    let cp = CompiledPattern::compile_single(&p).unwrap();
+    let spec = QueryPartitioner::analyze(std::slice::from_ref(&cp), |_| 1.0).unwrap();
+    assert!(
+        spec.replicated_types().count() >= 1,
+        "one positive side must be replicated: {spec}"
+    );
+    let stream = cross_key_stream(lcg_cross_key_workload(160, 3, 4, 0xB71D));
+    let factory = nfa_factory(cp);
+    let expected = single_threaded(&factory, &stream);
+    assert!(
+        expected.iter().any(|m| {
+            m.events()
+                .map(|e| e.attr(0).cloned())
+                .collect::<Vec<_>>()
+                .windows(2)
+                .any(|w| w[0] != w[1])
+        }),
+        "fixture must contain a cross-key (a.0 != c.0) match"
+    );
+    for shards in [2usize, 4, 8] {
+        let r = ShardedRuntime::with_shards(shards).run(
+            &factory,
+            &stream,
+            RoutingPolicy::ReplicateJoin(StdArc::new(spec.clone())),
+            true,
+        );
+        assert_eq!(r.matches, expected, "{shards} shards diverged");
+    }
+}
+
+proptest! {
+    /// Replicate-join tentpole property: for random cross-key workloads,
+    /// all three exact strategies, shard counts up to 16, and both engine
+    /// families, the merged match vector is byte-identical to the
+    /// single-threaded engine's.
+    #[test]
+    fn replicate_join_equals_single_threaded_on_random_workloads(
+        raw in prop::collection::vec((0u32..3, 0u64..3, 0i64..4, 0i64..4), 1..60),
+        shards_pow in 0usize..5,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [
+            SelectionStrategy::SkipTillAnyMatch,
+            SelectionStrategy::StrictContiguity,
+            SelectionStrategy::PartitionContiguity,
+        ][strategy_idx];
+        let shards = 1usize << shards_pow; // 1, 2, 4, 8, 16
+        let mut ts = 0u64;
+        let events: Vec<(u32, u64, i64, i64)> = raw
+            .into_iter()
+            .map(|(tid, dt, key, chan)| {
+                ts += dt;
+                (tid, ts, key, chan)
+            })
+            .collect();
+        let stream = cross_key_stream(events);
+        let cp = CompiledPattern::compile_single(&cross_key_seq(10, strategy)).unwrap();
+        let policy = replicate_join_policy(&cp);
+        let runtime = ShardedRuntime::with_shards(shards);
+        let nfa = nfa_factory(cp.clone());
+        let r = runtime.run(&nfa, &stream, policy.clone(), true);
         prop_assert_eq!(r.matches, single_threaded(&nfa, &stream));
         let tree = tree_factory(cp);
         let r = runtime.run(&tree, &stream, policy, true);

@@ -22,8 +22,8 @@ pub use drift::{
     SelectivityDriftStream, SelectivityPhase,
 };
 pub use stock::{
-    GeneratedStream, StockConfig, StockStreamGenerator, SymbolSpec, ATTR_DIFFERENCE, ATTR_PRICE,
-    ATTR_REPLICA,
+    GeneratedStream, StockConfig, StockStreamGenerator, SymbolSpec, ATTR_ACCOUNT, ATTR_DIFFERENCE,
+    ATTR_PRICE, ATTR_REPLICA,
 };
 pub use workload::{
     analytic_measured_stats, analytic_selectivities, generate_pattern, generate_set,

@@ -32,6 +32,9 @@ pub const ATTR_DIFFERENCE: usize = 1;
 /// Attribute index of `replica` in partition-replicated stock schemas
 /// (see [`StockStreamGenerator::generate_replicated`]).
 pub const ATTR_REPLICA: usize = 2;
+/// Attribute index of `account` in cross-key stock schemas (see
+/// [`StockStreamGenerator::generate_cross_key`]).
+pub const ATTR_ACCOUNT: usize = 2;
 
 /// One stock symbol's generation parameters.
 #[derive(Debug, Clone)]
@@ -228,6 +231,52 @@ impl StockStreamGenerator {
             type_ids,
             symbols: config.symbols.clone(),
             replicas,
+        })
+    }
+
+    /// Generates a **cross-key** stock stream: every update carries a
+    /// third `account` attribute ([`ATTR_ACCOUNT`]) drawn uniformly from
+    /// `0..accounts`, while the stream stays partitioned by *symbol* (as
+    /// in [`StockStreamGenerator::generate`]).
+    ///
+    /// The correlation attribute therefore differs from the partition
+    /// attribute: a query equating `account` across positions cannot be
+    /// served exactly by partition or single-attribute hash routing (an
+    /// account's events are spread over every symbol partition) — it is
+    /// the substrate for replicate-join sharding experiments, where
+    /// account-keyed types are hashed on [`ATTR_ACCOUNT`] and unkeyed
+    /// types are broadcast.
+    pub fn generate_cross_key(
+        config: &StockConfig,
+        accounts: u32,
+        catalog: &mut Catalog,
+    ) -> Result<GeneratedStream, CepError> {
+        assert!(accounts >= 1, "need at least one account");
+        let mut type_ids = Vec::with_capacity(config.symbols.len());
+        for s in &config.symbols {
+            let id = catalog.add_type(
+                &s.name,
+                &[
+                    ("price", ValueKind::Float),
+                    ("difference", ValueKind::Float),
+                    ("account", ValueKind::Int),
+                ],
+            )?;
+            type_ids.push(id);
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xACC0));
+        let mut builder = StreamBuilder::new();
+        for (i, mut event) in synthesize(config, config.seed, &type_ids) {
+            event
+                .attrs
+                .push(Value::Int(rng.gen_range(0..accounts as i64)));
+            builder.push_partitioned(event, i as u32);
+        }
+        Ok(GeneratedStream {
+            stream: builder.build(),
+            type_ids,
+            symbols: config.symbols.clone(),
+            replicas: 1,
         })
     }
 }
@@ -445,6 +494,61 @@ mod tests {
         let mut c2 = Catalog::new();
         let g1 = StockStreamGenerator::generate_replicated(&small_config(), 3, &mut c1).unwrap();
         let g2 = StockStreamGenerator::generate_replicated(&small_config(), 3, &mut c2).unwrap();
+        assert_eq!(g1.stream.len(), g2.stream.len());
+        for (a, b) in g1.stream.iter().zip(&g2.stream) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.partition, b.partition);
+            assert_eq!(a.attrs, b.attrs);
+        }
+    }
+
+    #[test]
+    fn cross_key_stream_decouples_account_from_partition() {
+        let mut cat = Catalog::new();
+        let g = StockStreamGenerator::generate_cross_key(&small_config(), 8, &mut cat).unwrap();
+        // Schema gained the account attribute; partition is the symbol.
+        assert!(g.stream.iter().all(|e| e.attrs.len() == 3));
+        let account = |e: &Event| match e.attrs[ATTR_ACCOUNT] {
+            Value::Int(a) => a,
+            _ => panic!("account must be an Int"),
+        };
+        let mut accounts = std::collections::HashSet::new();
+        let mut cross = 0usize;
+        for e in &g.stream {
+            let a = account(e);
+            assert!((0..8).contains(&a));
+            accounts.insert(a);
+            if a != e.partition as i64 {
+                cross += 1;
+            }
+        }
+        assert_eq!(accounts.len(), 8, "all accounts must appear");
+        assert!(
+            cross > g.stream.len() / 2,
+            "correlation attribute must not mirror the partition attribute"
+        );
+        // Each account's events span several symbol partitions.
+        let parts_of = |a: i64| {
+            g.stream
+                .iter()
+                .filter(|e| account(e) == a)
+                .map(|e| e.partition)
+                .collect::<std::collections::HashSet<_>>()
+        };
+        assert_eq!(parts_of(0).len(), 2, "both symbols carry account 0");
+        // Ts-ordered with monotone seq, like every generated stream.
+        for w in g.stream.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn cross_key_generation_is_deterministic_per_seed() {
+        let mut c1 = Catalog::new();
+        let mut c2 = Catalog::new();
+        let g1 = StockStreamGenerator::generate_cross_key(&small_config(), 4, &mut c1).unwrap();
+        let g2 = StockStreamGenerator::generate_cross_key(&small_config(), 4, &mut c2).unwrap();
         assert_eq!(g1.stream.len(), g2.stream.len());
         for (a, b) in g1.stream.iter().zip(&g2.stream) {
             assert_eq!(a.ts, b.ts);

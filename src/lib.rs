@@ -15,7 +15,8 @@
 //!   GREEDY/II/DP/KBZ/ZSTREAM (adapted JQPG) plan generation.
 //! * [`sase`] (`cep-sase`) — parser for SASE-style pattern specifications.
 //! * [`shard`] (`cep-shard`) — partitioned parallel runtime with a
-//!   deterministic merge.
+//!   deterministic, dedup-aware merge; cross-partition queries run under
+//!   replicate-join routing.
 //! * [`adaptive`] (`cep-adaptive`) — live plan swap: rate- and
 //!   selectivity-drift-triggered replanning with swap-cost amortization
 //!   and retained-window state migration.
@@ -83,7 +84,7 @@ pub mod prelude {
     pub use cep_optimizer::planner::{LatencyAnchor, Planner, PlannerConfig};
     pub use cep_optimizer::{OrderAlgorithm, SelectivityMonitor, StatsMonitor, TreeAlgorithm};
     pub use cep_sase::{parse_pattern, pretty_pattern};
-    pub use cep_shard::{RoutingPolicy, ShardConfig, ShardedRuntime};
+    pub use cep_shard::{RouteTarget, RoutingPolicy, ShardConfig, ShardedRuntime};
     pub use cep_streamgen::{PatternSetKind, StockConfig, StockStreamGenerator};
     pub use cep_tree::TreeEngine;
 }
@@ -299,6 +300,56 @@ pub fn full_adaptive_tree_engine_factory(
 ) -> Result<Box<dyn EngineFactory>, CepError> {
     let kind = cep_adaptive::PlanKind::Tree(algorithm);
     adaptive_factory(pattern, gen, kind, config, adaptive, true)
+}
+
+/// Replicate-join counterpart of [`nfa_engine_factory`] for
+/// **cross-partition** queries (correlation attribute ≠ partition/routing
+/// attribute): returns the planned factory *plus* the
+/// [`cep_shard::RoutingPolicy::ReplicateJoin`] policy to run it under.
+///
+/// The policy wraps a [`cep_core::partition::PartitionSpec`] derived by
+/// [`cep_core::partition::QueryPartitioner`] from the pattern's equality
+/// predicates and the generated stream's analytic rates: key-linked types
+/// are hashed by their join key, the (low-rate) remainder is broadcast to
+/// every shard. Hand both to [`cep_shard::ShardedRuntime::run`] (or
+/// `run_query`) and the merged output is byte-identical to the
+/// single-threaded engine for any shard count, under the three exact
+/// selection strategies.
+pub fn replicate_join_nfa_engine_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: OrderAlgorithm,
+    config: EngineConfig,
+) -> Result<(Box<dyn EngineFactory>, cep_shard::RoutingPolicy), CepError> {
+    let factory = nfa_engine_factory(pattern, gen, algorithm, config)?;
+    Ok((factory, replicate_join_policy(pattern, gen)?))
+}
+
+/// Tree-based counterpart of [`replicate_join_nfa_engine_factory`].
+pub fn replicate_join_tree_engine_factory(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+    algorithm: TreeAlgorithm,
+    config: EngineConfig,
+) -> Result<(Box<dyn EngineFactory>, cep_shard::RoutingPolicy), CepError> {
+    let factory = tree_engine_factory(pattern, gen, algorithm, config)?;
+    Ok((factory, replicate_join_policy(pattern, gen)?))
+}
+
+/// The replicate-join routing policy for `pattern` over the generated
+/// stream's analytic statistics (shared by the two factories above).
+fn replicate_join_policy(
+    pattern: &Pattern,
+    gen: &GeneratedStream,
+) -> Result<cep_shard::RoutingPolicy, CepError> {
+    let branches = CompiledPattern::compile(pattern)?;
+    let spec = cep_core::partition::QueryPartitioner::analyze_measured(
+        &branches,
+        &analytic_measured_stats(gen),
+    )?;
+    Ok(cep_shard::RoutingPolicy::ReplicateJoin(
+        std::sync::Arc::new(spec),
+    ))
 }
 
 /// Builds an order-based (NFA) engine for `pattern`, planning every DNF

@@ -191,7 +191,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     #[test]
@@ -286,7 +285,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 64,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     /// The randomized differential sweep: queries drawn with negation and

@@ -17,6 +17,144 @@ use cep::streamgen::{analytic_measured_stats, analytic_selectivities, SymbolSpec
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Every example under `examples/` that has a mirror test in this file.
+/// [`every_example_has_a_smoke_mirror`] fails when the directory and this
+/// list drift apart, so a new example cannot be added without a mirror
+/// here (CI builds its example matrix from the directory, so that side
+/// cannot be forgotten either).
+const MIRRORED_EXAMPLES: &[&str] = &[
+    "adaptive_replanning",
+    "cross_partition_fraud",
+    "fraud_detection",
+    "quickstart",
+    "selection_strategies",
+    "sharded_fraud",
+    "stock_correlation",
+    "traffic_cameras",
+];
+
+#[test]
+fn every_example_has_a_smoke_mirror() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let name = e.expect("readable dir entry").file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    found.sort();
+    let expected: Vec<String> = MIRRORED_EXAMPLES.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        found, expected,
+        "examples/ and MIRRORED_EXAMPLES drifted apart; add a smoke mirror \
+         for the new example (or remove the stale entry)"
+    );
+}
+
+/// `examples/cross_partition_fraud.rs`: on a pinned stream partitioned by
+/// terminal but correlated by account, split-only routing is rejected with
+/// a typed error and the replicate-join run reproduces the single-threaded
+/// alerts byte for byte at 1 and 4 shards.
+#[test]
+fn cross_partition_fraud_core_path_matches() {
+    use cep::core::engine::{Engine, EngineFactory};
+    use cep::core::stats::MeasuredStats;
+    use cep::shard::{canonical_sort, ShardRouter};
+    use std::sync::Arc;
+
+    let mut catalog = Catalog::new();
+    let swipe = catalog
+        .add_type(
+            "CardSwipe",
+            &[("account", ValueKind::Int), ("amount", ValueKind::Float)],
+        )
+        .unwrap();
+    let withdraw = catalog
+        .add_type(
+            "Withdrawal",
+            &[("account", ValueKind::Int), ("amount", ValueKind::Float)],
+        )
+        .unwrap();
+    let bulletin = catalog
+        .add_type("Bulletin", &[("level", ValueKind::Int)])
+        .unwrap();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(Bulletin b, CardSwipe s, Withdrawal w)
+         WHERE (s.account == w.account AND b.level >= 3 AND w.amount >= 500)
+         WITHIN 60 s",
+        &catalog,
+    )
+    .unwrap();
+
+    // Smaller than the example, same shape: terminals != accounts.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut sb = StreamBuilder::new();
+    let mut ts = 0u64;
+    for burst in 0..16i64 {
+        let account = burst % 8;
+        ts += rng.gen_range(500..3_000);
+        if burst % 4 == 0 {
+            sb.push_partitioned(
+                Event::new(bulletin, ts, vec![Value::Int(4)]),
+                rng.gen_range(0..6),
+            );
+        }
+        ts += rng.gen_range(200..2_000);
+        sb.push_partitioned(
+            Event::new(swipe, ts, vec![Value::Int(account), Value::Float(20.0)]),
+            rng.gen_range(0..6),
+        );
+        ts += rng.gen_range(200..2_000);
+        let amount = if burst % 2 == 0 { 900.0 } else { 40.0 };
+        sb.push_partitioned(
+            Event::new(
+                withdraw,
+                ts,
+                vec![Value::Int(account), Value::Float(amount)],
+            ),
+            rng.gen_range(0..6),
+        );
+    }
+    let stream = sb.build();
+
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let branches = std::slice::from_ref(&cp);
+    // The regression guard: split-only routing is rejected, typed.
+    for policy in [RoutingPolicy::HashAttr(0), RoutingPolicy::Partition] {
+        let err = ShardRouter::for_query(4, policy, branches).unwrap_err();
+        assert!(matches!(err, CepError::Routing(_)), "{err}");
+        assert!(err.to_string().contains("ReplicateJoin"), "{err}");
+    }
+    let spec =
+        QueryPartitioner::analyze_measured(branches, &MeasuredStats::measure(&stream)).unwrap();
+    assert_eq!(spec.replicated_types().count(), 1, "bulletin is broadcast");
+    let factory = {
+        let cp = cp.clone();
+        move || {
+            Box::new(NfaEngine::with_trivial_plan(
+                cp.clone(),
+                EngineConfig::default(),
+            )) as Box<dyn Engine>
+        }
+    };
+    let mut engine = EngineFactory::build(&factory);
+    let mut baseline = run_to_completion(engine.as_mut(), &stream, true);
+    canonical_sort(&mut baseline.matches);
+    assert!(baseline.match_count >= 1, "fraud shape must alert");
+    let policy = RoutingPolicy::ReplicateJoin(Arc::new(spec));
+    for shards in [1usize, 4] {
+        let r = ShardedRuntime::with_shards(shards)
+            .run_query(&factory, &stream, policy.clone(), branches, true)
+            .unwrap();
+        assert_eq!(
+            r.matches, baseline.matches,
+            "replicate-join with {shards} shards must reproduce the alerts"
+        );
+    }
+}
+
 /// `examples/quickstart.rs`: the three-stock sequence pattern matches on a
 /// seeded NASDAQ-like stream under both the trivial and the DP-LD plan,
 /// and both plans agree.
@@ -227,7 +365,8 @@ fn sharded_fraud_core_path_matches() {
 
     for policy in [RoutingPolicy::HashAttr(0), RoutingPolicy::Partition] {
         for shards in [1, 4] {
-            let r = ShardedRuntime::with_shards(shards).run(&factory, &stream, policy, true);
+            let r =
+                ShardedRuntime::with_shards(shards).run(&factory, &stream, policy.clone(), true);
             assert_eq!(
                 r.matches, baseline.matches,
                 "{policy} with {shards} shards must reproduce the single-threaded alerts"

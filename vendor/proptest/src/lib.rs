@@ -405,7 +405,7 @@ mod tests {
             v in prop::collection::vec((0u8..3, -2i64..3), 0..8),
             flag in any::<bool>(),
         ) {
-            prop_assert!(x >= 1 && x < 5);
+            prop_assert!((1..5).contains(&x));
             prop_assert!(v.len() < 8);
             for &(a, b) in &v {
                 prop_assert!(a < 3);
