@@ -72,7 +72,7 @@ struct Branch {
 /// triggers a plan change.
 ///
 /// For single-branch patterns an [`OutputProfiler`] observes every emitted
-/// match; once it has seen [`PROFILER_MIN_SAMPLES`] of them, replans anchor
+/// match; once it has seen enough samples, replans anchor
 /// the latency term of the cost objective on the element that empirically
 /// arrives last (only meaningful when the planner's `alpha > 0`).
 #[derive(Clone)]
@@ -184,10 +184,19 @@ impl PlanReplanner {
         stats: &cep_core::stats::PatternStats,
         kind: PlanKind,
     ) -> Result<CurrentPlan, CepError> {
-        Ok(match kind {
+        let plan = match kind {
             PlanKind::Order(algo) => CurrentPlan::Order(planner.plan_order(cp, stats, algo)?),
             PlanKind::Tree(algo) => CurrentPlan::Tree(planner.plan_tree(cp, stats, algo)?),
-        })
+        };
+        // Lint every swap candidate in debug builds; a rejected plan
+        // surfaces as `Err` and the caller keeps the incumbent.
+        if cfg!(debug_assertions) {
+            match &plan {
+                CurrentPlan::Order(p) => cep_analyze::verify_order_plan(cp, p)?,
+                CurrentPlan::Tree(p) => cep_analyze::verify_tree_plan(cp, p)?,
+            }
+        }
+        Ok(plan)
     }
 
     /// The planner to use right now: the configured one, with the latency

@@ -1,0 +1,1030 @@
+//! Abstract interpretation over compiled pattern branches: congruence
+//! closure over `==`-predicates (built on [`cep_core::union_find`]), an
+//! interval domain over numeric attributes, and an order digraph over the
+//! equivalence classes.
+//!
+//! The pass is deliberately **conservative in one direction**: it reports
+//! a branch unsatisfiable ([`BranchAnalysis::unsat`]) only when no
+//! assignment of event values can satisfy every predicate together with
+//! the branch's temporal constraints. Engine predicate semantics are
+//! *stricter* than the ideal theory (a comparison on missing or
+//! incomparable values is false), so an unsatisfiable theory implies the
+//! engines can never produce a match — the property the differential
+//! oracle sweep in `tests/analyze_oracle.rs` checks.
+//!
+//! Kleene elements are sound here because the engines evaluate every
+//! predicate against **each** member of a Kleene accumulator: any match
+//! yields a satisfying one-event-per-element assignment of the theory.
+
+use crate::diagnostic::{Code, Diagnostic, Report};
+use cep_core::compile::CompiledPattern;
+use cep_core::predicate::{CmpOp, Operand, Predicate};
+use cep_core::stats::MeasuredStats;
+use cep_core::union_find::UnionFind;
+use cep_core::value::Value;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+/// Result of analyzing one compiled branch.
+#[derive(Debug, Clone)]
+pub struct BranchAnalysis {
+    /// `Some(reason)` when the branch provably can never match.
+    pub unsat: Option<String>,
+    /// Indices into `cp.predicates` whose removal provably leaves the
+    /// match set unchanged (redundant predicates and constant-only
+    /// predicates the engines skip anyway).
+    pub redundant: Vec<usize>,
+    /// Warnings gathered along the way (`A006`, `A007`, `A008`). The
+    /// `A001` verdict itself is carried in [`BranchAnalysis::unsat`] so
+    /// callers can grade it (error for a single-branch query, warning
+    /// for one dead branch of an `OR`).
+    pub report: Report,
+}
+
+/// A term of the predicate theory: an attribute of a pattern position,
+/// the occurrence timestamp of a position, or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TermKey {
+    Attr(usize, usize),
+    Ts(usize),
+    Const(usize),
+}
+
+/// Directed reachability strength between classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Reach {
+    No,
+    Le,
+    Lt,
+}
+
+/// One side of an interval; `strict` excludes the endpoint.
+#[derive(Debug, Clone, Copy)]
+struct Bound {
+    value: f64,
+    strict: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Interval {
+    lo: Option<Bound>,
+    hi: Option<Bound>,
+}
+
+impl Interval {
+    fn tighten_lo(&mut self, b: Bound) -> bool {
+        match self.lo {
+            Some(cur)
+                if cur.value > b.value || (cur.value == b.value && (cur.strict || !b.strict)) =>
+            {
+                false
+            }
+            _ => {
+                self.lo = Some(b);
+                true
+            }
+        }
+    }
+
+    fn tighten_hi(&mut self, b: Bound) -> bool {
+        match self.hi {
+            Some(cur)
+                if cur.value < b.value || (cur.value == b.value && (cur.strict || !b.strict)) =>
+            {
+                false
+            }
+            _ => {
+                self.hi = Some(b);
+                true
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match (self.lo, self.hi) {
+            (Some(lo), Some(hi)) => {
+                lo.value > hi.value || (lo.value == hi.value && (lo.strict || hi.strict))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Conjunction solver over predicate terms.
+#[derive(Debug, Default)]
+struct Solver {
+    uf: UnionFind,
+    node_term: Vec<TermKey>,
+    node_of: HashMap<TermKey, usize>,
+    consts: Vec<Value>,
+    /// `(a, b, strict)`: term `a` is less than (`strict`) or at most `b`.
+    edges: Vec<(usize, usize, bool)>,
+    ne_pairs: Vec<(usize, usize)>,
+    /// Positions whose timestamps must pairwise fit in `window`.
+    window: Option<(f64, Vec<usize>)>,
+}
+
+impl Solver {
+    fn new() -> Solver {
+        Solver::default()
+    }
+
+    fn intern(&mut self, key: TermKey) -> usize {
+        if let Some(&id) = self.node_of.get(&key) {
+            return id;
+        }
+        let id = self.uf.make();
+        debug_assert_eq!(id, self.node_term.len());
+        self.node_term.push(key);
+        self.node_of.insert(key, id);
+        id
+    }
+
+    fn const_key(&mut self, v: &Value) -> TermKey {
+        // Canonicalize by value equality (`Int(3)` and `Float(3.0)` are the
+        // same constant) so equal constants share one node.
+        for (i, c) in self.consts.iter().enumerate() {
+            if c.partial_cmp_value(v) == Some(Ordering::Equal) {
+                return TermKey::Const(i);
+            }
+        }
+        self.consts.push(v.clone());
+        TermKey::Const(self.consts.len() - 1)
+    }
+
+    fn operand_node(&mut self, op: &Operand) -> usize {
+        let key = match op {
+            Operand::Attr { position, attr } => TermKey::Attr(*position, *attr),
+            Operand::Ts { position } => TermKey::Ts(*position),
+            Operand::Const(v) => self.const_key(v),
+        };
+        self.intern(key)
+    }
+
+    /// Looks an operand's node up without creating it.
+    fn operand_node_ref(&self, op: &Operand) -> Option<usize> {
+        let key = match op {
+            Operand::Attr { position, attr } => TermKey::Attr(*position, *attr),
+            Operand::Ts { position } => TermKey::Ts(*position),
+            Operand::Const(v) => {
+                let i = self
+                    .consts
+                    .iter()
+                    .position(|c| c.partial_cmp_value(v) == Some(Ordering::Equal))?;
+                TermKey::Const(i)
+            }
+        };
+        self.node_of.get(&key).copied()
+    }
+
+    fn add_predicate(&mut self, p: &Predicate) {
+        let l = self.operand_node(&p.left);
+        let r = self.operand_node(&p.right);
+        match p.op {
+            CmpOp::Eq => self.uf.union(l, r),
+            CmpOp::Ne => self.ne_pairs.push((l, r)),
+            CmpOp::Lt => self.edges.push((l, r, true)),
+            CmpOp::Le => self.edges.push((l, r, false)),
+            CmpOp::Gt => self.edges.push((r, l, true)),
+            CmpOp::Ge => self.edges.push((r, l, false)),
+        }
+    }
+
+    /// Records that position `a` occurs strictly before position `b`.
+    fn add_ts_order(&mut self, a: usize, b: usize) {
+        let na = self.intern(TermKey::Ts(a));
+        let nb = self.intern(TermKey::Ts(b));
+        self.edges.push((na, nb, true));
+    }
+
+    fn ensure_ts(&mut self, position: usize) {
+        self.intern(TermKey::Ts(position));
+    }
+
+    fn set_window(&mut self, window_ms: u64, positions: Vec<usize>) {
+        for &p in &positions {
+            self.ensure_ts(p);
+        }
+        self.window = Some((window_ms as f64, positions));
+    }
+
+    fn solve(&self) -> State {
+        // Dense class numbering.
+        let n = self.node_term.len();
+        let mut class_index: HashMap<usize, usize> = HashMap::new();
+        let mut class_of_node = vec![0usize; n];
+        for (id, slot) in class_of_node.iter_mut().enumerate() {
+            let root = self.uf.find(id);
+            let next = class_index.len();
+            *slot = *class_index.entry(root).or_insert(next);
+        }
+        let k = class_index.len();
+        let mut state = State {
+            class_of_node,
+            reach: vec![vec![Reach::No; k]; k],
+            intervals: vec![Interval::default(); k],
+            pinned: vec![None; k],
+            unsat: None,
+        };
+
+        // Pin classes to constants; two distinct canonical constants in a
+        // class contradict (they are unequal or incomparable).
+        for id in 0..n {
+            if let TermKey::Const(ci) = self.node_term[id] {
+                let c = state.class_of_node[id];
+                match &state.pinned[c] {
+                    None => state.pinned[c] = Some(self.consts[ci].clone()),
+                    Some(prev) => {
+                        state.unsat = Some(format!(
+                            "equality constraints force {prev} and {} to be the same value",
+                            self.consts[ci]
+                        ));
+                        return state;
+                    }
+                }
+            }
+        }
+
+        // Order closure over classes (Floyd–Warshall; class counts are
+        // tiny — bounded by term count).
+        for &(a, b, strict) in &self.edges {
+            let (ca, cb) = (state.class_of_node[a], state.class_of_node[b]);
+            let s = if strict { Reach::Lt } else { Reach::Le };
+            if s > state.reach[ca][cb] {
+                state.reach[ca][cb] = s;
+            }
+        }
+        for mid in 0..k {
+            for from in 0..k {
+                if state.reach[from][mid] == Reach::No {
+                    continue;
+                }
+                for to in 0..k {
+                    if state.reach[mid][to] == Reach::No {
+                        continue;
+                    }
+                    let s = state.reach[from][mid].max(state.reach[mid][to]);
+                    if s > state.reach[from][to] {
+                        state.reach[from][to] = s;
+                    }
+                }
+            }
+        }
+        for c in 0..k {
+            if state.reach[c][c] == Reach::Lt {
+                state.unsat = Some(
+                    "ordering constraints form a strict cycle (a value would have to be \
+                     less than itself)"
+                        .into(),
+                );
+                return state;
+            }
+        }
+
+        // Constant-to-constant consistency along reachability.
+        for a in 0..k {
+            let Some(va) = &state.pinned[a] else { continue };
+            for b in 0..k {
+                if a == b || state.reach[a][b] == Reach::No {
+                    continue;
+                }
+                let Some(vb) = &state.pinned[b] else { continue };
+                let ok = match va.partial_cmp_value(vb) {
+                    Some(Ordering::Less) => true,
+                    Some(Ordering::Equal) => state.reach[a][b] == Reach::Le,
+                    _ => false,
+                };
+                if !ok {
+                    state.unsat = Some(format!(
+                        "ordering constraints require {va} < {vb}, which is false"
+                    ));
+                    return state;
+                }
+            }
+        }
+
+        // Interval seeding from numeric pins, then propagation along the
+        // class order edges to a fixpoint.
+        for c in 0..k {
+            if let Some(v) = &state.pinned[c] {
+                if let Some(x) = v.as_f64() {
+                    state.intervals[c].tighten_lo(Bound {
+                        value: x,
+                        strict: false,
+                    });
+                    state.intervals[c].tighten_hi(Bound {
+                        value: x,
+                        strict: false,
+                    });
+                }
+            }
+        }
+        let mut class_edges: Vec<(usize, usize, bool)> = Vec::new();
+        for &(a, b, strict) in &self.edges {
+            class_edges.push((state.class_of_node[a], state.class_of_node[b], strict));
+        }
+        let mut changed = true;
+        let mut rounds = 0usize;
+        while changed && rounds <= 2 * k + 2 {
+            changed = false;
+            rounds += 1;
+            for &(a, b, strict) in &class_edges {
+                if let Some(lo) = state.intervals[a].lo {
+                    let bound = Bound {
+                        value: lo.value,
+                        strict: lo.strict || strict,
+                    };
+                    changed |= state.intervals[b].tighten_lo(bound);
+                }
+                if let Some(hi) = state.intervals[b].hi {
+                    let bound = Bound {
+                        value: hi.value,
+                        strict: hi.strict || strict,
+                    };
+                    changed |= state.intervals[a].tighten_hi(bound);
+                }
+            }
+        }
+        for c in 0..k {
+            if state.intervals[c].is_empty() {
+                let what = state.pinned[c]
+                    .as_ref()
+                    .map(|v| format!("the value pinned to {v}"))
+                    .unwrap_or_else(|| "a constrained value".into());
+                state.unsat = Some(format!("{what} has an empty feasible interval"));
+                return state;
+            }
+        }
+
+        // Disequalities: a forced-equal pair can never differ.
+        for &(a, b) in &self.ne_pairs {
+            let (ca, cb) = (state.class_of_node[a], state.class_of_node[b]);
+            let forced_equal =
+                ca == cb || (state.reach[ca][cb] == Reach::Le && state.reach[cb][ca] == Reach::Le);
+            if forced_equal {
+                state.unsat = Some(
+                    "a != predicate contradicts equality constraints on the same terms".into(),
+                );
+                return state;
+            }
+        }
+
+        // Window feasibility: every pair of positive elements must land
+        // within the window; provably larger timestamp gaps contradict.
+        if let Some((window, positions)) = &self.window {
+            for (ix, &pa) in positions.iter().enumerate() {
+                for &pb in positions.iter().skip(ix + 1) {
+                    for (x, y) in [(pa, pb), (pb, pa)] {
+                        let (Some(&nx), Some(&ny)) = (
+                            self.node_of.get(&TermKey::Ts(x)),
+                            self.node_of.get(&TermKey::Ts(y)),
+                        ) else {
+                            continue;
+                        };
+                        let cx = state.class_of_node[nx];
+                        let cy = state.class_of_node[ny];
+                        if let (Some(lo), Some(hi)) =
+                            (state.intervals[cx].lo, state.intervals[cy].hi)
+                        {
+                            if lo.value - hi.value > *window {
+                                state.unsat = Some(format!(
+                                    "timestamp constraints place two elements more than the \
+                                     {window} ms window apart"
+                                ));
+                                return state;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        state
+    }
+}
+
+/// Solved view of a [`Solver`]'s constraints.
+#[derive(Debug)]
+struct State {
+    class_of_node: Vec<usize>,
+    reach: Vec<Vec<Reach>>,
+    intervals: Vec<Interval>,
+    pinned: Vec<Option<Value>>,
+    unsat: Option<String>,
+}
+
+impl State {
+    fn class(&self, node: usize) -> usize {
+        self.class_of_node[node]
+    }
+
+    /// Whether the solved constraints entail `pred` under engine
+    /// semantics (operands comparable and related as `pred` demands).
+    ///
+    /// Every positive answer is backed by a chain of *other* predicates
+    /// that force both operands to be present, mutually comparable, and
+    /// in the required relation — so dropping `pred` cannot admit new
+    /// matches.
+    fn entails(&self, solver: &Solver, pred: &Predicate) -> bool {
+        if self.unsat.is_some() {
+            return false;
+        }
+        // Self-comparisons (`x.a == x.a`) are NOT entailed: the engines
+        // evaluate them to false when the attribute is missing, so they
+        // are not removal-safe without schema guarantees.
+        if pred.left == pred.right {
+            return false;
+        }
+        // Constant operands are resolved by value (they need no node in
+        // the remainder solver); event operands must already be
+        // constrained by the retained predicates to say anything.
+        enum Side {
+            Cls(usize),
+            Lit(Value),
+        }
+        let resolve = |op: &Operand| -> Option<Side> {
+            match op {
+                Operand::Const(v) => Some(Side::Lit(v.clone())),
+                _ => solver
+                    .operand_node_ref(op)
+                    .map(|n| Side::Cls(self.class(n))),
+            }
+        };
+        let (Some(l), Some(r)) = (resolve(&pred.left), resolve(&pred.right)) else {
+            return false;
+        };
+        match (l, r) {
+            (Side::Cls(cl), Side::Cls(cr)) => self.entails_classes(cl, cr, pred.op),
+            (Side::Cls(c), Side::Lit(v)) => self.entails_literal(c, &v, pred.op),
+            (Side::Lit(v), Side::Cls(c)) => self.entails_literal(c, &v, pred.op.flip()),
+            // A constant-only predicate is never a removal candidate
+            // (engines skip it; classified separately as A007).
+            (Side::Lit(_), Side::Lit(_)) => false,
+        }
+    }
+
+    /// Does every satisfying assignment relate classes `cl` and `cr` as
+    /// `op` demands?
+    fn entails_classes(&self, cl: usize, cr: usize, op: CmpOp) -> bool {
+        // `Lt` reachability also witnesses `Le`.
+        let le = |a: usize, b: usize| a == b || self.reach[a][b] != Reach::No;
+        let lt = |a: usize, b: usize| self.reach[a][b] == Reach::Lt;
+        let bounds_lt = |a: usize, b: usize, allow_equal: bool| {
+            let (Some(hi), Some(lo)) = (self.intervals[a].hi, self.intervals[b].lo) else {
+                return false;
+            };
+            hi.value < lo.value
+                || (hi.value == lo.value && (hi.strict || lo.strict))
+                || (allow_equal && hi.value == lo.value)
+        };
+        match op {
+            CmpOp::Eq => {
+                cl == cr || (self.reach[cl][cr] == Reach::Le && self.reach[cr][cl] == Reach::Le)
+            }
+            CmpOp::Le => le(cl, cr) || bounds_lt(cl, cr, true),
+            CmpOp::Lt => lt(cl, cr) || bounds_lt(cl, cr, false),
+            CmpOp::Ge => le(cr, cl) || bounds_lt(cr, cl, true),
+            CmpOp::Gt => lt(cr, cl) || bounds_lt(cr, cl, false),
+            CmpOp::Ne => {
+                if cl == cr {
+                    return false;
+                }
+                if lt(cl, cr) || lt(cr, cl) || bounds_lt(cl, cr, false) || bounds_lt(cr, cl, false)
+                {
+                    return true;
+                }
+                // Distinct comparable pinned constants.
+                match (&self.pinned[cl], &self.pinned[cr]) {
+                    (Some(a), Some(b)) => matches!(
+                        a.partial_cmp_value(b),
+                        Some(Ordering::Less) | Some(Ordering::Greater)
+                    ),
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Does every value of class `c` satisfy `x op v`?
+    fn entails_literal(&self, c: usize, v: &Value, op: CmpOp) -> bool {
+        // A pinned class takes exactly one value; compare it directly.
+        if let Some(p) = &self.pinned[c] {
+            if op.test(p.partial_cmp_value(v)) {
+                return true;
+            }
+        }
+        let Some(x) = v.as_f64() else { return false };
+        let iv = &self.intervals[c];
+        let hi_below = |allow_equal: bool| {
+            iv.hi
+                .is_some_and(|hi| hi.value < x || (hi.value == x && (hi.strict || allow_equal)))
+        };
+        let lo_above = |allow_equal: bool| {
+            iv.lo
+                .is_some_and(|lo| lo.value > x || (lo.value == x && (lo.strict || allow_equal)))
+        };
+        match op {
+            CmpOp::Lt => hi_below(false),
+            CmpOp::Le => hi_below(true),
+            CmpOp::Gt => lo_above(false),
+            CmpOp::Ge => lo_above(true),
+            // The interval pinches the class to exactly `v`.
+            CmpOp::Eq => matches!(
+                (iv.lo, iv.hi),
+                (Some(lo), Some(hi))
+                    if lo.value == x && hi.value == x && !lo.strict && !hi.strict
+            ),
+            CmpOp::Ne => hi_below(false) || lo_above(false),
+        }
+    }
+}
+
+/// Classification of a branch's predicates by the element sets they touch.
+struct PredClasses {
+    /// Indices of predicates over positive elements only.
+    positive: Vec<usize>,
+    /// Indices of constant-only predicates (skipped by engines).
+    constant_only: Vec<usize>,
+}
+
+fn classify(cp: &CompiledPattern) -> PredClasses {
+    let neg_positions: HashSet<usize> = cp.negated.iter().map(|ne| ne.position).collect();
+    let mut positive = Vec::new();
+    let mut constant_only = Vec::new();
+    for (pi, p) in cp.predicates.iter().enumerate() {
+        let (a, b) = p.position_pair();
+        if a == usize::MAX {
+            constant_only.push(pi);
+            continue;
+        }
+        let touches_neg =
+            neg_positions.contains(&a) || b.is_some_and(|b| neg_positions.contains(&b));
+        if !touches_neg {
+            positive.push(pi);
+        }
+    }
+    PredClasses {
+        positive,
+        constant_only,
+    }
+}
+
+/// Builds a solver over the given positive predicate indices plus the
+/// branch's temporal facts (precedence order and window feasibility).
+fn positive_solver(cp: &CompiledPattern, pred_indices: &[usize]) -> Solver {
+    let mut solver = Solver::new();
+    for &pi in pred_indices {
+        solver.add_predicate(&cp.predicates[pi]);
+    }
+    let positions: Vec<usize> = cp.elements.iter().map(|e| e.position).collect();
+    for i in 0..cp.n() {
+        for j in 0..cp.n() {
+            if i != j && cp.must_precede(i, j) {
+                solver.add_ts_order(positions[i], positions[j]);
+            }
+        }
+    }
+    solver.set_window(cp.window, positions);
+    solver
+}
+
+/// Runs the full abstract-interpretation pass over one compiled branch:
+/// satisfiability, redundant predicates, and dead negations.
+pub fn analyze_branch(cp: &CompiledPattern) -> BranchAnalysis {
+    let classes = classify(cp);
+    let mut report = Report::new();
+    let mut redundant = Vec::new();
+
+    // Constant-only predicates: engines never evaluate them (A007).
+    for &pi in &classes.constant_only {
+        let p = &cp.predicates[pi];
+        let holds = p.eval_single(usize::MAX, &dummy_event());
+        let note = if holds {
+            "it is vacuously true"
+        } else {
+            "note that it is false, yet the engines do not fail the query on it"
+        };
+        report.push(Diagnostic::new(
+            Code::A007,
+            format!(
+                "predicate `{p}` compares constants only; the engines skip it entirely ({note})"
+            ),
+        ));
+        redundant.push(pi);
+    }
+
+    // Satisfiability of the positive conjunction.
+    let solver = positive_solver(cp, &classes.positive);
+    let state = solver.solve();
+    if let Some(reason) = state.unsat {
+        return BranchAnalysis {
+            unsat: Some(reason),
+            redundant: Vec::new(),
+            report,
+        };
+    }
+
+    // Redundancy: greedy removal set. A predicate is removable when the
+    // retained remainder entails it; entailment is re-checked against the
+    // shrinking retained set so the removals compose.
+    let mut removed: HashSet<usize> = HashSet::new();
+    for &candidate in &classes.positive {
+        let retained: Vec<usize> = classes
+            .positive
+            .iter()
+            .copied()
+            .filter(|&pi| pi != candidate && !removed.contains(&pi))
+            .collect();
+        let sub = positive_solver(cp, &retained);
+        let sub_state = sub.solve();
+        let p = &cp.predicates[candidate];
+        if sub_state.entails(&sub, p) {
+            removed.insert(candidate);
+            report.push(Diagnostic::new(
+                Code::A006,
+                format!(
+                    "predicate `{p}` is implied by the remaining predicates and the \
+                     pattern's temporal constraints; removing it leaves the match set unchanged"
+                ),
+            ));
+            redundant.push(candidate);
+        }
+    }
+
+    // Dead negations: positives are satisfiable, but adding the negated
+    // element's constraints (predicates plus anchoring order) is not —
+    // the NOT can never reject anything.
+    let positions: Vec<usize> = cp.elements.iter().map(|e| e.position).collect();
+    for (k, ne) in cp.negated.iter().enumerate() {
+        let mut neg_solver = positive_solver(cp, &classes.positive);
+        for &pi in cp.negated_predicates(k) {
+            neg_solver.add_predicate(&cp.predicates[pi]);
+        }
+        for &b in &ne.before {
+            neg_solver.add_ts_order(positions[b], ne.position);
+        }
+        for &a in &ne.after {
+            neg_solver.add_ts_order(ne.position, positions[a]);
+        }
+        if let Some(reason) = neg_solver.solve().unsat {
+            report.push(Diagnostic::new(
+                Code::A008,
+                format!(
+                    "negated element {:?} can never match: {reason}; the NOT is a no-op",
+                    ne.name
+                ),
+            ));
+        }
+    }
+
+    BranchAnalysis {
+        unsat: None,
+        redundant,
+        report,
+    }
+}
+
+/// Event placeholder for evaluating constant-only predicates (their
+/// operands never read the event).
+fn dummy_event() -> cep_core::event::Event {
+    cep_core::event::Event::new(cep_core::event::TypeId(u32::MAX), 0, Vec::new())
+}
+
+/// Thresholds for the Kleene/window state-blowup check (`A009`).
+#[derive(Debug, Clone)]
+pub struct BlowupOptions {
+    /// Maximum tolerated `rate × window` exponent for one Kleene element
+    /// before warning: the paper's power-set bound admits `2^{rW}`
+    /// partial matches per window (Section 3.2). Default: 20 (≈ one
+    /// million partial matches).
+    pub max_kleene_exponent: f64,
+    /// Maximum tolerated `log2` of the whole branch's partial-match
+    /// bound (product of per-element windowed counts, Kleene elements
+    /// contributing `2^{rW}`). Default: 40 (≈ 10^12).
+    pub max_total_log2: f64,
+}
+
+impl Default for BlowupOptions {
+    fn default() -> Self {
+        BlowupOptions {
+            max_kleene_exponent: 20.0,
+            max_total_log2: 40.0,
+        }
+    }
+}
+
+/// Flags Kleene/window state-blowup risks (`A009`) from measured event
+/// rates, using the [`cep_core::stats::PatternStats`] bound: a Kleene
+/// element over a type arriving at rate `r` within window `W` admits up
+/// to `2^{rW}` partial matches.
+pub fn check_state_blowup(
+    cp: &CompiledPattern,
+    measured: &MeasuredStats,
+    opts: &BlowupOptions,
+) -> Report {
+    let mut report = Report::new();
+    let w = cp.window as f64;
+    let mut total_log2 = 0.0f64;
+    for e in &cp.elements {
+        let rate = measured.rate(e.event_type);
+        let in_window = rate * w;
+        if e.kleene {
+            total_log2 += in_window;
+            if in_window > opts.max_kleene_exponent {
+                report.push(Diagnostic::new(
+                    Code::A009,
+                    format!(
+                        "Kleene element {:?} sees ≈{in_window:.1} events per {} ms window; \
+                         the power-set bound admits 2^{in_window:.0} partial matches \
+                         (threshold 2^{:.0}) — consider a tighter window or \
+                         StatsOptions::kleene_exponent_cap-aware planning",
+                        e.name, cp.window, opts.max_kleene_exponent
+                    ),
+                ));
+            }
+        } else if in_window > 1.0 {
+            total_log2 += in_window.log2();
+        }
+    }
+    if total_log2 > opts.max_total_log2 && !report.has_code(Code::A009) {
+        report.push(Diagnostic::new(
+            Code::A009,
+            format!(
+                "the branch's partial-match bound is ≈2^{total_log2:.0} per window \
+                 (threshold 2^{:.0}); expect state blowup at these rates",
+                opts.max_total_log2
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::event::TypeId;
+    use cep_core::pattern::PatternBuilder;
+    use cep_core::selection::SelectionStrategy;
+
+    fn attr(position: usize, attr: usize) -> Operand {
+        Operand::Attr { position, attr }
+    }
+
+    fn int(v: i64) -> Operand {
+        Operand::Const(Value::Int(v))
+    }
+
+    fn pred(left: Operand, op: CmpOp, right: Operand) -> Predicate {
+        Predicate { left, op, right }
+    }
+
+    /// SEQ(A a, B b, C c) with the given predicates.
+    fn seq3(predicates: Vec<Predicate>) -> CompiledPattern {
+        let mut b = PatternBuilder::new(10_000);
+        b.strategy(SelectionStrategy::SkipTillAnyMatch);
+        let e0 = b.event(TypeId(0), "a");
+        let e1 = b.event(TypeId(1), "b");
+        let e2 = b.event(TypeId(2), "c");
+        for p in predicates {
+            b.predicate(p);
+        }
+        let pat = b.seq([e0, e1, e2]).unwrap();
+        CompiledPattern::compile_single(&pat).unwrap()
+    }
+
+    #[test]
+    fn contradictory_constants_are_unsat() {
+        // a.0 == 5 AND a.0 == 7
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Eq, int(5)),
+            pred(attr(0, 0), CmpOp::Eq, int(7)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+    }
+
+    #[test]
+    fn empty_interval_is_unsat() {
+        // a.0 > 10 AND a.0 < 3
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Gt, int(10)),
+            pred(attr(0, 0), CmpOp::Lt, int(3)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+        // Boundary: a.0 >= 5 AND a.0 < 5
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Ge, int(5)),
+            pred(attr(0, 0), CmpOp::Lt, int(5)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+        // Satisfiable boundary: a.0 >= 5 AND a.0 <= 5
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Ge, int(5)),
+            pred(attr(0, 0), CmpOp::Le, int(5)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_none());
+    }
+
+    #[test]
+    fn strict_order_cycle_is_unsat() {
+        // a.0 < b.0 AND b.0 < c.0 AND c.0 < a.0
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Lt, attr(1, 0)),
+            pred(attr(1, 0), CmpOp::Lt, attr(2, 0)),
+            pred(attr(2, 0), CmpOp::Lt, attr(0, 0)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+        // Non-strict cycle is satisfiable (all equal).
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Le, attr(1, 0)),
+            pred(attr(1, 0), CmpOp::Le, attr(2, 0)),
+            pred(attr(2, 0), CmpOp::Le, attr(0, 0)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_none());
+    }
+
+    #[test]
+    fn equality_propagates_through_congruence_closure() {
+        // a.0 == b.0, b.0 == c.0, a.0 == 5, c.0 == 9 → unsat.
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Eq, attr(1, 0)),
+            pred(attr(1, 0), CmpOp::Eq, attr(2, 0)),
+            pred(attr(0, 0), CmpOp::Eq, int(5)),
+            pred(attr(2, 0), CmpOp::Eq, int(9)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+    }
+
+    #[test]
+    fn ne_against_forced_equality_is_unsat() {
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Eq, attr(1, 0)),
+            pred(attr(0, 0), CmpOp::Ne, attr(1, 0)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+    }
+
+    #[test]
+    fn ts_precedence_feeds_the_order_graph() {
+        // SEQ forces a before b; a predicate demanding b.ts < a.ts is unsat.
+        let cp = seq3(vec![pred(
+            Operand::Ts { position: 1 },
+            CmpOp::Lt,
+            Operand::Ts { position: 0 },
+        )]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+    }
+
+    #[test]
+    fn window_gap_is_unsat() {
+        // Window is 10 000 ms; pin a.ts ≥ 100 000 and c.ts ≤ 50 000.
+        let cp = seq3(vec![
+            pred(Operand::Ts { position: 0 }, CmpOp::Ge, int(100_000)),
+            pred(Operand::Ts { position: 2 }, CmpOp::Le, int(50_000)),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+    }
+
+    #[test]
+    fn incomparable_constants_in_one_class_are_unsat() {
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Eq, int(5)),
+            pred(
+                attr(0, 0),
+                CmpOp::Eq,
+                Operand::Const(Value::Str("five".into())),
+            ),
+        ]);
+        assert!(analyze_branch(&cp).unsat.is_some());
+    }
+
+    #[test]
+    fn satisfiable_queries_are_not_flagged() {
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Lt, attr(1, 0)),
+            pred(attr(1, 0), CmpOp::Lt, attr(2, 0)),
+            pred(attr(0, 1), CmpOp::Eq, attr(2, 1)),
+            pred(attr(2, 0), CmpOp::Ge, int(10)),
+        ]);
+        let a = analyze_branch(&cp);
+        assert!(a.unsat.is_none());
+        assert!(a.redundant.is_empty(), "{:?}", a.report);
+    }
+
+    #[test]
+    fn duplicate_predicate_is_redundant() {
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Lt, attr(1, 0)),
+            pred(attr(0, 0), CmpOp::Lt, attr(1, 0)),
+        ]);
+        let a = analyze_branch(&cp);
+        assert!(a.unsat.is_none());
+        assert_eq!(a.redundant.len(), 1);
+        assert!(a.report.has_code(Code::A006));
+    }
+
+    #[test]
+    fn transitive_order_implication_is_redundant() {
+        // a.0 < b.0 AND b.0 < c.0 makes a.0 < c.0 redundant.
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Lt, attr(1, 0)),
+            pred(attr(1, 0), CmpOp::Lt, attr(2, 0)),
+            pred(attr(0, 0), CmpOp::Lt, attr(2, 0)),
+        ]);
+        let a = analyze_branch(&cp);
+        assert_eq!(a.redundant.len(), 1);
+    }
+
+    #[test]
+    fn interval_subsumption_is_redundant() {
+        // a.0 > 10 makes a.0 > 5 redundant (and ≥ 10 makes ≥ 5).
+        let cp = seq3(vec![
+            pred(attr(0, 0), CmpOp::Gt, int(10)),
+            pred(attr(0, 0), CmpOp::Gt, int(5)),
+        ]);
+        let a = analyze_branch(&cp);
+        assert_eq!(a.redundant.len(), 1, "{:?}", a.report);
+    }
+
+    #[test]
+    fn ts_predicate_implied_by_seq_order_is_redundant() {
+        let cp = seq3(vec![pred(
+            Operand::Ts { position: 0 },
+            CmpOp::Lt,
+            Operand::Ts { position: 1 },
+        )]);
+        let a = analyze_branch(&cp);
+        assert_eq!(a.redundant.len(), 1, "{:?}", a.report);
+    }
+
+    #[test]
+    fn self_comparison_is_not_removed() {
+        // `a.0 == a.0` is false for events missing the attribute, so the
+        // analyzer must not claim removal safety.
+        let cp = seq3(vec![pred(attr(0, 0), CmpOp::Eq, attr(0, 0))]);
+        let a = analyze_branch(&cp);
+        assert!(a.unsat.is_none());
+        assert!(a.redundant.is_empty());
+    }
+
+    #[test]
+    fn constant_only_predicate_is_a007() {
+        let cp = seq3(vec![pred(int(3), CmpOp::Gt, int(5))]);
+        let a = analyze_branch(&cp);
+        // Engines skip it, so the query is NOT unsatisfiable.
+        assert!(a.unsat.is_none());
+        assert!(a.report.has_code(Code::A007));
+        assert_eq!(a.redundant.len(), 1);
+    }
+
+    #[test]
+    fn dead_negation_is_a008() {
+        // SEQ(A a, NOT(B x), C c) where x.0 < 2 AND x.0 > 7.
+        let mut b = PatternBuilder::new(10_000);
+        let e0 = b.event(TypeId(0), "a");
+        let ex = b.event(TypeId(1), "x");
+        let e2 = b.event(TypeId(2), "c");
+        b.predicate(pred(attr(ex.pos(), 0), CmpOp::Lt, int(2)));
+        b.predicate(pred(attr(ex.pos(), 0), CmpOp::Gt, int(7)));
+        let exprs = vec![b.expr(e0), b.not(ex), b.expr(e2)];
+        let pat = b.seq_exprs(exprs).unwrap();
+        let cp = CompiledPattern::compile_single(&pat).unwrap();
+        let a = analyze_branch(&cp);
+        assert!(a.unsat.is_none(), "positives must stay satisfiable");
+        assert!(a.report.has_code(Code::A008), "{:?}", a.report);
+    }
+
+    #[test]
+    fn live_negation_is_not_flagged() {
+        let mut b = PatternBuilder::new(10_000);
+        let e0 = b.event(TypeId(0), "a");
+        let ex = b.event(TypeId(1), "x");
+        let e2 = b.event(TypeId(2), "c");
+        b.predicate(pred(attr(ex.pos(), 0), CmpOp::Gt, int(7)));
+        let exprs = vec![b.expr(e0), b.not(ex), b.expr(e2)];
+        let pat = b.seq_exprs(exprs).unwrap();
+        let cp = CompiledPattern::compile_single(&pat).unwrap();
+        let a = analyze_branch(&cp);
+        assert!(!a.report.has_code(Code::A008), "{:?}", a.report);
+    }
+
+    #[test]
+    fn blowup_warning_fires_on_hot_kleene() {
+        let mut b = PatternBuilder::new(10_000);
+        let e0 = b.event(TypeId(0), "a");
+        let ek = b.event(TypeId(1), "k");
+        let exprs = vec![b.expr(e0), b.kleene(ek)];
+        let pat = b.seq_exprs(exprs).unwrap();
+        let cp = CompiledPattern::compile_single(&pat).unwrap();
+        let mut measured = MeasuredStats::default();
+        measured.set_rate(TypeId(0), 0.001);
+        measured.set_rate(TypeId(1), 0.01); // 100 events per 10 s window
+        let r = check_state_blowup(&cp, &measured, &BlowupOptions::default());
+        assert!(r.has_code(Code::A009), "{r}");
+        // Cold stream: no warning.
+        let mut cold = MeasuredStats::default();
+        cold.set_rate(TypeId(0), 0.0001);
+        cold.set_rate(TypeId(1), 0.0005);
+        let r = check_state_blowup(&cp, &cold, &BlowupOptions::default());
+        assert!(r.is_clean(), "{r}");
+    }
+}

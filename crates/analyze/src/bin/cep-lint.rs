@@ -1,0 +1,89 @@
+//! `cep-lint` — lint SASE query files.
+//!
+//! ```text
+//! cep-lint [--codes] <query.sase>...
+//! ```
+//!
+//! Each file is a self-contained `.sase` query (a `TYPE` schema header
+//! followed by a SASE pattern; see `cep_analyze::query_file`). The tool
+//! prints every diagnostic and exits non-zero when any file fails to
+//! parse or carries an error-severity diagnostic.
+
+use cep_analyze::{analyze_query_file, ALL_CODES};
+use cep_core::error::CepError;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cep-lint [--codes] <query.sase>...
+
+  --codes   print the table of diagnostic codes and exit
+
+Each input file holds TYPE declarations (e.g. `TYPE Trade(price float)`)
+followed by a SASE pattern specification. Exit status is non-zero when
+any file fails to parse or produces an error-severity diagnostic.";
+
+fn print_codes() {
+    println!("{:<6} {:<8} description", "code", "severity");
+    for code in ALL_CODES {
+        println!(
+            "{:<6} {:<8} {}",
+            code.as_str(),
+            code.severity().to_string(),
+            code.description()
+        );
+    }
+}
+
+fn lint_file(path: &str) -> Result<bool, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match analyze_query_file(&source) {
+        Ok((_, report)) => {
+            if report.is_clean() {
+                println!("{path}: ok");
+                Ok(true)
+            } else {
+                for d in report.iter() {
+                    println!("{path}: {d}");
+                }
+                Ok(!report.has_errors())
+            }
+        }
+        Err(CepError::Parse {
+            message,
+            line,
+            column,
+            ..
+        }) if line > 0 => Err(format!("{path}:{line}:{column}: parse error: {message}")),
+        Err(e) => Err(format!("{path}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--codes") {
+        print_codes();
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut ok = true;
+    for path in &args {
+        match lint_file(path) {
+            Ok(clean) => ok &= clean,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

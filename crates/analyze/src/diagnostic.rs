@@ -1,0 +1,295 @@
+//! The diagnostic framework shared by every static check: stable error
+//! codes, severities, optional source spans, and a collecting report.
+
+use cep_core::span::Span;
+use std::fmt;
+
+/// Stable diagnostic codes emitted by the analyzer.
+///
+/// Codes are append-only: a code's meaning never changes once released,
+/// so downstream tooling can match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Code {
+    /// The predicate set (plus temporal constraints) is unsatisfiable:
+    /// the query can never produce a match.
+    A001,
+    /// An event type referenced by the pattern is not in the catalog.
+    A002,
+    /// An attribute index is out of bounds for its event type's schema.
+    A003,
+    /// A comparison between incompatible value kinds (e.g. a string
+    /// against a number): it evaluates to false for every event.
+    A004,
+    /// A schema declares an attribute named `ts`, which the SASE surface
+    /// syntax shadows with the intrinsic occurrence timestamp.
+    A005,
+    /// A predicate implied by the remaining predicates; removing it
+    /// cannot change the match set.
+    A006,
+    /// A constant-only predicate (no event operand); engines skip these
+    /// entirely, so it has no effect on matching.
+    A007,
+    /// A dead negation: the `NOT` element's constraints are
+    /// unsatisfiable, so it can never reject a match.
+    A008,
+    /// Kleene/window state blowup: the `2^{rW}` partial-match bound for
+    /// a Kleene element exceeds the configured threshold.
+    A009,
+    /// A plan invariant violation: planner output does not preserve the
+    /// predicate multiset, negation anchoring, or partition soundness.
+    A010,
+}
+
+impl Code {
+    /// The code as printed, e.g. `"A001"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
+            Code::A004 => "A004",
+            Code::A005 => "A005",
+            Code::A006 => "A006",
+            Code::A007 => "A007",
+            Code::A008 => "A008",
+            Code::A009 => "A009",
+            Code::A010 => "A010",
+        }
+    }
+
+    /// Default severity of this code.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::A001 | Code::A002 | Code::A003 | Code::A004 | Code::A010 => Severity::Error,
+            Code::A005 | Code::A006 | Code::A007 | Code::A008 | Code::A009 => Severity::Warning,
+        }
+    }
+
+    /// One-line description of the condition the code reports.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Code::A001 => "unsatisfiable predicate set: the query can never match",
+            Code::A002 => "unknown event type",
+            Code::A003 => "attribute index out of bounds for the event schema",
+            Code::A004 => "type-incompatible comparison: always false",
+            Code::A005 => "attribute shadows the intrinsic `ts` timestamp",
+            Code::A006 => "redundant predicate: implied by the remaining predicates",
+            Code::A007 => "constant-only predicate: ignored by the engines",
+            Code::A008 => "dead negation: the NOT can never reject a match",
+            Code::A009 => "Kleene/window state blowup risk",
+            Code::A010 => "plan invariant violation",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not match-preventing.
+    Warning,
+    /// The query (or plan) is broken: it cannot behave as written.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding: a code, a severity, a human-readable message, and an
+/// optional source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity; defaults to [`Code::severity`] but may be downgraded
+    /// (e.g. an unsatisfiable branch of a multi-branch `OR` is a
+    /// warning, not an error).
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Source location, when the originating construct has one.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Downgrades the diagnostic to a warning.
+    pub fn as_warning(mut self) -> Diagnostic {
+        self.severity = Severity::Warning;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(span) = &self.span {
+            write!(f, " (at {span})")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics produced by one analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every diagnostic of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// The diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Iterates over the diagnostics.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether the report contains no diagnostics at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether the report is clean: no diagnostics of any severity.
+    pub fn is_clean(&self) -> bool {
+        self.is_empty()
+    }
+
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether some diagnostic carries the given code.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for Report {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diagnostics.into_iter()
+    }
+}
+
+/// Every diagnostic code, for documentation and `--explain`-style listings.
+pub const ALL_CODES: [Code; 10] = [
+    Code::A001,
+    Code::A002,
+    Code::A003,
+    Code::A004,
+    Code::A005,
+    Code::A006,
+    Code::A007,
+    Code::A008,
+    Code::A009,
+    Code::A010,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_have_metadata() {
+        for code in ALL_CODES {
+            assert!(code.as_str().starts_with('A'));
+            assert!(!code.description().is_empty());
+        }
+        assert_eq!(Code::A001.severity(), Severity::Error);
+        assert_eq!(Code::A006.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn report_tracks_errors_and_cleanliness() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(Code::A006, "dup"));
+        assert!(!r.is_clean());
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(Code::A001, "contradiction"));
+        assert!(r.has_errors());
+        assert!(r.has_code(Code::A001));
+        assert!(!r.has_code(Code::A009));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn downgraded_diagnostics_are_warnings() {
+        let d = Diagnostic::new(Code::A001, "dead OR branch").as_warning();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.to_string().starts_with("warning[A001]"));
+    }
+
+    #[test]
+    fn display_includes_span_when_present() {
+        let d = Diagnostic::new(Code::A002, "unknown type")
+            .with_span(cep_core::span::Span::locate("ab\ncd", 3));
+        let s = d.to_string();
+        assert!(s.contains("error[A002]"));
+        assert!(s.contains("line 2, column 1"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Self-contained `.sase` query files: a schema header of `TYPE`
+//! declarations followed by a SASE pattern specification.
+//!
+//! ```text
+//! # fraud detection
+//! TYPE SmallTxn(account int, amount float)
+//! TYPE Withdrawal(account int, amount float)
+//!
+//! PATTERN SEQ(KL(SmallTxn s), Withdrawal w)
+//! WHERE (s.account == w.account AND w.amount >= 500)
+//! WITHIN 30 s
+//! ```
+//!
+//! Blank lines and `#` comments are allowed anywhere before the pattern.
+//! Attribute kinds are `int`, `float`, `bool`, and `str`. Parse errors in
+//! the pattern section carry spans re-based against the whole file, so
+//! `cep-lint` reports the real line and column.
+
+use cep_core::error::CepError;
+use cep_core::pattern::Pattern;
+use cep_core::schema::{Catalog, ValueKind};
+use cep_core::span::Span;
+
+/// A parsed `.sase` query file: the declared catalog, the pattern, and
+/// the original source text (for span rendering).
+#[derive(Debug, Clone)]
+pub struct QueryFile {
+    /// Catalog assembled from the `TYPE` header lines.
+    pub catalog: Catalog,
+    /// The parsed pattern.
+    pub pattern: Pattern,
+    /// The full file source.
+    pub source: String,
+}
+
+fn parse_err(message: impl Into<String>, source: &str, offset: usize) -> CepError {
+    let span = Span::locate(source, offset);
+    CepError::Parse {
+        message: message.into(),
+        offset,
+        line: span.line,
+        column: span.column,
+    }
+}
+
+fn kind_of(word: &str) -> Option<ValueKind> {
+    match word {
+        "int" => Some(ValueKind::Int),
+        "float" => Some(ValueKind::Float),
+        "bool" => Some(ValueKind::Bool),
+        "str" => Some(ValueKind::Str),
+        _ => None,
+    }
+}
+
+/// Parses one `TYPE Name(attr kind, ...)` declaration body (the part
+/// after the `TYPE` keyword). `line_offset` is the byte offset of `rest`
+/// within the whole file, for error spans.
+fn parse_type_decl(
+    rest: &str,
+    source: &str,
+    line_offset: usize,
+    catalog: &mut Catalog,
+) -> Result<(), CepError> {
+    let rest_trim = rest.trim();
+    let open = rest_trim
+        .find('(')
+        .ok_or_else(|| parse_err("TYPE declaration is missing '('", source, line_offset))?;
+    let close = rest_trim
+        .rfind(')')
+        .ok_or_else(|| parse_err("TYPE declaration is missing ')'", source, line_offset))?;
+    if close < open {
+        return Err(parse_err("malformed TYPE declaration", source, line_offset));
+    }
+    let name = rest_trim[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(parse_err(
+            format!("invalid type name {name:?} in TYPE declaration"),
+            source,
+            line_offset,
+        ));
+    }
+    let mut attrs: Vec<(&str, ValueKind)> = Vec::new();
+    let body = rest_trim[open + 1..close].trim();
+    if !body.is_empty() {
+        for part in body.split(',') {
+            let mut words = part.split_whitespace();
+            let (Some(attr), Some(kind_word), None) = (words.next(), words.next(), words.next())
+            else {
+                return Err(parse_err(
+                    format!("expected `name kind` in TYPE attribute, got {part:?}"),
+                    source,
+                    line_offset,
+                ));
+            };
+            let Some(kind) = kind_of(kind_word) else {
+                return Err(parse_err(
+                    format!(
+                        "unknown attribute kind {kind_word:?} (expected int, float, bool, or str)"
+                    ),
+                    source,
+                    line_offset,
+                ));
+            };
+            attrs.push((attr, kind));
+        }
+    }
+    catalog.add_type(name, &attrs).map_err(|e| {
+        parse_err(
+            format!("invalid TYPE declaration: {e}"),
+            source,
+            line_offset,
+        )
+    })?;
+    Ok(())
+}
+
+/// Parses a complete `.sase` query file: `TYPE` header plus pattern.
+pub fn parse_query_file(source: &str) -> Result<QueryFile, CepError> {
+    let mut catalog = Catalog::new();
+    let mut offset = 0usize;
+    let mut pattern_start: Option<usize> = None;
+    for line in source.split_inclusive('\n') {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            offset += line.len();
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("TYPE") {
+            if rest.starts_with([' ', '\t']) || rest.starts_with('(') {
+                let decl_offset = offset + (line.len() - line.trim_start().len());
+                parse_type_decl(rest, source, decl_offset, &mut catalog)?;
+                offset += line.len();
+                continue;
+            }
+        }
+        // First non-header line: the pattern starts here and runs to EOF.
+        pattern_start = Some(offset + (line.len() - line.trim_start().len()));
+        break;
+    }
+    let Some(start) = pattern_start else {
+        return Err(parse_err(
+            "query file has no pattern (only TYPE declarations and comments)",
+            source,
+            source.len(),
+        ));
+    };
+    let pattern = cep_sase::parse_pattern(&source[start..], &catalog).map_err(|e| match e {
+        // Re-base the parse span against the whole file.
+        CepError::Parse {
+            message, offset, ..
+        } => parse_err(message, source, start + offset),
+        other => other,
+    })?;
+    Ok(QueryFile {
+        catalog,
+        pattern,
+        source: source.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# a comment
+TYPE SmallTxn(account int, amount float)
+TYPE Verify(account int)
+TYPE Withdrawal(account int, amount float)
+
+PATTERN SEQ(KL(SmallTxn s), NOT(Verify v), Withdrawal w)
+WHERE (s.account == w.account AND v.account == w.account AND w.amount >= 500)
+WITHIN 30 s
+";
+
+    #[test]
+    fn parses_header_and_pattern() {
+        let qf = parse_query_file(GOOD).unwrap();
+        assert!(qf.catalog.type_id("SmallTxn").is_some());
+        assert!(qf.catalog.type_id("Withdrawal").is_some());
+        assert_eq!(qf.pattern.window, 30_000);
+        assert_eq!(qf.pattern.predicates.len(), 3);
+    }
+
+    #[test]
+    fn empty_attribute_list_is_allowed() {
+        let qf =
+            parse_query_file("TYPE Ping()\nTYPE Pong()\nPATTERN SEQ(Ping a, Pong b) WITHIN 1 s\n")
+                .unwrap();
+        assert_eq!(qf.pattern.window, 1_000);
+    }
+
+    #[test]
+    fn bad_kind_is_rejected_with_position() {
+        let err =
+            parse_query_file("TYPE T(x quux)\nPATTERN SEQ(T a, T b) WITHIN 1 s\n").unwrap_err();
+        let CepError::Parse { message, line, .. } = err else {
+            panic!("expected parse error, got {err:?}");
+        };
+        assert!(message.contains("quux"), "{message}");
+        assert_eq!(line, 1);
+    }
+
+    #[test]
+    fn pattern_errors_are_rebased_to_file_coordinates() {
+        // The bad token is on file line 3 (pattern line 2).
+        let src = "TYPE A(x int)\nPATTERN SEQ(A a, A b)\nWHERE (a.nope < 1)\nWITHIN 1 s\n";
+        let err = parse_query_file(src).unwrap_err();
+        let CepError::Parse { offset, line, .. } = err else {
+            panic!("expected parse error, got {err:?}");
+        };
+        assert_eq!(line, 3, "{err}");
+        assert!(src[offset..].starts_with("nope"), "{err}");
+    }
+
+    #[test]
+    fn missing_pattern_is_an_error() {
+        assert!(parse_query_file("TYPE A(x int)\n# nothing else\n").is_err());
+    }
+}

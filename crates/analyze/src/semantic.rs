@@ -1,0 +1,300 @@
+//! Schema-level semantic checks: unknown event types, out-of-bounds
+//! attributes, type-incompatible comparisons, and timestamp shadowing.
+//!
+//! These checks run against the raw [`Pattern`], before DNF compilation,
+//! so they also cover patterns assembled programmatically with
+//! [`cep_core::pattern::PatternBuilder`] (the SASE parser rejects most of
+//! these at parse time, but the builder does not).
+
+use crate::diagnostic::{Code, Diagnostic, Report};
+use cep_core::pattern::{Pattern, PrimitiveInfo};
+use cep_core::predicate::Operand;
+use cep_core::schema::{Catalog, ValueKind};
+use std::collections::HashMap;
+
+/// The comparability class of a value kind: comparisons across classes
+/// are undefined and evaluate to false for every event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KindClass {
+    Numeric,
+    Boolean,
+    Text,
+}
+
+fn class_of(kind: ValueKind) -> KindClass {
+    match kind {
+        ValueKind::Int | ValueKind::Float => KindClass::Numeric,
+        ValueKind::Bool => KindClass::Boolean,
+        ValueKind::Str => KindClass::Text,
+    }
+}
+
+/// Runs every semantic check on `pattern` against `catalog`.
+pub fn check_pattern(pattern: &Pattern, catalog: &Catalog) -> Report {
+    let mut report = Report::new();
+    let prims = pattern.primitives();
+    let by_position: HashMap<usize, &PrimitiveInfo> =
+        prims.iter().map(|p| (p.position, p)).collect();
+
+    // A002: every primitive's event type must exist in the catalog.
+    for prim in &prims {
+        if catalog.schema(prim.event_type).is_none() {
+            report.push(Diagnostic::new(
+                Code::A002,
+                format!(
+                    "event {:?} (position {}) references type id {:?} which is not in the catalog",
+                    prim.name, prim.position, prim.event_type
+                ),
+            ));
+        }
+    }
+
+    // A005: schemas of used types that declare an attribute named `ts`.
+    // The SASE surface syntax resolves `var.ts` to the occurrence
+    // timestamp, so such an attribute is unreachable from query text.
+    let mut warned_types = Vec::new();
+    for prim in &prims {
+        let Some(schema) = catalog.schema(prim.event_type) else {
+            continue;
+        };
+        if schema.attr_index("ts").is_some() && !warned_types.contains(&prim.event_type) {
+            warned_types.push(prim.event_type);
+            report.push(Diagnostic::new(
+                Code::A005,
+                format!(
+                    "type {:?} declares an attribute named \"ts\"; in query text `var.ts` \
+                     resolves to the intrinsic occurrence timestamp, shadowing it",
+                    schema.name
+                ),
+            ));
+        }
+    }
+
+    // Per-predicate checks: dangling positions, attribute bounds (A003)
+    // and comparability of the two operand kinds (A004).
+    for (pi, pred) in pattern.predicates.iter().enumerate() {
+        let mut kinds = Vec::new();
+        for operand in [&pred.left, &pred.right] {
+            match operand {
+                Operand::Const(v) => kinds.push(Some(v.kind())),
+                Operand::Ts { position } => {
+                    if !by_position.contains_key(position) {
+                        report.push(Diagnostic::new(
+                            Code::A003,
+                            format!(
+                                "predicate #{pi} `{pred}` references position {position}, \
+                                 which is not declared by the pattern"
+                            ),
+                        ));
+                        kinds.push(None);
+                    } else {
+                        // Timestamps are integral milliseconds.
+                        kinds.push(Some(ValueKind::Int));
+                    }
+                }
+                Operand::Attr { position, attr } => {
+                    let Some(prim) = by_position.get(position) else {
+                        report.push(Diagnostic::new(
+                            Code::A003,
+                            format!(
+                                "predicate #{pi} `{pred}` references position {position}, \
+                                 which is not declared by the pattern"
+                            ),
+                        ));
+                        kinds.push(None);
+                        continue;
+                    };
+                    let Some(schema) = catalog.schema(prim.event_type) else {
+                        // Unknown type already reported as A002.
+                        kinds.push(None);
+                        continue;
+                    };
+                    match schema.attributes.get(*attr) {
+                        Some(def) => kinds.push(Some(def.kind)),
+                        None => {
+                            report.push(Diagnostic::new(
+                                Code::A003,
+                                format!(
+                                    "predicate #{pi} `{pred}` uses attribute index {attr} but \
+                                     type {:?} declares only {} attributes",
+                                    schema.name,
+                                    schema.attributes.len()
+                                ),
+                            ));
+                            kinds.push(None);
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(Some(lk)), Some(Some(rk))) = (kinds.first(), kinds.get(1)) {
+            if class_of(*lk) != class_of(*rk) {
+                report.push(Diagnostic::new(
+                    Code::A004,
+                    format!(
+                        "predicate #{pi} `{pred}` compares {lk:?} against {rk:?}; \
+                         the kinds are incomparable, so the predicate is false for every event"
+                    ),
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::event::TypeId;
+    use cep_core::pattern::PatternBuilder;
+    use cep_core::predicate::{CmpOp, Predicate};
+    use cep_core::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_type(
+            "Trade",
+            &[("price", ValueKind::Float), ("sym", ValueKind::Str)],
+        )
+        .unwrap();
+        cat.add_type("Quote", &[("price", ValueKind::Float)])
+            .unwrap();
+        cat
+    }
+
+    fn seq(cat: &Catalog) -> Pattern {
+        let mut b = PatternBuilder::new(1000);
+        let t = b.event(cat.type_id("Trade").unwrap(), "t");
+        let q = b.event(cat.type_id("Quote").unwrap(), "q");
+        b.seq([t, q]).unwrap()
+    }
+
+    #[test]
+    fn clean_pattern_reports_nothing() {
+        let cat = catalog();
+        let mut p = seq(&cat);
+        p.predicates.push(Predicate {
+            left: Operand::Attr {
+                position: 0,
+                attr: 0,
+            },
+            op: CmpOp::Lt,
+            right: Operand::Attr {
+                position: 1,
+                attr: 0,
+            },
+        });
+        assert!(check_pattern(&p, &cat).is_clean());
+    }
+
+    #[test]
+    fn unknown_type_is_a002() {
+        let cat = catalog();
+        let mut b = PatternBuilder::new(1000);
+        let x = b.event(TypeId(99), "x");
+        let t = b.event(cat.type_id("Trade").unwrap(), "t");
+        let p = b.seq([x, t]).unwrap();
+        let r = check_pattern(&p, &cat);
+        assert!(r.has_code(Code::A002));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn attribute_out_of_bounds_is_a003() {
+        let cat = catalog();
+        let mut p = seq(&cat);
+        p.predicates.push(Predicate {
+            left: Operand::Attr {
+                position: 1,
+                attr: 7,
+            },
+            op: CmpOp::Eq,
+            right: Operand::Const(Value::Int(1)),
+        });
+        let r = check_pattern(&p, &cat);
+        assert!(r.has_code(Code::A003));
+    }
+
+    #[test]
+    fn dangling_position_is_a003() {
+        let cat = catalog();
+        let mut p = seq(&cat);
+        p.predicates.push(Predicate {
+            left: Operand::Attr {
+                position: 9,
+                attr: 0,
+            },
+            op: CmpOp::Eq,
+            right: Operand::Const(Value::Int(1)),
+        });
+        assert!(check_pattern(&p, &cat).has_code(Code::A003));
+    }
+
+    #[test]
+    fn cross_kind_comparison_is_a004() {
+        let cat = catalog();
+        let mut p = seq(&cat);
+        // Trade.sym (Str) vs a number.
+        p.predicates.push(Predicate {
+            left: Operand::Attr {
+                position: 0,
+                attr: 1,
+            },
+            op: CmpOp::Eq,
+            right: Operand::Const(Value::Int(5)),
+        });
+        let r = check_pattern(&p, &cat);
+        assert!(r.has_code(Code::A004));
+        // Int vs Float is fine (numeric class).
+        let mut p2 = seq(&cat);
+        p2.predicates.push(Predicate {
+            left: Operand::Attr {
+                position: 0,
+                attr: 0,
+            },
+            op: CmpOp::Ge,
+            right: Operand::Const(Value::Int(5)),
+        });
+        assert!(check_pattern(&p2, &cat).is_clean());
+    }
+
+    #[test]
+    fn ts_shadowing_attribute_is_a005() {
+        let mut cat = Catalog::new();
+        cat.add_type("Weird", &[("ts", ValueKind::Int)]).unwrap();
+        let mut b = PatternBuilder::new(100);
+        let w = b.event(cat.type_id("Weird").unwrap(), "w");
+        let w2 = b.event(cat.type_id("Weird").unwrap(), "w2");
+        let p = b.seq([w, w2]).unwrap();
+        let r = check_pattern(&p, &cat);
+        // One warning per type, not per primitive.
+        assert_eq!(r.iter().filter(|d| d.code == Code::A005).count(), 1, "{r}");
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn ts_operand_is_numeric() {
+        let cat = catalog();
+        let mut p = seq(&cat);
+        p.predicates.push(Predicate {
+            left: Operand::Ts { position: 0 },
+            op: CmpOp::Lt,
+            right: Operand::Attr {
+                position: 1,
+                attr: 0,
+            },
+        });
+        assert!(check_pattern(&p, &cat).is_clean());
+        let mut p2 = seq(&cat);
+        p2.predicates.push(Predicate {
+            left: Operand::Ts { position: 0 },
+            op: CmpOp::Eq,
+            right: Operand::Attr {
+                position: 0,
+                attr: 1,
+            },
+        });
+        assert!(check_pattern(&p2, &cat).has_code(Code::A004));
+    }
+}

@@ -15,6 +15,7 @@
 //!   selectivity-drift      beyond the paper: selectivity re-estimation on a correlation flip
 //!   cross-partition        beyond the paper: replicate-join sharding on a cross-key workload
 //!   all                    everything above
+//!   analyze                static-analysis demo: lint demo queries, verify plan invariants
 //!   bench-smoke            CI gate: quick deterministic scenario counts vs a committed
 //!                          baseline [--out PATH] [--baseline PATH] [--write-baseline]
 //! ```
@@ -27,7 +28,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: experiments <pattern-types|by-size|cost-validation|large-patterns|\
          latency-tradeoff|selection-strategies|sharded-scaling|adaptive-drift|\
-         selectivity-drift|cross-partition|all|bench-smoke> \
+         selectivity-drift|cross-partition|all|analyze|bench-smoke> \
          [--set KIND] [--full] [--seed N] [--per-size N] [--duration-ms N] [--shards N] \
          [--out PATH] [--baseline PATH] [--write-baseline]";
 
@@ -62,6 +63,17 @@ fn main() -> ExitCode {
     let cmd = args[0].clone();
     if cmd == "bench-smoke" {
         return bench_smoke(&args[1..]);
+    }
+    if cmd == "analyze" {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        return match cep_bench::analyze_demo::run(&mut out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("analyze demo failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let mut scale = Scale::quick();
     let mut set: Option<PatternSetKind> = None;

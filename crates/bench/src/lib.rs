@@ -5,10 +5,11 @@
 //! Schuster, VLDB 2018). See `DESIGN.md` §4 for the figure-to-target index
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 //!
-//! * [`env`] — stream/workload setup at configurable [`env::Scale`]s;
+//! * [`mod@env`] — stream/workload setup at configurable [`env::Scale`]s;
 //! * [`runner`] — plan-then-execute machinery over both engines;
 //! * [`figures`] — one driver per paper figure;
 //! * [`smoke`] — the CI bench-regression gate (`BENCH_PR5.json`);
+//! * [`analyze_demo`] — the `experiments analyze` static-analysis demo;
 //! * `benches/` — Criterion micro/meso benchmarks (engine throughput,
 //!   planning time).
 //!
@@ -16,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze_demo;
 pub mod env;
 pub mod figures;
 pub mod report;

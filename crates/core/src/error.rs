@@ -23,6 +23,10 @@ pub enum CepError {
         message: String,
         /// Byte offset in the input where the error was detected.
         offset: usize,
+        /// 1-based line of the error (0 when the source is unavailable).
+        line: u32,
+        /// 1-based column of the error (0 when the source is unavailable).
+        column: u32,
     },
     /// Missing or inconsistent statistics for plan generation.
     Stats(String),
@@ -50,8 +54,20 @@ impl fmt::Display for CepError {
             CepError::Schema(m) => write!(f, "schema error: {m}"),
             CepError::Pattern(m) => write!(f, "pattern error: {m}"),
             CepError::Plan(m) => write!(f, "plan error: {m}"),
-            CepError::Parse { message, offset } => {
-                write!(f, "parse error at byte {offset}: {message}")
+            CepError::Parse {
+                message,
+                offset,
+                line,
+                column,
+            } => {
+                if *line > 0 {
+                    write!(
+                        f,
+                        "parse error at line {line}, column {column} (byte {offset}): {message}"
+                    )
+                } else {
+                    write!(f, "parse error at byte {offset}: {message}")
+                }
             }
             CepError::Stats(m) => write!(f, "statistics error: {m}"),
             CepError::OutOfOrder { ts, last_ts } => write!(
@@ -83,8 +99,20 @@ mod tests {
         let p = CepError::Parse {
             message: "bad token".into(),
             offset: 17,
+            line: 2,
+            column: 4,
         };
         assert!(p.to_string().contains("17"));
+        assert!(p.to_string().contains("line 2"));
+        assert!(p.to_string().contains("column 4"));
+        let p0 = CepError::Parse {
+            message: "bad token".into(),
+            offset: 17,
+            line: 0,
+            column: 0,
+        };
+        assert!(p0.to_string().contains("byte 17"));
+        assert!(!p0.to_string().contains("line"));
         assert!(CepError::Routing("x".into())
             .to_string()
             .contains("routing"));

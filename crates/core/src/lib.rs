@@ -16,7 +16,7 @@
 //! * the cost models of Sections 3, 4 and 6 ([`cost`]),
 //! * statistics acquisition ([`stats`]) and the query graph ([`query_graph`]),
 //! * replicate-join partition analysis for sharded execution ([`partition`]),
-//! * runtime support shared by engines: matches ([`matches`]), negation
+//! * runtime support shared by engines: matches ([`mod@matches`]), negation
 //!   intervals ([`negation`]), metrics ([`metrics`]), the [`engine`] trait,
 //! * and a [`naive`] exhaustive oracle used as the semantic ground truth in
 //!   tests.
@@ -41,8 +41,10 @@ pub mod predicate;
 pub mod query_graph;
 pub mod schema;
 pub mod selection;
+pub mod span;
 pub mod stats;
 pub mod stream;
+pub mod union_find;
 pub mod value;
 
 /// Commonly used items, re-exported for `use cep_core::prelude::*`.
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use crate::predicate::{CmpOp, Operand, Predicate};
     pub use crate::schema::{Catalog, EventSchema, ValueKind};
     pub use crate::selection::SelectionStrategy;
+    pub use crate::span::Span;
     pub use crate::stats::{MeasuredStats, PatternStats};
     pub use crate::stream::{EventStream, StreamBuilder};
     pub use crate::value::Value;

@@ -48,6 +48,7 @@ use crate::error::CepError;
 use crate::event::TypeId;
 use crate::predicate::{CmpOp, Operand};
 use crate::stats::MeasuredStats;
+use crate::union_find::UnionFind;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
@@ -365,7 +366,7 @@ fn slot_is_negated(cp: &CompiledPattern, slot: usize) -> bool {
 /// (engines never evaluate them against a single candidate).
 struct BranchGraph {
     nodes: HashMap<(usize, usize), usize>,
-    parent: Vec<usize>,
+    uf: UnionFind,
     /// Negated `(slot, attr)` → positive node ids it is directly
     /// equality-linked to.
     neg_links: HashMap<(usize, usize), Vec<usize>>,
@@ -376,31 +377,24 @@ impl BranchGraph {
         match self.nodes.get(&key) {
             Some(&id) => id,
             None => {
-                let id = self.parent.len();
-                self.parent.push(id);
+                let id = self.uf.make();
                 self.nodes.insert(key, id);
                 id
             }
         }
     }
 
-    fn find(&self, mut id: usize) -> usize {
-        while self.parent[id] != id {
-            id = self.parent[id];
-        }
-        id
+    fn find(&self, id: usize) -> usize {
+        self.uf.find(id)
     }
 
     fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra.max(rb)] = ra.min(rb);
-        }
+        self.uf.union(a, b);
     }
 
     /// Root of `(slot, attr)` if the node participates in any equality.
     fn root(&self, key: (usize, usize)) -> Option<usize> {
-        self.nodes.get(&key).map(|&id| self.find(id))
+        self.nodes.get(&key).map(|&id| self.uf.find(id))
     }
 }
 
@@ -410,7 +404,7 @@ fn branch_graphs(branches: &[CompiledPattern]) -> Vec<BranchGraph> {
         .map(|cp| {
             let mut g = BranchGraph {
                 nodes: HashMap::new(),
-                parent: Vec::new(),
+                uf: UnionFind::new(),
                 neg_links: HashMap::new(),
             };
             let slot_of = |position: usize| -> Option<usize> {

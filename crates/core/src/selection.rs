@@ -4,7 +4,7 @@ use std::fmt;
 
 /// How events are selected from the input stream into matches.
 ///
-/// The paper discusses four strategies (after [5]):
+/// The paper discusses four strategies (after \[5\]):
 ///
 /// * [`SkipTillAnyMatch`](SelectionStrategy::SkipTillAnyMatch) — an event may
 ///   participate in arbitrarily many matches; all combinations are detected.

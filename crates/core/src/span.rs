@@ -1,0 +1,90 @@
+//! Source locations for parse errors and analyzer diagnostics.
+
+use std::fmt;
+
+/// A position in a source text: byte offset plus 1-based line/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Byte offset into the source text.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes from the line start).
+    pub column: u32,
+}
+
+impl Span {
+    /// Computes the line/column of byte `offset` within `input`.
+    ///
+    /// Offsets past the end of `input` clamp to the final position.
+    /// Query texts are small, so the linear scan is not a concern.
+    pub fn locate(input: &str, offset: usize) -> Span {
+        let offset = offset.min(input.len());
+        let mut line = 1u32;
+        let mut line_start = 0usize;
+        for (i, b) in input.bytes().enumerate().take(offset) {
+            if b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        Span {
+            offset,
+            line,
+            column: (offset - line_start) as u32 + 1,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locates_on_first_line() {
+        let s = Span::locate("abc def", 4);
+        assert_eq!(
+            s,
+            Span {
+                offset: 4,
+                line: 1,
+                column: 5
+            }
+        );
+    }
+
+    #[test]
+    fn locates_across_newlines() {
+        let s = Span::locate("ab\ncd\nef", 6);
+        assert_eq!(
+            s,
+            Span {
+                offset: 6,
+                line: 3,
+                column: 1
+            }
+        );
+        let s = Span::locate("ab\ncd\nef", 4);
+        assert_eq!(s.line, 2);
+        assert_eq!(s.column, 2);
+    }
+
+    #[test]
+    fn clamps_past_end() {
+        let s = Span::locate("ab", 10);
+        assert_eq!(s.offset, 2);
+        assert_eq!(s.column, 3);
+    }
+
+    #[test]
+    fn displays_line_and_column() {
+        let s = Span::locate("x", 0);
+        assert_eq!(s.to_string(), "line 1, column 1");
+    }
+}

@@ -1,6 +1,6 @@
 //! Lightweight adaptivity hooks (Section 6.3).
 //!
-//! The paper defers full adaptive CEP to its companion work [27]; what plan
+//! The paper defers full adaptive CEP to its companion work \[27\]; what plan
 //! generation needs from the runtime is (a) fresh arrival-rate estimates
 //! and (b) a signal that the statistics have drifted far enough from the
 //! ones the current plan was built with. [`StatsMonitor`] provides both

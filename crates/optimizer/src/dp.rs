@@ -1,4 +1,4 @@
-//! Exhaustive dynamic-programming planners (Selinger [45]):
+//! Exhaustive dynamic-programming planners (Selinger \[45\]):
 //! DP-LD for left-deep (order) plans and DP-B for bushy (tree) plans.
 //!
 //! Both are *exact* for the paper's objectives because those decompose over
@@ -16,7 +16,7 @@ use cep_core::stats::PatternStats;
 /// Practical cap for DP-B: subset-split enumeration is `O(3^n)`.
 pub const MAX_DP_BUSHY_ELEMENTS: usize = 18;
 
-/// DP-LD [45]: provably optimal order plan, `O(2^n · n)`.
+/// DP-LD \[45\]: provably optimal order plan, `O(2^n · n)`.
 pub fn dp_left_deep_order(stats: &PatternStats, cm: &CostModel) -> Result<Vec<usize>, CepError> {
     let n = stats.n();
     if n > MAX_DP_ELEMENTS {
@@ -69,7 +69,7 @@ pub fn dp_left_deep_order(stats: &PatternStats, cm: &CostModel) -> Result<Vec<us
     Ok(order)
 }
 
-/// DP-B [45]: provably optimal bushy tree, `O(3^n)`.
+/// DP-B \[45\]: provably optimal bushy tree, `O(3^n)`.
 pub fn dp_bushy_tree(stats: &PatternStats, cm: &CostModel) -> Result<TreeNode, CepError> {
     let n = stats.n();
     if n == 0 {

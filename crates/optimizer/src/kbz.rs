@@ -1,5 +1,5 @@
 //! IK/KBZ rank-based polynomial ordering for acyclic query graphs
-//! (Section 4.3; Ibaraki & Kameda [24], Krishnamurthy et al. [31]).
+//! (Section 4.3; Ibaraki & Kameda \[24\], Krishnamurthy et al. \[31\]).
 //!
 //! `Cost_ord` has the ASI property (Appendix A of the paper), so for
 //! patterns whose *explicit* query graph is a forest the optimal
@@ -59,16 +59,15 @@ impl Compound {
 }
 
 /// Merges two rank-ascending chains, preserving intra-chain order.
-fn merge_chains(a: VecDeque<Compound>, b: VecDeque<Compound>) -> VecDeque<Compound> {
-    let mut a = a;
-    let mut b = b;
+fn merge_chains(mut a: VecDeque<Compound>, mut b: VecDeque<Compound>) -> VecDeque<Compound> {
     let mut out = VecDeque::with_capacity(a.len() + b.len());
-    while !a.is_empty() && !b.is_empty() {
-        if a.front().unwrap().rank() <= b.front().unwrap().rank() {
-            out.push_back(a.pop_front().unwrap());
+    while let (Some(fa), Some(fb)) = (a.front(), b.front()) {
+        let next = if fa.rank() <= fb.rank() {
+            a.pop_front()
         } else {
-            out.push_back(b.pop_front().unwrap());
-        }
+            b.pop_front()
+        };
+        out.extend(next);
     }
     out.extend(a);
     out.extend(b);
@@ -346,5 +345,46 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2]);
         assert_eq!(order[0], 2, "rare isolated element should lead: {order:?}");
+    }
+
+    #[test]
+    fn merge_chains_handles_empty_inputs() {
+        let s = star_stats();
+        let single = |e: usize| {
+            let mut c = VecDeque::new();
+            c.push_back(Compound::single(e, None, &s));
+            c
+        };
+        assert!(merge_chains(VecDeque::new(), VecDeque::new()).is_empty());
+        let left = merge_chains(single(0), VecDeque::new());
+        assert_eq!(flatten(&left), vec![0]);
+        let right = merge_chains(VecDeque::new(), single(1));
+        assert_eq!(flatten(&right), vec![1]);
+    }
+
+    #[test]
+    fn merge_chains_interleaves_by_rank() {
+        // Ranks are (t-1)/c with t = rate * window = rate * 10.
+        let s = PatternStats::synthetic(10.0, vec![0.01, 0.3, 0.05, 0.2], vec![vec![1.0; 4]; 4]);
+        let chain = |elems: &[usize]| {
+            elems
+                .iter()
+                .map(|&e| Compound::single(e, None, &s))
+                .collect::<VecDeque<_>>()
+        };
+        let merged = merge_chains(chain(&[0, 1]), chain(&[2, 3]));
+        let ranks: Vec<f64> = merged.iter().map(Compound::rank).collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{ranks:?}");
+        assert_eq!(flatten(&merged), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn kbz_degenerate_inputs() {
+        // Zero-element and single-element queries must not panic.
+        let cm = CostModel::throughput();
+        let empty = PatternStats::synthetic(10.0, vec![], vec![]);
+        assert_eq!(kbz_order(&empty, &cm), Some(vec![]));
+        let one = PatternStats::synthetic(10.0, vec![1.5], vec![vec![1.0]]);
+        assert_eq!(kbz_order(&one, &cm), Some(vec![0]));
     }
 }

@@ -8,14 +8,14 @@
 //! |---------------|-------|--------|----------|
 //! | TRIVIAL       | order | native CPG (SASE, Cayuga) | [`order::trivial_order`] |
 //! | EFREQ         | order | native CPG (PB-CED, lazy NFA) | [`order::efreq_order`] |
-//! | GREEDY        | order | JQPG, Swami [47] | [`order::greedy_order`] |
-//! | II-RANDOM     | order | JQPG, Swami [47] | [`order::ii_random_order`] |
-//! | II-GREEDY     | order | JQPG, Swami [47] | [`order::ii_greedy_order`] |
-//! | DP-LD         | order | JQPG, Selinger [45] | [`dp::dp_left_deep_order`] |
+//! | GREEDY        | order | JQPG, Swami \[47\] | [`order::greedy_order`] |
+//! | II-RANDOM     | order | JQPG, Swami \[47\] | [`order::ii_random_order`] |
+//! | II-GREEDY     | order | JQPG, Swami \[47\] | [`order::ii_greedy_order`] |
+//! | DP-LD         | order | JQPG, Selinger \[45\] | [`dp::dp_left_deep_order`] |
 //! | KBZ (ext.)    | order | JQPG, IK/KBZ [24, 31] (Section 4.3) | [`kbz::kbz_order`] |
-//! | ZSTREAM       | tree  | native CPG, Mei & Madden [35] | [`zstream::zstream_native`] |
+//! | ZSTREAM       | tree  | native CPG, Mei & Madden \[35\] | [`zstream::zstream_native`] |
 //! | ZSTREAM-ORD   | tree  | hybrid (Section 7.1) | [`zstream::zstream_ordered`] |
-//! | DP-B          | tree  | JQPG, Selinger [45] | [`dp::dp_bushy_tree`] |
+//! | DP-B          | tree  | JQPG, Selinger \[45\] | [`dp::dp_bushy_tree`] |
 //!
 //! All algorithms optimize the same [`CostModel`](cep_core::cost::CostModel)
 //! objective — strategy-aware throughput cost plus `α ×` latency cost — so
@@ -43,18 +43,18 @@ pub enum OrderAlgorithm {
     Trivial,
     /// Ascending event frequency (native CPG baseline).
     EFreq,
-    /// Greedy cost-based construction [47].
+    /// Greedy cost-based construction \[47\].
     Greedy,
-    /// Iterative improvement from random starts [47].
+    /// Iterative improvement from random starts \[47\].
     IIRandom {
         /// Number of random restarts.
         restarts: usize,
         /// RNG seed (plans are deterministic per seed).
         seed: u64,
     },
-    /// Iterative improvement seeded by GREEDY [47].
+    /// Iterative improvement seeded by GREEDY \[47\].
     IIGreedy,
-    /// Exhaustive left-deep dynamic programming [45].
+    /// Exhaustive left-deep dynamic programming \[45\].
     DpLd,
     /// IK/KBZ rank-based ordering for acyclic graphs (Section 4.3
     /// extension); falls back to GREEDY outside its preconditions.
@@ -101,11 +101,11 @@ impl fmt::Display for OrderAlgorithm {
 /// Tree-based plan generation algorithms (Section 7.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TreeAlgorithm {
-    /// ZStream's native interval DP over the specification leaf order [35].
+    /// ZStream's native interval DP over the specification leaf order \[35\].
     ZStream,
     /// GREEDY leaf ordering followed by the interval DP (Section 7.1).
     ZStreamOrd,
-    /// Exhaustive bushy dynamic programming [45].
+    /// Exhaustive bushy dynamic programming \[45\].
     DpB,
 }
 

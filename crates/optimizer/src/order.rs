@@ -13,7 +13,7 @@ pub fn trivial_order(n: usize) -> Vec<usize> {
 }
 
 /// EFREQ: ascending arrival frequency (the strategy of PB-CED and the lazy
-/// NFA of [29]). Selectivities are ignored — the weakness the JQPG methods
+/// NFA of \[29\]). Selectivities are ignored — the weakness the JQPG methods
 /// exploit.
 pub fn efreq_order(stats: &PatternStats) -> Vec<usize> {
     let mut order: Vec<usize> = (0..stats.n()).collect();
@@ -26,7 +26,7 @@ pub fn efreq_order(stats: &PatternStats) -> Vec<usize> {
     order
 }
 
-/// GREEDY [47]: stepwise construction, each step appending the element that
+/// GREEDY \[47\]: stepwise construction, each step appending the element that
 /// minimizes the cost increase of the extended prefix (intermediate-result
 /// size plus, when configured, the latency term).
 pub fn greedy_order(stats: &PatternStats, cm: &CostModel) -> Vec<usize> {
@@ -50,7 +50,7 @@ pub fn greedy_order(stats: &PatternStats, cm: &CostModel) -> Vec<usize> {
     order
 }
 
-/// One iterative-improvement descent [47]: applies the best improving
+/// One iterative-improvement descent \[47\]: applies the best improving
 /// `swap` or `cycle` move until a local minimum is reached.
 pub fn ii_descent(stats: &PatternStats, cm: &CostModel, start: Vec<usize>) -> (Vec<usize>, f64) {
     let n = start.len();
@@ -97,7 +97,7 @@ pub fn ii_descent(stats: &PatternStats, cm: &CostModel, start: Vec<usize>) -> (V
     }
 }
 
-/// II-RANDOM [47]: iterative improvement from random starting points.
+/// II-RANDOM \[47\]: iterative improvement from random starting points.
 pub fn ii_random_order(
     stats: &PatternStats,
     cm: &CostModel,
@@ -118,7 +118,7 @@ pub fn ii_random_order(
     best.expect("at least one restart").1
 }
 
-/// II-GREEDY [47]: iterative improvement seeded with the greedy order.
+/// II-GREEDY \[47\]: iterative improvement seeded with the greedy order.
 pub fn ii_greedy_order(stats: &PatternStats, cm: &CostModel) -> Vec<usize> {
     let start = greedy_order(stats, cm);
     ii_descent(stats, cm, start).0

@@ -105,7 +105,14 @@ impl Planner {
                 kbz_order(stats, &cm).unwrap_or_else(|| greedy_order(stats, &cm))
             }
         };
-        OrderPlan::new(order)
+        let plan = OrderPlan::new(order)?;
+        // Debug builds lint every plan they emit: a planner bug that
+        // drops predicates or breaks negation anchoring fails fast here
+        // instead of silently changing match semantics downstream.
+        if cfg!(debug_assertions) {
+            cep_analyze::verify_order_plan(cp, &plan)?;
+        }
+        Ok(plan)
     }
 
     /// Generates a tree-based plan.
@@ -128,7 +135,11 @@ impl Planner {
             TreeAlgorithm::ZStreamOrd => zstream_ordered(stats, &cm)?,
             TreeAlgorithm::DpB => dp_bushy_tree(stats, &cm)?,
         };
-        TreePlan::new(root)
+        let plan = TreePlan::new(root)?;
+        if cfg!(debug_assertions) {
+            cep_analyze::verify_tree_plan(cp, &plan)?;
+        }
+        Ok(plan)
     }
 }
 

@@ -1,4 +1,4 @@
-//! ZSTREAM plan generation [35] and its greedy-ordered variant.
+//! ZSTREAM plan generation \[35\] and its greedy-ordered variant.
 //!
 //! ZStream's native algorithm chooses the optimal tree *topology* over a
 //! fixed left-to-right sequence of leaves — an interval dynamic program,

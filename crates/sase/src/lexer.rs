@@ -1,8 +1,10 @@
 //! Tokenizer for the SASE-style pattern specification language.
 
 use cep_core::error::CepError;
+use cep_core::span::Span;
 
-/// A lexical token with its byte offset.
+/// A lexical token; the lexer pairs each token with the [`Span`] of its
+/// first byte.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
     /// Identifier or keyword (case preserved; keyword matching is
@@ -30,7 +32,7 @@ pub struct Lexer<'a> {
     input: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    peeked: Option<(Token, usize)>,
+    peeked: Option<(Token, Span)>,
 }
 
 impl<'a> Lexer<'a> {
@@ -46,13 +48,30 @@ impl<'a> Lexer<'a> {
 
     /// Current byte offset (for error reporting).
     pub fn offset(&self) -> usize {
-        self.peeked.as_ref().map(|(_, o)| *o).unwrap_or(self.pos)
+        self.peeked
+            .as_ref()
+            .map(|(_, s)| s.offset)
+            .unwrap_or(self.pos)
+    }
+
+    /// Span of the next token to be produced (line/column resolved
+    /// against the full input).
+    pub fn span(&self) -> Span {
+        self.span_at(self.offset())
+    }
+
+    /// Resolves a byte offset to a [`Span`] within this lexer's input.
+    pub fn span_at(&self, offset: usize) -> Span {
+        Span::locate(self.input, offset)
     }
 
     fn error(&self, message: impl Into<String>, offset: usize) -> CepError {
+        let span = self.span_at(offset);
         CepError::Parse {
             message: message.into(),
             offset,
+            line: span.line,
+            column: span.column,
         }
     }
 
@@ -72,12 +91,12 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex(&mut self) -> Result<(Token, usize), CepError> {
+    fn lex(&mut self) -> Result<(Token, Span), CepError> {
         use cep_core::predicate::CmpOp;
         self.skip_ws();
         let start = self.pos;
         if self.pos >= self.bytes.len() {
-            return Ok((Token::Eof, start));
+            return Ok((Token::Eof, self.span_at(start)));
         }
         let b = self.bytes[self.pos];
         let tok = match b {
@@ -167,7 +186,7 @@ impl<'a> Lexer<'a> {
                 return Err(self.error(format!("unexpected character {:?}", other as char), start))
             }
         };
-        Ok((tok, start))
+        Ok((tok, self.span_at(start)))
     }
 
     /// Returns the next token without consuming it.
@@ -178,8 +197,8 @@ impl<'a> Lexer<'a> {
         Ok(&self.peeked.as_ref().expect("just set").0)
     }
 
-    /// Consumes and returns the next token and its offset.
-    pub fn next(&mut self) -> Result<(Token, usize), CepError> {
+    /// Consumes and returns the next token and the span of its first byte.
+    pub fn next(&mut self) -> Result<(Token, Span), CepError> {
         match self.peeked.take() {
             Some(t) => Ok(t),
             None => self.lex(),
@@ -188,20 +207,20 @@ impl<'a> Lexer<'a> {
 
     /// Consumes the next token, requiring it to equal `expected`.
     pub fn expect(&mut self, expected: &Token, what: &str) -> Result<(), CepError> {
-        let (tok, off) = self.next()?;
+        let (tok, span) = self.next()?;
         if &tok == expected {
             Ok(())
         } else {
-            Err(self.error(format!("expected {what}, found {tok:?}"), off))
+            Err(self.error(format!("expected {what}, found {tok:?}"), span.offset))
         }
     }
 
     /// Consumes an identifier token.
-    pub fn expect_ident(&mut self, what: &str) -> Result<(String, usize), CepError> {
-        let (tok, off) = self.next()?;
+    pub fn expect_ident(&mut self, what: &str) -> Result<(String, Span), CepError> {
+        let (tok, span) = self.next()?;
         match tok {
-            Token::Ident(s) => Ok((s, off)),
-            other => Err(self.error(format!("expected {what}, found {other:?}"), off)),
+            Token::Ident(s) => Ok((s, span)),
+            other => Err(self.error(format!("expected {what}, found {other:?}"), span.offset)),
         }
     }
 
@@ -300,9 +319,33 @@ mod tests {
         lx.next().unwrap();
         let err = lx.next().unwrap_err();
         match err {
-            CepError::Parse { offset, .. } => assert_eq!(offset, 4),
+            CepError::Parse {
+                offset,
+                line,
+                column,
+                ..
+            } => {
+                assert_eq!(offset, 4);
+                assert_eq!((line, column), (1, 5));
+            }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn tokens_carry_line_and_column_spans() {
+        let mut lx = Lexer::new(
+            "SEQ(A a,
+  B b)",
+        );
+        let (_, s0) = lx.next().unwrap(); // SEQ
+        assert_eq!((s0.line, s0.column), (1, 1));
+        for _ in 0..4 {
+            lx.next().unwrap(); // ( A a ,
+        }
+        let (tok, sb) = lx.next().unwrap(); // B on line 2
+        assert_eq!(tok, Token::Ident("B".into()));
+        assert_eq!((sb.line, sb.column), (2, 3));
     }
 
     #[test]

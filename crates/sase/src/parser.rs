@@ -6,6 +6,7 @@ use cep_core::pattern::{Pattern, PatternExpr};
 use cep_core::predicate::{Operand, Predicate};
 use cep_core::schema::Catalog;
 use cep_core::selection::SelectionStrategy;
+use cep_core::span::Span;
 use cep_core::value::Value;
 use std::collections::HashMap;
 
@@ -49,16 +50,18 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn err(&self, message: impl Into<String>, offset: usize) -> CepError {
+    fn err(&self, message: impl Into<String>, span: Span) -> CepError {
         CepError::Parse {
             message: message.into(),
-            offset,
+            offset: span.offset,
+            line: span.line,
+            column: span.column,
         }
     }
 
     fn parse(mut self) -> Result<Pattern, CepError> {
         if !self.lx.eat_keyword("PATTERN")? {
-            return Err(self.err("specification must start with PATTERN", self.lx.offset()));
+            return Err(self.err("specification must start with PATTERN", self.lx.span()));
         }
         let expr = self.parse_expr()?;
         let mut predicates = Vec::new();
@@ -66,7 +69,7 @@ impl<'a> Parser<'a> {
             self.parse_where(&mut predicates)?;
         }
         if !self.lx.eat_keyword("WITHIN")? {
-            return Err(self.err("expected WITHIN clause", self.lx.offset()));
+            return Err(self.err("expected WITHIN clause", self.lx.span()));
         }
         let window = self.parse_duration()?;
         let strategy = if self.lx.eat_keyword("STRATEGY")? {
@@ -74,9 +77,9 @@ impl<'a> Parser<'a> {
         } else {
             SelectionStrategy::default()
         };
-        let (tok, off) = self.lx.next()?;
+        let (tok, span) = self.lx.next()?;
         if tok != Token::Eof {
-            return Err(self.err(format!("trailing input: {tok:?}"), off));
+            return Err(self.err(format!("trailing input: {tok:?}"), span));
         }
         let pattern = Pattern {
             expr,
@@ -89,7 +92,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_expr(&mut self) -> Result<PatternExpr, CepError> {
-        let off = self.lx.offset();
+        let span = self.lx.span();
         let (name, _) = self.lx.expect_ident("an operator or event type")?;
         let upper = name.to_ascii_uppercase();
         match upper.as_str() {
@@ -101,8 +104,10 @@ impl<'a> Parser<'a> {
                     match self.lx.next()? {
                         (Token::Comma, _) => continue,
                         (Token::RParen, _) => break,
-                        (tok, off) => {
-                            return Err(self.err(format!("expected ',' or ')', found {tok:?}"), off))
+                        (tok, span) => {
+                            return Err(
+                                self.err(format!("expected ',' or ')', found {tok:?}"), span)
+                            )
                         }
                     }
                 }
@@ -114,9 +119,9 @@ impl<'a> Parser<'a> {
             }
             "NOT" | "KL" => Err(self.err(
                 format!("{upper} may only appear inside an n-ary operator"),
-                off,
+                span,
             )),
-            _ => self.parse_primitive(name, off),
+            _ => self.parse_primitive(name, span),
         }
     }
 
@@ -125,30 +130,30 @@ impl<'a> Parser<'a> {
         // plain `Type var` declaration.
         if self.lx.eat_keyword("NOT")? {
             self.lx.expect(&Token::LParen, "'(' after NOT")?;
-            let off = self.lx.offset();
+            let span = self.lx.span();
             let (ty, _) = self.lx.expect_ident("event type inside NOT")?;
-            let inner = self.parse_primitive(ty, off)?;
+            let inner = self.parse_primitive(ty, span)?;
             self.lx.expect(&Token::RParen, "')' closing NOT")?;
             return Ok(PatternExpr::Not(Box::new(inner)));
         }
         if self.lx.eat_keyword("KL")? {
             self.lx.expect(&Token::LParen, "'(' after KL")?;
-            let off = self.lx.offset();
+            let span = self.lx.span();
             let (ty, _) = self.lx.expect_ident("event type inside KL")?;
-            let inner = self.parse_primitive(ty, off)?;
+            let inner = self.parse_primitive(ty, span)?;
             self.lx.expect(&Token::RParen, "')' closing KL")?;
             return Ok(PatternExpr::Kleene(Box::new(inner)));
         }
         self.parse_expr()
     }
 
-    fn parse_primitive(&mut self, type_name: String, off: usize) -> Result<PatternExpr, CepError> {
+    fn parse_primitive(&mut self, type_name: String, span: Span) -> Result<PatternExpr, CepError> {
         let Some(type_id) = self.catalog.type_id(&type_name) else {
-            return Err(self.err(format!("unknown event type {type_name:?}"), off));
+            return Err(self.err(format!("unknown event type {type_name:?}"), span));
         };
-        let (var, voff) = self.lx.expect_ident("a variable name")?;
+        let (var, vspan) = self.lx.expect_ident("a variable name")?;
         if self.vars.contains_key(&var) {
-            return Err(self.err(format!("variable {var:?} declared twice"), voff));
+            return Err(self.err(format!("variable {var:?} declared twice"), vspan));
         }
         let position = self.next_position;
         self.next_position += 1;
@@ -181,11 +186,11 @@ impl<'a> Parser<'a> {
 
     fn parse_condition(&mut self) -> Result<Predicate, CepError> {
         let left = self.parse_operand()?;
-        let (tok, off) = self.lx.next()?;
+        let (tok, span) = self.lx.next()?;
         let Token::Cmp(op) = tok else {
             return Err(self.err(
                 format!("expected a comparison operator, found {tok:?}"),
-                off,
+                span,
             ));
         };
         let right = self.parse_operand()?;
@@ -193,7 +198,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_operand(&mut self) -> Result<Operand, CepError> {
-        let (tok, off) = self.lx.next()?;
+        let (tok, span) = self.lx.next()?;
         match tok {
             Token::Number(v) => {
                 // Integral literals stay Int so `==` against Int attrs works.
@@ -211,12 +216,12 @@ impl<'a> Parser<'a> {
                     return Ok(Operand::Const(Value::Bool(false)));
                 }
                 let Some(decl) = self.vars.get(&name) else {
-                    return Err(self.err(format!("unknown variable {name:?}"), off));
+                    return Err(self.err(format!("unknown variable {name:?}"), span));
                 };
                 let position = decl.position;
                 let type_id = decl.type_id;
                 self.lx.expect(&Token::Dot, "'.' after variable")?;
-                let (attr_name, aoff) = self.lx.expect_ident("an attribute name")?;
+                let (attr_name, aspan) = self.lx.expect_ident("an attribute name")?;
                 if attr_name == "ts" {
                     return Ok(Operand::Ts { position });
                 }
@@ -227,22 +232,22 @@ impl<'a> Parser<'a> {
                 let Some(attr) = schema.attr_index(&attr_name) else {
                     return Err(self.err(
                         format!("type {:?} has no attribute {attr_name:?}", schema.name),
-                        aoff,
+                        aspan,
                     ));
                 };
                 Ok(Operand::Attr { position, attr })
             }
-            other => Err(self.err(format!("expected an operand, found {other:?}"), off)),
+            other => Err(self.err(format!("expected an operand, found {other:?}"), span)),
         }
     }
 
     fn parse_duration(&mut self) -> Result<u64, CepError> {
-        let (tok, off) = self.lx.next()?;
+        let (tok, span) = self.lx.next()?;
         let Token::Number(v) = tok else {
-            return Err(self.err(format!("expected a duration, found {tok:?}"), off));
+            return Err(self.err(format!("expected a duration, found {tok:?}"), span));
         };
         if v < 0.0 {
-            return Err(self.err("duration must be non-negative", off));
+            return Err(self.err("duration must be non-negative", span));
         }
         let multiplier = if let Token::Ident(unit) = self.lx.peek()? {
             let m = match unit.to_ascii_lowercase().as_str() {
@@ -263,13 +268,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_strategy(&mut self) -> Result<SelectionStrategy, CepError> {
-        let (name, off) = self.lx.expect_ident("a selection strategy")?;
+        let (name, span) = self.lx.expect_ident("a selection strategy")?;
         match name.to_ascii_lowercase().as_str() {
             "skip-till-any-match" | "any" => Ok(SelectionStrategy::SkipTillAnyMatch),
             "skip-till-next-match" | "next" => Ok(SelectionStrategy::SkipTillNextMatch),
             "strict-contiguity" | "strict" => Ok(SelectionStrategy::StrictContiguity),
             "partition-contiguity" | "partition" => Ok(SelectionStrategy::PartitionContiguity),
-            other => Err(self.err(format!("unknown strategy {other:?}"), off)),
+            other => Err(self.err(format!("unknown strategy {other:?}"), span)),
         }
     }
 }
@@ -378,12 +383,36 @@ mod tests {
         let cat = catalog();
         let err = parse_pattern("PATTERN SEQ(XXXX x, GOOG g) WITHIN 10", &cat).unwrap_err();
         match err {
-            CepError::Parse { message, offset } => {
+            CepError::Parse {
+                message,
+                offset,
+                line,
+                column,
+            } => {
                 assert!(message.contains("XXXX"));
                 assert_eq!(offset, 12);
+                assert_eq!((line, column), (1, 13));
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn errors_on_later_lines_report_line_and_column() {
+        let cat = catalog();
+        let err = parse_pattern(
+            "PATTERN SEQ(MSFT m, GOOG g)\nWHERE m.volume < 1\nWITHIN 10",
+            &cat,
+        )
+        .unwrap_err();
+        match err {
+            CepError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 9);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(err.to_string().contains("line 2"));
     }
 
     #[test]

@@ -264,6 +264,16 @@ impl ShardedRuntime {
         collect_matches: bool,
     ) -> Result<ShardedRunResult, CepError> {
         ShardRouter::for_query(self.config.shards, policy.clone(), branches)?;
+        // Debug builds additionally lint the branches and (for
+        // replicate-join) the partition spec against them (A010).
+        if cfg!(debug_assertions) {
+            for cp in branches {
+                cep_analyze::verify_pattern_invariants(cp)?;
+            }
+            if let RoutingPolicy::ReplicateJoin(spec) = &policy {
+                cep_analyze::verify_partition_spec(spec, branches)?;
+            }
+        }
         Ok(self.run(factory, stream, policy, collect_matches))
     }
 }

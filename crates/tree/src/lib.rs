@@ -1,6 +1,6 @@
 //! # cep-tree
 //!
-//! Tree-based CEP evaluation after ZStream (Mei & Madden [35]), modified —
+//! Tree-based CEP evaluation after ZStream (Mei & Madden \[35\]), modified —
 //! as in Section 2.3 of *Join Query Optimization Techniques for CEP
 //! Applications* (VLDB 2018) — from a batch-iterator design to an
 //! instance-based design supporting arbitrary time windows.

@@ -23,6 +23,11 @@
 //! * [`streamgen`] (`cep-streamgen`) — synthetic stock streams (plain,
 //!   partition-replicated, drifting-rate, and drifting-selectivity) and
 //!   the paper's five-category workloads.
+//! * [`analyze`] (`cep-analyze`) — static query and plan analysis:
+//!   satisfiability linting (`A001`), schema checks, redundant-predicate
+//!   and dead-negation detection, Kleene state-blowup warnings, and the
+//!   plan-invariant verifier (`A010`) the planner, adaptive swap path,
+//!   and sharded runtime run in debug builds. Ships the `cep-lint` tool.
 //!
 //! ## Quick start
 //!
@@ -55,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub use cep_adaptive as adaptive;
+pub use cep_analyze as analyze;
 pub use cep_core as core;
 pub use cep_nfa as nfa;
 pub use cep_optimizer as optimizer;
@@ -78,6 +84,9 @@ pub mod prelude {
     pub use cep_adaptive::{
         AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, PlanKind, PlanReplanner, ReplanVerdict,
         Replanner, SwapCost,
+    };
+    pub use cep_analyze::{
+        analyze_pattern, analyze_query_file, Code, Diagnostic, Report, Severity,
     };
     pub use cep_core::prelude::*;
     pub use cep_nfa::NfaEngine;

@@ -126,7 +126,7 @@ impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
     }
 }
 
-/// Strategies for built-in types ([`any`]).
+/// Strategies for built-in types (\[`any`\]).
 pub mod arbitrary {
     use super::{StdRng, Strategy};
     use rand::Rng;
@@ -237,7 +237,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
