@@ -5,6 +5,7 @@ use cep_core::event::{EventRef, Timestamp};
 use cep_core::matches::Match;
 use cep_core::metrics::EngineMetrics;
 use cep_core::stats::MeasuredStats;
+use cep_obs::{TraceRecord, Tracer};
 use cep_optimizer::StatsMonitor;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -100,6 +101,18 @@ impl SwapCost {
     }
 }
 
+/// Per-window cost breakdown of the last replan attempt: the incumbent
+/// plan versus the best candidate, both costed under the same fresh
+/// statistics. Surfaced through [`Replanner::last_costs`] so a traced run
+/// can show the arithmetic behind every [`ReplanVerdict`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanCosts {
+    /// Predicted per-window cost of the incumbent plan.
+    pub current: f64,
+    /// Predicted per-window cost of the best candidate plan.
+    pub candidate: f64,
+}
+
 /// Outcome of a gated replan attempt (see [`Replanner::replan_amortized`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplanVerdict {
@@ -168,6 +181,15 @@ pub trait Replanner: Send {
         0
     }
 
+    /// Cost breakdown of the most recent `replan`/`replan_amortized`
+    /// call, for tracing: incumbent vs best candidate, per window, under
+    /// the statistics of that call. `None` when the last attempt bailed
+    /// out before costing anything (e.g. a planning error) or when the
+    /// implementation does not track costs. Default: `None`.
+    fn last_costs(&self) -> Option<ReplanCosts> {
+        None
+    }
+
     /// Observes an emitted match (e.g. to feed an output profiler).
     fn observe_match(&mut self, _m: &Match) {}
 
@@ -217,6 +239,9 @@ pub struct AdaptiveEngine<R: Replanner> {
     metrics: EngineMetrics,
     watermark: Timestamp,
     events_since_swap: u64,
+    /// Trace destination for replan decisions and replay windows; the
+    /// disabled default costs one branch per decision point.
+    tracer: Tracer,
 }
 
 impl<R: Replanner> AdaptiveEngine<R> {
@@ -242,7 +267,17 @@ impl<R: Replanner> AdaptiveEngine<R> {
             metrics: EngineMetrics::new(),
             watermark: 0,
             events_since_swap,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Routes this engine's [`TraceRecord::PlanSwapDecision`] and
+    /// [`TraceRecord::ReplayWindow`] records to `tracer`. Tracing is
+    /// observational: the match output of a traced run is byte-identical
+    /// to an untraced one.
+    pub fn with_tracer(mut self, tracer: Tracer) -> AdaptiveEngine<R> {
+        self.tracer = tracer;
+        self
     }
 
     /// The replanner (e.g. to inspect the current plan).
@@ -311,7 +346,9 @@ impl<R: Replanner> AdaptiveEngine<R> {
         agg.events_processed = self.metrics.events_processed;
         agg.matches_emitted = self.metrics.matches_emitted;
         agg.wall_time_ns = self.metrics.wall_time_ns;
-        agg.match_latency_ns_total = self.metrics.match_latency_ns_total;
+        agg.event_ns = self.metrics.event_ns.clone();
+        agg.match_latency_ns = self.metrics.match_latency_ns.clone();
+        agg.replay_ns = self.metrics.replay_ns.clone();
         agg.plan_swaps = self.metrics.plan_swaps;
         agg.replayed_events = self.metrics.replayed_events;
         agg.replay_time_ns = self.metrics.replay_time_ns;
@@ -355,7 +392,9 @@ impl<R: Replanner> AdaptiveEngine<R> {
         for event in &self.retained {
             self.inner.process(event, &mut staged);
         }
-        self.metrics.replay_time_ns += replay_start.elapsed().as_nanos() as u64;
+        let replay_ns = replay_start.elapsed().as_nanos() as u64;
+        self.metrics.replay_time_ns += replay_ns;
+        self.metrics.replay_ns.record(replay_ns);
         self.metrics.replayed_events += self.retained.len() as u64;
         self.metrics.plan_swaps += 1;
         self.events_since_swap = 0;
@@ -363,6 +402,7 @@ impl<R: Replanner> AdaptiveEngine<R> {
         // pre-swap. For the exact strategies that is every replayed
         // completion; emitting survivors keeps the wrapper conservative
         // rather than silently dropping them.
+        let staged_count = staged.len();
         let survivors: Vec<Match> = {
             let seen: std::collections::HashSet<&Sig> =
                 self.recent.iter().map(|(_, sig)| sig).collect();
@@ -371,6 +411,12 @@ impl<R: Replanner> AdaptiveEngine<R> {
                 .filter(|m| !seen.contains(&m.signature()))
                 .collect()
         };
+        self.tracer.emit_with(|| TraceRecord::ReplayWindow {
+            at_event: self.metrics.events_processed,
+            replayed_events: self.retained.len() as u64,
+            replay_ns,
+            suppressed_matches: (staged_count - survivors.len()) as u64,
+        });
         self.emit(survivors, out);
         self.refresh_metrics();
     }
@@ -417,7 +463,30 @@ impl<R: Replanner> AdaptiveEngine<R> {
             replay_fraction,
             amortize_windows: self.cfg.amortize_windows,
         };
-        match self.replanner.replan_amortized(&rates, &swap_cost) {
+        let verdict = self.replanner.replan_amortized(&rates, &swap_cost);
+        self.tracer.emit_with(|| {
+            // A replanner that bailed before costing (or one that does not
+            // track costs) reports the sentinel −1 on both sides.
+            let (current_cost, candidate_cost) = self
+                .replanner
+                .last_costs()
+                .map_or((-1.0, -1.0), |c| (c.current, c.candidate));
+            TraceRecord::PlanSwapDecision {
+                at_event: self.metrics.events_processed,
+                verdict: match verdict {
+                    ReplanVerdict::Swap => "swap",
+                    ReplanVerdict::Keep => "keep",
+                    ReplanVerdict::Suppressed => "suppressed",
+                }
+                .into(),
+                current_cost,
+                candidate_cost,
+                replay_fraction,
+                amortize_windows: self.cfg.amortize_windows,
+                retained_events: self.retained.len() as u64,
+            }
+        });
+        match verdict {
             ReplanVerdict::Swap => {
                 self.monitor.rebaseline();
                 self.swap(out);
@@ -496,6 +565,7 @@ pub struct AdaptiveFactory<R: Replanner + Clone + Sync> {
     replanner: R,
     window: u64,
     config: AdaptiveConfig,
+    tracer: Tracer,
 }
 
 impl<R: Replanner + Clone + Sync> AdaptiveFactory<R> {
@@ -506,16 +576,24 @@ impl<R: Replanner + Clone + Sync> AdaptiveFactory<R> {
             replanner,
             window,
             config,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Every engine built by this factory traces its replan decisions to
+    /// (a clone of) `tracer` — so all shards of a sharded adaptive run
+    /// fan into the same sinks.
+    pub fn with_tracer(mut self, tracer: Tracer) -> AdaptiveFactory<R> {
+        self.tracer = tracer;
+        self
     }
 }
 
 impl<R: Replanner + Clone + Sync + 'static> EngineFactory for AdaptiveFactory<R> {
     fn build(&self) -> Box<dyn Engine> {
-        Box::new(AdaptiveEngine::new(
-            self.replanner.clone(),
-            self.window,
-            self.config.clone(),
-        ))
+        Box::new(
+            AdaptiveEngine::new(self.replanner.clone(), self.window, self.config.clone())
+                .with_tracer(self.tracer.clone()),
+        )
     }
 }

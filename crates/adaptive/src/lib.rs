@@ -60,8 +60,8 @@ pub mod engine;
 pub mod replanner;
 
 pub use engine::{
-    AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, ReplanVerdict, Replanner, SwapCost,
-    DEFAULT_AMORTIZE_WINDOWS,
+    AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, ReplanCosts, ReplanVerdict, Replanner,
+    SwapCost, DEFAULT_AMORTIZE_WINDOWS,
 };
 pub use replanner::{PlanKind, PlanReplanner};
 

@@ -2,7 +2,7 @@
 //! loop with any order- or tree-based plan-generation algorithm, optionally
 //! anchoring the latency objective with the Section 6.1 output profiler.
 
-use crate::engine::{ReplanVerdict, Replanner, SwapCost};
+use crate::engine::{ReplanCosts, ReplanVerdict, Replanner, SwapCost};
 use cep_core::compile::CompiledPattern;
 use cep_core::engine::{Engine, EngineConfig, MultiEngine};
 use cep_core::error::CepError;
@@ -84,6 +84,10 @@ pub struct PlanReplanner {
     branches: Vec<Branch>,
     profiler: OutputProfiler,
     min_improvement: f64,
+    /// Cost pair of the widest-improvement branch in the last replan
+    /// attempt (see [`Replanner::last_costs`]); `None` until the first
+    /// attempt or after one that errored before costing.
+    last_costs: Option<ReplanCosts>,
 }
 
 impl PlanReplanner {
@@ -110,6 +114,7 @@ impl PlanReplanner {
             branches: Vec::with_capacity(branches.len()),
             profiler: OutputProfiler::new(n0, PROFILER_MIN_SAMPLES),
             min_improvement: DEFAULT_MIN_IMPROVEMENT,
+            last_costs: None,
         };
         for (cp, sels) in branches {
             let (plan, stats) = replanner.plan_branch(&cp, &sels, initial)?;
@@ -283,6 +288,7 @@ impl Replanner for PlanReplanner {
         // adopts a candidate that (a) predicts a cost improvement beyond
         // the hysteresis margin under the same fresh statistics and
         // (b) whose improvement amortizes the replay bill in `swap`.
+        self.last_costs = None;
         let planner = self.anchored_planner();
         struct Candidacy {
             /// A candidate beating the incumbent by the hysteresis margin.
@@ -315,6 +321,18 @@ impl Replanner for PlanReplanner {
                     let cm = planner.cost_model(&b.cp);
                     let current_cost = Self::plan_cost(&cm, &b.plan, &b.stats);
                     let candidate_cost = Self::plan_cost(&cm, &candidate, &b.stats);
+                    // Surface the widest-improvement branch's arithmetic
+                    // (ties and non-improvements included, so even a Keep
+                    // verdict shows the costs it was judged on).
+                    if self
+                        .last_costs
+                        .is_none_or(|c| current_cost - candidate_cost > c.current - c.candidate)
+                    {
+                        self.last_costs = Some(ReplanCosts {
+                            current: current_cost,
+                            candidate: candidate_cost,
+                        });
+                    }
                     let improves = candidate_cost.is_finite()
                         && candidate_cost < current_cost * (1.0 - self.min_improvement);
                     let differs = improves
@@ -366,6 +384,10 @@ impl Replanner for PlanReplanner {
         } else {
             ReplanVerdict::Keep
         }
+    }
+
+    fn last_costs(&self) -> Option<ReplanCosts> {
+        self.last_costs
     }
 
     fn observe_event(&mut self, e: &EventRef) {

@@ -690,3 +690,161 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: tracing must observe without perturbing.
+
+proptest! {
+    /// A traced adaptive run — ring sink attached, decisions and matches
+    /// recorded — emits byte-identical matches to the untraced run, for
+    /// all three exact strategies and both engine families.
+    #[test]
+    fn traced_adaptive_run_is_byte_identical_to_untraced(
+        raw in prop::collection::vec((0u32..3, 0u64..3), 1..80),
+        strategy_idx in 0usize..3,
+        tree in any::<bool>(),
+    ) {
+        let strategy = [
+            SelectionStrategy::SkipTillAnyMatch,
+            SelectionStrategy::StrictContiguity,
+            SelectionStrategy::PartitionContiguity,
+        ][strategy_idx];
+        let mut ts = 0u64;
+        let mut b = StreamBuilder::new();
+        for (tid, dt) in raw {
+            ts += dt;
+            b.push(Event::new(t(tid), ts, vec![]));
+        }
+        let stream = b.build();
+        let cp = CompiledPattern::compile_single(&seq_pattern(3, 10, strategy)).unwrap();
+        let replanner = FlipFlop::new(cp, tree);
+        let mut plain = AdaptiveEngine::new(replanner.clone(), 10, eager(30));
+        let expected = run_engine(&mut plain, &stream);
+        let ring = std::sync::Arc::new(cep_obs::RingSink::new(1 << 16));
+        let tracer = cep_obs::Tracer::to_sink(ring.clone());
+        let mut traced =
+            AdaptiveEngine::new(replanner, 10, eager(30)).with_tracer(tracer.clone());
+        let got = canonical(
+            cep_core::engine::run_traced(&mut traced, &stream, true, &tracer).matches,
+        );
+        prop_assert_eq!(&got, &expected);
+        // Every emitted match produced one MatchEmitted record.
+        let records = ring.snapshot();
+        let emitted = records
+            .iter()
+            .filter(|r| matches!(r, cep_obs::TraceRecord::MatchEmitted { .. }))
+            .count();
+        prop_assert_eq!(emitted, got.len());
+        // And every record survives a JSONL round trip byte-for-byte.
+        for r in &records {
+            let line = r.to_json();
+            prop_assert_eq!(&cep_obs::TraceRecord::from_json(&line).unwrap(), r);
+            prop_assert_eq!(
+                cep_obs::TraceRecord::from_json(&line).unwrap().to_json(),
+                line
+            );
+        }
+    }
+}
+
+#[test]
+fn replan_decisions_are_traced_with_cost_arithmetic() {
+    let stream = two_phase_stream(4_000);
+    let cp =
+        CompiledPattern::compile_single(&seq_pattern(3, 50, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let replanner = PlanReplanner::new(
+        vec![(cp, vec![])],
+        &phase1_stats(),
+        Planner::default(),
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let ring = std::sync::Arc::new(cep_obs::RingSink::new(1 << 14));
+    let tracer = cep_obs::Tracer::to_sink(ring.clone());
+    let mut adaptive = AdaptiveEngine::new(
+        replanner,
+        50,
+        AdaptiveConfig {
+            horizon_ms: 500,
+            drift_threshold: 0.5,
+            check_every: 64,
+            cooldown_events: 0,
+            ..AdaptiveConfig::default()
+        },
+    )
+    .with_tracer(tracer.clone());
+    let result = cep_core::engine::run_traced(&mut adaptive, &stream, false, &tracer);
+    assert!(result.metrics.plan_swaps >= 1, "drift must trigger a swap");
+    let records = ring.snapshot();
+    let mut swap_decisions = 0u64;
+    let mut replays = 0u64;
+    for r in &records {
+        match r {
+            cep_obs::TraceRecord::PlanSwapDecision {
+                verdict,
+                current_cost,
+                candidate_cost,
+                amortize_windows,
+                ..
+            } => {
+                assert!(["swap", "keep", "suppressed"].contains(&verdict.as_str()));
+                if verdict == "swap" {
+                    swap_decisions += 1;
+                    // The real replanner always reports the arithmetic it
+                    // decided on: a swap needs a strictly better candidate.
+                    assert!(*current_cost > *candidate_cost, "{r:?}");
+                    assert!(*candidate_cost >= 0.0, "{r:?}");
+                }
+                assert_eq!(*amortize_windows, crate::DEFAULT_AMORTIZE_WINDOWS);
+            }
+            cep_obs::TraceRecord::ReplayWindow { replay_ns, .. } => {
+                replays += 1;
+                assert!(*replay_ns > 0);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(swap_decisions, result.metrics.plan_swaps);
+    assert_eq!(replays, result.metrics.plan_swaps, "one replay per swap");
+    // The replay histogram saw exactly one sample per swap, summing to the
+    // replay-time counter.
+    assert_eq!(result.metrics.replay_ns.count(), result.metrics.plan_swaps);
+    assert_eq!(
+        result.metrics.replay_ns.sum(),
+        result.metrics.replay_time_ns
+    );
+}
+
+#[test]
+fn default_replanner_reports_no_costs_and_flipflop_uses_sentinel() {
+    let cp =
+        CompiledPattern::compile_single(&seq_pattern(2, 10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let flip = FlipFlop::new(cp, false);
+    assert_eq!(flip.last_costs(), None, "default impl tracks nothing");
+    // A traced engine over such a replanner emits the −1 sentinel.
+    let ring = std::sync::Arc::new(cep_obs::RingSink::new(64));
+    let tracer = cep_obs::Tracer::to_sink(ring.clone());
+    let mut adaptive = AdaptiveEngine::new(flip, 10, eager(50)).with_tracer(tracer);
+    let stream = lcg_stream(300, 2, 0xBEEF);
+    let mut out = Vec::new();
+    for e in &stream {
+        adaptive.process(e, &mut out);
+    }
+    let decision = ring
+        .snapshot()
+        .into_iter()
+        .find(|r| matches!(r, cep_obs::TraceRecord::PlanSwapDecision { .. }))
+        .expect("eager config must produce a decision");
+    if let cep_obs::TraceRecord::PlanSwapDecision {
+        current_cost,
+        candidate_cost,
+        ..
+    } = decision
+    {
+        assert_eq!(current_cost, -1.0);
+        assert_eq!(candidate_cost, -1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion bench: tracing overhead on the hot path.
+//!
+//! Three configurations over the same drifting-rate adaptive workload:
+//!
+//! * `untraced` — `run_to_completion`, the PR 5 baseline path;
+//! * `tracer_disabled` — `run_traced` with a constructed-but-disabled
+//!   tracer, measuring the cost of the enabled checks alone (the
+//!   acceptance bound: within 2% of `untraced`);
+//! * `tracer_ring` — a live tracer into a bounded ring, measuring the
+//!   full cost of record construction and emission.
+
+use cep_adaptive::{AdaptiveConfig, AdaptiveEngine, PlanKind, PlanReplanner};
+use cep_bench::env::drifting_stock_workload;
+use cep_core::engine::{run_to_completion, run_traced, EngineConfig};
+use cep_obs::{RingSink, Tracer};
+use cep_optimizer::{OrderAlgorithm, Planner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn obs_overhead(c: &mut Criterion) {
+    let window_ms = 3_000;
+    let (gen, cp, sels) = drifting_stock_workload(4_000, 12_000, 0xCE9, window_ms);
+    let replanner = PlanReplanner::new(
+        vec![(cp, sels)],
+        &gen.initial_stats(),
+        Planner::default(),
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        EngineConfig::default(),
+    )
+    .expect("selectivities match the pattern's predicates");
+    let cfg = AdaptiveConfig {
+        horizon_ms: window_ms,
+        drift_threshold: 0.5,
+        check_every: 32,
+        cooldown_events: 128,
+        ..AdaptiveConfig::default()
+    };
+    let build = |tracer: &Tracer| {
+        AdaptiveEngine::new(replanner.clone(), window_ms, cfg.clone()).with_tracer(tracer.clone())
+    };
+
+    let expected = {
+        let mut engine = build(&Tracer::disabled());
+        run_to_completion(&mut engine, &gen.stream, false).match_count
+    };
+    let mut group = c.benchmark_group("obs_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("untraced", |b| {
+        b.iter(|| {
+            let mut engine = build(&Tracer::disabled());
+            let r = run_to_completion(&mut engine, &gen.stream, false);
+            assert_eq!(r.match_count, expected);
+            black_box(r.match_count)
+        })
+    });
+    group.bench_function("tracer_disabled", |b| {
+        let tracer = Tracer::to_sink(Arc::new(RingSink::new(1 << 16)));
+        tracer.set_enabled(false);
+        b.iter(|| {
+            let mut engine = build(&tracer);
+            let r = run_traced(&mut engine, &gen.stream, false, &tracer);
+            assert_eq!(r.match_count, expected);
+            black_box(r.match_count)
+        })
+    });
+    group.bench_function("tracer_ring", |b| {
+        let ring = Arc::new(RingSink::new(1 << 16));
+        let tracer = Tracer::to_sink(ring.clone());
+        b.iter(|| {
+            let mut engine = build(&tracer);
+            let r = run_traced(&mut engine, &gen.stream, false, &tracer);
+            assert_eq!(r.match_count, expected);
+            black_box(ring.total_emitted())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -18,6 +18,11 @@
 //!   analyze                static-analysis demo: lint demo queries, verify plan invariants
 //!   bench-smoke            CI gate: quick deterministic scenario counts vs a committed
 //!                          baseline [--out PATH] [--baseline PATH] [--write-baseline]
+//!   observe                traced adaptive + sharded runs: decision timeline, latency
+//!                          percentiles, Prometheus/JSON registry snapshot, JSONL trace
+//!                          [--prom PATH] [--json PATH] [--trace PATH]
+//!   check-obs              CI gate over observe's artifacts: validate the exposition
+//!                          format, round-trip the trace [--prom PATH] [--trace PATH]
 //! ```
 
 use cep_bench::env::{ExperimentEnv, Scale};
@@ -28,9 +33,10 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: experiments <pattern-types|by-size|cost-validation|large-patterns|\
          latency-tradeoff|selection-strategies|sharded-scaling|adaptive-drift|\
-         selectivity-drift|cross-partition|all|analyze|bench-smoke> \
+         selectivity-drift|cross-partition|all|analyze|bench-smoke|observe|check-obs> \
          [--set KIND] [--full] [--seed N] [--per-size N] [--duration-ms N] [--shards N] \
-         [--out PATH] [--baseline PATH] [--write-baseline]";
+         [--out PATH] [--baseline PATH] [--write-baseline] \
+         [--prom PATH] [--json PATH] [--trace PATH]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -63,6 +69,9 @@ fn main() -> ExitCode {
     let cmd = args[0].clone();
     if cmd == "bench-smoke" {
         return bench_smoke(&args[1..]);
+    }
+    if cmd == "observe" || cmd == "check-obs" {
+        return observe(&cmd, &args[1..]);
     }
     if cmd == "analyze" {
         let stdout = std::io::stdout();
@@ -160,6 +169,49 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The observability demo and its artifact gate (see
+/// [`cep_bench::observe`]): `observe` runs the traced workloads and dumps
+/// the timeline, percentile table, and registry snapshot; `check-obs`
+/// re-validates artifacts a previous `observe` wrote.
+fn observe(cmd: &str, args: &[String]) -> ExitCode {
+    let mut prom_path = "OBS_PR7.prom".to_string();
+    let mut json_path = "OBS_PR7.json".to_string();
+    let mut trace_path = "OBS_PR7_trace.jsonl".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--prom" => {
+                i += 1;
+                prom_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let result = if cmd == "observe" {
+        cep_bench::observe::run(&prom_path, &json_path, &trace_path, &mut out)
+    } else {
+        cep_bench::observe::check(&prom_path, &trace_path, &mut out)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{cmd} failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -10,6 +10,8 @@
 //! * [`figures`] — one driver per paper figure;
 //! * [`smoke`] — the CI bench-regression gate (`BENCH_PR5.json`);
 //! * [`analyze_demo`] — the `experiments analyze` static-analysis demo;
+//! * [`observe`] — the `experiments observe` traced-run demo and the
+//!   `check-obs` artifact gate;
 //! * `benches/` — Criterion micro/meso benchmarks (engine throughput,
 //!   planning time).
 //!
@@ -20,6 +22,7 @@
 pub mod analyze_demo;
 pub mod env;
 pub mod figures;
+pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod smoke;

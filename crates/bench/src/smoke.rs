@@ -25,8 +25,8 @@ use cep_shard::{RoutingPolicy, ShardedRuntime};
 use std::io::Write;
 use std::time::Instant;
 
-/// One scenario's gate data: deterministic counts plus an informational
-/// wall time.
+/// One scenario's gate data: deterministic counts plus informational
+/// timing (wall time and latency percentiles).
 pub struct ScenarioReport {
     /// Scenario name (stable key in the JSON output).
     pub name: &'static str,
@@ -34,6 +34,11 @@ pub struct ScenarioReport {
     pub wall_ms: f64,
     /// Deterministic `(key, value)` output counts, in emission order.
     pub counts: Vec<(&'static str, u64)>,
+    /// Latency percentiles `(label, [p50, p95, p99])` in ns, from the
+    /// engines' log₂ histograms. Timing-dependent, so reported in the
+    /// logs and the full JSON but **excluded from [`counts_json`]** — the
+    /// committed baseline stays machine-independent.
+    pub percentiles: Vec<(&'static str, [u64; 3])>,
 }
 
 fn engine_config() -> EngineConfig {
@@ -43,13 +48,16 @@ fn engine_config() -> EngineConfig {
     }
 }
 
-fn timed(name: &'static str, f: impl FnOnce() -> Vec<(&'static str, u64)>) -> ScenarioReport {
+type ScenarioData = (Vec<(&'static str, u64)>, Vec<(&'static str, [u64; 3])>);
+
+fn timed(name: &'static str, f: impl FnOnce() -> ScenarioData) -> ScenarioReport {
     let start = Instant::now();
-    let counts = f();
+    let (counts, percentiles) = f();
     ScenarioReport {
         name,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         counts,
+        percentiles,
     }
 }
 
@@ -65,6 +73,10 @@ fn sharded_scaling() -> ScenarioReport {
         let mut engine = factory();
         let serial = run_to_completion(engine.as_mut(), &gen.stream, false).match_count;
         let mut counts = vec![("serial", serial)];
+        let mut percentiles = vec![(
+            "serial_match_latency_ns",
+            engine.metrics().match_latency_ns.percentiles(),
+        )];
         for shards in [2usize, 4] {
             let r = ShardedRuntime::with_shards(shards).run(
                 &factory,
@@ -76,8 +88,16 @@ fn sharded_scaling() -> ScenarioReport {
                 if shards == 2 { "shards2" } else { "shards4" },
                 r.match_count,
             ));
+            percentiles.push((
+                if shards == 2 {
+                    "shards2_match_latency_ns"
+                } else {
+                    "shards4_match_latency_ns"
+                },
+                r.metrics.match_latency_ns.percentiles(),
+            ));
         }
-        counts
+        (counts, percentiles)
     })
 }
 
@@ -110,11 +130,19 @@ fn adaptive_drift() -> ScenarioReport {
             },
         );
         let adaptive_matches = run_to_completion(&mut adaptive, &gen.stream, false).match_count;
-        vec![
-            ("static_matches", static_matches),
-            ("adaptive_matches", adaptive_matches),
-            ("plan_swaps", adaptive.swaps()),
-        ]
+        let m = adaptive.metrics();
+        (
+            vec![
+                ("static_matches", static_matches),
+                ("adaptive_matches", adaptive_matches),
+                ("plan_swaps", adaptive.swaps()),
+            ],
+            vec![
+                ("event_ns", m.event_ns.percentiles()),
+                ("match_latency_ns", m.match_latency_ns.percentiles()),
+                ("replay_ns", m.replay_ns.percentiles()),
+            ],
+        )
     })
 }
 
@@ -149,11 +177,19 @@ fn selectivity_drift() -> ScenarioReport {
             },
         );
         let full_matches = run_to_completion(&mut full, &gen.stream, false).match_count;
-        vec![
-            ("static_matches", static_matches),
-            ("full_adaptive_matches", full_matches),
-            ("plan_swaps", full.swaps()),
-        ]
+        let m = full.metrics();
+        (
+            vec![
+                ("static_matches", static_matches),
+                ("full_adaptive_matches", full_matches),
+                ("plan_swaps", full.swaps()),
+            ],
+            vec![
+                ("event_ns", m.event_ns.percentiles()),
+                ("match_latency_ns", m.match_latency_ns.percentiles()),
+                ("replay_ns", m.replay_ns.percentiles()),
+            ],
+        )
     })
 }
 
@@ -177,6 +213,7 @@ fn cross_partition() -> ScenarioReport {
         let serial = run_to_completion(engine.as_mut(), &gen.stream, false).match_count;
         let policy = RoutingPolicy::ReplicateJoin(Arc::new(spec));
         let mut counts = vec![("serial", serial)];
+        let mut percentiles = Vec::new();
         for shards in [2usize, 4] {
             let r = ShardedRuntime::with_shards(shards).run(
                 &factory,
@@ -188,13 +225,15 @@ fn cross_partition() -> ScenarioReport {
                 counts.push(("shards2", r.match_count));
                 counts.push(("replicated2", r.metrics.replicated_events));
                 counts.push(("dedup2", r.metrics.dedup_hits));
+                percentiles.push(("shards2_event_ns", r.metrics.event_ns.percentiles()));
             } else {
                 counts.push(("shards4", r.match_count));
                 counts.push(("replicated4", r.metrics.replicated_events));
                 counts.push(("dedup4", r.metrics.dedup_hits));
+                percentiles.push(("shards4_event_ns", r.metrics.event_ns.percentiles()));
             }
         }
-        counts
+        (counts, percentiles)
     })
 }
 
@@ -226,7 +265,9 @@ pub fn counts_json(reports: &[ScenarioReport]) -> String {
     s
 }
 
-/// Full report JSON (counts + wall times) written to `BENCH_PR5.json`.
+/// Full report JSON (counts + wall times + latency percentiles) written
+/// to `BENCH_PR5.json`. Percentiles live here and in the logs only — the
+/// diffed baseline format ([`counts_json`]) never includes them.
 pub fn full_json(reports: &[ScenarioReport]) -> String {
     let mut s = String::from("{\n  \"scenarios\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -239,6 +280,15 @@ pub fn full_json(reports: &[ScenarioReport]) -> String {
                 s.push_str(", ");
             }
             s.push_str(&format!("\"{k}\": {v}"));
+        }
+        s.push_str("}, \"percentiles_ns\": {");
+        for (j, (k, [p50, p95, p99])) in r.percentiles.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{k}\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}"
+            ));
         }
         s.push_str(if i + 1 < reports.len() {
             "}},\n"
@@ -266,6 +316,17 @@ pub fn run(
         writeln!(log, "{}: {:.0} ms, counts:", r.name, r.wall_ms).ok();
         for (k, v) in &r.counts {
             writeln!(log, "    {k} = {v}").ok();
+        }
+        if !r.percentiles.is_empty() {
+            writeln!(
+                log,
+                "  latency percentiles (ns): {:<26} {:>10} {:>10} {:>10}",
+                "", "p50", "p95", "p99"
+            )
+            .ok();
+            for (k, [p50, p95, p99]) in &r.percentiles {
+                writeln!(log, "    {k:<26} {p50:>10} {p95:>10} {p99:>10}").ok();
+            }
         }
     }
     std::fs::write(out_path, full_json(&reports))
@@ -304,13 +365,17 @@ mod tests {
                 name: "a",
                 wall_ms: 1.0,
                 counts: vec![("x", 1), ("y", 2)],
+                percentiles: vec![("lat", [10, 20, 30])],
             },
             ScenarioReport {
                 name: "b",
                 wall_ms: 2.0,
                 counts: vec![("z", 3)],
+                percentiles: Vec::new(),
             },
         ];
+        // Percentiles are timing-dependent and MUST stay out of the
+        // canonical counts the committed baseline is diffed against.
         assert_eq!(
             counts_json(&reports),
             "{\n  \"a\": {\"x\": 1, \"y\": 2},\n  \"b\": {\"z\": 3}\n}\n"
@@ -319,6 +384,7 @@ mod tests {
         assert!(full.contains("\"name\": \"a\""));
         assert!(full.contains("\"wall_ms\""));
         assert!(full.contains("\"z\": 3"));
+        assert!(full.contains("\"lat\": {\"p50\": 10, \"p95\": 20, \"p99\": 30}"));
     }
 
     /// The gate's core premise: identical seeds produce identical counts.

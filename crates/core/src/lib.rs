@@ -51,7 +51,9 @@ pub mod value;
 pub mod prelude {
     pub use crate::compile::{CompiledPattern, Element, NaryOp, NegatedElement};
     pub use crate::cost::CostModel;
-    pub use crate::engine::{run_to_completion, Engine, EngineConfig, EngineFactory, RunResult};
+    pub use crate::engine::{
+        run_to_completion, run_traced, Engine, EngineConfig, EngineFactory, RunResult,
+    };
     pub use crate::error::CepError;
     pub use crate::event::{Event, Timestamp, TypeId};
     pub use crate::matches::{Binding, Match};
@@ -66,4 +68,5 @@ pub mod prelude {
     pub use crate::stats::{MeasuredStats, PatternStats};
     pub use crate::stream::{EventStream, StreamBuilder};
     pub use crate::value::Value;
+    pub use cep_obs::{LatencyHistogram, MetricsRegistry, TraceRecord, Tracer};
 }

@@ -1,5 +1,7 @@
 //! Engine runtime metrics: the measurement side of Section 7.2.
 
+use cep_obs::{LatencyHistogram, MetricsRegistry};
+
 /// Counters collected by an engine while processing a stream.
 ///
 /// * **Throughput** is primitive events processed per second of engine wall
@@ -7,9 +9,11 @@
 /// * **Memory** is the peak of live partial matches plus buffered events,
 ///   with a byte estimate — the harness's robust analogue of the paper's
 ///   peak-RSS measurement.
-/// * **Latency** sums, per emitted match, the wall time between the start
-///   of processing of the event that completed the match and its emission
-///   (deferred emissions add the deferral processing time).
+/// * **Latency** records, per emitted match, the wall time between the
+///   start of processing of the event that completed the match and its
+///   emission (deferred emissions add the deferral processing time) — as a
+///   log₂ histogram ([`match_latency_ns`](EngineMetrics::match_latency_ns))
+///   so tail percentiles survive aggregation, not just the mean.
 #[derive(Debug, Clone, Default)]
 pub struct EngineMetrics {
     /// Total events offered to the engine.
@@ -35,8 +39,15 @@ pub struct EngineMetrics {
     /// Total wall time spent inside the engine, in nanoseconds (set by
     /// [`crate::engine::run_to_completion`]).
     pub wall_time_ns: u64,
-    /// Summed per-match detection latency in nanoseconds.
-    pub match_latency_ns_total: u64,
+    /// Log₂ histogram of per-event processing time in nanoseconds, sampled
+    /// (every 8th event) by [`crate::engine::run_to_completion`] to keep
+    /// the hot loop cheap.
+    pub event_ns: LatencyHistogram,
+    /// Log₂ histogram of per-match detection latency in nanoseconds; its
+    /// [`sum`](LatencyHistogram::sum) is the former
+    /// `match_latency_ns_total` counter (see
+    /// [`match_latency_ns_total`](EngineMetrics::match_latency_ns_total)).
+    pub match_latency_ns: LatencyHistogram,
     /// Plan swaps performed by an adaptive wrapper (0 for static engines).
     pub plan_swaps: u64,
     /// Events re-processed from the retained window across all plan swaps
@@ -44,6 +55,10 @@ pub struct EngineMetrics {
     pub replayed_events: u64,
     /// Nanoseconds spent replaying retained events during plan swaps.
     pub replay_time_ns: u64,
+    /// Log₂ histogram of per-swap replay time in nanoseconds (one sample
+    /// per plan swap; its sum tracks
+    /// [`replay_time_ns`](EngineMetrics::replay_time_ns)).
+    pub replay_ns: LatencyHistogram,
     /// Events currently held in an adaptive wrapper's retained replay
     /// window (0 for static engines).
     pub retained_events: usize,
@@ -104,12 +119,19 @@ impl EngineMetrics {
         self.events_processed as f64 / (self.wall_time_ns as f64 / 1e9)
     }
 
+    /// Summed per-match detection latency in nanoseconds — the view the
+    /// retired `match_latency_ns_total` counter used to provide, now
+    /// derived from the histogram.
+    pub fn match_latency_ns_total(&self) -> u64 {
+        self.match_latency_ns.sum()
+    }
+
     /// Mean per-match detection latency in milliseconds.
     pub fn avg_latency_ms(&self) -> f64 {
         if self.matches_emitted == 0 {
             return 0.0;
         }
-        self.match_latency_ns_total as f64 / self.matches_emitted as f64 / 1e6
+        self.match_latency_ns.sum() as f64 / self.matches_emitted as f64 / 1e6
     }
 
     /// Merges counters from a *concurrently* executed engine (a parallel
@@ -134,10 +156,12 @@ impl EngineMetrics {
         self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
         self.predicate_evaluations += other.predicate_evaluations;
         self.wall_time_ns = self.wall_time_ns.max(other.wall_time_ns);
-        self.match_latency_ns_total += other.match_latency_ns_total;
+        self.event_ns.merge(&other.event_ns);
+        self.match_latency_ns.merge(&other.match_latency_ns);
         self.plan_swaps += other.plan_swaps;
         self.replayed_events += other.replayed_events;
         self.replay_time_ns += other.replay_time_ns;
+        self.replay_ns.merge(&other.replay_ns);
         self.retained_events += other.retained_events;
         self.peak_retained_events = self.peak_retained_events.max(other.peak_retained_events);
         self.selectivity_samples += other.selectivity_samples;
@@ -157,16 +181,133 @@ impl EngineMetrics {
         self.peak_buffered_events += other.peak_buffered_events;
         self.peak_memory_bytes += other.peak_memory_bytes;
         self.predicate_evaluations += other.predicate_evaluations;
-        self.match_latency_ns_total += other.match_latency_ns_total;
+        self.event_ns.merge(&other.event_ns);
+        self.match_latency_ns.merge(&other.match_latency_ns);
         self.plan_swaps += other.plan_swaps;
         self.replayed_events += other.replayed_events;
         self.replay_time_ns += other.replay_time_ns;
+        self.replay_ns.merge(&other.replay_ns);
         self.retained_events += other.retained_events;
         self.peak_retained_events += other.peak_retained_events;
         self.selectivity_samples += other.selectivity_samples;
         self.suppressed_swaps += other.suppressed_swaps;
         self.replicated_events += other.replicated_events;
         self.dedup_hits += other.dedup_hits;
+    }
+
+    /// Writes this snapshot into a [`MetricsRegistry`] under `labels`
+    /// (e.g. `[("engine", "adaptive")]` or `[("shard", "3")]`). Repeated
+    /// calls with distinct labels append samples to the same families, so
+    /// one registry can hold per-engine and per-shard series side by side.
+    pub fn export(&self, reg: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter(
+            "cep_events_processed_total",
+            "Events offered to the engine",
+            labels,
+            self.events_processed,
+        );
+        reg.counter(
+            "cep_events_relevant_total",
+            "Events of pattern-participating types",
+            labels,
+            self.events_relevant,
+        );
+        reg.counter(
+            "cep_matches_emitted_total",
+            "Full matches emitted",
+            labels,
+            self.matches_emitted,
+        );
+        reg.counter(
+            "cep_partial_matches_created_total",
+            "Partial matches ever created",
+            labels,
+            self.partial_matches_created,
+        );
+        reg.counter(
+            "cep_predicate_evaluations_total",
+            "Predicate evaluations performed",
+            labels,
+            self.predicate_evaluations,
+        );
+        reg.counter(
+            "cep_wall_time_ns_total",
+            "Wall time spent inside the engine (ns)",
+            labels,
+            self.wall_time_ns,
+        );
+        reg.gauge(
+            "cep_peak_partial_matches",
+            "Peak live partial matches",
+            labels,
+            self.peak_partial_matches as f64,
+        );
+        reg.gauge(
+            "cep_peak_buffered_events",
+            "Peak buffered events",
+            labels,
+            self.peak_buffered_events as f64,
+        );
+        reg.gauge(
+            "cep_peak_memory_bytes",
+            "Peak estimated bytes of partial matches + buffers",
+            labels,
+            self.peak_memory_bytes as f64,
+        );
+        reg.gauge(
+            "cep_throughput_eps",
+            "Events per second of engine wall time",
+            labels,
+            self.throughput_eps(),
+        );
+        reg.counter(
+            "cep_plan_swaps_total",
+            "Plan swaps performed by an adaptive wrapper",
+            labels,
+            self.plan_swaps,
+        );
+        reg.counter(
+            "cep_suppressed_swaps_total",
+            "Plan swaps declined as not amortizable",
+            labels,
+            self.suppressed_swaps,
+        );
+        reg.counter(
+            "cep_replayed_events_total",
+            "Events re-processed during plan swaps",
+            labels,
+            self.replayed_events,
+        );
+        reg.counter(
+            "cep_replicated_events_total",
+            "Extra deliveries from replicate-join broadcast routing",
+            labels,
+            self.replicated_events,
+        );
+        reg.counter(
+            "cep_dedup_hits_total",
+            "Duplicate matches suppressed by sharded-merge dedup",
+            labels,
+            self.dedup_hits,
+        );
+        reg.histogram(
+            "cep_event_ns",
+            "Per-event processing time (ns, sampled)",
+            labels,
+            &self.event_ns,
+        );
+        reg.histogram(
+            "cep_match_latency_ns",
+            "Per-match detection latency (ns)",
+            labels,
+            &self.match_latency_ns,
+        );
+        reg.histogram(
+            "cep_replay_ns",
+            "Per-swap replay time (ns)",
+            labels,
+            &self.replay_ns,
+        );
     }
 }
 
@@ -204,8 +345,22 @@ mod tests {
     fn latency_average() {
         let mut m = EngineMetrics::new();
         m.matches_emitted = 4;
-        m.match_latency_ns_total = 8_000_000; // 8 ms total
+        m.match_latency_ns.record_n(2_000_000, 4); // 8 ms total
+        assert_eq!(m.match_latency_ns_total(), 8_000_000);
         assert!((m.avg_latency_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles_survive_aggregation() {
+        // One fast engine, one slow engine: the merged histogram keeps the
+        // tail visible where the old summed counter flattened it.
+        let mut fast = EngineMetrics::new();
+        fast.match_latency_ns.record_n(1_000, 98);
+        let mut slow = EngineMetrics::new();
+        slow.match_latency_ns.record_n(40_000_000, 2);
+        fast.merge(&slow);
+        assert!(fast.match_latency_ns.p50() < 2_048);
+        assert!(fast.match_latency_ns.p99() >= 40_000_000);
     }
 
     #[test]
@@ -219,7 +374,7 @@ mod tests {
         a.peak_buffered_events = 20;
         a.peak_memory_bytes = 4000;
         a.wall_time_ns = 1_000;
-        a.match_latency_ns_total = 500;
+        a.match_latency_ns.record(500);
         let mut b = EngineMetrics::new();
         b.events_processed = 50;
         b.matches_emitted = 2;
@@ -229,7 +384,7 @@ mod tests {
         b.peak_buffered_events = 33;
         b.peak_memory_bytes = 2500;
         b.wall_time_ns = 3_000;
-        b.match_latency_ns_total = 700;
+        b.match_latency_ns.record(700);
         a.plan_swaps = 1;
         a.replayed_events = 20;
         a.replay_time_ns = 111;
@@ -248,7 +403,8 @@ mod tests {
         assert_eq!(a.matches_emitted, 5);
         assert_eq!(a.partial_matches_created, 50);
         assert_eq!(a.predicate_evaluations, 100);
-        assert_eq!(a.match_latency_ns_total, 1_200);
+        assert_eq!(a.match_latency_ns_total(), 1_200);
+        assert_eq!(a.match_latency_ns.count(), 2);
         // Adaptivity counters add too; the retained-window peak is a
         // per-shard maximum like the other peaks.
         assert_eq!(a.plan_swaps, 3);
@@ -312,6 +468,14 @@ mod tests {
         assert_eq!(m.peak_retained_events, 8);
     }
 
+    /// A histogram holding one sample of value `v` (so its post-merge
+    /// `sum()` is as checkable as a plain counter).
+    fn hist1(v: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        h.record(v);
+        h
+    }
+
     /// Every field set to a distinct value derived from `base`. Written as
     /// a full struct literal on purpose: adding a field to
     /// [`EngineMetrics`] breaks this helper until the merge/absorb
@@ -330,22 +494,26 @@ mod tests {
             peak_memory_bytes: (base + 9) as usize,
             predicate_evaluations: base + 10,
             wall_time_ns: base + 11,
-            match_latency_ns_total: base + 12,
-            plan_swaps: base + 13,
-            replayed_events: base + 14,
-            replay_time_ns: base + 15,
-            retained_events: (base + 16) as usize,
-            peak_retained_events: (base + 17) as usize,
-            selectivity_samples: base + 18,
-            suppressed_swaps: base + 19,
-            replicated_events: base + 20,
-            dedup_hits: base + 21,
+            event_ns: hist1(base + 12),
+            match_latency_ns: hist1(base + 13),
+            plan_swaps: base + 14,
+            replayed_events: base + 15,
+            replay_time_ns: base + 16,
+            replay_ns: hist1(base + 17),
+            retained_events: (base + 18) as usize,
+            peak_retained_events: (base + 19) as usize,
+            selectivity_samples: base + 20,
+            suppressed_swaps: base + 21,
+            replicated_events: base + 22,
+            dedup_hits: base + 23,
         }
     }
 
     /// Number of fields `filled` covers; the canary below cross-checks it
-    /// against the struct itself via its Debug rendering.
-    const FIELD_COUNT: usize = 21;
+    /// against the struct itself via its Debug rendering. The histogram
+    /// fields count too: `LatencyHistogram`'s Debug is a single token
+    /// without `": "`, so each one contributes exactly one pair.
+    const FIELD_COUNT: usize = 23;
 
     #[test]
     fn debug_field_count_matches_coverage() {
@@ -372,21 +540,27 @@ mod tests {
         assert_eq!(a.live_partial_matches, 1010);
         assert_eq!(a.buffered_events, 1014);
         assert_eq!(a.predicate_evaluations, 1020);
-        assert_eq!(a.match_latency_ns_total, 1024);
-        assert_eq!(a.plan_swaps, 1026);
-        assert_eq!(a.replayed_events, 1028);
-        assert_eq!(a.replay_time_ns, 1030);
-        assert_eq!(a.retained_events, 1032);
-        assert_eq!(a.selectivity_samples, 1036);
-        assert_eq!(a.suppressed_swaps, 1038);
-        assert_eq!(a.replicated_events, 1040);
-        assert_eq!(a.dedup_hits, 1042);
+        assert_eq!(a.plan_swaps, 1028);
+        assert_eq!(a.replayed_events, 1030);
+        assert_eq!(a.replay_time_ns, 1032);
+        assert_eq!(a.retained_events, 1036);
+        assert_eq!(a.selectivity_samples, 1040);
+        assert_eq!(a.suppressed_swaps, 1042);
+        assert_eq!(a.replicated_events, 1044);
+        assert_eq!(a.dedup_hits, 1046);
+        // ...histograms merge bucket-wise (both samples survive)...
+        assert_eq!(a.event_ns.count(), 2);
+        assert_eq!(a.event_ns.sum(), 1024);
+        assert_eq!(a.match_latency_ns.count(), 2);
+        assert_eq!(a.match_latency_ns.sum(), 1026);
+        assert_eq!(a.replay_ns.count(), 2);
+        assert_eq!(a.replay_ns.sum(), 1034);
         // ...peaks and wall time take the per-shard maximum.
         assert_eq!(a.peak_partial_matches, 1006);
         assert_eq!(a.peak_buffered_events, 1008);
         assert_eq!(a.peak_memory_bytes, 1009);
         assert_eq!(a.wall_time_ns, 1011);
-        assert_eq!(a.peak_retained_events, 1017);
+        assert_eq!(a.peak_retained_events, 1019);
     }
 
     #[test]
@@ -403,18 +577,38 @@ mod tests {
         assert_eq!(a.peak_buffered_events, 1016);
         assert_eq!(a.peak_memory_bytes, 1018);
         assert_eq!(a.predicate_evaluations, 1020);
-        assert_eq!(a.match_latency_ns_total, 1024);
-        assert_eq!(a.plan_swaps, 1026);
-        assert_eq!(a.replayed_events, 1028);
-        assert_eq!(a.replay_time_ns, 1030);
-        assert_eq!(a.retained_events, 1032);
-        assert_eq!(a.peak_retained_events, 1034);
-        assert_eq!(a.selectivity_samples, 1036);
-        assert_eq!(a.suppressed_swaps, 1038);
-        assert_eq!(a.replicated_events, 1040);
-        assert_eq!(a.dedup_hits, 1042);
+        assert_eq!(a.plan_swaps, 1028);
+        assert_eq!(a.replayed_events, 1030);
+        assert_eq!(a.replay_time_ns, 1032);
+        assert_eq!(a.retained_events, 1036);
+        assert_eq!(a.peak_retained_events, 1038);
+        assert_eq!(a.selectivity_samples, 1040);
+        assert_eq!(a.suppressed_swaps, 1042);
+        assert_eq!(a.replicated_events, 1044);
+        assert_eq!(a.dedup_hits, 1046);
+        // ...histograms merge bucket-wise...
+        assert_eq!(a.event_ns.count(), 2);
+        assert_eq!(a.event_ns.sum(), 1024);
+        assert_eq!(a.match_latency_ns.count(), 2);
+        assert_eq!(a.match_latency_ns.sum(), 1026);
+        assert_eq!(a.replay_ns.count(), 2);
+        assert_eq!(a.replay_ns.sum(), 1034);
         // ...except the harness-owned totals, which stay the caller's.
         assert_eq!(a.events_processed, 1);
         assert_eq!(a.wall_time_ns, 11);
+    }
+
+    #[test]
+    fn export_renders_valid_prometheus_and_json() {
+        let mut reg = MetricsRegistry::new();
+        filled(0).export(&mut reg, &[("engine", "a")]);
+        filled(1000).export(&mut reg, &[("engine", "b")]);
+        let text = reg.render_prometheus();
+        cep_obs::validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(text.contains("cep_events_processed_total{engine=\"a\"} 1"));
+        assert!(text.contains("cep_events_processed_total{engine=\"b\"} 1001"));
+        assert!(text.contains("cep_match_latency_ns_count{engine=\"a\"} 1"));
+        // The JSON rendering parses back with the obs-side codec.
+        cep_obs::json::parse(&reg.render_json()).expect("registry JSON parses");
     }
 }

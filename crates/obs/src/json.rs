@@ -1,0 +1,416 @@
+//! A minimal JSON value model with a canonical encoder and a strict
+//! parser.
+//!
+//! The workspace is offline (no `serde`), so the trace and metrics
+//! exporters carry their own tiny JSON layer. It is deliberately small:
+//! objects preserve insertion order (encoding is canonical — what a
+//! [`crate::TraceRecord`] emits is byte-for-byte what a re-encode of the
+//! parsed value produces), integers survive as `u64`/`i64` without a
+//! round-trip through `f64`, and floats are printed with Rust's shortest
+//! round-trip formatting.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64` (the common case for
+    /// counters and timestamps).
+    UInt(u64),
+    /// A negative integer that fits `i64`.
+    Int(i64),
+    /// Any other number (fractional or exponent-form).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value under `key`, for objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` (integers widen; strings do not coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Canonical single-line encoding: compact (`{"k":v,...}`), no
+    /// insignificant whitespace, keys in insertion order.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        self.encode_into(&mut s);
+        s
+    }
+
+    fn encode_into(&self, s: &mut String) {
+        match self {
+            Json::Null => s.push_str("null"),
+            Json::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(s, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(s, "{v}");
+            }
+            Json::Float(v) => {
+                debug_assert!(v.is_finite(), "non-finite floats are not valid JSON");
+                // `{:?}` is Rust's shortest round-trip float formatting.
+                let _ = write!(s, "{v:?}");
+            }
+            Json::Str(v) => encode_str(v, s),
+            Json::Arr(items) => {
+                s.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    item.encode_into(s);
+                }
+                s.push(']');
+            }
+            Json::Obj(pairs) => {
+                s.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    encode_str(k, s);
+                    s.push(':');
+                    v.encode_into(s);
+                }
+                s.push('}');
+            }
+        }
+    }
+}
+
+/// Encodes a JSON string literal with its quotes.
+fn encode_str(v: &str, s: &mut String) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogates are rejected rather than paired: the
+                            // canonical encoder never emits them (it escapes
+                            // only control characters).
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| "surrogate \\u escape unsupported".to_string())?;
+                            out.push(c);
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if !fractional {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("invalid number {text:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for (text, v) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::UInt(0)),
+            ("18446744073709551615", Json::UInt(u64::MAX)),
+            ("-7", Json::Int(-7)),
+            ("1.5", Json::Float(1.5)),
+            ("\"a\\\"b\\\\c\\n\"", Json::Str("a\"b\\c\n".into())),
+        ] {
+            assert_eq!(parse(text).unwrap(), v, "{text}");
+            assert_eq!(parse(&v.encode()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::UInt(1), Json::Null])),
+            ("b".into(), Json::Obj(vec![("x".into(), Json::Float(0.25))])),
+            ("weird key \"\\".into(), Json::Str("\u{1}".into())),
+        ]);
+        let text = v.encode();
+        assert_eq!(parse(&text).unwrap(), v);
+        // Canonical: encode ∘ parse is the identity on encoder output.
+        assert_eq!(parse(&text).unwrap().encode(), text);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "\"\\q\"", "nul"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated_on_parse() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![Json::UInt(1), Json::UInt(2)]))
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse("{\"n\":3,\"s\":\"x\",\"f\":2.5}").unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(v.get("missing"), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Observability foundation for the CEP stack: structured tracing,
+//! log₂-bucketed latency histograms, and a metrics registry with
+//! Prometheus/JSON export.
+//!
+//! This crate deliberately has **zero dependencies** (not even on
+//! `cep-core`) so every layer of the stack — core engines, the adaptive
+//! runtime, the sharded runtime, the bench harness — can embed its types
+//! without cycles:
+//!
+//! - [`hist::LatencyHistogram`] replaces sum-only latency counters with
+//!   mergeable p50/p95/p99 distributions (embedded in `EngineMetrics`).
+//! - [`trace::Tracer`] + [`trace::TraceRecord`] give runtime decisions
+//!   (plan swaps, replays, shard routing, match emission) a typed,
+//!   JSONL-serializable trace with a one-load disabled path.
+//! - [`registry::MetricsRegistry`] renders metric snapshots in Prometheus
+//!   text-exposition and JSON formats, with a [`validate_prometheus`]
+//!   checker used by the CI smoke step.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// The vendored proptest macro is a token-tree muncher; two property tests
+// in one block exceed the default recursion limit.
+#![recursion_limit = "256"]
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use hist::LatencyHistogram;
+pub use registry::{validate_prometheus, MetricKind, MetricsRegistry};
+pub use trace::{JsonlSink, RingSink, TraceRecord, TraceSink, Tracer};

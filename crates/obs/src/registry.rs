@@ -1,0 +1,621 @@
+//! A snapshot-style metrics registry with Prometheus text-exposition and
+//! JSON export.
+//!
+//! Unlike a live registry of shared atomics, this one is rebuilt from a
+//! metrics snapshot on demand — the engines already aggregate their own
+//! `EngineMetrics`-style structs, so the registry's job is only naming,
+//! labelling, and rendering. Families keep insertion order (stable output
+//! for diffs), samples within a family keep insertion order too, and
+//! [`validate_prometheus`] checks the rendered text against the
+//! [exposition format] rules the CI smoke step relies on.
+//!
+//! [exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::hist::LatencyHistogram;
+use crate::json::Json;
+
+/// The exposition type of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Bucketed distribution (rendered as `_bucket`/`_sum`/`_count`).
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+type Labels = Vec<(String, String)>;
+
+enum SampleValue {
+    Scalar(f64),
+    Hist {
+        buckets: Vec<(f64, u64)>,
+        sum: u64,
+        count: u64,
+    },
+}
+
+struct Sample {
+    labels: Labels,
+    value: SampleValue,
+}
+
+struct MetricFamily {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    samples: Vec<Sample>,
+}
+
+/// An insertion-ordered collection of metric families, built from metric
+/// snapshots and rendered to Prometheus text or JSON.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Vec<MetricFamily>,
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .enumerate()
+            .all(|(i, b)| b.is_ascii_alphabetic() || b == b'_' || (i > 0 && b.is_ascii_digit()))
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut MetricFamily {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            assert!(
+                self.families[i].kind == kind,
+                "metric {name:?} registered with two kinds"
+            );
+            return &mut self.families[i];
+        }
+        self.families.push(MetricFamily {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    /// Records a counter sample. Repeated calls with the same name append
+    /// samples (one per label set) to the same family.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.family(name, help, MetricKind::Counter)
+            .samples
+            .push(Sample {
+                labels: own_labels(labels),
+                value: SampleValue::Scalar(value as f64),
+            });
+    }
+
+    /// Records a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.family(name, help, MetricKind::Gauge)
+            .samples
+            .push(Sample {
+                labels: own_labels(labels),
+                value: SampleValue::Scalar(value),
+            });
+    }
+
+    /// Records a histogram sample from a [`LatencyHistogram`] snapshot.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LatencyHistogram,
+    ) {
+        self.family(name, help, MetricKind::Histogram)
+            .samples
+            .push(Sample {
+                labels: own_labels(labels),
+                value: SampleValue::Hist {
+                    buckets: hist.cumulative_buckets(),
+                    sum: hist.sum(),
+                    count: hist.count(),
+                },
+            });
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Whether no family was registered.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Renders the Prometheus text exposition format (`# HELP`/`# TYPE`
+    /// headers, one sample line per label set, histograms expanded into
+    /// `_bucket{le=…}`/`_sum`/`_count` series).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, escape_help(&fam.help)));
+            out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind.as_str()));
+            for s in &fam.samples {
+                match &s.value {
+                    SampleValue::Scalar(v) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            fam.name,
+                            render_labels(&s.labels, None),
+                            render_value(*v)
+                        ));
+                    }
+                    SampleValue::Hist {
+                        buckets,
+                        sum,
+                        count,
+                    } => {
+                        for (le, cum) in buckets {
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                fam.name,
+                                render_labels(&s.labels, Some(*le)),
+                                cum
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            fam.name,
+                            render_labels(&s.labels, None),
+                            sum
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            fam.name,
+                            render_labels(&s.labels, None),
+                            count
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the same snapshot as a canonical JSON document:
+    /// `{"metrics":[{"name":…,"kind":…,"help":…,"samples":[…]}]}`.
+    pub fn render_json(&self) -> String {
+        let families: Vec<Json> = self
+            .families
+            .iter()
+            .map(|fam| {
+                let samples: Vec<Json> = fam
+                    .samples
+                    .iter()
+                    .map(|s| {
+                        let labels = Json::Obj(
+                            s.labels
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                .collect(),
+                        );
+                        let mut pairs = vec![("labels".to_string(), labels)];
+                        match &s.value {
+                            SampleValue::Scalar(v) => {
+                                pairs.push(("value".to_string(), json_number(*v)));
+                            }
+                            SampleValue::Hist {
+                                buckets,
+                                sum,
+                                count,
+                            } => {
+                                let bs: Vec<Json> = buckets
+                                    .iter()
+                                    .map(|(le, cum)| {
+                                        Json::Obj(vec![
+                                            (
+                                                "le".to_string(),
+                                                if le.is_infinite() {
+                                                    Json::Str("+Inf".to_string())
+                                                } else {
+                                                    Json::Float(*le)
+                                                },
+                                            ),
+                                            ("count".to_string(), Json::UInt(*cum)),
+                                        ])
+                                    })
+                                    .collect();
+                                pairs.push(("buckets".to_string(), Json::Arr(bs)));
+                                pairs.push(("sum".to_string(), Json::UInt(*sum)));
+                                pairs.push(("count".to_string(), Json::UInt(*count)));
+                            }
+                        }
+                        Json::Obj(pairs)
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(fam.name.clone())),
+                    ("kind".to_string(), Json::Str(fam.kind.as_str().to_string())),
+                    ("help".to_string(), Json::Str(fam.help.clone())),
+                    ("samples".to_string(), Json::Arr(samples)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("metrics".to_string(), Json::Arr(families))]).encode()
+    }
+}
+
+/// Integers render as JSON integers, everything else as floats.
+fn json_number(v: f64) -> Json {
+    if v.is_finite() && v >= 0.0 && v <= u64::MAX as f64 && v.fract() == 0.0 {
+        Json::UInt(v as u64)
+    } else if v.is_finite() {
+        Json::Float(v)
+    } else {
+        Json::Str(if v.is_nan() {
+            "nan".to_string()
+        } else if v > 0.0 {
+            "inf".to_string()
+        } else {
+            "-inf".to_string()
+        })
+    }
+}
+
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn render_le(le: f64) -> String {
+    if le.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        render_value(le)
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &Labels, le: Option<f64>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{}\"", render_le(le)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Validates Prometheus text-exposition output: every sample belongs to a
+/// family whose `# TYPE` appeared first, names are well-formed, values
+/// parse, histogram bucket series are cumulative with `le="+Inf"` equal to
+/// the `_count` sample. Returns the first violation found.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut types: HashMap<String, String> = HashMap::new();
+    // (family, labels-without-le) → (last le seen, last cumulative, inf count)
+    let mut bucket_state: HashMap<(String, String), (f64, u64, Option<u64>)> = HashMap::new();
+    let mut counts: HashMap<(String, String), u64> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().ok_or(format!("line {n}: TYPE without kind"))?;
+            if !valid_name(name) {
+                return Err(format!("line {n}: invalid metric name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {n}: unknown TYPE {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE for {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {n}: sample without value"))?;
+        if !(value == "+Inf" || value == "-Inf" || value == "NaN" || value.parse::<f64>().is_ok()) {
+            return Err(format!("line {n}: unparseable value {value:?}"));
+        }
+        let (name, labels) = match name_labels.find('{') {
+            Some(i) => {
+                if !name_labels.ends_with('}') {
+                    return Err(format!("line {n}: unterminated label set"));
+                }
+                (
+                    &name_labels[..i],
+                    &name_labels[i + 1..name_labels.len() - 1],
+                )
+            }
+            None => (name_labels, ""),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        // The family is the name with any histogram suffix stripped —
+        // but only if the suffixed form matches a declared histogram.
+        let (family, suffix) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| {
+                name.strip_suffix(s)
+                    .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+                    .map(|f| (f.to_string(), *s))
+            })
+            .unwrap_or((name.to_string(), ""));
+        if !types.contains_key(&family) {
+            return Err(format!("line {n}: sample {name:?} precedes its # TYPE"));
+        }
+        if types[&family] == "histogram" && suffix.is_empty() {
+            return Err(format!(
+                "line {n}: bare sample {name:?} for histogram family"
+            ));
+        }
+
+        if suffix == "_bucket" {
+            let mut le: Option<f64> = None;
+            let mut rest_labels: Vec<&str> = Vec::new();
+            for part in split_labels(labels) {
+                if let Some(v) = part.strip_prefix("le=\"").and_then(|v| v.strip_suffix('"')) {
+                    le = Some(match v {
+                        "+Inf" => f64::INFINITY,
+                        v => v
+                            .parse::<f64>()
+                            .map_err(|_| format!("line {n}: bad le {v:?}"))?,
+                    });
+                } else {
+                    rest_labels.push(part);
+                }
+            }
+            let le = le.ok_or(format!("line {n}: _bucket without le label"))?;
+            let cum: u64 = value
+                .parse()
+                .map_err(|_| format!("line {n}: bucket count not a u64"))?;
+            let key = (family.clone(), rest_labels.join(","));
+            let entry = bucket_state
+                .entry(key)
+                .or_insert((f64::NEG_INFINITY, 0, None));
+            if le <= entry.0 {
+                return Err(format!("line {n}: le bounds not increasing"));
+            }
+            if cum < entry.1 {
+                return Err(format!("line {n}: bucket counts not cumulative"));
+            }
+            entry.0 = le;
+            entry.1 = cum;
+            if le.is_infinite() {
+                entry.2 = Some(cum);
+            }
+        } else if suffix == "_count" {
+            let cum: u64 = value
+                .parse()
+                .map_err(|_| format!("line {n}: _count not a u64"))?;
+            counts.insert((family.clone(), labels.to_string()), cum);
+        }
+    }
+
+    for ((family, labels), (_, _, inf)) in &bucket_state {
+        let inf = inf.ok_or(format!(
+            "histogram {family:?}{{{labels}}} has no le=\"+Inf\" bucket"
+        ))?;
+        let count = counts
+            .get(&(family.clone(), labels.clone()))
+            .ok_or(format!(
+                "histogram {family:?}{{{labels}}} has buckets but no _count"
+            ))?;
+        if inf != *count {
+            return Err(format!(
+                "histogram {family:?}{{{labels}}}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Splits a label body on commas outside quotes.
+fn split_labels(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => depth_quote = !depth_quote,
+            b'\\' if depth_quote => i += 1, // skip escaped char
+            b',' if !depth_quote => {
+                if start < i {
+                    out.push(&body[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < body.len() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn demo_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "cep_events_processed_total",
+            "Events processed",
+            &[("engine", "adaptive")],
+            12_345,
+        );
+        reg.counter(
+            "cep_events_processed_total",
+            "Events processed",
+            &[("engine", "shard"), ("shard", "0")],
+            678,
+        );
+        reg.gauge("cep_imbalance_ratio", "Max/mean shard busy time", &[], 1.25);
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 900, 900, 15_000, 2_000_000] {
+            h.record(v);
+        }
+        reg.histogram(
+            "cep_match_latency_ns",
+            "Detection latency",
+            &[("engine", "adaptive")],
+            &h,
+        );
+        reg
+    }
+
+    #[test]
+    fn prometheus_output_validates() {
+        let text = demo_registry().render_prometheus();
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(text.contains("# TYPE cep_events_processed_total counter"));
+        assert!(text.contains("cep_events_processed_total{engine=\"adaptive\"} 12345"));
+        assert!(text.contains("cep_match_latency_ns_bucket{engine=\"adaptive\",le=\"+Inf\"} 5"));
+        assert!(text.contains("cep_match_latency_ns_count{engine=\"adaptive\"} 5"));
+    }
+
+    #[test]
+    fn json_output_parses_and_preserves_structure() {
+        let doc = demo_registry().render_json();
+        let v = parse(&doc).expect("registry JSON parses");
+        let metrics = match v.get("metrics") {
+            Some(Json::Arr(m)) => m,
+            other => panic!("metrics array missing: {other:?}"),
+        };
+        assert_eq!(metrics.len(), 3);
+        let hist = &metrics[2];
+        assert_eq!(hist.get("kind").and_then(Json::as_str), Some("histogram"));
+        let samples = match hist.get("samples") {
+            Some(Json::Arr(s)) => s,
+            other => panic!("samples missing: {other:?}"),
+        };
+        assert_eq!(samples[0].get("count").and_then(Json::as_u64), Some(5));
+    }
+
+    #[test]
+    fn validator_rejects_format_violations() {
+        // Sample before TYPE.
+        assert!(validate_prometheus("foo 1\n# TYPE foo counter\n").is_err());
+        // Non-cumulative buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(bad).is_err());
+        // +Inf != _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Missing +Inf bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"8\"} 4\nh_sum 9\nh_count 4\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Unparseable value.
+        assert!(validate_prometheus("# TYPE g gauge\ng wat\n").is_err());
+        // Bad name.
+        assert!(validate_prometheus("# TYPE 9g gauge\n").is_err());
+        // Good minimal documents pass.
+        validate_prometheus("# TYPE g gauge\ng{a=\"x,y\"} 1.5\ng NaN\n").unwrap();
+        validate_prometheus("").unwrap();
+    }
+
+    #[test]
+    fn registering_same_name_with_other_kind_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut reg = MetricsRegistry::new();
+            reg.counter("m", "", &[], 1);
+            reg.gauge("m", "", &[], 1.0);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn label_escaping_survives_validation() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge(
+            "weird",
+            "help with\nnewline and \\ backslash",
+            &[("q", "a\"b\\c\nd")],
+            2.0,
+        );
+        let text = reg.render_prometheus();
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(text.contains("q=\"a\\\"b\\\\c\\nd\""));
+    }
+}

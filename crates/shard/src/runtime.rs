@@ -9,10 +9,22 @@ use cep_core::event::EventRef;
 use cep_core::matches::Match;
 use cep_core::metrics::EngineMetrics;
 use cep_core::stream::EventStream;
+use cep_obs::{MetricsRegistry, TraceRecord, Tracer};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Every `ROUTE_SAMPLE_MASK + 1`-th event's routing decision is traced as a
+/// [`TraceRecord::ShardRoute`]; sampling keeps trace volume proportional to
+/// the stream without touching the per-event routing cost when disabled.
+const ROUTE_SAMPLE_MASK: u64 = 63;
+
+/// Workers sample one event in eight into
+/// [`EngineMetrics::event_ns`], mirroring
+/// [`run_to_completion`](cep_core::engine::run_to_completion)'s cadence.
+const EVENT_SAMPLE_MASK: u64 = 7;
 
 /// Worker-pool knobs.
 #[derive(Debug, Clone)]
@@ -88,6 +100,67 @@ pub struct ShardedRunResult {
     pub per_shard: Vec<ShardStats>,
 }
 
+impl ShardedRunResult {
+    /// Load imbalance across workers: the maximum per-shard busy time
+    /// divided by the mean. `1.0` means perfectly balanced; `shards as
+    /// f64` means one worker did all the work. Returns `1.0` for runs
+    /// with no recorded busy time.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let total: u64 = self.per_shard.iter().map(|s| s.metrics.wall_time_ns).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self
+            .per_shard
+            .iter()
+            .map(|s| s.metrics.wall_time_ns)
+            .max()
+            .unwrap_or(0);
+        max as f64 * self.per_shard.len() as f64 / total as f64
+    }
+
+    /// Exports the merged metrics plus the per-shard series the merge
+    /// collapses: `cep_shard_busy_ns_total`,
+    /// `cep_shard_events_routed_total`, and `cep_shard_matches_total` get
+    /// one sample per shard (labelled `shard="<index>"`), and
+    /// `cep_shard_imbalance_ratio` summarizes the busy-time skew. The
+    /// merged snapshot alone cannot answer "which worker was hot" — its
+    /// wall time is the whole run's and the per-shard busy times are
+    /// summed away — so imbalance is only measurable from these series.
+    pub fn export(&self, reg: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        self.metrics.export(reg, labels);
+        reg.gauge(
+            "cep_shard_imbalance_ratio",
+            "Max over mean per-shard busy time (1.0 = balanced)",
+            labels,
+            self.imbalance_ratio(),
+        );
+        for s in &self.per_shard {
+            let idx = s.shard.to_string();
+            let mut with_shard: Vec<(&str, &str)> = labels.to_vec();
+            with_shard.push(("shard", idx.as_str()));
+            reg.counter(
+                "cep_shard_busy_ns_total",
+                "Per-shard busy time in ns (processing only, queue waits excluded)",
+                &with_shard,
+                s.metrics.wall_time_ns,
+            );
+            reg.counter(
+                "cep_shard_events_routed_total",
+                "Events delivered to this shard (broadcasts count per copy)",
+                &with_shard,
+                s.events_routed,
+            );
+            reg.counter(
+                "cep_shard_matches_total",
+                "Raw matches this shard emitted (before cross-shard dedup)",
+                &with_shard,
+                s.match_count,
+            );
+        }
+    }
+}
+
 /// Runs any [`EngineFactory`]'s engines across a pool of worker shards.
 ///
 /// The calling thread routes and batches events; each worker thread builds
@@ -97,6 +170,7 @@ pub struct ShardedRunResult {
 #[derive(Debug, Clone, Default)]
 pub struct ShardedRuntime {
     config: ShardConfig,
+    tracer: Tracer,
 }
 
 struct ShardOutcome {
@@ -112,7 +186,10 @@ impl ShardedRuntime {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.batch_size >= 1, "batch size must be positive");
         assert!(config.queue_batches >= 1, "queue bound must be positive");
-        ShardedRuntime { config }
+        ShardedRuntime {
+            config,
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// Runtime with `shards` workers and default batching.
@@ -123,6 +200,18 @@ impl ShardedRuntime {
     /// The active configuration.
     pub fn config(&self) -> &ShardConfig {
         &self.config
+    }
+
+    /// Attaches a tracer: runs then emit sampled
+    /// [`TraceRecord::ShardRoute`] records (one per
+    /// `ROUTE_SAMPLE_MASK + 1` events) and a [`TraceRecord::ShardBatch`]
+    /// per batch send carrying the receiving worker's queue depth.
+    /// Tracing only observes — matches, merge order, and metrics are
+    /// byte-identical to an untraced run, and a disabled tracer costs one
+    /// branch per batch.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ShardedRuntime {
+        self.tracer = tracer;
+        self
     }
 
     /// Drives `stream` through `self.config.shards` workers, each running a
@@ -162,6 +251,13 @@ impl ShardedRuntime {
             && matches!(&policy, RoutingPolicy::ReplicateJoin(spec)
                 if !spec.is_fully_partitioned());
         let collect_in_workers = collect_matches || dedup;
+        let tracer = &self.tracer;
+        let traced = tracer.is_enabled();
+        // In-flight batches per worker queue, maintained (and read) only
+        // when tracing: the router increments at send, the worker
+        // decrements at receive, so each ShardBatch record carries the
+        // receiver's queue depth at the moment the batch was enqueued.
+        let depths: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
         let start = Instant::now();
         let mut router = ShardRouter::new(shards, policy);
         let mut txs: Vec<SyncSender<Vec<EventRef>>> = Vec::with_capacity(shards);
@@ -175,23 +271,51 @@ impl ShardedRuntime {
         let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
             let handles: Vec<_> = rxs
                 .into_iter()
-                .map(|rx| s.spawn(move || worker(factory, rx, collect_in_workers)))
+                .enumerate()
+                .map(|(i, rx)| {
+                    let depth = traced.then(|| &depths[i]);
+                    s.spawn(move || worker(factory, rx, collect_in_workers, depth))
+                })
                 .collect();
             let mut batches: Vec<Vec<EventRef>> = (0..shards)
                 .map(|_| Vec::with_capacity(batch_size))
                 .collect();
+            let send_batch = |shard: usize, full: Vec<EventRef>| {
+                if traced {
+                    let queue_depth = depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+                    let len = full.len() as u64;
+                    tracer.emit_with(|| TraceRecord::ShardBatch {
+                        shard: shard as u64,
+                        len,
+                        queue_depth,
+                    });
+                }
+                // A send only fails if the worker died; its panic
+                // resurfaces at join below.
+                let _ = txs[shard].send(full);
+            };
             let push = |shard: usize, event: &EventRef, batches: &mut Vec<Vec<EventRef>>| {
                 batches[shard].push(Arc::clone(event));
                 if batches[shard].len() >= batch_size {
                     let full =
                         std::mem::replace(&mut batches[shard], Vec::with_capacity(batch_size));
-                    // A send only fails if the worker died; its panic
-                    // resurfaces at join below.
-                    let _ = txs[shard].send(full);
+                    send_batch(shard, full);
                 }
             };
             for event in stream {
-                match router.route_target(event) {
+                let target = router.route_target(event);
+                if traced && event.seq & ROUTE_SAMPLE_MASK == 0 {
+                    tracer.emit_with(|| TraceRecord::ShardRoute {
+                        seq: event.seq,
+                        ts: event.ts,
+                        shard: match target {
+                            RouteTarget::One(s) => s as u64,
+                            RouteTarget::All => 0,
+                        },
+                        broadcast: matches!(target, RouteTarget::All),
+                    });
+                }
+                match target {
                     RouteTarget::One(shard) => push(shard, event, &mut batches),
                     RouteTarget::All => {
                         replicated_extra += shards as u64 - 1;
@@ -203,7 +327,7 @@ impl ShardedRuntime {
             }
             for (shard, batch) in batches.into_iter().enumerate() {
                 if !batch.is_empty() {
-                    let _ = txs[shard].send(batch);
+                    send_batch(shard, batch);
                 }
             }
             drop(txs); // close the channels: workers flush and return
@@ -285,6 +409,7 @@ fn worker(
     factory: &dyn EngineFactory,
     rx: Receiver<Vec<EventRef>>,
     collect_matches: bool,
+    queue_depth: Option<&AtomicU64>,
 ) -> ShardOutcome {
     let mut engine = factory.build();
     let mut matches = Vec::new();
@@ -301,7 +426,10 @@ fn worker(
         }
         let latency = latency_start.elapsed().as_nanos() as u64;
         let emitted = scratch.len() as u64;
-        engine.metrics_mut().match_latency_ns_total += latency * emitted;
+        engine
+            .metrics_mut()
+            .match_latency_ns
+            .record_n(latency, emitted);
         if collect_matches {
             matches.append(scratch);
         } else {
@@ -310,13 +438,20 @@ fn worker(
         emitted
     };
     while let Ok(batch) = rx.recv() {
+        if let Some(d) = queue_depth {
+            d.fetch_sub(1, Ordering::Relaxed);
+        }
         let batch_start = Instant::now();
         for event in &batch {
             let ev_start = Instant::now();
             engine.process(event, &mut scratch);
+            events_routed += 1;
+            if events_routed & EVENT_SAMPLE_MASK == 0 {
+                let dt = ev_start.elapsed().as_nanos() as u64;
+                engine.metrics_mut().event_ns.record(dt);
+            }
             match_count += drain(&mut engine, &mut scratch, &mut matches, ev_start);
         }
-        events_routed += batch.len() as u64;
         busy_ns += batch_start.elapsed().as_nanos() as u64;
     }
     let flush_start = Instant::now();

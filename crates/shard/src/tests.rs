@@ -1034,3 +1034,176 @@ proptest! {
         prop_assert_eq!(r.matches, single_threaded(&tree, &stream));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: tracing a sharded run must not change its output, and the
+// emitted records must describe the run faithfully.
+// ---------------------------------------------------------------------------
+
+use cep_obs::{validate_prometheus, MetricsRegistry, RingSink, TraceRecord, Tracer};
+
+proptest! {
+    /// Tracing only observes: for random keyed workloads and shard counts,
+    /// the traced run's matches are byte-identical to the untraced run's,
+    /// and every record in the ring survives a JSONL round trip exactly.
+    #[test]
+    fn traced_sharded_run_is_byte_identical_to_untraced(
+        raw in prop::collection::vec((0u32..3, 0u64..3, 0i64..4), 1..70),
+        shards in 1usize..5,
+    ) {
+        let mut ts = 0u64;
+        let events: Vec<(u32, u64, i64)> = raw
+            .into_iter()
+            .map(|(tid, dt, key)| {
+                ts += dt;
+                (tid, ts, key)
+            })
+            .collect();
+        let stream = keyed_stream(events);
+        let cp = CompiledPattern::compile_single(&keyed_seq(
+            3,
+            10,
+            SelectionStrategy::SkipTillAnyMatch,
+        ))
+        .unwrap();
+        let factory = nfa_factory(cp);
+        let plain = ShardedRuntime::with_shards(shards)
+            .run(&factory, &stream, RoutingPolicy::Partition, true);
+        let ring = StdArc::new(RingSink::new(1 << 16));
+        let traced = ShardedRuntime::with_shards(shards)
+            .with_tracer(Tracer::to_sink(ring.clone()))
+            .run(&factory, &stream, RoutingPolicy::Partition, true);
+        prop_assert_eq!(&traced.matches, &plain.matches);
+        prop_assert_eq!(traced.match_count, plain.match_count);
+        let records = ring.snapshot();
+        prop_assert!(!records.is_empty(), "traced run emitted no records");
+        for r in &records {
+            let line = r.to_json();
+            let back = TraceRecord::from_json(&line).expect("trace line parses");
+            prop_assert_eq!(&back.to_json(), &line);
+        }
+    }
+}
+
+#[test]
+fn shard_trace_records_describe_routing_and_queue_depths() {
+    let config = ShardConfig {
+        shards: 3,
+        batch_size: 8,
+        queue_batches: 2,
+    };
+    let stream = keyed_stream(lcg_workload(400, 3, 6, 0xD47A));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp);
+    let ring = StdArc::new(RingSink::new(1 << 16));
+    let r = ShardedRuntime::new(config.clone())
+        .with_tracer(Tracer::to_sink(ring.clone()))
+        .run(&factory, &stream, RoutingPolicy::HashAttr(0), true);
+
+    let records = ring.snapshot();
+    assert_eq!(
+        ring.total_emitted(),
+        records.len() as u64,
+        "ring overflowed"
+    );
+    let mut routes = 0u64;
+    let mut batch_events = vec![0u64; config.shards];
+    for rec in &records {
+        match rec {
+            TraceRecord::ShardRoute {
+                seq,
+                shard,
+                broadcast,
+                ..
+            } => {
+                assert_eq!(seq % 64, 0, "route sampling is every 64th seq");
+                assert!(!broadcast, "hash routing never broadcasts");
+                assert!((*shard as usize) < config.shards);
+                routes += 1;
+            }
+            TraceRecord::ShardBatch {
+                shard,
+                len,
+                queue_depth,
+            } => {
+                assert!((*shard as usize) < config.shards);
+                assert!(*len >= 1 && *len <= config.batch_size as u64);
+                // Depth counts batches incremented at send and decremented
+                // at receive: bounded by the channel capacity, plus the
+                // batch being sent, plus one the worker has received but
+                // not yet decremented.
+                assert!(
+                    *queue_depth >= 1 && *queue_depth <= config.queue_batches as u64 + 2,
+                    "queue depth {queue_depth} out of range"
+                );
+                batch_events[*shard as usize] += len;
+            }
+            other => panic!("unexpected record kind {:?}", other.kind()),
+        }
+    }
+    // Every 64th seq of the 400-event stream is sampled: seq 0, 64, ... 384.
+    assert_eq!(routes, 7);
+    for (shard, stats) in r.per_shard.iter().enumerate() {
+        assert_eq!(
+            batch_events[shard], stats.events_routed,
+            "batch records must account for every routed event"
+        );
+    }
+}
+
+#[test]
+fn export_exposes_per_shard_busy_times_and_imbalance() {
+    let stream = keyed_stream(lcg_workload(300, 3, 5, 0xBA1A));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp);
+    let r = ShardedRuntime::with_shards(4).run(&factory, &stream, RoutingPolicy::Partition, true);
+
+    let ratio = r.imbalance_ratio();
+    assert!(
+        ratio.is_finite() && ratio >= 1.0,
+        "ratio {ratio} out of range"
+    );
+    assert!(ratio <= 4.0, "ratio {ratio} cannot exceed the shard count");
+
+    let mut reg = MetricsRegistry::new();
+    r.export(&mut reg, &[("run", "test")]);
+    let text = reg.render_prometheus();
+    validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+    // The merged snapshot collapses per-shard wall times; the export must
+    // surface one busy-time sample per shard so skew stays measurable.
+    for shard in 0..4 {
+        assert!(
+            text.contains(&format!(
+                "cep_shard_busy_ns_total{{run=\"test\",shard=\"{shard}\"}}"
+            )),
+            "missing per-shard busy time for shard {shard}:\n{text}"
+        );
+    }
+    assert!(text.contains("cep_shard_imbalance_ratio{run=\"test\"}"));
+    let json = reg.render_json();
+    let doc = cep_obs::json::parse(&json).expect("registry JSON parses");
+    assert!(doc.get("metrics").is_some());
+}
+
+#[test]
+fn untraced_runtime_keeps_disabled_tracer() {
+    let ring = StdArc::new(RingSink::new(16));
+    let stream = keyed_stream(lcg_workload(50, 3, 4, 0x0FF));
+    let cp =
+        CompiledPattern::compile_single(&keyed_seq(3, 10, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let factory = nfa_factory(cp);
+    let tracer = Tracer::to_sink(ring.clone());
+    tracer.set_enabled(false);
+    ShardedRuntime::with_shards(2).with_tracer(tracer).run(
+        &factory,
+        &stream,
+        RoutingPolicy::Partition,
+        false,
+    );
+    assert_eq!(ring.total_emitted(), 0, "disabled tracer must stay silent");
+}

@@ -28,6 +28,13 @@
 //!   and dead-negation detection, Kleene state-blowup warnings, and the
 //!   plan-invariant verifier (`A010`) the planner, adaptive swap path,
 //!   and sharded runtime run in debug builds. Ships the `cep-lint` tool.
+//! * [`obs`] (`cep-obs`) — observability: structured trace records
+//!   (plan-swap decisions, replay windows, shard routing and queue
+//!   depths, match emissions) behind a near-zero-cost [`obs::Tracer`],
+//!   log₂-bucketed latency histograms with p50/p95/p99, and a
+//!   [`obs::MetricsRegistry`] rendering Prometheus text exposition and
+//!   JSON. Tracing only observes: traced runs are byte-identical to
+//!   untraced ones.
 //!
 //! ## Quick start
 //!
@@ -63,6 +70,7 @@ pub use cep_adaptive as adaptive;
 pub use cep_analyze as analyze;
 pub use cep_core as core;
 pub use cep_nfa as nfa;
+pub use cep_obs as obs;
 pub use cep_optimizer as optimizer;
 pub use cep_sase as sase;
 pub use cep_shard as shard;
@@ -90,6 +98,9 @@ pub mod prelude {
     };
     pub use cep_core::prelude::*;
     pub use cep_nfa::NfaEngine;
+    pub use cep_obs::{
+        LatencyHistogram, MetricsRegistry, RingSink, TraceRecord, TraceSink, Tracer,
+    };
     pub use cep_optimizer::planner::{LatencyAnchor, Planner, PlannerConfig};
     pub use cep_optimizer::{OrderAlgorithm, SelectivityMonitor, StatsMonitor, TreeAlgorithm};
     pub use cep_sase::{parse_pattern, pretty_pattern};
