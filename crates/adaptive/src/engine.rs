@@ -181,6 +181,19 @@ pub trait Replanner: Send {
         0
     }
 
+    /// Compiled-plan cache hits of the implementation's program cache so
+    /// far (surfaced as [`EngineMetrics::plan_cache_hits`]). Default 0 (no
+    /// cache in play).
+    fn plan_cache_hits(&self) -> u64 {
+        0
+    }
+
+    /// Compiled-plan cache misses of the implementation's program cache so
+    /// far (surfaced as [`EngineMetrics::plan_cache_misses`]). Default 0.
+    fn plan_cache_misses(&self) -> u64 {
+        0
+    }
+
     /// Cost breakdown of the most recent `replan`/`replan_amortized`
     /// call, for tracing: incumbent vs best candidate, per window, under
     /// the statistics of that call. `None` when the last attempt bailed
@@ -354,6 +367,8 @@ impl<R: Replanner> AdaptiveEngine<R> {
         agg.replay_time_ns = self.metrics.replay_time_ns;
         agg.suppressed_swaps = self.metrics.suppressed_swaps;
         agg.selectivity_samples = self.replanner.selectivity_samples();
+        agg.plan_cache_hits = self.replanner.plan_cache_hits();
+        agg.plan_cache_misses = self.replanner.plan_cache_misses();
         agg.retained_events = self.retained.len();
         agg.peak_retained_events = self.metrics.peak_retained_events.max(self.retained.len());
         let inner = self.inner.metrics();

@@ -4,6 +4,7 @@
 
 use crate::engine::{ReplanCosts, ReplanVerdict, Replanner, SwapCost};
 use cep_core::compile::CompiledPattern;
+use cep_core::compiled::{shared_plan_cache, SharedPlanCache};
 use cep_core::engine::{Engine, EngineConfig, MultiEngine};
 use cep_core::error::CepError;
 use cep_core::event::EventRef;
@@ -19,6 +20,12 @@ use cep_tree::TreeEngine;
 /// Matches a replan is based on before the output profiler may override
 /// the latency anchor (Section 6.1's "enough evidence" knob).
 const PROFILER_MIN_SAMPLES: u64 = 64;
+
+/// Capacity of the default per-replanner compiled-plan cache. Replans keep
+/// the pattern structure fixed and only reorder evaluation, so each branch
+/// occupies one slot and every post-swap rebuild is a hit; the headroom
+/// covers multi-branch patterns.
+const DEFAULT_PLAN_CACHE_CAP: usize = 64;
 
 /// Default hysteresis of [`PlanReplanner`]: a candidate plan must predict
 /// at least this relative cost improvement over the incumbent (under the
@@ -84,6 +91,11 @@ pub struct PlanReplanner {
     branches: Vec<Branch>,
     profiler: OutputProfiler,
     min_improvement: f64,
+    /// Signature-keyed compiled-program cache shared by every engine this
+    /// replanner builds (including across hot swaps and factory clones):
+    /// the pattern's predicates are lowered once, and every rebuild for an
+    /// unchanged pattern reuses the compiled program.
+    plan_cache: SharedPlanCache,
     /// Cost pair of the widest-improvement branch in the last replan
     /// attempt (see [`Replanner::last_costs`]); `None` until the first
     /// attempt or after one that errored before costing.
@@ -114,6 +126,7 @@ impl PlanReplanner {
             branches: Vec::with_capacity(branches.len()),
             profiler: OutputProfiler::new(n0, PROFILER_MIN_SAMPLES),
             min_improvement: DEFAULT_MIN_IMPROVEMENT,
+            plan_cache: shared_plan_cache(DEFAULT_PLAN_CACHE_CAP),
             last_costs: None,
         };
         for (cp, sels) in branches {
@@ -225,6 +238,19 @@ impl PlanReplanner {
         self
     }
 
+    /// Replaces the compiled-plan cache, e.g. with a traced one
+    /// ([`cep_core::compiled::PlanCache::with_tracer`]) or one shared with
+    /// other replanners or static factories.
+    pub fn with_plan_cache(mut self, cache: SharedPlanCache) -> PlanReplanner {
+        self.plan_cache = cache;
+        self
+    }
+
+    /// The compiled-plan cache engines built by this replanner draw from.
+    pub fn plan_cache(&self) -> &SharedPlanCache {
+        &self.plan_cache
+    }
+
     /// Cost of a plan for one branch under the given statistics and cost
     /// model.
     fn plan_cost(
@@ -260,15 +286,40 @@ impl Replanner for PlanReplanner {
         let mut engines: Vec<Box<dyn Engine>> = self
             .branches
             .iter()
-            .map(|b| match &b.plan {
-                CurrentPlan::Order(plan) => Box::new(
-                    NfaEngine::new(b.cp.clone(), plan.clone(), self.engine_config.clone())
+            .map(|b| {
+                // Signature-keyed program reuse: across hot swaps the
+                // pattern (and so its signature) is unchanged, so every
+                // rebuild after the first is a cache hit.
+                let program = if self.engine_config.compiled_predicates {
+                    Some(
+                        self.plan_cache
+                            .lock()
+                            .expect("plan cache poisoned")
+                            .get_or_compile(&b.cp),
+                    )
+                } else {
+                    None
+                };
+                match &b.plan {
+                    CurrentPlan::Order(plan) => Box::new(
+                        NfaEngine::with_program(
+                            b.cp.clone(),
+                            plan.clone(),
+                            self.engine_config.clone(),
+                            program,
+                        )
                         .expect("pre-validated plan"),
-                ) as Box<dyn Engine>,
-                CurrentPlan::Tree(plan) => Box::new(
-                    TreeEngine::new(b.cp.clone(), plan.clone(), self.engine_config.clone())
+                    ) as Box<dyn Engine>,
+                    CurrentPlan::Tree(plan) => Box::new(
+                        TreeEngine::with_program(
+                            b.cp.clone(),
+                            plan.clone(),
+                            self.engine_config.clone(),
+                            program,
+                        )
                         .expect("pre-validated plan"),
-                ) as Box<dyn Engine>,
+                    ) as Box<dyn Engine>,
+                }
             })
             .collect();
         if engines.len() == 1 {
@@ -412,6 +463,17 @@ impl Replanner for PlanReplanner {
             .filter_map(|b| b.monitor.as_ref().map(|m| m.samples()))
             .max()
             .unwrap_or(0)
+    }
+
+    fn plan_cache_hits(&self) -> u64 {
+        self.plan_cache.lock().expect("plan cache poisoned").hits()
+    }
+
+    fn plan_cache_misses(&self) -> u64 {
+        self.plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .misses()
     }
 
     fn observe_match(&mut self, m: &Match) {

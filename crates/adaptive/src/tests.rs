@@ -207,6 +207,74 @@ fn real_replanner_swaps_on_drift_and_output_is_byte_identical() {
 }
 
 #[test]
+fn adaptive_replans_hit_the_compiled_plan_cache() {
+    use cep_optimizer::TreeAlgorithm;
+    let stream = two_phase_stream(4_000);
+    for kind in [
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        PlanKind::Tree(TreeAlgorithm::DpB),
+    ] {
+        let cp = CompiledPattern::compile_single(&seq_pattern(
+            3,
+            50,
+            SelectionStrategy::SkipTillAnyMatch,
+        ))
+        .unwrap();
+        let replanner = PlanReplanner::new(
+            vec![(cp, vec![])],
+            &phase1_stats(),
+            Planner::default(),
+            kind,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let cache = replanner.plan_cache().clone();
+        let mut adaptive = AdaptiveEngine::new(
+            replanner,
+            50,
+            AdaptiveConfig {
+                horizon_ms: 500,
+                drift_threshold: 0.5,
+                check_every: 64,
+                cooldown_events: 128,
+                ..AdaptiveConfig::default()
+            },
+        );
+        run_engine(&mut adaptive, &stream);
+        let swaps = adaptive.swaps();
+        assert!(swaps >= 1, "the rate flip must trigger at least one swap");
+        // The pattern is unchanged across swaps, so its predicates are
+        // lowered exactly once (the initial build) and every post-swap
+        // rebuild reuses the cached program.
+        let c = cache.lock().unwrap();
+        assert_eq!(c.misses(), 1, "one branch compiles once");
+        assert_eq!(c.hits(), swaps, "every swap rebuild must be a cache hit");
+        // The counters surface through the adaptive engine's metrics.
+        assert_eq!(adaptive.metrics().plan_cache_hits, swaps);
+        assert_eq!(adaptive.metrics().plan_cache_misses, 1);
+    }
+    // With compiled predicates disabled the cache is never consulted.
+    let cp =
+        CompiledPattern::compile_single(&seq_pattern(3, 50, SelectionStrategy::SkipTillAnyMatch))
+            .unwrap();
+    let replanner = PlanReplanner::new(
+        vec![(cp, vec![])],
+        &phase1_stats(),
+        Planner::default(),
+        PlanKind::Order(OrderAlgorithm::DpLd),
+        EngineConfig {
+            compiled_predicates: false,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let cache = replanner.plan_cache().clone();
+    let _ = replanner.build();
+    let c = cache.lock().unwrap();
+    assert_eq!(c.hits() + c.misses(), 0);
+}
+
+#[test]
 fn forced_swaps_are_exact_for_both_engine_families() {
     let stream = lcg_stream(300, 3, 0xADA971);
     for strategy in [

@@ -83,21 +83,72 @@ fn kleene_cap(c: &mut Criterion) {
         .unwrap()
         .pattern;
     let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let run_once = |cap: usize, compiled: bool| {
+        let cfg = EngineConfig {
+            max_kleene_events: cap,
+            compiled_predicates: compiled,
+            ..Default::default()
+        };
+        let mut engine = NfaEngine::with_trivial_plan(cp.clone(), cfg);
+        run_to_completion(&mut engine, env.stream(), false).match_count
+    };
     let mut group = c.benchmark_group("ablation_kleene_cap");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     for cap in [2usize, 4, 8, 12] {
-        group.bench_with_input(BenchmarkId::new("nfa", cap), &cap, |b, &cap| {
-            b.iter(|| {
-                let cfg = EngineConfig {
-                    max_kleene_events: cap,
-                    ..Default::default()
-                };
-                let mut engine = NfaEngine::with_trivial_plan(cp.clone(), cfg);
-                black_box(run_to_completion(&mut engine, env.stream(), false).match_count)
-            })
+        // The compiled pipeline is a pure optimization at every cap: any
+        // divergence in match counts makes the timing meaningless, so
+        // assert it before measuring.
+        assert_eq!(
+            run_once(cap, false),
+            run_once(cap, true),
+            "compiled pipeline changed match counts at kleene cap {cap}"
+        );
+        for (label, compiled) in [("nfa-interpreted", false), ("nfa-compiled", true)] {
+            group.bench_with_input(BenchmarkId::new(label, cap), &cap, |b, &cap| {
+                b.iter(|| black_box(run_once(cap, compiled)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Sensitivity of the planner to the bounded-Kleene rate refinement
+/// (`StatsOptions::max_kleene_events`): planning time and the chosen
+/// order as the cost model moves from power-set semantics (no cap) to the
+/// Σ C(m, j) subset count a capped engine can actually materialize.
+fn kleene_cost_refinement(c: &mut Criterion) {
+    let env = ablation_env();
+    let measured = analytic_measured_stats(&env.gen);
+    let mut rng = StdRng::seed_from_u64(11);
+    let pattern = generate_pattern(PatternSetKind::Kleene, 5, &env.gen, &env.workload, &mut rng)
+        .unwrap()
+        .pattern;
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let sels = analytic_selectivities(&cp, &env.gen);
+    let mut group = c.benchmark_group("ablation_kleene_cost_refinement");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for cap in [None, Some(2usize), Some(4), Some(8), Some(12)] {
+        let planner = match cap {
+            None => Planner::default(),
+            Some(k) => Planner::default().with_max_kleene_events(k),
+        };
+        let stats = planner.stats_for(&cp, &measured, &sels).unwrap();
+        let label = cap.map_or("unbounded".to_string(), |k| k.to_string());
+        let order = planner
+            .plan_order(&cp, &stats, OrderAlgorithm::DpLd)
+            .unwrap();
+        eprintln!(
+            "kleene cost refinement cap={label}: DP-LD order {:?}",
+            order.order()
+        );
+        group.bench_with_input(BenchmarkId::new("DP-LD", &label), &cap, |b, _| {
+            b.iter(|| black_box(planner.plan_order(&cp, &stats, OrderAlgorithm::DpLd)))
         });
     }
     group.finish();
@@ -142,5 +193,11 @@ fn temporal_selectivity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ii_seeding, kleene_cap, temporal_selectivity);
+criterion_group!(
+    benches,
+    ii_seeding,
+    kleene_cap,
+    kleene_cost_refinement,
+    temporal_selectivity
+);
 criterion_main!(benches);

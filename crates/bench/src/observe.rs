@@ -23,6 +23,7 @@
 
 use crate::env::{cross_key_stock_workload, drifting_stock_workload};
 use cep_adaptive::{AdaptiveConfig, AdaptiveEngine, PlanKind, PlanReplanner};
+use cep_core::compiled::PlanCache;
 use cep_core::engine::{run_traced, Engine, EngineConfig};
 use cep_core::partition::QueryPartitioner;
 use cep_core::stats::MeasuredStats;
@@ -34,7 +35,7 @@ use cep_obs::{
 use cep_optimizer::{OrderAlgorithm, Planner};
 use cep_shard::{RoutingPolicy, ShardedRuntime};
 use std::io::Write;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A demo query carrying a deliberate defect (a transitively redundant
 /// predicate, `A006`), so the diagnostic path of the trace always has
@@ -89,6 +90,10 @@ pub fn run(
     // --- Adaptive run: every replan decision and replay window traced. --
     let window_ms = 3_000;
     let (gen, cp, sels) = drifting_stock_workload(4_000, 12_000, 0xCE9, window_ms);
+    // The replanner compiles predicate programs through a traced plan
+    // cache: the first build records a miss, every post-swap rebuild a hit,
+    // all visible as `plan_cache_lookup` records in the timeline below.
+    let plan_cache = Arc::new(Mutex::new(PlanCache::new(64).with_tracer(tracer.clone())));
     let replanner = PlanReplanner::new(
         vec![(cp, sels)],
         &gen.initial_stats(),
@@ -96,7 +101,8 @@ pub fn run(
         PlanKind::Order(OrderAlgorithm::DpLd),
         engine_config(),
     )
-    .map_err(|e| format!("replanner setup failed: {e}"))?;
+    .map_err(|e| format!("replanner setup failed: {e}"))?
+    .with_plan_cache(plan_cache.clone());
     let mut adaptive = AdaptiveEngine::new(
         replanner,
         window_ms,
@@ -113,10 +119,13 @@ pub fn run(
     let m = adaptive.metrics();
     writeln!(
         out,
-        "\nadaptive run: {} events, {} matches, {} plan swaps",
+        "\nadaptive run: {} events, {} matches, {} plan swaps, \
+         plan cache {}/{} hits/misses",
         m.events_processed,
         r.match_count,
-        adaptive.swaps()
+        adaptive.swaps(),
+        m.plan_cache_hits,
+        m.plan_cache_misses,
     )
     .ok();
     m.export(&mut reg, &[("run", "adaptive")]);
@@ -204,6 +213,18 @@ pub fn run(
             TraceRecord::ShardBatch { queue_depth, .. } => {
                 max_queue_depth = max_queue_depth.max(*queue_depth);
             }
+            TraceRecord::PlanCacheLookup {
+                signature,
+                hit,
+                size,
+            } => {
+                writeln!(
+                    out,
+                    "plan cache     {}  signature {signature:#018x}  {size} cached",
+                    if *hit { "hit " } else { "miss" },
+                )
+                .ok();
+            }
             TraceRecord::DiagnosticEmitted {
                 code,
                 severity,
@@ -264,6 +285,7 @@ pub fn run(
 /// ones mean an instrumentation site regressed silently.
 const REQUIRED_KINDS: &[&str] = &[
     "plan_swap_decision",
+    "plan_cache_lookup",
     "replay_window",
     "shard_route",
     "shard_batch",
@@ -342,6 +364,7 @@ mod tests {
         let text = String::from_utf8(log).unwrap();
         assert!(text.contains("round-trip byte-identically"));
         assert!(text.contains("plan_swap_decision"));
+        assert!(text.contains("plan_cache_lookup"));
     }
 
     #[test]

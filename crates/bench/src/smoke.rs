@@ -12,8 +12,15 @@
 //! serialized to the same canonical JSON as the baseline and compared
 //! *textually* — any divergence (a lost match, a missing swap, a dedup
 //! regression) fails the job, while timing noise cannot. The full report
-//! (counts + wall times) is written to `BENCH_PR5.json` as a build
+//! (counts + wall times) is written to `BENCH_PR8.json` as a build
 //! artifact.
+//!
+//! The `compiled-pipeline` scenario additionally runs the same workload
+//! through the interpreted predicate path and the compiled pipeline
+//! (fused evaluators + arena + eager pruning): match counts and predicate
+//! evaluation counts are gated like every other scenario, and the two
+//! wall times are reported side by side so a compiled-path slowdown is
+//! visible in every CI log.
 
 use crate::env::{
     cross_key_stock_workload, drifting_stock_workload, replicated_stock_workload,
@@ -39,6 +46,11 @@ pub struct ScenarioReport {
     /// logs and the full JSON but **excluded from [`counts_json`]** — the
     /// committed baseline stays machine-independent.
     pub percentiles: Vec<(&'static str, [u64; 3])>,
+    /// Named sub-run wall times in milliseconds (e.g. interpreted vs
+    /// compiled). Timing-dependent like [`ScenarioReport::percentiles`]:
+    /// logged and written to the full JSON, never part of the diffed
+    /// baseline.
+    pub walls: Vec<(&'static str, f64)>,
 }
 
 fn engine_config() -> EngineConfig {
@@ -58,6 +70,7 @@ fn timed(name: &'static str, f: impl FnOnce() -> ScenarioData) -> ScenarioReport
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         counts,
         percentiles,
+        walls: Vec::new(),
     }
 }
 
@@ -237,6 +250,75 @@ fn cross_partition() -> ScenarioReport {
     })
 }
 
+/// Compiled pipeline vs interpreted predicates on the same seeded
+/// workload, both engine families. Match counts and predicate-evaluation
+/// counts are deterministic and gated against the baseline; the
+/// interpreted/compiled wall times land in [`ScenarioReport::walls`] so
+/// every CI log shows the speedup (and the test below holds the compiled
+/// path to "not slower").
+fn compiled_pipeline() -> ScenarioReport {
+    use cep_tree::TreeEngine;
+    let start = Instant::now();
+    let (gen, cp) = replicated_stock_workload(6_000, 0.5, 0xCE9, 8, 1_500);
+    let nfa_run = |compiled: bool| {
+        let cfg = EngineConfig {
+            compiled_predicates: compiled,
+            ..engine_config()
+        };
+        let mut engine = NfaEngine::with_trivial_plan(cp.clone(), cfg);
+        let t = Instant::now();
+        let matches = run_to_completion(&mut engine, &gen.stream, false).match_count;
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        let m = engine.metrics().clone();
+        (
+            matches,
+            m.predicate_evaluations,
+            wall,
+            m.event_ns.percentiles(),
+        )
+    };
+    let tree_run = |compiled: bool| {
+        let cfg = EngineConfig {
+            compiled_predicates: compiled,
+            ..engine_config()
+        };
+        let mut engine = TreeEngine::with_trivial_plan(cp.clone(), cfg);
+        let t = Instant::now();
+        let matches = run_to_completion(&mut engine, &gen.stream, false).match_count;
+        (matches, t.elapsed().as_secs_f64() * 1e3)
+    };
+    // Two passes per mode, keep the faster one: halves scheduler noise
+    // without making the wall comparison stateful.
+    let (int_matches, int_evals, int_wall_a, int_pcts) = nfa_run(false);
+    let (_, _, int_wall_b, _) = nfa_run(false);
+    let (cmp_matches, cmp_evals, cmp_wall_a, cmp_pcts) = nfa_run(true);
+    let (_, _, cmp_wall_b, _) = nfa_run(true);
+    let (tree_int_matches, tree_int_wall) = tree_run(false);
+    let (tree_cmp_matches, tree_cmp_wall) = tree_run(true);
+    ScenarioReport {
+        name: "compiled-pipeline",
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        counts: vec![
+            ("interpreted_matches", int_matches),
+            ("compiled_matches", cmp_matches),
+            ("interpreted_pred_evals", int_evals),
+            ("compiled_pred_evals", cmp_evals),
+            ("tree_interpreted_matches", tree_int_matches),
+            ("tree_compiled_matches", tree_cmp_matches),
+        ],
+        percentiles: vec![
+            ("interpreted_event_ns", int_pcts),
+            ("compiled_event_ns", cmp_pcts),
+        ],
+        walls: vec![
+            ("nfa_interpreted_ms", int_wall_a.min(int_wall_b)),
+            ("nfa_compiled_ms", cmp_wall_a.min(cmp_wall_b)),
+            ("tree_interpreted_ms", tree_int_wall),
+            ("tree_compiled_ms", tree_cmp_wall),
+        ],
+    }
+}
+
 /// Runs all gate scenarios at the fixed quick scale.
 pub fn run_all() -> Vec<ScenarioReport> {
     vec![
@@ -244,6 +326,7 @@ pub fn run_all() -> Vec<ScenarioReport> {
         adaptive_drift(),
         selectivity_drift(),
         cross_partition(),
+        compiled_pipeline(),
     ]
 }
 
@@ -281,6 +364,13 @@ pub fn full_json(reports: &[ScenarioReport]) -> String {
             }
             s.push_str(&format!("\"{k}\": {v}"));
         }
+        s.push_str("}, \"walls_ms\": {");
+        for (j, (k, w)) in r.walls.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": {w:.3}"));
+        }
         s.push_str("}, \"percentiles_ns\": {");
         for (j, (k, [p50, p95, p99])) in r.percentiles.iter().enumerate() {
             if j > 0 {
@@ -316,6 +406,9 @@ pub fn run(
         writeln!(log, "{}: {:.0} ms, counts:", r.name, r.wall_ms).ok();
         for (k, v) in &r.counts {
             writeln!(log, "    {k} = {v}").ok();
+        }
+        for (k, w) in &r.walls {
+            writeln!(log, "    {k} = {w:.1} ms").ok();
         }
         if !r.percentiles.is_empty() {
             writeln!(
@@ -366,16 +459,19 @@ mod tests {
                 wall_ms: 1.0,
                 counts: vec![("x", 1), ("y", 2)],
                 percentiles: vec![("lat", [10, 20, 30])],
+                walls: vec![("fast", 0.5)],
             },
             ScenarioReport {
                 name: "b",
                 wall_ms: 2.0,
                 counts: vec![("z", 3)],
                 percentiles: Vec::new(),
+                walls: Vec::new(),
             },
         ];
-        // Percentiles are timing-dependent and MUST stay out of the
-        // canonical counts the committed baseline is diffed against.
+        // Percentiles and sub-run walls are timing-dependent and MUST stay
+        // out of the canonical counts the committed baseline is diffed
+        // against.
         assert_eq!(
             counts_json(&reports),
             "{\n  \"a\": {\"x\": 1, \"y\": 2},\n  \"b\": {\"z\": 3}\n}\n"
@@ -384,6 +480,7 @@ mod tests {
         assert!(full.contains("\"name\": \"a\""));
         assert!(full.contains("\"wall_ms\""));
         assert!(full.contains("\"z\": 3"));
+        assert!(full.contains("\"fast\": 0.500"));
         assert!(full.contains("\"lat\": {\"p50\": 10, \"p95\": 20, \"p99\": 30}"));
     }
 
@@ -401,5 +498,45 @@ mod tests {
             .iter()
             .filter(|(k, _)| k.starts_with("shards"))
             .all(|&(_, v)| v == serial));
+    }
+
+    /// The compiled pipeline must be a pure optimization: identical match
+    /// counts on both engine families, strictly fewer predicate
+    /// evaluations (fused filters + eager pruning), and a wall time that
+    /// does not regress past noise.
+    #[test]
+    fn compiled_pipeline_is_equal_output_and_not_slower() {
+        let r = compiled_pipeline();
+        let count = |key: &str| {
+            r.counts
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(count("interpreted_matches"), count("compiled_matches"));
+        assert_eq!(
+            count("tree_interpreted_matches"),
+            count("tree_compiled_matches")
+        );
+        assert!(
+            count("compiled_pred_evals") <= count("interpreted_pred_evals"),
+            "fused evaluators should never evaluate more than the interpreter"
+        );
+        let wall = |key: &str| {
+            r.walls
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, w)| w)
+                .unwrap()
+        };
+        // Generous noise allowance: the gate is "not slower", the precise
+        // speedup is criterion's job (benches/ablation.rs).
+        assert!(
+            wall("nfa_compiled_ms") <= wall("nfa_interpreted_ms") * 1.5,
+            "compiled path regressed: {:.1} ms vs {:.1} ms interpreted",
+            wall("nfa_compiled_ms"),
+            wall("nfa_interpreted_ms"),
+        );
     }
 }

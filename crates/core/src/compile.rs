@@ -393,6 +393,60 @@ impl CompiledPattern {
         let n = self.n();
         (0..n).find(|&i| (0..n).all(|j| j == i || self.precedes[j][i]))
     }
+
+    /// Canonical signature of this branch: a stable (cross-run,
+    /// cross-platform) hash over the pattern structure — operator, element
+    /// positions/types/Kleene flags, negated elements with their bounds,
+    /// the full predicate set, window, selection strategy, and the
+    /// precedence closure. Two branches with equal signatures compile to
+    /// interchangeable evaluator programs, which is what keys the
+    /// [`PlanCache`](crate::compiled::PlanCache).
+    pub fn signature(&self) -> u64 {
+        use crate::compiled::{cmp_op_tag, write_operand, SigHasher};
+        let mut h = SigHasher::new();
+        h.write_u8(match self.op {
+            NaryOp::Seq => 0,
+            NaryOp::And => 1,
+        });
+        h.write_u64(self.elements.len() as u64);
+        for e in &self.elements {
+            h.write_u64(e.position as u64);
+            h.write_u64(e.event_type.0 as u64);
+            h.write_u8(e.kleene as u8);
+        }
+        h.write_u64(self.negated.len() as u64);
+        for ne in &self.negated {
+            h.write_u64(ne.position as u64);
+            h.write_u64(ne.event_type.0 as u64);
+            h.write_u64(ne.before.len() as u64);
+            for &b in &ne.before {
+                h.write_u64(b as u64);
+            }
+            h.write_u64(ne.after.len() as u64);
+            for &a in &ne.after {
+                h.write_u64(a as u64);
+            }
+        }
+        h.write_u64(self.predicates.len() as u64);
+        for p in &self.predicates {
+            write_operand(&mut h, &p.left);
+            h.write_u8(cmp_op_tag(p.op));
+            write_operand(&mut h, &p.right);
+        }
+        h.write_u64(self.window);
+        h.write_u8(match self.strategy {
+            crate::selection::SelectionStrategy::SkipTillAnyMatch => 0,
+            crate::selection::SelectionStrategy::SkipTillNextMatch => 1,
+            crate::selection::SelectionStrategy::StrictContiguity => 2,
+            crate::selection::SelectionStrategy::PartitionContiguity => 3,
+        });
+        for row in &self.precedes {
+            for &b in row {
+                h.write_u8(b as u8);
+            }
+        }
+        h.finish()
+    }
 }
 
 /// A DNF atom.

@@ -2,6 +2,7 @@
 //! shared by the order-based (NFA) and tree-based engines.
 
 use crate::compile::CompiledPattern;
+use crate::compiled::PredicateProgram;
 use crate::event::{EventRef, Timestamp};
 use crate::matches::Binding;
 use crate::metrics::EngineMetrics;
@@ -31,6 +32,11 @@ pub struct Instance {
     /// For an instance waiting at a Kleene state: the smallest serial number
     /// the accumulator may take next. Enumerates each subset exactly once.
     pub kl_gate: u64,
+    /// Allocation generation stamped by the [`InstanceArena`] that derived
+    /// this instance (0 for instances created outside an arena). Purely
+    /// diagnostic: reused shells are fully re-initialized, so the
+    /// generation only tells allocations apart.
+    pub generation: u64,
 }
 
 impl Instance {
@@ -45,6 +51,7 @@ impl Instance {
             partition: None,
             event_count: 0,
             kl_gate: 0,
+            generation: 0,
         }
     }
 
@@ -75,26 +82,36 @@ impl Instance {
         self.event_count += 1;
     }
 
+    /// Binds `event` at non-Kleene element `elem`, in place.
+    fn bind_single(&mut self, elem: usize, event: EventRef) {
+        self.absorb_event_extents(&event);
+        self.bindings[elem] = Some(Binding::One(event));
+        self.kl_gate = 0;
+    }
+
+    /// Appends `event` to the Kleene accumulator of `elem`, in place.
+    fn bind_kleene(&mut self, elem: usize, event: EventRef) {
+        let gate = event.seq + 1;
+        self.absorb_event_extents(&event);
+        match &mut self.bindings[elem] {
+            Some(Binding::Many(es)) => es.push(event),
+            slot @ None => *slot = Some(Binding::Many(vec![event])),
+            Some(Binding::One(_)) => unreachable!("Kleene element bound as single"),
+        }
+        self.kl_gate = gate;
+    }
+
     /// Clone with `event` bound at non-Kleene element `elem`.
     pub fn with_single(&self, elem: usize, event: EventRef) -> Instance {
         let mut inst = self.clone();
-        inst.absorb_event_extents(&event);
-        inst.bindings[elem] = Some(Binding::One(event));
-        inst.kl_gate = 0;
+        inst.bind_single(elem, event);
         inst
     }
 
     /// Clone with `event` appended to the Kleene accumulator of `elem`.
     pub fn with_kleene(&self, elem: usize, event: EventRef) -> Instance {
         let mut inst = self.clone();
-        let gate = event.seq + 1;
-        inst.absorb_event_extents(&event);
-        match &mut inst.bindings[elem] {
-            Some(Binding::Many(es)) => es.push(event),
-            slot @ None => *slot = Some(Binding::Many(vec![event])),
-            Some(Binding::One(_)) => unreachable!("Kleene element bound as single"),
-        }
-        inst.kl_gate = gate;
+        inst.bind_kleene(elem, event);
         inst
     }
 
@@ -117,9 +134,28 @@ impl Instance {
 /// bindings: distinctness, filters, pairwise predicates, temporal
 /// precedence, window, and selection-strategy feasibility.
 ///
-/// `metrics` counts predicate evaluations.
+/// `metrics` counts predicate evaluations. Interpreted path; see
+/// [`compatible_with`] for the compiled one.
 pub fn compatible(
     cp: &CompiledPattern,
+    inst: &Instance,
+    elem: usize,
+    event: &EventRef,
+    consumed: &HashSet<u64>,
+    metrics: &mut EngineMetrics,
+) -> bool {
+    compatible_with(cp, None, inst, elem, event, consumed, metrics)
+}
+
+/// [`compatible`] with an optional compiled [`PredicateProgram`]: when
+/// `prog` is `Some`, filters and pairwise predicates evaluate through the
+/// pre-lowered (and fused) evaluators instead of walking the predicate
+/// ASTs. The decision is identical either way; only
+/// [`EngineMetrics::predicate_evaluations`] may differ (fused ranges count
+/// one invocation where the interpreted path counts each conjunct).
+pub fn compatible_with(
+    cp: &CompiledPattern,
+    prog: Option<&PredicateProgram>,
     inst: &Instance,
     elem: usize,
     event: &EventRef,
@@ -141,10 +177,19 @@ pub fn compatible(
         }
     }
     // Filters.
-    for &pi in cp.filters_of(elem) {
-        metrics.predicate_evaluations += 1;
-        if !cp.predicates[pi].eval_single(cp.elements[elem].position, event) {
-            return false;
+    match prog {
+        Some(pr) => {
+            if !pr.element_passes(elem, event, &mut metrics.predicate_evaluations) {
+                return false;
+            }
+        }
+        None => {
+            for &pi in cp.filters_of(elem) {
+                metrics.predicate_evaluations += 1;
+                if !cp.predicates[pi].eval_single(cp.elements[elem].position, event) {
+                    return false;
+                }
+            }
         }
     }
     // Pairwise predicates and precedence against bound elements.
@@ -159,13 +204,27 @@ pub fn compatible(
                 return false;
             }
         }
-        let pos_j = cp.elements[j].position;
-        for &pi in cp.predicates_between(elem, j) {
-            let p = &cp.predicates[pi];
-            for other in binding.events() {
-                metrics.predicate_evaluations += 1;
-                if !p.eval_pair(pos, event, pos_j, other) {
-                    return false;
+        match prog {
+            Some(pr) => {
+                for pair in pr.pairs_between(elem, j) {
+                    for other in binding.events() {
+                        metrics.predicate_evaluations += 1;
+                        if !pair.eval(event, other) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            None => {
+                let pos_j = cp.elements[j].position;
+                for &pi in cp.predicates_between(elem, j) {
+                    let p = &cp.predicates[pi];
+                    for other in binding.events() {
+                        metrics.predicate_evaluations += 1;
+                        if !p.eval_pair(pos, event, pos_j, other) {
+                            return false;
+                        }
+                    }
                 }
             }
         }
@@ -198,8 +257,22 @@ pub fn compatible(
 /// Checks whether two instances over *disjoint element sets* (sibling
 /// subtrees of a tree plan) can merge: distinct events, window, temporal
 /// precedence, cross predicates, and selection-strategy feasibility.
+/// Interpreted path; see [`merge_compatible_with`] for the compiled one.
 pub fn merge_compatible(
     cp: &CompiledPattern,
+    left: &Instance,
+    right: &Instance,
+    consumed: &HashSet<u64>,
+    metrics: &mut EngineMetrics,
+) -> bool {
+    merge_compatible_with(cp, None, left, right, consumed, metrics)
+}
+
+/// [`merge_compatible`] with an optional compiled [`PredicateProgram`];
+/// same decision, pre-lowered evaluators when `prog` is `Some`.
+pub fn merge_compatible_with(
+    cp: &CompiledPattern,
+    prog: Option<&PredicateProgram>,
     left: &Instance,
     right: &Instance,
     consumed: &HashSet<u64>,
@@ -233,15 +306,31 @@ pub fn merge_compatible(
             if cp.must_precede(j, i) && bj.max_ts() >= bi.min_ts() {
                 return false;
             }
-            let pos_i = cp.elements[i].position;
-            let pos_j = cp.elements[j].position;
-            for &pi in cp.predicates_between(i, j) {
-                let p = &cp.predicates[pi];
-                for x in bi.events() {
-                    for y in bj.events() {
-                        metrics.predicate_evaluations += 1;
-                        if !p.eval_pair(pos_i, x, pos_j, y) {
-                            return false;
+            match prog {
+                Some(pr) => {
+                    for pair in pr.pairs_between(i, j) {
+                        for x in bi.events() {
+                            for y in bj.events() {
+                                metrics.predicate_evaluations += 1;
+                                if !pair.eval(x, y) {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let pos_i = cp.elements[i].position;
+                    let pos_j = cp.elements[j].position;
+                    for &pi in cp.predicates_between(i, j) {
+                        let p = &cp.predicates[pi];
+                        for x in bi.events() {
+                            for y in bj.events() {
+                                metrics.predicate_evaluations += 1;
+                                if !p.eval_pair(pos_i, x, pos_j, y) {
+                                    return false;
+                                }
+                            }
                         }
                     }
                 }
@@ -287,6 +376,141 @@ impl Instance {
         out.event_count = self.event_count + other.event_count;
         out.kl_gate = 0;
         out
+    }
+}
+
+/// A reuse pool for partial-match instances.
+///
+/// Engine hot paths derive thousands of short-lived instances per event
+/// (forks, Kleene growth, joins) and kill most of them shortly after
+/// (window expiry, consumed events). Deriving through the arena reuses the
+/// `bindings` vector spine of retired instances instead of re-allocating
+/// it, and [`retain_or_retire`] routes kill-path removals back into the
+/// pool. Each derived instance is stamped with a monotonically increasing
+/// [`Instance::generation`].
+///
+/// The arena is purely an allocation strategy: derived instances are fully
+/// re-initialized, so engine results are byte-identical with or without
+/// reuse.
+#[derive(Debug, Default)]
+pub struct InstanceArena {
+    free: Vec<Instance>,
+    generation: u64,
+    allocs: u64,
+    reuses: u64,
+}
+
+impl InstanceArena {
+    /// Retired shells kept for reuse; beyond this the shells are dropped.
+    const MAX_FREE: usize = 4096;
+
+    /// Fresh, empty arena.
+    pub fn new() -> InstanceArena {
+        InstanceArena::default()
+    }
+
+    /// A copy of `src` backed by a reused shell when one is available.
+    fn derive(&mut self, src: &Instance) -> Instance {
+        self.generation += 1;
+        let mut inst = match self.free.pop() {
+            Some(mut shell) => {
+                self.reuses += 1;
+                shell.bindings.clear();
+                shell.bindings.extend(src.bindings.iter().cloned());
+                shell.min_ts = src.min_ts;
+                shell.max_ts = src.max_ts;
+                shell.min_seq = src.min_seq;
+                shell.max_seq = src.max_seq;
+                shell.partition = src.partition;
+                shell.event_count = src.event_count;
+                shell.kl_gate = src.kl_gate;
+                shell
+            }
+            None => {
+                self.allocs += 1;
+                src.clone()
+            }
+        };
+        inst.generation = self.generation;
+        inst
+    }
+
+    /// Arena-backed [`Instance::with_single`].
+    pub fn with_single(&mut self, src: &Instance, elem: usize, event: EventRef) -> Instance {
+        let mut inst = self.derive(src);
+        inst.bind_single(elem, event);
+        inst
+    }
+
+    /// Arena-backed [`Instance::with_kleene`].
+    pub fn with_kleene(&mut self, src: &Instance, elem: usize, event: EventRef) -> Instance {
+        let mut inst = self.derive(src);
+        inst.bind_kleene(elem, event);
+        inst
+    }
+
+    /// Arena-backed [`Instance::merge`].
+    pub fn merge(&mut self, left: &Instance, right: &Instance) -> Instance {
+        let mut out = self.derive(left);
+        for (i, b) in right.bindings.iter().enumerate() {
+            if let Some(b) = b {
+                debug_assert!(out.bindings[i].is_none(), "element bound on both sides");
+                out.bindings[i] = Some(b.clone());
+            }
+        }
+        out.min_ts = left.min_ts.min(right.min_ts);
+        out.max_ts = left.max_ts.max(right.max_ts);
+        out.min_seq = left.min_seq.min(right.min_seq);
+        out.max_seq = left.max_seq.max(right.max_seq);
+        out.partition = left.partition.or(right.partition);
+        out.event_count = left.event_count + right.event_count;
+        out.kl_gate = 0;
+        out
+    }
+
+    /// Returns a dead instance's shell to the pool (bounded), releasing its
+    /// event references immediately.
+    pub fn retire(&mut self, mut inst: Instance) {
+        if self.free.len() < Self::MAX_FREE {
+            inst.bindings.clear();
+            self.free.push(inst);
+        }
+    }
+
+    /// Instances derived from fresh allocations.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Instances derived by reusing a retired shell.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Shells currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// In-place stable retain over an instance store that retires removed
+/// instances into `arena` instead of dropping them. Kept instances preserve
+/// their relative order (engines emit matches in store order, so order
+/// stability is load-bearing for byte-identical output).
+pub fn retain_or_retire(
+    v: &mut Vec<Instance>,
+    arena: &mut InstanceArena,
+    mut keep: impl FnMut(&Instance) -> bool,
+) {
+    let mut kept = 0;
+    for idx in 0..v.len() {
+        if keep(&v[idx]) {
+            v.swap(kept, idx);
+            kept += 1;
+        }
+    }
+    for inst in v.drain(kept..) {
+        arena.retire(inst);
     }
 }
 
@@ -504,6 +728,80 @@ mod tests {
         let left = Instance::empty(2).with_single(0, ev(0, 1, 0, 1));
         let right = Instance::empty(2).with_single(1, ev(1, 50, 1, 9));
         assert!(!merge_compatible(&cp, &left, &right, &consumed, &mut m));
+    }
+
+    #[test]
+    fn compiled_program_agrees_with_interpreted_compatible() {
+        use crate::compiled::PredicateProgram;
+        let cp = cp_seq2();
+        let prog = PredicateProgram::compile(&cp);
+        let consumed = HashSet::new();
+        let i = Instance::empty(2).with_single(0, ev(0, 5, 0, 10));
+        for (ts, seq, x) in [(6, 1, 20), (6, 1, 5), (4, 1, 20), (16, 1, 20), (5, 0, 20)] {
+            let e = ev(1, ts, seq, x);
+            let mut m1 = EngineMetrics::new();
+            let mut m2 = EngineMetrics::new();
+            assert_eq!(
+                compatible(&cp, &i, 1, &e, &consumed, &mut m1),
+                compatible_with(&cp, Some(&prog), &i, 1, &e, &consumed, &mut m2),
+                "ts {ts} seq {seq} x {x}"
+            );
+        }
+        // Merge path agrees too.
+        let left = Instance::empty(2).with_single(0, ev(0, 1, 0, 1));
+        for x in [0, 5, 9] {
+            let right = Instance::empty(2).with_single(1, ev(1, 2, 1, x));
+            let mut m1 = EngineMetrics::new();
+            let mut m2 = EngineMetrics::new();
+            assert_eq!(
+                merge_compatible(&cp, &left, &right, &consumed, &mut m1),
+                merge_compatible_with(&cp, Some(&prog), &left, &right, &consumed, &mut m2),
+                "x {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_reuses_retired_shells_and_stamps_generations() {
+        let mut arena = InstanceArena::new();
+        let base = Instance::empty(2);
+        let a = arena.with_single(&base, 0, ev(0, 5, 3, 1));
+        assert_eq!(a.generation, 1);
+        assert_eq!((arena.allocs(), arena.reuses()), (1, 0));
+        assert_eq!(a.bindings, base.with_single(0, ev(0, 5, 3, 1)).bindings);
+        arena.retire(a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.with_single(&base, 0, ev(0, 7, 4, 2));
+        assert_eq!(b.generation, 2);
+        assert_eq!((arena.allocs(), arena.reuses()), (1, 1));
+        assert_eq!(b.min_ts, 7);
+        assert_eq!(b.event_count, 1);
+        assert!(
+            b.contains_seq(4) && !b.contains_seq(3),
+            "fully re-initialized"
+        );
+        // Kleene and merge derivations behave like the clone-based ones.
+        let k = arena.with_kleene(&base, 1, ev(1, 2, 9, 0));
+        assert_eq!(k.kl_gate, 10);
+        let left = Instance::empty(2).with_single(0, ev(0, 1, 0, 1));
+        let right = Instance::empty(2).with_single(1, ev(1, 2, 1, 9));
+        let m_arena = arena.merge(&left, &right);
+        let m_clone = left.merge(&right);
+        assert_eq!(m_arena.bindings, m_clone.bindings);
+        assert_eq!(m_arena.event_count, m_clone.event_count);
+        assert_eq!(m_arena.min_ts, m_clone.min_ts);
+    }
+
+    #[test]
+    fn retain_or_retire_is_stable_and_pools_removed() {
+        let mut arena = InstanceArena::new();
+        let mut v: Vec<Instance> = (0..6u64)
+            .map(|s| Instance::empty(1).with_single(0, ev(0, s, s, 0)))
+            .collect();
+        retain_or_retire(&mut v, &mut arena, |i| i.min_seq % 2 == 1);
+        let seqs: Vec<u64> = v.iter().map(|i| i.min_seq).collect();
+        assert_eq!(seqs, vec![1, 3, 5], "kept order preserved");
+        assert_eq!(arena.pooled(), 3);
     }
 
     #[test]

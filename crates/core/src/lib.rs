@@ -12,6 +12,8 @@
 //! * the pattern language of Section 2.1 ([`pattern`], [`predicate`],
 //!   [`selection`]),
 //! * the Section 5 transformations to pure conjunctive form ([`compile`]),
+//! * the compiled predicate pipeline — fused evaluators and the
+//!   signature-keyed plan cache ([`compiled`]),
 //! * order-based and tree-based evaluation plans ([`plan`]),
 //! * the cost models of Sections 3, 4 and 6 ([`cost`]),
 //! * statistics acquisition ([`stats`]) and the query graph ([`query_graph`]),
@@ -25,6 +27,7 @@
 
 pub mod buffer;
 pub mod compile;
+pub mod compiled;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -50,6 +53,9 @@ pub mod value;
 /// Commonly used items, re-exported for `use cep_core::prelude::*`.
 pub mod prelude {
     pub use crate::compile::{CompiledPattern, Element, NaryOp, NegatedElement};
+    pub use crate::compiled::{
+        shared_plan_cache, CompiledPredicate, PlanCache, PredicateProgram, SharedPlanCache,
+    };
     pub use crate::cost::CostModel;
     pub use crate::engine::{
         run_to_completion, run_traced, Engine, EngineConfig, EngineFactory, RunResult,

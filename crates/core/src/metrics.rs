@@ -81,6 +81,14 @@ pub struct EngineMetrics {
     /// (a match with no partitioned event is detected by every shard; all
     /// copies beyond the first count here).
     pub dedup_hits: u64,
+    /// Compiled-plan cache hits: engine builds (or adaptive replans) that
+    /// reused a [`crate::compiled::PredicateProgram`] from a
+    /// [`crate::compiled::PlanCache`] instead of recompiling (0 when no
+    /// cache is in play).
+    pub plan_cache_hits: u64,
+    /// Compiled-plan cache misses: engine builds that had to lower the
+    /// pattern's predicates from scratch (0 when no cache is in play).
+    pub plan_cache_misses: u64,
 }
 
 /// Estimated bytes per live partial match (bindings vector + bookkeeping).
@@ -168,6 +176,8 @@ impl EngineMetrics {
         self.suppressed_swaps += other.suppressed_swaps;
         self.replicated_events += other.replicated_events;
         self.dedup_hits += other.dedup_hits;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
     }
 
     /// Merges counters from another engine (used by multi-plan evaluation).
@@ -193,6 +203,8 @@ impl EngineMetrics {
         self.suppressed_swaps += other.suppressed_swaps;
         self.replicated_events += other.replicated_events;
         self.dedup_hits += other.dedup_hits;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
     }
 
     /// Writes this snapshot into a [`MetricsRegistry`] under `labels`
@@ -289,6 +301,18 @@ impl EngineMetrics {
             "Duplicate matches suppressed by sharded-merge dedup",
             labels,
             self.dedup_hits,
+        );
+        reg.counter(
+            "cep_plan_cache_hits_total",
+            "Compiled-plan cache hits (program reused without recompiling)",
+            labels,
+            self.plan_cache_hits,
+        );
+        reg.counter(
+            "cep_plan_cache_misses_total",
+            "Compiled-plan cache misses (program lowered from scratch)",
+            labels,
+            self.plan_cache_misses,
         );
         reg.histogram(
             "cep_event_ns",
@@ -506,6 +530,8 @@ mod tests {
             suppressed_swaps: base + 21,
             replicated_events: base + 22,
             dedup_hits: base + 23,
+            plan_cache_hits: base + 24,
+            plan_cache_misses: base + 25,
         }
     }
 
@@ -513,7 +539,7 @@ mod tests {
     /// against the struct itself via its Debug rendering. The histogram
     /// fields count too: `LatencyHistogram`'s Debug is a single token
     /// without `": "`, so each one contributes exactly one pair.
-    const FIELD_COUNT: usize = 23;
+    const FIELD_COUNT: usize = 25;
 
     #[test]
     fn debug_field_count_matches_coverage() {
@@ -548,6 +574,8 @@ mod tests {
         assert_eq!(a.suppressed_swaps, 1042);
         assert_eq!(a.replicated_events, 1044);
         assert_eq!(a.dedup_hits, 1046);
+        assert_eq!(a.plan_cache_hits, 1048);
+        assert_eq!(a.plan_cache_misses, 1050);
         // ...histograms merge bucket-wise (both samples survive)...
         assert_eq!(a.event_ns.count(), 2);
         assert_eq!(a.event_ns.sum(), 1024);
@@ -586,6 +614,8 @@ mod tests {
         assert_eq!(a.suppressed_swaps, 1042);
         assert_eq!(a.replicated_events, 1044);
         assert_eq!(a.dedup_hits, 1046);
+        assert_eq!(a.plan_cache_hits, 1048);
+        assert_eq!(a.plan_cache_misses, 1050);
         // ...histograms merge bucket-wise...
         assert_eq!(a.event_ns.count(), 2);
         assert_eq!(a.event_ns.sum(), 1024);

@@ -71,6 +71,20 @@ impl OrderPlan {
     pub fn step_of(&self, elem: usize) -> Option<usize> {
         self.order.iter().position(|&e| e == elem)
     }
+
+    /// Canonical signature of this plan *for the given pattern*: folds the
+    /// pattern's [`CompiledPattern::signature`] with the processing order,
+    /// so two equal signatures denote the same pattern evaluated in the
+    /// same order.
+    pub fn signature(&self, cp: &CompiledPattern) -> u64 {
+        let mut h = crate::compiled::SigHasher::new();
+        h.write_u64(cp.signature());
+        h.write_u8(0); // plan-kind tag: order
+        for &e in &self.order {
+            h.write_u64(e as u64);
+        }
+        h.finish()
+    }
 }
 
 impl fmt::Display for OrderPlan {
@@ -227,6 +241,30 @@ impl TreePlan {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Canonical signature of this plan *for the given pattern*: folds the
+    /// pattern's [`CompiledPattern::signature`] with a pre-order encoding
+    /// of the tree shape and its leaf assignment.
+    pub fn signature(&self, cp: &CompiledPattern) -> u64 {
+        fn walk(h: &mut crate::compiled::SigHasher, node: &TreeNode) {
+            match node {
+                TreeNode::Leaf(i) => {
+                    h.write_u8(0);
+                    h.write_u64(*i as u64);
+                }
+                TreeNode::Node(l, r) => {
+                    h.write_u8(1);
+                    walk(h, l);
+                    walk(h, r);
+                }
+            }
+        }
+        let mut h = crate::compiled::SigHasher::new();
+        h.write_u64(cp.signature());
+        h.write_u8(1); // plan-kind tag: tree
+        walk(&mut h, &self.root);
+        h.finish()
+    }
 }
 
 impl fmt::Display for TreePlan {
@@ -302,6 +340,29 @@ mod tests {
     fn leaf_mask_is_set_of_leaves() {
         let t = TreeNode::join(TreeNode::Leaf(0), TreeNode::Leaf(3));
         assert_eq!(t.leaf_mask(), 0b1001);
+    }
+
+    #[test]
+    fn plan_signatures_fold_pattern_and_shape() {
+        let cp = cp3();
+        let a = OrderPlan::new(vec![0, 1, 2]).unwrap();
+        let b = OrderPlan::new(vec![0, 1, 2]).unwrap();
+        let c = OrderPlan::new(vec![2, 0, 1]).unwrap();
+        assert_eq!(a.signature(&cp), b.signature(&cp));
+        assert_ne!(a.signature(&cp), c.signature(&cp));
+        let left = TreePlan::left_deep(&a);
+        let bushy = TreePlan::new(TreeNode::join(
+            TreeNode::join(TreeNode::Leaf(0), TreeNode::Leaf(1)),
+            TreeNode::Leaf(2),
+        ))
+        .unwrap();
+        // A left-deep 3-leaf tree in 0,1,2 order IS ((0 1) 2): same shape,
+        // same signature; a different leaf order differs.
+        assert_eq!(left.signature(&cp), bushy.signature(&cp));
+        let other = TreePlan::left_deep(&c);
+        assert_ne!(left.signature(&cp), other.signature(&cp));
+        // Order and tree plans never collide (kind tag).
+        assert_ne!(a.signature(&cp), left.signature(&cp));
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub struct StatsOptions {
     /// cost arithmetic inside `f64` range while preserving the "enormous
     /// rate" effect the transform is designed to have.
     pub kleene_exponent_cap: f64,
+    /// Refines the Section 5.2 power-set rate for engines that cap Kleene
+    /// accumulators at `k` events (see
+    /// [`EngineConfig::max_kleene_events`](crate::engine::EngineConfig::max_kleene_events)):
+    /// instead of all `2^{rW}` subsets, only the `Σ_{j≤k} C(rW, j)` subsets
+    /// of size at most `k` can materialize, so the transformed rate is that
+    /// bounded subset count divided by `W`. `None` (the default) keeps the
+    /// paper's unbounded `2^{rW}` transform.
+    pub max_kleene_events: Option<usize>,
 }
 
 impl Default for StatsOptions {
@@ -33,8 +41,32 @@ impl Default for StatsOptions {
         StatsOptions {
             temporal_selectivity: 0.5,
             kleene_exponent_cap: 100.0,
+            max_kleene_events: None,
         }
     }
+}
+
+/// Number of subsets of size at most `k` of an expected population of `m`
+/// events: `Σ_{j=0..k} C(m, j)`, evaluated via the term recurrence
+/// `C(m, j+1) = C(m, j)·(m−j)/(j+1)` (valid for fractional `m`), and
+/// clamped to `2^exponent_cap`. For integer `m` and `k ≥ m` this is exactly
+/// `2^m`, so the bounded transform degrades gracefully to the unbounded one.
+fn bounded_subset_count(m: f64, k: usize, exponent_cap: f64) -> f64 {
+    let cap = exponent_cap.exp2();
+    let mut sum = 1.0; // C(m, 0)
+    let mut term = 1.0;
+    for j in 0..k {
+        let factor = (m - j as f64) / (j as f64 + 1.0);
+        if factor <= 0.0 {
+            break; // j ≥ m: every subset is already counted
+        }
+        term *= factor;
+        sum += term;
+        if sum >= cap {
+            return cap;
+        }
+    }
+    sum
 }
 
 /// Type-level statistics measured from a stream.
@@ -257,9 +289,16 @@ impl PatternStats {
         for (slot, e) in self.rates.iter_mut().zip(&cp.elements) {
             let r = measured.rate(e.event_type);
             *slot = if e.kleene {
-                // Section 5.2: the power-set type T' has rate 2^{rW}/W.
-                let exponent = (r * w).min(opts.kleene_exponent_cap);
-                exponent.exp2() / w
+                match opts.max_kleene_events {
+                    // Section 5.2: the power-set type T' has rate 2^{rW}/W.
+                    None => {
+                        let exponent = (r * w).min(opts.kleene_exponent_cap);
+                        exponent.exp2() / w
+                    }
+                    // Engine-capped accumulators: only subsets of size ≤ k
+                    // materialize.
+                    Some(k) => bounded_subset_count(r * w, k, opts.kleene_exponent_cap) / w,
+                }
             } else {
                 r
             };
@@ -455,6 +494,57 @@ mod tests {
         };
         let st2 = PatternStats::build(&cp, &m, &[], &opts_capped).unwrap();
         assert!(st2.rates[1] < st.rates[1]);
+    }
+
+    #[test]
+    fn bounded_kleene_transform_refines_the_power_set_rate() {
+        let mut b = PatternBuilder::new(10_000);
+        let a = b.event(t(0), "a");
+        let k = b.event(t(1), "k");
+        let ae = b.expr(a);
+        let ke = b.kleene(k);
+        let p = b.and_exprs([ae, ke]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let mut m = MeasuredStats::default();
+        m.set_rate(t(0), 0.005);
+        m.set_rate(t(1), 0.002); // rW = 20 expected Kleene events
+        let unbounded = PatternStats::build(&cp, &m, &[], &StatsOptions::default()).unwrap();
+        // The bounded rate grows monotonically in the cap and stays below
+        // the unbounded power-set rate while k < rW.
+        let mut prev = 0.0;
+        for k_cap in [1usize, 2, 4, 8, 16] {
+            let opts = StatsOptions {
+                max_kleene_events: Some(k_cap),
+                ..Default::default()
+            };
+            let st = PatternStats::build(&cp, &m, &[], &opts).unwrap();
+            assert!(st.rates[1] > prev, "not monotone at k={k_cap}");
+            assert!(
+                st.rates[1] < unbounded.rates[1],
+                "k={k_cap} not a refinement"
+            );
+            prev = st.rates[1];
+        }
+        // With k >= rW the bounded count is exactly the full power set.
+        let opts = StatsOptions {
+            max_kleene_events: Some(20),
+            ..Default::default()
+        };
+        let st = PatternStats::build(&cp, &m, &[], &opts).unwrap();
+        let expect = 20f64.exp2() / 10_000.0;
+        assert!((st.rates[1] - expect).abs() / expect < 1e-9);
+        // Non-Kleene rates are untouched by the option.
+        assert_eq!(st.rates[0], unbounded.rates[0]);
+    }
+
+    #[test]
+    fn bounded_subset_count_respects_the_exponent_cap() {
+        // 2^300 overflows nothing: the cap clamps the count.
+        let capped = bounded_subset_count(300.0, 300, 100.0);
+        assert_eq!(capped, 100f64.exp2());
+        assert!(capped.is_finite());
+        // Zero expected events: only the empty subset.
+        assert_eq!(bounded_subset_count(0.0, 8, 100.0), 1.0);
     }
 
     #[test]

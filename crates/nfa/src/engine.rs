@@ -13,23 +13,30 @@
 
 use cep_core::buffer::TypeBuffers;
 use cep_core::compile::CompiledPattern;
+use cep_core::compiled::PredicateProgram;
 use cep_core::engine::{Engine, EngineConfig};
 use cep_core::error::CepError;
 use cep_core::event::{EventRef, Timestamp};
-use cep_core::instance::{compatible, contiguity_ok, Instance};
+use cep_core::instance::{
+    compatible_with, contiguity_ok, retain_or_retire, Instance, InstanceArena,
+};
 use cep_core::matches::Match;
 use cep_core::metrics::EngineMetrics;
 use cep_core::negation::DeferredStore;
 use cep_core::plan::OrderPlan;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Order-based (lazy NFA) evaluation engine.
 pub struct NfaEngine {
     cp: CompiledPattern,
     order: Vec<usize>,
     cfg: EngineConfig,
+    /// Compiled predicate program (`None` = interpreted evaluation).
+    program: Option<Arc<PredicateProgram>>,
     /// `states[k]`: instances waiting for element `order[k]`.
     states: Vec<Vec<Instance>>,
+    arena: InstanceArena,
     buffers: TypeBuffers,
     deferred: DeferredStore,
     consumed: HashSet<u64>,
@@ -40,18 +47,44 @@ pub struct NfaEngine {
 
 impl NfaEngine {
     /// Builds an engine for one compiled pattern branch and an order plan.
+    ///
+    /// When [`EngineConfig::compiled_predicates`] is set (the default) the
+    /// pattern's predicates are lowered into a [`PredicateProgram`] here;
+    /// use [`NfaEngine::with_program`] to supply an already-compiled
+    /// (cached) program instead.
     pub fn new(
         cp: CompiledPattern,
         plan: OrderPlan,
         cfg: EngineConfig,
     ) -> Result<NfaEngine, CepError> {
+        NfaEngine::with_program(cp, plan, cfg, None)
+    }
+
+    /// [`NfaEngine::new`] with an optional pre-compiled program (typically
+    /// from a [`cep_core::compiled::PlanCache`]), avoiding recompilation.
+    /// With `compiled_predicates` disabled in `cfg`, the program is ignored
+    /// and the engine interprets predicates — the config toggle wins so the
+    /// interpreted baseline stays measurable.
+    pub fn with_program(
+        cp: CompiledPattern,
+        plan: OrderPlan,
+        cfg: EngineConfig,
+        program: Option<Arc<PredicateProgram>>,
+    ) -> Result<NfaEngine, CepError> {
         plan.validate(&cp)?;
+        let program = if cfg.compiled_predicates {
+            program.or_else(|| Some(Arc::new(PredicateProgram::compile(&cp))))
+        } else {
+            None
+        };
         let n = cp.n();
         Ok(NfaEngine {
             cp,
             order: plan.order().to_vec(),
             cfg,
+            program,
             states: vec![Vec::new(); n],
+            arena: InstanceArena::new(),
             buffers: TypeBuffers::new(),
             deferred: DeferredStore::new(),
             consumed: HashSet::new(),
@@ -59,6 +92,17 @@ impl NfaEngine {
             events_since_prune: 0,
             metrics: EngineMetrics::new(),
         })
+    }
+
+    /// The compiled predicate program driving this engine (`None` when
+    /// interpreting).
+    pub fn program(&self) -> Option<&Arc<PredicateProgram>> {
+        self.program.as_ref()
+    }
+
+    /// Arena statistics: `(instances derived, shells reused)`.
+    pub fn arena_stats(&self) -> (u64, u64) {
+        (self.arena.allocs(), self.arena.reuses())
     }
 
     /// Convenience constructor with the trivial (specification-order) plan.
@@ -84,10 +128,11 @@ impl NfaEngine {
             for e in m.events() {
                 self.consumed.insert(e.seq);
             }
-            // Kill partial matches that used now-consumed events.
+            // Kill partial matches that used now-consumed events; their
+            // shells go back to the arena.
             let consumed = &self.consumed;
             for state in &mut self.states {
-                state.retain(|i| !i.intersects(consumed));
+                retain_or_retire(state, &mut self.arena, |i| !i.intersects(consumed));
             }
         }
         self.metrics.matches_emitted += 1;
@@ -164,15 +209,24 @@ impl NfaEngine {
     fn enter_single(&mut self, inst: Instance, k: usize, out: &mut Vec<Match>) {
         let elem = self.order[k];
         for c in self.candidates(elem) {
-            if !compatible(&self.cp, &inst, elem, &c, &self.consumed, &mut self.metrics) {
+            if !compatible_with(
+                &self.cp,
+                self.program.as_deref(),
+                &inst,
+                elem,
+                &c,
+                &self.consumed,
+                &mut self.metrics,
+            ) {
                 continue;
             }
-            let advanced = inst.with_single(elem, c);
+            let advanced = self.arena.with_single(&inst, elem, c);
             if self.cp.strategy.forks() {
                 self.enter(advanced, k + 1, out);
             } else {
                 // Non-forking: take the first match and leave this state.
                 self.enter(advanced, k + 1, out);
+                self.arena.retire(inst);
                 return;
             }
         }
@@ -190,9 +244,18 @@ impl NfaEngine {
             // Non-forking strategies: greedy singleton set (see crate docs).
             let elem = self.order[k];
             for c in self.candidates(elem) {
-                if compatible(&self.cp, &inst, elem, &c, &self.consumed, &mut self.metrics) {
-                    let advanced = inst.with_kleene(elem, c);
+                if compatible_with(
+                    &self.cp,
+                    self.program.as_deref(),
+                    &inst,
+                    elem,
+                    &c,
+                    &self.consumed,
+                    &mut self.metrics,
+                ) {
+                    let advanced = self.arena.with_kleene(&inst, elem, c);
                     self.enter(advanced, k + 1, out);
+                    self.arena.retire(inst);
                     return;
                 }
             }
@@ -212,10 +275,18 @@ impl NfaEngine {
             if c.seq < base.kl_gate {
                 continue;
             }
-            if !compatible(&self.cp, base, elem, &c, &self.consumed, &mut self.metrics) {
+            if !compatible_with(
+                &self.cp,
+                self.program.as_deref(),
+                base,
+                elem,
+                &c,
+                &self.consumed,
+                &mut self.metrics,
+            ) {
                 continue;
             }
-            let grown = base.with_kleene(elem, c);
+            let grown = self.arena.with_kleene(base, elem, c);
             self.metrics.partial_matches_created += 1;
             self.enter(grown.clone(), k + 1, out);
             self.kleene_grow(&grown, k, out);
@@ -239,8 +310,9 @@ impl NfaEngine {
             if kleene {
                 let ok = event.seq >= inst.kl_gate
                     && inst.kleene_len(elem) < self.cfg.max_kleene_events
-                    && compatible(
+                    && compatible_with(
                         &self.cp,
+                        self.program.as_deref(),
                         inst,
                         elem,
                         event,
@@ -248,21 +320,25 @@ impl NfaEngine {
                         &mut self.metrics,
                     );
                 if ok {
-                    let grown = self.states[k][idx].with_kleene(elem, event.clone());
+                    let grown = self
+                        .arena
+                        .with_kleene(&self.states[k][idx], elem, event.clone());
                     self.metrics.partial_matches_created += 1;
                     if forks {
                         self.enter(grown.clone(), k + 1, out);
                         self.states[k].push(grown);
                     } else {
-                        self.states[k].swap_remove(idx);
+                        let old = self.states[k].swap_remove(idx);
+                        self.arena.retire(old);
                         self.enter(grown, k + 1, out);
                         visited += 1;
                         continue; // swap_remove moved a new element to idx
                     }
                 }
             } else {
-                let ok = compatible(
+                let ok = compatible_with(
                     &self.cp,
+                    self.program.as_deref(),
                     inst,
                     elem,
                     event,
@@ -270,11 +346,14 @@ impl NfaEngine {
                     &mut self.metrics,
                 );
                 if ok {
-                    let advanced = self.states[k][idx].with_single(elem, event.clone());
+                    let advanced =
+                        self.arena
+                            .with_single(&self.states[k][idx], elem, event.clone());
                     if forks {
                         self.enter(advanced, k + 1, out);
                     } else {
-                        self.states[k].swap_remove(idx);
+                        let old = self.states[k].swap_remove(idx);
+                        self.arena.retire(old);
                         self.enter(advanced, k + 1, out);
                         visited += 1;
                         continue;
@@ -291,7 +370,7 @@ impl NfaEngine {
         let window = self.cp.window;
         self.buffers.prune(watermark, window);
         for state in &mut self.states {
-            state.retain(|i| !i.expired(watermark, window));
+            retain_or_retire(state, &mut self.arena, |i| !i.expired(watermark, window));
         }
         if self.cp.strategy.consumes() {
             // Consumed serial numbers older than the window can't recur.
@@ -324,6 +403,18 @@ impl Engine for NfaEngine {
             return;
         }
         self.metrics.events_relevant += 1;
+        // Eager buffer pruning: a relevant-typed event that fails the
+        // compiled single-element filters of *every* positive element of its
+        // type (and whose type has no negated element) can never bind —
+        // `compatible_with` would reject it at the filter stage everywhere.
+        // Skipping it entirely keeps the buffers and state sets lean.
+        if let Some(pr) = &self.program {
+            if !pr.can_ever_bind(event, &mut self.metrics.predicate_evaluations) {
+                self.metrics
+                    .record_live(self.live_instances(), self.buffers.len());
+                return;
+            }
+        }
         self.buffers.push(event.clone());
         // Deliveries, deepest state first so instances created while
         // processing this event are never delivered the event again (their
@@ -336,15 +427,16 @@ impl Engine for NfaEngine {
         if self.cp.elements[first].event_type == event.type_id {
             let root = Instance::empty(self.cp.n());
             if self.cp.elements[first].kleene {
-                if compatible(
+                if compatible_with(
                     &self.cp,
+                    self.program.as_deref(),
                     &root,
                     first,
                     event,
                     &self.consumed,
                     &mut self.metrics,
                 ) {
-                    let seeded = root.with_kleene(first, event.clone());
+                    let seeded = self.arena.with_kleene(&root, first, event.clone());
                     self.metrics.partial_matches_created += 1;
                     if self.cp.strategy.forks() {
                         self.enter(seeded.clone(), 1, out);
@@ -353,15 +445,16 @@ impl Engine for NfaEngine {
                         self.enter(seeded, 1, out);
                     }
                 }
-            } else if compatible(
+            } else if compatible_with(
                 &self.cp,
+                self.program.as_deref(),
                 &root,
                 first,
                 event,
                 &self.consumed,
                 &mut self.metrics,
             ) {
-                let seeded = root.with_single(first, event.clone());
+                let seeded = self.arena.with_single(&root, first, event.clone());
                 self.enter(seeded, 1, out);
             }
         }

@@ -107,6 +107,16 @@ pub enum TraceRecord {
         /// Human-readable message.
         message: String,
     },
+    /// A compiled-plan cache lookup (`cep-core`'s `PlanCache`): a replan or
+    /// factory build asked for the compiled program of a pattern signature.
+    PlanCacheLookup {
+        /// Stable pattern signature that keyed the lookup.
+        signature: u64,
+        /// Whether a previously compiled program was reused.
+        hit: bool,
+        /// Programs resident in the cache after the lookup.
+        size: u64,
+    },
 }
 
 /// Encodes a float that may be non-finite: JSON numbers cannot carry
@@ -175,6 +185,7 @@ impl TraceRecord {
             TraceRecord::ShardBatch { .. } => "shard_batch",
             TraceRecord::MatchEmitted { .. } => "match_emitted",
             TraceRecord::DiagnosticEmitted { .. } => "diagnostic",
+            TraceRecord::PlanCacheLookup { .. } => "plan_cache_lookup",
         }
     }
 
@@ -251,6 +262,15 @@ impl TraceRecord {
                 pairs.push(("severity".into(), Json::Str(severity.clone())));
                 pairs.push(("message".into(), Json::Str(message.clone())));
             }
+            TraceRecord::PlanCacheLookup {
+                signature,
+                hit,
+                size,
+            } => {
+                pairs.push(("signature".into(), Json::UInt(*signature)));
+                pairs.push(("hit".into(), Json::Bool(*hit)));
+                pairs.push(("size".into(), Json::UInt(*size)));
+            }
         }
         Json::Obj(pairs).encode()
     }
@@ -295,6 +315,11 @@ impl TraceRecord {
                 code: str_field(&v, "code")?,
                 severity: str_field(&v, "severity")?,
                 message: str_field(&v, "message")?,
+            }),
+            "plan_cache_lookup" => Ok(TraceRecord::PlanCacheLookup {
+                signature: u64_field(&v, "signature")?,
+                hit: bool_field(&v, "hit")?,
+                size: u64_field(&v, "size")?,
             }),
             other => Err(format!("unknown record type {other:?}")),
         }
@@ -546,6 +571,11 @@ mod tests {
                 code: "A006".into(),
                 severity: "warning".into(),
                 message: "redundant \"quoted\" predicate\nsecond line".into(),
+            },
+            TraceRecord::PlanCacheLookup {
+                signature: 0xdead_beef_cafe_f00d,
+                hit: true,
+                size: 12,
             },
         ]
     }

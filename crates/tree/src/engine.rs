@@ -10,15 +10,20 @@
 
 use cep_core::buffer::TypeBuffers;
 use cep_core::compile::CompiledPattern;
+use cep_core::compiled::PredicateProgram;
 use cep_core::engine::{Engine, EngineConfig};
 use cep_core::error::CepError;
 use cep_core::event::{EventRef, Timestamp};
-use cep_core::instance::{compatible, contiguity_ok, merge_compatible, Instance};
+use cep_core::instance::{
+    compatible_with, contiguity_ok, merge_compatible_with, retain_or_retire, Instance,
+    InstanceArena,
+};
 use cep_core::matches::Match;
 use cep_core::metrics::EngineMetrics;
 use cep_core::negation::DeferredStore;
 use cep_core::plan::{TreeNode, TreePlan};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A flattened tree-plan node.
 #[derive(Debug, Clone)]
@@ -38,10 +43,13 @@ struct NodeSpec {
 pub struct TreeEngine {
     cp: CompiledPattern,
     cfg: EngineConfig,
+    /// Compiled predicate program (`None` = interpreted evaluation).
+    program: Option<Arc<PredicateProgram>>,
     nodes: Vec<NodeSpec>,
     root: usize,
     /// Instances stored at each node, within the window.
     stores: Vec<Vec<Instance>>,
+    arena: InstanceArena,
     /// Buffered events of negated types (for negation checks only; positive
     /// events live in the leaf stores).
     buffers: TypeBuffers,
@@ -54,12 +62,36 @@ pub struct TreeEngine {
 
 impl TreeEngine {
     /// Builds an engine for one compiled pattern branch and a tree plan.
+    ///
+    /// When [`EngineConfig::compiled_predicates`] is set (the default) the
+    /// pattern's predicates are lowered into a [`PredicateProgram`] here;
+    /// use [`TreeEngine::with_program`] to supply an already-compiled
+    /// (cached) program instead.
     pub fn new(
         cp: CompiledPattern,
         plan: TreePlan,
         cfg: EngineConfig,
     ) -> Result<TreeEngine, CepError> {
+        TreeEngine::with_program(cp, plan, cfg, None)
+    }
+
+    /// [`TreeEngine::new`] with an optional pre-compiled program (typically
+    /// from a [`cep_core::compiled::PlanCache`]), avoiding recompilation.
+    /// With `compiled_predicates` disabled in `cfg`, the program is ignored
+    /// and the engine interprets predicates — the config toggle wins so the
+    /// interpreted baseline stays measurable.
+    pub fn with_program(
+        cp: CompiledPattern,
+        plan: TreePlan,
+        cfg: EngineConfig,
+        program: Option<Arc<PredicateProgram>>,
+    ) -> Result<TreeEngine, CepError> {
         plan.validate(&cp)?;
+        let program = if cfg.compiled_predicates {
+            program.or_else(|| Some(Arc::new(PredicateProgram::compile(&cp))))
+        } else {
+            None
+        };
         let mut nodes = Vec::new();
         let root = flatten(&plan.root, &mut nodes);
         // Fill parent/sibling links.
@@ -75,9 +107,11 @@ impl TreeEngine {
         Ok(TreeEngine {
             cp,
             cfg,
+            program,
             nodes,
             root,
             stores,
+            arena: InstanceArena::new(),
             buffers: TypeBuffers::new(),
             deferred: DeferredStore::new(),
             consumed: HashSet::new(),
@@ -98,6 +132,17 @@ impl TreeEngine {
         self.stores.iter().map(|s| s.len()).sum::<usize>() + self.deferred.len()
     }
 
+    /// The compiled predicate program driving this engine (`None` when
+    /// interpreting).
+    pub fn program(&self) -> Option<&Arc<PredicateProgram>> {
+        self.program.as_ref()
+    }
+
+    /// Arena statistics: `(instances derived, shells reused)`.
+    pub fn arena_stats(&self) -> (u64, u64) {
+        (self.arena.allocs(), self.arena.reuses())
+    }
+
     fn emit(&mut self, m: Match, out: &mut Vec<Match>) {
         if self.cp.strategy.consumes() {
             if m.events().any(|e| self.consumed.contains(&e.seq)) {
@@ -108,7 +153,7 @@ impl TreeEngine {
             }
             let consumed = &self.consumed;
             for store in &mut self.stores {
-                store.retain(|i| !i.intersects(consumed));
+                retain_or_retire(store, &mut self.arena, |i| !i.intersects(consumed));
             }
         }
         self.metrics.matches_emitted += 1;
@@ -173,12 +218,14 @@ impl TreeEngine {
         // pair is considered exactly once, at the newer side's creation.
         let merged: Vec<Instance> = {
             let cp = &self.cp;
+            let prog = self.program.as_deref();
             let consumed = &self.consumed;
             let metrics = &mut self.metrics;
+            let arena = &mut self.arena;
             self.stores[sibling]
                 .iter()
-                .filter(|s| merge_compatible(cp, &inst, s, consumed, metrics))
-                .map(|s| inst.merge(s))
+                .filter(|s| merge_compatible_with(cp, prog, &inst, s, consumed, metrics))
+                .map(|s| arena.merge(&inst, s))
                 .collect()
         };
         for m in merged {
@@ -193,8 +240,9 @@ impl TreeEngine {
             NodeKind::Internal { .. } => unreachable!("leaf_arrival on internal node"),
         };
         let empty = Instance::empty(self.cp.n());
-        if !compatible(
+        if !compatible_with(
             &self.cp,
+            self.program.as_deref(),
             &empty,
             elem,
             event,
@@ -208,26 +256,28 @@ impl TreeEngine {
             // subset appears exactly once), then seed the singleton set.
             let grown: Vec<Instance> = {
                 let cp = &self.cp;
+                let prog = self.program.as_deref();
                 let cfg = &self.cfg;
                 let consumed = &self.consumed;
                 let metrics = &mut self.metrics;
+                let arena = &mut self.arena;
                 self.stores[leaf]
                     .iter()
                     .filter(|i| {
                         event.seq >= i.kl_gate
                             && i.kleene_len(elem) < cfg.max_kleene_events
-                            && compatible(cp, i, elem, event, consumed, metrics)
+                            && compatible_with(cp, prog, i, elem, event, consumed, metrics)
                     })
-                    .map(|i| i.with_kleene(elem, event.clone()))
+                    .map(|i| arena.with_kleene(i, elem, event.clone()))
                     .collect()
             };
             for g in grown {
                 self.propagate(leaf, g, out);
             }
-            let seed = empty.with_kleene(elem, event.clone());
+            let seed = self.arena.with_kleene(&empty, elem, event.clone());
             self.propagate(leaf, seed, out);
         } else {
-            let seed = empty.with_single(elem, event.clone());
+            let seed = self.arena.with_single(&empty, elem, event.clone());
             self.propagate(leaf, seed, out);
         }
     }
@@ -237,7 +287,7 @@ impl TreeEngine {
         let window = self.cp.window;
         self.buffers.prune(watermark, window);
         for store in &mut self.stores {
-            store.retain(|i| !i.expired(watermark, window));
+            retain_or_retire(store, &mut self.arena, |i| !i.expired(watermark, window));
         }
         if self.cp.strategy.consumes() && self.consumed.len() > 100_000 {
             self.consumed.clear();

@@ -78,6 +78,7 @@ pub use cep_streamgen as streamgen;
 pub use cep_tree as tree;
 
 use cep_core::compile::CompiledPattern;
+use cep_core::compiled::{shared_plan_cache, PredicateProgram, SharedPlanCache};
 use cep_core::engine::{Engine, EngineConfig, EngineFactory, MultiEngine};
 use cep_core::error::CepError;
 use cep_core::pattern::Pattern;
@@ -86,6 +87,7 @@ use cep_nfa::NfaEngine;
 use cep_optimizer::{OrderAlgorithm, Planner, TreeAlgorithm};
 use cep_streamgen::{analytic_measured_stats, analytic_selectivities, GeneratedStream};
 use cep_tree::TreeEngine;
+use std::sync::Arc;
 
 /// Commonly used items, re-exported for `use cep::prelude::*`.
 pub mod prelude {
@@ -109,6 +111,11 @@ pub mod prelude {
     pub use cep_tree::TreeEngine;
 }
 
+/// Capacity of a [`PlannedFactory`]'s compiled-plan cache: one slot per
+/// DNF branch is enough (builds reuse identical patterns), with headroom
+/// for wide disjunctions.
+const PLAN_CACHE_CAP: usize = 64;
+
 /// Per-branch evaluation plans shared by the engines a factory stamps out.
 enum BranchPlans {
     Order(Vec<(CompiledPattern, OrderPlan)>),
@@ -123,30 +130,65 @@ struct PlannedFactory {
     branches: BranchPlans,
     window: u64,
     config: EngineConfig,
+    /// Signature-keyed compiled-program cache shared by every engine this
+    /// factory stamps out: each DNF branch's predicates are lowered once
+    /// (on the first build) and every further build — one per worker
+    /// shard, typically — reuses the cached program.
+    plan_cache: SharedPlanCache,
 }
 
 impl EngineFactory for PlannedFactory {
     fn build(&self) -> Box<dyn Engine> {
         // `PlannedFactory` is only ever constructed with plans the planner
         // produced for these very compiled patterns, so engine
-        // construction cannot fail.
+        // construction cannot fail. Each branch's hit/miss is stamped onto
+        // the freshly built engine's metrics, so cache effectiveness
+        // surfaces through the normal metrics pipeline (a [`MultiEngine`]
+        // absorbs branch counters into its aggregate view).
+        let fetch = |cp: &CompiledPattern| -> (Option<Arc<PredicateProgram>>, u64, u64) {
+            if !self.config.compiled_predicates {
+                return (None, 0, 0);
+            }
+            let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+            let (h0, m0) = (cache.hits(), cache.misses());
+            let program = cache.get_or_compile(cp);
+            (Some(program), cache.hits() - h0, cache.misses() - m0)
+        };
         let mut engines: Vec<Box<dyn Engine>> = match &self.branches {
             BranchPlans::Order(branches) => branches
                 .iter()
                 .map(|(cp, plan)| {
-                    Box::new(
-                        NfaEngine::new(cp.clone(), plan.clone(), self.config.clone())
-                            .expect("pre-validated plan"),
-                    ) as Box<dyn Engine>
+                    let (program, hits, misses) = fetch(cp);
+                    let mut engine = Box::new(
+                        NfaEngine::with_program(
+                            cp.clone(),
+                            plan.clone(),
+                            self.config.clone(),
+                            program,
+                        )
+                        .expect("pre-validated plan"),
+                    );
+                    engine.metrics_mut().plan_cache_hits = hits;
+                    engine.metrics_mut().plan_cache_misses = misses;
+                    engine as Box<dyn Engine>
                 })
                 .collect(),
             BranchPlans::Tree(branches) => branches
                 .iter()
                 .map(|(cp, plan)| {
-                    Box::new(
-                        TreeEngine::new(cp.clone(), plan.clone(), self.config.clone())
-                            .expect("pre-validated plan"),
-                    ) as Box<dyn Engine>
+                    let (program, hits, misses) = fetch(cp);
+                    let mut engine = Box::new(
+                        TreeEngine::with_program(
+                            cp.clone(),
+                            plan.clone(),
+                            self.config.clone(),
+                            program,
+                        )
+                        .expect("pre-validated plan"),
+                    );
+                    engine.metrics_mut().plan_cache_hits = hits;
+                    engine.metrics_mut().plan_cache_misses = misses;
+                    engine as Box<dyn Engine>
                 })
                 .collect(),
         };
@@ -183,6 +225,7 @@ pub fn nfa_engine_factory(
         branches: BranchPlans::Order(branches),
         window: pattern.window,
         config,
+        plan_cache: shared_plan_cache(PLAN_CACHE_CAP),
     }))
 }
 
@@ -207,6 +250,7 @@ pub fn tree_engine_factory(
         branches: BranchPlans::Tree(branches),
         window: pattern.window,
         config,
+        plan_cache: shared_plan_cache(PLAN_CACHE_CAP),
     }))
 }
 

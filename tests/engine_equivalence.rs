@@ -154,37 +154,46 @@ fn check_equivalence_under(
         return;
     };
     let stream = build_stream(&raw_stream);
-    let cfg = EngineConfig {
+    let base_cfg = EngineConfig {
         max_kleene_events: 4,
         ..Default::default()
     };
-    let mut oracle = NaiveEngine::new(cp.clone(), cfg.clone());
+    let mut oracle = NaiveEngine::new(cp.clone(), base_cfg.clone());
     let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
 
     let order = order_from_seed(cp.n(), seed);
-    let plan = OrderPlan::new(order.clone()).expect("permutation");
-    let mut nfa = NfaEngine::new(cp.clone(), plan, cfg.clone()).expect("valid plan");
-    let nfa_matches = run_to_completion(&mut nfa, &stream, true).matches;
-    for m in &nfa_matches {
-        validate_match(&cp, m).expect("NFA emitted an invalid match");
-    }
-    assert_eq!(
-        signatures(&nfa_matches),
-        expected,
-        "NFA(order {order:?}) disagrees with oracle for {pattern}"
-    );
-
     let tree = TreePlan::new(tree_from_order(&order, seed ^ 0xABCD)).expect("valid tree");
-    let mut te = TreeEngine::new(cp.clone(), tree.clone(), cfg).expect("valid plan");
-    let tree_matches = run_to_completion(&mut te, &stream, true).matches;
-    for m in &tree_matches {
-        validate_match(&cp, m).expect("tree emitted an invalid match");
+    // Every case runs both the interpreted predicate path and the compiled
+    // pipeline (fused evaluators + arena + eager pruning): the two must be
+    // byte-identical to each other and to the oracle.
+    for compiled in [false, true] {
+        let cfg = EngineConfig {
+            compiled_predicates: compiled,
+            ..base_cfg.clone()
+        };
+        let plan = OrderPlan::new(order.clone()).expect("permutation");
+        let mut nfa = NfaEngine::new(cp.clone(), plan, cfg.clone()).expect("valid plan");
+        let nfa_matches = run_to_completion(&mut nfa, &stream, true).matches;
+        for m in &nfa_matches {
+            validate_match(&cp, m).expect("NFA emitted an invalid match");
+        }
+        assert_eq!(
+            signatures(&nfa_matches),
+            expected,
+            "NFA(order {order:?}, compiled={compiled}) disagrees with oracle for {pattern}"
+        );
+
+        let mut te = TreeEngine::new(cp.clone(), tree.clone(), cfg).expect("valid plan");
+        let tree_matches = run_to_completion(&mut te, &stream, true).matches;
+        for m in &tree_matches {
+            validate_match(&cp, m).expect("tree emitted an invalid match");
+        }
+        assert_eq!(
+            signatures(&tree_matches),
+            expected,
+            "Tree({tree}, compiled={compiled}) disagrees with oracle for {pattern}"
+        );
     }
-    assert_eq!(
-        signatures(&tree_matches),
-        expected,
-        "Tree({tree}) disagrees with oracle for {pattern}"
-    );
 }
 
 proptest! {
@@ -259,25 +268,30 @@ proptest! {
         pattern.strategy = cep::core::selection::SelectionStrategy::StrictContiguity;
         let cp = CompiledPattern::compile_single(&pattern).unwrap();
         let stream = build_stream(&raw);
-        let cfg = EngineConfig::default();
-        let mut oracle = NaiveEngine::new(cp.clone(), cfg.clone());
+        let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
         let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
         let order = order_from_seed(cp.n(), seed);
-        let mut nfa = NfaEngine::new(
-            cp.clone(),
-            OrderPlan::new(order.clone()).unwrap(),
-            cfg.clone(),
-        ).unwrap();
-        prop_assert_eq!(
-            signatures(&run_to_completion(&mut nfa, &stream, true).matches),
-            expected.clone()
-        );
         let tree = TreePlan::new(tree_from_order(&order, seed)).unwrap();
-        let mut te = TreeEngine::new(cp, tree, cfg).unwrap();
-        prop_assert_eq!(
-            signatures(&run_to_completion(&mut te, &stream, true).matches),
-            expected
-        );
+        for compiled in [false, true] {
+            let cfg = EngineConfig {
+                compiled_predicates: compiled,
+                ..Default::default()
+            };
+            let mut nfa = NfaEngine::new(
+                cp.clone(),
+                OrderPlan::new(order.clone()).unwrap(),
+                cfg.clone(),
+            ).unwrap();
+            prop_assert_eq!(
+                signatures(&run_to_completion(&mut nfa, &stream, true).matches),
+                expected.clone()
+            );
+            let mut te = TreeEngine::new(cp.clone(), tree.clone(), cfg).unwrap();
+            prop_assert_eq!(
+                signatures(&run_to_completion(&mut te, &stream, true).matches),
+                expected.clone()
+            );
+        }
     }
 }
 
@@ -354,46 +368,51 @@ fn four_cameras_all_plans_agree() {
         }
     }
     let stream = sb.build();
-    let cfg = EngineConfig::default();
-    let mut oracle = NaiveEngine::new(cp.clone(), cfg.clone());
+    let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
     let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
     assert!(!expected.is_empty(), "fixture must produce matches");
 
-    // All 24 orders.
-    for p0 in 0..4usize {
-        for p1 in 0..4usize {
-            for p2 in 0..4usize {
-                let mut order = vec![p0, p1, p2];
-                order.dedup();
-                let mut full: Vec<usize> = Vec::new();
-                for x in [p0, p1, p2] {
-                    if !full.contains(&x) {
-                        full.push(x);
+    for compiled in [false, true] {
+        let cfg = EngineConfig {
+            compiled_predicates: compiled,
+            ..Default::default()
+        };
+        // All 24 orders.
+        for p0 in 0..4usize {
+            for p1 in 0..4usize {
+                for p2 in 0..4usize {
+                    let mut order = vec![p0, p1, p2];
+                    order.dedup();
+                    let mut full: Vec<usize> = Vec::new();
+                    for x in [p0, p1, p2] {
+                        if !full.contains(&x) {
+                            full.push(x);
+                        }
                     }
-                }
-                for x in 0..4 {
-                    if !full.contains(&x) {
-                        full.push(x);
+                    for x in 0..4 {
+                        if !full.contains(&x) {
+                            full.push(x);
+                        }
                     }
+                    let plan = OrderPlan::new(full).unwrap();
+                    let mut e = NfaEngine::new(cp.clone(), plan, cfg.clone()).unwrap();
+                    assert_eq!(
+                        signatures(&run_to_completion(&mut e, &stream, true).matches),
+                        expected
+                    );
                 }
-                let plan = OrderPlan::new(full).unwrap();
-                let mut e = NfaEngine::new(cp.clone(), plan, cfg.clone()).unwrap();
-                assert_eq!(
-                    signatures(&run_to_completion(&mut e, &stream, true).matches),
-                    expected
-                );
             }
         }
+        // A bushy tree plan.
+        let tree = TreePlan::new(TreeNode::join(
+            TreeNode::join(TreeNode::Leaf(3), TreeNode::Leaf(2)),
+            TreeNode::join(TreeNode::Leaf(1), TreeNode::Leaf(0)),
+        ))
+        .unwrap();
+        let mut te = TreeEngine::new(cp.clone(), tree, cfg).unwrap();
+        assert_eq!(
+            signatures(&run_to_completion(&mut te, &stream, true).matches),
+            expected
+        );
     }
-    // A bushy tree plan.
-    let tree = TreePlan::new(TreeNode::join(
-        TreeNode::join(TreeNode::Leaf(3), TreeNode::Leaf(2)),
-        TreeNode::join(TreeNode::Leaf(1), TreeNode::Leaf(0)),
-    ))
-    .unwrap();
-    let mut te = TreeEngine::new(cp, tree, cfg).unwrap();
-    assert_eq!(
-        signatures(&run_to_completion(&mut te, &stream, true).matches),
-        expected
-    );
 }
