@@ -12,7 +12,7 @@
 //! serialized to the same canonical JSON as the baseline and compared
 //! *textually* — any divergence (a lost match, a missing swap, a dedup
 //! regression) fails the job, while timing noise cannot. The full report
-//! (counts + wall times) is written to `BENCH_PR8.json` as a build
+//! (counts + wall times) is written to `BENCH_PR9.json` as a build
 //! artifact.
 //!
 //! The `compiled-pipeline` scenario additionally runs the same workload
@@ -21,6 +21,13 @@
 //! evaluation counts are gated like every other scenario, and the two
 //! wall times are reported side by side so a compiled-path slowdown is
 //! visible in every CI log.
+//!
+//! The `delta-window-scaling` scenario sweeps the pattern window over the
+//! same rare-completion join workload on the NFA, tree, and delta
+//! backends: match counts must agree exactly, and the gated peak counts
+//! pin down the storage asymmetry — materializing partial matches blow up
+//! superlinearly with the window while the delta engine's buffered-event
+//! peak grows at most linearly and it materializes no partials at all.
 
 use crate::env::{
     cross_key_stock_workload, drifting_stock_workload, replicated_stock_workload,
@@ -319,6 +326,134 @@ fn compiled_pipeline() -> ScenarioReport {
     }
 }
 
+/// Window-scaling sweep for the delta-indexed backend: the same
+/// equality-correlated `SEQ(A, B, C)` workload evaluated at increasing
+/// windows by the NFA, the tree engine, and the delta engine. The
+/// materializing backends' peak partial-match counts grow superlinearly
+/// with the window (every live `A` and joinable `A×B` pair is stored),
+/// while the delta engine stores only the windowed events themselves —
+/// `partial_matches_created` stays zero and `peak_buffered_events` tracks
+/// the window linearly. Match counts per window are asserted equal across
+/// all three backends here and gated against the baseline; wall times per
+/// backend land in [`ScenarioReport::walls`].
+fn delta_window_scaling() -> ScenarioReport {
+    use cep_core::compile::CompiledPattern;
+    use cep_core::event::{Event, TypeId};
+    use cep_core::pattern::PatternBuilder;
+    use cep_core::predicate::{CmpOp, Predicate};
+    use cep_core::stream::StreamBuilder;
+    use cep_core::value::Value;
+    use cep_delta::DeltaEngine;
+    use cep_tree::TreeEngine;
+
+    let start = Instant::now();
+    // 6 000 events, ts = i. Blocks of 4 consecutive events share one of 32
+    // join keys, so types A (even i) and B (odd i) both land on every key;
+    // the completing C type is rare (every 251st event), which is exactly
+    // the regime where materializing engines hoard A and A×B partial
+    // matches that almost never finish.
+    let mut sb = StreamBuilder::new();
+    for i in 0..6_000u64 {
+        let tid = if i % 251 == 0 { 2 } else { (i % 2) as u32 };
+        let key = ((i / 4) % 32) as i64;
+        sb.push(Event::new(TypeId(tid), i, vec![Value::Int(key)]));
+    }
+    let stream = sb.build();
+
+    let pattern_for = |window: u64| {
+        let mut b = PatternBuilder::new(window);
+        let a = b.event(TypeId(0), "a");
+        let bb = b.event(TypeId(1), "b");
+        let c = b.event(TypeId(2), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, bb.pos(), 0));
+        b.predicate(Predicate::attr_cmp(bb.pos(), 0, CmpOp::Eq, c.pos(), 0));
+        b.seq([a, bb, c]).unwrap()
+    };
+
+    // One row of static count/wall names per window: the canonical
+    // baseline JSON needs `&'static str` keys.
+    #[allow(clippy::type_complexity)]
+    let rows: [(u64, [&'static str; 5], [&'static str; 2], &'static str); 3] = [
+        (
+            250,
+            [
+                "matches_w250",
+                "nfa_peak_partials_w250",
+                "tree_peak_partials_w250",
+                "delta_peak_buffered_w250",
+                "delta_index_probes_w250",
+            ],
+            ["nfa_w250_ms", "delta_w250_ms"],
+            "delta_enum_ns_w250",
+        ),
+        (
+            1_000,
+            [
+                "matches_w1000",
+                "nfa_peak_partials_w1000",
+                "tree_peak_partials_w1000",
+                "delta_peak_buffered_w1000",
+                "delta_index_probes_w1000",
+            ],
+            ["nfa_w1000_ms", "delta_w1000_ms"],
+            "delta_enum_ns_w1000",
+        ),
+        (
+            4_000,
+            [
+                "matches_w4000",
+                "nfa_peak_partials_w4000",
+                "tree_peak_partials_w4000",
+                "delta_peak_buffered_w4000",
+                "delta_index_probes_w4000",
+            ],
+            ["nfa_w4000_ms", "delta_w4000_ms"],
+            "delta_enum_ns_w4000",
+        ),
+    ];
+    let mut counts = Vec::new();
+    let mut percentiles = Vec::new();
+    let mut walls = Vec::new();
+    for (window, count_keys, wall_keys, enum_key) in rows {
+        let cp = CompiledPattern::compile_single(&pattern_for(window)).unwrap();
+        let mut nfa = NfaEngine::with_trivial_plan(cp.clone(), engine_config());
+        let t = Instant::now();
+        let nfa_matches = run_to_completion(&mut nfa, &stream, false).match_count;
+        let nfa_wall = t.elapsed().as_secs_f64() * 1e3;
+        let mut tree = TreeEngine::with_trivial_plan(cp.clone(), engine_config());
+        let tree_matches = run_to_completion(&mut tree, &stream, false).match_count;
+        let mut delta = DeltaEngine::new(cp, engine_config());
+        let t = Instant::now();
+        let delta_matches = run_to_completion(&mut delta, &stream, false).match_count;
+        let delta_wall = t.elapsed().as_secs_f64() * 1e3;
+        let dm = delta.metrics();
+        assert_eq!(
+            nfa_matches, delta_matches,
+            "delta diverged from NFA at w={window}"
+        );
+        assert_eq!(
+            tree_matches, delta_matches,
+            "delta diverged from tree at w={window}"
+        );
+        assert_eq!(dm.partial_matches_created, 0);
+        counts.push((count_keys[0], delta_matches));
+        counts.push((count_keys[1], nfa.metrics().peak_partial_matches as u64));
+        counts.push((count_keys[2], tree.metrics().peak_partial_matches as u64));
+        counts.push((count_keys[3], dm.peak_buffered_events as u64));
+        counts.push((count_keys[4], dm.index_probes));
+        percentiles.push((enum_key, dm.enumeration_ns.percentiles()));
+        walls.push((wall_keys[0], nfa_wall));
+        walls.push((wall_keys[1], delta_wall));
+    }
+    ScenarioReport {
+        name: "delta-window-scaling",
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        counts,
+        percentiles,
+        walls,
+    }
+}
+
 /// Runs all gate scenarios at the fixed quick scale.
 pub fn run_all() -> Vec<ScenarioReport> {
     vec![
@@ -327,6 +462,7 @@ pub fn run_all() -> Vec<ScenarioReport> {
         selectivity_drift(),
         cross_partition(),
         compiled_pipeline(),
+        delta_window_scaling(),
     ]
 }
 
@@ -349,7 +485,7 @@ pub fn counts_json(reports: &[ScenarioReport]) -> String {
 }
 
 /// Full report JSON (counts + wall times + latency percentiles) written
-/// to `BENCH_PR5.json`. Percentiles live here and in the logs only — the
+/// to `BENCH_PR9.json`. Percentiles live here and in the logs only — the
 /// diffed baseline format ([`counts_json`]) never includes them.
 pub fn full_json(reports: &[ScenarioReport]) -> String {
     let mut s = String::from("{\n  \"scenarios\": [\n");
@@ -537,6 +673,49 @@ mod tests {
             "compiled path regressed: {:.1} ms vs {:.1} ms interpreted",
             wall("nfa_compiled_ms"),
             wall("nfa_interpreted_ms"),
+        );
+    }
+
+    /// The delta backend's headline property at bench scale: as the window
+    /// grows 16×, the materializing backends' peak partial-match counts
+    /// blow up ≥10×, while the delta engine stores no partial matches and
+    /// its peak buffered-event count grows no faster than the window.
+    #[test]
+    fn delta_window_scaling_blows_up_materializing_backends_only() {
+        let r = delta_window_scaling();
+        let count = |key: &str| {
+            r.counts
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        // Exact output agreement per window is asserted inside the
+        // scenario; re-check the counts are present and non-trivial.
+        assert!(count("matches_w250") > 0, "fixture must produce matches");
+        assert!(count("matches_w4000") > count("matches_w250"));
+        let nfa_ratio =
+            count("nfa_peak_partials_w4000") as f64 / count("nfa_peak_partials_w250").max(1) as f64;
+        let tree_ratio = count("tree_peak_partials_w4000") as f64
+            / count("tree_peak_partials_w250").max(1) as f64;
+        let delta_ratio = count("delta_peak_buffered_w4000") as f64
+            / count("delta_peak_buffered_w250").max(1) as f64;
+        assert!(
+            nfa_ratio >= 10.0,
+            "NFA partial matches should blow up ≥10× over a 16× window (got {nfa_ratio:.1}×)"
+        );
+        assert!(
+            tree_ratio >= 10.0,
+            "tree partial matches should blow up ≥10× over a 16× window (got {tree_ratio:.1}×)"
+        );
+        assert!(
+            delta_ratio <= 16.0 * 1.25,
+            "delta buffered events must grow at most linearly with the window \
+             (got {delta_ratio:.1}× over a 16× window)"
+        );
+        assert!(
+            delta_ratio < nfa_ratio / 2.0,
+            "delta storage ({delta_ratio:.1}×) should scale far below NFA partials ({nfa_ratio:.1}×)"
         );
     }
 }

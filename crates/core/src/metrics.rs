@@ -89,6 +89,18 @@ pub struct EngineMetrics {
     /// Compiled-plan cache misses: engine builds that had to lower the
     /// pattern's predicates from scratch (0 when no cache is in play).
     pub plan_cache_misses: u64,
+    /// Equality-join posting-list probes performed by a delta-indexed
+    /// engine (0 for materializing engines).
+    pub index_probes: u64,
+    /// Index list operations (inserts + expirations, across the type
+    /// store and every posting list) performed by a delta-indexed engine
+    /// — the amortized-constant per-event maintenance work (0 for
+    /// materializing engines).
+    pub delta_updates: u64,
+    /// Log₂ histogram of per-event on-demand match-enumeration time in
+    /// nanoseconds (one sample per enumerated delta; empty for
+    /// materializing engines).
+    pub enumeration_ns: LatencyHistogram,
 }
 
 /// Estimated bytes per live partial match (bindings vector + bookkeeping).
@@ -178,6 +190,9 @@ impl EngineMetrics {
         self.dedup_hits += other.dedup_hits;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.index_probes += other.index_probes;
+        self.delta_updates += other.delta_updates;
+        self.enumeration_ns.merge(&other.enumeration_ns);
     }
 
     /// Merges counters from another engine (used by multi-plan evaluation).
@@ -205,6 +220,9 @@ impl EngineMetrics {
         self.dedup_hits += other.dedup_hits;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.index_probes += other.index_probes;
+        self.delta_updates += other.delta_updates;
+        self.enumeration_ns.merge(&other.enumeration_ns);
     }
 
     /// Writes this snapshot into a [`MetricsRegistry`] under `labels`
@@ -314,6 +332,18 @@ impl EngineMetrics {
             labels,
             self.plan_cache_misses,
         );
+        reg.counter(
+            "cep_index_probes_total",
+            "Equality-join posting-list probes (delta engine)",
+            labels,
+            self.index_probes,
+        );
+        reg.counter(
+            "cep_delta_updates_total",
+            "Index list inserts + expirations (delta engine)",
+            labels,
+            self.delta_updates,
+        );
         reg.histogram(
             "cep_event_ns",
             "Per-event processing time (ns, sampled)",
@@ -331,6 +361,12 @@ impl EngineMetrics {
             "Per-swap replay time (ns)",
             labels,
             &self.replay_ns,
+        );
+        reg.histogram(
+            "cep_enumeration_ns",
+            "Per-delta on-demand match-enumeration time (ns)",
+            labels,
+            &self.enumeration_ns,
         );
     }
 }
@@ -532,6 +568,9 @@ mod tests {
             dedup_hits: base + 23,
             plan_cache_hits: base + 24,
             plan_cache_misses: base + 25,
+            index_probes: base + 26,
+            delta_updates: base + 27,
+            enumeration_ns: hist1(base + 28),
         }
     }
 
@@ -539,7 +578,7 @@ mod tests {
     /// against the struct itself via its Debug rendering. The histogram
     /// fields count too: `LatencyHistogram`'s Debug is a single token
     /// without `": "`, so each one contributes exactly one pair.
-    const FIELD_COUNT: usize = 25;
+    const FIELD_COUNT: usize = 28;
 
     #[test]
     fn debug_field_count_matches_coverage() {
@@ -576,6 +615,8 @@ mod tests {
         assert_eq!(a.dedup_hits, 1046);
         assert_eq!(a.plan_cache_hits, 1048);
         assert_eq!(a.plan_cache_misses, 1050);
+        assert_eq!(a.index_probes, 1052);
+        assert_eq!(a.delta_updates, 1054);
         // ...histograms merge bucket-wise (both samples survive)...
         assert_eq!(a.event_ns.count(), 2);
         assert_eq!(a.event_ns.sum(), 1024);
@@ -583,6 +624,8 @@ mod tests {
         assert_eq!(a.match_latency_ns.sum(), 1026);
         assert_eq!(a.replay_ns.count(), 2);
         assert_eq!(a.replay_ns.sum(), 1034);
+        assert_eq!(a.enumeration_ns.count(), 2);
+        assert_eq!(a.enumeration_ns.sum(), 1056);
         // ...peaks and wall time take the per-shard maximum.
         assert_eq!(a.peak_partial_matches, 1006);
         assert_eq!(a.peak_buffered_events, 1008);
@@ -616,6 +659,8 @@ mod tests {
         assert_eq!(a.dedup_hits, 1046);
         assert_eq!(a.plan_cache_hits, 1048);
         assert_eq!(a.plan_cache_misses, 1050);
+        assert_eq!(a.index_probes, 1052);
+        assert_eq!(a.delta_updates, 1054);
         // ...histograms merge bucket-wise...
         assert_eq!(a.event_ns.count(), 2);
         assert_eq!(a.event_ns.sum(), 1024);
@@ -623,6 +668,8 @@ mod tests {
         assert_eq!(a.match_latency_ns.sum(), 1026);
         assert_eq!(a.replay_ns.count(), 2);
         assert_eq!(a.replay_ns.sum(), 1034);
+        assert_eq!(a.enumeration_ns.count(), 2);
+        assert_eq!(a.enumeration_ns.sum(), 1056);
         // ...except the harness-owned totals, which stay the caller's.
         assert_eq!(a.events_processed, 1);
         assert_eq!(a.wall_time_ns, 11);
@@ -638,6 +685,9 @@ mod tests {
         assert!(text.contains("cep_events_processed_total{engine=\"a\"} 1"));
         assert!(text.contains("cep_events_processed_total{engine=\"b\"} 1001"));
         assert!(text.contains("cep_match_latency_ns_count{engine=\"a\"} 1"));
+        assert!(text.contains("cep_index_probes_total{engine=\"a\"} 26"));
+        assert!(text.contains("cep_delta_updates_total{engine=\"b\"} 1027"));
+        assert!(text.contains("cep_enumeration_ns_count{engine=\"a\"} 1"));
         // The JSON rendering parses back with the obs-side codec.
         cep_obs::json::parse(&reg.render_json()).expect("registry JSON parses");
     }

@@ -1,0 +1,535 @@
+//! The delta-indexed evaluation engine.
+
+use crate::index::{index_key, ts_range, IndexKey, WindowIndex};
+use cep_core::buffer::TypeBuffers;
+use cep_core::compile::CompiledPattern;
+use cep_core::compiled::PredicateProgram;
+use cep_core::engine::{Engine, EngineConfig};
+use cep_core::event::{EventRef, Timestamp};
+use cep_core::instance::{compatible_with, Instance};
+use cep_core::matches::{validate_match, Match};
+use cep_core::metrics::EngineMetrics;
+use cep_core::negation::DeferredStore;
+use cep_core::predicate::{CmpOp, Operand};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An equality join between two positive elements, extracted from a `==`
+/// predicate: candidates for the owning element can be found by probing
+/// the `(type, attr)` posting list with the key read from the partner's
+/// bound event (attribute `other_attr` of element `other`).
+#[derive(Debug, Clone)]
+struct EqJoin {
+    /// Partner element index.
+    other: usize,
+    /// Attribute of the owning element (the probe's posting-list side).
+    attr: usize,
+    /// Attribute of the partner element (the probe key's side).
+    other_attr: usize,
+}
+
+/// Equality joins per element of `cp` (symmetric: a `a.x == b.y`
+/// predicate yields one entry under `a` and one under `b`).
+fn eq_joins_of(cp: &CompiledPattern) -> Vec<Vec<EqJoin>> {
+    let mut joins = vec![Vec::new(); cp.n()];
+    for p in &cp.predicates {
+        if p.op != CmpOp::Eq {
+            continue;
+        }
+        let (
+            Operand::Attr {
+                position: pa,
+                attr: aa,
+            },
+            Operand::Attr {
+                position: pb,
+                attr: ab,
+            },
+        ) = (&p.left, &p.right)
+        else {
+            continue;
+        };
+        if pa == pb {
+            continue;
+        }
+        // Negated positions have no element index; their predicates are
+        // enforced by the deferred-negation machinery, not the index.
+        let (Some(i), Some(j)) = (cp.elem_index(*pa), cp.elem_index(*pb)) else {
+            continue;
+        };
+        joins[i].push(EqJoin {
+            other: j,
+            attr: *aa,
+            other_attr: *ab,
+        });
+        joins[j].push(EqJoin {
+            other: i,
+            attr: *ab,
+            other_attr: *aa,
+        });
+    }
+    joins
+}
+
+/// The candidate source chosen for one element at one search node.
+/// (A third case — an equality join against an unkeyable partner value —
+/// returns early from [`DeltaEngine::candidates_for`]: `==` can never
+/// hold, so the pool is empty.)
+enum Pool {
+    /// Probe the `(type, attr)` posting list with `key`.
+    Probe(usize, IndexKey),
+    /// Scan the element type's whole windowed store.
+    Scan,
+}
+
+/// The delta-indexed (non-materializing) evaluation engine.
+///
+/// Semantically a drop-in third backend next to the NFA and tree engines:
+/// byte-identical match output (signatures *and* `emitted_at`) to the
+/// naive oracle under the three exact selection strategies. Instead of
+/// materializing partial matches it keeps only a [`WindowIndex`] of live
+/// events — per-type deques plus equality-key posting lists — and
+/// enumerates the matches completed by each arriving event on demand, by
+/// a backtracking search that picks the cheapest index probe first.
+///
+/// Under `SkipTillNextMatch` (the only non-exact strategy) the engine is
+/// greedy like the NFA/tree engines, but its enumeration order may pick a
+/// different witness than the oracle's, so only the three exact
+/// strategies carry the byte-identity guarantee.
+pub struct DeltaEngine {
+    cp: CompiledPattern,
+    cfg: EngineConfig,
+    program: Option<Arc<PredicateProgram>>,
+    eq_joins: Vec<Vec<EqJoin>>,
+    index: WindowIndex,
+    /// Negated-type events for the anchored anti-join scan performed by
+    /// [`DeferredStore::admit`]; pruned in lockstep with the index.
+    neg_buffers: TypeBuffers,
+    deferred: DeferredStore,
+    consumed: HashSet<u64>,
+    watermark: Timestamp,
+    metrics: EngineMetrics,
+}
+
+impl DeltaEngine {
+    /// Creates a delta engine for one compiled pattern branch. Unlike the
+    /// NFA/tree constructors this is infallible: the delta engine needs no
+    /// evaluation plan — its join order is chosen per search node from
+    /// live posting-list sizes.
+    pub fn new(cp: CompiledPattern, cfg: EngineConfig) -> DeltaEngine {
+        DeltaEngine::with_program(cp, cfg, None)
+    }
+
+    /// [`DeltaEngine::new`] with an optional pre-lowered
+    /// [`PredicateProgram`] (e.g. from a shared
+    /// [`cep_core::compiled::PlanCache`]). The config wins: with
+    /// [`EngineConfig::compiled_predicates`] off, any provided program is
+    /// ignored; with it on and no program provided, one is compiled here.
+    pub fn with_program(
+        cp: CompiledPattern,
+        cfg: EngineConfig,
+        program: Option<Arc<PredicateProgram>>,
+    ) -> DeltaEngine {
+        let program = if cfg.compiled_predicates {
+            program.or_else(|| Some(Arc::new(PredicateProgram::compile(&cp))))
+        } else {
+            None
+        };
+        let eq_joins = eq_joins_of(&cp);
+        let keys = eq_joins.iter().enumerate().flat_map(|(elem, joins)| {
+            let ty = cp.elements[elem].event_type;
+            joins.iter().map(move |j| (ty, j.attr))
+        });
+        let index = WindowIndex::new(keys);
+        DeltaEngine {
+            cp,
+            cfg,
+            program,
+            eq_joins,
+            index,
+            neg_buffers: TypeBuffers::new(),
+            deferred: DeferredStore::new(),
+            consumed: HashSet::new(),
+            watermark: 0,
+            metrics: EngineMetrics::new(),
+        }
+    }
+
+    /// The compiled predicate program in use (`None` when running
+    /// interpreted).
+    pub fn program(&self) -> Option<&Arc<PredicateProgram>> {
+        self.program.as_ref()
+    }
+
+    /// The compiled pattern this engine evaluates.
+    pub fn pattern(&self) -> &CompiledPattern {
+        &self.cp
+    }
+
+    fn emit(&mut self, m: Match, out: &mut Vec<Match>) {
+        if self.cp.strategy.consumes() {
+            if m.events().any(|e| self.consumed.contains(&e.seq)) {
+                return;
+            }
+            for e in m.events() {
+                self.consumed.insert(e.seq);
+            }
+        }
+        self.metrics.matches_emitted += 1;
+        out.push(m);
+    }
+
+    fn release_deferred(&mut self, watermark: Timestamp, out: &mut Vec<Match>) {
+        let mut ready = Vec::new();
+        self.deferred.drain_ready(watermark, &mut ready);
+        for m in ready {
+            self.emit(m, out);
+        }
+    }
+
+    /// Enumerates all matches whose latest event is `newest`, then routes
+    /// them through negation admission. The search pins `newest` at each
+    /// element of its type in turn (every match contains it at exactly one
+    /// element, so the pins partition the result set) and completes the
+    /// remaining elements by index probes.
+    fn enumerate(&mut self, newest: &EventRef, out: &mut Vec<Match>) {
+        let t0 = Instant::now();
+        let mut found = Vec::new();
+        let pins: Vec<usize> = self.cp.elements_of_type(newest.type_id).collect();
+        for j in pins {
+            let inst = Instance::empty(self.cp.n());
+            if self.cp.elements[j].kleene {
+                self.pinned_kleene(j, newest, &inst, &mut found);
+            } else if compatible_with(
+                &self.cp,
+                self.program.as_deref(),
+                &inst,
+                j,
+                newest,
+                &self.consumed,
+                &mut self.metrics,
+            ) {
+                let inst = inst.with_single(j, newest.clone());
+                self.extend(newest, &inst, &mut found);
+            }
+        }
+        self.metrics
+            .enumeration_ns
+            .record(t0.elapsed().as_nanos() as u64);
+        for m in found {
+            if let Some(m) = self
+                .deferred
+                .admit(&self.cp, m, self.watermark, &self.neg_buffers)
+            {
+                self.emit(m, out);
+            }
+        }
+    }
+
+    /// Pins `newest` inside the Kleene accumulator of element `j`: every
+    /// subset bound at `j` must contain it, so the search enumerates
+    /// subsets of *older* candidates (in serial order, like the oracle)
+    /// and closes each — including the empty one — with `newest`.
+    fn pinned_kleene(
+        &mut self,
+        j: usize,
+        newest: &EventRef,
+        inst: &Instance,
+        found: &mut Vec<Match>,
+    ) {
+        if self.cfg.max_kleene_events == 0 {
+            return;
+        }
+        let candidates: Vec<EventRef> = self
+            .candidates_for(j, inst)
+            .into_iter()
+            .filter(|e| e.seq < newest.seq)
+            .collect();
+        self.pinned_kleene_rec(j, newest, &candidates, 0, inst, 0, found);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pinned_kleene_rec(
+        &mut self,
+        j: usize,
+        newest: &EventRef,
+        candidates: &[EventRef],
+        from: usize,
+        inst: &Instance,
+        depth: usize,
+        found: &mut Vec<Match>,
+    ) {
+        if compatible_with(
+            &self.cp,
+            self.program.as_deref(),
+            inst,
+            j,
+            newest,
+            &self.consumed,
+            &mut self.metrics,
+        ) {
+            let closed = inst.with_kleene(j, newest.clone());
+            self.extend(newest, &closed, found);
+        }
+        // `newest` always occupies one slot, so older members may fill at
+        // most `max_kleene_events - 1`.
+        if depth + 1 >= self.cfg.max_kleene_events {
+            return;
+        }
+        for i in from..candidates.len() {
+            if !compatible_with(
+                &self.cp,
+                self.program.as_deref(),
+                inst,
+                j,
+                &candidates[i],
+                &self.consumed,
+                &mut self.metrics,
+            ) {
+                continue;
+            }
+            let grown = inst.with_kleene(j, candidates[i].clone());
+            self.pinned_kleene_rec(j, newest, candidates, i + 1, &grown, depth + 1, found);
+        }
+    }
+
+    /// Binds the remaining elements of `inst`, cheapest live pool first;
+    /// emits into `found` at full assignments that validate.
+    fn extend(&mut self, newest: &EventRef, inst: &Instance, found: &mut Vec<Match>) {
+        let Some(elem) = self.next_element(inst) else {
+            let m = Match {
+                bindings: inst
+                    .bindings
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        (
+                            self.cp.elements[i].position,
+                            b.clone().expect("all elements bound"),
+                        )
+                    })
+                    .collect(),
+                last_ts: newest.ts,
+                emitted_at: newest.ts,
+            };
+            if validate_match(&self.cp, &m).is_ok() {
+                found.push(m);
+            }
+            return;
+        };
+        let candidates = self.candidates_for(elem, inst);
+        if self.cp.elements[elem].kleene {
+            self.kleene_subsets(elem, newest, &candidates, 0, inst, 0, found);
+        } else {
+            for c in candidates {
+                if !compatible_with(
+                    &self.cp,
+                    self.program.as_deref(),
+                    inst,
+                    elem,
+                    &c,
+                    &self.consumed,
+                    &mut self.metrics,
+                ) {
+                    continue;
+                }
+                let bound = inst.with_single(elem, c);
+                self.extend(newest, &bound, found);
+            }
+        }
+    }
+
+    /// Enumerates non-empty, capped subsets of `candidates` (in serial
+    /// order, mirroring the oracle) as the Kleene accumulator of `elem`,
+    /// recursing into [`DeltaEngine::extend`] for each.
+    #[allow(clippy::too_many_arguments)]
+    fn kleene_subsets(
+        &mut self,
+        elem: usize,
+        newest: &EventRef,
+        candidates: &[EventRef],
+        from: usize,
+        inst: &Instance,
+        depth: usize,
+        found: &mut Vec<Match>,
+    ) {
+        if depth > 0 {
+            self.extend(newest, inst, found);
+        }
+        if depth >= self.cfg.max_kleene_events {
+            return;
+        }
+        for i in from..candidates.len() {
+            if !compatible_with(
+                &self.cp,
+                self.program.as_deref(),
+                inst,
+                elem,
+                &candidates[i],
+                &self.consumed,
+                &mut self.metrics,
+            ) {
+                continue;
+            }
+            let grown = inst.with_kleene(elem, candidates[i].clone());
+            self.kleene_subsets(elem, newest, candidates, i + 1, &grown, depth + 1, found);
+        }
+    }
+
+    /// The unbound element with the smallest live candidate pool (ties by
+    /// element index), or `None` when every element is bound.
+    fn next_element(&self, inst: &Instance) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for elem in 0..self.cp.n() {
+            if inst.bindings[elem].is_some() {
+                continue;
+            }
+            let est = self.pool_estimate(elem, inst);
+            if best.is_none_or(|(b, _)| est < b) {
+                best = Some((est, elem));
+            }
+        }
+        best.map(|(_, elem)| elem)
+    }
+
+    /// Upper bound on `elem`'s candidate pool: the smallest posting list
+    /// reachable through an equality join to a bound partner, else the
+    /// whole type store (0 when a partner's key is unkeyable — `==` can
+    /// never hold, so the branch is dead).
+    fn pool_estimate(&self, elem: usize, inst: &Instance) -> usize {
+        let ty = self.cp.elements[elem].event_type;
+        let mut best = self.index.type_len(ty);
+        for join in &self.eq_joins[elem] {
+            let Some(b) = &inst.bindings[join.other] else {
+                continue;
+            };
+            let partner = b.events().next().expect("bindings are non-empty");
+            match partner.attr(join.other_attr).and_then(index_key) {
+                None => return 0,
+                Some(key) => best = best.min(self.index.posting_len(ty, join.attr, &key)),
+            }
+        }
+        best
+    }
+
+    /// Materializes the candidate pool for `elem` under `inst`: the best
+    /// equality-join probe (or full type scan), narrowed to the timestamp
+    /// range that window and precedence constraints against the bound
+    /// elements allow. A superset of the events `compatible_with` accepts,
+    /// so shrinking the pool never loses a match.
+    fn candidates_for(&mut self, elem: usize, inst: &Instance) -> Vec<EventRef> {
+        let ty = self.cp.elements[elem].event_type;
+        // Timestamp bounds: window span against the bound extents, strict
+        // precedence against each bound element.
+        let (mut lo, mut hi) = if inst.event_count > 0 {
+            (
+                inst.max_ts.saturating_sub(self.cp.window),
+                inst.min_ts.saturating_add(self.cp.window),
+            )
+        } else {
+            (0, Timestamp::MAX)
+        };
+        for (j, binding) in inst.bindings.iter().enumerate() {
+            let Some(binding) = binding else { continue };
+            if j == elem {
+                continue;
+            }
+            if self.cp.must_precede(elem, j) {
+                let m = binding.min_ts();
+                if m == 0 {
+                    return Vec::new();
+                }
+                hi = hi.min(m - 1);
+            }
+            if self.cp.must_precede(j, elem) {
+                lo = lo.max(binding.max_ts().saturating_add(1));
+            }
+        }
+        if lo > hi {
+            return Vec::new();
+        }
+        // Pool: cheapest equality-join probe over bound partners, else scan.
+        let mut pool = Pool::Scan;
+        let mut pool_len = self.index.type_len(ty);
+        for join in &self.eq_joins[elem] {
+            let Some(b) = &inst.bindings[join.other] else {
+                continue;
+            };
+            let partner = b.events().next().expect("bindings are non-empty");
+            let Some(key) = partner.attr(join.other_attr).and_then(index_key) else {
+                // `==` against an unkeyable value (missing attribute or
+                // NaN) holds for no event.
+                return Vec::new();
+            };
+            let len = self.index.posting_len(ty, join.attr, &key);
+            if len <= pool_len {
+                pool = Pool::Probe(join.attr, key);
+                pool_len = len;
+            }
+        }
+        let list: Option<&VecDeque<EventRef>> = match &pool {
+            Pool::Probe(attr, key) => self.index.posting(ty, *attr, key),
+            Pool::Scan => self.index.of_type(ty),
+        };
+        let out: Vec<EventRef> = match list {
+            Some(d) => ts_range(d, lo, hi).cloned().collect(),
+            None => Vec::new(),
+        };
+        if matches!(pool, Pool::Probe(..)) {
+            self.metrics.index_probes += 1;
+        }
+        out
+    }
+}
+
+impl Engine for DeltaEngine {
+    fn process(&mut self, event: &EventRef, out: &mut Vec<Match>) {
+        self.metrics.events_processed += 1;
+        self.watermark = self.watermark.max(event.ts);
+        let watermark = self.watermark;
+        self.release_deferred(watermark, out);
+        self.deferred.on_event(&self.cp, event);
+        // Expire every event: the inverse delta is amortized O(1), and the
+        // negation buffer must match the oracle's view exactly.
+        let expired = self.index.expire(watermark, self.cp.window);
+        self.metrics.delta_updates += expired;
+        self.neg_buffers.prune(watermark, self.cp.window);
+        if !self.cp.uses_type(event.type_id) {
+            return;
+        }
+        self.metrics.events_relevant += 1;
+        let positive = self.cp.elements_of_type(event.type_id).next().is_some();
+        if positive {
+            let inserted = self.index.insert(event.clone());
+            self.metrics.delta_updates += inserted;
+        }
+        if self.cp.negated_of_type(event.type_id).next().is_some() {
+            self.neg_buffers.push(event.clone());
+        }
+        if positive {
+            self.enumerate(event, out);
+        }
+        self.metrics.record_live(
+            self.deferred.len(),
+            self.index.len() + self.neg_buffers.len(),
+        );
+    }
+
+    fn flush(&mut self, out: &mut Vec<Match>) {
+        self.release_deferred(Timestamp::MAX, out);
+    }
+
+    fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+}

@@ -1,0 +1,262 @@
+//! Windowed per-type event store with equality-key posting lists.
+//!
+//! The [`WindowIndex`] is the only state a [`crate::DeltaEngine`] keeps per
+//! window (besides parked negation matches): each arriving event is one
+//! *insert delta* (append to its type's deque plus one posting-list append
+//! per indexed join attribute), and each expiration is the *inverse delta*
+//! (pop the same entries back off the fronts). Both are amortized O(1) per
+//! event per indexed attribute, because arrival order is timestamp order —
+//! the expiring event is always at the front of every list it is in.
+
+use cep_core::event::{EventRef, Timestamp, TypeId};
+use cep_core::value::Value;
+use std::collections::{HashMap, VecDeque};
+
+/// Hashable canonical form of a [`Value`] for equality-join probes.
+///
+/// Numeric values hash by their `f64` image (with `-0.0` folded into
+/// `+0.0`) so `Int(1)` and `Float(1.0)` land in the same bucket, matching
+/// [`cep_core::value::Value::partial_cmp_value`]'s cross-kind equality. `NaN` has
+/// no key at all — `==` never holds for it, so an event with a `NaN` join
+/// attribute is simply not indexed under that attribute, and a probe *by*
+/// `NaN` finds nothing. Collisions are harmless (probe results are
+/// re-checked by the full predicate evaluator); missed candidates are
+/// impossible by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    /// Canonicalized bit pattern of the value's `f64` image.
+    Num(u64),
+    /// Boolean values hash as themselves.
+    Bool(bool),
+    /// String values hash by content.
+    Str(std::sync::Arc<str>),
+}
+
+/// The canonical equality key of `value`, or `None` when no event can ever
+/// compare `==` to it (`NaN`).
+pub fn index_key(value: &Value) -> Option<IndexKey> {
+    fn canon(f: f64) -> u64 {
+        if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+    match value {
+        Value::Int(i) => Some(IndexKey::Num(canon(*i as f64))),
+        Value::Float(f) => {
+            if f.is_nan() {
+                None
+            } else {
+                Some(IndexKey::Num(canon(*f)))
+            }
+        }
+        Value::Bool(b) => Some(IndexKey::Bool(*b)),
+        Value::Str(s) => Some(IndexKey::Str(s.clone())),
+    }
+}
+
+/// Per-type windowed event store plus `(type, attr) → key → events`
+/// posting lists over the pattern's equality-join attributes.
+///
+/// All deques hold events in arrival order, which the engine's stream
+/// contract guarantees is non-decreasing timestamp (and strictly
+/// increasing serial-number) order — so range scans are binary-searchable
+/// and expiration only ever pops fronts.
+#[derive(Debug, Default)]
+pub struct WindowIndex {
+    store: HashMap<TypeId, VecDeque<EventRef>>,
+    postings: HashMap<(TypeId, usize), HashMap<IndexKey, VecDeque<EventRef>>>,
+    /// Which attributes are indexed per type (deduplicated).
+    indexed: HashMap<TypeId, Vec<usize>>,
+    total: usize,
+}
+
+impl WindowIndex {
+    /// Creates an index over the given `(type, attr)` equality-join keys.
+    pub fn new(keys: impl IntoIterator<Item = (TypeId, usize)>) -> WindowIndex {
+        let mut indexed: HashMap<TypeId, Vec<usize>> = HashMap::new();
+        for (ty, attr) in keys {
+            let attrs = indexed.entry(ty).or_default();
+            if !attrs.contains(&attr) {
+                attrs.push(attr);
+            }
+        }
+        WindowIndex {
+            indexed,
+            ..WindowIndex::default()
+        }
+    }
+
+    /// Inserts `event` (the positive delta). Returns the number of list
+    /// appends performed (1 for the store + 1 per indexed attribute with a
+    /// hashable value).
+    pub fn insert(&mut self, event: EventRef) -> u64 {
+        let ty = event.type_id;
+        let mut ops = 1;
+        if let Some(attrs) = self.indexed.get(&ty) {
+            for &attr in attrs {
+                if let Some(key) = event.attr(attr).and_then(index_key) {
+                    self.postings
+                        .entry((ty, attr))
+                        .or_default()
+                        .entry(key)
+                        .or_default()
+                        .push_back(event.clone());
+                    ops += 1;
+                }
+            }
+        }
+        self.store.entry(ty).or_default().push_back(event);
+        self.total += 1;
+        ops
+    }
+
+    /// Expires every event with `ts + window < watermark` (the inverse
+    /// delta — events with `ts + window == watermark` survive, matching
+    /// [`cep_core::buffer::TypeBuffers::prune`]). Returns the number of
+    /// list removals performed.
+    pub fn expire(&mut self, watermark: Timestamp, window: u64) -> u64 {
+        let mut ops = 0;
+        for (&ty, deque) in &mut self.store {
+            while let Some(front) = deque.front() {
+                if front.ts + window >= watermark {
+                    break;
+                }
+                let ev = deque.pop_front().expect("checked front");
+                self.total -= 1;
+                ops += 1;
+                if let Some(attrs) = self.indexed.get(&ty) {
+                    for &attr in attrs {
+                        if let Some(key) = ev.attr(attr).and_then(index_key) {
+                            let lists = self
+                                .postings
+                                .get_mut(&(ty, attr))
+                                .expect("indexed attr has postings");
+                            let list = lists.get_mut(&key).expect("inserted under this key");
+                            let popped = list.pop_front().expect("non-empty posting");
+                            debug_assert_eq!(
+                                popped.seq, ev.seq,
+                                "posting lists must expire in arrival order"
+                            );
+                            ops += 1;
+                            if list.is_empty() {
+                                lists.remove(&key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// The posting list for `(ty, attr) == key`, in arrival order.
+    pub fn posting(&self, ty: TypeId, attr: usize, key: &IndexKey) -> Option<&VecDeque<EventRef>> {
+        self.postings.get(&(ty, attr)).and_then(|m| m.get(key))
+    }
+
+    /// Length of the posting list for `(ty, attr) == key` (0 when absent).
+    pub fn posting_len(&self, ty: TypeId, attr: usize, key: &IndexKey) -> usize {
+        self.posting(ty, attr, key).map_or(0, |d| d.len())
+    }
+
+    /// All live events of `ty`, in arrival order.
+    pub fn of_type(&self, ty: TypeId) -> Option<&VecDeque<EventRef>> {
+        self.store.get(&ty)
+    }
+
+    /// Number of live events of `ty`.
+    pub fn type_len(&self, ty: TypeId) -> usize {
+        self.store.get(&ty).map_or(0, |d| d.len())
+    }
+
+    /// Total live events across all types.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no events are live.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// Iterates the events of a ts-ordered deque whose timestamps fall in
+/// `[lo, hi]`, locating the boundaries by binary search on both halves of
+/// the deque's ring buffer.
+pub fn ts_range(
+    deque: &VecDeque<EventRef>,
+    lo: Timestamp,
+    hi: Timestamp,
+) -> impl Iterator<Item = &EventRef> {
+    let (a, b) = deque.as_slices();
+    slice_range(a, lo, hi).chain(slice_range(b, lo, hi))
+}
+
+fn slice_range(slice: &[EventRef], lo: Timestamp, hi: Timestamp) -> std::slice::Iter<'_, EventRef> {
+    let start = slice.partition_point(|e| e.ts < lo);
+    let end = slice.partition_point(|e| e.ts <= hi);
+    slice[start..end.max(start)].iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cep_core::event::Event;
+
+    fn ev(tid: u32, ts: u64, seq: u64, x: i64) -> EventRef {
+        let mut e = Event::new(TypeId(tid), ts, vec![Value::Int(x)]);
+        e.seq = seq;
+        std::sync::Arc::new(e)
+    }
+
+    #[test]
+    fn numeric_keys_unify_int_and_float() {
+        assert_eq!(
+            index_key(&Value::Int(1)),
+            index_key(&Value::Float(1.0)),
+            "Int/Float equality must share a bucket"
+        );
+        assert_eq!(index_key(&Value::Float(-0.0)), index_key(&Value::Int(0)));
+        assert_eq!(index_key(&Value::Float(f64::NAN)), None);
+        assert_ne!(index_key(&Value::Bool(true)), index_key(&Value::Int(1)));
+    }
+
+    #[test]
+    fn insert_probe_expire_roundtrip() {
+        let mut idx = WindowIndex::new([(TypeId(0), 0)]);
+        idx.insert(ev(0, 1, 0, 7));
+        idx.insert(ev(0, 2, 1, 7));
+        idx.insert(ev(0, 3, 2, 8));
+        assert_eq!(idx.len(), 3);
+        let key = index_key(&Value::Int(7)).unwrap();
+        assert_eq!(idx.posting_len(TypeId(0), 0, &key), 2);
+        // Expire ts=1 (window 5, watermark 7: 1 + 5 < 7).
+        idx.expire(7, 5);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.posting_len(TypeId(0), 0, &key), 1);
+        // Boundary event (ts + window == watermark) survives.
+        idx.expire(7, 5);
+        assert_eq!(idx.len(), 2);
+        // Expire everything; empty keys are dropped.
+        idx.expire(100, 5);
+        assert!(idx.is_empty());
+        assert_eq!(idx.posting_len(TypeId(0), 0, &key), 0);
+    }
+
+    #[test]
+    fn ts_range_respects_bounds_across_ring_wrap() {
+        let mut d: VecDeque<EventRef> = VecDeque::with_capacity(4);
+        // Force a wrapped ring: push, pop, push more.
+        d.push_back(ev(0, 1, 0, 0));
+        d.push_back(ev(0, 2, 1, 0));
+        d.pop_front();
+        d.push_back(ev(0, 3, 2, 0));
+        d.push_back(ev(0, 4, 3, 0));
+        let ts: Vec<u64> = ts_range(&d, 2, 3).map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3]);
+        assert_eq!(ts_range(&d, 5, 10).count(), 0);
+        assert_eq!(ts_range(&d, 0, 10).count(), 3);
+    }
+}

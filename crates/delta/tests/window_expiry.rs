@@ -1,0 +1,182 @@
+//! Window-expiration correctness under adversarial timestamp ties.
+//!
+//! Random streams are drawn with zero inter-arrival deltas allowed, so
+//! runs of equal timestamps pile up exactly at window boundaries — the
+//! regime where an off-by-one in the expiration rule (`ts + window <
+//! watermark`, boundary events survive) flips match sets. Each case
+//! asserts the delta engine's output byte-identical (signatures *and*
+//! `emitted_at`) to the naive oracle, and that expired events are
+//! *actually evicted*: the engine's peak live-event count must equal an
+//! independently simulated bound, catching the unbounded-growth failure
+//! mode where matches stay correct but the index silently retains the
+//! whole stream.
+
+use cep_core::compile::CompiledPattern;
+use cep_core::engine::{run_to_completion, EngineConfig};
+use cep_core::event::{Event, EventRef, TypeId};
+use cep_core::matches::Match;
+use cep_core::naive::NaiveEngine;
+use cep_core::pattern::{Pattern, PatternBuilder};
+use cep_core::predicate::{CmpOp, Predicate};
+use cep_core::stream::StreamBuilder;
+use cep_core::value::Value;
+use cep_delta::DeltaEngine;
+use proptest::prelude::*;
+
+/// A match's byte-identity key: its signature paired with `emitted_at`.
+type MatchKey = (Vec<(usize, Vec<u64>)>, u64);
+
+/// Sorted `(signature, emitted_at)` pairs: the byte-identity key.
+fn keyed(ms: &[Match]) -> Vec<MatchKey> {
+    let mut ks: Vec<_> = ms.iter().map(|m| (m.signature(), m.emitted_at)).collect();
+    ks.sort();
+    ks
+}
+
+/// Builds a tie-heavy stream: `dt` is taken modulo 3, so about a third of
+/// consecutive events share a timestamp.
+fn tie_stream(raw: &[(u32, u8, i8)]) -> Vec<EventRef> {
+    let mut sb = StreamBuilder::new();
+    let mut ts = 0u64;
+    for &(tid, dt, x) in raw {
+        ts += (dt % 3) as u64;
+        sb.push(Event::new(TypeId(tid % 3), ts, vec![Value::Int(x as i64)]));
+    }
+    sb.build()
+}
+
+/// Independently simulates the oracle's retention rule over the stream:
+/// the maximum number of simultaneously live events of the given positive
+/// types, sampled after each relevant arrival (exactly when the engine
+/// samples `record_live`).
+fn simulated_peak(stream: &[EventRef], positive_types: &[u32], window: u64) -> usize {
+    let mut live: Vec<u64> = Vec::new();
+    let mut watermark = 0u64;
+    let mut peak = 0usize;
+    for e in stream {
+        watermark = watermark.max(e.ts);
+        live.retain(|&ts| ts + window >= watermark);
+        if positive_types.contains(&e.type_id.0) {
+            live.push(e.ts);
+            peak = peak.max(live.len());
+        }
+    }
+    peak
+}
+
+fn seq_eq_pattern(window: u64) -> Pattern {
+    let mut b = PatternBuilder::new(window);
+    let a = b.event(TypeId(0), "a");
+    let c = b.event(TypeId(1), "c");
+    b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, c.pos(), 0));
+    b.seq([a, c]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+    })]
+
+    #[test]
+    fn expiry_is_byte_identical_and_evicts(
+        raw in prop::collection::vec((0u32..3, 0u8..3, 0i8..3), 10..=60),
+        window in 1u64..6,
+    ) {
+        let p = seq_eq_pattern(window);
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let stream = tie_stream(&raw);
+        let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
+        let expected = keyed(&run_to_completion(&mut oracle, &stream, true).matches);
+        for compiled in [false, true] {
+            let cfg = EngineConfig { compiled_predicates: compiled, ..Default::default() };
+            let mut engine = DeltaEngine::new(cp.clone(), cfg);
+            let r = run_to_completion(&mut engine, &stream, true);
+            prop_assert_eq!(keyed(&r.matches), expected.clone());
+            // Eviction actually happened: the engine's peak equals the
+            // simulated retention bound (type 2 is stream noise — it
+            // advances the watermark but is never stored).
+            let bound = simulated_peak(&stream, &[0, 1], window);
+            prop_assert_eq!(
+                r.metrics.peak_buffered_events, bound,
+                "index retention diverged from the window rule (peak {} vs bound {})",
+                r.metrics.peak_buffered_events, bound
+            );
+            prop_assert_eq!(r.metrics.partial_matches_created, 0);
+        }
+    }
+
+    #[test]
+    fn expiry_with_negation_is_byte_identical(
+        raw in prop::collection::vec((0u32..3, 0u8..3, 0i8..3), 10..=50),
+        window in 1u64..6,
+    ) {
+        // SEQ(A a, NOT B nb, C c): the negation buffer must prune in
+        // lockstep with the index, or tie-boundary violators are kept or
+        // dropped one event too long and admission flips.
+        let mut b = PatternBuilder::new(window);
+        let a = b.event(TypeId(0), "a");
+        let nb = b.event(TypeId(2), "nb");
+        let c = b.event(TypeId(1), "c");
+        b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, nb.pos(), 0));
+        let ae = b.expr(a);
+        let ne = b.not(nb);
+        let ce = b.expr(c);
+        let p = b.seq_exprs([ae, ne, ce]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let stream = tie_stream(&raw);
+        let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
+        let expected = keyed(&run_to_completion(&mut oracle, &stream, true).matches);
+        for compiled in [false, true] {
+            let cfg = EngineConfig { compiled_predicates: compiled, ..Default::default() };
+            let mut engine = DeltaEngine::new(cp.clone(), cfg);
+            let r = run_to_completion(&mut engine, &stream, true);
+            prop_assert_eq!(keyed(&r.matches), expected.clone());
+        }
+    }
+
+    #[test]
+    fn expiry_with_kleene_ties_is_byte_identical(
+        raw in prop::collection::vec((0u32..3, 0u8..2, 0i8..2), 8..=30),
+        window in 1u64..5,
+    ) {
+        // SEQ(A a, KL(B) k): zero deltas make whole Kleene accumulators
+        // straddle window boundaries.
+        let mut b = PatternBuilder::new(window);
+        let a = b.event(TypeId(0), "a");
+        let k = b.event(TypeId(1), "k");
+        let ae = b.expr(a);
+        let ke = b.kleene(k);
+        let p = b.seq_exprs([ae, ke]).unwrap();
+        let cp = CompiledPattern::compile_single(&p).unwrap();
+        let stream = tie_stream(&raw);
+        let cfg = EngineConfig { max_kleene_events: 4, ..Default::default() };
+        let mut oracle = NaiveEngine::new(cp.clone(), cfg.clone());
+        let expected = keyed(&run_to_completion(&mut oracle, &stream, true).matches);
+        let mut engine = DeltaEngine::new(cp, cfg);
+        let r = run_to_completion(&mut engine, &stream, true);
+        prop_assert_eq!(keyed(&r.matches), expected);
+    }
+}
+
+/// Deterministic boundary fixture: events exactly at `ts + window ==
+/// watermark` must survive (they are still joinable), one tick further
+/// must not.
+#[test]
+fn boundary_event_survives_exactly_to_the_window_edge() {
+    let p = seq_eq_pattern(5);
+    let cp = CompiledPattern::compile_single(&p).unwrap();
+    let mut sb = StreamBuilder::new();
+    sb.push(Event::new(TypeId(0), 0, vec![Value::Int(1)]));
+    // Exactly at the edge: 0 + 5 == 5 → still live, match expected.
+    sb.push(Event::new(TypeId(1), 5, vec![Value::Int(1)]));
+    // One past the edge relative to the first event: no second match.
+    sb.push(Event::new(TypeId(1), 6, vec![Value::Int(1)]));
+    let stream = sb.build();
+    let mut engine = DeltaEngine::new(cp.clone(), EngineConfig::default());
+    let r = run_to_completion(&mut engine, &stream, true);
+    let mut oracle = NaiveEngine::new(cp, EngineConfig::default());
+    let expected = run_to_completion(&mut oracle, &stream, true);
+    assert_eq!(keyed(&r.matches), keyed(&expected.matches));
+    assert_eq!(r.matches.len(), 1, "only the edge event pairs up");
+}

@@ -11,6 +11,9 @@
 //!   plans, cost models, statistics, and the naive oracle engine.
 //! * [`nfa`] (`cep-nfa`) — the order-based (lazy chain NFA) engine.
 //! * [`tree`] (`cep-tree`) — the tree-based (ZStream-style) engine.
+//! * [`delta`] (`cep-delta`) — the delta-indexed, non-materializing
+//!   engine: windowed equality-join indexes instead of partial matches,
+//!   with on-demand match enumeration.
 //! * [`optimizer`] (`cep-optimizer`) — TRIVIAL/EFREQ (native CPG) and
 //!   GREEDY/II/DP/KBZ/ZSTREAM (adapted JQPG) plan generation.
 //! * [`sase`] (`cep-sase`) — parser for SASE-style pattern specifications.
@@ -69,6 +72,7 @@
 pub use cep_adaptive as adaptive;
 pub use cep_analyze as analyze;
 pub use cep_core as core;
+pub use cep_delta as delta;
 pub use cep_nfa as nfa;
 pub use cep_obs as obs;
 pub use cep_optimizer as optimizer;
@@ -83,11 +87,14 @@ use cep_core::engine::{Engine, EngineConfig, EngineFactory, MultiEngine};
 use cep_core::error::CepError;
 use cep_core::pattern::Pattern;
 use cep_core::plan::{OrderPlan, TreePlan};
+use cep_delta::DeltaEngine;
 use cep_nfa::NfaEngine;
 use cep_optimizer::{OrderAlgorithm, Planner, TreeAlgorithm};
 use cep_streamgen::{analytic_measured_stats, analytic_selectivities, GeneratedStream};
 use cep_tree::TreeEngine;
 use std::sync::Arc;
+
+pub mod conformance;
 
 /// Commonly used items, re-exported for `use cep::prelude::*`.
 pub mod prelude {
@@ -99,6 +106,7 @@ pub mod prelude {
         analyze_pattern, analyze_query_file, Code, Diagnostic, Report, Severity,
     };
     pub use cep_core::prelude::*;
+    pub use cep_delta::DeltaEngine;
     pub use cep_nfa::NfaEngine;
     pub use cep_obs::{
         LatencyHistogram, MetricsRegistry, RingSink, TraceRecord, TraceSink, Tracer,
@@ -414,6 +422,82 @@ fn replicate_join_policy(
     Ok(cep_shard::RoutingPolicy::ReplicateJoin(
         std::sync::Arc::new(spec),
     ))
+}
+
+/// An [`EngineFactory`] stamping out [`DeltaEngine`]s — one per DNF
+/// branch, wrapped in a [`MultiEngine`] for disjunctions. The delta
+/// engine needs no evaluation plan (its join order is chosen per probe
+/// from live index sizes), so unlike [`PlannedFactory`] there is no
+/// planner input; the shared plan cache still deduplicates predicate
+/// lowering across builds.
+struct DeltaFactory {
+    branches: Vec<CompiledPattern>,
+    window: u64,
+    config: EngineConfig,
+    plan_cache: SharedPlanCache,
+}
+
+impl EngineFactory for DeltaFactory {
+    fn build(&self) -> Box<dyn Engine> {
+        let fetch = |cp: &CompiledPattern| -> (Option<Arc<PredicateProgram>>, u64, u64) {
+            if !self.config.compiled_predicates {
+                return (None, 0, 0);
+            }
+            let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+            let (h0, m0) = (cache.hits(), cache.misses());
+            let program = cache.get_or_compile(cp);
+            (Some(program), cache.hits() - h0, cache.misses() - m0)
+        };
+        let mut engines: Vec<Box<dyn Engine>> = self
+            .branches
+            .iter()
+            .map(|cp| {
+                let (program, hits, misses) = fetch(cp);
+                let mut engine = Box::new(DeltaEngine::with_program(
+                    cp.clone(),
+                    self.config.clone(),
+                    program,
+                ));
+                engine.metrics_mut().plan_cache_hits = hits;
+                engine.metrics_mut().plan_cache_misses = misses;
+                engine as Box<dyn Engine>
+            })
+            .collect();
+        if engines.len() == 1 {
+            engines.pop().expect("one engine")
+        } else {
+            Box::new(MultiEngine::new(engines, self.window))
+        }
+    }
+}
+
+/// Delta-indexed counterpart of [`nfa_engine_factory`]: compiles
+/// `pattern`'s DNF branches and returns a factory stamping out
+/// non-materializing [`DeltaEngine`]s. No stream statistics are needed —
+/// the engine orders its joins at probe time from live index sizes — so
+/// this is the factory of choice when no representative sample of the
+/// stream exists yet. Being an [`EngineFactory`], it composes with
+/// [`cep_shard::ShardedRuntime`] like every other backend.
+pub fn delta_engine_factory(
+    pattern: &Pattern,
+    config: EngineConfig,
+) -> Result<Box<dyn EngineFactory>, CepError> {
+    let branches = CompiledPattern::compile(pattern)?;
+    Ok(Box::new(DeltaFactory {
+        branches,
+        window: pattern.window,
+        config,
+        plan_cache: shared_plan_cache(PLAN_CACHE_CAP),
+    }))
+}
+
+/// Builds a delta-indexed engine for `pattern` (see
+/// [`delta_engine_factory`]).
+pub fn build_delta_engine(
+    pattern: &Pattern,
+    config: EngineConfig,
+) -> Result<Box<dyn Engine>, CepError> {
+    Ok(delta_engine_factory(pattern, config)?.build())
 }
 
 /// Builds an order-based (NFA) engine for `pattern`, planning every DNF

@@ -1,0 +1,87 @@
+//! The delta engine composes with the sharded runtime for free: it is an
+//! [`cep::core::engine::EngineFactory`] like every other backend, so
+//! key-hashed routing over an equality-correlated query merges
+//! byte-identical to the serial engine for any shard count — and the new
+//! delta counters (index probes, delta updates, enumeration histogram)
+//! survive the cross-shard metrics merge.
+
+use cep::conformance::keyed;
+use cep::core::compile::CompiledPattern;
+use cep::core::engine::{run_to_completion, EngineConfig};
+use cep::core::event::{Event, TypeId};
+use cep::core::pattern::PatternBuilder;
+use cep::core::predicate::{CmpOp, Predicate};
+use cep::core::stream::StreamBuilder;
+use cep::core::value::Value;
+use cep::delta::DeltaEngine;
+use cep::shard::{RoutingPolicy, ShardedRuntime};
+
+#[test]
+fn sharded_delta_is_byte_identical_to_serial() {
+    // SEQ(A a, B b, C c) WHERE a.key == b.key AND b.key == c.key: the
+    // key-equated shape HashAttr routing is exact for.
+    let mut b = PatternBuilder::new(40);
+    let a = b.event(TypeId(0), "a");
+    let bb = b.event(TypeId(1), "b");
+    let c = b.event(TypeId(2), "c");
+    b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, bb.pos(), 0));
+    b.predicate(Predicate::attr_cmp(bb.pos(), 0, CmpOp::Eq, c.pos(), 0));
+    let pattern = b.seq([a, bb, c]).unwrap();
+
+    let mut sb = StreamBuilder::new();
+    for i in 0..1200u64 {
+        let tid = if i % 17 == 0 { 2 } else { (i % 2) as u32 };
+        // Blocks of 4 consecutive events share a key, so both parities
+        // (types A and B) and the occasional C land on every key.
+        let key = ((i / 4) % 8) as i64;
+        sb.push(Event::new(
+            TypeId(tid),
+            i,
+            vec![Value::Int(key), Value::Int((i % 5) as i64)],
+        ));
+    }
+    let stream = sb.build();
+
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let mut serial = DeltaEngine::new(cp, EngineConfig::default());
+    let expected = run_to_completion(&mut serial, &stream, true);
+    assert!(expected.match_count > 0, "fixture must produce matches");
+
+    let factory = cep::delta_engine_factory(&pattern, EngineConfig::default()).unwrap();
+    for shards in [1, 2, 4] {
+        let runtime = ShardedRuntime::with_shards(shards);
+        let r = runtime.run(factory.as_ref(), &stream, RoutingPolicy::HashAttr(0), true);
+        assert_eq!(
+            keyed(&r.matches),
+            keyed(&expected.matches),
+            "{shards}-shard delta merge diverged from serial"
+        );
+        assert_eq!(
+            r.metrics.partial_matches_created, 0,
+            "delta shards must not materialize partial matches"
+        );
+        assert!(
+            r.metrics.index_probes > 0,
+            "index probes must survive the cross-shard metrics merge"
+        );
+        assert!(r.metrics.delta_updates > 0);
+        assert!(r.metrics.enumeration_ns.count() > 0);
+    }
+}
+
+#[test]
+fn delta_factory_shares_compiled_programs_across_builds() {
+    let mut b = PatternBuilder::new(10);
+    let a = b.event(TypeId(0), "a");
+    let c = b.event(TypeId(1), "c");
+    b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, c.pos(), 0));
+    let pattern = b.seq([a, c]).unwrap();
+    let factory = cep::delta_engine_factory(&pattern, EngineConfig::default()).unwrap();
+    let first = factory.build();
+    let second = factory.build();
+    // First build lowers the program (miss), the second reuses it (hit).
+    assert_eq!(first.metrics().plan_cache_misses, 1);
+    assert_eq!(first.metrics().plan_cache_hits, 0);
+    assert_eq!(second.metrics().plan_cache_hits, 1);
+    assert_eq!(second.metrics().plan_cache_misses, 0);
+}

@@ -1,200 +1,34 @@
-//! Property-based cross-engine equivalence: for random patterns and random
-//! streams, the lazy NFA (under a random order plan), the tree engine
-//! (under a random tree plan), and the naive exhaustive oracle must emit
-//! exactly the same set of matches. This is the load-bearing correctness
-//! property behind the whole evaluation — Section 2.2's claim that "all
-//! (n!) NFAs track the exact same pattern", extended to tree plans.
+//! Property-based cross-backend conformance: for random patterns and
+//! random streams, every production backend — the lazy NFA (under a
+//! random order plan), the tree engine (under a random tree plan), and
+//! the delta-indexed engine — must emit output byte-identical
+//! (signatures *and* `emitted_at`) to the naive exhaustive oracle. This
+//! is the load-bearing correctness property behind the whole evaluation —
+//! Section 2.2's claim that "all (n!) NFAs track the exact same
+//! pattern", extended to tree plans and the non-materializing backend.
+//!
+//! The harness itself lives in [`cep::conformance`]; this suite draws
+//! the random cases and fixtures through it, so any future backend added
+//! to [`cep::conformance::standard_backends`] inherits the full sweep.
 
+use cep::conformance::{
+    build_pattern, check_equivalence, check_equivalence_under, check_stream_under, keyed,
+    signatures, PatternSpec,
+};
 use cep::core::compile::CompiledPattern;
 use cep::core::engine::{run_to_completion, EngineConfig};
 use cep::core::event::{Event, TypeId};
-use cep::core::matches::{validate_match, Match};
 use cep::core::naive::NaiveEngine;
-use cep::core::pattern::{Pattern, PatternBuilder, PatternExpr};
+use cep::core::pattern::PatternBuilder;
 use cep::core::plan::{OrderPlan, TreeNode, TreePlan};
 use cep::core::predicate::{CmpOp, Predicate};
+use cep::core::selection::SelectionStrategy;
 use cep::core::stream::StreamBuilder;
 use cep::core::value::Value;
+use cep::delta::DeltaEngine;
 use cep::nfa::NfaEngine;
 use cep::tree::TreeEngine;
 use proptest::prelude::*;
-
-/// Random pattern description drawn by proptest.
-#[derive(Debug, Clone)]
-struct PatternSpec {
-    is_seq: bool,
-    /// Per element: event type (0..4), negated?, kleene?
-    elements: Vec<(u32, u8)>, // flag: 0 plain, 1 not, 2 kleene
-    /// Predicates between element indices: (i, j, op).
-    predicates: Vec<(usize, usize, u8)>,
-    window: u64,
-}
-
-fn op_of(code: u8) -> CmpOp {
-    match code % 4 {
-        0 => CmpOp::Lt,
-        1 => CmpOp::Le,
-        2 => CmpOp::Ne,
-        _ => CmpOp::Gt,
-    }
-}
-
-fn build_pattern(spec: &PatternSpec) -> Option<Pattern> {
-    let mut b = PatternBuilder::new(spec.window);
-    let evs: Vec<_> = spec
-        .elements
-        .iter()
-        .enumerate()
-        .map(|(i, (t, _))| b.event(TypeId(*t), &format!("e{i}")))
-        .collect();
-    for &(i, j, opc) in &spec.predicates {
-        let (i, j) = (i % evs.len(), j % evs.len());
-        if i == j {
-            continue;
-        }
-        // Predicates only between non-negated elements (negated predicates
-        // are exercised separately).
-        if spec.elements[i].1 == 1 || spec.elements[j].1 == 1 {
-            continue;
-        }
-        b.predicate(Predicate::attr_cmp(
-            evs[i].pos(),
-            0,
-            op_of(opc),
-            evs[j].pos(),
-            0,
-        ));
-    }
-    let exprs: Vec<PatternExpr> = evs
-        .iter()
-        .zip(&spec.elements)
-        .map(|(&e, (_, flag))| match flag {
-            1 => b.not(e),
-            2 => b.kleene(e),
-            _ => b.expr(e),
-        })
-        .collect();
-    let result = if spec.is_seq {
-        b.seq_exprs(exprs)
-    } else {
-        b.and_exprs(exprs)
-    };
-    result.ok().filter(|p| {
-        // Need at least one positive element.
-        p.primitives().iter().any(|pr| !pr.negated)
-    })
-}
-
-fn build_stream(raw: &[(u32, u8, i8)]) -> Vec<cep::core::event::EventRef> {
-    let mut sb = StreamBuilder::new();
-    let mut ts = 0u64;
-    for &(tid, dt, x) in raw {
-        ts += (dt % 4) as u64;
-        sb.push(Event::new(TypeId(tid % 5), ts, vec![Value::Int(x as i64)]));
-    }
-    sb.build()
-}
-
-fn signatures(ms: &[Match]) -> Vec<Vec<(usize, Vec<u64>)>> {
-    let mut sigs: Vec<_> = ms.iter().map(|m| m.signature()).collect();
-    sigs.sort();
-    sigs
-}
-
-/// Deterministic "random" plan choices derived from a seed.
-fn order_from_seed(n: usize, seed: u64) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut s = seed | 1;
-    for i in (1..n).rev() {
-        s = s
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let j = (s >> 33) as usize % (i + 1);
-        order.swap(i, j);
-    }
-    order
-}
-
-fn tree_from_order(order: &[usize], seed: u64) -> TreeNode {
-    // Random binary tree over the given leaf order.
-    fn rec(leaves: &[usize], s: &mut u64) -> TreeNode {
-        if leaves.len() == 1 {
-            return TreeNode::Leaf(leaves[0]);
-        }
-        *s = s
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let split = 1 + ((*s >> 33) as usize % (leaves.len() - 1));
-        TreeNode::join(rec(&leaves[..split], s), rec(&leaves[split..], s))
-    }
-    let mut s = seed | 1;
-    rec(order, &mut s)
-}
-
-fn check_equivalence(spec: PatternSpec, raw_stream: Vec<(u32, u8, i8)>, seed: u64) {
-    check_equivalence_under(
-        spec,
-        raw_stream,
-        seed,
-        cep::core::selection::SelectionStrategy::SkipTillAnyMatch,
-    );
-}
-
-fn check_equivalence_under(
-    spec: PatternSpec,
-    raw_stream: Vec<(u32, u8, i8)>,
-    seed: u64,
-    strategy: cep::core::selection::SelectionStrategy,
-) {
-    let Some(mut pattern) = build_pattern(&spec) else {
-        return; // structurally degenerate draw
-    };
-    pattern.strategy = strategy;
-    let Ok(cp) = CompiledPattern::compile_single(&pattern) else {
-        return;
-    };
-    let stream = build_stream(&raw_stream);
-    let base_cfg = EngineConfig {
-        max_kleene_events: 4,
-        ..Default::default()
-    };
-    let mut oracle = NaiveEngine::new(cp.clone(), base_cfg.clone());
-    let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
-
-    let order = order_from_seed(cp.n(), seed);
-    let tree = TreePlan::new(tree_from_order(&order, seed ^ 0xABCD)).expect("valid tree");
-    // Every case runs both the interpreted predicate path and the compiled
-    // pipeline (fused evaluators + arena + eager pruning): the two must be
-    // byte-identical to each other and to the oracle.
-    for compiled in [false, true] {
-        let cfg = EngineConfig {
-            compiled_predicates: compiled,
-            ..base_cfg.clone()
-        };
-        let plan = OrderPlan::new(order.clone()).expect("permutation");
-        let mut nfa = NfaEngine::new(cp.clone(), plan, cfg.clone()).expect("valid plan");
-        let nfa_matches = run_to_completion(&mut nfa, &stream, true).matches;
-        for m in &nfa_matches {
-            validate_match(&cp, m).expect("NFA emitted an invalid match");
-        }
-        assert_eq!(
-            signatures(&nfa_matches),
-            expected,
-            "NFA(order {order:?}, compiled={compiled}) disagrees with oracle for {pattern}"
-        );
-
-        let mut te = TreeEngine::new(cp.clone(), tree.clone(), cfg).expect("valid plan");
-        let tree_matches = run_to_completion(&mut te, &stream, true).matches;
-        for m in &tree_matches {
-            validate_match(&cp, m).expect("tree emitted an invalid match");
-        }
-        assert_eq!(
-            signatures(&tree_matches),
-            expected,
-            "Tree({tree}, compiled={compiled}) disagrees with oracle for {pattern}"
-        );
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig {
@@ -259,39 +93,51 @@ proptest! {
         raw in prop::collection::vec((0u32..4, 0u8..3, -3i8..4), 10..=30),
         seed in any::<u64>(),
     ) {
-        let Some(mut pattern) = build_pattern(&PatternSpec {
+        let spec = PatternSpec {
             is_seq: true,
             elements: types.into_iter().map(|t| (t, 0)).collect(),
             predicates: vec![],
             window: 8,
+        };
+        check_equivalence_under(spec, raw, seed, SelectionStrategy::StrictContiguity);
+    }
+
+    #[test]
+    fn eq_join_patterns_equivalent(
+        is_seq in any::<bool>(),
+        types in prop::collection::vec(0u32..3, 2..=3),
+        join_at in 0usize..3,
+        raw in prop::collection::vec((0u32..4, 0u8..3, -2i8..3), 10..=35),
+        seed in any::<u64>(),
+        window in 4u64..12,
+    ) {
+        // Equality-join sweep: the narrow attribute domain (-2..3) makes
+        // `==` hits likely, exercising the delta engine's posting-list
+        // probes rather than its scan fallback.
+        let Some(mut pattern) = build_pattern(&PatternSpec {
+            is_seq,
+            elements: types.iter().map(|&t| (t, 0)).collect(),
+            predicates: vec![],
+            window,
         }) else { return Ok(()); };
-        pattern.strategy = cep::core::selection::SelectionStrategy::StrictContiguity;
-        let cp = CompiledPattern::compile_single(&pattern).unwrap();
-        let stream = build_stream(&raw);
-        let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
-        let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
-        let order = order_from_seed(cp.n(), seed);
-        let tree = TreePlan::new(tree_from_order(&order, seed)).unwrap();
-        for compiled in [false, true] {
-            let cfg = EngineConfig {
-                compiled_predicates: compiled,
-                ..Default::default()
-            };
-            let mut nfa = NfaEngine::new(
-                cp.clone(),
-                OrderPlan::new(order.clone()).unwrap(),
-                cfg.clone(),
-            ).unwrap();
-            prop_assert_eq!(
-                signatures(&run_to_completion(&mut nfa, &stream, true).matches),
-                expected.clone()
-            );
-            let mut te = TreeEngine::new(cp.clone(), tree.clone(), cfg).unwrap();
-            prop_assert_eq!(
-                signatures(&run_to_completion(&mut te, &stream, true).matches),
-                expected.clone()
-            );
+        let n = types.len();
+        let (i, j) = (join_at % n, (join_at + 1) % n);
+        if i != j {
+            let prims = pattern.primitives();
+            let (pi, pj) = (prims[i].position, prims[j].position);
+            pattern
+                .predicates
+                .push(Predicate::attr_cmp(pi, 0, CmpOp::Eq, pj, 0));
         }
+        let Ok(cp) = CompiledPattern::compile_single(&pattern) else { return Ok(()); };
+        let stream = cep::conformance::build_stream(&raw);
+        check_stream_under(
+            &cp,
+            &stream,
+            &EngineConfig::default(),
+            seed,
+            &format!("{pattern}"),
+        );
     }
 }
 
@@ -305,8 +151,9 @@ proptest! {
     /// Kleene operators (possibly both), random predicates, and random
     /// windows, checked under **all three exact selection strategies** —
     /// 64 cases × 3 strategies = 192 query evaluations per run, each
-    /// asserting NFA (random order plan), tree (random tree plan), and the
-    /// naive exhaustive oracle emit identical match sets.
+    /// asserting NFA (random order plan), tree (random tree plan), the
+    /// delta-indexed engine, and the naive exhaustive oracle emit
+    /// byte-identical match streams.
     #[test]
     fn mixed_negation_kleene_equivalent_under_all_exact_strategies(
         is_seq in any::<bool>(),
@@ -333,9 +180,9 @@ proptest! {
         }
         let spec = PatternSpec { is_seq, elements, predicates: preds, window };
         for strategy in [
-            cep::core::selection::SelectionStrategy::SkipTillAnyMatch,
-            cep::core::selection::SelectionStrategy::StrictContiguity,
-            cep::core::selection::SelectionStrategy::PartitionContiguity,
+            SelectionStrategy::SkipTillAnyMatch,
+            SelectionStrategy::StrictContiguity,
+            SelectionStrategy::PartitionContiguity,
         ] {
             check_equivalence_under(spec.clone(), raw.clone(), seed, strategy);
         }
@@ -343,7 +190,7 @@ proptest! {
 }
 
 /// Regression fixture: the paper's four-camera pattern on a crafted stream,
-/// checked across all 24 plan orders and a bushy tree.
+/// checked across all 24 plan orders, a bushy tree, and the delta engine.
 #[test]
 fn four_cameras_all_plans_agree() {
     let mut b = PatternBuilder::new(50);
@@ -369,7 +216,7 @@ fn four_cameras_all_plans_agree() {
     }
     let stream = sb.build();
     let mut oracle = NaiveEngine::new(cp.clone(), EngineConfig::default());
-    let expected = signatures(&run_to_completion(&mut oracle, &stream, true).matches);
+    let expected = keyed(&run_to_completion(&mut oracle, &stream, true).matches);
     assert!(!expected.is_empty(), "fixture must produce matches");
 
     for compiled in [false, true] {
@@ -381,8 +228,6 @@ fn four_cameras_all_plans_agree() {
         for p0 in 0..4usize {
             for p1 in 0..4usize {
                 for p2 in 0..4usize {
-                    let mut order = vec![p0, p1, p2];
-                    order.dedup();
                     let mut full: Vec<usize> = Vec::new();
                     for x in [p0, p1, p2] {
                         if !full.contains(&x) {
@@ -397,7 +242,7 @@ fn four_cameras_all_plans_agree() {
                     let plan = OrderPlan::new(full).unwrap();
                     let mut e = NfaEngine::new(cp.clone(), plan, cfg.clone()).unwrap();
                     assert_eq!(
-                        signatures(&run_to_completion(&mut e, &stream, true).matches),
+                        keyed(&run_to_completion(&mut e, &stream, true).matches),
                         expected
                     );
                 }
@@ -409,10 +254,19 @@ fn four_cameras_all_plans_agree() {
             TreeNode::join(TreeNode::Leaf(1), TreeNode::Leaf(0)),
         ))
         .unwrap();
-        let mut te = TreeEngine::new(cp.clone(), tree, cfg).unwrap();
+        let mut te = TreeEngine::new(cp.clone(), tree, cfg.clone()).unwrap();
         assert_eq!(
-            signatures(&run_to_completion(&mut te, &stream, true).matches),
+            keyed(&run_to_completion(&mut te, &stream, true).matches),
             expected
         );
+        // The plan-free delta backend.
+        let mut de = DeltaEngine::new(cp.clone(), cfg);
+        let r = run_to_completion(&mut de, &stream, true);
+        assert_eq!(keyed(&r.matches), expected);
+        assert_eq!(
+            r.metrics.partial_matches_created, 0,
+            "delta must not materialize partial matches"
+        );
+        assert_eq!(signatures(&r.matches).len(), expected.len());
     }
 }
