@@ -1,8 +1,9 @@
 //! The CI bench-regression gate (`experiments bench-smoke`).
 //!
 //! Runs a reduced-scale version of each "beyond the paper" scenario —
-//! sharded-scaling, adaptive-drift, selectivity-drift, cross-partition —
-//! and reports, per scenario, its wall time plus a set of **deterministic
+//! sharded-scaling, adaptive-drift, selectivity-drift, cross-partition,
+//! compiled-pipeline, delta-window-scaling, multi-query-sharing — and
+//! reports, per scenario, its wall time plus a set of **deterministic
 //! output counts** (match counts, plan swaps, dedup hits, …). Every
 //! workload is seeded and every engine is deterministic, so the counts are
 //! machine-independent; wall times are recorded for trajectory only and
@@ -12,7 +13,7 @@
 //! serialized to the same canonical JSON as the baseline and compared
 //! *textually* — any divergence (a lost match, a missing swap, a dedup
 //! regression) fails the job, while timing noise cannot. The full report
-//! (counts + wall times) is written to `BENCH_PR9.json` as a build
+//! (counts + wall times) is written to `BENCH_PR10.json` as a build
 //! artifact.
 //!
 //! The `compiled-pipeline` scenario additionally runs the same workload
@@ -454,6 +455,130 @@ fn delta_window_scaling() -> ScenarioReport {
     }
 }
 
+/// Multi-query sharing: 32 registered queries drawn from a pool of 8
+/// distinct patterns over one seeded stream, evaluated by a
+/// [`cep_core::registry::QueryRegistry`] (each shared fragment runs once,
+/// with per-query fan-out) and by 32 independent engines. Total match
+/// counts must agree exactly (asserted in the scenario and gated), and
+/// the registry's predicate-evaluation count stays sub-linear in the
+/// query count — with 4× duplication it is a quarter of the independent
+/// engines' total (gated, plus the ratio test below). The two wall times
+/// land in [`ScenarioReport::walls`] so CI logs show the speedup.
+fn multi_query_sharing() -> ScenarioReport {
+    use cep_core::compile::CompiledPattern;
+    use cep_core::event::{Event, TypeId};
+    use cep_core::pattern::{Pattern, PatternBuilder};
+    use cep_core::plan::OrderPlan;
+    use cep_core::predicate::{CmpOp, Predicate};
+    use cep_core::registry::QueryRegistry;
+    use cep_core::stream::StreamBuilder;
+    use cep_core::value::Value;
+    use std::sync::Arc;
+
+    let start = Instant::now();
+    // 8 000 events over 6 types with a join key cycling through 16 values
+    // and a small payload attribute — every query pool member below finds
+    // joins, none explodes.
+    let mut sb = StreamBuilder::new();
+    for i in 0..8_000u64 {
+        let tid = (i % 6) as u32;
+        // Mix the index so keys and payloads decorrelate from the type's
+        // residue class (a plain `i/k % 16` key never aligns with it).
+        let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let key = ((h >> 17) % 16) as i64;
+        let x = ((h >> 41) % 7) as i64 - 3;
+        sb.push(Event::new(
+            TypeId(tid),
+            i,
+            vec![Value::Int(key), Value::Int(x)],
+        ));
+    }
+    let stream = sb.build();
+
+    // 8 distinct two-step key-join queries (distinct type pairs), each
+    // registered 4 times: 32 queries, 8 fragments.
+    let type_pairs: [(u32, u32); 8] = [
+        (0, 3),
+        (1, 4),
+        (2, 5),
+        (0, 4),
+        (1, 5),
+        (2, 3),
+        (0, 5),
+        (1, 3),
+    ];
+    let pool: Vec<Pattern> = type_pairs
+        .iter()
+        .map(|&(ta, tc)| {
+            let mut b = PatternBuilder::new(50);
+            let a = b.event(TypeId(ta), "a");
+            let c = b.event(TypeId(tc), "c");
+            b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, c.pos(), 0));
+            b.predicate(Predicate::attr_cmp(a.pos(), 1, CmpOp::Lt, c.pos(), 1));
+            b.seq([a, c]).unwrap()
+        })
+        .collect();
+    let queries: Vec<Pattern> = (0..32).map(|i| pool[i % pool.len()].clone()).collect();
+
+    let config = engine_config();
+    let builder = {
+        let config = config.clone();
+        move |cp: &CompiledPattern,
+              program: Option<Arc<cep_core::compiled::PredicateProgram>>|
+              -> Result<Box<dyn Engine>, cep_core::error::CepError> {
+            Ok(Box::new(NfaEngine::with_program(
+                cp.clone(),
+                OrderPlan::trivial(cp),
+                config.clone(),
+                program,
+            )?))
+        }
+    };
+    let mut registry = QueryRegistry::new(Arc::new(builder), config.clone());
+    for q in &queries {
+        registry.register(q).expect("registrable pool query");
+    }
+    let t = Instant::now();
+    let result = registry.run(&stream);
+    let registry_wall = t.elapsed().as_secs_f64() * 1e3;
+    let rm = registry.metrics();
+    let registry_matches: u64 = result.per_query.values().map(|ms| ms.len() as u64).sum();
+
+    let t = Instant::now();
+    let mut independent_matches = 0u64;
+    let mut independent_evals = 0u64;
+    for q in &queries {
+        let cp = CompiledPattern::compile_single(q).unwrap();
+        let mut engine = NfaEngine::with_trivial_plan(cp, config.clone());
+        let r = run_to_completion(&mut engine, &stream, false);
+        independent_matches += r.match_count;
+        independent_evals += r.metrics.predicate_evaluations;
+    }
+    let independent_wall = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        registry_matches, independent_matches,
+        "registry fan-out diverged from independent engines"
+    );
+
+    ScenarioReport {
+        name: "multi-query-sharing",
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        counts: vec![
+            ("registry_matches", registry_matches),
+            ("independent_matches", independent_matches),
+            ("distinct_fragments", registry.fragment_count() as u64),
+            ("shared_subscriptions", rm.shared_fragments),
+            ("registry_pred_evals", rm.predicate_evaluations),
+            ("independent_pred_evals", independent_evals),
+        ],
+        percentiles: Vec::new(),
+        walls: vec![
+            ("registry_ms", registry_wall),
+            ("independent_ms", independent_wall),
+        ],
+    }
+}
+
 /// Runs all gate scenarios at the fixed quick scale.
 pub fn run_all() -> Vec<ScenarioReport> {
     vec![
@@ -463,6 +588,7 @@ pub fn run_all() -> Vec<ScenarioReport> {
         cross_partition(),
         compiled_pipeline(),
         delta_window_scaling(),
+        multi_query_sharing(),
     ]
 }
 
@@ -485,7 +611,7 @@ pub fn counts_json(reports: &[ScenarioReport]) -> String {
 }
 
 /// Full report JSON (counts + wall times + latency percentiles) written
-/// to `BENCH_PR9.json`. Percentiles live here and in the logs only — the
+/// to `BENCH_PR10.json`. Percentiles live here and in the logs only — the
 /// diffed baseline format ([`counts_json`]) never includes them.
 pub fn full_json(reports: &[ScenarioReport]) -> String {
     let mut s = String::from("{\n  \"scenarios\": [\n");
@@ -673,6 +799,36 @@ mod tests {
             "compiled path regressed: {:.1} ms vs {:.1} ms interpreted",
             wall("nfa_compiled_ms"),
             wall("nfa_interpreted_ms"),
+        );
+    }
+
+    /// Multi-query sharing's headline property at bench scale: the
+    /// registry emits exactly what 32 independent engines emit while
+    /// doing (at most half; in fact a quarter, with 4× duplication) of
+    /// their predicate work.
+    #[test]
+    fn multi_query_sharing_is_sublinear() {
+        let r = multi_query_sharing();
+        let count = |key: &str| {
+            r.counts
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert!(
+            count("registry_matches") > 0,
+            "fixture must produce matches"
+        );
+        assert_eq!(count("registry_matches"), count("independent_matches"));
+        assert_eq!(count("distinct_fragments"), 8);
+        assert_eq!(count("shared_subscriptions"), 24);
+        assert!(
+            count("registry_pred_evals") * 2 <= count("independent_pred_evals"),
+            "shared fragments must make registry predicate work sub-linear \
+             ({} vs {} independent)",
+            count("registry_pred_evals"),
+            count("independent_pred_evals"),
         );
     }
 

@@ -42,6 +42,7 @@ pub mod pattern;
 pub mod plan;
 pub mod predicate;
 pub mod query_graph;
+pub mod registry;
 pub mod schema;
 pub mod selection;
 pub mod span;
@@ -68,6 +69,9 @@ pub mod prelude {
     pub use crate::pattern::{Pattern, PatternBuilder, PatternExpr};
     pub use crate::plan::{OrderPlan, TreeNode, TreePlan};
     pub use crate::predicate::{CmpOp, Operand, Predicate};
+    pub use crate::registry::{
+        FragmentBuilder, QueryId, QueryRegistry, RegistrySpec, SetPlanReport,
+    };
     pub use crate::schema::{Catalog, EventSchema, ValueKind};
     pub use crate::selection::SelectionStrategy;
     pub use crate::span::Span;

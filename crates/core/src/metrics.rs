@@ -101,6 +101,19 @@ pub struct EngineMetrics {
     /// nanoseconds (one sample per enumerated delta; empty for
     /// materializing engines).
     pub enumeration_ns: LatencyHistogram,
+    /// Query registrations accepted by a multi-query registry (0 outside
+    /// registry execution). Counts registrations, not live queries:
+    /// unregistering does not decrement.
+    pub registered_queries: u64,
+    /// Branch subscriptions that landed on an already-running fragment
+    /// instead of building a new engine — the registry's sharing win
+    /// (0 outside registry execution).
+    pub shared_fragments: u64,
+    /// Matches fanned out from shared fragments to subscribed queries:
+    /// one per (query, match) delivery, so a fragment shared by three
+    /// queries adds three per detected match (0 outside registry
+    /// execution).
+    pub fanout_emits: u64,
 }
 
 /// Estimated bytes per live partial match (bindings vector + bookkeeping).
@@ -193,6 +206,9 @@ impl EngineMetrics {
         self.index_probes += other.index_probes;
         self.delta_updates += other.delta_updates;
         self.enumeration_ns.merge(&other.enumeration_ns);
+        self.registered_queries += other.registered_queries;
+        self.shared_fragments += other.shared_fragments;
+        self.fanout_emits += other.fanout_emits;
     }
 
     /// Merges counters from another engine (used by multi-plan evaluation).
@@ -223,6 +239,9 @@ impl EngineMetrics {
         self.index_probes += other.index_probes;
         self.delta_updates += other.delta_updates;
         self.enumeration_ns.merge(&other.enumeration_ns);
+        self.registered_queries += other.registered_queries;
+        self.shared_fragments += other.shared_fragments;
+        self.fanout_emits += other.fanout_emits;
     }
 
     /// Writes this snapshot into a [`MetricsRegistry`] under `labels`
@@ -343,6 +362,24 @@ impl EngineMetrics {
             "Index list inserts + expirations (delta engine)",
             labels,
             self.delta_updates,
+        );
+        reg.counter(
+            "cep_registered_queries_total",
+            "Query registrations accepted by a multi-query registry",
+            labels,
+            self.registered_queries,
+        );
+        reg.counter(
+            "cep_shared_fragments_total",
+            "Branch subscriptions that reused an already-running fragment",
+            labels,
+            self.shared_fragments,
+        );
+        reg.counter(
+            "cep_fanout_emits_total",
+            "Matches fanned out from shared fragments to subscribed queries",
+            labels,
+            self.fanout_emits,
         );
         reg.histogram(
             "cep_event_ns",
@@ -571,6 +608,9 @@ mod tests {
             index_probes: base + 26,
             delta_updates: base + 27,
             enumeration_ns: hist1(base + 28),
+            registered_queries: base + 29,
+            shared_fragments: base + 30,
+            fanout_emits: base + 31,
         }
     }
 
@@ -578,7 +618,7 @@ mod tests {
     /// against the struct itself via its Debug rendering. The histogram
     /// fields count too: `LatencyHistogram`'s Debug is a single token
     /// without `": "`, so each one contributes exactly one pair.
-    const FIELD_COUNT: usize = 28;
+    const FIELD_COUNT: usize = 31;
 
     #[test]
     fn debug_field_count_matches_coverage() {
@@ -617,6 +657,9 @@ mod tests {
         assert_eq!(a.plan_cache_misses, 1050);
         assert_eq!(a.index_probes, 1052);
         assert_eq!(a.delta_updates, 1054);
+        assert_eq!(a.registered_queries, 1058);
+        assert_eq!(a.shared_fragments, 1060);
+        assert_eq!(a.fanout_emits, 1062);
         // ...histograms merge bucket-wise (both samples survive)...
         assert_eq!(a.event_ns.count(), 2);
         assert_eq!(a.event_ns.sum(), 1024);
@@ -661,6 +704,9 @@ mod tests {
         assert_eq!(a.plan_cache_misses, 1050);
         assert_eq!(a.index_probes, 1052);
         assert_eq!(a.delta_updates, 1054);
+        assert_eq!(a.registered_queries, 1058);
+        assert_eq!(a.shared_fragments, 1060);
+        assert_eq!(a.fanout_emits, 1062);
         // ...histograms merge bucket-wise...
         assert_eq!(a.event_ns.count(), 2);
         assert_eq!(a.event_ns.sum(), 1024);
@@ -688,6 +734,9 @@ mod tests {
         assert!(text.contains("cep_index_probes_total{engine=\"a\"} 26"));
         assert!(text.contains("cep_delta_updates_total{engine=\"b\"} 1027"));
         assert!(text.contains("cep_enumeration_ns_count{engine=\"a\"} 1"));
+        assert!(text.contains("cep_registered_queries_total{engine=\"a\"} 29"));
+        assert!(text.contains("cep_shared_fragments_total{engine=\"b\"} 1030"));
+        assert!(text.contains("cep_fanout_emits_total{engine=\"a\"} 31"));
         // The JSON rendering parses back with the obs-side codec.
         cep_obs::json::parse(&reg.render_json()).expect("registry JSON parses");
     }

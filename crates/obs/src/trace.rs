@@ -117,6 +117,29 @@ pub enum TraceRecord {
         /// Programs resident in the cache after the lookup.
         size: u64,
     },
+    /// A query registered with a multi-query registry: how many of its DNF
+    /// branches landed on already-running shared fragments versus built
+    /// fresh engines.
+    QueryRegistered {
+        /// The registry-assigned query id.
+        query_id: u64,
+        /// DNF branches of the registered pattern.
+        branches: u64,
+        /// Branches that subscribed to an existing shared fragment.
+        shared: u64,
+        /// Distinct fragments live in the registry after registration.
+        fragments: u64,
+    },
+    /// A query unregistered from a multi-query registry.
+    QueryUnregistered {
+        /// The retired query id.
+        query_id: u64,
+        /// Fragments torn down because this query was their last
+        /// subscriber.
+        retired_fragments: u64,
+        /// Distinct fragments still live after the unregistration.
+        fragments: u64,
+    },
 }
 
 /// Encodes a float that may be non-finite: JSON numbers cannot carry
@@ -186,6 +209,8 @@ impl TraceRecord {
             TraceRecord::MatchEmitted { .. } => "match_emitted",
             TraceRecord::DiagnosticEmitted { .. } => "diagnostic",
             TraceRecord::PlanCacheLookup { .. } => "plan_cache_lookup",
+            TraceRecord::QueryRegistered { .. } => "query_registered",
+            TraceRecord::QueryUnregistered { .. } => "query_unregistered",
         }
     }
 
@@ -271,6 +296,26 @@ impl TraceRecord {
                 pairs.push(("hit".into(), Json::Bool(*hit)));
                 pairs.push(("size".into(), Json::UInt(*size)));
             }
+            TraceRecord::QueryRegistered {
+                query_id,
+                branches,
+                shared,
+                fragments,
+            } => {
+                pairs.push(("query_id".into(), Json::UInt(*query_id)));
+                pairs.push(("branches".into(), Json::UInt(*branches)));
+                pairs.push(("shared".into(), Json::UInt(*shared)));
+                pairs.push(("fragments".into(), Json::UInt(*fragments)));
+            }
+            TraceRecord::QueryUnregistered {
+                query_id,
+                retired_fragments,
+                fragments,
+            } => {
+                pairs.push(("query_id".into(), Json::UInt(*query_id)));
+                pairs.push(("retired_fragments".into(), Json::UInt(*retired_fragments)));
+                pairs.push(("fragments".into(), Json::UInt(*fragments)));
+            }
         }
         Json::Obj(pairs).encode()
     }
@@ -320,6 +365,17 @@ impl TraceRecord {
                 signature: u64_field(&v, "signature")?,
                 hit: bool_field(&v, "hit")?,
                 size: u64_field(&v, "size")?,
+            }),
+            "query_registered" => Ok(TraceRecord::QueryRegistered {
+                query_id: u64_field(&v, "query_id")?,
+                branches: u64_field(&v, "branches")?,
+                shared: u64_field(&v, "shared")?,
+                fragments: u64_field(&v, "fragments")?,
+            }),
+            "query_unregistered" => Ok(TraceRecord::QueryUnregistered {
+                query_id: u64_field(&v, "query_id")?,
+                retired_fragments: u64_field(&v, "retired_fragments")?,
+                fragments: u64_field(&v, "fragments")?,
             }),
             other => Err(format!("unknown record type {other:?}")),
         }
@@ -576,6 +632,17 @@ mod tests {
                 signature: 0xdead_beef_cafe_f00d,
                 hit: true,
                 size: 12,
+            },
+            TraceRecord::QueryRegistered {
+                query_id: 17,
+                branches: 3,
+                shared: 2,
+                fragments: 9,
+            },
+            TraceRecord::QueryUnregistered {
+                query_id: 17,
+                retired_fragments: 1,
+                fragments: 8,
             },
         ]
     }

@@ -88,7 +88,9 @@ mod router;
 mod runtime;
 
 pub use router::{hash_value, RouteTarget, RoutingPolicy, ShardRouter};
-pub use runtime::{canonical_sort, ShardConfig, ShardStats, ShardedRunResult, ShardedRuntime};
+pub use runtime::{
+    canonical_sort, MultiQueryRunResult, ShardConfig, ShardStats, ShardedRunResult, ShardedRuntime,
+};
 
 #[cfg(test)]
 mod tests;

@@ -8,9 +8,10 @@ use cep_core::error::CepError;
 use cep_core::event::EventRef;
 use cep_core::matches::Match;
 use cep_core::metrics::EngineMetrics;
+use cep_core::registry::{QueryId, QueryRegistry, RegistrySpec};
 use cep_core::stream::EventStream;
 use cep_obs::{MetricsRegistry, TraceRecord, Tracer};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -277,60 +278,8 @@ impl ShardedRuntime {
                     s.spawn(move || worker(factory, rx, collect_in_workers, depth))
                 })
                 .collect();
-            let mut batches: Vec<Vec<EventRef>> = (0..shards)
-                .map(|_| Vec::with_capacity(batch_size))
-                .collect();
-            let send_batch = |shard: usize, full: Vec<EventRef>| {
-                if traced {
-                    let queue_depth = depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
-                    let len = full.len() as u64;
-                    tracer.emit_with(|| TraceRecord::ShardBatch {
-                        shard: shard as u64,
-                        len,
-                        queue_depth,
-                    });
-                }
-                // A send only fails if the worker died; its panic
-                // resurfaces at join below.
-                let _ = txs[shard].send(full);
-            };
-            let push = |shard: usize, event: &EventRef, batches: &mut Vec<Vec<EventRef>>| {
-                batches[shard].push(Arc::clone(event));
-                if batches[shard].len() >= batch_size {
-                    let full =
-                        std::mem::replace(&mut batches[shard], Vec::with_capacity(batch_size));
-                    send_batch(shard, full);
-                }
-            };
-            for event in stream {
-                let target = router.route_target(event);
-                if traced && event.seq & ROUTE_SAMPLE_MASK == 0 {
-                    tracer.emit_with(|| TraceRecord::ShardRoute {
-                        seq: event.seq,
-                        ts: event.ts,
-                        shard: match target {
-                            RouteTarget::One(s) => s as u64,
-                            RouteTarget::All => 0,
-                        },
-                        broadcast: matches!(target, RouteTarget::All),
-                    });
-                }
-                match target {
-                    RouteTarget::One(shard) => push(shard, event, &mut batches),
-                    RouteTarget::All => {
-                        replicated_extra += shards as u64 - 1;
-                        for shard in 0..shards {
-                            push(shard, event, &mut batches);
-                        }
-                    }
-                }
-            }
-            for (shard, batch) in batches.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    send_batch(shard, batch);
-                }
-            }
-            drop(txs); // close the channels: workers flush and return
+            replicated_extra =
+                route_and_feed(tracer, &mut router, stream, txs, &depths, batch_size);
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
@@ -400,6 +349,172 @@ impl ShardedRuntime {
         }
         Ok(self.run(factory, stream, policy, collect_matches))
     }
+
+    /// Drives `stream` through the worker pool with **every query of
+    /// `spec` evaluated on every shard**: each stream partition is routed
+    /// once, each worker owns a private [`QueryRegistry`] stamped from
+    /// the spec ([`RegistrySpec::instantiate`] — all workers share the
+    /// spec's predicate-program cache), and shared fragments are
+    /// evaluated once per shard however many queries subscribe to them.
+    /// Per-query outputs are merged exactly like
+    /// [`run`](ShardedRuntime::run) merges a single query's — per query:
+    /// [`canonical_sort`], then (under non-fully-partitioned
+    /// replicate-join routing) cross-shard duplicate suppression by
+    /// signature.
+    ///
+    /// The routing policy is validated against **every branch of every
+    /// registered query** ([`ShardRouter::for_query`]): the stream is
+    /// split once for the whole set, so the policy must be sound for
+    /// each member, and unsound combinations fail with
+    /// [`CepError::Routing`] up front instead of silently losing one
+    /// query's cross-shard matches.
+    ///
+    /// Merged-metrics caveat: every worker registry registers the full
+    /// query set, so the merged
+    /// [`registered_queries`](EngineMetrics::registered_queries) /
+    /// `shared_fragments` counters scale with the shard count, exactly
+    /// like `events_processed` under broadcast routing.
+    ///
+    /// # Errors
+    /// [`CepError::Routing`] for an empty spec or a policy unsound for
+    /// some branch; fragment-builder errors surface from
+    /// [`RegistrySpec::instantiate`].
+    pub fn run_registry(
+        &self,
+        spec: &RegistrySpec,
+        stream: &EventStream,
+        policy: RoutingPolicy,
+        collect_matches: bool,
+    ) -> Result<MultiQueryRunResult, CepError> {
+        let shards = self.config.shards;
+        let batch_size = self.config.batch_size;
+        if spec.queries() == 0 {
+            return Err(CepError::Routing(
+                "cannot shard an empty registry spec: add at least one query".into(),
+            ));
+        }
+        let branches: Vec<CompiledPattern> = spec.branches().cloned().collect();
+        let mut router = ShardRouter::for_query(shards, policy.clone(), &branches)?;
+        if cfg!(debug_assertions) {
+            for cp in &branches {
+                cep_analyze::verify_pattern_invariants(cp)?;
+            }
+            if let RoutingPolicy::ReplicateJoin(pspec) = &policy {
+                cep_analyze::verify_partition_spec(pspec, &branches)?;
+            }
+        }
+        // Same regime as `run`: replicated-only matches surface on every
+        // shard and must be deduplicated per query, which requires
+        // collecting them worker-side.
+        let dedup = shards > 1
+            && matches!(&policy, RoutingPolicy::ReplicateJoin(pspec)
+                if !pspec.is_fully_partitioned());
+        let collect_in_workers = collect_matches || dedup;
+        let tracer = &self.tracer;
+        let traced = tracer.is_enabled();
+        let depths: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+        let start = Instant::now();
+        let mut txs: Vec<SyncSender<Vec<EventRef>>> = Vec::with_capacity(shards);
+        let mut rxs: Vec<Receiver<Vec<EventRef>>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel(self.config.queue_batches);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut replicated_extra = 0u64;
+        // Workers instantiate their own registry from the shared spec
+        // (engines are not `Send`, so registries cannot be built here and
+        // moved in); a builder failure aborts that worker, whose queue
+        // simply drains into a closed channel, and the error is
+        // propagated after join.
+        let results: Vec<Result<RegistryOutcome, CepError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(i, rx)| {
+                    let depth = traced.then(|| &depths[i]);
+                    s.spawn(move || registry_worker(spec, rx, collect_in_workers, depth))
+                })
+                .collect();
+            replicated_extra =
+                route_and_feed(tracer, &mut router, stream, txs, &depths, batch_size);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let outcomes: Vec<RegistryOutcome> = results.into_iter().collect::<Result<_, _>>()?;
+        let wall = start.elapsed().as_nanos() as u64;
+        let mut metrics = EngineMetrics::new();
+        let mut per_query: BTreeMap<QueryId, Vec<Match>> = BTreeMap::new();
+        let mut match_counts: BTreeMap<QueryId, u64> = BTreeMap::new();
+        let mut per_shard = Vec::with_capacity(shards);
+        for (shard, o) in outcomes.into_iter().enumerate() {
+            metrics.merge(&o.metrics);
+            let shard_matches: u64 = o.counts.values().sum();
+            for (id, mut ms) in o.per_query {
+                per_query.entry(id).or_default().append(&mut ms);
+            }
+            for (id, c) in o.counts {
+                *match_counts.entry(id).or_insert(0) += c;
+            }
+            per_shard.push(ShardStats {
+                shard,
+                events_routed: o.events_routed,
+                match_count: shard_matches,
+                metrics: o.metrics,
+            });
+        }
+        metrics.wall_time_ns = wall;
+        metrics.replicated_events = replicated_extra;
+        let mut dedup_hits = 0u64;
+        for (id, ms) in per_query.iter_mut() {
+            canonical_sort(ms);
+            if dedup {
+                let before = ms.len();
+                let mut seen = HashSet::with_capacity(before);
+                ms.retain(|m| seen.insert(m.signature()));
+                dedup_hits += (before - ms.len()) as u64;
+                match_counts.insert(*id, ms.len() as u64);
+                if !collect_matches {
+                    ms.clear();
+                }
+            }
+        }
+        metrics.dedup_hits = dedup_hits;
+        let match_count = match_counts.values().sum();
+        Ok(MultiQueryRunResult {
+            per_query,
+            match_counts,
+            match_count,
+            metrics,
+            per_shard,
+        })
+    }
+}
+
+/// Result of a multi-query sharded run
+/// ([`ShardedRuntime::run_registry`]).
+#[derive(Debug)]
+pub struct MultiQueryRunResult {
+    /// Per-query merged matches in [`canonical_sort`] order (vectors are
+    /// empty when `collect_matches` was false), with cross-shard
+    /// duplicates removed per query under replicate-join routing. Every
+    /// registered query has an entry.
+    pub per_query: BTreeMap<QueryId, Vec<Match>>,
+    /// Distinct matches per query across shards (tracked even when not
+    /// collected).
+    pub match_counts: BTreeMap<QueryId, u64>,
+    /// Total distinct matches across all queries.
+    pub match_count: u64,
+    /// Aggregated metrics: per-worker registry metrics combined with
+    /// [`EngineMetrics::merge`], `wall_time_ns` replaced by the whole
+    /// run's wall time. Shared-fragment work is counted once per shard,
+    /// not once per subscribing query.
+    pub metrics: EngineMetrics,
+    /// Per-shard breakdown; `match_count` is the shard's total fan-out
+    /// emissions across all queries (before cross-shard dedup).
+    pub per_shard: Vec<ShardStats>,
 }
 
 /// One worker: builds its engine, drains its queue batch by batch, flushes
@@ -465,6 +580,173 @@ fn worker(
         events_routed,
         metrics: engine.metrics().clone(),
     }
+}
+
+/// Routes and batches the whole stream into the worker channels (shared
+/// by the single-query and multi-query runs), consuming — and thereby
+/// closing — the senders so workers flush and return. Returns the number
+/// of extra broadcast deliveries
+/// ([`EngineMetrics::replicated_events`]).
+fn route_and_feed(
+    tracer: &Tracer,
+    router: &mut ShardRouter,
+    stream: &EventStream,
+    txs: Vec<SyncSender<Vec<EventRef>>>,
+    depths: &[AtomicU64],
+    batch_size: usize,
+) -> u64 {
+    let shards = txs.len();
+    let traced = tracer.is_enabled();
+    let mut replicated_extra = 0u64;
+    let mut batches: Vec<Vec<EventRef>> = (0..shards)
+        .map(|_| Vec::with_capacity(batch_size))
+        .collect();
+    let send_batch = |shard: usize, full: Vec<EventRef>| {
+        if traced {
+            let queue_depth = depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+            let len = full.len() as u64;
+            tracer.emit_with(|| TraceRecord::ShardBatch {
+                shard: shard as u64,
+                len,
+                queue_depth,
+            });
+        }
+        // A send only fails if the worker died; its panic resurfaces at
+        // the caller's join.
+        let _ = txs[shard].send(full);
+    };
+    let push = |shard: usize, event: &EventRef, batches: &mut Vec<Vec<EventRef>>| {
+        batches[shard].push(Arc::clone(event));
+        if batches[shard].len() >= batch_size {
+            let full = std::mem::replace(&mut batches[shard], Vec::with_capacity(batch_size));
+            send_batch(shard, full);
+        }
+    };
+    for event in stream {
+        let target = router.route_target(event);
+        if traced && event.seq & ROUTE_SAMPLE_MASK == 0 {
+            tracer.emit_with(|| TraceRecord::ShardRoute {
+                seq: event.seq,
+                ts: event.ts,
+                shard: match target {
+                    RouteTarget::One(s) => s as u64,
+                    RouteTarget::All => 0,
+                },
+                broadcast: matches!(target, RouteTarget::All),
+            });
+        }
+        match target {
+            RouteTarget::One(shard) => push(shard, event, &mut batches),
+            RouteTarget::All => {
+                replicated_extra += shards as u64 - 1;
+                for shard in 0..shards {
+                    push(shard, event, &mut batches);
+                }
+            }
+        }
+    }
+    for (shard, batch) in batches.into_iter().enumerate() {
+        if !batch.is_empty() {
+            send_batch(shard, batch);
+        }
+    }
+    drop(txs); // close the channels: workers flush and return
+    replicated_extra
+}
+
+struct RegistryOutcome {
+    per_query: BTreeMap<QueryId, Vec<Match>>,
+    counts: BTreeMap<QueryId, u64>,
+    events_routed: u64,
+    metrics: EngineMetrics,
+}
+
+/// One multi-query worker: owns a private [`QueryRegistry`], drains its
+/// queue batch by batch, flushes on channel close. Latency and per-event
+/// cadence mirror [`worker`]; the sampled histograms land in a local
+/// snapshot absorbed into the registry's metrics at the end (absorb
+/// leaves `events_processed`/`wall_time_ns` untouched).
+fn registry_worker(
+    spec: &RegistrySpec,
+    rx: Receiver<Vec<EventRef>>,
+    collect_matches: bool,
+    queue_depth: Option<&AtomicU64>,
+) -> Result<RegistryOutcome, CepError> {
+    fn drain(
+        scratch: &mut Vec<(QueryId, Match)>,
+        per_query: &mut BTreeMap<QueryId, Vec<Match>>,
+        counts: &mut BTreeMap<QueryId, u64>,
+        sampled: &mut EngineMetrics,
+        collect: bool,
+        latency_start: Instant,
+    ) {
+        if scratch.is_empty() {
+            return;
+        }
+        let latency = latency_start.elapsed().as_nanos() as u64;
+        sampled
+            .match_latency_ns
+            .record_n(latency, scratch.len() as u64);
+        for (id, m) in scratch.drain(..) {
+            *counts.get_mut(&id).expect("registered id") += 1;
+            if collect {
+                per_query.get_mut(&id).expect("registered id").push(m);
+            }
+        }
+    }
+    let mut registry: QueryRegistry = spec.instantiate()?;
+    let ids = registry.query_ids();
+    let mut per_query: BTreeMap<QueryId, Vec<Match>> =
+        ids.iter().map(|&id| (id, Vec::new())).collect();
+    let mut counts: BTreeMap<QueryId, u64> = ids.iter().map(|&id| (id, 0)).collect();
+    let mut scratch: Vec<(QueryId, Match)> = Vec::new();
+    let mut sampled = EngineMetrics::new();
+    let mut events_routed = 0u64;
+    let mut busy_ns = 0u64;
+    while let Ok(batch) = rx.recv() {
+        if let Some(d) = queue_depth {
+            d.fetch_sub(1, Ordering::Relaxed);
+        }
+        let batch_start = Instant::now();
+        for event in &batch {
+            let ev_start = Instant::now();
+            registry.process(event, &mut scratch);
+            events_routed += 1;
+            if events_routed & EVENT_SAMPLE_MASK == 0 {
+                let dt = ev_start.elapsed().as_nanos() as u64;
+                sampled.event_ns.record(dt);
+            }
+            drain(
+                &mut scratch,
+                &mut per_query,
+                &mut counts,
+                &mut sampled,
+                collect_matches,
+                ev_start,
+            );
+        }
+        busy_ns += batch_start.elapsed().as_nanos() as u64;
+    }
+    let flush_start = Instant::now();
+    registry.flush(&mut scratch);
+    drain(
+        &mut scratch,
+        &mut per_query,
+        &mut counts,
+        &mut sampled,
+        collect_matches,
+        flush_start,
+    );
+    busy_ns += flush_start.elapsed().as_nanos() as u64;
+    let mut metrics = registry.metrics();
+    metrics.wall_time_ns = busy_ns;
+    metrics.absorb(&sampled);
+    Ok(RegistryOutcome {
+        per_query,
+        counts,
+        events_routed,
+        metrics,
+    })
 }
 
 /// Sorts matches into the canonical deterministic order used to merge

@@ -1207,3 +1207,160 @@ fn untraced_runtime_keeps_disabled_tracer() {
     );
     assert_eq!(ring.total_emitted(), 0, "disabled tracer must stay silent");
 }
+
+// ---------------------------------------------------------------------------
+// Multi-query shard layout: `run_registry` routes each partition once and
+// feeds every registered query on that shard. Ground truth is one
+// independent single-threaded engine per query.
+// ---------------------------------------------------------------------------
+
+use cep_core::compiled::PredicateProgram;
+use cep_core::error::CepError;
+use cep_core::plan::OrderPlan;
+use cep_core::registry::{FragmentBuilder, QueryId, RegistrySpec};
+
+/// Fragment builder over the lazy NFA with the trivial plan, threading the
+/// registry's cached predicate program through.
+fn nfa_fragment_builder(cfg: EngineConfig) -> StdArc<dyn FragmentBuilder> {
+    StdArc::new(
+        move |cp: &CompiledPattern, program: Option<StdArc<PredicateProgram>>| {
+            let plan = OrderPlan::trivial(cp);
+            Ok(Box::new(NfaEngine::with_program(
+                cp.clone(),
+                plan,
+                cfg.clone(),
+                program,
+            )?) as Box<dyn Engine>)
+        },
+    )
+}
+
+/// Per-query single-threaded ground truth in canonical merge order.
+fn expected_per_query(patterns: &[Pattern], stream: &EventStream) -> Vec<Vec<Match>> {
+    patterns
+        .iter()
+        .map(|p| {
+            let cp = CompiledPattern::compile_single(p).unwrap();
+            let factory = nfa_factory(cp);
+            single_threaded(&factory, stream)
+        })
+        .collect()
+}
+
+#[test]
+fn run_registry_equals_independent_engines_per_query() {
+    let stream = keyed_stream(lcg_workload(200, 3, 4, 0xBEEF));
+    // Three queries, two of them identical: the registry shares one
+    // fragment between q0 and q2, and q1 rides the same routed stream.
+    let patterns = vec![
+        keyed_seq(2, 10, SelectionStrategy::SkipTillAnyMatch),
+        keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch),
+        keyed_seq(2, 10, SelectionStrategy::SkipTillAnyMatch),
+    ];
+    let expected = expected_per_query(&patterns, &stream);
+    let cfg = EngineConfig::default();
+    let mut spec = RegistrySpec::new(nfa_fragment_builder(cfg.clone()), cfg);
+    let ids: Vec<QueryId> = patterns.iter().map(|p| spec.add(p).unwrap()).collect();
+    for shards in [1usize, 2, 4] {
+        let r = ShardedRuntime::with_shards(shards)
+            .run_registry(&spec, &stream, RoutingPolicy::HashAttr(0), true)
+            .unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                r.per_query[id], expected[i],
+                "query {id} with {shards} shards diverged"
+            );
+            assert_eq!(r.match_counts[id], expected[i].len() as u64);
+        }
+        let total: usize = expected.iter().map(Vec::len).sum();
+        assert_eq!(r.match_count, total as u64);
+        assert_eq!(r.per_shard.len(), shards);
+        // Every worker registered the whole set and shared the duplicate.
+        assert_eq!(r.metrics.registered_queries, 3 * shards as u64);
+        assert_eq!(r.metrics.shared_fragments, shards as u64);
+        assert!(r.metrics.fanout_emits >= r.match_count);
+    }
+}
+
+#[test]
+fn run_registry_replicate_join_dedups_per_query() {
+    let stream = cross_key_stream(lcg_cross_key_workload(160, 4, 5, 0x5EED));
+    let pattern = cross_key_seq(12, SelectionStrategy::SkipTillAnyMatch);
+    let cp = CompiledPattern::compile_single(&pattern).unwrap();
+    let policy = replicate_join_policy(&cp);
+    // The same cross-partition query registered twice: replicated-only
+    // matches surface on every shard and must be deduplicated per query.
+    let patterns = vec![pattern.clone(), pattern];
+    let expected = expected_per_query(&patterns, &stream);
+    let cfg = EngineConfig::default();
+    let mut spec = RegistrySpec::new(nfa_fragment_builder(cfg.clone()), cfg);
+    let ids: Vec<QueryId> = patterns.iter().map(|p| spec.add(p).unwrap()).collect();
+    for shards in [1usize, 2, 4, 8] {
+        let r = ShardedRuntime::with_shards(shards)
+            .run_registry(&spec, &stream, policy.clone(), true)
+            .unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                r.per_query[id], expected[i],
+                "query {id} with {shards} shards diverged"
+            );
+        }
+        if shards > 1 {
+            assert!(
+                r.metrics.replicated_events > 0,
+                "replicate-join broadcastings must be accounted"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_registry_uncollected_still_counts_per_query() {
+    let stream = keyed_stream(lcg_workload(200, 3, 4, 0xBEEF));
+    let patterns = vec![
+        keyed_seq(2, 10, SelectionStrategy::SkipTillAnyMatch),
+        keyed_seq(3, 12, SelectionStrategy::SkipTillAnyMatch),
+    ];
+    let expected = expected_per_query(&patterns, &stream);
+    let cfg = EngineConfig::default();
+    let mut spec = RegistrySpec::new(nfa_fragment_builder(cfg.clone()), cfg);
+    let ids: Vec<QueryId> = patterns.iter().map(|p| spec.add(p).unwrap()).collect();
+    let r = ShardedRuntime::with_shards(3)
+        .run_registry(&spec, &stream, RoutingPolicy::HashAttr(0), false)
+        .unwrap();
+    for (i, id) in ids.iter().enumerate() {
+        assert!(
+            r.per_query[id].is_empty(),
+            "uncollected run buffered matches"
+        );
+        assert_eq!(r.match_counts[id], expected[i].len() as u64);
+    }
+}
+
+#[test]
+fn run_registry_rejects_policy_unsound_for_any_member() {
+    // q0 is partition-local on attribute 0; q1 joins across keys —
+    // hash-attr routing is sound for the first but not the set.
+    let cfg = EngineConfig::default();
+    let mut spec = RegistrySpec::new(nfa_fragment_builder(cfg.clone()), cfg);
+    spec.add(&keyed_seq(2, 10, SelectionStrategy::SkipTillAnyMatch))
+        .unwrap();
+    spec.add(&cross_key_seq(12, SelectionStrategy::SkipTillAnyMatch))
+        .unwrap();
+    let stream = keyed_stream(lcg_workload(10, 3, 4, 1));
+    let err = ShardedRuntime::with_shards(2)
+        .run_registry(&spec, &stream, RoutingPolicy::HashAttr(0), true)
+        .unwrap_err();
+    assert!(matches!(err, CepError::Routing(_)), "got {err:?}");
+}
+
+#[test]
+fn run_registry_empty_spec_is_a_routing_error() {
+    let cfg = EngineConfig::default();
+    let spec = RegistrySpec::new(nfa_fragment_builder(cfg.clone()), cfg);
+    let stream = keyed_stream(vec![]);
+    let err = ShardedRuntime::with_shards(2)
+        .run_registry(&spec, &stream, RoutingPolicy::RoundRobin, true)
+        .unwrap_err();
+    assert!(matches!(err, CepError::Routing(_)), "got {err:?}");
+}

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use cep::core::engine::{run_to_completion, EngineConfig};
+use cep::core::engine::run_to_completion;
 use cep::prelude::*;
 
 fn main() {
@@ -30,7 +30,10 @@ fn main() {
     // 3. Plan + run with the trivial (specification-order) plan and with
     //    the exhaustive left-deep DP adapted from join optimization.
     for algo in [OrderAlgorithm::Trivial, OrderAlgorithm::DpLd] {
-        let mut engine = cep::build_nfa_engine(&pattern, &generated, algo, EngineConfig::default())
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Nfa(algo))
+            .stats(&generated)
+            .build()
             .expect("engine construction");
         let result = run_to_completion(engine.as_mut(), &generated.stream, true);
         println!(

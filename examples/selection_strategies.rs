@@ -7,7 +7,7 @@
 
 use cep::core::compile::CompiledPattern;
 use cep::core::cost::CostModel;
-use cep::core::engine::{run_to_completion, EngineConfig};
+use cep::core::engine::run_to_completion;
 use cep::core::selection::SelectionStrategy;
 use cep::prelude::*;
 use cep::streamgen::{analytic_measured_stats, analytic_selectivities};
@@ -51,13 +51,11 @@ fn main() {
         let cm = CostModel::for_pattern(&cp);
         let cost = cm.order_plan_cost(&stats, &plan);
 
-        let mut engine = cep::build_nfa_engine(
-            &pattern,
-            &generated,
-            OrderAlgorithm::DpLd,
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+            .stats(&generated)
+            .build()
+            .unwrap();
         let r = run_to_completion(engine.as_mut(), &generated.stream, true);
         println!(
             "{:<22} {:>9} {:>12.0} {:>14} {:>12.2}",

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example stock_correlation`.
 
 use cep::core::compile::CompiledPattern;
-use cep::core::engine::{run_to_completion, EngineConfig};
+use cep::core::engine::run_to_completion;
 use cep::prelude::*;
 use cep::streamgen::{analytic_measured_stats, analytic_selectivities, SymbolSpec};
 
@@ -73,8 +73,11 @@ fn main() {
     ] {
         let plan = planner.plan_order(&cp, &stats, algo).unwrap();
         let cost = cm.order_plan_cost(&stats, &plan);
-        let mut engine =
-            cep::build_nfa_engine(&pattern, &generated, algo, EngineConfig::default()).unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Nfa(algo))
+            .stats(&generated)
+            .build()
+            .unwrap();
         let r = run_to_completion(engine.as_mut(), &generated.stream, false);
         println!(
             "  {algo:>10} plan {plan:<22} cost {cost:>10.1}  -> {:>7.0} events/s, {} matches",
@@ -91,8 +94,11 @@ fn main() {
     ] {
         let plan = planner.plan_tree(&cp, &stats, algo).unwrap();
         let cost = cm.tree_plan_cost(&stats, &plan);
-        let mut engine =
-            cep::build_tree_engine(&pattern, &generated, algo, EngineConfig::default()).unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Tree(algo))
+            .stats(&generated)
+            .build()
+            .unwrap();
         let r = run_to_completion(engine.as_mut(), &generated.stream, false);
         println!(
             "  {algo:>11} plan {plan:<22} cost {cost:>10.1}  -> {:>7.0} events/s, {} matches",

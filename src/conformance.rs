@@ -14,14 +14,18 @@
 //! sets. New backends get the full differential sweep by adding one entry
 //! to [`standard_backends`].
 
+use std::sync::Arc;
+
 use cep_core::compile::CompiledPattern;
-use cep_core::engine::{run_to_completion, Engine, EngineConfig};
+use cep_core::compiled::PredicateProgram;
+use cep_core::engine::{run_to_completion, Engine, EngineConfig, MultiEngine};
 use cep_core::event::{Event, EventRef, TypeId};
 use cep_core::matches::{validate_match, Match};
 use cep_core::naive::NaiveEngine;
 use cep_core::pattern::{Pattern, PatternBuilder, PatternExpr};
 use cep_core::plan::{OrderPlan, TreeNode, TreePlan};
 use cep_core::predicate::{CmpOp, Predicate};
+use cep_core::registry::{FragmentBuilder, QueryRegistry};
 use cep_core::selection::SelectionStrategy;
 use cep_core::stream::{EventStream, StreamBuilder};
 use cep_core::value::Value;
@@ -164,7 +168,10 @@ pub fn tree_from_order(order: &[usize], seed: u64) -> TreeNode {
 }
 
 /// A backend constructor: compiled pattern + plan seed + config → engine.
-type BackendCtor = Box<dyn Fn(&CompiledPattern, u64, &EngineConfig) -> Box<dyn Engine>>;
+/// `Send + Sync` so a [`Backend`] can double as a registry
+/// [`FragmentBuilder`] in the multi-query conformance check.
+type BackendCtor =
+    Box<dyn Fn(&CompiledPattern, u64, &EngineConfig) -> Box<dyn Engine> + Send + Sync>;
 
 /// A named engine backend under conformance test: a constructor from a
 /// compiled pattern, a plan seed (backends that need an evaluation plan
@@ -179,7 +186,7 @@ impl Backend {
     /// Creates a backend from a name and a constructor.
     pub fn new(
         name: &'static str,
-        build: impl Fn(&CompiledPattern, u64, &EngineConfig) -> Box<dyn Engine> + 'static,
+        build: impl Fn(&CompiledPattern, u64, &EngineConfig) -> Box<dyn Engine> + Send + Sync + 'static,
     ) -> Backend {
         Backend {
             name,
@@ -280,4 +287,102 @@ pub fn check_stream_under(
             );
         }
     }
+}
+
+/// Multi-query conformance: registers every pattern in one
+/// [`QueryRegistry`] per standard backend — interpreted and compiled
+/// predicate paths both — and asserts each query's collected output
+/// byte-identical ([`keyed`]) to an independent per-query
+/// [`MultiEngine`] over the same backend's branch engines, built under
+/// the same plan seed. This is the registry's core contract: sharing
+/// fragments across queries must be invisible in every query's output.
+#[allow(clippy::ptr_arg)] // `EventStream` is `Vec<EventRef>`; callers hold one.
+pub fn check_registry_stream(
+    patterns: &[Pattern],
+    stream: &EventStream,
+    base_cfg: &EngineConfig,
+    seed: u64,
+) {
+    for backend in standard_backends() {
+        let backend = Arc::new(backend);
+        for compiled in [false, true] {
+            let cfg = EngineConfig {
+                compiled_predicates: compiled,
+                ..base_cfg.clone()
+            };
+            // Independent baselines: a fresh MultiEngine per query (one
+            // branch engine per DNF branch, registry-style dedup).
+            let mut expected = Vec::new();
+            for pattern in patterns {
+                let branches = CompiledPattern::compile(pattern).expect("compilable pattern");
+                let engines: Vec<Box<dyn Engine>> = branches
+                    .iter()
+                    .map(|cp| backend.build(cp, seed, &cfg))
+                    .collect();
+                let mut multi = MultiEngine::new(engines, pattern.window);
+                expected.push(keyed(&run_to_completion(&mut multi, stream, true).matches));
+            }
+            // One registry over all the queries, same builder and seed.
+            let b = Arc::clone(&backend);
+            let bcfg = cfg.clone();
+            let builder: Arc<dyn FragmentBuilder> = Arc::new(
+                move |cp: &CompiledPattern, _program: Option<Arc<PredicateProgram>>| {
+                    Ok(b.build(cp, seed, &bcfg))
+                },
+            );
+            let mut registry = QueryRegistry::new(builder, cfg.clone());
+            let ids: Vec<_> = patterns
+                .iter()
+                .map(|p| registry.register(p).expect("registration"))
+                .collect();
+            let result = registry.run(stream);
+            for (id, want) in ids.iter().zip(&expected) {
+                let got = keyed(result.per_query.get(id).map_or(&[][..], Vec::as_slice));
+                assert_eq!(
+                    &got, want,
+                    "{}(seed {seed}, compiled={compiled}): registry query {id} \
+                     diverged from its independent engine",
+                    backend.name
+                );
+            }
+        }
+    }
+}
+
+/// [`check_registry_equivalence_under`] with skip-till-any-match.
+pub fn check_registry_equivalence(
+    specs: Vec<PatternSpec>,
+    raw_stream: Vec<(u32, u8, i8)>,
+    seed: u64,
+) {
+    check_registry_equivalence_under(specs, raw_stream, seed, SelectionStrategy::SkipTillAnyMatch);
+}
+
+/// [`check_registry_stream`] over proptest-drawn specs: every buildable
+/// spec becomes one registered query (degenerate draws skipped), all
+/// evaluated under `strategy` over one shared stream.
+pub fn check_registry_equivalence_under(
+    specs: Vec<PatternSpec>,
+    raw_stream: Vec<(u32, u8, i8)>,
+    seed: u64,
+    strategy: SelectionStrategy,
+) {
+    let patterns: Vec<Pattern> = specs
+        .iter()
+        .filter_map(build_pattern)
+        .map(|mut p| {
+            p.strategy = strategy;
+            p
+        })
+        .filter(|p| CompiledPattern::compile(p).is_ok())
+        .collect();
+    if patterns.is_empty() {
+        return;
+    }
+    let stream = build_stream(&raw_stream);
+    let base_cfg = EngineConfig {
+        max_kleene_events: 4,
+        ..Default::default()
+    };
+    check_registry_stream(&patterns, &stream, &base_cfg, seed);
 }

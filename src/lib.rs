@@ -8,7 +8,9 @@
 //! ## Crates
 //!
 //! * [`core`] (`cep-core`) — events, patterns, predicates, evaluation
-//!   plans, cost models, statistics, and the naive oracle engine.
+//!   plans, cost models, statistics, the naive oracle engine, and the
+//!   multi-query [`core::registry::QueryRegistry`] with shared-fragment
+//!   execution.
 //! * [`nfa`] (`cep-nfa`) — the order-based (lazy chain NFA) engine.
 //! * [`tree`] (`cep-tree`) — the tree-based (ZStream-style) engine.
 //! * [`delta`] (`cep-delta`) — the delta-indexed, non-materializing
@@ -19,7 +21,8 @@
 //! * [`sase`] (`cep-sase`) — parser for SASE-style pattern specifications.
 //! * [`shard`] (`cep-shard`) — partitioned parallel runtime with a
 //!   deterministic, dedup-aware merge; cross-partition queries run under
-//!   replicate-join routing.
+//!   replicate-join routing, and registered query *sets* run under the
+//!   multi-query layout ([`shard::ShardedRuntime::run_registry`]).
 //! * [`adaptive`] (`cep-adaptive`) — live plan swap: rate- and
 //!   selectivity-drift-triggered replanning with swap-cost amortization
 //!   and retained-window state migration.
@@ -33,13 +36,19 @@
 //!   and sharded runtime run in debug builds. Ships the `cep-lint` tool.
 //! * [`obs`] (`cep-obs`) — observability: structured trace records
 //!   (plan-swap decisions, replay windows, shard routing and queue
-//!   depths, match emissions) behind a near-zero-cost [`obs::Tracer`],
-//!   log₂-bucketed latency histograms with p50/p95/p99, and a
-//!   [`obs::MetricsRegistry`] rendering Prometheus text exposition and
-//!   JSON. Tracing only observes: traced runs are byte-identical to
-//!   untraced ones.
+//!   depths, match emissions, query registrations) behind a
+//!   near-zero-cost [`obs::Tracer`], log₂-bucketed latency histograms
+//!   with p50/p95/p99, and a [`obs::MetricsRegistry`] rendering
+//!   Prometheus text exposition and JSON. Tracing only observes: traced
+//!   runs are byte-identical to untraced ones.
 //!
 //! ## Quick start
+//!
+//! Engines are constructed through the fluent [`EngineBuilder`]
+//! (see [`engine`]); multi-query execution through the
+//! [`RegistryBuilder`] (see [`registry`]). The constructor functions of
+//! earlier releases still exist as `#[deprecated]` shims — the
+//! [`builder`] module docs carry the full migration table.
 //!
 //! ```
 //! use cep::prelude::*;
@@ -57,12 +66,11 @@
 //! ).unwrap();
 //!
 //! // Plan with an adapted join algorithm and run the NFA engine.
-//! let mut engine = cep::build_nfa_engine(
-//!     &pattern,
-//!     &generated,
-//!     OrderAlgorithm::DpLd,
-//!     Default::default(),
-//! ).unwrap();
+//! let mut engine = cep::engine(&pattern)
+//!     .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+//!     .stats(&generated)
+//!     .build()
+//!     .unwrap();
 //! let result = run_to_completion(engine.as_mut(), &generated.stream, true);
 //! println!("{} matches", result.match_count);
 //! ```
@@ -81,23 +89,20 @@ pub use cep_shard as shard;
 pub use cep_streamgen as streamgen;
 pub use cep_tree as tree;
 
-use cep_core::compile::CompiledPattern;
-use cep_core::compiled::{shared_plan_cache, PredicateProgram, SharedPlanCache};
-use cep_core::engine::{Engine, EngineConfig, EngineFactory, MultiEngine};
+use cep_core::engine::{Engine, EngineConfig, EngineFactory};
 use cep_core::error::CepError;
 use cep_core::pattern::Pattern;
-use cep_core::plan::{OrderPlan, TreePlan};
-use cep_delta::DeltaEngine;
-use cep_nfa::NfaEngine;
-use cep_optimizer::{OrderAlgorithm, Planner, TreeAlgorithm};
-use cep_streamgen::{analytic_measured_stats, analytic_selectivities, GeneratedStream};
-use cep_tree::TreeEngine;
-use std::sync::Arc;
+use cep_optimizer::{OrderAlgorithm, TreeAlgorithm};
+use cep_streamgen::GeneratedStream;
 
+pub mod builder;
 pub mod conformance;
+
+pub use builder::{engine, registry, Backend, EngineBuilder, RegistryBuilder};
 
 /// Commonly used items, re-exported for `use cep::prelude::*`.
 pub mod prelude {
+    pub use crate::builder::{Backend, EngineBuilder, RegistryBuilder};
     pub use cep_adaptive::{
         AdaptiveConfig, AdaptiveEngine, AdaptiveFactory, PlanKind, PlanReplanner, ReplanVerdict,
         Replanner, SwapCost,
@@ -108,220 +113,60 @@ pub mod prelude {
     pub use cep_core::prelude::*;
     pub use cep_delta::DeltaEngine;
     pub use cep_nfa::NfaEngine;
-    pub use cep_obs::{
-        LatencyHistogram, MetricsRegistry, RingSink, TraceRecord, TraceSink, Tracer,
-    };
+    pub use cep_obs::{RingSink, TraceSink};
     pub use cep_optimizer::planner::{LatencyAnchor, Planner, PlannerConfig};
     pub use cep_optimizer::{OrderAlgorithm, SelectivityMonitor, StatsMonitor, TreeAlgorithm};
     pub use cep_sase::{parse_pattern, pretty_pattern};
-    pub use cep_shard::{RouteTarget, RoutingPolicy, ShardConfig, ShardedRuntime};
+    pub use cep_shard::{
+        MultiQueryRunResult, RouteTarget, RoutingPolicy, ShardConfig, ShardedRuntime,
+    };
     pub use cep_streamgen::{PatternSetKind, StockConfig, StockStreamGenerator};
     pub use cep_tree::TreeEngine;
 }
 
-/// Capacity of a [`PlannedFactory`]'s compiled-plan cache: one slot per
-/// DNF branch is enough (builds reuse identical patterns), with headroom
-/// for wide disjunctions.
-const PLAN_CACHE_CAP: usize = 64;
-
-/// Per-branch evaluation plans shared by the engines a factory stamps out.
-enum BranchPlans {
-    Order(Vec<(CompiledPattern, OrderPlan)>),
-    Tree(Vec<(CompiledPattern, TreePlan)>),
-}
-
-/// An [`EngineFactory`] over pre-validated branch plans: plan once, build
-/// fresh engines any number of times (one per worker shard, typically).
-/// Disjunctions build a [`MultiEngine`] over the DNF branches, exactly as
-/// [`build_nfa_engine`] / [`build_tree_engine`] do.
-struct PlannedFactory {
-    branches: BranchPlans,
-    window: u64,
-    config: EngineConfig,
-    /// Signature-keyed compiled-program cache shared by every engine this
-    /// factory stamps out: each DNF branch's predicates are lowered once
-    /// (on the first build) and every further build — one per worker
-    /// shard, typically — reuses the cached program.
-    plan_cache: SharedPlanCache,
-}
-
-impl EngineFactory for PlannedFactory {
-    fn build(&self) -> Box<dyn Engine> {
-        // `PlannedFactory` is only ever constructed with plans the planner
-        // produced for these very compiled patterns, so engine
-        // construction cannot fail. Each branch's hit/miss is stamped onto
-        // the freshly built engine's metrics, so cache effectiveness
-        // surfaces through the normal metrics pipeline (a [`MultiEngine`]
-        // absorbs branch counters into its aggregate view).
-        let fetch = |cp: &CompiledPattern| -> (Option<Arc<PredicateProgram>>, u64, u64) {
-            if !self.config.compiled_predicates {
-                return (None, 0, 0);
-            }
-            let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
-            let (h0, m0) = (cache.hits(), cache.misses());
-            let program = cache.get_or_compile(cp);
-            (Some(program), cache.hits() - h0, cache.misses() - m0)
-        };
-        let mut engines: Vec<Box<dyn Engine>> = match &self.branches {
-            BranchPlans::Order(branches) => branches
-                .iter()
-                .map(|(cp, plan)| {
-                    let (program, hits, misses) = fetch(cp);
-                    let mut engine = Box::new(
-                        NfaEngine::with_program(
-                            cp.clone(),
-                            plan.clone(),
-                            self.config.clone(),
-                            program,
-                        )
-                        .expect("pre-validated plan"),
-                    );
-                    engine.metrics_mut().plan_cache_hits = hits;
-                    engine.metrics_mut().plan_cache_misses = misses;
-                    engine as Box<dyn Engine>
-                })
-                .collect(),
-            BranchPlans::Tree(branches) => branches
-                .iter()
-                .map(|(cp, plan)| {
-                    let (program, hits, misses) = fetch(cp);
-                    let mut engine = Box::new(
-                        TreeEngine::with_program(
-                            cp.clone(),
-                            plan.clone(),
-                            self.config.clone(),
-                            program,
-                        )
-                        .expect("pre-validated plan"),
-                    );
-                    engine.metrics_mut().plan_cache_hits = hits;
-                    engine.metrics_mut().plan_cache_misses = misses;
-                    engine as Box<dyn Engine>
-                })
-                .collect(),
-        };
-        if engines.len() == 1 {
-            engines.pop().expect("one engine")
-        } else {
-            Box::new(MultiEngine::new(engines, self.window))
-        }
-    }
-}
-
-/// Plans every DNF branch of `pattern` with `algorithm` (using the
-/// generated stream's analytic statistics) and returns a factory that
-/// stamps out order-based (NFA) engines for the result — the input a
-/// sharded runtime ([`cep_shard::ShardedRuntime`]) needs, where each
-/// worker builds its own engine from the shared plan.
+/// Plans every DNF branch of `pattern` with `algorithm` and returns a
+/// factory stamping out order-based (NFA) engines.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Nfa(algorithm)).stats(gen).config(config).factory()"
+)]
 pub fn nfa_engine_factory(
     pattern: &Pattern,
     gen: &GeneratedStream,
     algorithm: OrderAlgorithm,
     config: EngineConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let planner = Planner::default();
-    let measured = analytic_measured_stats(gen);
-    let compiled = CompiledPattern::compile(pattern)?;
-    let mut branches = Vec::with_capacity(compiled.len());
-    for cp in compiled {
-        let sels = analytic_selectivities(&cp, gen);
-        let stats = planner.stats_for(&cp, &measured, &sels)?;
-        let plan = planner.plan_order(&cp, &stats, algorithm)?;
-        branches.push((cp, plan));
-    }
-    Ok(Box::new(PlannedFactory {
-        branches: BranchPlans::Order(branches),
-        window: pattern.window,
-        config,
-        plan_cache: shared_plan_cache(PLAN_CACHE_CAP),
-    }))
+    engine(pattern)
+        .backend(Backend::Nfa(algorithm))
+        .stats(gen)
+        .config(config)
+        .factory()
 }
 
-/// Tree-based counterpart of [`nfa_engine_factory`].
+/// Tree-based counterpart of `nfa_engine_factory`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Tree(algorithm)).stats(gen).config(config).factory()"
+)]
 pub fn tree_engine_factory(
     pattern: &Pattern,
     gen: &GeneratedStream,
     algorithm: TreeAlgorithm,
     config: EngineConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let planner = Planner::default();
-    let measured = analytic_measured_stats(gen);
-    let compiled = CompiledPattern::compile(pattern)?;
-    let mut branches = Vec::with_capacity(compiled.len());
-    for cp in compiled {
-        let sels = analytic_selectivities(&cp, gen);
-        let stats = planner.stats_for(&cp, &measured, &sels)?;
-        let plan = planner.plan_tree(&cp, &stats, algorithm)?;
-        branches.push((cp, plan));
-    }
-    Ok(Box::new(PlannedFactory {
-        branches: BranchPlans::Tree(branches),
-        window: pattern.window,
-        config,
-        plan_cache: shared_plan_cache(PLAN_CACHE_CAP),
-    }))
+    engine(pattern)
+        .backend(Backend::Tree(algorithm))
+        .stats(gen)
+        .config(config)
+        .factory()
 }
 
-/// Compiles `pattern` and pairs each DNF branch with its analytic
-/// selectivities over the generated stream.
-fn compiled_branches(
-    pattern: &Pattern,
-    gen: &GeneratedStream,
-) -> Result<Vec<(CompiledPattern, Vec<f64>)>, CepError> {
-    Ok(CompiledPattern::compile(pattern)?
-        .into_iter()
-        .map(|cp| {
-            let sels = analytic_selectivities(&cp, gen);
-            (cp, sels)
-        })
-        .collect())
-}
-
-/// Event pairs the full-adaptive factories' selectivity monitors sample
-/// per estimate.
-const SELECTIVITY_MAX_PAIRS: usize = 512;
-
-/// Shared construction site of the four adaptive factories: a
-/// [`cep_adaptive::PlanReplanner`] over the pattern's DNF branches and the
-/// generated stream's analytic statistics, optionally with online
-/// selectivity monitoring, wrapped in an [`cep_adaptive::AdaptiveFactory`].
-fn adaptive_factory(
-    pattern: &Pattern,
-    gen: &GeneratedStream,
-    kind: cep_adaptive::PlanKind,
-    config: EngineConfig,
-    adaptive: cep_adaptive::AdaptiveConfig,
-    monitor_selectivities: bool,
-) -> Result<Box<dyn EngineFactory>, CepError> {
-    let mut replanner = cep_adaptive::PlanReplanner::new(
-        compiled_branches(pattern, gen)?,
-        &analytic_measured_stats(gen),
-        Planner::default(),
-        kind,
-        config,
-    )?;
-    if monitor_selectivities {
-        replanner = replanner.with_selectivity_monitoring(
-            adaptive.horizon_ms,
-            adaptive.drift_threshold,
-            SELECTIVITY_MAX_PAIRS,
-        );
-    }
-    Ok(Box::new(cep_adaptive::AdaptiveFactory::new(
-        replanner,
-        pattern.window,
-        adaptive,
-    )))
-}
-
-/// Adaptive counterpart of [`nfa_engine_factory`]: every engine the
-/// factory stamps out wraps its NFA engine in a
-/// [`cep_adaptive::AdaptiveEngine`] that monitors arrival-rate drift on
-/// its own input, replans with `algorithm` from live estimates, and
-/// hot-swaps plans with retained-window state migration. The initial plan
-/// comes from the generated stream's analytic statistics, exactly like the
-/// static factory's. Handing this factory to a
-/// [`cep_shard::ShardedRuntime`] gives per-shard independent replanning.
+/// Adaptive counterpart of `nfa_engine_factory`: stamped-out engines
+/// monitor arrival-rate drift and hot-swap replanned orders.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Nfa(algorithm)).stats(gen).config(config).adaptive(adaptive).factory()"
+)]
 pub fn adaptive_nfa_engine_factory(
     pattern: &Pattern,
     gen: &GeneratedStream,
@@ -329,11 +174,19 @@ pub fn adaptive_nfa_engine_factory(
     config: EngineConfig,
     adaptive: cep_adaptive::AdaptiveConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let kind = cep_adaptive::PlanKind::Order(algorithm);
-    adaptive_factory(pattern, gen, kind, config, adaptive, false)
+    engine(pattern)
+        .backend(Backend::Nfa(algorithm))
+        .stats(gen)
+        .config(config)
+        .adaptive(adaptive)
+        .factory()
 }
 
-/// Tree-based counterpart of [`adaptive_nfa_engine_factory`].
+/// Tree-based counterpart of `adaptive_nfa_engine_factory`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Tree(algorithm)).stats(gen).config(config).adaptive(adaptive).factory()"
+)]
 pub fn adaptive_tree_engine_factory(
     pattern: &Pattern,
     gen: &GeneratedStream,
@@ -341,16 +194,20 @@ pub fn adaptive_tree_engine_factory(
     config: EngineConfig,
     adaptive: cep_adaptive::AdaptiveConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let kind = cep_adaptive::PlanKind::Tree(algorithm);
-    adaptive_factory(pattern, gen, kind, config, adaptive, false)
+    engine(pattern)
+        .backend(Backend::Tree(algorithm))
+        .stats(gen)
+        .config(config)
+        .adaptive(adaptive)
+        .factory()
 }
 
-/// *Fully* adaptive counterpart of [`adaptive_nfa_engine_factory`]: the
-/// stamped-out engines additionally re-estimate predicate selectivities
-/// online (sampling event pairs over the drift horizon), so a stream whose
-/// correlations shift while its arrival rates stay flat — invisible to the
-/// rate-only monitor — still triggers a replan. Swaps remain
-/// swap-cost-gated per [`cep_adaptive::AdaptiveConfig::amortize_windows`].
+/// *Fully* adaptive counterpart of `adaptive_nfa_engine_factory`:
+/// additionally re-estimates predicate selectivities online.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Nfa(algorithm)).stats(gen).config(config).full_adaptive(adaptive).factory()"
+)]
 pub fn full_adaptive_nfa_engine_factory(
     pattern: &Pattern,
     gen: &GeneratedStream,
@@ -358,11 +215,19 @@ pub fn full_adaptive_nfa_engine_factory(
     config: EngineConfig,
     adaptive: cep_adaptive::AdaptiveConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let kind = cep_adaptive::PlanKind::Order(algorithm);
-    adaptive_factory(pattern, gen, kind, config, adaptive, true)
+    engine(pattern)
+        .backend(Backend::Nfa(algorithm))
+        .stats(gen)
+        .config(config)
+        .full_adaptive(adaptive)
+        .factory()
 }
 
-/// Tree-based counterpart of [`full_adaptive_nfa_engine_factory`].
+/// Tree-based counterpart of `full_adaptive_nfa_engine_factory`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Tree(algorithm)).stats(gen).config(config).full_adaptive(adaptive).factory()"
+)]
 pub fn full_adaptive_tree_engine_factory(
     pattern: &Pattern,
     gen: &GeneratedStream,
@@ -370,154 +235,118 @@ pub fn full_adaptive_tree_engine_factory(
     config: EngineConfig,
     adaptive: cep_adaptive::AdaptiveConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let kind = cep_adaptive::PlanKind::Tree(algorithm);
-    adaptive_factory(pattern, gen, kind, config, adaptive, true)
+    engine(pattern)
+        .backend(Backend::Tree(algorithm))
+        .stats(gen)
+        .config(config)
+        .full_adaptive(adaptive)
+        .factory()
 }
 
-/// Replicate-join counterpart of [`nfa_engine_factory`] for
-/// **cross-partition** queries (correlation attribute ≠ partition/routing
-/// attribute): returns the planned factory *plus* the
+/// Replicate-join counterpart of `nfa_engine_factory` for
+/// cross-partition queries: the planned factory plus the
 /// [`cep_shard::RoutingPolicy::ReplicateJoin`] policy to run it under.
-///
-/// The policy wraps a [`cep_core::partition::PartitionSpec`] derived by
-/// [`cep_core::partition::QueryPartitioner`] from the pattern's equality
-/// predicates and the generated stream's analytic rates: key-linked types
-/// are hashed by their join key, the (low-rate) remainder is broadcast to
-/// every shard. Hand both to [`cep_shard::ShardedRuntime::run`] (or
-/// `run_query`) and the merged output is byte-identical to the
-/// single-threaded engine for any shard count, under the three exact
-/// selection strategies.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Nfa(algorithm)).stats(gen).config(config).replicate_join().factory_and_policy()"
+)]
 pub fn replicate_join_nfa_engine_factory(
     pattern: &Pattern,
     gen: &GeneratedStream,
     algorithm: OrderAlgorithm,
     config: EngineConfig,
 ) -> Result<(Box<dyn EngineFactory>, cep_shard::RoutingPolicy), CepError> {
-    let factory = nfa_engine_factory(pattern, gen, algorithm, config)?;
-    Ok((factory, replicate_join_policy(pattern, gen)?))
+    engine(pattern)
+        .backend(Backend::Nfa(algorithm))
+        .stats(gen)
+        .config(config)
+        .replicate_join()
+        .factory_and_policy()
 }
 
-/// Tree-based counterpart of [`replicate_join_nfa_engine_factory`].
+/// Tree-based counterpart of `replicate_join_nfa_engine_factory`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Tree(algorithm)).stats(gen).config(config).replicate_join().factory_and_policy()"
+)]
 pub fn replicate_join_tree_engine_factory(
     pattern: &Pattern,
     gen: &GeneratedStream,
     algorithm: TreeAlgorithm,
     config: EngineConfig,
 ) -> Result<(Box<dyn EngineFactory>, cep_shard::RoutingPolicy), CepError> {
-    let factory = tree_engine_factory(pattern, gen, algorithm, config)?;
-    Ok((factory, replicate_join_policy(pattern, gen)?))
+    engine(pattern)
+        .backend(Backend::Tree(algorithm))
+        .stats(gen)
+        .config(config)
+        .replicate_join()
+        .factory_and_policy()
 }
 
-/// The replicate-join routing policy for `pattern` over the generated
-/// stream's analytic statistics (shared by the two factories above).
-fn replicate_join_policy(
-    pattern: &Pattern,
-    gen: &GeneratedStream,
-) -> Result<cep_shard::RoutingPolicy, CepError> {
-    let branches = CompiledPattern::compile(pattern)?;
-    let spec = cep_core::partition::QueryPartitioner::analyze_measured(
-        &branches,
-        &analytic_measured_stats(gen),
-    )?;
-    Ok(cep_shard::RoutingPolicy::ReplicateJoin(
-        std::sync::Arc::new(spec),
-    ))
-}
-
-/// An [`EngineFactory`] stamping out [`DeltaEngine`]s — one per DNF
-/// branch, wrapped in a [`MultiEngine`] for disjunctions. The delta
-/// engine needs no evaluation plan (its join order is chosen per probe
-/// from live index sizes), so unlike [`PlannedFactory`] there is no
-/// planner input; the shared plan cache still deduplicates predicate
-/// lowering across builds.
-struct DeltaFactory {
-    branches: Vec<CompiledPattern>,
-    window: u64,
-    config: EngineConfig,
-    plan_cache: SharedPlanCache,
-}
-
-impl EngineFactory for DeltaFactory {
-    fn build(&self) -> Box<dyn Engine> {
-        let fetch = |cp: &CompiledPattern| -> (Option<Arc<PredicateProgram>>, u64, u64) {
-            if !self.config.compiled_predicates {
-                return (None, 0, 0);
-            }
-            let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
-            let (h0, m0) = (cache.hits(), cache.misses());
-            let program = cache.get_or_compile(cp);
-            (Some(program), cache.hits() - h0, cache.misses() - m0)
-        };
-        let mut engines: Vec<Box<dyn Engine>> = self
-            .branches
-            .iter()
-            .map(|cp| {
-                let (program, hits, misses) = fetch(cp);
-                let mut engine = Box::new(DeltaEngine::with_program(
-                    cp.clone(),
-                    self.config.clone(),
-                    program,
-                ));
-                engine.metrics_mut().plan_cache_hits = hits;
-                engine.metrics_mut().plan_cache_misses = misses;
-                engine as Box<dyn Engine>
-            })
-            .collect();
-        if engines.len() == 1 {
-            engines.pop().expect("one engine")
-        } else {
-            Box::new(MultiEngine::new(engines, self.window))
-        }
-    }
-}
-
-/// Delta-indexed counterpart of [`nfa_engine_factory`]: compiles
-/// `pattern`'s DNF branches and returns a factory stamping out
-/// non-materializing [`DeltaEngine`]s. No stream statistics are needed —
-/// the engine orders its joins at probe time from live index sizes — so
-/// this is the factory of choice when no representative sample of the
-/// stream exists yet. Being an [`EngineFactory`], it composes with
-/// [`cep_shard::ShardedRuntime`] like every other backend.
+/// Delta-indexed counterpart of `nfa_engine_factory`: stamps out
+/// non-materializing delta engines; no stream statistics are needed.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).config(config).factory() — delta is the default backend"
+)]
 pub fn delta_engine_factory(
     pattern: &Pattern,
     config: EngineConfig,
 ) -> Result<Box<dyn EngineFactory>, CepError> {
-    let branches = CompiledPattern::compile(pattern)?;
-    Ok(Box::new(DeltaFactory {
-        branches,
-        window: pattern.window,
-        config,
-        plan_cache: shared_plan_cache(PLAN_CACHE_CAP),
-    }))
+    engine(pattern)
+        .backend(Backend::Delta)
+        .config(config)
+        .factory()
 }
 
-/// Builds a delta-indexed engine for `pattern` (see
-/// [`delta_engine_factory`]).
+/// Builds a delta-indexed engine for `pattern`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).config(config).build() — delta is the default backend"
+)]
 pub fn build_delta_engine(
     pattern: &Pattern,
     config: EngineConfig,
 ) -> Result<Box<dyn Engine>, CepError> {
-    Ok(delta_engine_factory(pattern, config)?.build())
+    engine(pattern)
+        .backend(Backend::Delta)
+        .config(config)
+        .build()
 }
 
 /// Builds an order-based (NFA) engine for `pattern`, planning every DNF
-/// branch with `algorithm` using the generated stream's analytic
-/// statistics. Disjunctions produce a [`MultiEngine`] internally.
+/// branch with `algorithm`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Nfa(algorithm)).stats(gen).config(config).build()"
+)]
 pub fn build_nfa_engine(
     pattern: &Pattern,
     gen: &GeneratedStream,
     algorithm: OrderAlgorithm,
     config: EngineConfig,
 ) -> Result<Box<dyn Engine>, CepError> {
-    Ok(nfa_engine_factory(pattern, gen, algorithm, config)?.build())
+    engine(pattern)
+        .backend(Backend::Nfa(algorithm))
+        .stats(gen)
+        .config(config)
+        .build()
 }
 
-/// Builds a tree-based engine for `pattern` (see [`build_nfa_engine`]).
+/// Builds a tree-based engine for `pattern` (see `build_nfa_engine`).
+#[deprecated(
+    since = "0.1.0",
+    note = "use cep::engine(pattern).backend(Backend::Tree(algorithm)).stats(gen).config(config).build()"
+)]
 pub fn build_tree_engine(
     pattern: &Pattern,
     gen: &GeneratedStream,
     algorithm: TreeAlgorithm,
     config: EngineConfig,
 ) -> Result<Box<dyn Engine>, CepError> {
-    Ok(tree_engine_factory(pattern, gen, algorithm, config)?.build())
+    engine(pattern)
+        .backend(Backend::Tree(algorithm))
+        .stats(gen)
+        .config(config)
+        .build()
 }

@@ -1,0 +1,188 @@
+//! The facade's `EngineBuilder`: the deprecated constructor shims are
+//! exact synonyms for their builder chains (same engines, same output),
+//! and builder misuse fails with typed errors instead of panicking.
+
+use cep::conformance::keyed;
+use cep::core::engine::{run_to_completion, EngineConfig};
+use cep::core::error::CepError;
+use cep::prelude::*;
+use cep::streamgen::GeneratedStream;
+
+/// `unwrap_err` for results whose `Ok` type has no `Debug` impl.
+fn expect_err<T>(r: Result<T, CepError>) -> CepError {
+    match r {
+        Ok(_) => panic!("expected a builder error"),
+        Err(e) => e,
+    }
+}
+
+fn fixture() -> (cep::core::pattern::Pattern, GeneratedStream) {
+    let config = StockConfig::nasdaq_like(6, 8_000, 0.5, 11);
+    let mut catalog = cep::core::schema::Catalog::new();
+    let generated = StockStreamGenerator::generate(&config, &mut catalog).unwrap();
+    let pattern = parse_pattern(
+        "PATTERN SEQ(S0000 a, S0002 b)
+         WHERE a.difference < b.difference
+         WITHIN 4 s",
+        &catalog,
+    )
+    .unwrap();
+    (pattern, generated)
+}
+
+/// Every deprecated constructor family produces output byte-identical to
+/// its replacement builder chain (the shims *are* the chains).
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_equal_builder_chains() {
+    let (pattern, generated) = fixture();
+    let run = |mut e: Box<dyn cep::core::engine::Engine>| {
+        keyed(&run_to_completion(e.as_mut(), &generated.stream, true).matches)
+    };
+
+    let via_shim = run(cep::build_nfa_engine(
+        &pattern,
+        &generated,
+        OrderAlgorithm::DpLd,
+        EngineConfig::default(),
+    )
+    .unwrap());
+    let via_builder = run(cep::engine(&pattern)
+        .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+        .stats(&generated)
+        .build()
+        .unwrap());
+    assert!(!via_builder.is_empty(), "fixture must produce matches");
+    assert_eq!(via_shim, via_builder);
+
+    let via_shim = run(cep::build_tree_engine(
+        &pattern,
+        &generated,
+        TreeAlgorithm::DpB,
+        EngineConfig::default(),
+    )
+    .unwrap());
+    let via_builder = run(cep::engine(&pattern)
+        .backend(Backend::Tree(TreeAlgorithm::DpB))
+        .stats(&generated)
+        .build()
+        .unwrap());
+    assert_eq!(via_shim, via_builder);
+
+    let via_shim = run(cep::build_delta_engine(&pattern, EngineConfig::default()).unwrap());
+    let via_builder = run(cep::engine(&pattern).build().unwrap());
+    assert_eq!(via_shim, via_builder);
+
+    let shim_factory = cep::delta_engine_factory(&pattern, EngineConfig::default()).unwrap();
+    let builder_factory = cep::engine(&pattern).factory().unwrap();
+    assert_eq!(run(shim_factory.build()), run(builder_factory.build()));
+}
+
+/// The replicate-join shims return the same routing policy as
+/// `.replicate_join().factory_and_policy()`.
+#[test]
+#[allow(deprecated)]
+fn deprecated_replicate_join_shim_equals_builder_chain() {
+    let (pattern, generated) = fixture();
+    let (_, shim_policy) = cep::replicate_join_nfa_engine_factory(
+        &pattern,
+        &generated,
+        OrderAlgorithm::DpLd,
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let (_, builder_policy) = cep::engine(&pattern)
+        .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+        .stats(&generated)
+        .replicate_join()
+        .factory_and_policy()
+        .unwrap();
+    assert_eq!(format!("{shim_policy:?}"), format!("{builder_policy:?}"));
+}
+
+/// Builder misuse fails with typed errors, never panics: stats-needing
+/// backends without `.stats()`, adaptive planning on the plan-free delta
+/// backend, and a `.replicate_join()` chain terminated with the wrong
+/// finisher (which would silently drop the routing policy).
+#[test]
+fn builder_misuse_is_a_typed_error() {
+    let (pattern, generated) = fixture();
+
+    let err = expect_err(
+        cep::engine(&pattern)
+            .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+            .build(),
+    );
+    assert!(matches!(err, CepError::Stats(_)), "got {err:?}");
+
+    let err = expect_err(
+        cep::engine(&pattern)
+            .backend(Backend::Tree(TreeAlgorithm::DpB))
+            .factory(),
+    );
+    assert!(matches!(err, CepError::Stats(_)), "got {err:?}");
+
+    let err = expect_err(
+        cep::engine(&pattern)
+            .adaptive(AdaptiveConfig::default())
+            .stats(&generated)
+            .build(),
+    );
+    assert!(matches!(err, CepError::Plan(_)), "got {err:?}");
+
+    let err = expect_err(
+        cep::engine(&pattern)
+            .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+            .stats(&generated)
+            .replicate_join()
+            .build(),
+    );
+    assert!(matches!(err, CepError::Plan(_)), "got {err:?}");
+
+    let err = expect_err(
+        cep::registry()
+            .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+            .build(),
+    );
+    assert!(matches!(err, CepError::Stats(_)), "got {err:?}");
+}
+
+/// The facade registry builder wires the planner in: an NFA-backed
+/// registry emits the same matches as a delta-backed one on the same
+/// query set.
+#[test]
+fn facade_registry_backends_agree() {
+    let (pattern, generated) = fixture();
+    let mut results = Vec::new();
+    for (name, builder) in [
+        ("delta", cep::registry()),
+        (
+            "nfa",
+            cep::registry()
+                .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+                .stats(&generated),
+        ),
+        (
+            "tree",
+            cep::registry()
+                .backend(Backend::Tree(TreeAlgorithm::DpB))
+                .stats(&generated),
+        ),
+    ] {
+        let mut registry = builder.build().unwrap();
+        let q0 = registry.register(&pattern).unwrap();
+        let q1 = registry.register(&pattern).unwrap();
+        assert_eq!(registry.fragment_count(), 1, "identical queries share");
+        let r = registry.run(&generated.stream);
+        assert_eq!(
+            keyed(&r.per_query[&q0]),
+            keyed(&r.per_query[&q1]),
+            "{name}: duplicate registrations must see identical output"
+        );
+        results.push((name, keyed(&r.per_query[&q0])));
+    }
+    assert!(!results[0].1.is_empty(), "fixture must produce matches");
+    for (name, ks) in &results[1..] {
+        assert_eq!(ks, &results[0].1, "{name} disagrees with delta");
+    }
+}

@@ -47,7 +47,7 @@ fn sharded_delta_is_byte_identical_to_serial() {
     let expected = run_to_completion(&mut serial, &stream, true);
     assert!(expected.match_count > 0, "fixture must produce matches");
 
-    let factory = cep::delta_engine_factory(&pattern, EngineConfig::default()).unwrap();
+    let factory = cep::engine(&pattern).factory().unwrap();
     for shards in [1, 2, 4] {
         let runtime = ShardedRuntime::with_shards(shards);
         let r = runtime.run(factory.as_ref(), &stream, RoutingPolicy::HashAttr(0), true);
@@ -76,7 +76,7 @@ fn delta_factory_shares_compiled_programs_across_builds() {
     let c = b.event(TypeId(1), "c");
     b.predicate(Predicate::attr_cmp(a.pos(), 0, CmpOp::Eq, c.pos(), 0));
     let pattern = b.seq([a, c]).unwrap();
-    let factory = cep::delta_engine_factory(&pattern, EngineConfig::default()).unwrap();
+    let factory = cep::engine(&pattern).factory().unwrap();
     let first = factory.build();
     let second = factory.build();
     // First build lowers the program (miss), the second reuses it (hit).

@@ -47,7 +47,12 @@ fn sase_to_engines_all_algorithms_agree() {
         OrderAlgorithm::DpLd,
         OrderAlgorithm::Kbz,
     ] {
-        let mut engine = cep::build_nfa_engine(&pattern, &gen, algo, cfg.clone()).unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Nfa(algo))
+            .stats(&gen)
+            .config(cfg.clone())
+            .build()
+            .unwrap();
         let r = run_to_completion(engine.as_mut(), &gen.stream, true);
         let sigs = signatures(&r.matches);
         match &reference {
@@ -60,7 +65,12 @@ fn sase_to_engines_all_algorithms_agree() {
         TreeAlgorithm::ZStreamOrd,
         TreeAlgorithm::DpB,
     ] {
-        let mut engine = cep::build_tree_engine(&pattern, &gen, algo, cfg.clone()).unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Tree(algo))
+            .stats(&gen)
+            .config(cfg.clone())
+            .build()
+            .unwrap();
         let r = run_to_completion(engine.as_mut(), &gen.stream, true);
         assert_eq!(
             &signatures(&r.matches),
@@ -83,13 +93,11 @@ fn disjunction_equals_union_of_branches() {
     )
     .unwrap();
     // Multi-engine result.
-    let mut engine = cep::build_nfa_engine(
-        &pattern,
-        &gen,
-        OrderAlgorithm::Greedy,
-        EngineConfig::default(),
-    )
-    .unwrap();
+    let mut engine = cep::engine(&pattern)
+        .backend(Backend::Nfa(OrderAlgorithm::Greedy))
+        .stats(&gen)
+        .build()
+        .unwrap();
     let combined = run_to_completion(engine.as_mut(), &gen.stream, true);
     // Branches evaluated individually.
     let branches = CompiledPattern::compile(&pattern).unwrap();
@@ -110,11 +118,17 @@ fn next_match_is_disjoint_and_any_match_is_superset() {
     let mut next = any.clone();
     next.strategy = SelectionStrategy::SkipTillNextMatch;
 
-    let mut e_any =
-        cep::build_nfa_engine(&any, &gen, OrderAlgorithm::DpLd, EngineConfig::default()).unwrap();
+    let mut e_any = cep::engine(&any)
+        .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+        .stats(&gen)
+        .build()
+        .unwrap();
     let r_any = run_to_completion(e_any.as_mut(), &gen.stream, true);
-    let mut e_next =
-        cep::build_nfa_engine(&next, &gen, OrderAlgorithm::DpLd, EngineConfig::default()).unwrap();
+    let mut e_next = cep::engine(&next)
+        .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+        .stats(&gen)
+        .build()
+        .unwrap();
     let r_next = run_to_completion(e_next.as_mut(), &gen.stream, true);
 
     // Next-match: disjoint events, and no more matches than any-match.
@@ -144,13 +158,11 @@ fn partition_contiguity_on_partitioned_stream() {
         &catalog,
     )
     .unwrap();
-    let mut engine = cep::build_nfa_engine(
-        &cross,
-        &gen,
-        OrderAlgorithm::Trivial,
-        EngineConfig::default(),
-    )
-    .unwrap();
+    let mut engine = cep::engine(&cross)
+        .backend(Backend::Nfa(OrderAlgorithm::Trivial))
+        .stats(&gen)
+        .build()
+        .unwrap();
     let r = run_to_completion(engine.as_mut(), &gen.stream, true);
     assert_eq!(
         r.match_count, 0,
@@ -162,13 +174,11 @@ fn partition_contiguity_on_partitioned_stream() {
         &catalog,
     )
     .unwrap();
-    let mut engine = cep::build_nfa_engine(
-        &same,
-        &gen,
-        OrderAlgorithm::Trivial,
-        EngineConfig::default(),
-    )
-    .unwrap();
+    let mut engine = cep::engine(&same)
+        .backend(Backend::Nfa(OrderAlgorithm::Trivial))
+        .stats(&gen)
+        .build()
+        .unwrap();
     let r = run_to_completion(engine.as_mut(), &gen.stream, true);
     assert!(
         r.match_count > 0,
@@ -190,13 +200,19 @@ fn workload_sets_run_under_both_engines() {
     for kind in PatternSetKind::all() {
         let set = generate_set(kind, 3..=3, 2, &gen, &wl).unwrap();
         for gp in &set {
-            let mut nfa =
-                cep::build_nfa_engine(&gp.pattern, &gen, OrderAlgorithm::Greedy, cfg.clone())
-                    .unwrap();
+            let mut nfa = cep::engine(&gp.pattern)
+                .backend(Backend::Nfa(OrderAlgorithm::Greedy))
+                .stats(&gen)
+                .config(cfg.clone())
+                .build()
+                .unwrap();
             let rn = run_to_completion(nfa.as_mut(), &gen.stream, true);
-            let mut tree =
-                cep::build_tree_engine(&gp.pattern, &gen, TreeAlgorithm::ZStreamOrd, cfg.clone())
-                    .unwrap();
+            let mut tree = cep::engine(&gp.pattern)
+                .backend(Backend::Tree(TreeAlgorithm::ZStreamOrd))
+                .stats(&gen)
+                .config(cfg.clone())
+                .build()
+                .unwrap();
             let rt = run_to_completion(tree.as_mut(), &gen.stream, true);
             assert_eq!(
                 signatures(&rn.matches),

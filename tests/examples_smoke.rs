@@ -173,8 +173,11 @@ fn quickstart_core_path_matches() {
 
     let mut counts = Vec::new();
     for algo in [OrderAlgorithm::Trivial, OrderAlgorithm::DpLd] {
-        let mut engine =
-            cep::build_nfa_engine(&pattern, &generated, algo, EngineConfig::default()).unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Nfa(algo))
+            .stats(&generated)
+            .build()
+            .unwrap();
         let result = run_to_completion(engine.as_mut(), &generated.stream, false);
         counts.push(result.match_count);
     }
@@ -433,8 +436,11 @@ fn stock_correlation_core_path_matches() {
         OrderAlgorithm::Kbz,
     ] {
         planner.plan_order(&cp, &stats, algo).unwrap();
-        let mut engine =
-            cep::build_nfa_engine(&pattern, &generated, algo, EngineConfig::default()).unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Nfa(algo))
+            .stats(&generated)
+            .build()
+            .unwrap();
         counts.push(run_to_completion(engine.as_mut(), &generated.stream, false).match_count);
     }
     for algo in [
@@ -443,8 +449,11 @@ fn stock_correlation_core_path_matches() {
         TreeAlgorithm::DpB,
     ] {
         planner.plan_tree(&cp, &stats, algo).unwrap();
-        let mut engine =
-            cep::build_tree_engine(&pattern, &generated, algo, EngineConfig::default()).unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Tree(algo))
+            .stats(&generated)
+            .build()
+            .unwrap();
         counts.push(run_to_completion(engine.as_mut(), &generated.stream, false).match_count);
     }
     assert!(counts[0] >= 1, "correlation pattern must match");
@@ -534,13 +543,11 @@ fn selection_strategies_core_path_matches() {
     ] {
         let mut pattern = base.clone();
         pattern.strategy = strategy;
-        let mut engine = cep::build_nfa_engine(
-            &pattern,
-            &generated,
-            OrderAlgorithm::DpLd,
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut engine = cep::engine(&pattern)
+            .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+            .stats(&generated)
+            .build()
+            .unwrap();
         let r = run_to_completion(engine.as_mut(), &generated.stream, true);
         match strategy {
             SelectionStrategy::SkipTillAnyMatch => any_match_count = r.match_count,
@@ -674,10 +681,10 @@ fn adaptive_replanning_core_path_swaps_and_stays_exact() {
     }
 }
 
-/// The facade's adaptive factories: engines stamped out by
-/// `adaptive_nfa_engine_factory` / `adaptive_tree_engine_factory` agree
-/// byte for byte with the static factories' engines on a stationary
-/// stream (where calibration may swap, but the result set cannot change).
+/// The facade's adaptive factories: engines stamped out by the builder's
+/// `.adaptive(..)` chain agree byte for byte with the static factories'
+/// engines on a stationary stream (where calibration may swap, but the
+/// result set cannot change).
 #[test]
 fn adaptive_factories_agree_with_static_factories() {
     use cep::core::matches::Match;
@@ -706,42 +713,34 @@ fn adaptive_factories_agree_with_static_factories() {
         canonical_sort(&mut matches);
         matches
     };
-    let nfa_static = run(cep::nfa_engine_factory(
-        &pattern,
-        &generated,
-        OrderAlgorithm::DpLd,
-        EngineConfig::default(),
-    )
-    .unwrap()
-    .as_ref());
+    let nfa_static = run(cep::engine(&pattern)
+        .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+        .stats(&generated)
+        .factory()
+        .unwrap()
+        .as_ref());
     assert!(!nfa_static.is_empty(), "fixture should produce matches");
-    let nfa_adaptive = run(cep::adaptive_nfa_engine_factory(
-        &pattern,
-        &generated,
-        OrderAlgorithm::DpLd,
-        EngineConfig::default(),
-        adaptive_cfg.clone(),
-    )
-    .unwrap()
-    .as_ref());
+    let nfa_adaptive = run(cep::engine(&pattern)
+        .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+        .stats(&generated)
+        .adaptive(adaptive_cfg.clone())
+        .factory()
+        .unwrap()
+        .as_ref());
     assert_eq!(nfa_adaptive, nfa_static);
-    let tree_static = run(cep::tree_engine_factory(
-        &pattern,
-        &generated,
-        TreeAlgorithm::DpB,
-        EngineConfig::default(),
-    )
-    .unwrap()
-    .as_ref());
-    let tree_adaptive = run(cep::adaptive_tree_engine_factory(
-        &pattern,
-        &generated,
-        TreeAlgorithm::DpB,
-        EngineConfig::default(),
-        adaptive_cfg,
-    )
-    .unwrap()
-    .as_ref());
+    let tree_static = run(cep::engine(&pattern)
+        .backend(Backend::Tree(TreeAlgorithm::DpB))
+        .stats(&generated)
+        .factory()
+        .unwrap()
+        .as_ref());
+    let tree_adaptive = run(cep::engine(&pattern)
+        .backend(Backend::Tree(TreeAlgorithm::DpB))
+        .stats(&generated)
+        .adaptive(adaptive_cfg)
+        .factory()
+        .unwrap()
+        .as_ref());
     assert_eq!(tree_adaptive, tree_static);
     assert_eq!(
         nfa_adaptive.len(),
@@ -782,41 +781,33 @@ fn full_adaptive_factories_agree_with_static_factories() {
         canonical_sort(&mut matches);
         matches
     };
-    let nfa_static = run(cep::nfa_engine_factory(
-        &pattern,
-        &generated,
-        OrderAlgorithm::DpLd,
-        EngineConfig::default(),
-    )
-    .unwrap()
-    .as_ref());
+    let nfa_static = run(cep::engine(&pattern)
+        .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+        .stats(&generated)
+        .factory()
+        .unwrap()
+        .as_ref());
     assert!(!nfa_static.is_empty(), "fixture should produce matches");
-    let nfa_full = run(cep::full_adaptive_nfa_engine_factory(
-        &pattern,
-        &generated,
-        OrderAlgorithm::DpLd,
-        EngineConfig::default(),
-        adaptive_cfg.clone(),
-    )
-    .unwrap()
-    .as_ref());
+    let nfa_full = run(cep::engine(&pattern)
+        .backend(Backend::Nfa(OrderAlgorithm::DpLd))
+        .stats(&generated)
+        .full_adaptive(adaptive_cfg.clone())
+        .factory()
+        .unwrap()
+        .as_ref());
     assert_eq!(nfa_full, nfa_static);
-    let tree_static = run(cep::tree_engine_factory(
-        &pattern,
-        &generated,
-        TreeAlgorithm::DpB,
-        EngineConfig::default(),
-    )
-    .unwrap()
-    .as_ref());
-    let tree_full = run(cep::full_adaptive_tree_engine_factory(
-        &pattern,
-        &generated,
-        TreeAlgorithm::DpB,
-        EngineConfig::default(),
-        adaptive_cfg,
-    )
-    .unwrap()
-    .as_ref());
+    let tree_static = run(cep::engine(&pattern)
+        .backend(Backend::Tree(TreeAlgorithm::DpB))
+        .stats(&generated)
+        .factory()
+        .unwrap()
+        .as_ref());
+    let tree_full = run(cep::engine(&pattern)
+        .backend(Backend::Tree(TreeAlgorithm::DpB))
+        .stats(&generated)
+        .full_adaptive(adaptive_cfg)
+        .factory()
+        .unwrap()
+        .as_ref());
     assert_eq!(tree_full, tree_static);
 }
